@@ -1,0 +1,271 @@
+//! The assignment problem derived from a schema matching.
+//!
+//! The paper (§V-A, Fig. 7) augments the matching's bipartite graph with
+//! *image* elements so that "element matches nothing" becomes an explicit
+//! assignment. We realise the same semantics with one private *skip* choice
+//! per source element: a possible mapping is exactly a choice, per matched
+//! source element, of one of its candidate targets or of its skip — subject
+//! to no target being chosen twice. Target elements left unchosen are
+//! implicitly unmatched (the paper's target-image edges), so the set of
+//! rankable mappings is identical while the graph stays sparse.
+//!
+//! Only source elements with at least one candidate participate: elements
+//! the matcher found nothing for contribute a forced skip in every mapping
+//! and would only pad the problem size.
+
+use uxm_matching::SchemaMatching;
+use uxm_xml::SchemaNodeId;
+
+/// Index of a left node (participating source element).
+pub type LeftId = u32;
+/// Index of a right node (candidate target, or a skip; see [`Bipartite`]).
+pub type RightId = u32;
+
+/// A sparse maximization assignment problem.
+///
+/// Right-node index space: `0..n_targets` are real target elements;
+/// `n_targets + i` is the skip of left node `i` (weight-0 edge, modelling
+/// "source element `i` matches nothing").
+#[derive(Clone, Debug)]
+pub struct Bipartite {
+    /// Source element behind each left node.
+    pub left_source: Vec<SchemaNodeId>,
+    /// Target element behind each real right node.
+    pub right_target: Vec<SchemaNodeId>,
+    /// Per left node: `(right, weight)` candidates, skip edge *not*
+    /// included (it is implicit), sorted by weight descending.
+    pub adj: Vec<Vec<(RightId, f64)>>,
+}
+
+/// One ranked solution: an assignment of every left node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assignment {
+    /// For each left node, the chosen right node (may be its skip).
+    pub choice: Vec<RightId>,
+    /// Total weight (sum of chosen real-edge weights; skips add 0).
+    pub score: f64,
+}
+
+impl Bipartite {
+    /// Builds the assignment problem for a schema matching.
+    pub fn from_matching(matching: &SchemaMatching) -> Bipartite {
+        let targets = matching.matched_targets();
+        let target_index = |t: SchemaNodeId| -> RightId {
+            targets.binary_search(&t).expect("matched target") as RightId
+        };
+        let sources = matching.matched_sources();
+        let mut adj: Vec<Vec<(RightId, f64)>> = vec![Vec::new(); sources.len()];
+        for c in matching.correspondences() {
+            let l = sources.binary_search(&c.source).expect("matched source");
+            adj[l].push((target_index(c.target), c.score));
+        }
+        for edges in &mut adj {
+            edges.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
+        Bipartite {
+            left_source: sources,
+            right_target: targets,
+            adj,
+        }
+    }
+
+    /// Builds a problem directly from index edges (tests/benches).
+    /// `edges[i]` lists `(right, weight)` for left node `i`; `n_targets`
+    /// is the number of real right nodes.
+    pub fn from_edges(n_targets: usize, edges: Vec<Vec<(RightId, f64)>>) -> Bipartite {
+        let mut adj = edges;
+        for e in &mut adj {
+            debug_assert!(e.iter().all(|&(r, w)| (r as usize) < n_targets && w >= 0.0));
+            e.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
+        Bipartite {
+            left_source: (0..adj.len() as u32).map(SchemaNodeId).collect(),
+            right_target: (0..n_targets as u32).map(SchemaNodeId).collect(),
+            adj,
+        }
+    }
+
+    /// Number of left nodes.
+    #[inline]
+    pub fn n_left(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of real (target) right nodes.
+    #[inline]
+    pub fn n_targets(&self) -> usize {
+        self.right_target.len()
+    }
+
+    /// Total right-node count including one skip per left node.
+    #[inline]
+    pub fn n_right(&self) -> usize {
+        self.n_targets() + self.n_left()
+    }
+
+    /// The skip right node of left `l`.
+    #[inline]
+    pub fn skip_of(&self, l: LeftId) -> RightId {
+        (self.n_targets() + l as usize) as RightId
+    }
+
+    /// True iff `r` is a skip node (of any left).
+    #[inline]
+    pub fn is_skip(&self, r: RightId) -> bool {
+        (r as usize) >= self.n_targets()
+    }
+
+    /// Number of real edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// The weight of real edge `(l, r)`, if present.
+    pub fn weight(&self, l: LeftId, r: RightId) -> Option<f64> {
+        self.adj[l as usize]
+            .iter()
+            .find(|&&(rr, _)| rr == r)
+            .map(|&(_, w)| w)
+    }
+
+    /// Converts an assignment to mapping pairs `(source, target)`,
+    /// skipping skip-assignments, sorted by target element.
+    pub fn assignment_pairs(&self, a: &Assignment) -> Vec<(SchemaNodeId, SchemaNodeId)> {
+        let mut pairs: Vec<(SchemaNodeId, SchemaNodeId)> = a
+            .choice
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| !self.is_skip(r))
+            .map(|(l, &r)| (self.left_source[l], self.right_target[r as usize]))
+            .collect();
+        pairs.sort_by_key(|&(s, t)| (t, s));
+        pairs
+    }
+
+    /// Recomputes an assignment's score from its choices (validation).
+    pub fn score_of(&self, choice: &[RightId]) -> f64 {
+        choice
+            .iter()
+            .enumerate()
+            .map(|(l, &r)| {
+                if self.is_skip(r) {
+                    0.0
+                } else {
+                    self.weight(l as LeftId, r).unwrap_or(f64::NEG_INFINITY)
+                }
+            })
+            .sum()
+    }
+
+    /// Checks structural validity: every left assigned, no real right used
+    /// twice, skips only used by their own left.
+    pub fn is_valid(&self, a: &Assignment) -> bool {
+        if a.choice.len() != self.n_left() {
+            return false;
+        }
+        let mut used = vec![false; self.n_targets()];
+        for (l, &r) in a.choice.iter().enumerate() {
+            if self.is_skip(r) {
+                if r != self.skip_of(l as LeftId) {
+                    return false;
+                }
+            } else {
+                if used[r as usize] || self.weight(l as LeftId, r).is_none() {
+                    return false;
+                }
+                used[r as usize] = true;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uxm_matching::{Correspondence, SchemaMatching};
+    use uxm_xml::Schema;
+
+    fn sample_matching() -> SchemaMatching {
+        let src = Schema::parse_outline("A(B C D E)").unwrap();
+        let tgt = Schema::parse_outline("X(Y Z)").unwrap();
+        let c = |s: u32, t: u32, w: f64| Correspondence {
+            source: SchemaNodeId(s),
+            target: SchemaNodeId(t),
+            score: w,
+        };
+        // E (id 4) has no candidates -> not a left node.
+        SchemaMatching::new(
+            src,
+            tgt,
+            vec![c(1, 1, 0.9), c(2, 1, 0.8), c(2, 2, 0.7), c(3, 2, 0.6), c(0, 0, 1.0)],
+        )
+    }
+
+    #[test]
+    fn construction_from_matching() {
+        let bp = Bipartite::from_matching(&sample_matching());
+        assert_eq!(bp.n_left(), 4); // A, B, C, D
+        assert_eq!(bp.n_targets(), 3); // X, Y, Z
+        assert_eq!(bp.edge_count(), 5);
+        assert_eq!(bp.n_right(), 7);
+    }
+
+    #[test]
+    fn skip_ids_are_disjoint_per_left() {
+        let bp = Bipartite::from_matching(&sample_matching());
+        let skips: Vec<RightId> = (0..bp.n_left() as u32).map(|l| bp.skip_of(l)).collect();
+        let mut dedup = skips.clone();
+        dedup.dedup();
+        assert_eq!(skips, dedup);
+        assert!(skips.iter().all(|&r| bp.is_skip(r)));
+        assert!(!bp.is_skip(0));
+    }
+
+    #[test]
+    fn adjacency_sorted_by_weight() {
+        let bp = Bipartite::from_matching(&sample_matching());
+        for edges in &bp.adj {
+            for w in edges.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_validation_and_pairs() {
+        let bp = Bipartite::from_matching(&sample_matching());
+        // left order = source ids sorted: A(0),B(1),C(2),D(3)
+        // assign A->X(0), B->Y(1), C->skip, D->Z(2)
+        let a = Assignment {
+            choice: vec![0, 1, bp.skip_of(2), 2],
+            score: 1.0 + 0.9 + 0.6,
+        };
+        assert!(bp.is_valid(&a));
+        assert!((bp.score_of(&a.choice) - a.score).abs() < 1e-12);
+        let pairs = bp.assignment_pairs(&a);
+        assert_eq!(pairs.len(), 3);
+
+        // duplicate target use is invalid
+        let bad = Assignment {
+            choice: vec![0, 1, 1, 2],
+            score: 0.0,
+        };
+        assert!(!bp.is_valid(&bad));
+        // foreign skip is invalid
+        let bad2 = Assignment {
+            choice: vec![bp.skip_of(1), bp.skip_of(1), bp.skip_of(2), bp.skip_of(3)],
+            score: 0.0,
+        };
+        assert!(!bp.is_valid(&bad2));
+    }
+
+    #[test]
+    fn from_edges_roundtrip() {
+        let bp = Bipartite::from_edges(2, vec![vec![(0, 0.5), (1, 0.9)], vec![(1, 0.4)]]);
+        assert_eq!(bp.n_left(), 2);
+        assert_eq!(bp.adj[0][0], (1, 0.9), "sorted desc by weight");
+        assert_eq!(bp.weight(0, 0), Some(0.5));
+        assert_eq!(bp.weight(1, 0), None);
+    }
+}

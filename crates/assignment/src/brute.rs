@@ -1,0 +1,103 @@
+//! Exhaustive assignment enumeration — the test oracle.
+//!
+//! Enumerates *every* valid assignment of a (small) bipartite problem by
+//! depth-first choice per left node. Exponential; use only on instances
+//! with a handful of nodes.
+
+use crate::bipartite::{Assignment, Bipartite, RightId};
+
+/// Enumerates all assignments, sorted by score descending (ties broken by
+/// choice vector for determinism).
+pub fn enumerate_all(bp: &Bipartite) -> Vec<Assignment> {
+    let mut out = Vec::new();
+    let mut choice: Vec<RightId> = Vec::with_capacity(bp.n_left());
+    let mut used = vec![false; bp.n_targets()];
+    dfs(bp, 0, 0.0, &mut choice, &mut used, &mut out);
+    out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.choice.cmp(&b.choice)));
+    out
+}
+
+/// The top-`h` assignments by exhaustive enumeration.
+pub fn brute_top_h(bp: &Bipartite, h: usize) -> Vec<Assignment> {
+    let mut all = enumerate_all(bp);
+    all.truncate(h);
+    all
+}
+
+fn dfs(
+    bp: &Bipartite,
+    l: usize,
+    score: f64,
+    choice: &mut Vec<RightId>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<Assignment>,
+) {
+    if l == bp.n_left() {
+        out.push(Assignment {
+            choice: choice.clone(),
+            score,
+        });
+        return;
+    }
+    // Option 1: a real candidate.
+    for &(r, w) in &bp.adj[l] {
+        if !used[r as usize] {
+            used[r as usize] = true;
+            choice.push(r);
+            dfs(bp, l + 1, score + w, choice, used, out);
+            choice.pop();
+            used[r as usize] = false;
+        }
+    }
+    // Option 2: skip.
+    choice.push(bp.skip_of(l as u32));
+    dfs(bp, l + 1, score, choice, used, out);
+    choice.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_all_assignments() {
+        // 2 lefts, each with 1 disjoint candidate: 2*2 = 4 assignments
+        let bp = Bipartite::from_edges(2, vec![vec![(0, 0.5)], vec![(1, 0.5)]]);
+        assert_eq!(enumerate_all(&bp).len(), 4);
+
+        // 2 lefts sharing 1 target: (t,skip),(skip,t),(skip,skip) = 3
+        let bp = Bipartite::from_edges(1, vec![vec![(0, 0.5)], vec![(0, 0.4)]]);
+        assert_eq!(enumerate_all(&bp).len(), 3);
+    }
+
+    #[test]
+    fn sorted_descending() {
+        let bp = Bipartite::from_edges(2, vec![vec![(0, 0.9), (1, 0.2)], vec![(0, 0.5)]]);
+        let all = enumerate_all(&bp);
+        for w in all.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // best: l0->t0 (0.9) with l1 skipped, beating l0->t1 + l1->t0 = 0.7
+        assert!((all[0].score - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_enumerated_are_valid() {
+        let bp = Bipartite::from_edges(3, vec![
+            vec![(0, 0.9), (1, 0.4)],
+            vec![(0, 0.6), (2, 0.3)],
+            vec![(1, 0.8)],
+        ]);
+        for a in enumerate_all(&bp) {
+            assert!(bp.is_valid(&a));
+            assert!((bp.score_of(&a.choice) - a.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_h_truncates() {
+        let bp = Bipartite::from_edges(1, vec![vec![(0, 0.5)], vec![(0, 0.4)]]);
+        assert_eq!(brute_top_h(&bp, 2).len(), 2);
+        assert_eq!(brute_top_h(&bp, 10).len(), 3);
+    }
+}

@@ -1,0 +1,25 @@
+//! # uxm-assignment — ranked bipartite assignment (paper §V)
+//!
+//! Derives the top-*h* possible mappings of a schema matching:
+//!
+//! * [`bipartite`] — the assignment problem built from a matching, with
+//!   *image* nodes modelling "element matches nothing" (paper Fig. 7),
+//! * [`solver`] — sparse max-weight perfect matching (successive shortest
+//!   augmenting paths with potentials),
+//! * [`murty`] — Murty's ranking algorithm with Pascoal et al.'s ordering
+//!   improvement, enumerating assignments in non-increasing score order,
+//! * [`partition`] — the paper's contribution: split the sparse bipartite
+//!   into connected components, rank each, and lazily merge
+//!   ([`merge`]) — about an order of magnitude faster on XML matchings,
+//! * [`brute`] — exhaustive enumeration for small instances (test oracle).
+
+pub mod bipartite;
+pub mod brute;
+pub mod merge;
+pub mod murty;
+pub mod partition;
+pub mod solver;
+
+pub use bipartite::{Assignment, Bipartite};
+pub use murty::murty_top_h;
+pub use partition::partition_top_h;

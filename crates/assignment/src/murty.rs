@@ -1,0 +1,277 @@
+//! Murty's ranking algorithm, with Pascoal et al.'s lazy-evaluation
+//! improvement.
+//!
+//! Enumerates assignments in non-increasing score order by partitioning the
+//! solution space (Murty, Operations Research 1968): after emitting the
+//! best assignment of a subproblem, create one child subproblem per
+//! assigned pair `(l_i, r_i)` that *fixes* pairs `1..i-1` and *forbids*
+//! pair `i`. Children partition "everything except the emitted solution",
+//! so no deduplication is needed.
+//!
+//! Two variants:
+//!
+//! * [`RankVariant::MurtyEager`] — children are solved on creation and
+//!   enqueued with their exact scores (the classic algorithm).
+//! * [`RankVariant::PascoalLazy`] — children are enqueued unsolved with an
+//!   optimistic bound (the parent's score, valid since constraints only
+//!   tighten) and solved when popped. Children never popped are never
+//!   solved; on sparse problems this skips most of the work, which is the
+//!   practical effect of the Pascoal-Captivo-Clímaco variant the paper
+//!   cites as its baseline \[13\].
+
+use crate::bipartite::{Assignment, Bipartite, LeftId, RightId};
+use crate::solver::{solve_constrained, Constraints};
+use std::collections::BinaryHeap;
+
+/// Which ranking strategy to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankVariant {
+    /// Solve each child subproblem eagerly at creation.
+    MurtyEager,
+    /// Enqueue children with an optimistic bound; solve on pop.
+    PascoalLazy,
+}
+
+/// Top-`h` assignments of `bp`, best first (Pascoal variant).
+pub fn murty_top_h(bp: &Bipartite, h: usize) -> Vec<Assignment> {
+    ranked_assignments(bp, h, RankVariant::PascoalLazy)
+}
+
+/// Top-`h` assignments with an explicit variant choice.
+pub fn ranked_assignments(bp: &Bipartite, h: usize, variant: RankVariant) -> Vec<Assignment> {
+    let mut out = Vec::with_capacity(h.min(64));
+    if h == 0 || bp.n_left() == 0 {
+        if h > 0 && bp.n_left() == 0 {
+            out.push(Assignment {
+                choice: Vec::new(),
+                score: 0.0,
+            });
+        }
+        return out;
+    }
+
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    let root_cons = Constraints::default();
+    if let Some(best) = solve_constrained(bp, &root_cons) {
+        heap.push(Node {
+            bound: best.score,
+            cons: root_cons,
+            solution: Some(best),
+        });
+    }
+
+    while out.len() < h {
+        let Some(node) = heap.pop() else { break };
+        let (solution, cons) = match node.solution {
+            Some(s) => (s, node.cons),
+            None => {
+                // Lazy node: solve now, re-queue unless it is still the top.
+                match solve_constrained(bp, &node.cons) {
+                    Some(s) => {
+                        if heap
+                            .peek()
+                            .is_some_and(|n| n.bound > s.score)
+                        {
+                            heap.push(Node {
+                                bound: s.score,
+                                cons: node.cons,
+                                solution: Some(s),
+                            });
+                            continue;
+                        }
+                        (s, node.cons)
+                    }
+                    None => continue,
+                }
+            }
+        };
+
+        out.push(solution.clone());
+        if out.len() == h {
+            break;
+        }
+
+        // Branch: one child per branchable pair of the emitted solution.
+        let forced_lefts: Vec<bool> = {
+            let mut f = vec![false; bp.n_left()];
+            for &(l, _) in &cons.forced {
+                f[l as usize] = true;
+            }
+            f
+        };
+        let mut fixed_prefix: Vec<(LeftId, RightId)> = cons.forced.clone();
+        for (l, &r) in solution.choice.iter().enumerate() {
+            let l = l as LeftId;
+            if forced_lefts[l as usize] {
+                continue;
+            }
+            if has_alternative(bp, l, r, &cons.forbidden, &fixed_prefix) {
+                let mut child = Constraints {
+                    forced: fixed_prefix.clone(),
+                    forbidden: cons.forbidden.clone(),
+                };
+                child.forbidden.push((l, r));
+                match variant {
+                    RankVariant::MurtyEager => {
+                        if let Some(s) = solve_constrained(bp, &child) {
+                            heap.push(Node {
+                                bound: s.score,
+                                cons: child,
+                                solution: Some(s),
+                            });
+                        }
+                    }
+                    RankVariant::PascoalLazy => {
+                        heap.push(Node {
+                            bound: solution.score,
+                            cons: child,
+                            solution: None,
+                        });
+                    }
+                }
+            }
+            fixed_prefix.push((l, r));
+        }
+    }
+    out
+}
+
+/// Cheap pre-filter: branching on `(l, r)` is pointless when `l` has no
+/// other option at all (the child would be trivially infeasible).
+fn has_alternative(
+    bp: &Bipartite,
+    l: LeftId,
+    r: RightId,
+    forbidden: &[(LeftId, RightId)],
+    fixed: &[(LeftId, RightId)],
+) -> bool {
+    let blocked = |rr: RightId| {
+        rr == r
+            || forbidden.contains(&(l, rr))
+            || fixed.iter().any(|&(_, fr)| fr == rr)
+    };
+    let skip = bp.skip_of(l);
+    if !blocked(skip) {
+        return true;
+    }
+    bp.adj[l as usize].iter().any(|&(rr, _)| !blocked(rr))
+}
+
+/// Heap node ordered by bound (max-heap).
+struct Node {
+    bound: f64,
+    cons: Constraints,
+    solution: Option<Assignment>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bound.total_cmp(&other.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_top_h;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_bipartite(rng: &mut StdRng, max_l: usize, max_t: usize) -> Bipartite {
+        let nl = rng.gen_range(1..=max_l);
+        let nt = rng.gen_range(1..=max_t);
+        let mut edges: Vec<Vec<(RightId, f64)>> = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            let mut row = Vec::new();
+            for r in 0..nt {
+                if rng.gen_bool(0.55) {
+                    row.push((r as RightId, (rng.gen_range(1..=100) as f64) / 100.0));
+                }
+            }
+            edges.push(row);
+        }
+        Bipartite::from_edges(nt, edges)
+    }
+
+    #[test]
+    fn ranks_match_brute_force_scores() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for trial in 0..40 {
+            let bp = random_bipartite(&mut rng, 5, 4);
+            let h = rng.gen_range(1..12);
+            for variant in [RankVariant::MurtyEager, RankVariant::PascoalLazy] {
+                let ranked = ranked_assignments(&bp, h, variant);
+                let brute = brute_top_h(&bp, h);
+                assert_eq!(ranked.len(), brute.len(), "trial {trial} {variant:?}");
+                for (i, (r, b)) in ranked.iter().zip(&brute).enumerate() {
+                    assert!(
+                        (r.score - b.score).abs() < 1e-9,
+                        "trial {trial} {variant:?} rank {i}: {} vs {}",
+                        r.score,
+                        b.score
+                    );
+                    assert!(bp.is_valid(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_assignments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let bp = random_bipartite(&mut rng, 4, 4);
+            let ranked = murty_top_h(&bp, 20);
+            let mut seen: Vec<&Vec<RightId>> = ranked.iter().map(|a| &a.choice).collect();
+            seen.sort();
+            let before = seen.len();
+            seen.dedup();
+            assert_eq!(before, seen.len(), "duplicates emitted");
+        }
+    }
+
+    #[test]
+    fn exhausts_solution_space() {
+        // l0 shares t0 with l1: exactly 3 assignments exist.
+        let bp = Bipartite::from_edges(1, vec![vec![(0, 0.5)], vec![(0, 0.4)]]);
+        let ranked = murty_top_h(&bp, 10);
+        assert_eq!(ranked.len(), 3);
+        assert!((ranked[0].score - 0.5).abs() < 1e-12);
+        assert!((ranked[1].score - 0.4).abs() < 1e-12);
+        assert!((ranked[2].score - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_zero_and_empty_problem() {
+        let bp = Bipartite::from_edges(1, vec![vec![(0, 0.5)]]);
+        assert!(ranked_assignments(&bp, 0, RankVariant::MurtyEager).is_empty());
+        let empty = Bipartite::from_edges(0, vec![]);
+        let r = murty_top_h(&empty, 3);
+        assert_eq!(r.len(), 1, "only the empty assignment exists");
+        assert_eq!(r[0].score, 0.0);
+    }
+
+    #[test]
+    fn variants_agree_on_larger_random_instances() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let bp = random_bipartite(&mut rng, 10, 8);
+            let eager = ranked_assignments(&bp, 25, RankVariant::MurtyEager);
+            let lazy = ranked_assignments(&bp, 25, RankVariant::PascoalLazy);
+            assert_eq!(eager.len(), lazy.len());
+            for (e, l) in eager.iter().zip(&lazy) {
+                assert!((e.score - l.score).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Partition-based top-h mapping generation — the paper's §V contribution.
+//!
+//! A schema matching's bipartite graph is typically *sparse*: connected
+//! components ("partitions", Definition 6) are small and numerous (the
+//! paper reports 23–966 components on its datasets). Since components
+//! share no elements, ranking can be done per component and merged:
+//! the global top-h restricted to one component always lies within that
+//! component's own top-h, so merging per-component top-h lists is exact.
+
+use crate::bipartite::Bipartite;
+use crate::merge::{merge_top_h, RankedMapping};
+use crate::murty::{ranked_assignments, RankVariant};
+use uxm_matching::{Correspondence, SchemaMatching};
+use uxm_xml::SchemaNodeId;
+
+/// One connected component of the matching's bipartite graph.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// The component's correspondences.
+    pub corrs: Vec<Correspondence>,
+}
+
+impl Partition {
+    /// Distinct source elements of this partition.
+    pub fn sources(&self) -> Vec<SchemaNodeId> {
+        let mut v: Vec<SchemaNodeId> = self.corrs.iter().map(|c| c.source).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct target elements of this partition.
+    pub fn targets(&self) -> Vec<SchemaNodeId> {
+        let mut v: Vec<SchemaNodeId> = self.corrs.iter().map(|c| c.target).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of elements, the paper's partition "size".
+    pub fn size(&self) -> usize {
+        self.sources().len() + self.targets().len()
+    }
+
+    /// Builds this partition's own assignment problem.
+    pub fn to_bipartite(&self) -> Bipartite {
+        let sources = self.sources();
+        let targets = self.targets();
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); sources.len()];
+        for c in &self.corrs {
+            let l = sources.binary_search(&c.source).expect("own source");
+            let r = targets.binary_search(&c.target).expect("own target") as u32;
+            adj[l].push((r, c.score));
+        }
+        for e in &mut adj {
+            e.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
+        Bipartite {
+            left_source: sources,
+            right_target: targets,
+            adj,
+        }
+    }
+}
+
+/// Splits a matching into maximal connected components (Definition 6),
+/// via union-find over correspondence endpoints.
+pub fn partition(matching: &SchemaMatching) -> Vec<Partition> {
+    let corrs = matching.correspondences();
+    if corrs.is_empty() {
+        return Vec::new();
+    }
+    // Union-find keyed by compacted source/target indices.
+    let sources = matching.matched_sources();
+    let targets = matching.matched_targets();
+    let n = sources.len() + targets.len();
+    let mut uf = UnionFind::new(n);
+    let src_idx = |s: SchemaNodeId| sources.binary_search(&s).expect("matched source");
+    let tgt_idx =
+        |t: SchemaNodeId| sources.len() + targets.binary_search(&t).expect("matched target");
+    for c in corrs {
+        uf.union(src_idx(c.source), tgt_idx(c.target));
+    }
+    // Group correspondences by component root.
+    let mut groups: std::collections::HashMap<usize, Vec<Correspondence>> =
+        std::collections::HashMap::new();
+    for c in corrs {
+        groups.entry(uf.find(src_idx(c.source))).or_default().push(*c);
+    }
+    let mut parts: Vec<Partition> = groups
+        .into_values()
+        .map(|corrs| Partition { corrs })
+        .collect();
+    // Deterministic order: by smallest target element.
+    parts.sort_by_key(|p| p.corrs.iter().map(|c| (c.target, c.source)).min());
+    parts
+}
+
+/// Top-`h` possible mappings via partitioning + per-component ranking +
+/// lazy merge (the paper's Algorithm 5).
+pub fn partition_top_h(matching: &SchemaMatching, h: usize) -> Vec<RankedMapping> {
+    partition_top_h_with(matching, h, RankVariant::PascoalLazy)
+}
+
+/// [`partition_top_h`] with an explicit ranking variant.
+pub fn partition_top_h_with(
+    matching: &SchemaMatching,
+    h: usize,
+    variant: RankVariant,
+) -> Vec<RankedMapping> {
+    let parts = partition(matching);
+    if parts.is_empty() {
+        return vec![RankedMapping::empty()];
+    }
+    let mut acc: Vec<RankedMapping> = vec![RankedMapping::empty()];
+    for p in &parts {
+        let bp = p.to_bipartite();
+        let ranked = ranked_assignments(&bp, h, variant);
+        let mapped: Vec<RankedMapping> = ranked
+            .iter()
+            .map(|a| RankedMapping {
+                pairs: bp.assignment_pairs(a),
+                score: a.score,
+            })
+            .collect();
+        acc = merge_top_h(&acc, &mapped, h);
+    }
+    acc
+}
+
+/// Whole-graph baseline: rank the full bipartite directly (paper's
+/// `murty` comparator in Fig. 10(e)/(f)).
+pub fn murty_top_h_mappings(
+    matching: &SchemaMatching,
+    h: usize,
+    variant: RankVariant,
+) -> Vec<RankedMapping> {
+    let bp = Bipartite::from_matching(matching);
+    ranked_assignments(&bp, h, variant)
+        .iter()
+        .map(|a| RankedMapping {
+            pairs: bp.assignment_pairs(a),
+            score: a.score,
+        })
+        .collect()
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::murty::murty_top_h;
+    use uxm_xml::Schema;
+
+    fn c(s: u32, t: u32, w: f64) -> Correspondence {
+        Correspondence {
+            source: SchemaNodeId(s),
+            target: SchemaNodeId(t),
+            score: w,
+        }
+    }
+
+    /// Two disconnected components like the paper's Fig. 8.
+    fn two_component_matching() -> SchemaMatching {
+        let src = Schema::parse_outline("R(S1 S2 S3 S4)").unwrap();
+        let tgt = Schema::parse_outline("Q(T1 T2 T3)").unwrap();
+        // component A: s1,s3 ~ t1,t2 ; component B: s2,s4 ~ t3
+        SchemaMatching::new(
+            src,
+            tgt,
+            vec![
+                c(1, 1, 0.9),
+                c(3, 1, 0.5),
+                c(3, 2, 0.8),
+                c(2, 3, 0.7),
+                c(4, 3, 0.6),
+            ],
+        )
+    }
+
+    #[test]
+    fn partitions_are_maximal_and_disjoint() {
+        let m = two_component_matching();
+        let parts = partition(&m);
+        assert_eq!(parts.len(), 2);
+        let all_sources: Vec<_> = parts.iter().flat_map(|p| p.sources()).collect();
+        let mut dedup = all_sources.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(all_sources.len(), dedup.len(), "partitions share no source");
+        assert_eq!(parts.iter().map(|p| p.corrs.len()).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn partition_sizes_match_paper_definition() {
+        let m = two_component_matching();
+        let parts = partition(&m);
+        let mut sizes: Vec<usize> = parts.iter().map(Partition::size).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 4]); // {s2,s4,t3} and {s1,s3,t1,t2}
+    }
+
+    #[test]
+    fn partition_top_h_equals_direct_murty() {
+        let m = two_component_matching();
+        for h in [1, 3, 5, 10, 25] {
+            let via_partition = partition_top_h(&m, h);
+            let direct = murty_top_h_mappings(&m, h, RankVariant::MurtyEager);
+            assert_eq!(via_partition.len(), direct.len(), "h={h}");
+            for (i, (p, d)) in via_partition.iter().zip(&direct).enumerate() {
+                assert!(
+                    (p.score - d.score).abs() < 1e-9,
+                    "h={h} rank {i}: partition {} vs murty {}",
+                    p.score,
+                    d.score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_top_h_on_random_matchings_matches_direct() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..15 {
+            let ns = rng.gen_range(2..8);
+            let nt = rng.gen_range(2..6);
+            let src = Schema::parse_outline(
+                &format!("R({})", (0..ns).map(|i| format!("S{i}")).collect::<Vec<_>>().join(" ")),
+            )
+            .unwrap();
+            let tgt = Schema::parse_outline(
+                &format!("Q({})", (0..nt).map(|i| format!("T{i}")).collect::<Vec<_>>().join(" ")),
+            )
+            .unwrap();
+            let mut corrs = Vec::new();
+            for s in 1..=ns {
+                for t in 1..=nt {
+                    if rng.gen_bool(0.35) {
+                        corrs.push(c(s, t, (rng.gen_range(1..=100) as f64) / 100.0));
+                    }
+                }
+            }
+            let m = SchemaMatching::new(src, tgt, corrs);
+            if m.is_empty() {
+                continue;
+            }
+            let h = rng.gen_range(1..12);
+            let via_partition = partition_top_h(&m, h);
+            let direct = murty_top_h_mappings(&m, h, RankVariant::MurtyEager);
+            assert_eq!(via_partition.len(), direct.len(), "trial {trial} h={h}");
+            for (i, (p, d)) in via_partition.iter().zip(&direct).enumerate() {
+                assert!(
+                    (p.score - d.score).abs() < 1e-9,
+                    "trial {trial} h={h} rank {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matching_yields_empty_mapping() {
+        let src = Schema::parse_outline("R(A)").unwrap();
+        let tgt = Schema::parse_outline("Q(B)").unwrap();
+        let m = SchemaMatching::new(src, tgt, vec![]);
+        let out = partition_top_h(&m, 5);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].pairs.is_empty());
+    }
+
+    #[test]
+    fn pairs_are_valid_mapping_functions() {
+        // no source or target may appear twice within one mapping
+        let m = two_component_matching();
+        for rm in partition_top_h(&m, 20) {
+            let mut sources: Vec<_> = rm.pairs.iter().map(|p| p.0).collect();
+            sources.sort_unstable();
+            let sl = sources.len();
+            sources.dedup();
+            assert_eq!(sl, sources.len());
+            let mut targets: Vec<_> = rm.pairs.iter().map(|p| p.1).collect();
+            targets.sort_unstable();
+            let tl = targets.len();
+            targets.dedup();
+            assert_eq!(tl, targets.len());
+        }
+    }
+
+    #[test]
+    fn bipartite_from_partition_is_consistent() {
+        let m = two_component_matching();
+        let parts = partition(&m);
+        for p in &parts {
+            let bp = p.to_bipartite();
+            assert_eq!(bp.n_left(), p.sources().len());
+            assert_eq!(bp.n_targets(), p.targets().len());
+            assert_eq!(bp.edge_count(), p.corrs.len());
+            let top = murty_top_h(&bp, 1);
+            assert_eq!(top.len(), 1);
+        }
+    }
+}

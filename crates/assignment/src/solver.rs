@@ -1,0 +1,380 @@
+//! Sparse max-weight assignment via successive shortest augmenting paths.
+//!
+//! Solves: assign every left node to one of its candidate targets or its
+//! skip, no target used twice, maximizing total weight — optionally under
+//! Murty-style *forced* and *forbidden* edge constraints.
+//!
+//! Weights in `[0, 1]` are turned into costs `1 - w ∈ [0, 1]` (every left
+//! takes exactly one edge, so minimizing cost maximizes weight). With
+//! non-negative costs and Johnson potentials, each augmentation is a single
+//! Dijkstra over the residual graph: `O(n_left · E log V)` per full solve,
+//! which is what makes Murty ranking affordable on the paper's sparse
+//! matchings.
+
+use crate::bipartite::{Assignment, Bipartite, LeftId, RightId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Murty subproblem constraints.
+#[derive(Clone, Debug, Default)]
+pub struct Constraints {
+    /// Edges that must appear (including skip edges `(l, skip_of(l))`).
+    pub forced: Vec<(LeftId, RightId)>,
+    /// Edges that must not appear.
+    pub forbidden: Vec<(LeftId, RightId)>,
+}
+
+/// Solves the unconstrained problem. Always feasible (skips exist).
+pub fn solve(bp: &Bipartite) -> Assignment {
+    solve_constrained(bp, &Constraints::default()).expect("unconstrained problem is feasible")
+}
+
+/// Solves under constraints; `None` when infeasible.
+pub fn solve_constrained(bp: &Bipartite, cons: &Constraints) -> Option<Assignment> {
+    let nl = bp.n_left();
+    let nr = bp.n_right();
+
+    // Apply forced edges.
+    let mut fixed_choice: Vec<Option<RightId>> = vec![None; nl];
+    let mut right_taken = vec![false; nr];
+    let forbidden: HashSet<(LeftId, RightId)> = cons.forbidden.iter().copied().collect();
+    for &(l, r) in &cons.forced {
+        let valid_edge = if bp.is_skip(r) {
+            r == bp.skip_of(l)
+        } else {
+            bp.weight(l, r).is_some()
+        };
+        if !valid_edge || forbidden.contains(&(l, r)) {
+            return None;
+        }
+        if fixed_choice[l as usize].is_some() || right_taken[r as usize] {
+            return None; // conflicting forcings
+        }
+        fixed_choice[l as usize] = Some(r);
+        right_taken[r as usize] = true;
+    }
+
+    // Matching state over the free part. Rights locked by forced pairs are
+    // invisible to the search entirely (no forward edge, no residual edge).
+    let locked_right = right_taken;
+    let mut match_left: Vec<Option<RightId>> = fixed_choice.clone();
+    let mut match_right: Vec<Option<LeftId>> = vec![None; nr];
+    for (l, &c) in fixed_choice.iter().enumerate() {
+        if let Some(r) = c {
+            match_right[r as usize] = Some(l as LeftId);
+        }
+    }
+
+    // Node numbering for Dijkstra: lefts 0..nl, rights nl..nl+nr.
+    let n = nl + nr;
+    let mut pot = vec![0.0f64; n];
+    let right_node = |r: RightId| nl + r as usize;
+
+    // Edge cost in the minimization problem.
+    let cost = |w: f64| 1.0 - w;
+
+    for start in 0..nl {
+        if match_left[start].is_some() {
+            continue; // forced
+        }
+        // Full Dijkstra from `start` over the residual graph. The target is
+        // the *free* right node minimizing true distance `dist + pot`
+        // (reduced distances alone are not comparable across free rights
+        // once their potentials diverge).
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut done = vec![false; n];
+        dist[start] = 0.0;
+        let mut heap: BinaryHeap<Reverse<(Cost, usize)>> = BinaryHeap::new();
+        heap.push(Reverse((Cost(0.0), start)));
+        let mut best_free: Option<usize> = None;
+        let mut best_true = f64::INFINITY;
+
+        while let Some(Reverse((Cost(d), u))) = heap.pop() {
+            if done[u] || d > dist[u] {
+                continue;
+            }
+            done[u] = true;
+            if u >= nl {
+                // A right node.
+                let r_idx = u - nl;
+                if match_right[r_idx].is_none() {
+                    let true_cost = d + pot[u];
+                    if true_cost < best_true {
+                        best_true = true_cost;
+                        best_free = Some(u);
+                    }
+                    continue; // free rights have no outgoing residual edges
+                }
+                if locked_right[r_idx] {
+                    continue; // forced pair: no residual edge
+                }
+                // Residual edge back along the matched pair.
+                let l = match_right[r_idx].expect("matched");
+                let w = edge_weight(bp, l, r_idx as RightId);
+                let c = -cost(w) + pot[u] - pot[l as usize];
+                relax(&mut dist, &mut prev, &mut heap, u, l as usize, d, c);
+            } else {
+                // A left node; forward edges to allowed rights.
+                let l = u as LeftId;
+                for &(r, w) in &bp.adj[u] {
+                    if locked_right[r as usize]
+                        || forbidden.contains(&(l, r))
+                        || match_left[u] == Some(r)
+                    {
+                        continue;
+                    }
+                    let c = cost(w) + pot[u] - pot[right_node(r)];
+                    relax(&mut dist, &mut prev, &mut heap, u, right_node(r), d, c);
+                }
+                let skip = bp.skip_of(l);
+                if !forbidden.contains(&(l, skip)) && match_left[u] != Some(skip) {
+                    let c = cost(0.0) + pot[u] - pot[right_node(skip)];
+                    relax(&mut dist, &mut prev, &mut heap, u, right_node(skip), d, c);
+                }
+            }
+        }
+
+        let end = best_free?;
+        // Johnson reweighting, capped at the chosen endpoint's reduced
+        // distance so reduced costs stay non-negative everywhere.
+        let d_end = dist[end];
+        for v in 0..n {
+            pot[v] += dist[v].min(d_end);
+        }
+        // Augment: flip along prev pointers (right<-left alternating).
+        let mut v = end;
+        while let Some(u) = prev[v] {
+            if v >= nl {
+                // u is a left matched to right v
+                let r = (v - nl) as RightId;
+                match_left[u] = Some(r);
+                match_right[v - nl] = Some(u as LeftId);
+            }
+            v = u;
+        }
+    }
+
+    let choice: Vec<RightId> = match_left.into_iter().map(|c| c.expect("perfect")).collect();
+    let score = bp.score_of(&choice);
+    if score == f64::NEG_INFINITY {
+        return None;
+    }
+    Some(Assignment { choice, score })
+}
+
+/// Weight of `(l, r)` treating skips as 0.
+fn edge_weight(bp: &Bipartite, l: LeftId, r: RightId) -> f64 {
+    if bp.is_skip(r) {
+        0.0
+    } else {
+        bp.weight(l, r).unwrap_or(0.0)
+    }
+}
+
+fn relax(
+    dist: &mut [f64],
+    prev: &mut [Option<usize>],
+    heap: &mut BinaryHeap<Reverse<(Cost, usize)>>,
+    from: usize,
+    to: usize,
+    d_from: f64,
+    edge_cost: f64,
+) {
+    // Guard tiny negative reduced costs from floating-point noise.
+    let c = edge_cost.max(0.0);
+    let nd = d_from + c;
+    if nd < dist[to] {
+        dist[to] = nd;
+        prev[to] = Some(from);
+        heap.push(Reverse((Cost(nd), to)));
+    }
+}
+
+/// `f64` ordered by `total_cmp` for use in the heap.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct Cost(f64);
+
+impl Eq for Cost {}
+
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_best_single_edges() {
+        // two lefts, one shared target: best = higher weight takes it
+        let bp = Bipartite::from_edges(1, vec![vec![(0, 0.9)], vec![(0, 0.8)]]);
+        let a = solve(&bp);
+        assert!((a.score - 0.9).abs() < 1e-9);
+        assert_eq!(a.choice[0], 0);
+        assert!(bp.is_skip(a.choice[1]));
+    }
+
+    #[test]
+    fn reroutes_for_global_optimum() {
+        // l0: t0=0.9, t1=0.8 ; l1: t0=0.85 only.
+        // Greedy l0->t0 blocks l1; optimal: l0->t1 (0.8) + l1->t0 (0.85) = 1.65
+        let bp = Bipartite::from_edges(2, vec![vec![(0, 0.9), (1, 0.8)], vec![(0, 0.85)]]);
+        let a = solve(&bp);
+        assert!((a.score - 1.65).abs() < 1e-9, "score {}", a.score);
+        assert!(bp.is_valid(&a));
+    }
+
+    #[test]
+    fn skip_when_nothing_available() {
+        let bp = Bipartite::from_edges(1, vec![vec![(0, 0.5)], vec![(0, 0.6)], vec![(0, 0.7)]]);
+        let a = solve(&bp);
+        assert!((a.score - 0.7).abs() < 1e-9);
+        assert_eq!(a.choice.iter().filter(|&&r| bp.is_skip(r)).count(), 2);
+    }
+
+    #[test]
+    fn forced_edge_respected() {
+        let bp = Bipartite::from_edges(2, vec![vec![(0, 0.9), (1, 0.1)], vec![(0, 0.8)]]);
+        let a = solve_constrained(
+            &bp,
+            &Constraints {
+                forced: vec![(1, 0)],
+                forbidden: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(a.choice[1], 0);
+        assert_eq!(a.choice[0], 1);
+        assert!((a.score - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forbidden_edge_respected() {
+        let bp = Bipartite::from_edges(2, vec![vec![(0, 0.9), (1, 0.8)]]);
+        let a = solve_constrained(
+            &bp,
+            &Constraints {
+                forced: vec![],
+                forbidden: vec![(0, 0)],
+            },
+        )
+        .unwrap();
+        assert_eq!(a.choice[0], 1);
+    }
+
+    #[test]
+    fn forbidden_skip_forces_real_edge() {
+        let bp = Bipartite::from_edges(1, vec![vec![(0, 0.2)], vec![(0, 0.9)]]);
+        let skip0 = bp.skip_of(0);
+        let a = solve_constrained(
+            &bp,
+            &Constraints {
+                forced: vec![],
+                forbidden: vec![(0, skip0)],
+            },
+        )
+        .unwrap();
+        assert_eq!(a.choice[0], 0, "l0 must take the real edge");
+        assert!(bp.is_skip(a.choice[1]));
+        assert!((a.score - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_when_everything_forbidden() {
+        let bp = Bipartite::from_edges(1, vec![vec![(0, 0.5)]]);
+        let skip0 = bp.skip_of(0);
+        let r = solve_constrained(
+            &bp,
+            &Constraints {
+                forced: vec![],
+                forbidden: vec![(0, 0), (0, skip0)],
+            },
+        );
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn infeasible_on_conflicting_forcings() {
+        let bp = Bipartite::from_edges(1, vec![vec![(0, 0.5)], vec![(0, 0.6)]]);
+        let r = solve_constrained(
+            &bp,
+            &Constraints {
+                forced: vec![(0, 0), (1, 0)],
+                forbidden: vec![],
+            },
+        );
+        assert!(r.is_none());
+        // forcing a skip is feasible (it is a real choice)
+        let skip0 = bp.skip_of(0);
+        let r = solve_constrained(
+            &bp,
+            &Constraints {
+                forced: vec![(0, skip0)],
+                forbidden: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(r.choice[0], skip0);
+        assert!((r.score - 0.6).abs() < 1e-9, "l1 takes the freed target");
+        // forcing someone else's skip is infeasible
+        let r = solve_constrained(
+            &bp,
+            &Constraints {
+                forced: vec![(0, bp.skip_of(1))],
+                forbidden: vec![],
+            },
+        );
+        assert!(r.is_none());
+        // forcing a forbidden edge is infeasible
+        let r = solve_constrained(
+            &bp,
+            &Constraints {
+                forced: vec![(0, 0)],
+                forbidden: vec![(0, 0)],
+            },
+        );
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..50 {
+            let nl = rng.gen_range(1..6);
+            let nt = rng.gen_range(1..5);
+            let mut edges: Vec<Vec<(RightId, f64)>> = Vec::with_capacity(nl);
+            for _ in 0..nl {
+                let mut row = Vec::new();
+                for r in 0..nt {
+                    if rng.gen_bool(0.6) {
+                        row.push((r as RightId, (rng.gen_range(1..=100) as f64) / 100.0));
+                    }
+                }
+                edges.push(row);
+            }
+            let bp = Bipartite::from_edges(nt, edges);
+            let a = solve(&bp);
+            assert!(bp.is_valid(&a), "trial {trial}");
+            let best = crate::brute::enumerate_all(&bp)
+                .into_iter()
+                .map(|x| x.score)
+                .fold(0.0f64, f64::max);
+            assert!(
+                (a.score - best).abs() < 1e-9,
+                "trial {trial}: solver {} vs brute {}",
+                a.score,
+                best
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion benches for the reproduction's extensions: storage codec,
+//! node-granularity PTQ, and per-match semantics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uxm_bench::workload::{d7_workload, default_config};
+use uxm_core::path_ptq::{ptq_basic_nodes, ptq_with_tree_nodes};
+use uxm_core::ptq_tree::ptq_with_tree;
+use uxm_core::semantics::match_probabilities;
+use uxm_core::storage::{decode_compressed, encode_compressed, encode_plain};
+use uxm_datagen::queries::paper_queries;
+use uxm_xml::PathIndex;
+
+fn bench_extensions(c: &mut Criterion) {
+    let w = d7_workload(100, &default_config());
+    let index = PathIndex::new(&w.doc);
+    let q7 = &paper_queries()[6];
+
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+
+    g.bench_function("storage_encode_plain", |b| {
+        b.iter(|| std::hint::black_box(encode_plain(&w.mappings).len()));
+    });
+    g.bench_function("storage_encode_compressed", |b| {
+        b.iter(|| std::hint::black_box(encode_compressed(&w.mappings, &w.tree).len()));
+    });
+    let bytes = encode_compressed(&w.mappings, &w.tree);
+    let (source, target) = (w.mappings.source.clone(), w.mappings.target.clone());
+    g.bench_function("storage_decode_compressed", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                decode_compressed(&bytes, source.clone(), target.clone())
+                    .expect("roundtrip")
+                    .0
+                    .len(),
+            )
+        });
+    });
+
+    g.bench_function("path_index_build", |b| {
+        b.iter(|| std::hint::black_box(PathIndex::new(&w.doc).len()));
+    });
+    g.bench_function("ptq_nodes_basic_Q7", |b| {
+        b.iter(|| std::hint::black_box(ptq_basic_nodes(q7, &w.mappings, &w.doc, &index).len()));
+    });
+    g.bench_function("ptq_nodes_tree_Q7", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                ptq_with_tree_nodes(q7, &w.mappings, &w.doc, &index, &w.tree).len(),
+            )
+        });
+    });
+
+    let full = ptq_with_tree(q7, &w.mappings, &w.doc, &w.tree);
+    g.bench_function("match_probabilities_Q7", |b| {
+        b.iter(|| std::hint::black_box(match_probabilities(&full).len()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches for Fig 10(e)/(f): top-h mapping generation — murty
+//! (whole bipartite) vs partition (divide and conquer), plus the
+//! eager/lazy Murty ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uxm_assignment::murty::RankVariant;
+use uxm_assignment::partition::{murty_top_h_mappings, partition_top_h_with};
+use uxm_datagen::datasets::{Dataset, DatasetId};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_generation");
+    g.sample_size(10);
+
+    for id in [DatasetId::D1, DatasetId::D4, DatasetId::D6] {
+        let d = Dataset::load(id);
+        g.bench_with_input(BenchmarkId::new("murty_h100", id.name()), &d, |b, d| {
+            b.iter(|| {
+                std::hint::black_box(
+                    murty_top_h_mappings(&d.matching, 100, RankVariant::PascoalLazy).len(),
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("partition_h100", id.name()), &d, |b, d| {
+            b.iter(|| {
+                std::hint::black_box(
+                    partition_top_h_with(&d.matching, 100, RankVariant::PascoalLazy).len(),
+                )
+            });
+        });
+    }
+
+    // Ablation: eager vs lazy ranking on D1.
+    let d1 = Dataset::load(DatasetId::D1);
+    g.bench_function("murty_eager_d1_h100", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                murty_top_h_mappings(&d1.matching, 100, RankVariant::MurtyEager).len(),
+            )
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

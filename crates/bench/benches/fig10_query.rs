@@ -1,0 +1,42 @@
+//! Criterion benches for Fig 9(f)/10(a)–(d): PTQ evaluation — basic vs
+//! block-tree vs top-k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uxm_bench::workload::{d7_workload, default_config};
+use uxm_core::ptq::ptq_basic;
+use uxm_core::ptq_tree::ptq_with_tree;
+use uxm_core::topk::topk_ptq;
+use uxm_datagen::queries::paper_queries;
+
+fn bench_query(c: &mut Criterion) {
+    let w = d7_workload(100, &default_config());
+    let queries = paper_queries();
+
+    let mut g = c.benchmark_group("fig10_query");
+    g.sample_size(10);
+
+    // Representative queries: Q2 (linear), Q7 (the paper's default), Q10
+    // (the sweep query).
+    for qi in [2usize, 7, 10] {
+        let q = &queries[qi - 1];
+        g.bench_with_input(BenchmarkId::new("basic", format!("Q{qi}")), q, |b, q| {
+            b.iter(|| std::hint::black_box(ptq_basic(q, &w.mappings, &w.doc).len()));
+        });
+        g.bench_with_input(BenchmarkId::new("block_tree", format!("Q{qi}")), q, |b, q| {
+            b.iter(|| {
+                std::hint::black_box(ptq_with_tree(q, &w.mappings, &w.doc, &w.tree).len())
+            });
+        });
+    }
+
+    // Fig 10(d): top-k at k = 10 on Q10.
+    let q10 = &queries[9];
+    g.bench_function("topk_k10_Q10", |b| {
+        b.iter(|| std::hint::black_box(topk_ptq(q10, &w.mappings, &w.doc, &w.tree, 10).len()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for Fig 9: block-tree construction (Tc) and
+//! compression, across τ and MAX_B.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uxm_core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm_core::compress::compress;
+use uxm_core::mapping::PossibleMappings;
+use uxm_datagen::datasets::{Dataset, DatasetId};
+
+fn bench_blocktree(c: &mut Criterion) {
+    let d7 = Dataset::load(DatasetId::D7);
+    let pm = PossibleMappings::top_h(&d7.matching, 100);
+    let target = &d7.matching.target;
+
+    let mut g = c.benchmark_group("fig9_blocktree");
+    g.sample_size(10);
+
+    // Fig 9(a)/(b): construction across tau.
+    for tau in [0.05, 0.2, 0.5] {
+        g.bench_with_input(BenchmarkId::new("build_tau", tau.to_string()), &tau, |b, &tau| {
+            let cfg = BlockTreeConfig {
+                tau,
+                ..BlockTreeConfig::default()
+            };
+            b.iter(|| std::hint::black_box(BlockTree::build(target, &pm, &cfg).block_count()));
+        });
+    }
+
+    // Fig 9(e): construction across MAX_B.
+    for max_b in [20usize, 100, 300] {
+        g.bench_with_input(BenchmarkId::new("build_max_b", max_b), &max_b, |b, &max_b| {
+            let cfg = BlockTreeConfig {
+                max_blocks: max_b,
+                ..BlockTreeConfig::default()
+            };
+            b.iter(|| std::hint::black_box(BlockTree::build(target, &pm, &cfg).block_count()));
+        });
+    }
+
+    // Mapping compression (Algorithm 1 step 5).
+    let tree = BlockTree::build(target, &pm, &BlockTreeConfig::default());
+    g.bench_function("compress_d7_m100", |b| {
+        b.iter(|| std::hint::black_box(compress(&pm, &tree).mappings.len()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_blocktree);
+criterion_main!(benches);

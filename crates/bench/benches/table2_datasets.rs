@@ -1,0 +1,27 @@
+//! Criterion bench for Table II machinery: dataset loading (matcher run)
+//! and o-ratio computation on a small dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uxm_core::mapping::PossibleMappings;
+use uxm_core::stats::o_ratio;
+use uxm_datagen::datasets::{Dataset, DatasetId};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+
+    g.bench_function("load_d1_matcher", |b| {
+        b.iter(|| std::hint::black_box(Dataset::load(DatasetId::D1).capacity()));
+    });
+
+    let d4 = Dataset::load(DatasetId::D4);
+    let pm = PossibleMappings::top_h(&d4.matching, 100);
+    g.bench_function("o_ratio_d4_m100", |b| {
+        b.iter(|| std::hint::black_box(o_ratio(&pm)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro all              # every experiment
+//! repro table2 fig9a     # selected experiments
+//! repro --runs 10 fig9f  # more repetitions per data point
+//! ```
+
+use uxm_bench::figures::{run_experiment, ReproConfig, EXPERIMENTS};
+
+fn main() {
+    let mut cfg = ReproConfig::default();
+    let mut requested: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                cfg.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--runs needs a positive integer"));
+            }
+            "--m" => {
+                cfg.m = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--m needs a positive integer"));
+            }
+            "all" => requested.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--runs N] [--m N] [all | {}]",
+                    EXPERIMENTS.join(" | ")
+                );
+                return;
+            }
+            other => requested.push(other.to_string()),
+        }
+    }
+    if requested.is_empty() {
+        requested.extend(EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    println!(
+        "uxm repro — Cheng/Gong/Cheung ICDE'10 evaluation ({} runs per point, |M|={})\n",
+        cfg.runs, cfg.m
+    );
+    for id in requested {
+        match run_experiment(&id, &cfg) {
+            Some(output) => println!("{output}"),
+            None => eprintln!("unknown experiment: {id} (see --help)"),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

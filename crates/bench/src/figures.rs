@@ -1,0 +1,469 @@
+//! One function per table/figure of the paper's evaluation (§VI).
+//!
+//! Every function returns a printable table. Absolute times will differ
+//! from the paper (2010 C++ testbed vs this Rust reproduction); the
+//! *shapes* — who wins, trends over τ / |M| / k / h — are the target.
+
+use crate::time_avg;
+use crate::workload::{d7_workload, default_config, DEFAULT_M};
+use std::fmt::Write as _;
+use uxm_assignment::murty::RankVariant;
+use uxm_assignment::partition::{murty_top_h_mappings, partition, partition_top_h_with};
+use uxm_core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm_core::compress::compression_ratio;
+use uxm_core::mapping::PossibleMappings;
+use uxm_core::ptq::ptq_basic;
+use uxm_core::ptq_tree::ptq_with_tree;
+use uxm_core::stats::{avg_block_size, block_size_histogram, max_block_coverage, o_ratio};
+use uxm_core::topk::topk_ptq;
+use uxm_datagen::datasets::{Dataset, DatasetId};
+use uxm_datagen::queries::paper_queries;
+
+/// Shared knobs for the repro run.
+#[derive(Clone, Debug)]
+pub struct ReproConfig {
+    /// Repetitions per timed data point (the paper uses 50).
+    pub runs: usize,
+    /// `|M|` for query experiments.
+    pub m: usize,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            runs: 5,
+            m: DEFAULT_M,
+        }
+    }
+}
+
+/// The τ sweep used by Fig 9(a)/(b).
+const TAU_SWEEP: [f64; 11] = [0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Table II: dataset statistics, paper vs measured.
+pub fn table2(cfg: &ReproConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table II — schema matching datasets (paper → measured)\n\
+         {:<4} {:>5} {:>5} {:>4}  {:>9} {:>9}  {:>8} {:>8}",
+        "ID", "|S|", "|T|", "opt", "Cap(ppr)", "Cap(msr)", "o-r(ppr)", "o-r(msr)"
+    );
+    for id in DatasetId::all() {
+        let d = Dataset::load(id);
+        let (s, t, cap_paper, o_paper) = id.paper_row();
+        let (_, _, strategy) = id.spec();
+        let pm = PossibleMappings::top_h(&d.matching, cfg.m);
+        let o_measured = o_ratio(&pm);
+        let _ = writeln!(
+            out,
+            "{:<4} {:>5} {:>5} {:>4}  {:>9} {:>9}  {:>8.2} {:>8.2}",
+            id.name(),
+            s,
+            t,
+            match strategy {
+                uxm_matching::MatchStrategy::Fragment => "f",
+                uxm_matching::MatchStrategy::Context => "c",
+            },
+            cap_paper,
+            d.capacity(),
+            o_paper,
+            o_measured,
+        );
+    }
+    out
+}
+
+/// Fig 9(a): compression ratio vs τ (D7, |M| = 100).
+pub fn fig9a(cfg: &ReproConfig) -> String {
+    let w = d7_workload(cfg.m, &default_config());
+    let mut out = String::from("Fig 9(a) — compression ratio vs tau (D7)\n  tau   ratio\n");
+    for tau in TAU_SWEEP {
+        let tree = BlockTree::build(
+            &w.dataset.matching.target,
+            &w.mappings,
+            &BlockTreeConfig {
+                tau,
+                ..default_config()
+            },
+        );
+        let ratio = compression_ratio(&w.mappings, &tree);
+        let _ = writeln!(out, "{:>5.2} {:>7.2}%", tau, ratio * 100.0);
+    }
+    out
+}
+
+/// Fig 9(b): number of c-blocks vs τ (D7, |M| = 100).
+pub fn fig9b(cfg: &ReproConfig) -> String {
+    let w = d7_workload(cfg.m, &default_config());
+    let mut out = String::from("Fig 9(b) — #c-blocks vs tau (D7)\n  tau  blocks\n");
+    for tau in TAU_SWEEP {
+        let tree = BlockTree::build(
+            &w.dataset.matching.target,
+            &w.mappings,
+            &BlockTreeConfig {
+                tau,
+                max_blocks: 5000,
+                max_failures: 5000,
+            },
+        );
+        let _ = writeln!(out, "{:>5.2} {:>7}", tau, tree.block_count());
+    }
+    out
+}
+
+/// Fig 9(c): distribution of c-block sizes (D7 defaults).
+pub fn fig9c(cfg: &ReproConfig) -> String {
+    let w = d7_workload(cfg.m, &default_config());
+    let hist = block_size_histogram(&w.tree);
+    let target = &w.dataset.matching.target;
+    let mut out = String::from(
+        "Fig 9(c) — c-block size distribution (D7)\n  size  frac-of-T  count\n",
+    );
+    for (size, &count) in hist.iter().enumerate() {
+        if count > 0 {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>9.3} {:>6}",
+                size,
+                size as f64 / target.len() as f64,
+                count
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "blocks: {}   avg size: {:.2}   largest covers {:.1}% of target nodes",
+        w.tree.block_count(),
+        avg_block_size(&w.tree),
+        max_block_coverage(&w.tree, target) * 100.0
+    );
+    let multi = w.tree.blocks().iter().filter(|b| b.len() > 1).count();
+    let _ = writeln!(
+        out,
+        "blocks larger than one correspondence: {:.0}%",
+        100.0 * multi as f64 / w.tree.block_count().max(1) as f64
+    );
+    out
+}
+
+/// Fig 9(d): block-tree construction time per dataset, |M| ∈ {100, 200}.
+pub fn fig9d(cfg: &ReproConfig) -> String {
+    let mut out =
+        String::from("Fig 9(d) — construction time Tc (s)\n  ID    |M|=100   |M|=200\n");
+    for id in DatasetId::all() {
+        let d = Dataset::load(id);
+        let mut cells = Vec::new();
+        for m in [100usize, 200] {
+            let pm = PossibleMappings::top_h(&d.matching, m);
+            let tc = time_avg(cfg.runs, || {
+                let tree = BlockTree::build(&d.matching.target, &pm, &default_config());
+                let _ = uxm_core::compress::compress(&pm, &tree);
+                std::hint::black_box(tree.block_count());
+            });
+            cells.push(tc);
+        }
+        let _ = writeln!(out, "{:<5} {:>8.4} {:>9.4}", id.name(), cells[0], cells[1]);
+    }
+    out
+}
+
+/// Fig 9(e): construction time vs MAX_B (D7).
+pub fn fig9e(cfg: &ReproConfig) -> String {
+    let d = Dataset::load(DatasetId::D7);
+    let pm = PossibleMappings::top_h(&d.matching, cfg.m);
+    let mut out = String::from("Fig 9(e) — Tc vs MAX_B (D7)\n  MAX_B      Tc(s)  blocks\n");
+    for max_b in [20, 60, 100, 160, 200, 260, 300] {
+        let config = BlockTreeConfig {
+            max_blocks: max_b,
+            ..default_config()
+        };
+        let mut blocks = 0;
+        let tc = time_avg(cfg.runs, || {
+            let tree = BlockTree::build(&d.matching.target, &pm, &config);
+            blocks = tree.block_count();
+        });
+        let _ = writeln!(out, "{:>7} {:>10.4} {:>7}", max_b, tc, blocks);
+    }
+    out
+}
+
+/// Fig 9(f) / Fig 10(a): per-query time, basic vs block-tree.
+pub fn fig9f_10a(cfg: &ReproConfig, m: usize) -> String {
+    let w = d7_workload(m, &default_config());
+    let queries = paper_queries();
+    let mut out = format!(
+        "Fig {} — query time Tq (s), |M| = {m}\n  Q     basic  block-tree   speedup\n",
+        if m <= DEFAULT_M { "9(f)" } else { "10(a)" }
+    );
+    let mut total_basic = 0.0;
+    let mut total_tree = 0.0;
+    for (i, q) in queries.iter().enumerate() {
+        let tb = time_avg(cfg.runs, || {
+            std::hint::black_box(ptq_basic(q, &w.mappings, &w.doc).len());
+        });
+        let tt = time_avg(cfg.runs, || {
+            std::hint::black_box(ptq_with_tree(q, &w.mappings, &w.doc, &w.tree).len());
+        });
+        total_basic += tb;
+        total_tree += tt;
+        let _ = writeln!(
+            out,
+            "  Q{:<3} {:>7.4} {:>10.4} {:>8.1}%",
+            i + 1,
+            tb,
+            tt,
+            (1.0 - tt / tb) * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  avg  {:>7.4} {:>10.4} {:>8.1}%",
+        total_basic / 10.0,
+        total_tree / 10.0,
+        (1.0 - total_tree / total_basic) * 100.0
+    );
+    out
+}
+
+/// Fig 10(b): Q10 time vs τ (block-tree algorithm).
+pub fn fig10b(cfg: &ReproConfig) -> String {
+    let w = d7_workload(cfg.m, &default_config());
+    let q10 = &paper_queries()[9];
+    let mut out = String::from("Fig 10(b) — Tq vs tau (D7, Q10, block-tree)\n  tau      Tq(s)\n");
+    for tau in [0.02, 0.12, 0.22, 0.32, 0.42, 0.52, 0.65] {
+        let tree = BlockTree::build(
+            &w.dataset.matching.target,
+            &w.mappings,
+            &BlockTreeConfig {
+                tau,
+                ..default_config()
+            },
+        );
+        let tq = time_avg(cfg.runs, || {
+            std::hint::black_box(ptq_with_tree(q10, &w.mappings, &w.doc, &tree).len());
+        });
+        let _ = writeln!(out, "{:>5.2} {:>10.4}", tau, tq);
+    }
+    out
+}
+
+/// Fig 10(c): Q10 time vs |M|, basic vs block-tree.
+pub fn fig10c(cfg: &ReproConfig) -> String {
+    let q10 = &paper_queries()[9];
+    let mut out =
+        String::from("Fig 10(c) — Tq vs |M| (D7, Q10)\n   |M|    basic  block-tree\n");
+    for m in [30, 50, 70, 100, 140, 200] {
+        let w = d7_workload(m, &default_config());
+        let tb = time_avg(cfg.runs, || {
+            std::hint::black_box(ptq_basic(q10, &w.mappings, &w.doc).len());
+        });
+        let tt = time_avg(cfg.runs, || {
+            std::hint::black_box(ptq_with_tree(q10, &w.mappings, &w.doc, &w.tree).len());
+        });
+        let _ = writeln!(out, "{:>6} {:>8.4} {:>10.4}", m, tb, tt);
+    }
+    out
+}
+
+/// Fig 10(d): top-k PTQ time vs k (D7, Q10).
+pub fn fig10d(cfg: &ReproConfig) -> String {
+    let w = d7_workload(cfg.m, &default_config());
+    let q10 = &paper_queries()[9];
+    let normal = time_avg(cfg.runs, || {
+        std::hint::black_box(ptq_with_tree(q10, &w.mappings, &w.doc, &w.tree).len());
+    });
+    let mut out = String::from("Fig 10(d) — top-k PTQ vs k (D7, Q10)\n    k     top-k    normal\n");
+    for k in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let tk = time_avg(cfg.runs, || {
+            std::hint::black_box(topk_ptq(q10, &w.mappings, &w.doc, &w.tree, k).len());
+        });
+        let _ = writeln!(out, "{:>5} {:>9.4} {:>9.4}", k, tk, normal);
+    }
+    out
+}
+
+/// Fig 10(e): top-h generation time per dataset, murty vs partition
+/// (h = 100). Also reports the partition count, which the paper cites
+/// (23 for D3 up to 966 for D7).
+pub fn fig10e(cfg: &ReproConfig) -> String {
+    let mut out = String::from(
+        "Fig 10(e) — generation time Tg (s), h = 100\n  ID     murty  partition  #parts   improve\n",
+    );
+    for id in DatasetId::all() {
+        let d = Dataset::load(id);
+        let parts = partition(&d.matching).len();
+        let tm = time_avg(cfg.runs.min(3), || {
+            std::hint::black_box(
+                murty_top_h_mappings(&d.matching, 100, RankVariant::PascoalLazy).len(),
+            );
+        });
+        let tp = time_avg(cfg.runs.min(3), || {
+            std::hint::black_box(
+                partition_top_h_with(&d.matching, 100, RankVariant::PascoalLazy).len(),
+            );
+        });
+        let _ = writeln!(
+            out,
+            "{:<5} {:>8.4} {:>10.4} {:>7} {:>8.1}%",
+            id.name(),
+            tm,
+            tp,
+            parts,
+            (1.0 - tp / tm) * 100.0
+        );
+    }
+    out
+}
+
+/// Fig 10(f): generation time vs h on D1, murty vs partition.
+pub fn fig10f(cfg: &ReproConfig) -> String {
+    let d = Dataset::load(DatasetId::D1);
+    let mut out = String::from(
+        "Fig 10(f) — Tg vs h (D1)\n     h     murty  partition   improve\n",
+    );
+    for h in [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000] {
+        let tm = time_avg(cfg.runs.min(3), || {
+            std::hint::black_box(
+                murty_top_h_mappings(&d.matching, h, RankVariant::PascoalLazy).len(),
+            );
+        });
+        let tp = time_avg(cfg.runs.min(3), || {
+            std::hint::black_box(
+                partition_top_h_with(&d.matching, h, RankVariant::PascoalLazy).len(),
+            );
+        });
+        let _ = writeln!(
+            out,
+            "{:>6} {:>9.4} {:>10.4} {:>9.1}%",
+            h,
+            tm,
+            tp,
+            (1.0 - tp / tm) * 100.0
+        );
+    }
+    out
+}
+
+/// Ablations for the design choices called out in DESIGN.md §6.
+pub fn ablation(cfg: &ReproConfig) -> String {
+    use uxm_twig::structural_join::{nested_loop_join, structural_join};
+    use uxm_twig::Axis;
+
+    let mut out = String::from("Ablations\n");
+
+    // 1. Eager Murty vs Pascoal lazy evaluation (D4, h = 200).
+    let d = Dataset::load(DatasetId::D4);
+    let te = time_avg(cfg.runs.min(3), || {
+        std::hint::black_box(
+            murty_top_h_mappings(&d.matching, 200, RankVariant::MurtyEager).len(),
+        );
+    });
+    let tl = time_avg(cfg.runs.min(3), || {
+        std::hint::black_box(
+            murty_top_h_mappings(&d.matching, 200, RankVariant::PascoalLazy).len(),
+        );
+    });
+    let _ = writeln!(
+        out,
+        "  murty eager vs lazy (D4, h=200): {te:.4}s vs {tl:.4}s ({:+.1}%)",
+        (1.0 - tl / te) * 100.0
+    );
+
+    // 2. Lazy heap merge vs eager product merge.
+    {
+        use uxm_assignment::merge::{merge_top_h, merge_top_h_eager, RankedMapping};
+        let mk = |n: usize| -> Vec<RankedMapping> {
+            (0..n)
+                .map(|i| RankedMapping {
+                    pairs: vec![],
+                    score: 1.0 / (i + 1) as f64,
+                })
+                .collect()
+        };
+        let (a, b) = (mk(1000), mk(1000));
+        let t_lazy = time_avg(cfg.runs, || {
+            std::hint::black_box(merge_top_h(&a, &b, 1000).len());
+        });
+        let t_eager = time_avg(cfg.runs, || {
+            std::hint::black_box(merge_top_h_eager(&a, &b, 1000).len());
+        });
+        let _ = writeln!(
+            out,
+            "  merge lazy vs eager (1000x1000, h=1000): {t_lazy:.4}s vs {t_eager:.4}s"
+        );
+    }
+
+    // 3. Stack-based structural join vs nested loop, on the two most
+    //    frequent document labels (the hot case in Algorithm 4).
+    {
+        let w = d7_workload(10, &default_config());
+        let doc = &w.doc;
+        let root = doc.root();
+        let mut by_freq: Vec<(usize, String)> = (0..doc.label_count() as u32)
+            .map(uxm_xml::LabelId)
+            .map(|l| {
+                (
+                    doc.nodes_with_label_id(l).len(),
+                    doc.label_name(l).to_string(),
+                )
+            })
+            .collect();
+        by_freq.sort_by_key(|x| std::cmp::Reverse(x.0));
+        let a: Vec<_> = std::iter::once(root)
+            .chain(doc.children(root).iter().copied())
+            .collect();
+        let b: Vec<_> = doc.nodes_with_label(&by_freq[0].1).to_vec();
+        let t_stack = time_avg(cfg.runs * 10, || {
+            std::hint::black_box(structural_join(doc, &a, &b, Axis::Descendant).len());
+        });
+        let t_nested = time_avg(cfg.runs * 10, || {
+            std::hint::black_box(nested_loop_join(doc, &a, &b, Axis::Descendant).len());
+        });
+        let _ = writeln!(
+            out,
+            "  structural join stack vs nested-loop ({}x{}): {t_stack:.6}s vs {t_nested:.6}s",
+            a.len(),
+            b.len()
+        );
+    }
+
+    // 4. Block-tree construction with Lemma 2 pruning statistics.
+    {
+        let w = d7_workload(DEFAULT_M, &default_config());
+        let _ = writeln!(
+            out,
+            "  lemma-2 skips during D7 build: {} (of {} target nodes)",
+            w.tree.stats.lemma2_skips,
+            w.dataset.matching.target.len()
+        );
+    }
+    out
+}
+
+/// All experiment ids accepted by the `repro` binary.
+pub const EXPERIMENTS: [&str; 14] = [
+    "table2", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "fig10a", "fig10b",
+    "fig10c", "fig10d", "fig10e", "fig10f", "ablation",
+];
+
+/// Runs one experiment by id.
+pub fn run_experiment(id: &str, cfg: &ReproConfig) -> Option<String> {
+    Some(match id {
+        "table2" => table2(cfg),
+        "fig9a" => fig9a(cfg),
+        "fig9b" => fig9b(cfg),
+        "fig9c" => fig9c(cfg),
+        "fig9d" => fig9d(cfg),
+        "fig9e" => fig9e(cfg),
+        "fig9f" => fig9f_10a(cfg, cfg.m),
+        "fig10a" => fig9f_10a(cfg, 500),
+        "fig10b" => fig10b(cfg),
+        "fig10c" => fig10c(cfg),
+        "fig10d" => fig10d(cfg),
+        "fig10e" => fig10e(cfg),
+        "fig10f" => fig10f(cfg),
+        "ablation" => ablation(cfg),
+        _ => return None,
+    })
+}

@@ -1,0 +1,34 @@
+//! # uxm-bench — the reproduction harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§VI).
+//! The `repro` binary prints paper-style tables; the Criterion benches in
+//! `benches/` provide statistically careful microbenchmarks of the same
+//! code paths.
+//!
+//! Run `cargo run --release -p uxm-bench --bin repro -- all` for the full
+//! sweep, or pass an experiment id (`table2`, `fig9a` … `fig10f`).
+
+pub mod figures;
+pub mod workload;
+
+/// Wall-clock seconds for `runs` executions of `f`, averaged.
+pub fn time_avg<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    assert!(runs > 0);
+    let start = std::time::Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    start.elapsed().as_secs_f64() / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn time_avg_measures_something() {
+        let t = super::time_avg(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+        assert!(t < 1.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared experiment workloads.
+//!
+//! The paper's defaults (§VI-A): dataset D7, `|M| = 100`, `τ = 0.2`,
+//! `MAX_B = 500`, `MAX_F = 500`, source document `Order.xml` (3 473
+//! nodes), each data point averaged over repeated runs.
+
+use uxm_core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm_core::mapping::PossibleMappings;
+use uxm_datagen::datasets::{Dataset, DatasetId};
+use uxm_xml::{DocGenConfig, Document};
+
+/// Paper default `|M|`.
+pub const DEFAULT_M: usize = 100;
+/// Paper default confidence threshold.
+pub const DEFAULT_TAU: f64 = 0.2;
+/// Paper default `MAX_B` / `MAX_F`.
+pub const DEFAULT_MAX: usize = 500;
+/// Document seed for the `Order.xml` stand-in.
+pub const DOC_SEED: u64 = 0x0D0C;
+
+/// A fully prepared query workload over one dataset.
+pub struct QueryWorkload {
+    /// The loaded dataset (schemas + matching).
+    pub dataset: Dataset,
+    /// The derived possible-mapping set.
+    pub mappings: PossibleMappings,
+    /// The source document the queries run against.
+    pub doc: Document,
+    /// The block tree built with the given configuration.
+    pub tree: BlockTree,
+}
+
+/// Builds the paper's default D7 workload with `m` possible mappings.
+pub fn d7_workload(m: usize, config: &BlockTreeConfig) -> QueryWorkload {
+    workload_for(DatasetId::D7, m, config)
+}
+
+/// Builds a query workload for any dataset.
+pub fn workload_for(id: DatasetId, m: usize, config: &BlockTreeConfig) -> QueryWorkload {
+    let dataset = Dataset::load(id);
+    let mappings = PossibleMappings::top_h(&dataset.matching, m);
+    let doc = Document::generate(
+        &dataset.matching.source,
+        &DocGenConfig::order_xml(),
+        DOC_SEED,
+    );
+    let tree = BlockTree::build(&dataset.matching.target, &mappings, config);
+    QueryWorkload {
+        dataset,
+        mappings,
+        doc,
+        tree,
+    }
+}
+
+/// The default block-tree configuration of §VI-A.
+pub fn default_config() -> BlockTreeConfig {
+    BlockTreeConfig {
+        tau: DEFAULT_TAU,
+        max_blocks: DEFAULT_MAX,
+        max_failures: DEFAULT_MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d7_workload_assembles() {
+        let w = d7_workload(20, &default_config());
+        assert_eq!(w.mappings.len(), 20);
+        assert!(w.doc.len() >= 3000);
+        assert_eq!(w.dataset.matching.target.len(), 166);
+    }
+}

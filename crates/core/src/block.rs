@@ -1,0 +1,174 @@
+//! Blocks and c-blocks (paper Definitions 1–2).
+
+use crate::mapping::{MappingId, PossibleMappings};
+use uxm_xml::{Schema, SchemaNodeId};
+
+/// Index of a block within a [`crate::block_tree::BlockTree`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Widens to a `usize` for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A c-block: a set of correspondences shared by a set of mappings, whose
+/// target elements form the *complete subtree* rooted at the anchor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// The target schema element anchoring this block (`b.a`).
+    pub anchor: SchemaNodeId,
+    /// Correspondences `(source, target)`, sorted by target (`b.C`).
+    pub corrs: Vec<(SchemaNodeId, SchemaNodeId)>,
+    /// Ids of the mappings sharing all of `corrs` (`b.M`), sorted.
+    pub mappings: Vec<MappingId>,
+}
+
+impl Block {
+    /// Number of correspondences (`|b.C|`, the block's "size" in Fig 9(c)).
+    pub fn len(&self) -> usize {
+        self.corrs.len()
+    }
+
+    /// True iff the block carries no correspondences (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.corrs.is_empty()
+    }
+
+    /// Number of sharing mappings (`|b.M|`).
+    pub fn support(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// The source element this block assigns to target `t`, if covered.
+    pub fn source_for_target(&self, t: SchemaNodeId) -> Option<SchemaNodeId> {
+        self.corrs
+            .binary_search_by_key(&t, |&(_, tt)| tt)
+            .ok()
+            .map(|i| self.corrs[i].0)
+    }
+
+    /// Validates the c-block conditions of Definition 2 against a target
+    /// schema and mapping set; returns a violation description on failure.
+    pub fn validate(
+        &self,
+        target: &Schema,
+        mappings: &PossibleMappings,
+        min_support: usize,
+    ) -> Result<(), String> {
+        // (support) |b.M| >= tau * |M|
+        if self.support() < min_support {
+            return Err(format!(
+                "support {} below minimum {min_support}",
+                self.support()
+            ));
+        }
+        // (coverage) correspondence targets == complete subtree of anchor
+        let mut subtree = target.subtree(self.anchor);
+        subtree.sort_unstable();
+        let mut covered: Vec<SchemaNodeId> = self.corrs.iter().map(|&(_, t)| t).collect();
+        covered.sort_unstable();
+        if subtree != covered {
+            return Err(format!(
+                "covered targets {covered:?} != subtree of {:?} {subtree:?}",
+                self.anchor
+            ));
+        }
+        // (sharing) every listed mapping contains every correspondence
+        for &mid in &self.mappings {
+            let m = mappings.mapping(mid);
+            for &(s, t) in &self.corrs {
+                if !m.contains_pair(s, t) {
+                    return Err(format!("mapping {mid:?} lacks pair ({s:?},{t:?})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Schema, PossibleMappings) {
+        let source = Schema::parse_outline("O(BP(BCN) SP(SCN))").unwrap();
+        let target = Schema::parse_outline("ORDER(IP(ICN))").unwrap();
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let pm = PossibleMappings::from_pairs(
+            source.clone(),
+            target.clone(),
+            vec![
+                (vec![(s("O"), t("ORDER")), (s("BP"), t("IP")), (s("BCN"), t("ICN"))], 3.0),
+                (vec![(s("O"), t("ORDER")), (s("BP"), t("IP")), (s("BCN"), t("ICN"))], 2.0),
+                (vec![(s("O"), t("ORDER")), (s("SP"), t("IP")), (s("SCN"), t("ICN"))], 1.0),
+            ],
+        );
+        (target, pm)
+    }
+
+    #[test]
+    fn valid_c_block_passes() {
+        let (target, pm) = setup();
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let source = &pm.source;
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let b = Block {
+            anchor: t("IP"),
+            corrs: vec![(s("BP"), t("IP")), (s("BCN"), t("ICN"))],
+            mappings: vec![MappingId(0), MappingId(1)],
+        };
+        assert!(b.validate(&target, &pm, 2).is_ok());
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.support(), 2);
+        assert_eq!(b.source_for_target(t("ICN")), Some(s("BCN")));
+        assert_eq!(b.source_for_target(t("ORDER")), None);
+    }
+
+    #[test]
+    fn incomplete_subtree_fails() {
+        let (target, pm) = setup();
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let source = &pm.source;
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let b = Block {
+            anchor: t("IP"),
+            corrs: vec![(s("BP"), t("IP"))], // missing ICN
+            mappings: vec![MappingId(0), MappingId(1)],
+        };
+        assert!(b.validate(&target, &pm, 2).is_err());
+    }
+
+    #[test]
+    fn insufficient_support_fails() {
+        let (target, pm) = setup();
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let source = &pm.source;
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let b = Block {
+            anchor: t("ICN"),
+            corrs: vec![(s("SCN"), t("ICN"))],
+            mappings: vec![MappingId(2)],
+        };
+        assert!(b.validate(&target, &pm, 2).is_err());
+        assert!(b.validate(&target, &pm, 1).is_ok());
+    }
+
+    #[test]
+    fn non_sharing_mapping_fails() {
+        let (target, pm) = setup();
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let source = &pm.source;
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let b = Block {
+            anchor: t("ICN"),
+            corrs: vec![(s("BCN"), t("ICN"))],
+            mappings: vec![MappingId(0), MappingId(2)], // m2 maps SCN~ICN
+        };
+        assert!(b.validate(&target, &pm, 1).is_err());
+    }
+}

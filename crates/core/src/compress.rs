@@ -1,0 +1,270 @@
+//! Mapping compression and storage accounting (paper Algorithm 1 step 5
+//! and the compression-ratio metric of §VI).
+//!
+//! After the block tree is built, each mapping's correspondences that are
+//! covered by some c-block containing the mapping are replaced by a pointer
+//! to that block (`remove_duplicate_corr`). Coverage is chosen greedily in
+//! pre-order, so outermost (largest) blocks win.
+//!
+//! Storage model (bytes): a correspondence is two `u32`s (8 B), a block or
+//! mapping pointer is 4 B, a probability is 8 B, a hash entry is its path
+//! length plus a 4 B node reference.
+
+use crate::block_tree::BlockTree;
+use crate::mapping::{MappingId, PossibleMappings};
+use uxm_xml::{Schema, SchemaNodeId};
+
+/// One mapping after compression: block pointers plus residual pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressedMapping {
+    /// Blocks whose correspondence sets this mapping inherits.
+    pub blocks: Vec<crate::block::BlockId>,
+    /// Correspondences not covered by any pointed-to block.
+    pub residual: Vec<(SchemaNodeId, SchemaNodeId)>,
+}
+
+/// The compressed representation of a mapping set.
+#[derive(Clone, Debug)]
+pub struct CompressedMappings {
+    /// Per mapping (indexed by [`MappingId`]): its compressed form.
+    pub mappings: Vec<CompressedMapping>,
+}
+
+/// Compresses every mapping against the block tree (`remove_duplicate_corr`).
+pub fn compress(pm: &PossibleMappings, tree: &BlockTree) -> CompressedMappings {
+    let target = &pm.target;
+    let preorder: Vec<SchemaNodeId> = target.subtree(target.root());
+    let mappings = pm
+        .ids()
+        .map(|mid| compress_one(pm, tree, target, &preorder, mid))
+        .collect();
+    CompressedMappings { mappings }
+}
+
+fn compress_one(
+    pm: &PossibleMappings,
+    tree: &BlockTree,
+    target: &Schema,
+    preorder: &[SchemaNodeId],
+    mid: MappingId,
+) -> CompressedMapping {
+    let mapping = pm.mapping(mid);
+    let mut covered = vec![false; target.len()];
+    let mut blocks = Vec::new();
+    for &t in preorder {
+        if covered[t.idx()] {
+            continue;
+        }
+        // A block at t containing this mapping covers t's whole subtree.
+        let found = tree
+            .blocks_at(t)
+            .iter()
+            .find(|&&bid| tree.block(bid).mappings.binary_search(&mid).is_ok());
+        if let Some(&bid) = found {
+            blocks.push(bid);
+            for n in target.subtree(t) {
+                covered[n.idx()] = true;
+            }
+        }
+    }
+    let residual = mapping
+        .pairs
+        .iter()
+        .filter(|&&(_, t)| !covered[t.idx()])
+        .copied()
+        .collect();
+    CompressedMapping { blocks, residual }
+}
+
+impl CompressedMappings {
+    /// Reconstructs a mapping's full pair list (must equal the original).
+    pub fn reconstruct(
+        &self,
+        tree: &BlockTree,
+        mid: MappingId,
+    ) -> Vec<(SchemaNodeId, SchemaNodeId)> {
+        let cm = &self.mappings[mid.idx()];
+        let mut pairs = cm.residual.clone();
+        for &bid in &cm.blocks {
+            pairs.extend_from_slice(&tree.block(bid).corrs);
+        }
+        pairs.sort_by_key(|&(s, t)| (t, s));
+        pairs.dedup();
+        pairs
+    }
+}
+
+/// Bytes to store the mapping set verbatim: pairs at 8 B + probability 8 B
+/// per mapping.
+pub fn plain_bytes(pm: &PossibleMappings) -> usize {
+    pm.iter().map(|(_, m)| m.pairs.len() * 8 + 8).sum()
+}
+
+/// Bytes for the block tree + hash table + compressed mappings (the
+/// paper's `B`).
+pub fn compressed_bytes(pm: &PossibleMappings, tree: &BlockTree, cm: &CompressedMappings) -> usize {
+    let block_bytes: usize = tree
+        .blocks()
+        .iter()
+        .map(|b| b.corrs.len() * 8 + b.mappings.len() * 4)
+        .sum();
+    // One 4 B list slot per block in its node's list.
+    let node_list_bytes = tree.block_count() * 4;
+    let hash_bytes: usize = (0..pm.target.len() as u32)
+        .map(uxm_xml::SchemaNodeId)
+        .filter(|&t| tree.has_blocks(t))
+        .map(|t| pm.target.path(t).len() + 4)
+        .sum();
+    let mapping_bytes: usize = cm
+        .mappings
+        .iter()
+        .map(|m| m.blocks.len() * 4 + m.residual.len() * 8 + 8)
+        .sum();
+    block_bytes + node_list_bytes + hash_bytes + mapping_bytes
+}
+
+/// The paper's compression ratio `1 - B / |M|_plain`. Positive when the
+/// block tree saves space; can be negative when blocks are too rare.
+pub fn compression_ratio(pm: &PossibleMappings, tree: &BlockTree) -> f64 {
+    let cm = compress(pm, tree);
+    let plain = plain_bytes(pm) as f64;
+    if plain == 0.0 {
+        return 0.0;
+    }
+    1.0 - compressed_bytes(pm, tree, &cm) as f64 / plain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_tree::BlockTreeConfig;
+    use uxm_matching::Matcher;
+    use uxm_xml::Schema;
+
+    fn overlapping_mappings() -> PossibleMappings {
+        // A shared 9-element subtree plus one varying leaf, over 30
+        // mappings — the regime the paper exploits (o-ratio near 1).
+        let source =
+            Schema::parse_outline("O(A0 A1 A2 A3 A4 A5 A6 A7 A8 B1 B2)").unwrap();
+        let target = Schema::parse_outline("R(X(C1 C2 C3 C4 C5 C6 C7 C8) Y)").unwrap();
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let mut shared = vec![(s("A0"), t("X"))];
+        for i in 1..=8 {
+            shared.push((s(&format!("A{i}")), t(&format!("C{i}"))));
+        }
+        let mut sets = Vec::new();
+        for i in 0..30 {
+            let y_src = if i % 2 == 0 { "B1" } else { "B2" };
+            let mut pairs = shared.clone();
+            pairs.push((s(y_src), t("Y")));
+            sets.push((pairs, 1.0 + i as f64 * 0.01));
+        }
+        PossibleMappings::from_pairs(source, target, sets)
+    }
+
+    #[test]
+    fn reconstruction_is_lossless() {
+        let pm = overlapping_mappings();
+        let tree = BlockTree::build(&pm.target.clone(), &pm, &BlockTreeConfig::default());
+        let cm = compress(&pm, &tree);
+        for (mid, m) in pm.iter() {
+            assert_eq!(cm.reconstruct(&tree, mid), m.pairs, "mapping {mid:?}");
+        }
+    }
+
+    #[test]
+    fn shared_subtree_is_compressed_via_blocks() {
+        let pm = overlapping_mappings();
+        let tree = BlockTree::build(&pm.target.clone(), &pm, &BlockTreeConfig::default());
+        let cm = compress(&pm, &tree);
+        // All four mappings share the X-subtree block: pointer, not pairs.
+        for m in &cm.mappings {
+            assert!(!m.blocks.is_empty(), "expected a block pointer");
+            assert!(m.residual.len() < 4, "residual should shrink");
+        }
+    }
+
+    #[test]
+    fn compression_ratio_positive_on_overlapping_set() {
+        let pm = overlapping_mappings();
+        let tree = BlockTree::build(&pm.target.clone(), &pm, &BlockTreeConfig::default());
+        let ratio = compression_ratio(&pm, &tree);
+        assert!(ratio > 0.0, "ratio {ratio}");
+        assert!(ratio < 1.0);
+    }
+
+    #[test]
+    fn ratio_survives_tau_extremes() {
+        // Blocks shared by all mappings survive even tau = 1.0; the ratio
+        // stays positive on this heavily-overlapping set at both extremes.
+        let pm = overlapping_mappings();
+        for tau in [0.2, 1.0] {
+            let tree = BlockTree::build(
+                &pm.target.clone(),
+                &pm,
+                &BlockTreeConfig {
+                    tau,
+                    ..BlockTreeConfig::default()
+                },
+            );
+            let ratio = compression_ratio(&pm, &tree);
+            assert!(ratio > 0.0, "tau={tau}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn disjoint_mappings_gain_nothing() {
+        // Mappings sharing no correspondences produce no c-blocks beyond
+        // unshareable ones; compression cannot help (ratio <= 0).
+        let source = Schema::parse_outline("O(A1 A2 A3)").unwrap();
+        let target = Schema::parse_outline("R(X)").unwrap();
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let pm = PossibleMappings::from_pairs(
+            source.clone(),
+            target.clone(),
+            vec![
+                (vec![(s("A1"), t("X"))], 1.0),
+                (vec![(s("A2"), t("X"))], 1.0),
+                (vec![(s("A3"), t("X"))], 1.0),
+            ],
+        );
+        let tree = BlockTree::build(
+            &target,
+            &pm,
+            &BlockTreeConfig {
+                tau: 0.5,
+                ..BlockTreeConfig::default()
+            },
+        );
+        assert_eq!(tree.block_count(), 0, "no group reaches support 2");
+        assert!(compression_ratio(&pm, &tree) <= 0.0);
+    }
+
+    #[test]
+    fn lossless_on_matcher_derived_mappings() {
+        let source = Schema::parse_outline(
+            "Order(Buyer(Name Contact(EMail)) POLine(LineNo Quantity))",
+        )
+        .unwrap();
+        let target = Schema::parse_outline(
+            "PO(Purchaser(PName PContact(PEMail)) Line(No Qty))",
+        )
+        .unwrap();
+        let matching = Matcher::context().match_schemas(&source, &target);
+        let pm = PossibleMappings::top_h(&matching, 16);
+        let tree = BlockTree::build(&target, &pm, &BlockTreeConfig::default());
+        let cm = compress(&pm, &tree);
+        for (mid, m) in pm.iter() {
+            assert_eq!(cm.reconstruct(&tree, mid), m.pairs);
+        }
+    }
+
+    #[test]
+    fn plain_bytes_counts_pairs() {
+        let pm = overlapping_mappings();
+        // 30 mappings x (10 pairs x 8 + 8) = 2640
+        assert_eq!(plain_bytes(&pm), 2640);
+    }
+}

@@ -1,0 +1,250 @@
+//! Keyword queries under uncertain schema matching — the paper's §VII
+//! future work ("we would consider how the block tree can facilitate the
+//! evaluation of other types of XML queries (e.g., XQuery and keyword
+//! query)").
+//!
+//! A keyword query is a bag of terms; following the standard XML keyword
+//! search semantics, its answers are the *smallest lowest common
+//! ancestors* (SLCA): document nodes whose subtree contains every keyword
+//! while no proper descendant's subtree does.
+//!
+//! Keywords are interpreted in the *target* vocabulary where possible: a
+//! term equal to a target element label is rewritten, per possible
+//! mapping, to the mapped source elements' labels (vocabulary terms);
+//! terms that match no target label are *value* terms and match document
+//! text directly, independent of the mapping. Like PTQ, the result is one
+//! SLCA set per relevant mapping, weighted by the mapping's probability —
+//! and mappings whose rewrites agree share one evaluation.
+
+use crate::mapping::{MappingId, PossibleMappings};
+use std::collections::HashMap;
+use uxm_xml::{DocNodeId, Document};
+
+/// One per-mapping keyword answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KeywordAnswer {
+    /// The mapping this answer was computed under.
+    pub mapping: MappingId,
+    /// The probability that the mapping (and hence the answer) is correct.
+    pub probability: f64,
+    /// SLCA nodes, in document order.
+    pub slcas: Vec<DocNodeId>,
+}
+
+/// Evaluates a keyword query over every possible mapping.
+///
+/// A mapping is *irrelevant* (and skipped) when some vocabulary keyword
+/// has no correspondence under it. Value keywords (terms matching no
+/// target label) never filter mappings.
+pub fn keyword_query(
+    keywords: &[&str],
+    pm: &PossibleMappings,
+    doc: &Document,
+) -> Vec<KeywordAnswer> {
+    assert!(!keywords.is_empty(), "at least one keyword");
+    assert!(keywords.len() <= 64, "at most 64 keywords (bitmask width)");
+
+    // Split vocabulary terms from value terms once.
+    let is_vocab: Vec<bool> = keywords
+        .iter()
+        .map(|k| !pm.target.nodes_with_label(k).is_empty())
+        .collect();
+
+    // Group mappings by the rewritten label sets of the vocabulary terms.
+    let mut groups: HashMap<Vec<Vec<String>>, Vec<MappingId>> = HashMap::new();
+    'mapping: for id in pm.ids() {
+        let mut key = Vec::new();
+        for (k, &vocab) in keywords.iter().zip(&is_vocab) {
+            if vocab {
+                let labels = pm.source_labels_for(id, k);
+                if labels.is_empty() {
+                    continue 'mapping; // irrelevant
+                }
+                key.push(labels);
+            }
+        }
+        groups.entry(key).or_default().push(id);
+    }
+
+    let mut answers = Vec::new();
+    for (key, ids) in groups {
+        let slcas = slca(keywords, &is_vocab, &key, doc);
+        for id in ids {
+            answers.push(KeywordAnswer {
+                mapping: id,
+                probability: pm.mapping(id).prob,
+                slcas: slcas.clone(),
+            });
+        }
+    }
+    answers.sort_by_key(|a| a.mapping);
+    answers
+}
+
+/// Computes the SLCA set for one rewrite. `rewrites` holds, in order, the
+/// source-label sets of the vocabulary keywords.
+fn slca(
+    keywords: &[&str],
+    is_vocab: &[bool],
+    rewrites: &[Vec<String>],
+    doc: &Document,
+) -> Vec<DocNodeId> {
+    let k = keywords.len();
+    // Per node: bitmask of keywords matched *at* the node.
+    let mut own = vec![0u64; doc.len()];
+    let mut rewrite_iter = rewrites.iter();
+    for (bit, (term, &vocab)) in keywords.iter().zip(is_vocab).enumerate() {
+        let mask = 1u64 << bit;
+        if vocab {
+            let labels = rewrite_iter.next().expect("one rewrite per vocab term");
+            for label in labels {
+                for &n in doc.nodes_with_label(label) {
+                    own[n.idx()] |= mask;
+                }
+            }
+        } else {
+            // Value term: whole-word containment in text content.
+            for n in doc.ids() {
+                if doc.text(n).is_some_and(|t| contains_word(t, term)) {
+                    own[n.idx()] |= mask;
+                }
+            }
+        }
+    }
+
+    // Subtree masks bottom-up (children have larger ids).
+    let full = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+    let mut subtree = own;
+    for i in (0..doc.len()).rev() {
+        if let Some(p) = doc.parent(DocNodeId(i as u32)) {
+            let m = subtree[i];
+            subtree[p.idx()] |= m;
+        }
+    }
+
+    // SLCA: full mask, and no child with a full mask.
+    doc.ids()
+        .filter(|&n| {
+            subtree[n.idx()] == full
+                && !doc.children(n).iter().any(|c| subtree[c.idx()] == full)
+        })
+        .collect()
+}
+
+/// Case-insensitive whole-word containment.
+fn contains_word(text: &str, word: &str) -> bool {
+    text.split(|c: char| !c.is_alphanumeric())
+        .any(|w| w.eq_ignore_ascii_case(word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uxm_xml::{parse_document, Schema};
+
+    fn setup() -> (PossibleMappings, Document) {
+        let source = Schema::parse_outline("Order(BP(BCN RCN) SP(SCN))").unwrap();
+        let target = Schema::parse_outline("ORDER(IP(ICN))").unwrap();
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let pm = PossibleMappings::from_pairs(
+            source.clone(),
+            target.clone(),
+            vec![
+                (vec![(s("BP"), t("IP")), (s("BCN"), t("ICN"))], 0.5),
+                (vec![(s("BP"), t("IP")), (s("RCN"), t("ICN"))], 0.3),
+                (vec![(s("SP"), t("IP")), (s("SCN"), t("ICN"))], 0.2),
+            ],
+        );
+        let doc = parse_document(
+            "<Order><BP><BCN>Cathy</BCN><RCN>Bob</RCN></BP><SP><SCN>Dave</SCN></SP></Order>",
+        )
+        .unwrap();
+        (pm, doc)
+    }
+
+    #[test]
+    fn vocabulary_keyword_rewrites_per_mapping() {
+        let (pm, doc) = setup();
+        // "ICN" is a target label; each mapping sends it elsewhere.
+        let answers = keyword_query(&["ICN"], &pm, &doc);
+        assert_eq!(answers.len(), 3);
+        // m0: ICN -> BCN: SLCA is the BCN node itself.
+        let bcn = doc.nodes_with_label("BCN")[0];
+        assert_eq!(answers[0].slcas, vec![bcn]);
+        let scn = doc.nodes_with_label("SCN")[0];
+        assert_eq!(answers[2].slcas, vec![scn]);
+    }
+
+    #[test]
+    fn value_keyword_is_mapping_independent() {
+        let (pm, doc) = setup();
+        let answers = keyword_query(&["Bob"], &pm, &doc);
+        assert_eq!(answers.len(), 3, "no filtering by value terms");
+        let rcn = doc.nodes_with_label("RCN")[0];
+        for a in &answers {
+            assert_eq!(a.slcas, vec![rcn]);
+        }
+    }
+
+    #[test]
+    fn mixed_terms_compute_slca() {
+        let (pm, doc) = setup();
+        // "IP" rewrites to BP (m0, m1) or SP (m2); "Bob" sits under BP.
+        let answers = keyword_query(&["IP", "Bob"], &pm, &doc);
+        assert_eq!(answers.len(), 3);
+        let bp = doc.nodes_with_label("BP")[0];
+        // Under m0/m1 both keywords are inside BP; the RCN node holds
+        // "Bob" but not the IP-rewrite, so the SLCA is BP itself.
+        assert_eq!(answers[0].slcas, vec![bp]);
+        assert_eq!(answers[1].slcas, vec![bp]);
+        // Under m2, IP -> SP but Bob is under BP: the only common subtree
+        // is the root.
+        assert_eq!(answers[2].slcas, vec![doc.root()]);
+    }
+
+    #[test]
+    fn slca_prefers_deepest_cover() {
+        let (pm, doc) = setup();
+        // Both terms match the same node: SLCA is that node, not its
+        // ancestors.
+        let answers = keyword_query(&["ICN", "Cathy"], &pm, &doc);
+        let bcn = doc.nodes_with_label("BCN")[0];
+        assert_eq!(answers[0].slcas, vec![bcn]);
+        // m1 (ICN->RCN): RCN doesn't contain "Cathy" -> SLCA is BP.
+        let bp = doc.nodes_with_label("BP")[0];
+        assert_eq!(answers[1].slcas, vec![bp]);
+    }
+
+    #[test]
+    fn missing_keyword_yields_empty_slca() {
+        let (pm, doc) = setup();
+        let answers = keyword_query(&["zzz-not-present"], &pm, &doc);
+        assert_eq!(answers.len(), 3);
+        assert!(answers.iter().all(|a| a.slcas.is_empty()));
+    }
+
+    #[test]
+    fn shared_rewrites_share_results() {
+        let (pm, doc) = setup();
+        // "IP" rewrites identically for m0 and m1 -> identical SLCA sets.
+        let answers = keyword_query(&["IP"], &pm, &doc);
+        assert_eq!(answers[0].slcas, answers[1].slcas);
+        assert_ne!(answers[0].slcas, answers[2].slcas);
+    }
+
+    #[test]
+    fn probabilities_carried_through() {
+        let (pm, doc) = setup();
+        let answers = keyword_query(&["ICN"], &pm, &doc);
+        let total: f64 = answers.iter().map(|a| a.probability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_word_matching() {
+        assert!(contains_word("Bob Smith", "bob"));
+        assert!(!contains_word("Bobby", "bob"));
+        assert!(contains_word("a,bob;c", "Bob"));
+    }
+}

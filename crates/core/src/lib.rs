@@ -1,0 +1,39 @@
+//! # uxm-core — block trees and probabilistic twig queries
+//!
+//! The paper's primary contribution:
+//!
+//! * [`mapping`] — possible mappings with probabilities (§I, §V),
+//! * [`block`] — blocks and c-blocks (Definitions 1–2),
+//! * [`block_tree`] — the block tree and its bottom-up construction
+//!   (Definition 3, Algorithms 1–2, Lemmas 1–2),
+//! * [`compress`] — mapping compression and storage accounting (the
+//!   compression-ratio metric of §VI),
+//! * [`rewrite`] — target→source query rewriting under a mapping,
+//! * [`ptq`] — the probabilistic twig query and `query_basic`
+//!   (Definition 4, Algorithm 3),
+//! * [`ptq_tree`] — PTQ evaluation with the block tree (Algorithm 4),
+//! * [`topk`] — top-k PTQ (Definition 5),
+//! * [`stats`] — o-ratio and c-block distribution metrics (§VI),
+//! * [`path_ptq`] — node-granularity PTQ (an extension: exact semantics
+//!   when element labels repeat).
+
+pub mod block;
+pub mod block_tree;
+pub mod compress;
+pub mod keyword;
+pub mod mapping;
+pub mod path_ptq;
+pub mod ptq;
+pub mod ptq_tree;
+pub mod rewrite;
+pub mod semantics;
+pub mod stats;
+pub mod storage;
+pub mod topk;
+
+pub use block::{Block, BlockId};
+pub use block_tree::{BlockTree, BlockTreeConfig};
+pub use mapping::{Mapping, MappingId, PossibleMappings};
+pub use ptq::{ptq_basic, PtqAnswer, PtqResult};
+pub use ptq_tree::ptq_with_tree;
+pub use topk::topk_ptq;

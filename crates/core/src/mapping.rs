@@ -1,0 +1,313 @@
+//! Possible mappings with probabilities.
+//!
+//! A *possible mapping* (paper §I) is a partial one-to-one function from
+//! source to target elements; a schema matching is modelled as a
+//! probability distribution over possible mappings, obtained by ranking
+//! assignments (§V) and normalizing their scores.
+
+use uxm_assignment::merge::RankedMapping;
+use uxm_assignment::murty::RankVariant;
+use uxm_assignment::partition::{murty_top_h_mappings, partition_top_h};
+use uxm_matching::SchemaMatching;
+use uxm_xml::{Schema, SchemaNodeId};
+
+/// Index of a mapping within a [`PossibleMappings`] set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct MappingId(pub u32);
+
+impl MappingId {
+    /// Widens to a `usize` for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One possible mapping `m_i` with its probability `p_i`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mapping {
+    /// Correspondence pairs `(source, target)`, sorted by target element.
+    /// At most one pair per source and per target (one-to-one).
+    pub pairs: Vec<(SchemaNodeId, SchemaNodeId)>,
+    /// The raw assignment score (sum of correspondence scores).
+    pub score: f64,
+    /// Normalized probability; the set sums to 1.
+    pub prob: f64,
+}
+
+impl Mapping {
+    /// The source element mapped to target `t`, if any (binary search).
+    pub fn source_for_target(&self, t: SchemaNodeId) -> Option<SchemaNodeId> {
+        self.pairs
+            .binary_search_by_key(&t, |&(_, tt)| tt)
+            .ok()
+            .map(|i| self.pairs[i].0)
+    }
+
+    /// True iff the mapping contains exactly this pair.
+    pub fn contains_pair(&self, s: SchemaNodeId, t: SchemaNodeId) -> bool {
+        self.source_for_target(t) == Some(s)
+    }
+
+    /// Number of correspondences.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True for the empty mapping.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// A set `M` of possible mappings between two schemas, with probabilities.
+#[derive(Clone, Debug)]
+pub struct PossibleMappings {
+    /// The source schema `S`.
+    pub source: Schema,
+    /// The target schema `T`.
+    pub target: Schema,
+    mappings: Vec<Mapping>,
+}
+
+impl PossibleMappings {
+    /// Derives the top-`h` possible mappings of `matching` using the
+    /// partition-based generator (§V-B) and normalizes probabilities.
+    pub fn top_h(matching: &SchemaMatching, h: usize) -> PossibleMappings {
+        Self::from_ranked(
+            matching.source.clone(),
+            matching.target.clone(),
+            partition_top_h(matching, h),
+        )
+    }
+
+    /// Like [`PossibleMappings::top_h`] but using whole-graph Murty ranking
+    /// (the paper's baseline generator).
+    pub fn top_h_murty(matching: &SchemaMatching, h: usize) -> PossibleMappings {
+        Self::from_ranked(
+            matching.source.clone(),
+            matching.target.clone(),
+            murty_top_h_mappings(matching, h, RankVariant::PascoalLazy),
+        )
+    }
+
+    /// Wraps pre-ranked mappings, normalizing scores into probabilities.
+    /// A zero total score (all mappings empty) falls back to uniform.
+    pub fn from_ranked(
+        source: Schema,
+        target: Schema,
+        ranked: Vec<RankedMapping>,
+    ) -> PossibleMappings {
+        let total: f64 = ranked.iter().map(|r| r.score).sum();
+        let n = ranked.len().max(1);
+        let mappings = ranked
+            .into_iter()
+            .map(|r| Mapping {
+                prob: if total > 0.0 {
+                    r.score / total
+                } else {
+                    1.0 / n as f64
+                },
+                pairs: r.pairs,
+                score: r.score,
+            })
+            .collect();
+        PossibleMappings {
+            source,
+            target,
+            mappings,
+        }
+    }
+
+    /// Builds directly from mappings (tests); normalizes probabilities
+    /// from the given scores.
+    pub fn from_pairs(
+        source: Schema,
+        target: Schema,
+        sets: Vec<(Vec<(SchemaNodeId, SchemaNodeId)>, f64)>,
+    ) -> PossibleMappings {
+        let ranked = sets
+            .into_iter()
+            .map(|(mut pairs, score)| {
+                pairs.sort_by_key(|&(s, t)| (t, s));
+                RankedMapping { pairs, score }
+            })
+            .collect();
+        Self::from_ranked(source, target, ranked)
+    }
+
+    /// Wraps fully-specified mappings verbatim (the storage codec's decode
+    /// path) — scores and probabilities are taken as stored, not
+    /// renormalized.
+    pub fn from_parts(source: Schema, target: Schema, mappings: Vec<Mapping>) -> Self {
+        PossibleMappings {
+            source,
+            target,
+            mappings,
+        }
+    }
+
+    /// Number of mappings (the paper's `|M|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// True when no mappings exist.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mappings.is_empty()
+    }
+
+    /// Borrow a mapping.
+    #[inline]
+    pub fn mapping(&self, id: MappingId) -> &Mapping {
+        &self.mappings[id.idx()]
+    }
+
+    /// Iterate over `(id, mapping)`.
+    pub fn iter(&self) -> impl Iterator<Item = (MappingId, &Mapping)> {
+        self.mappings
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MappingId(i as u32), m))
+    }
+
+    /// All mapping ids.
+    pub fn ids(&self) -> impl Iterator<Item = MappingId> {
+        (0..self.mappings.len() as u32).map(MappingId)
+    }
+
+    /// The source labels that target-label `label` can rewrite to under
+    /// mapping `id`: for every target element labelled `label` that the
+    /// mapping covers, the label of its mapped source element.
+    pub fn source_labels_for(&self, id: MappingId, label: &str) -> Vec<String> {
+        let m = self.mapping(id);
+        let mut out = Vec::new();
+        for t in self.target.nodes_with_label(label) {
+            if let Some(s) = m.source_for_target(t) {
+                out.push(self.source.label(s).to_string());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Node-granularity variant of [`PossibleMappings::source_labels_for`]:
+    /// the source *schema nodes* target-label `label` rewrites to under
+    /// mapping `id`.
+    pub fn source_nodes_for(&self, id: MappingId, label: &str) -> Vec<SchemaNodeId> {
+        let m = self.mapping(id);
+        let mut out: Vec<SchemaNodeId> = self
+            .target
+            .nodes_with_label(label)
+            .into_iter()
+            .filter_map(|t| m.source_for_target(t))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uxm_matching::Matcher;
+
+    fn schemas() -> (Schema, Schema) {
+        (
+            Schema::parse_outline("Order(BillTo(Name) Seller(Name))").unwrap(),
+            Schema::parse_outline("ORDER(INVOICE(CONTACT))").unwrap(),
+        )
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (s, t) = schemas();
+        let matching = Matcher::context().match_schemas(&s, &t);
+        let pm = PossibleMappings::top_h(&matching, 8);
+        assert!(!pm.is_empty());
+        let total: f64 = pm.iter().map(|(_, m)| m.prob).sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn ranked_order_preserved() {
+        let (s, t) = schemas();
+        let matching = Matcher::context().match_schemas(&s, &t);
+        let pm = PossibleMappings::top_h(&matching, 8);
+        let scores: Vec<f64> = pm.iter().map(|(_, m)| m.score).collect();
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn partition_and_murty_generators_agree() {
+        let (s, t) = schemas();
+        let matching = Matcher::context().match_schemas(&s, &t);
+        let a = PossibleMappings::top_h(&matching, 6);
+        let b = PossibleMappings::top_h_murty(&matching, 6);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x.1.score - y.1.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn source_for_target_lookup() {
+        let (s, t) = schemas();
+        let pm = PossibleMappings::from_pairs(
+            s,
+            t,
+            vec![(vec![(SchemaNodeId(0), SchemaNodeId(0)), (SchemaNodeId(2), SchemaNodeId(2))], 1.0)],
+        );
+        let m = pm.mapping(MappingId(0));
+        assert_eq!(m.source_for_target(SchemaNodeId(0)), Some(SchemaNodeId(0)));
+        assert_eq!(m.source_for_target(SchemaNodeId(1)), None);
+        assert!(m.contains_pair(SchemaNodeId(2), SchemaNodeId(2)));
+        assert!(!m.contains_pair(SchemaNodeId(1), SchemaNodeId(2)));
+    }
+
+    #[test]
+    fn source_labels_for_unions_over_duplicate_labels() {
+        let s = Schema::parse_outline("Order(BillTo(Name) Seller(Name))").unwrap();
+        let t = Schema::parse_outline("PO(Inv(CN) Sup(CN))").unwrap();
+        let inv_cn = t.nodes_with_label("CN")[0];
+        let sup_cn = t.nodes_with_label("CN")[1];
+        let bill_name = s.nodes_with_label("Name")[0];
+        let seller_name = s.nodes_with_label("Name")[1];
+        let pm = PossibleMappings::from_pairs(
+            s,
+            t,
+            vec![(vec![(bill_name, inv_cn), (seller_name, sup_cn)], 1.0)],
+        );
+        let labels = pm.source_labels_for(MappingId(0), "CN");
+        assert_eq!(labels, vec!["Name".to_string()]);
+        assert!(pm.source_labels_for(MappingId(0), "Sup").is_empty());
+    }
+
+    #[test]
+    fn uniform_fallback_for_zero_scores() {
+        let (s, t) = schemas();
+        let pm = PossibleMappings::from_pairs(s, t, vec![(vec![], 0.0), (vec![], 0.0)]);
+        assert!((pm.mapping(MappingId(0)).prob - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_pairs_sorts_by_target() {
+        let (s, t) = schemas();
+        let pm = PossibleMappings::from_pairs(
+            s,
+            t,
+            vec![(
+                vec![(SchemaNodeId(2), SchemaNodeId(2)), (SchemaNodeId(0), SchemaNodeId(0))],
+                1.0,
+            )],
+        );
+        let m = pm.mapping(MappingId(0));
+        assert!(m.pairs[0].1 < m.pairs[1].1);
+    }
+}

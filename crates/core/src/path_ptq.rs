@@ -1,0 +1,334 @@
+//! Node-granularity PTQ evaluation.
+//!
+//! The default evaluators ([`crate::ptq`], [`crate::ptq_tree`]) rewrite a
+//! query node's *label*: any source element carrying a rewritten label may
+//! match. That is exact when element labels are unique (as in the paper's
+//! figures, where the three ContactName elements are labelled BCN/RCN/OCN),
+//! but coarser than the mapping itself when labels repeat.
+//!
+//! This module implements the finer semantics: a mapping sends a query
+//! node to specific source *schema nodes*, and only document nodes
+//! instantiating those schema nodes (identified by their root label path
+//! via [`PathIndex`]) may match. This is the reproduction's main extension
+//! beyond the paper's experimental prototype.
+
+use crate::block_tree::BlockTree;
+use crate::mapping::{MappingId, PossibleMappings};
+use crate::ptq::{PtqAnswer, PtqResult};
+use std::collections::HashMap;
+use uxm_twig::{match_twig, ResolvedPattern, TwigMatch, TwigPattern};
+use uxm_xml::{DocNodeId, Document, PathIndex, Schema, SchemaNodeId};
+
+/// Rewrites `q` through mapping `id` at node granularity: per query node,
+/// the source schema nodes it may match. `None` when irrelevant.
+pub fn rewrite_nodes_with_mapping(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    id: MappingId,
+) -> Option<Vec<Vec<SchemaNodeId>>> {
+    let mut sets = Vec::with_capacity(q.len());
+    for node in q.ids() {
+        let nodes = pm.source_nodes_for(id, &q.node(node).label);
+        if nodes.is_empty() {
+            return None;
+        }
+        sets.push(nodes);
+    }
+    Some(sets)
+}
+
+/// Node-granularity rewrite through a raw correspondence set (sorted by
+/// target) — the c-block analogue.
+pub fn rewrite_nodes_with_pairs(
+    q: &TwigPattern,
+    target: &Schema,
+    pairs: &[(SchemaNodeId, SchemaNodeId)],
+) -> Option<Vec<Vec<SchemaNodeId>>> {
+    let source_for = |t: SchemaNodeId| -> Option<SchemaNodeId> {
+        pairs
+            .binary_search_by_key(&t, |&(_, tt)| tt)
+            .ok()
+            .map(|i| pairs[i].0)
+    };
+    let mut sets = Vec::with_capacity(q.len());
+    for node in q.ids() {
+        let mut nodes: Vec<SchemaNodeId> = target
+            .nodes_with_label(&q.node(node).label)
+            .into_iter()
+            .filter_map(source_for)
+            .collect();
+        if nodes.is_empty() {
+            return None;
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        sets.push(nodes);
+    }
+    Some(sets)
+}
+
+/// Maps source schema nodes to the document nodes instantiating them
+/// (matched by root label path).
+pub fn schema_nodes_to_doc(
+    sets: &[Vec<SchemaNodeId>],
+    source: &Schema,
+    index: &PathIndex,
+) -> Vec<Vec<DocNodeId>> {
+    sets.iter()
+        .map(|nodes| {
+            let mut out = Vec::new();
+            for &s in nodes {
+                out.extend_from_slice(index.nodes(&source.path(s).replace('.', "/")));
+            }
+            out
+        })
+        .collect()
+}
+
+/// The node-granularity `filter_mappings`.
+pub fn filter_mappings_nodes(q: &TwigPattern, pm: &PossibleMappings) -> Vec<MappingId> {
+    pm.ids()
+        .filter(|&id| rewrite_nodes_with_mapping(q, pm, id).is_some())
+        .collect()
+}
+
+/// Node-granularity `query_basic`: rewrite and evaluate per mapping.
+pub fn ptq_basic_nodes(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    doc: &Document,
+    index: &PathIndex,
+) -> PtqResult {
+    let ids = filter_mappings_nodes(q, pm);
+    let mut answers = Vec::with_capacity(ids.len());
+    for id in ids {
+        let sets = rewrite_nodes_with_mapping(q, pm, id).expect("filtered");
+        let matches = eval_node_sets(q, &sets, pm, doc, index);
+        answers.push(PtqAnswer {
+            mapping: id,
+            probability: pm.mapping(id).prob,
+            matches,
+        });
+    }
+    PtqResult { answers }
+}
+
+/// Node-granularity PTQ with the block tree: blocks anchored at target
+/// nodes answer once per block; everything else shares work across
+/// mappings whose node-rewrites agree.
+///
+/// Node candidates pin query nodes to exact source elements, so a block's
+/// answer is valid for precisely `b.M` — no label-uniqueness side
+/// condition is needed (unlike the label-mode evaluator).
+pub fn ptq_with_tree_nodes(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    doc: &Document,
+    index: &PathIndex,
+    tree: &BlockTree,
+) -> PtqResult {
+    let ids = filter_mappings_nodes(q, pm);
+
+    // Anchor: the query root's label must denote one target node with
+    // blocks whose subtree spans all query labels (block coverage equals
+    // the mapping's restriction there, so replication is exact).
+    let anchor = anchor_for_nodes(q, &pm.target, tree);
+
+    let mut out: Vec<Option<Vec<TwigMatch>>> = vec![None; ids.len()];
+    if let Some(t) = anchor {
+        let pos: HashMap<MappingId, usize> =
+            ids.iter().enumerate().map(|(k, &id)| (id, k)).collect();
+        for &bid in tree.blocks_at(t) {
+            let b = tree.block(bid);
+            let matches = match rewrite_nodes_with_pairs(q, &pm.target, &b.corrs) {
+                Some(sets) => eval_node_sets(q, &sets, pm, doc, index),
+                None => Vec::new(),
+            };
+            for mid in &b.mappings {
+                if let Some(&k) = pos.get(mid) {
+                    out[k] = Some(matches.clone());
+                }
+            }
+        }
+    }
+
+    // Everything uncovered: group by identical node rewrites.
+    let mut groups: HashMap<Vec<Vec<SchemaNodeId>>, Vec<usize>> = HashMap::new();
+    for (k, &id) in ids.iter().enumerate() {
+        if out[k].is_none() {
+            let sets = rewrite_nodes_with_mapping(q, pm, id).expect("filtered");
+            groups.entry(sets).or_default().push(k);
+        }
+    }
+    for (sets, members) in groups {
+        let matches = eval_node_sets(q, &sets, pm, doc, index);
+        for &k in &members {
+            out[k] = Some(matches.clone());
+        }
+    }
+
+    let answers = ids
+        .iter()
+        .zip(out)
+        .map(|(&id, matches)| PtqAnswer {
+            mapping: id,
+            probability: pm.mapping(id).prob,
+            matches: matches.expect("all slots filled"),
+        })
+        .collect();
+    PtqResult { answers }
+}
+
+fn eval_node_sets(
+    q: &TwigPattern,
+    sets: &[Vec<SchemaNodeId>],
+    pm: &PossibleMappings,
+    doc: &Document,
+    index: &PathIndex,
+) -> Vec<TwigMatch> {
+    let candidates = schema_nodes_to_doc(sets, &pm.source, index);
+    match ResolvedPattern::with_node_candidates(q, candidates) {
+        Some(resolved) => match_twig(doc, &resolved),
+        None => Vec::new(),
+    }
+}
+
+/// Anchor rule for node mode: unique root label with blocks, all query
+/// labels confined to the anchor's subtree.
+fn anchor_for_nodes(q: &TwigPattern, target: &Schema, tree: &BlockTree) -> Option<SchemaNodeId> {
+    let roots = target.nodes_with_label(&q.node(q.root()).label);
+    let [t] = roots.as_slice() else { return None };
+    let t = *t;
+    if !tree.has_blocks(t) {
+        return None;
+    }
+    let mut subtree = target.subtree(t);
+    subtree.sort_unstable();
+    for label in q.labels() {
+        for n in target.nodes_with_label(label) {
+            if subtree.binary_search(&n).is_err() {
+                return None;
+            }
+        }
+    }
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_tree::BlockTreeConfig;
+    use crate::ptq::ptq_basic;
+    use uxm_xml::parse_document;
+
+    /// Shared labels that label-mode cannot tell apart: all three contacts
+    /// are `ContactName`.
+    fn ambiguous_setup() -> (PossibleMappings, Document, PathIndex) {
+        let source = Schema::parse_outline(
+            "Order(BP(BOC(ContactName) ROC(ContactName) OOC(ContactName)))",
+        )
+        .unwrap();
+        let target = Schema::parse_outline("ORDER(IP(ICN))").unwrap();
+        let bp = source.nodes_with_label("BP")[0];
+        let cns = source.nodes_with_label("ContactName");
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let pm = PossibleMappings::from_pairs(
+            source.clone(),
+            target.clone(),
+            vec![
+                (vec![(bp, t("IP")), (cns[0], t("ICN"))], 0.3),
+                (vec![(bp, t("IP")), (cns[1], t("ICN"))], 0.3),
+                (vec![(bp, t("IP")), (cns[2], t("ICN"))], 0.2),
+            ],
+        );
+        let doc = parse_document(
+            "<Order><BP><BOC><ContactName>Cathy</ContactName></BOC>\
+             <ROC><ContactName>Bob</ContactName></ROC>\
+             <OOC><ContactName>Alice</ContactName></OOC></BP></Order>",
+        )
+        .unwrap();
+        let index = PathIndex::new(&doc);
+        (pm, doc, index)
+    }
+
+    #[test]
+    fn node_mode_disambiguates_shared_labels() {
+        let (pm, doc, index) = ambiguous_setup();
+        let q = TwigPattern::parse("//IP//ICN").unwrap();
+        let res = ptq_basic_nodes(&q, &pm, &doc, &index);
+        assert_eq!(res.len(), 3);
+        let names: Vec<&str> = res
+            .iter()
+            .map(|a| {
+                assert_eq!(a.matches.len(), 1, "exactly one contact per mapping");
+                doc.text(a.matches[0].nodes[1]).unwrap()
+            })
+            .collect();
+        assert_eq!(names, ["Cathy", "Bob", "Alice"]);
+    }
+
+    #[test]
+    fn label_mode_merges_shared_labels() {
+        // The contrast: label-granularity returns all three contacts for
+        // every mapping.
+        let (pm, doc, _) = ambiguous_setup();
+        let q = TwigPattern::parse("//IP//ICN").unwrap();
+        let res = ptq_basic(&q, &pm, &doc);
+        assert!(res.iter().all(|a| a.matches.len() == 3));
+    }
+
+    #[test]
+    fn tree_agrees_with_basic_in_node_mode() {
+        let (pm, doc, index) = ambiguous_setup();
+        let tree = BlockTree::build(
+            &pm.target.clone(),
+            &pm,
+            &BlockTreeConfig {
+                tau: 0.4,
+                ..BlockTreeConfig::default()
+            },
+        );
+        for qs in ["//IP//ICN", "//ICN", "ORDER//ICN", "ORDER"] {
+            let q = TwigPattern::parse(qs).unwrap();
+            let mut a = ptq_basic_nodes(&q, &pm, &doc, &index);
+            let mut b = ptq_with_tree_nodes(&q, &pm, &doc, &index, &tree);
+            a.normalize();
+            b.normalize();
+            assert_eq!(a, b, "query {qs}");
+        }
+    }
+
+    #[test]
+    fn node_mode_agrees_with_label_mode_when_labels_unique() {
+        // On unique-label schemas the two semantics coincide.
+        let source = Schema::parse_outline("Ord(A(X) B(Y))").unwrap();
+        let target = Schema::parse_outline("PO(P(Q))").unwrap();
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let pm = PossibleMappings::from_pairs(
+            source.clone(),
+            target.clone(),
+            vec![
+                (vec![(s("A"), t("P")), (s("X"), t("Q"))], 2.0),
+                (vec![(s("B"), t("P")), (s("Y"), t("Q"))], 1.0),
+            ],
+        );
+        let doc = parse_document("<Ord><A><X>1</X></A><B><Y>2</Y></B></Ord>").unwrap();
+        let index = PathIndex::new(&doc);
+        let q = TwigPattern::parse("PO/P/Q").unwrap();
+        let mut by_label = ptq_basic(&q, &pm, &doc);
+        let mut by_node = ptq_basic_nodes(&q, &pm, &doc, &index);
+        by_label.normalize();
+        by_node.normalize();
+        assert_eq!(by_label, by_node);
+    }
+
+    #[test]
+    fn path_index_resolves_instances() {
+        let (_, _doc, index) = ambiguous_setup();
+        assert_eq!(index.nodes("Order/BP/BOC/ContactName").len(), 1);
+        assert_eq!(index.nodes("Order/BP").len(), 1);
+        assert_eq!(index.nodes("Nope").len(), 0);
+        assert!(index.len() >= 7);
+    }
+}

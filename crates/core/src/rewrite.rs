@@ -1,0 +1,136 @@
+//! Target→source query rewriting under a mapping (paper §IV).
+//!
+//! A twig query is posed against the target schema; to evaluate it on a
+//! source document it must be rewritten through a mapping. Rather than
+//! multiplying the query into one pattern per label combination, rewriting
+//! produces, per query node, the *set* of source labels it may match (the
+//! twig engine accepts label sets directly). A mapping that leaves some
+//! query label without any correspondence is *irrelevant* for the query —
+//! the paper's `filter_mappings`.
+
+use crate::mapping::{MappingId, PossibleMappings};
+use uxm_twig::TwigPattern;
+use uxm_xml::{Schema, SchemaNodeId};
+
+/// Rewrites `q` through mapping `id`: per query node, the source labels it
+/// may match. `None` when the mapping is irrelevant for `q`.
+pub fn rewrite_with_mapping(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    id: MappingId,
+) -> Option<Vec<Vec<String>>> {
+    let mut sets = Vec::with_capacity(q.len());
+    for node in q.ids() {
+        let labels = pm.source_labels_for(id, &q.node(node).label);
+        if labels.is_empty() {
+            return None;
+        }
+        sets.push(labels);
+    }
+    Some(sets)
+}
+
+/// Rewrites `q` through a raw correspondence set (sorted by target) — used
+/// for evaluating a query once per c-block (`b.C` acts as a mini-mapping).
+pub fn rewrite_with_pairs(
+    q: &TwigPattern,
+    source: &Schema,
+    target: &Schema,
+    pairs: &[(SchemaNodeId, SchemaNodeId)],
+) -> Option<Vec<Vec<String>>> {
+    let source_for = |t: SchemaNodeId| -> Option<SchemaNodeId> {
+        pairs
+            .binary_search_by_key(&t, |&(_, tt)| tt)
+            .ok()
+            .map(|i| pairs[i].0)
+    };
+    let mut sets = Vec::with_capacity(q.len());
+    for node in q.ids() {
+        let mut labels: Vec<String> = target
+            .nodes_with_label(&q.node(node).label)
+            .into_iter()
+            .filter_map(source_for)
+            .map(|s| source.label(s).to_string())
+            .collect();
+        if labels.is_empty() {
+            return None;
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        sets.push(labels);
+    }
+    Some(sets)
+}
+
+/// The paper's `filter_mappings`: ids of mappings relevant to `q`, in
+/// mapping-id order.
+pub fn filter_mappings(q: &TwigPattern, pm: &PossibleMappings) -> Vec<MappingId> {
+    pm.ids()
+        .filter(|&id| rewrite_with_mapping(q, pm, id).is_some())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> PossibleMappings {
+        let source = Schema::parse_outline("Order(BP(BCN) SP(SCN))").unwrap();
+        let target = Schema::parse_outline("ORDER(IP(ICN))").unwrap();
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        PossibleMappings::from_pairs(
+            source.clone(),
+            target.clone(),
+            vec![
+                (vec![(s("Order"), t("ORDER")), (s("BP"), t("IP")), (s("BCN"), t("ICN"))], 2.0),
+                (vec![(s("Order"), t("ORDER")), (s("SP"), t("IP")), (s("SCN"), t("ICN"))], 1.0),
+                (vec![(s("Order"), t("ORDER"))], 0.5), // maps only the root
+            ],
+        )
+    }
+
+    #[test]
+    fn rewrite_produces_source_labels() {
+        let pm = setup();
+        let q = TwigPattern::parse("ORDER//ICN").unwrap();
+        let sets = rewrite_with_mapping(&q, &pm, MappingId(0)).unwrap();
+        assert_eq!(sets[0], vec!["Order".to_string()]);
+        assert_eq!(sets[1], vec!["BCN".to_string()]);
+        let sets = rewrite_with_mapping(&q, &pm, MappingId(1)).unwrap();
+        assert_eq!(sets[1], vec!["SCN".to_string()]);
+    }
+
+    #[test]
+    fn irrelevant_mapping_is_none() {
+        let pm = setup();
+        let q = TwigPattern::parse("ORDER//ICN").unwrap();
+        assert!(rewrite_with_mapping(&q, &pm, MappingId(2)).is_none());
+    }
+
+    #[test]
+    fn filter_keeps_relevant_only() {
+        let pm = setup();
+        let q = TwigPattern::parse("ORDER//ICN").unwrap();
+        assert_eq!(filter_mappings(&q, &pm), vec![MappingId(0), MappingId(1)]);
+        let q_root = TwigPattern::parse("ORDER").unwrap();
+        assert_eq!(filter_mappings(&q_root, &pm).len(), 3);
+    }
+
+    #[test]
+    fn rewrite_with_pairs_matches_mapping_rewrite() {
+        let pm = setup();
+        let q = TwigPattern::parse("ORDER//ICN").unwrap();
+        let m = pm.mapping(MappingId(0));
+        let a = rewrite_with_mapping(&q, &pm, MappingId(0)).unwrap();
+        let b = rewrite_with_pairs(&q, &pm.source, &pm.target, &m.pairs).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_label_filters_everything() {
+        let pm = setup();
+        let q = TwigPattern::parse("ORDER//NOPE").unwrap();
+        assert!(filter_mappings(&q, &pm).is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Metrics used by the paper's evaluation (§VI): mapping overlap (o-ratio)
+//! and c-block size distributions.
+
+use crate::block_tree::BlockTree;
+use crate::mapping::PossibleMappings;
+use uxm_xml::Schema;
+
+/// The o-ratio of two mappings: `|m_i ∩ m_j| / |m_i ∪ m_j|` over their
+/// correspondence sets.
+pub fn pair_o_ratio(
+    a: &[(uxm_xml::SchemaNodeId, uxm_xml::SchemaNodeId)],
+    b: &[(uxm_xml::SchemaNodeId, uxm_xml::SchemaNodeId)],
+) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    // Both sorted by (target, source) — merge-count the intersection.
+    let mut shared = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match (a[i].1, a[i].0).cmp(&(b[j].1, b[j].0)) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - shared;
+    shared as f64 / union as f64
+}
+
+/// The o-ratio of a mapping set: the average pairwise o-ratio (Table II).
+pub fn o_ratio(pm: &PossibleMappings) -> f64 {
+    let n = pm.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = &pm.mapping(crate::mapping::MappingId(i as u32)).pairs;
+            let b = &pm.mapping(crate::mapping::MappingId(j as u32)).pairs;
+            total += pair_o_ratio(a, b);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Histogram of c-block sizes: `hist[k]` = number of blocks with `k`
+/// correspondences (Fig 9(c)'s distribution).
+pub fn block_size_histogram(tree: &BlockTree) -> Vec<usize> {
+    let max = tree.blocks().iter().map(|b| b.len()).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for b in tree.blocks() {
+        hist[b.len()] += 1;
+    }
+    hist
+}
+
+/// Average c-block size in correspondences (the paper reports 5.33 on D7).
+pub fn avg_block_size(tree: &BlockTree) -> f64 {
+    if tree.block_count() == 0 {
+        return 0.0;
+    }
+    tree.blocks().iter().map(|b| b.len()).sum::<usize>() as f64 / tree.block_count() as f64
+}
+
+/// The fraction of target-schema nodes covered by the largest c-block
+/// (the paper reports 24.7% on D7).
+pub fn max_block_coverage(tree: &BlockTree, target: &Schema) -> f64 {
+    let max = tree.blocks().iter().map(|b| b.len()).max().unwrap_or(0);
+    max as f64 / target.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_tree::BlockTreeConfig;
+    use uxm_xml::SchemaNodeId;
+
+    fn id(i: u32) -> SchemaNodeId {
+        SchemaNodeId(i)
+    }
+
+    #[test]
+    fn pair_o_ratio_cases() {
+        let a = vec![(id(1), id(1)), (id(2), id(2))];
+        let b = vec![(id(1), id(1)), (id(3), id(3))];
+        assert!((pair_o_ratio(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pair_o_ratio(&a, &a), 1.0);
+        assert_eq!(pair_o_ratio(&a, &[]), 0.0);
+        assert_eq!(pair_o_ratio(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn o_ratio_of_identical_mappings_is_one() {
+        let source = uxm_xml::Schema::parse_outline("S(A)").unwrap();
+        let target = uxm_xml::Schema::parse_outline("T(B)").unwrap();
+        let pairs = vec![(id(1), id(1))];
+        let pm = PossibleMappings::from_pairs(
+            source,
+            target,
+            vec![(pairs.clone(), 1.0), (pairs, 1.0)],
+        );
+        assert_eq!(o_ratio(&pm), 1.0);
+    }
+
+    #[test]
+    fn histogram_and_avg() {
+        let source = uxm_xml::Schema::parse_outline("O(A B)").unwrap();
+        let target = uxm_xml::Schema::parse_outline("R(X Y)").unwrap();
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let pm = PossibleMappings::from_pairs(
+            source.clone(),
+            target.clone(),
+            vec![
+                (vec![(s("A"), t("X")), (s("B"), t("Y"))], 1.0),
+                (vec![(s("A"), t("X")), (s("B"), t("Y"))], 1.0),
+            ],
+        );
+        let tree = crate::block_tree::BlockTree::build(
+            &target,
+            &pm,
+            &BlockTreeConfig::default(),
+        );
+        let hist = block_size_histogram(&tree);
+        assert_eq!(hist.iter().sum::<usize>(), tree.block_count());
+        assert!(avg_block_size(&tree) >= 1.0);
+        assert!(max_block_coverage(&tree, &target) > 0.0);
+    }
+}

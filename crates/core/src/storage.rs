@@ -1,0 +1,425 @@
+//! Binary storage for mapping sets — plain and block-compressed.
+//!
+//! The paper's compression ratio (§VI-2) is a storage metric; this module
+//! makes it concrete: a mapping set can be serialized *verbatim*
+//! ([`encode_plain`]) or *through its block tree* ([`encode_compressed`]):
+//! blocks are stored once, and each mapping stores block pointers plus
+//! residual correspondences (the output of
+//! [`crate::compress::compress`]). Both decode back to an identical
+//! [`PossibleMappings`].
+//!
+//! The format uses LEB128 varints for ids and counts, so the on-disk sizes
+//! reflect genuine entropy, not padding.
+
+use crate::block::Block;
+use crate::block_tree::BlockTree;
+use crate::compress::compress;
+use crate::mapping::{Mapping, MappingId, PossibleMappings};
+use std::fmt;
+use uxm_xml::{Schema, SchemaNodeId};
+
+const MAGIC_PLAIN: &[u8; 4] = b"UXM0";
+const MAGIC_BLOCK: &[u8; 4] = b"UXM1";
+
+/// Decode failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic bytes or format mismatch.
+    BadMagic,
+    /// Input ended mid-value.
+    Truncated,
+    /// A stored id exceeds the schema / block table bounds.
+    IdOutOfRange,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic / wrong format"),
+            DecodeError::Truncated => write!(f, "truncated input"),
+            DecodeError::IdOutOfRange => write!(f, "stored id out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes the mapping set verbatim.
+pub fn encode_plain(pm: &PossibleMappings) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_PLAIN);
+    put_varint(&mut out, pm.len() as u64);
+    for (_, m) in pm.iter() {
+        out.extend_from_slice(&m.score.to_le_bits_bytes());
+        out.extend_from_slice(&m.prob.to_le_bits_bytes());
+        put_varint(&mut out, m.pairs.len() as u64);
+        for &(s, t) in &m.pairs {
+            put_varint(&mut out, s.0 as u64);
+            put_varint(&mut out, t.0 as u64);
+        }
+    }
+    out
+}
+
+/// Deserializes a verbatim mapping set (schemas travel out of band — they
+/// are part of the matching, not the mapping set).
+pub fn decode_plain(
+    bytes: &[u8],
+    source: Schema,
+    target: Schema,
+) -> Result<PossibleMappings, DecodeError> {
+    let mut r = Reader::new(bytes);
+    r.expect_magic(MAGIC_PLAIN)?;
+    let n = r.varint()? as usize;
+    let mut mappings = Vec::with_capacity(n);
+    for _ in 0..n {
+        let score = r.f64()?;
+        let prob = r.f64()?;
+        let pairs = r.pairs(source.len(), target.len())?;
+        mappings.push(Mapping { pairs, score, prob });
+    }
+    r.finish()?;
+    Ok(PossibleMappings::from_parts(source, target, mappings))
+}
+
+/// Serializes the mapping set through its block tree: blocks once,
+/// then per mapping (score, prob, block pointers, residual pairs).
+pub fn encode_compressed(pm: &PossibleMappings, tree: &BlockTree) -> Vec<u8> {
+    let cm = compress(pm, tree);
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_BLOCK);
+    put_varint(&mut out, tree.min_support as u64);
+    put_varint(&mut out, tree.blocks().len() as u64);
+    for b in tree.blocks() {
+        put_varint(&mut out, b.anchor.0 as u64);
+        put_varint(&mut out, b.corrs.len() as u64);
+        for &(s, t) in &b.corrs {
+            put_varint(&mut out, s.0 as u64);
+            put_varint(&mut out, t.0 as u64);
+        }
+        put_varint(&mut out, b.mappings.len() as u64);
+        for &m in &b.mappings {
+            put_varint(&mut out, m.0 as u64);
+        }
+    }
+    put_varint(&mut out, pm.len() as u64);
+    for (mid, m) in pm.iter() {
+        let c = &cm.mappings[mid.idx()];
+        out.extend_from_slice(&m.score.to_le_bits_bytes());
+        out.extend_from_slice(&m.prob.to_le_bits_bytes());
+        put_varint(&mut out, c.blocks.len() as u64);
+        for &b in &c.blocks {
+            put_varint(&mut out, b.0 as u64);
+        }
+        put_varint(&mut out, c.residual.len() as u64);
+        for &(s, t) in &c.residual {
+            put_varint(&mut out, s.0 as u64);
+            put_varint(&mut out, t.0 as u64);
+        }
+    }
+    out
+}
+
+/// Deserializes a block-compressed mapping set, reconstructing both the
+/// block tree and the full mappings.
+pub fn decode_compressed(
+    bytes: &[u8],
+    source: Schema,
+    target: Schema,
+) -> Result<(PossibleMappings, BlockTree), DecodeError> {
+    let mut r = Reader::new(bytes);
+    r.expect_magic(MAGIC_BLOCK)?;
+    let min_support = r.varint()? as usize;
+    let n_blocks = r.varint()? as usize;
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let anchor = r.varint()? as u32;
+        if anchor as usize >= target.len() {
+            return Err(DecodeError::IdOutOfRange);
+        }
+        let corrs = r.pairs(source.len(), target.len())?;
+        let n_m = r.varint()? as usize;
+        let mut mappings = Vec::with_capacity(n_m);
+        for _ in 0..n_m {
+            mappings.push(MappingId(r.varint()? as u32));
+        }
+        blocks.push(Block {
+            anchor: SchemaNodeId(anchor),
+            corrs,
+            mappings,
+        });
+    }
+    let tree = BlockTree::from_blocks(&target, blocks, min_support);
+
+    let n = r.varint()? as usize;
+    let mut mappings = Vec::with_capacity(n);
+    for _ in 0..n {
+        let score = r.f64()?;
+        let prob = r.f64()?;
+        let n_b = r.varint()? as usize;
+        let mut pairs: Vec<(SchemaNodeId, SchemaNodeId)> = Vec::new();
+        for _ in 0..n_b {
+            let b = r.varint()? as usize;
+            let block = tree
+                .blocks()
+                .get(b)
+                .ok_or(DecodeError::IdOutOfRange)?;
+            pairs.extend_from_slice(&block.corrs);
+        }
+        pairs.extend(r.pairs(source.len(), target.len())?);
+        pairs.sort_by_key(|&(s, t)| (t, s));
+        pairs.dedup();
+        mappings.push(Mapping { pairs, score, prob });
+    }
+    r.finish()?;
+    Ok((
+        PossibleMappings::from_parts(source, target, mappings),
+        tree,
+    ))
+}
+
+/// Measured on-disk compression ratio: `1 - compressed / plain`.
+pub fn measured_compression_ratio(pm: &PossibleMappings, tree: &BlockTree) -> f64 {
+    let plain = encode_plain(pm).len() as f64;
+    let compressed = encode_compressed(pm, tree).len() as f64;
+    1.0 - compressed / plain
+}
+
+// ---------------------------------------------------------------------
+// varint plumbing
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+trait F64Bytes {
+    fn to_le_bits_bytes(self) -> [u8; 8];
+}
+
+impl F64Bytes for f64 {
+    fn to_le_bits_bytes(self) -> [u8; 8] {
+        self.to_bits().to_le_bytes()
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn expect_magic(&mut self, magic: &[u8; 4]) -> Result<(), DecodeError> {
+        if self.bytes.len() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        if &self.bytes[..4] != magic {
+            return Err(DecodeError::BadMagic);
+        }
+        self.pos = 4;
+        Ok(())
+    }
+
+    fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0;
+        loop {
+            let byte = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+            self.pos += 1;
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(DecodeError::Truncated);
+            }
+        }
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        let end = self.pos + 8;
+        let slice = self.bytes.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(
+            slice.try_into().expect("8 bytes"),
+        )))
+    }
+
+    fn pairs(
+        &mut self,
+        n_source: usize,
+        n_target: usize,
+    ) -> Result<Vec<(SchemaNodeId, SchemaNodeId)>, DecodeError> {
+        let n = self.varint()? as usize;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let s = self.varint()? as u32;
+            let t = self.varint()? as u32;
+            if s as usize >= n_source || t as usize >= n_target {
+                return Err(DecodeError::IdOutOfRange);
+            }
+            out.push((SchemaNodeId(s), SchemaNodeId(t)));
+        }
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Truncated)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_tree::BlockTreeConfig;
+    use uxm_matching::Matcher;
+
+    fn workload() -> (PossibleMappings, BlockTree) {
+        let source = Schema::parse_outline(
+            "Order(Buyer(Name Contact(EMail)) POLine(LineNo Quantity UnitPrice))",
+        )
+        .unwrap();
+        let target = Schema::parse_outline(
+            "PO(Purchaser(PName PContact(PEMail)) Line(No Qty Amount))",
+        )
+        .unwrap();
+        let matching = Matcher::context().match_schemas(&source, &target);
+        let pm = PossibleMappings::top_h(&matching, 24);
+        let tree = BlockTree::build(&target, &pm, &BlockTreeConfig::default());
+        (pm, tree)
+    }
+
+    fn assert_same_mappings(a: &PossibleMappings, b: &PossibleMappings) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.1, y.1);
+        }
+    }
+
+    #[test]
+    fn plain_roundtrip() {
+        let (pm, _) = workload();
+        let bytes = encode_plain(&pm);
+        let back = decode_plain(&bytes, pm.source.clone(), pm.target.clone()).unwrap();
+        assert_same_mappings(&pm, &back);
+    }
+
+    #[test]
+    fn compressed_roundtrip_restores_mappings_and_tree() {
+        let (pm, tree) = workload();
+        let bytes = encode_compressed(&pm, &tree);
+        let (back, back_tree) =
+            decode_compressed(&bytes, pm.source.clone(), pm.target.clone()).unwrap();
+        assert_same_mappings(&pm, &back);
+        assert_eq!(tree.blocks(), back_tree.blocks());
+        assert_eq!(tree.min_support, back_tree.min_support);
+        // rebuilt index answers lookups
+        for b in tree.blocks() {
+            assert!(back_tree.has_blocks(b.anchor));
+        }
+    }
+
+    #[test]
+    fn compressed_is_smaller_on_overlapping_sets() {
+        // A heavily-overlapping set (the regime the paper targets): a
+        // shared 9-element subtree across 60 mappings varying in one leaf.
+        let source =
+            Schema::parse_outline("O(A0 A1 A2 A3 A4 A5 A6 A7 A8 B1 B2)").unwrap();
+        let target = Schema::parse_outline("R(X(C1 C2 C3 C4 C5 C6 C7 C8) Y)").unwrap();
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let mut shared = vec![(s("A0"), t("X"))];
+        for i in 1..=8 {
+            shared.push((s(&format!("A{i}")), t(&format!("C{i}"))));
+        }
+        let sets = (0..60)
+            .map(|i| {
+                let mut pairs = shared.clone();
+                pairs.push((s(if i % 2 == 0 { "B1" } else { "B2" }), t("Y")));
+                (pairs, 1.0 + i as f64 * 0.01)
+            })
+            .collect();
+        let pm = PossibleMappings::from_pairs(source, target.clone(), sets);
+        let tree = BlockTree::build(&target, &pm, &BlockTreeConfig::default());
+        let ratio = measured_compression_ratio(&pm, &tree);
+        assert!(
+            ratio > 0.1,
+            "expected on-disk savings, got ratio {ratio:.3} \
+             (plain {} vs compressed {})",
+            encode_plain(&pm).len(),
+            encode_compressed(&pm, &tree).len()
+        );
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let (pm, tree) = workload();
+        let plain = encode_plain(&pm);
+        assert_eq!(
+            decode_compressed(&plain, pm.source.clone(), pm.target.clone()).unwrap_err(),
+            DecodeError::BadMagic
+        );
+        let compressed = encode_compressed(&pm, &tree);
+        assert_eq!(
+            decode_plain(&compressed, pm.source.clone(), pm.target.clone()).unwrap_err(),
+            DecodeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let (pm, _) = workload();
+        let bytes = encode_plain(&pm);
+        for cut in [3, bytes.len() / 2, bytes.len() - 1] {
+            let err =
+                decode_plain(&bytes[..cut], pm.source.clone(), pm.target.clone()).unwrap_err();
+            assert_eq!(err, DecodeError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn detects_out_of_range_ids() {
+        let (pm, _) = workload();
+        let bytes = encode_plain(&pm);
+        // shrink the target schema so stored ids overflow it
+        let tiny = Schema::parse_outline("X").unwrap();
+        let err = decode_plain(&bytes, pm.source.clone(), tiny).unwrap_err();
+        assert_eq!(err, DecodeError::IdOutOfRange);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (pm, _) = workload();
+        let mut bytes = encode_plain(&pm);
+        bytes.push(0xFF);
+        let err = decode_plain(&bytes, pm.source.clone(), pm.target.clone()).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.finish().is_ok());
+        }
+    }
+}

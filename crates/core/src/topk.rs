@@ -1,0 +1,121 @@
+//! Top-k probabilistic twig queries (Definition 5, §IV-C).
+//!
+//! Only the k answer tuples with the highest probabilities are wanted. As
+//! the paper observes, those must come from the k most-probable *relevant*
+//! mappings, so the mapping set is pruned right after `filter_mappings` —
+//! before any query evaluation happens.
+
+use crate::block_tree::BlockTree;
+use crate::mapping::{MappingId, PossibleMappings};
+use crate::ptq::PtqResult;
+use crate::ptq_tree::ptq_with_tree_over;
+use crate::rewrite::filter_mappings;
+use uxm_twig::TwigPattern;
+use uxm_xml::Document;
+
+/// Evaluates a top-k PTQ with the block tree: filter, keep the k
+/// most-probable mappings, then evaluate only those.
+pub fn topk_ptq(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    doc: &Document,
+    tree: &BlockTree,
+    k: usize,
+) -> PtqResult {
+    let ids = topk_mappings(q, pm, k);
+    let mut res = ptq_with_tree_over(q, pm, doc, tree, &ids);
+    res.answers
+        .sort_by(|a, b| b.probability.total_cmp(&a.probability).then(a.mapping.cmp(&b.mapping)));
+    res
+}
+
+/// The k most-probable relevant mappings for `q` (ties broken by id).
+pub fn topk_mappings(q: &TwigPattern, pm: &PossibleMappings, k: usize) -> Vec<MappingId> {
+    let mut ids = filter_mappings(q, pm);
+    ids.sort_by(|&a, &b| {
+        pm.mapping(b)
+            .prob
+            .total_cmp(&pm.mapping(a).prob)
+            .then(a.cmp(&b))
+    });
+    ids.truncate(k);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_tree::{BlockTree, BlockTreeConfig};
+    use crate::ptq::ptq_basic;
+    use uxm_xml::{parse_document, Schema};
+
+    fn setup() -> (PossibleMappings, Document, BlockTree) {
+        let source = Schema::parse_outline("Order(BP(BCN RCN OCN))").unwrap();
+        let target = Schema::parse_outline("ORDER(IP(ICN))").unwrap();
+        let s = |l: &str| source.nodes_with_label(l)[0];
+        let t = |l: &str| target.nodes_with_label(l)[0];
+        let pm = PossibleMappings::from_pairs(
+            source.clone(),
+            target.clone(),
+            vec![
+                (vec![(s("BP"), t("IP")), (s("BCN"), t("ICN"))], 3.0),
+                (vec![(s("BP"), t("IP")), (s("RCN"), t("ICN"))], 2.0),
+                (vec![(s("BP"), t("IP")), (s("OCN"), t("ICN"))], 1.0),
+            ],
+        );
+        let doc = parse_document(
+            "<Order><BP><BCN>Cathy</BCN><RCN>Bob</RCN><OCN>Alice</OCN></BP></Order>",
+        )
+        .unwrap();
+        let tree = BlockTree::build(&pm.target.clone(), &pm, &BlockTreeConfig::default());
+        (pm, doc, tree)
+    }
+
+    #[test]
+    fn returns_k_highest_probability_answers() {
+        let (pm, doc, tree) = setup();
+        let q = TwigPattern::parse("//IP//ICN").unwrap();
+        let res = topk_ptq(&q, &pm, &doc, &tree, 2);
+        assert_eq!(res.len(), 2);
+        assert!(res.answers[0].probability >= res.answers[1].probability);
+        assert!((res.answers[0].probability - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_mappings_returns_all() {
+        let (pm, doc, tree) = setup();
+        let q = TwigPattern::parse("//IP//ICN").unwrap();
+        let res = topk_ptq(&q, &pm, &doc, &tree, 10);
+        assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn topk_answers_subset_of_full_ptq() {
+        let (pm, doc, tree) = setup();
+        let q = TwigPattern::parse("//IP//ICN").unwrap();
+        let full = ptq_basic(&q, &pm, &doc);
+        let top = topk_ptq(&q, &pm, &doc, &tree, 2);
+        for a in top.iter() {
+            let in_full = full
+                .iter()
+                .find(|f| f.mapping == a.mapping)
+                .expect("top-k answer exists in full result");
+            assert_eq!(in_full.matches, a.matches);
+        }
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let (pm, doc, tree) = setup();
+        let q = TwigPattern::parse("//IP//ICN").unwrap();
+        assert!(topk_ptq(&q, &pm, &doc, &tree, 0).is_empty());
+    }
+
+    #[test]
+    fn pruning_happens_before_evaluation() {
+        let (pm, _, _) = setup();
+        let q = TwigPattern::parse("//IP//ICN").unwrap();
+        let ids = topk_mappings(&q, &pm, 1);
+        assert_eq!(ids, vec![MappingId(0)], "highest-probability mapping kept");
+    }
+}

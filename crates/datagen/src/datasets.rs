@@ -1,0 +1,164 @@
+//! The D1–D10 dataset family (paper Table II).
+//!
+//! Each dataset pairs two generated standard schemas and runs the
+//! composite matcher with the option (`f`ragment / `c`ontext) Table II
+//! lists. The published statistics (|S|, |T|, capacity, o-ratio) are kept
+//! alongside so the reproduction harness can print paper-vs-measured.
+
+use crate::schema_gen::{generate_schema, Standard};
+use uxm_matching::{MatchStrategy, Matcher, SchemaMatching};
+
+/// Identifiers for the ten matchings of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum DatasetId {
+    D1, D2, D3, D4, D5, D6, D7, D8, D9, D10,
+}
+
+impl DatasetId {
+    /// All ten ids, in order.
+    pub fn all() -> [DatasetId; 10] {
+        use DatasetId::*;
+        [D1, D2, D3, D4, D5, D6, D7, D8, D9, D10]
+    }
+
+    /// The display name (`D1` … `D10`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::D1 => "D1",
+            DatasetId::D2 => "D2",
+            DatasetId::D3 => "D3",
+            DatasetId::D4 => "D4",
+            DatasetId::D5 => "D5",
+            DatasetId::D6 => "D6",
+            DatasetId::D7 => "D7",
+            DatasetId::D8 => "D8",
+            DatasetId::D9 => "D9",
+            DatasetId::D10 => "D10",
+        }
+    }
+
+    /// `(source standard, target standard, matcher option)` per Table II.
+    pub fn spec(self) -> (Standard, Standard, MatchStrategy) {
+        use MatchStrategy::{Context, Fragment};
+        use Standard::*;
+        match self {
+            DatasetId::D1 => (Excel, Noris, Fragment),
+            DatasetId::D2 => (Excel, Paragon, Context),
+            DatasetId::D3 => (Excel, Paragon, Fragment),
+            DatasetId::D4 => (Noris, Paragon, Context),
+            DatasetId::D5 => (Noris, Paragon, Fragment),
+            DatasetId::D6 => (OpenTrans, Apertum, Context),
+            DatasetId::D7 => (Xcbl, Apertum, Context),
+            DatasetId::D8 => (Xcbl, Cidx, Context),
+            DatasetId::D9 => (Xcbl, OpenTrans, Context),
+            DatasetId::D10 => (OpenTrans, Xcbl, Context),
+        }
+    }
+
+    /// Paper-reported `(|S|, |T|, capacity, o-ratio)` for Table II.
+    pub fn paper_row(self) -> (usize, usize, usize, f64) {
+        match self {
+            DatasetId::D1 => (48, 66, 30, 0.79),
+            DatasetId::D2 => (48, 69, 47, 0.63),
+            DatasetId::D3 => (48, 69, 31, 0.57),
+            DatasetId::D4 => (66, 69, 41, 0.64),
+            DatasetId::D5 => (66, 69, 21, 0.53),
+            DatasetId::D6 => (247, 166, 77, 0.87),
+            DatasetId::D7 => (1076, 166, 226, 0.84),
+            DatasetId::D8 => (1076, 39, 127, 0.82),
+            DatasetId::D9 => (1076, 247, 619, 0.91),
+            DatasetId::D10 => (247, 1076, 619, 0.91),
+        }
+    }
+}
+
+/// A loaded dataset: the two schemas plus the matcher's output.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Which Table II row this is.
+    pub id: DatasetId,
+    /// The schema matching (owns clones of both schemas).
+    pub matching: SchemaMatching,
+}
+
+impl Dataset {
+    /// Generates the dataset deterministically (schemas seeded per id).
+    pub fn load(id: DatasetId) -> Dataset {
+        let (src_std, tgt_std, strategy) = id.spec();
+        let (s_size, t_size, _, _) = id.paper_row();
+        let seed = 0xD5 + id as u64;
+        let source = generate_schema(src_std, s_size, seed);
+        let target = generate_schema(tgt_std, t_size, seed.wrapping_add(101));
+        let matcher = match strategy {
+            MatchStrategy::Fragment => Matcher::fragment(),
+            MatchStrategy::Context => Matcher::context(),
+        };
+        let matching = matcher.match_schemas(&source, &target);
+        Dataset { id, matching }
+    }
+
+    /// Loads all ten datasets (D7 and the XCBL pairs take the longest).
+    pub fn load_all() -> Vec<Dataset> {
+        DatasetId::all().into_iter().map(Dataset::load).collect()
+    }
+
+    /// Measured capacity (# correspondences).
+    pub fn capacity(&self) -> usize {
+        self.matching.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d7_shapes_match_paper() {
+        let d = Dataset::load(DatasetId::D7);
+        assert_eq!(d.matching.source.len(), 1076);
+        assert_eq!(d.matching.target.len(), 166);
+        // Capacity will not equal 226 exactly, but must be in a sane band:
+        // sparse (far below |S|x|T|) yet non-trivial.
+        let cap = d.capacity();
+        assert!(cap > 50, "capacity {cap} too small");
+        assert!(cap < 700, "capacity {cap} too large");
+    }
+
+    #[test]
+    fn all_datasets_load_with_nonempty_matchings() {
+        for id in DatasetId::all() {
+            let d = Dataset::load(id);
+            assert!(!d.matching.is_empty(), "{} empty", id.name());
+            let (s, t, _, _) = id.paper_row();
+            assert_eq!(d.matching.source.len(), s, "{}", id.name());
+            assert_eq!(d.matching.target.len(), t, "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn loading_is_deterministic() {
+        let a = Dataset::load(DatasetId::D4);
+        let b = Dataset::load(DatasetId::D4);
+        assert_eq!(a.capacity(), b.capacity());
+        assert_eq!(
+            a.matching.correspondences().len(),
+            b.matching.correspondences().len()
+        );
+    }
+
+    #[test]
+    fn query_backbone_is_matched_in_d7() {
+        // The XCBL backbone must produce candidates for query-relevant
+        // Apertum targets, or Q1-Q10 would be unanswerable.
+        let d = Dataset::load(DatasetId::D7);
+        let target = &d.matching.target;
+        for label in ["DeliverTo", "POLine", "Quantity", "UnitPrice", "LineNo"] {
+            let t = target.nodes_with_label(label)[0];
+            assert!(
+                !d.matching.candidates_for_target(t).is_empty(),
+                "no candidates for target {label}"
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # uxm-datagen — synthetic workloads reproducing the paper's Table II
+//!
+//! The paper evaluates on real e-commerce schemas (XCBL, OpenTrans,
+//! Apertum, CIDX, Excel, Noris, Paragon) matched by COMA++, plus the XCBL
+//! sample document `Order.xml`. None of those artifacts are
+//! redistributable, so this crate generates stand-ins with the *published
+//! statistics*: schema sizes, matcher options, correspondence capacities,
+//! and mapping overlap (o-ratio) in the ranges of Table II.
+//!
+//! * [`vocab`] — an e-commerce concept vocabulary with per-standard naming
+//!   styles, so that name-based matching behaves like it does on the real
+//!   standards,
+//! * [`schema_gen`] — seeded schema generation: a purchase-order backbone
+//!   (which the paper's queries Q1–Q10 address) plus filler subtrees up to
+//!   the published element counts,
+//! * [`datasets`] — the D1–D10 dataset family,
+//! * [`queries`] — the Q1–Q10 query workload (Table III).
+
+pub mod datasets;
+pub mod queries;
+pub mod schema_gen;
+pub mod vocab;
+
+pub use datasets::{Dataset, DatasetId};
+pub use queries::paper_queries;

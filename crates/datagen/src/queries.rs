@@ -1,0 +1,87 @@
+//! The Q1–Q10 query workload (paper Table III).
+//!
+//! The queries are posed on D7's target schema (Apertum). Table III
+//! abbreviates `BuyerPartID` as `BPID` and `UnitPrice` as `UP`; here the
+//! full element names are used, and the `LineNO` typo of Q6 is normalized.
+
+use uxm_twig::TwigPattern;
+
+/// The ten PTQs of Table III, in order.
+pub const PAPER_QUERIES: [&str; 10] = [
+    // Q1
+    "Order/DeliverTo/Address[./City][./Country]/Street",
+    // Q2
+    "Order/DeliverTo/Contact/EMail",
+    // Q3
+    "Order/DeliverTo[./Address/City]/Contact/EMail",
+    // Q4
+    "Order/POLine[./LineNo]//UnitPrice",
+    // Q5
+    "Order/POLine[./LineNo][.//UnitPrice]/Quantity",
+    // Q6
+    "Order/POLine[./BuyerPartID][./LineNo][.//UnitPrice]/Quantity",
+    // Q7 (the paper's default analysis query is D7/Q7)
+    "Order[./DeliverTo//Street]/POLine[.//BuyerPartID][.//UnitPrice]/Quantity",
+    // Q8
+    "Order[./DeliverTo[.//EMail]//Street]/POLine[.//UnitPrice]/Quantity",
+    // Q9
+    "Order[./Buyer/Contact]/POLine[.//BuyerPartID]/Quantity",
+    // Q10 (used for the τ / |M| / top-k sweeps)
+    "Order[./Buyer/Contact][./DeliverTo//City]//BuyerPartID",
+];
+
+/// Parses all ten queries.
+pub fn paper_queries() -> Vec<TwigPattern> {
+    PAPER_QUERIES
+        .iter()
+        .map(|s| TwigPattern::parse(s).expect("paper query parses"))
+        .collect()
+}
+
+/// Parses one query by 1-based index (Q1..Q10).
+pub fn paper_query(n: usize) -> TwigPattern {
+    assert!((1..=10).contains(&n), "queries are Q1..Q10");
+    TwigPattern::parse(PAPER_QUERIES[n - 1]).expect("paper query parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{Dataset, DatasetId};
+
+    #[test]
+    fn all_queries_parse() {
+        let qs = paper_queries();
+        assert_eq!(qs.len(), 10);
+        for (i, q) in qs.iter().enumerate() {
+            assert!(q.len() >= 3, "Q{} too small", i + 1);
+        }
+    }
+
+    #[test]
+    fn query_labels_exist_in_d7_target() {
+        let d = Dataset::load(DatasetId::D7);
+        let target = &d.matching.target;
+        for (i, q) in paper_queries().iter().enumerate() {
+            for label in q.labels() {
+                assert!(
+                    !target.nodes_with_label(label).is_empty(),
+                    "Q{}: label {label} missing from Apertum",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_query_index_bounds() {
+        assert_eq!(paper_query(1).node(paper_query(1).root()).label, "Order");
+        assert_eq!(paper_query(10).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q1..Q10")]
+    fn paper_query_zero_panics() {
+        paper_query(0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Seeded schema generation per e-commerce standard.
+//!
+//! Each standard has a hand-authored purchase-order *backbone* (the
+//! concepts the paper's queries address, §VI Table III) in its own naming
+//! style, padded with seeded *filler* subtrees up to the element count
+//! published in Table II. Filler names draw from a shared e-commerce token
+//! pool, so cross-standard filler occasionally matches — keeping the
+//! matching bipartite sparse but non-trivial, as observed in the paper.
+
+use crate::vocab::{NamingStyle, FILLER_TOKENS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uxm_xml::Schema;
+
+/// The e-commerce standards of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Standard {
+    /// XCBL (www.xcbl.org) — `UPPER_SNAKE`, the largest schema (1076).
+    Xcbl,
+    /// OpenTrans (www.opentrans.org) — `UPPER_SNAKE`, different synonyms.
+    OpenTrans,
+    /// Apertum — `CamelCase`; the target of D6/D7 and of queries Q1–Q10.
+    Apertum,
+    /// CIDX — abbreviated camel case, the smallest schema (39).
+    Cidx,
+    /// Excel export — `lowerCamel`.
+    Excel,
+    /// Noris — `CamelCase` with purchase-flavoured synonyms.
+    Noris,
+    /// Paragon — `CamelCase` with vendor-flavoured synonyms.
+    Paragon,
+}
+
+impl Standard {
+    /// The naming style used for filler elements.
+    pub fn style(self) -> NamingStyle {
+        match self {
+            Standard::Xcbl | Standard::OpenTrans => NamingStyle::UpperSnake,
+            Standard::Apertum | Standard::Noris | Standard::Paragon => NamingStyle::CamelCase,
+            Standard::Cidx => NamingStyle::CamelAbbrev,
+            Standard::Excel => NamingStyle::LowerCamel,
+        }
+    }
+
+    /// The element count Table II reports for this standard.
+    pub fn paper_size(self) -> usize {
+        match self {
+            Standard::Xcbl => 1076,
+            Standard::OpenTrans => 247,
+            Standard::Apertum => 166,
+            Standard::Cidx => 39,
+            Standard::Excel => 48,
+            Standard::Noris => 66,
+            Standard::Paragon => 69,
+        }
+    }
+
+    /// Display name matching Table II.
+    pub fn name(self) -> &'static str {
+        match self {
+            Standard::Xcbl => "XCBL",
+            Standard::OpenTrans => "OT",
+            Standard::Apertum => "Apertum",
+            Standard::Cidx => "CIDX",
+            Standard::Excel => "Excel",
+            Standard::Noris => "Noris",
+            Standard::Paragon => "Paragon",
+        }
+    }
+
+    /// The hand-authored purchase-order backbone in outline syntax.
+    ///
+    /// `*` marks repeatable elements (drives document generation).
+    pub fn backbone(self) -> &'static str {
+        match self {
+            Standard::Xcbl => {
+                "ORDER(\
+                 ORDER_HEADER(ORDER_DATE ORDER_NUMBER CURRENCY LANGUAGE) \
+                 BUYER_PARTY(PARTY_ID NAME CONTACT(CONTACT_NAME E_MAIL PHONE)) \
+                 SELLER_PARTY(PARTY_ID NAME CONTACT(CONTACT_NAME E_MAIL)) \
+                 INVOICE_PARTY(PARTY_ID CONTACT(CONTACT_NAME E_MAIL)) \
+                 DELIVER_TO(ADDRESS(STREET CITY POSTAL_CODE COUNTRY) \
+                   CONTACT(CONTACT_NAME E_MAIL)) \
+                 PO_LINE*(LINE_NO BUYER_PART_ID DESCRIPTION QUANTITY UNIT_PRICE \
+                   DELIVERY_DATE) \
+                 ORDER_SUMMARY(TOTAL_AMOUNT TAX_AMOUNT LINE_COUNT))"
+            }
+            Standard::OpenTrans => {
+                "ORDER(\
+                 ORDER_INFO(ORDER_DATE ORDER_ID CURRENCY) \
+                 ORDER_PARTIES(\
+                   BUYER_PARTY(PARTY_ID NAME CONTACT(CONTACT_NAME EMAIL)) \
+                   SUPPLIER_PARTY(PARTY_ID NAME) \
+                   INVOICE_PARTY(PARTY_ID CONTACT_NAME) \
+                   DELIVERY_PARTY(ADDRESS(STREET CITY ZIP COUNTRY))) \
+                 ORDER_ITEM_LIST(ORDER_ITEM*(\
+                   LINE_ITEM_ID ARTICLE_ID(SUPPLIER_AID BUYER_AID DESCRIPTION_SHORT) \
+                   QUANTITY ORDER_UNIT ARTICLE_PRICE(PRICE_AMOUNT PRICE_CURRENCY))) \
+                 ORDER_SUMMARY(TOTAL_ITEM_NUM TOTAL_AMOUNT))"
+            }
+            Standard::Apertum => {
+                "Order(\
+                 Header(OrderDate OrderNumber Currency) \
+                 Buyer(PartyID Name Contact(ContactName EMail Phone)) \
+                 Supplier(PartyID Name Contact(ContactName EMail)) \
+                 DeliverTo(Address(Street City PostalCode Country) \
+                   Contact(ContactName EMail)) \
+                 POLine*(LineNo BuyerPartID Description Quantity UnitPrice \
+                   DeliveryDate) \
+                 Summary(TotalAmount TaxAmount LineCount))"
+            }
+            Standard::Cidx => {
+                "Order(\
+                 OrderHead(OrderDate OrderNo) \
+                 BuyerInfo(PartyId ContNm Email) \
+                 ShipTo(Addr(Street City Zip Ctry)) \
+                 LineItem*(LineNo PartNo Qty UnitPric Desc) \
+                 Summ(TotAmt TaxAmt))"
+            }
+            Standard::Excel => {
+                "order(\
+                 header(orderDate orderNumber currency) \
+                 buyer(name contactName email address(street city zip country)) \
+                 seller(name contactName) \
+                 line*(lineNo partId quantity unitPrice description) \
+                 totals(totalAmount taxAmount))"
+            }
+            Standard::Noris => {
+                "Purchase(\
+                 PurchaseHeader(Date Number Currency) \
+                 Customer(CustomerId CustomerName Contact(ContactName EMail)) \
+                 Vendor(VendorId VendorName) \
+                 Delivery(DeliveryAddress(Street City PostalCode Country)) \
+                 PurchaseItem*(ItemNo PartNumber Quantity Price Description) \
+                 Totals(TotalAmount Tax))"
+            }
+            Standard::Paragon => {
+                "PurchaseOrder(\
+                 OrderHeader(OrderDate OrderNumber CurrencyCode) \
+                 BillTo(PartyId PartyName Contact(ContactName EmailAddress)) \
+                 Vendor(VendorId VendorName Contact(ContactName)) \
+                 ShipTo(ShipAddress(StreetName CityName PostCode CountryCode)) \
+                 OrderLine*(LineNumber PartIdentifier OrderQuantity UnitPrice \
+                   ItemDescription) \
+                 OrderTotals(TotalValue TaxValue))"
+            }
+        }
+    }
+}
+
+/// Generates a schema for `standard` with exactly `n_elements` elements
+/// (backbone + seeded filler), deterministically from `seed`.
+///
+/// Panics if `n_elements` is smaller than the backbone.
+pub fn generate_schema(standard: Standard, n_elements: usize, seed: u64) -> Schema {
+    let mut schema =
+        Schema::parse_outline(standard.backbone()).expect("backbone outline is valid");
+    schema.name = standard.name().to_string();
+    assert!(
+        n_elements >= schema.len(),
+        "{} backbone has {} elements, asked for {n_elements}",
+        standard.name(),
+        schema.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ (standard as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let style = standard.style();
+    // Group anchors: root plus any filler group can host further groups.
+    let mut group_parents = vec![schema.root()];
+    while schema.len() < n_elements {
+        let parent = group_parents[rng.gen_range(0..group_parents.len())];
+        let t1 = FILLER_TOKENS[rng.gen_range(0..FILLER_TOKENS.len())];
+        let t2 = FILLER_TOKENS[rng.gen_range(0..FILLER_TOKENS.len())];
+        let group_label = style.render(&[t1, t2]);
+        // ~15% of filler groups repeat in instance documents.
+        let repeatable = rng.gen_bool(0.15);
+        let group = schema.add_child_full(parent, group_label, repeatable);
+        let leaves = rng.gen_range(2..=5).min(n_elements - schema.len());
+        for _ in 0..leaves {
+            let lt = FILLER_TOKENS[rng.gen_range(0..FILLER_TOKENS.len())];
+            let label = if rng.gen_bool(0.5) {
+                style.render(&[lt])
+            } else {
+                let lt2 = FILLER_TOKENS[rng.gen_range(0..FILLER_TOKENS.len())];
+                style.render(&[lt, lt2])
+            };
+            schema.add_child(group, label);
+        }
+        // Deeper nesting: a third of groups can host sub-groups.
+        if rng.gen_bool(0.33) {
+            group_parents.push(group);
+        }
+    }
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Standard; 7] = [
+        Standard::Xcbl,
+        Standard::OpenTrans,
+        Standard::Apertum,
+        Standard::Cidx,
+        Standard::Excel,
+        Standard::Noris,
+        Standard::Paragon,
+    ];
+
+    #[test]
+    fn backbones_parse_and_fit_paper_sizes() {
+        for std in ALL {
+            let backbone = Schema::parse_outline(std.backbone())
+                .unwrap_or_else(|e| panic!("{}: {e}", std.name()));
+            assert!(
+                backbone.len() <= std.paper_size(),
+                "{} backbone {} > paper size {}",
+                std.name(),
+                backbone.len(),
+                std.paper_size()
+            );
+        }
+    }
+
+    #[test]
+    fn generated_schemas_hit_exact_size() {
+        for std in ALL {
+            let s = generate_schema(std, std.paper_size(), 42);
+            assert_eq!(s.len(), std.paper_size(), "{}", std.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_schema(Standard::Apertum, 166, 7);
+        let b = generate_schema(Standard::Apertum, 166, 7);
+        assert_eq!(a.to_outline(), b.to_outline());
+        let c = generate_schema(Standard::Apertum, 166, 8);
+        assert_ne!(a.to_outline(), c.to_outline());
+    }
+
+    #[test]
+    fn apertum_contains_all_query_labels() {
+        let s = generate_schema(Standard::Apertum, 166, 42);
+        for label in [
+            "Order", "DeliverTo", "Address", "City", "Country", "Street", "Contact",
+            "EMail", "POLine", "LineNo", "UnitPrice", "BuyerPartID", "Quantity", "Buyer",
+        ] {
+            assert!(
+                !s.nodes_with_label(label).is_empty(),
+                "missing query label {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn xcbl_has_repeatable_line_for_docgen() {
+        let s = generate_schema(Standard::Xcbl, 1076, 42);
+        let line = s.nodes_with_label("PO_LINE");
+        assert_eq!(line.len(), 1);
+        assert!(s.node(line[0]).repeatable);
+    }
+
+    #[test]
+    fn query_critical_apertum_labels_are_unique() {
+        // POLine-subtree labels must be unique so block anchors apply.
+        let s = generate_schema(Standard::Apertum, 166, 42);
+        for label in ["POLine", "LineNo", "UnitPrice", "BuyerPartID", "Quantity",
+                      "DeliverTo", "City", "Street", "Country"] {
+            assert_eq!(
+                s.nodes_with_label(label).len(),
+                1,
+                "label {label} must be unique in Apertum"
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Naming styles and token vocabulary for the synthetic standards.
+//!
+//! Each e-commerce standard in Table II names the same purchase-order
+//! concepts differently (`CONTACT_NAME` vs `ContactName` vs `ContactNm`).
+//! This module renders token sequences in a standard's style and provides
+//! the generic token pool used for filler subtrees.
+
+/// How a standard renders multi-token element names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NamingStyle {
+    /// `CONTACT_NAME` (XCBL, OpenTrans flavour).
+    UpperSnake,
+    /// `ContactName` (Apertum, Paragon flavour).
+    CamelCase,
+    /// `ContactNm` — camel case with truncated tokens (CIDX flavour).
+    CamelAbbrev,
+    /// `contactName` (Excel/Noris exports).
+    LowerCamel,
+}
+
+impl NamingStyle {
+    /// Renders `tokens` as one element name in this style.
+    pub fn render(self, tokens: &[&str]) -> String {
+        match self {
+            NamingStyle::UpperSnake => tokens
+                .iter()
+                .map(|t| t.to_uppercase())
+                .collect::<Vec<_>>()
+                .join("_"),
+            NamingStyle::CamelCase => tokens.iter().map(|t| capitalize(t)).collect(),
+            NamingStyle::CamelAbbrev => tokens
+                .iter()
+                .map(|t| capitalize(&abbreviate(t)))
+                .collect(),
+            NamingStyle::LowerCamel => {
+                let mut out = String::new();
+                for (i, t) in tokens.iter().enumerate() {
+                    if i == 0 {
+                        out.push_str(&t.to_lowercase());
+                    } else {
+                        out.push_str(&capitalize(t));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+fn capitalize(t: &str) -> String {
+    let mut cs = t.chars();
+    match cs.next() {
+        Some(c) => c.to_uppercase().chain(cs).collect(),
+        None => String::new(),
+    }
+}
+
+/// Truncates a token the way terse standards do (`quantity` → `qty`,
+/// otherwise keep the first four characters).
+fn abbreviate(t: &str) -> String {
+    match t {
+        "quantity" => "qty".into(),
+        "number" => "no".into(),
+        "reference" => "ref".into(),
+        "description" => "desc".into(),
+        "amount" => "amt".into(),
+        "identifier" => "id".into(),
+        _ if t.len() > 4 => t[..4].into(),
+        _ => t.into(),
+    }
+}
+
+/// Generic tokens for filler elements — drawn from real e-commerce schema
+/// vocabulary so that cross-standard filler occasionally matches (keeping
+/// the bipartite sparse but not empty, as in the paper's datasets).
+pub const FILLER_TOKENS: &[&str] = &[
+    "attachment", "reference", "code", "type", "detail", "group", "info",
+    "spec", "item", "note", "tax", "rate", "period", "term", "charge",
+    "allowance", "unit", "measure", "currency", "language", "region",
+    "schedule", "packing", "transport", "route", "carrier", "mode",
+    "account", "payment", "instrument", "card", "bank", "branch",
+    "document", "version", "status", "history", "event", "time", "stamp",
+    "location", "zone", "dock", "gate", "seal", "container", "weight",
+    "volume", "dimension", "height", "width", "length", "hazard", "class",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn styles_render_distinctly() {
+        let tokens = ["contact", "name"];
+        assert_eq!(NamingStyle::UpperSnake.render(&tokens), "CONTACT_NAME");
+        assert_eq!(NamingStyle::CamelCase.render(&tokens), "ContactName");
+        assert_eq!(NamingStyle::LowerCamel.render(&tokens), "contactName");
+        assert_eq!(NamingStyle::CamelAbbrev.render(&tokens), "ContName");
+    }
+
+    #[test]
+    fn abbreviations() {
+        assert_eq!(NamingStyle::CamelAbbrev.render(&["quantity"]), "Qty");
+        assert_eq!(NamingStyle::CamelAbbrev.render(&["number"]), "No");
+        assert_eq!(NamingStyle::CamelAbbrev.render(&["unit", "price"]), "UnitPric");
+    }
+
+    #[test]
+    fn single_token() {
+        assert_eq!(NamingStyle::UpperSnake.render(&["order"]), "ORDER");
+        assert_eq!(NamingStyle::CamelCase.render(&["order"]), "Order");
+    }
+
+    #[test]
+    fn filler_pool_is_nonempty_and_unique() {
+        let mut v = FILLER_TOKENS.to_vec();
+        v.sort_unstable();
+        let n = v.len();
+        v.dedup();
+        assert_eq!(n, v.len());
+        assert!(n >= 40);
+    }
+}

@@ -1,0 +1,153 @@
+//! Correspondences and schema matchings (the paper's `U`).
+
+use uxm_xml::{Schema, SchemaNodeId};
+
+/// A scored edge between one source and one target element (the paper's
+/// `(x, y)` with its similarity score).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Correspondence {
+    /// Source schema element.
+    pub source: SchemaNodeId,
+    /// Target schema element.
+    pub target: SchemaNodeId,
+    /// Similarity score in `(0, 1]`.
+    pub score: f64,
+}
+
+/// A schema matching `U`: two schemas plus the scored correspondence set a
+/// matcher produced between them.
+///
+/// Owns clones of both schemas — they are small (≤ ~1.1k elements in the
+/// paper's largest dataset) and this keeps the pipeline free of lifetimes.
+#[derive(Clone, Debug)]
+pub struct SchemaMatching {
+    /// The source schema `S`.
+    pub source: Schema,
+    /// The target schema `T`.
+    pub target: Schema,
+    /// Scored correspondences, sorted by (target, source).
+    corrs: Vec<Correspondence>,
+}
+
+impl SchemaMatching {
+    /// Builds a matching, normalizing the correspondence order.
+    pub fn new(source: Schema, target: Schema, mut corrs: Vec<Correspondence>) -> Self {
+        corrs.sort_by_key(|c| (c.target, c.source));
+        corrs.dedup_by_key(|c| (c.target, c.source));
+        SchemaMatching {
+            source,
+            target,
+            corrs,
+        }
+    }
+
+    /// All correspondences, sorted by (target, source).
+    #[inline]
+    pub fn correspondences(&self) -> &[Correspondence] {
+        &self.corrs
+    }
+
+    /// The number of correspondences (Table II's "Cap.").
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.corrs.len()
+    }
+
+    /// True when the matcher found nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.corrs.is_empty()
+    }
+
+    /// Correspondences whose target is `t`, in source order.
+    pub fn candidates_for_target(&self, t: SchemaNodeId) -> &[Correspondence] {
+        let lo = self.corrs.partition_point(|c| c.target < t);
+        let hi = self.corrs.partition_point(|c| c.target <= t);
+        &self.corrs[lo..hi]
+    }
+
+    /// Correspondences whose source is `s` (linear scan; rarely hot).
+    pub fn candidates_for_source(&self, s: SchemaNodeId) -> Vec<Correspondence> {
+        self.corrs.iter().filter(|c| c.source == s).copied().collect()
+    }
+
+    /// The score of `(s, t)` if that correspondence exists.
+    pub fn score(&self, s: SchemaNodeId, t: SchemaNodeId) -> Option<f64> {
+        self.candidates_for_target(t)
+            .iter()
+            .find(|c| c.source == s)
+            .map(|c| c.score)
+    }
+
+    /// Distinct source elements participating in the matching.
+    pub fn matched_sources(&self) -> Vec<SchemaNodeId> {
+        let mut v: Vec<SchemaNodeId> = self.corrs.iter().map(|c| c.source).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct target elements participating in the matching.
+    pub fn matched_targets(&self) -> Vec<SchemaNodeId> {
+        let mut v: Vec<SchemaNodeId> = self.corrs.iter().map(|c| c.target).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SchemaNodeId {
+        SchemaNodeId(i)
+    }
+
+    fn matching() -> SchemaMatching {
+        let src = Schema::parse_outline("A(B C D)").unwrap();
+        let tgt = Schema::parse_outline("X(Y Z)").unwrap();
+        SchemaMatching::new(
+            src,
+            tgt,
+            vec![
+                Correspondence { source: s(1), target: s(1), score: 0.9 },
+                Correspondence { source: s(2), target: s(1), score: 0.8 },
+                Correspondence { source: s(3), target: s(2), score: 0.7 },
+                // duplicate to be removed:
+                Correspondence { source: s(1), target: s(1), score: 0.9 },
+            ],
+        )
+    }
+
+    #[test]
+    fn dedup_and_capacity() {
+        let m = matching();
+        assert_eq!(m.capacity(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn candidates_by_target_are_contiguous() {
+        let m = matching();
+        let cands = m.candidates_for_target(s(1));
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().all(|c| c.target == s(1)));
+        assert_eq!(m.candidates_for_target(s(2)).len(), 1);
+        assert_eq!(m.candidates_for_target(s(0)).len(), 0);
+    }
+
+    #[test]
+    fn score_lookup() {
+        let m = matching();
+        assert_eq!(m.score(s(1), s(1)), Some(0.9));
+        assert_eq!(m.score(s(9), s(1)), None);
+    }
+
+    #[test]
+    fn matched_node_sets() {
+        let m = matching();
+        assert_eq!(m.matched_sources(), vec![s(1), s(2), s(3)]);
+        assert_eq!(m.matched_targets(), vec![s(1), s(2)]);
+    }
+}

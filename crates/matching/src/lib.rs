@@ -1,0 +1,15 @@
+//! # uxm-matching — COMA++-style composite schema matcher
+//!
+//! Produces a *schema matching*: a set of scored element correspondences
+//! between a source and a target schema. This substitutes for the COMA++
+//! matching results the paper consumes (its Table II datasets), preserving
+//! the properties the downstream algorithms depend on: sparse candidate
+//! sets with close scores among alternatives.
+
+pub mod correspondence;
+pub mod matcher;
+pub mod similarity;
+pub mod structural;
+
+pub use correspondence::{Correspondence, SchemaMatching};
+pub use matcher::{MatchStrategy, Matcher};

@@ -1,0 +1,329 @@
+//! String similarity measures for element names.
+//!
+//! Classic matcher ingredients (Rahm & Bernstein's survey, VLDB J. 2001):
+//! normalized edit distance, trigram Dice coefficient, and token-set
+//! similarity over camelCase/underscore-split tokens. The composite
+//! [`name_similarity`] mirrors COMA++'s combined name matcher closely
+//! enough for the downstream uncertainty-management algorithms.
+
+/// Levenshtein edit distance between two strings (in `char`s).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row DP.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let val = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[b.len()]
+}
+
+/// Edit similarity in `[0, 1]`: `1 - dist / max_len`.
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let d = levenshtein(a, b) as f64;
+    let m = a.chars().count().max(b.chars().count()) as f64;
+    1.0 - d / m
+}
+
+/// Dice coefficient over character trigrams of the lowercased names.
+///
+/// Names shorter than 3 chars fall back to bigram/unigram grams.
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    let ga = grams_of(&normalize(a));
+    let gb = grams_of(&normalize(b));
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let mut shared = 0usize;
+    let mut gb_pool = gb.clone();
+    for g in &ga {
+        if let Some(pos) = gb_pool.iter().position(|h| h == g) {
+            gb_pool.swap_remove(pos);
+            shared += 1;
+        }
+    }
+    2.0 * shared as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// Lowercases and strips separator characters so that naming styles
+/// (`CONTACT_NAME` vs `ContactName`) compare equal character-wise.
+pub fn normalize(s: &str) -> String {
+    s.chars()
+        .filter(|c| !matches!(c, '_' | '-' | '.' | ':' | ' '))
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+fn grams_of(s: &str) -> Vec<String> {
+    let lower: Vec<char> = s.chars().collect();
+    let n = match lower.len() {
+        0 => return Vec::new(),
+        1 | 2 => lower.len(),
+        _ => 3,
+    };
+    lower.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// Splits an element name into lowercase word tokens at camelCase
+/// boundaries, digits, and `_`/`-`/`.` separators.
+///
+/// `"CONTACT_NAME"` → `["contact", "name"]`, `"BuyerPartID"` →
+/// `["buyer", "part", "id"]`.
+pub fn tokenize(name: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = name.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '_' || c == '-' || c == '.' || c == ':' || c.is_whitespace() {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        // camelCase boundary: lower→Upper, or Upper followed by lower while
+        // in an uppercase run (e.g. "POLine" → "PO", "Line").
+        if i > 0 && c.is_uppercase() {
+            let prev = chars[i - 1];
+            let next_lower = chars.get(i + 1).is_some_and(|n| n.is_lowercase());
+            if (prev.is_lowercase() || prev.is_numeric() || (prev.is_uppercase() && next_lower))
+                && !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+        } else if i > 0 && c.is_numeric() != chars[i - 1].is_numeric()
+            && !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+        cur.extend(c.to_lowercase());
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Expands well-known e-commerce abbreviations to their canonical token
+/// (COMA++ ships an abbreviation dictionary for the same purpose), so that
+/// `Qty` and `Quantity` compare as equal tokens.
+pub fn expand_token(token: &str) -> &str {
+    match token {
+        "qty" => "quantity",
+        "no" | "num" | "nr" => "number",
+        "amt" => "amount",
+        "ref" => "reference",
+        "desc" => "description",
+        "id" => "identifier",
+        "ctry" => "country",
+        "addr" => "address",
+        "nm" => "name",
+        "tot" => "total",
+        "cust" => "customer",
+        "org" => "organization",
+        "tel" => "telephone",
+        "up" => "unitprice",
+        other => other,
+    }
+}
+
+/// Greedy best-pair token-set similarity: average of the best
+/// [`edit_similarity`] per token, weighted by token count.
+pub fn token_similarity(a: &str, b: &str) -> f64 {
+    token_similarity_pre(&tokenize(a), &tokenize(b))
+}
+
+/// Composite name similarity in `[0, 1]`: the weighted mean of token,
+/// trigram, and edit similarity that the matcher uses.
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    name_similarity_sig(&NameSig::new(a), &NameSig::new(b))
+}
+
+/// Precomputed similarity signature of an element name. Matchers that
+/// score many pairs should build one signature per element instead of
+/// re-tokenizing per pair.
+#[derive(Clone, Debug)]
+pub struct NameSig {
+    /// Lowercased, separator-free form (see [`normalize`]).
+    pub norm: String,
+    /// Word tokens (see [`tokenize`]).
+    pub tokens: Vec<String>,
+    /// Sorted character trigrams of `norm`.
+    grams: Vec<String>,
+}
+
+impl NameSig {
+    /// Builds the signature for one element name. The character-level
+    /// components (edit, trigram) run on the abbreviation-expanded token
+    /// concatenation, so `Qty` and `Quantity` are character-identical.
+    pub fn new(name: &str) -> NameSig {
+        let tokens = tokenize(name);
+        let norm: String = tokens.iter().map(|t| expand_token(t)).collect();
+        let mut grams = grams_of(&norm);
+        grams.sort_unstable();
+        NameSig { norm, tokens, grams }
+    }
+}
+
+/// [`name_similarity`] over precomputed signatures.
+pub fn name_similarity_sig(a: &NameSig, b: &NameSig) -> f64 {
+    0.5 * token_similarity_pre(&a.tokens, &b.tokens)
+        + 0.3 * trigram_dice_sorted(&a.grams, &b.grams)
+        + 0.2 * edit_similarity(&a.norm, &b.norm)
+}
+
+/// Token-set similarity over pre-tokenized names. Token pairs compare by
+/// edit similarity after abbreviation expansion, with a floor for
+/// prefix-truncated tokens (`pric` vs `price`).
+fn token_similarity_pre(ta: &[String], tb: &[String]) -> f64 {
+    if ta.is_empty() || tb.is_empty() {
+        return f64::from(u8::from(ta.is_empty() && tb.is_empty()));
+    }
+    let one_way = |xs: &[String], ys: &[String]| -> f64 {
+        xs.iter()
+            .map(|x| ys.iter().map(|y| token_pair_sim(x, y)).fold(0.0, f64::max))
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    0.5 * (one_way(ta, tb) + one_way(tb, ta))
+}
+
+fn token_pair_sim(x: &str, y: &str) -> f64 {
+    let (x, y) = (expand_token(x), expand_token(y));
+    let edit = edit_similarity(x, y);
+    // Truncation floor: one token a ≥3-char prefix of the other.
+    let (short, long) = if x.len() <= y.len() { (x, y) } else { (y, x) };
+    if short.len() >= 3 && long.starts_with(short) {
+        edit.max(0.8)
+    } else {
+        edit
+    }
+}
+
+/// Dice coefficient over two *sorted* gram multisets (linear merge).
+fn trigram_dice_sorted(ga: &[String], gb: &[String]) -> f64 {
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let mut shared = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < ga.len() && j < gb.len() {
+        match ga[i].cmp(&gb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    2.0 * shared as f64 / (ga.len() + gb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "ab"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn edit_similarity_bounds() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("ContactName", "CONTACT_NAME");
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn trigram_symmetric_and_bounded() {
+        for (a, b) in [("ContactName", "ContactNome"), ("Order", "ORDER"), ("a", "ab")] {
+            let s1 = trigram_similarity(a, b);
+            let s2 = trigram_similarity(b, a);
+            assert!((s1 - s2).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&s1));
+        }
+        assert_eq!(trigram_similarity("abc", "abc"), 1.0);
+    }
+
+    #[test]
+    fn tokenize_handles_styles() {
+        assert_eq!(tokenize("CONTACT_NAME"), ["contact", "name"]);
+        assert_eq!(tokenize("ContactName"), ["contact", "name"]);
+        assert_eq!(tokenize("contactName"), ["contact", "name"]);
+        assert_eq!(tokenize("BuyerPartID"), ["buyer", "part", "id"]);
+        assert_eq!(tokenize("POLine"), ["po", "line"]);
+        assert_eq!(tokenize("Address2"), ["address", "2"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn abbreviations_compare_equal() {
+        assert!(token_similarity("Qty", "Quantity") > 0.99);
+        assert!(token_similarity("LineNo", "LineNumber") > 0.99);
+        assert!(token_similarity("TotAmt", "TotalAmount") > 0.8);
+        assert!(name_similarity("UnitPric", "UnitPrice") > 0.7);
+    }
+
+    #[test]
+    fn token_similarity_sees_through_naming_styles() {
+        let s = token_similarity("CONTACT_NAME", "ContactName");
+        assert!(s > 0.99, "same tokens, different style: {s}");
+        let s = token_similarity("SUPPLIER_PARTY", "SellerParty");
+        assert!(s > 0.4, "related concept: {s}");
+        let s = token_similarity("UnitPrice", "LineNo");
+        assert!(s < 0.5, "unrelated: {s}");
+    }
+
+    #[test]
+    fn name_similarity_orders_candidates_sensibly() {
+        // The paper's Fig. 1 example: ICN should be closer to the
+        // ContactName elements than to unrelated ones.
+        let icn = "CONTACT_NAME";
+        let close = name_similarity(icn, "ContactName");
+        let far = name_similarity(icn, "Quantity");
+        assert!(close > far);
+        assert!(close > 0.8);
+        assert!(far < 0.4);
+    }
+
+    #[test]
+    fn name_similarity_in_unit_interval() {
+        for (a, b) in [
+            ("ORDER", "Order"),
+            ("INVOICE_PARTY", "BillToParty"),
+            ("x", "yyyyyyyyyy"),
+            ("", ""),
+        ] {
+            let s = name_similarity(a, b);
+            assert!((0.0..=1.0 + 1e-12).contains(&s), "{a} {b} -> {s}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Structural (context) similarity between schema elements.
+//!
+//! COMA++'s *context* strategy scores an element pair by the similarity of
+//! their root-to-element paths; the *fragment* strategy looks only at the
+//! local fragment (the element and its children). Both are approximated
+//! here on top of the name similarities in [`crate::similarity`].
+
+use crate::similarity::{name_similarity_sig, NameSig};
+use uxm_xml::{Schema, SchemaNodeId};
+
+/// Path-context similarity: average positional name similarity of the two
+/// root-to-element label paths, aligned from the leaf upward.
+pub fn path_similarity(s: &Schema, sn: SchemaNodeId, t: &Schema, tn: SchemaNodeId) -> f64 {
+    let ss: Vec<NameSig> = s.ids().map(|i| NameSig::new(s.label(i))).collect();
+    let ts: Vec<NameSig> = t.ids().map(|i| NameSig::new(t.label(i))).collect();
+    path_similarity_sig(s, &ss, sn, t, &ts, tn)
+}
+
+/// [`path_similarity`] over precomputed per-element signatures (one entry
+/// per schema node, indexed by node id).
+pub fn path_similarity_sig(
+    s: &Schema,
+    s_sigs: &[NameSig],
+    sn: SchemaNodeId,
+    t: &Schema,
+    t_sigs: &[NameSig],
+    tn: SchemaNodeId,
+) -> f64 {
+    let ps = ids_to_root(s, sn);
+    let pt = ids_to_root(t, tn);
+    let n = ps.len().min(pt.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        total += name_similarity_sig(&s_sigs[ps[i].idx()], &t_sigs[pt[i].idx()]);
+    }
+    // Penalize depth mismatch mildly.
+    let depth_penalty = ps.len().max(pt.len()) as f64;
+    total / depth_penalty
+}
+
+/// Fragment similarity: name similarity of the elements' child label sets
+/// (greedy best-pair average). Leaf pairs score 1 to stay neutral.
+pub fn fragment_similarity(s: &Schema, sn: SchemaNodeId, t: &Schema, tn: SchemaNodeId) -> f64 {
+    let ss: Vec<NameSig> = s.ids().map(|i| NameSig::new(s.label(i))).collect();
+    let ts: Vec<NameSig> = t.ids().map(|i| NameSig::new(t.label(i))).collect();
+    fragment_similarity_sig(s, &ss, sn, t, &ts, tn)
+}
+
+/// [`fragment_similarity`] over precomputed per-element signatures.
+pub fn fragment_similarity_sig(
+    s: &Schema,
+    s_sigs: &[NameSig],
+    sn: SchemaNodeId,
+    t: &Schema,
+    t_sigs: &[NameSig],
+    tn: SchemaNodeId,
+) -> f64 {
+    let cs = s.children(sn);
+    let ct = t.children(tn);
+    if cs.is_empty() && ct.is_empty() {
+        return 1.0;
+    }
+    if cs.is_empty() || ct.is_empty() {
+        return 0.0;
+    }
+    let one_way = |xs: &[SchemaNodeId],
+                   x_sigs: &[NameSig],
+                   ys: &[SchemaNodeId],
+                   y_sigs: &[NameSig]| {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| name_similarity_sig(&x_sigs[x.idx()], &y_sigs[y.idx()]))
+                    .fold(0.0, f64::max)
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    0.5 * (one_way(cs, s_sigs, ct, t_sigs) + one_way(ct, t_sigs, cs, s_sigs))
+}
+
+fn ids_to_root(schema: &Schema, node: SchemaNodeId) -> Vec<SchemaNodeId> {
+    let mut out = Vec::new();
+    let mut cur = Some(node);
+    while let Some(n) = cur {
+        out.push(n);
+        cur = schema.parent(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_similarity_favours_same_context() {
+        let s = Schema::parse_outline("Order(BillToParty(ContactName) Seller(ContactName))")
+            .unwrap();
+        let t = Schema::parse_outline("ORDER(INVOICE_PARTY(CONTACT_NAME))").unwrap();
+        let bill_cn = s.nodes_with_label("ContactName")[0];
+        let seller_cn = s.nodes_with_label("ContactName")[1];
+        let icn = t.nodes_with_label("CONTACT_NAME")[0];
+        let sim_bill = path_similarity(&s, bill_cn, &t, icn);
+        let sim_seller = path_similarity(&s, seller_cn, &t, icn);
+        // BillToParty is closer to INVOICE_PARTY than Seller is, so the
+        // bill path should score at least as well.
+        assert!(sim_bill >= sim_seller, "{sim_bill} vs {sim_seller}");
+        assert!(sim_bill > 0.3);
+    }
+
+    #[test]
+    fn fragment_similarity_leafs_neutral() {
+        let s = Schema::parse_outline("A(B)").unwrap();
+        let t = Schema::parse_outline("X(Y)").unwrap();
+        let b = s.nodes_with_label("B")[0];
+        let y = t.nodes_with_label("Y")[0];
+        assert_eq!(fragment_similarity(&s, b, &t, y), 1.0);
+    }
+
+    #[test]
+    fn fragment_similarity_compares_children() {
+        let s = Schema::parse_outline("Order(Line(Qty Price))").unwrap();
+        let t = Schema::parse_outline("ORDER(LINE(QUANTITY UNIT_PRICE) MISC(Foo))").unwrap();
+        let line_s = s.nodes_with_label("Line")[0];
+        let line_t = t.nodes_with_label("LINE")[0];
+        let misc_t = t.nodes_with_label("MISC")[0];
+        let good = fragment_similarity(&s, line_s, &t, line_t);
+        let bad = fragment_similarity(&s, line_s, &t, misc_t);
+        assert!(good > bad, "{good} vs {bad}");
+    }
+
+    #[test]
+    fn leaf_vs_internal_is_zero_fragment() {
+        let s = Schema::parse_outline("A(B)").unwrap();
+        let t = Schema::parse_outline("X(Y(Z))").unwrap();
+        let b = s.nodes_with_label("B")[0];
+        let y = t.nodes_with_label("Y")[0];
+        assert_eq!(fragment_similarity(&s, b, &t, y), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # uxm-twig — twig pattern queries over XML documents
+//!
+//! A *twig pattern* is a small tree of labelled query nodes connected by
+//! parent-child (`/`) or ancestor-descendant (`//`) edges, optionally with
+//! text predicates. A *match* embeds the whole pattern into a document.
+//!
+//! This crate provides:
+//!
+//! * [`pattern::TwigPattern`] — the pattern AST plus an XPath-subset parser
+//!   covering the paper's query workload (Table III),
+//! * [`resolve::ResolvedPattern`] — a pattern bound to a document, where
+//!   each query node carries a *set* of accepted labels (this is how
+//!   query rewriting across schema mappings is realised upstream),
+//! * [`naive`] — an exhaustive backtracking matcher (the test oracle),
+//! * [`matcher`] — the production matcher: bottom-up semi-join pruning in
+//!   the style of TwigList, followed by enumeration over pruned candidates,
+//! * [`structural_join`] — the stack-based binary structural join of
+//!   Al-Khalifa et al., used by the block-tree PTQ evaluator when it splits
+//!   a query and re-joins sub-results (paper §IV-B).
+
+pub mod matcher;
+pub mod naive;
+pub mod pattern;
+pub mod resolve;
+pub mod structural_join;
+
+pub use matcher::match_twig;
+pub use naive::match_twig_naive;
+pub use pattern::{Axis, PatternNodeId, TwigParseError, TwigPattern};
+pub use resolve::{ResolvedPattern, TwigMatch};

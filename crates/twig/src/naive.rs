@@ -1,0 +1,171 @@
+//! Exhaustive backtracking twig matcher — the correctness oracle.
+//!
+//! Enumerates every embedding of the pattern by assigning pattern nodes in
+//! pre-order and backtracking. No pruning beyond label/axis checks, so it is
+//! easy to audit; the production matcher in [`crate::matcher`] is tested for
+//! equality against it.
+
+use crate::pattern::{Axis, PatternNodeId};
+use crate::resolve::{ResolvedPattern, TwigMatch};
+use uxm_xml::{DocNodeId, Document};
+
+/// Finds every match of `resolved` in `doc`.
+///
+/// The result is sorted (lexicographically by assigned node ids) and
+/// duplicate-free; each match assigns all pattern nodes.
+pub fn match_twig_naive(doc: &Document, resolved: &ResolvedPattern) -> Vec<TwigMatch> {
+    let pattern = &resolved.pattern;
+    let mut out = Vec::new();
+    let mut assignment: Vec<DocNodeId> = vec![DocNodeId(0); pattern.len()];
+
+    let root_candidates = resolved.candidates(pattern.root(), doc);
+    for root in root_candidates {
+        if !resolved.root_position_ok(root, doc) {
+            continue;
+        }
+        assignment[0] = root;
+        assign_children(doc, resolved, pattern.root(), &mut assignment, &mut out);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Recursively assigns the children of pattern node `pnode` (whose document
+/// node is already fixed in `assignment`), emitting complete assignments.
+fn assign_children(
+    doc: &Document,
+    resolved: &ResolvedPattern,
+    pnode: PatternNodeId,
+    assignment: &mut Vec<DocNodeId>,
+    out: &mut Vec<TwigMatch>,
+) {
+    // Find the next unassigned pattern node in pre-order: the recursion
+    // assigns child branches one at a time via an explicit worklist.
+    fn rec(
+        doc: &Document,
+        resolved: &ResolvedPattern,
+        work: &[(PatternNodeId, PatternNodeId)], // (pattern child, pattern parent)
+        assignment: &mut Vec<DocNodeId>,
+        out: &mut Vec<TwigMatch>,
+    ) {
+        let Some(&(child, parent)) = work.first() else {
+            out.push(TwigMatch {
+                nodes: assignment.clone(),
+            });
+            return;
+        };
+        let parent_doc = assignment[parent.idx()];
+        let candidates: Vec<DocNodeId> = match resolved.pattern.node(child).axis {
+            Axis::Child => doc.children(parent_doc).to_vec(),
+            Axis::Descendant => doc.descendants(parent_doc).collect(),
+        };
+        for cand in candidates {
+            if !resolved.node_accepts(child, cand, doc) {
+                continue;
+            }
+            assignment[child.idx()] = cand;
+            // Append cand's own children to the worklist.
+            let mut next_work: Vec<(PatternNodeId, PatternNodeId)> = work[1..].to_vec();
+            for &gc in &resolved.pattern.node(child).children {
+                next_work.push((gc, child));
+            }
+            rec(doc, resolved, &next_work, assignment, out);
+        }
+    }
+
+    let work: Vec<(PatternNodeId, PatternNodeId)> = resolved
+        .pattern
+        .node(pnode)
+        .children
+        .iter()
+        .map(|&c| (c, pnode))
+        .collect();
+    rec(doc, resolved, &work, assignment, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::TwigPattern;
+    use uxm_xml::parse_document;
+
+    fn matches(doc_xml: &str, query: &str) -> Vec<TwigMatch> {
+        let doc = parse_document(doc_xml).unwrap();
+        let q = TwigPattern::parse(query).unwrap();
+        match ResolvedPattern::new(&q, &doc) {
+            Some(r) => match_twig_naive(&doc, &r),
+            None => Vec::new(),
+        }
+    }
+
+    #[test]
+    fn linear_path_matches() {
+        let ms = matches("<a><b><c/></b><b><c/><c/></b></a>", "a/b/c");
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn descendant_axis_matches_deep() {
+        let ms = matches("<a><x><b><y><c/></y></b></x></a>", "a//c");
+        assert_eq!(ms.len(), 1);
+        let ms = matches("<a><x><b><y><c/></y></b></x></a>", "a/c");
+        assert_eq!(ms.len(), 0);
+    }
+
+    #[test]
+    fn branch_predicates_require_both() {
+        let xml = "<a><b><c/></b><b><d/></b><b><c/><d/></b></a>";
+        let ms = matches(xml, "a/b[./c]/d");
+        assert_eq!(ms.len(), 1, "only the third b has both c and d");
+    }
+
+    #[test]
+    fn branches_multiply_matches() {
+        let xml = "<a><b><c/><c/><d/><d/></b></a>";
+        let ms = matches(xml, "a/b[./c]/d");
+        assert_eq!(ms.len(), 4, "2 c-choices x 2 d-choices");
+    }
+
+    #[test]
+    fn text_predicate() {
+        let xml = "<a><n>Bob</n><n>Alice</n></a>";
+        let doc = parse_document(xml).unwrap();
+        let mut q = TwigPattern::parse("a/n").unwrap();
+        q.set_text_eq(crate::pattern::PatternNodeId(1), "Bob");
+        let r = ResolvedPattern::new(&q, &doc).unwrap();
+        let ms = match_twig_naive(&doc, &r);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(doc.text(ms[0].nodes[1]), Some("Bob"));
+    }
+
+    #[test]
+    fn absolute_root_must_be_document_root() {
+        let xml = "<a><a><b/></a></a>";
+        assert_eq!(matches(xml, "a/a/b").len(), 1);
+        // "//a/b" can start at either a.
+        assert_eq!(matches(xml, "//a/b").len(), 1);
+        // "//a//b" matches from both a's.
+        assert_eq!(matches(xml, "//a//b").len(), 2);
+    }
+
+    #[test]
+    fn no_matches_for_missing_label() {
+        assert_eq!(matches("<a><b/></a>", "a/zzz").len(), 0);
+    }
+
+    #[test]
+    fn single_node_query() {
+        let ms = matches("<a><b/><b/></a>", "//b");
+        assert_eq!(ms.len(), 2);
+        let ms = matches("<a><b/><b/></a>", "a");
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn same_label_parent_child() {
+        let ms = matches("<a><a><a/></a></a>", "//a//a");
+        // pairs: (a0,a1), (a0,a2), (a1,a2)
+        assert_eq!(ms.len(), 3);
+    }
+}

@@ -1,0 +1,568 @@
+//! Twig pattern AST and parser.
+//!
+//! The grammar covers the queries in the paper's Table III:
+//!
+//! ```text
+//! query     := ('/' | '//')? step ( ('/' | '//') step )*
+//! step      := label predicate*
+//! predicate := '[' relpath ']' | '[' textpred ']'
+//! relpath   := ('./' | './/') step ( ('/' | '//') step )*
+//! textpred  := ('.' | 'text()') '=' '\'' value '\''
+//! ```
+//!
+//! Examples: `Order/DeliverTo/Address[./City][./Country]/Street`,
+//! `Order[./Buyer/Contact][./DeliverTo//City]//BPID`, `//IP//ICN`.
+
+use std::fmt;
+
+/// Index of a node within a [`TwigPattern`]; the root is 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PatternNodeId(pub u32);
+
+impl PatternNodeId {
+    /// Widens to a `usize` for arena indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Structural relation between a pattern node and its parent (or, for the
+/// root, between the root and the document).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Axis {
+    /// `/`: parent-child. For the root: must be the document root.
+    Child,
+    /// `//`: ancestor-descendant. For the root: may occur anywhere.
+    Descendant,
+}
+
+/// One node of a twig pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternNode {
+    /// Element label this node requires (before any query rewriting).
+    pub label: String,
+    /// Relation to the parent pattern node (or to the document, for root).
+    pub axis: Axis,
+    /// Parent pattern node; `None` for the root.
+    pub parent: Option<PatternNodeId>,
+    /// Child pattern nodes (spine continuation and predicate branches).
+    pub children: Vec<PatternNodeId>,
+    /// Optional text predicate: the matched element's text must equal this.
+    pub text_eq: Option<String>,
+}
+
+/// A parsed twig pattern.
+///
+/// ```
+/// use uxm_twig::TwigPattern;
+/// let q = TwigPattern::parse("Order/POLine[./LineNo]//UP").unwrap();
+/// assert_eq!(q.len(), 4);
+/// assert_eq!(q.node(q.root()).label, "Order");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct TwigPattern {
+    nodes: Vec<PatternNode>,
+}
+
+impl TwigPattern {
+    /// The root pattern node (always id 0).
+    #[inline]
+    pub fn root(&self) -> PatternNodeId {
+        PatternNodeId(0)
+    }
+
+    /// Number of query nodes (the paper's `l`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the pattern is a single node.
+    #[inline]
+    pub fn is_leaf_only(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Never true — a pattern has at least its root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, id: PatternNodeId) -> &PatternNode {
+        &self.nodes[id.idx()]
+    }
+
+    /// All node ids in pre-order (parents before children).
+    pub fn ids(&self) -> impl Iterator<Item = PatternNodeId> + '_ {
+        (0..self.nodes.len() as u32).map(PatternNodeId)
+    }
+
+    /// The distinct labels used by the pattern.
+    pub fn labels(&self) -> Vec<&str> {
+        let mut ls: Vec<&str> = self.nodes.iter().map(|n| n.label.as_str()).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    }
+
+    /// Number of edges (`|E|` in the paper's cost analysis).
+    pub fn edge_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Builds a single-node pattern.
+    pub fn single(label: impl Into<String>, axis: Axis) -> Self {
+        TwigPattern {
+            nodes: vec![PatternNode {
+                label: label.into(),
+                axis,
+                parent: None,
+                children: Vec::new(),
+                text_eq: None,
+            }],
+        }
+    }
+
+    /// Appends a child query node and returns its id.
+    pub fn add_child(
+        &mut self,
+        parent: PatternNodeId,
+        label: impl Into<String>,
+        axis: Axis,
+    ) -> PatternNodeId {
+        let id = PatternNodeId(self.nodes.len() as u32);
+        self.nodes.push(PatternNode {
+            label: label.into(),
+            axis,
+            parent: Some(parent),
+            children: Vec::new(),
+            text_eq: None,
+        });
+        self.nodes[parent.idx()].children.push(id);
+        id
+    }
+
+    /// Sets a text-equality predicate on a node.
+    pub fn set_text_eq(&mut self, id: PatternNodeId, value: impl Into<String>) {
+        self.nodes[id.idx()].text_eq = Some(value.into());
+    }
+
+    /// Overrides a node's axis. Query decomposition uses this to relax an
+    /// extracted subquery's root to `//` (the parent edge is re-imposed by
+    /// the structural join).
+    pub fn set_axis(&mut self, id: PatternNodeId, axis: Axis) {
+        self.nodes[id.idx()].axis = axis;
+    }
+
+    /// Extracts the subpattern rooted at `id` as a standalone pattern
+    /// (used by the block-tree evaluator's query splitting). The extracted
+    /// root keeps `id`'s axis.
+    pub fn subpattern(&self, id: PatternNodeId) -> TwigPattern {
+        self.subpattern_with_map(id).0
+    }
+
+    /// Like [`TwigPattern::subpattern`], also returning, for each node of
+    /// the extracted pattern, its id in `self` — so sub-results can be
+    /// stitched back into whole-pattern matches.
+    pub fn subpattern_with_map(&self, id: PatternNodeId) -> (TwigPattern, Vec<PatternNodeId>) {
+        let mut out = TwigPattern::single(self.node(id).label.clone(), self.node(id).axis);
+        if let Some(t) = &self.node(id).text_eq {
+            out.set_text_eq(out.root(), t.clone());
+        }
+        let mut map = vec![id];
+        self.copy_children_mapped(id, &mut out, PatternNodeId(0), &mut map);
+        (out, map)
+    }
+
+    fn copy_children_mapped(
+        &self,
+        from: PatternNodeId,
+        out: &mut TwigPattern,
+        to: PatternNodeId,
+        map: &mut Vec<PatternNodeId>,
+    ) {
+        for &c in &self.node(from).children {
+            let n = self.node(c);
+            let new_id = out.add_child(to, n.label.clone(), n.axis);
+            if let Some(t) = &n.text_eq {
+                out.set_text_eq(new_id, t.clone());
+            }
+            map.push(c);
+            self.copy_children_mapped(c, out, new_id, map);
+        }
+    }
+
+    /// A pattern containing only `id`'s label/axis/predicate (used for the
+    /// `q0` root-only subquery in Algorithm 4).
+    pub fn node_only(&self, id: PatternNodeId) -> TwigPattern {
+        let mut out = TwigPattern::single(self.node(id).label.clone(), self.node(id).axis);
+        if let Some(t) = &self.node(id).text_eq {
+            out.set_text_eq(out.root(), t.clone());
+        }
+        out
+    }
+
+    /// Parses the XPath subset described in the module docs.
+    pub fn parse(input: &str) -> Result<Self, TwigParseError> {
+        let mut p = PatternParser {
+            input: input.as_bytes(),
+            pos: 0,
+        };
+        let pattern = p.parse_query()?;
+        if p.pos < p.input.len() {
+            return Err(TwigParseError::Trailing(p.pos));
+        }
+        Ok(pattern)
+    }
+}
+
+impl fmt::Display for TwigPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_node(self, self.root(), f, true)
+    }
+}
+
+fn write_node(
+    q: &TwigPattern,
+    id: PatternNodeId,
+    f: &mut fmt::Formatter<'_>,
+    is_root: bool,
+) -> fmt::Result {
+    let n = q.node(id);
+    if is_root {
+        if n.axis == Axis::Descendant {
+            write!(f, "//")?;
+        }
+    } else {
+        match n.axis {
+            Axis::Child => write!(f, "/")?,
+            Axis::Descendant => write!(f, "//")?,
+        }
+    }
+    write!(f, "{}", n.label)?;
+    if let Some(t) = &n.text_eq {
+        write!(f, "[.='{t}']")?;
+    }
+    // All children but the last render as predicates; the last continues
+    // the spine. (A canonical, re-parseable rendering.)
+    let kids = &n.children;
+    if kids.is_empty() {
+        return Ok(());
+    }
+    for &c in &kids[..kids.len() - 1] {
+        write!(f, "[.")?;
+        write_node(q, c, f, false)?;
+        write!(f, "]")?;
+    }
+    write_node(q, kids[kids.len() - 1], f, false)
+}
+
+/// Errors from [`TwigPattern::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TwigParseError {
+    /// A label was expected at the given byte offset.
+    ExpectedLabel(usize),
+    /// `]` was expected at the given byte offset.
+    ExpectedClose(usize),
+    /// Malformed text predicate at the given byte offset.
+    BadPredicate(usize),
+    /// Input continued past a complete query.
+    Trailing(usize),
+    /// The query string was empty.
+    Empty,
+}
+
+impl fmt::Display for TwigParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwigParseError::ExpectedLabel(p) => write!(f, "expected label at byte {p}"),
+            TwigParseError::ExpectedClose(p) => write!(f, "expected ']' at byte {p}"),
+            TwigParseError::BadPredicate(p) => write!(f, "malformed predicate at byte {p}"),
+            TwigParseError::Trailing(p) => write!(f, "trailing input at byte {p}"),
+            TwigParseError::Empty => write!(f, "empty query"),
+        }
+    }
+}
+
+impl std::error::Error for TwigParseError {}
+
+struct PatternParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PatternParser<'a> {
+    fn parse_query(&mut self) -> Result<TwigPattern, TwigParseError> {
+        let root_axis = self.read_axis().unwrap_or(Axis::Child);
+        let label = self.read_label()?;
+        let mut q = TwigPattern::single(label, root_axis);
+        self.parse_step_suffix(&mut q, PatternNodeId(0))?;
+        self.parse_spine(&mut q, PatternNodeId(0))?;
+        Ok(q)
+    }
+
+    /// Parses the rest of a path after `at`: (`/`|`//`) step ...
+    fn parse_spine(
+        &mut self,
+        q: &mut TwigPattern,
+        mut at: PatternNodeId,
+    ) -> Result<(), TwigParseError> {
+        while let Some(axis) = self.read_axis() {
+            let label = self.read_label()?;
+            at = q.add_child(at, label, axis);
+            self.parse_step_suffix(q, at)?;
+        }
+        Ok(())
+    }
+
+    /// Parses zero or more `[...]` predicates attached to `at`.
+    fn parse_step_suffix(
+        &mut self,
+        q: &mut TwigPattern,
+        at: PatternNodeId,
+    ) -> Result<(), TwigParseError> {
+        while self.peek() == Some(b'[') {
+            self.pos += 1;
+            self.parse_predicate(q, at)?;
+            if self.peek() != Some(b']') {
+                return Err(TwigParseError::ExpectedClose(self.pos));
+            }
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    fn parse_predicate(
+        &mut self,
+        q: &mut TwigPattern,
+        at: PatternNodeId,
+    ) -> Result<(), TwigParseError> {
+        // text predicate: .='v'  or  text()='v'
+        if self.try_consume("text()=") || self.try_consume(".=") {
+            let v = self.read_quoted()?;
+            q.set_text_eq(at, v);
+            return Ok(());
+        }
+        // relative path: ./step...  or  .//step...  or  //step  or  step
+        let axis = if self.try_consume(".//") || self.try_consume("//") {
+            Axis::Descendant
+        } else if self.try_consume("./")
+            || self.try_consume("/")
+            || self.peek().is_some_and(is_label_byte)
+        {
+            Axis::Child
+        } else {
+            return Err(TwigParseError::BadPredicate(self.pos));
+        };
+        let label = self.read_label()?;
+        let child = q.add_child(at, label, axis);
+        self.parse_step_suffix(q, child)?;
+        self.parse_spine(q, child)?;
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn try_consume(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn read_axis(&mut self) -> Option<Axis> {
+        if self.try_consume("//") {
+            Some(Axis::Descendant)
+        } else if self.try_consume("/") {
+            Some(Axis::Child)
+        } else {
+            None
+        }
+    }
+
+    fn read_label(&mut self) -> Result<String, TwigParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(is_label_byte) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(if self.input.is_empty() {
+                TwigParseError::Empty
+            } else {
+                TwigParseError::ExpectedLabel(start)
+            });
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn read_quoted(&mut self) -> Result<String, TwigParseError> {
+        let start = self.pos;
+        if self.peek() != Some(b'\'') {
+            return Err(TwigParseError::BadPredicate(start));
+        }
+        self.pos += 1;
+        let vstart = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'\'' {
+                let v = String::from_utf8_lossy(&self.input[vstart..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(v);
+            }
+            self.pos += 1;
+        }
+        Err(TwigParseError::BadPredicate(start))
+    }
+}
+
+fn is_label_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') && c != b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_linear_path() {
+        let q = TwigPattern::parse("Order/DeliverTo/Contact/EMail").unwrap();
+        assert_eq!(q.len(), 4);
+        let labels: Vec<_> = q.ids().map(|id| q.node(id).label.clone()).collect();
+        assert_eq!(labels, ["Order", "DeliverTo", "Contact", "EMail"]);
+        assert!(q.ids().skip(1).all(|id| q.node(id).axis == Axis::Child));
+    }
+
+    #[test]
+    fn parses_descendant_axis() {
+        let q = TwigPattern::parse("//IP//ICN").unwrap();
+        assert_eq!(q.node(q.root()).axis, Axis::Descendant);
+        let icn = PatternNodeId(1);
+        assert_eq!(q.node(icn).axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn parses_predicates_as_branches() {
+        let q = TwigPattern::parse("Order/DeliverTo/Address[./City][./Country]/Street").unwrap();
+        assert_eq!(q.len(), 6);
+        let address = q
+            .ids()
+            .find(|&id| q.node(id).label == "Address")
+            .unwrap();
+        assert_eq!(q.node(address).children.len(), 3); // City, Country, Street
+    }
+
+    #[test]
+    fn parses_nested_predicate_paths() {
+        let q = TwigPattern::parse("Order[./Buyer/Contact][./DeliverTo//City]//BPID").unwrap();
+        assert_eq!(q.len(), 6);
+        let buyer = q.ids().find(|&id| q.node(id).label == "Buyer").unwrap();
+        assert_eq!(q.node(buyer).children.len(), 1);
+        let city = q.ids().find(|&id| q.node(id).label == "City").unwrap();
+        assert_eq!(q.node(city).axis, Axis::Descendant);
+        let bpid = q.ids().find(|&id| q.node(id).label == "BPID").unwrap();
+        assert_eq!(q.node(bpid).axis, Axis::Descendant);
+        assert_eq!(q.node(bpid).parent, Some(q.root()));
+    }
+
+    #[test]
+    fn parses_all_table3_queries() {
+        let queries = [
+            "Order/DeliverTo/Address[./City][./Country]/Street",
+            "Order/DeliverTo/Contact/EMail",
+            "Order/DeliverTo[./Address/City]/Contact/EMail",
+            "Order/POLine[./LineNo]//UP",
+            "Order/POLine[./LineNo][.//UP]/Quantity",
+            "Order/POLine[./BPID][./LineNO][//UP]/Quantity",
+            "Order[./DeliverTo//Street]/POLine[.//BPID][.//UP]/Quantity",
+            "Order[./DeliverTo[.//EMail]//Street]/POLine[.//UP]/Quantity",
+            "Order[./Buyer/Contact]/POLine[.//BPID]/Quantity",
+            "Order[./Buyer/Contact][./DeliverTo//City]//BPID",
+        ];
+        for s in queries {
+            let q = TwigPattern::parse(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(q.len() >= 3, "{s}");
+        }
+    }
+
+    #[test]
+    fn parses_text_predicate() {
+        let q = TwigPattern::parse("Order//City[.='Berlin']").unwrap();
+        let city = q.ids().find(|&id| q.node(id).label == "City").unwrap();
+        assert_eq!(q.node(city).text_eq.as_deref(), Some("Berlin"));
+        let q2 = TwigPattern::parse("Order//City[text()='Berlin']").unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn display_reparses_to_same_pattern() {
+        for s in [
+            "Order/POLine[./LineNo][.//UP]/Quantity",
+            "//IP//ICN",
+            "Order//City[.='Berlin']",
+            "A[./B/C]//D",
+        ] {
+            let q = TwigPattern::parse(s).unwrap();
+            let rendered = q.to_string();
+            let q2 = TwigPattern::parse(&rendered)
+                .unwrap_or_else(|e| panic!("rendered {rendered:?}: {e}"));
+            assert_eq!(q, q2, "{s} -> {rendered}");
+        }
+    }
+
+    #[test]
+    fn subpattern_extraction() {
+        let q = TwigPattern::parse("Order/POLine[./LineNo]//UP").unwrap();
+        let poline = q.ids().find(|&id| q.node(id).label == "POLine").unwrap();
+        let sub = q.subpattern(poline);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.node(sub.root()).label, "POLine");
+    }
+
+    #[test]
+    fn node_only_keeps_predicate() {
+        let mut q = TwigPattern::parse("A/B").unwrap();
+        q.set_text_eq(q.root(), "v");
+        let only = q.node_only(q.root());
+        assert_eq!(only.len(), 1);
+        assert_eq!(only.node(only.root()).text_eq.as_deref(), Some("v"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(TwigPattern::parse(""), Err(TwigParseError::Empty)));
+        assert!(matches!(
+            TwigPattern::parse("A/"),
+            Err(TwigParseError::ExpectedLabel(_))
+        ));
+        assert!(matches!(
+            TwigPattern::parse("A[./B"),
+            Err(TwigParseError::ExpectedClose(_))
+        ));
+        assert!(matches!(
+            TwigPattern::parse("A[]"),
+            Err(TwigParseError::BadPredicate(_))
+        ));
+        assert!(matches!(
+            TwigPattern::parse("A]B"),
+            Err(TwigParseError::Trailing(_))
+        ));
+        assert!(matches!(
+            TwigPattern::parse("A[.='x]"),
+            Err(TwigParseError::BadPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn labels_are_deduped_and_sorted() {
+        let q = TwigPattern::parse("A[./B]/B").unwrap();
+        assert_eq!(q.labels(), vec!["A", "B"]);
+        assert_eq!(q.edge_count(), 2);
+    }
+}

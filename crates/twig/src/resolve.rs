@@ -1,0 +1,252 @@
+//! Binding a pattern to a document, with per-node label *sets*.
+//!
+//! Query rewriting across a schema mapping (paper §IV) turns each target
+//! query label into one or more source labels. Rather than multiplying the
+//! query out into one pattern per label combination, the matchers here take
+//! a [`ResolvedPattern`]: the original pattern structure with, per query
+//! node, the set of interned document labels it may match.
+
+use crate::pattern::{Axis, PatternNodeId, TwigPattern};
+use uxm_xml::{DocNodeId, Document, LabelId};
+
+/// A pattern resolved against one document.
+///
+/// Two resolution modes exist:
+///
+/// * **label sets** (the default) — each query node carries the interned
+///   labels it may match;
+/// * **node candidates** — each query node carries an explicit sorted list
+///   of acceptable document nodes (used by node-granularity rewriting,
+///   where a mapping pins a query node to specific source schema nodes).
+#[derive(Clone, Debug)]
+pub struct ResolvedPattern {
+    /// Parallel to the pattern's nodes: accepted interned labels, sorted.
+    /// Ignored when `node_candidates` is set.
+    pub allowed: Vec<Vec<LabelId>>,
+    /// Explicit acceptable document nodes per query node (sorted, unique),
+    /// overriding label resolution when present.
+    pub node_candidates: Option<Vec<Vec<DocNodeId>>>,
+    /// The underlying pattern (structure, axes, text predicates).
+    pub pattern: TwigPattern,
+}
+
+/// One embedding of a pattern into a document.
+///
+/// `nodes[i]` is the document node matched by pattern node `i`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TwigMatch {
+    /// Document nodes, indexed by pattern node id.
+    pub nodes: Vec<DocNodeId>,
+}
+
+impl TwigMatch {
+    /// The document node matched by the pattern root.
+    pub fn root(&self) -> DocNodeId {
+        self.nodes[0]
+    }
+}
+
+impl ResolvedPattern {
+    /// Resolves a pattern against `doc` with its own labels (the
+    /// single-schema case). Returns `None` when some label does not occur
+    /// in the document at all — then no match can exist.
+    pub fn new(pattern: &TwigPattern, doc: &Document) -> Option<ResolvedPattern> {
+        let mut allowed = Vec::with_capacity(pattern.len());
+        for id in pattern.ids() {
+            let label = doc.resolve_label(&pattern.node(id).label)?;
+            allowed.push(vec![label]);
+        }
+        Some(ResolvedPattern {
+            allowed,
+            node_candidates: None,
+            pattern: pattern.clone(),
+        })
+    }
+
+    /// Resolves a pattern with explicit acceptable document nodes per
+    /// query node. Returns `None` when some node's candidate list is empty
+    /// — no match can exist. Lists are sorted and deduplicated.
+    pub fn with_node_candidates(
+        pattern: &TwigPattern,
+        candidates: Vec<Vec<DocNodeId>>,
+    ) -> Option<ResolvedPattern> {
+        assert_eq!(
+            candidates.len(),
+            pattern.len(),
+            "one candidate list per query node"
+        );
+        let mut lists = Vec::with_capacity(candidates.len());
+        for mut list in candidates {
+            if list.is_empty() {
+                return None;
+            }
+            list.sort_unstable();
+            list.dedup();
+            lists.push(list);
+        }
+        Some(ResolvedPattern {
+            allowed: vec![Vec::new(); pattern.len()],
+            node_candidates: Some(lists),
+            pattern: pattern.clone(),
+        })
+    }
+
+    /// Resolves a pattern where query node `i` may match any of
+    /// `label_sets[i]` (strings). Returns `None` when some node's set has
+    /// no label present in the document.
+    ///
+    /// This is the entry point for rewritten (target → source) queries.
+    pub fn with_label_sets(
+        pattern: &TwigPattern,
+        doc: &Document,
+        label_sets: &[Vec<String>],
+    ) -> Option<ResolvedPattern> {
+        assert_eq!(label_sets.len(), pattern.len(), "one label set per query node");
+        let mut allowed = Vec::with_capacity(pattern.len());
+        for set in label_sets {
+            let mut ids: Vec<LabelId> =
+                set.iter().filter_map(|l| doc.resolve_label(l)).collect();
+            if ids.is_empty() {
+                return None;
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            allowed.push(ids);
+        }
+        Some(ResolvedPattern {
+            allowed,
+            node_candidates: None,
+            pattern: pattern.clone(),
+        })
+    }
+
+    /// Document nodes that pattern node `id` may match on label/candidate
+    /// + text grounds alone (no structure), in document order.
+    pub fn candidates(&self, id: PatternNodeId, doc: &Document) -> Vec<DocNodeId> {
+        let mut out = match &self.node_candidates {
+            Some(lists) => lists[id.idx()].clone(),
+            None => {
+                let mut v = Vec::new();
+                for &label in &self.allowed[id.idx()] {
+                    v.extend_from_slice(doc.nodes_with_label_id(label));
+                }
+                v.sort_unstable();
+                v
+            }
+        };
+        if let Some(want) = &self.pattern.node(id).text_eq {
+            out.retain(|&n| doc.text(n) == Some(want.as_str()));
+        }
+        out
+    }
+
+    /// True iff document node `n` satisfies pattern node `id`'s
+    /// label/candidate and text predicate.
+    #[inline]
+    pub fn node_accepts(&self, id: PatternNodeId, n: DocNodeId, doc: &Document) -> bool {
+        let node_ok = match &self.node_candidates {
+            Some(lists) => lists[id.idx()].binary_search(&n).is_ok(),
+            None => self.allowed[id.idx()].contains(&doc.node(n).label),
+        };
+        if !node_ok {
+            return false;
+        }
+        match &self.pattern.node(id).text_eq {
+            Some(want) => doc.text(n) == Some(want.as_str()),
+            None => true,
+        }
+    }
+
+    /// True iff `child_doc` stands in pattern node `child`'s axis relation
+    /// to `parent_doc`.
+    #[inline]
+    pub fn axis_ok(
+        &self,
+        child: PatternNodeId,
+        parent_doc: DocNodeId,
+        child_doc: DocNodeId,
+        doc: &Document,
+    ) -> bool {
+        match self.pattern.node(child).axis {
+            Axis::Child => doc.is_parent(parent_doc, child_doc),
+            Axis::Descendant => doc.is_ancestor(parent_doc, child_doc),
+        }
+    }
+
+    /// True iff `n` is a valid position for the pattern *root* (which may
+    /// be anchored at the document root for `Axis::Child`).
+    #[inline]
+    pub fn root_position_ok(&self, n: DocNodeId, doc: &Document) -> bool {
+        match self.pattern.node(self.pattern.root()).axis {
+            Axis::Child => n == doc.root(),
+            Axis::Descendant => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uxm_xml::parse_document;
+
+    fn doc() -> Document {
+        parse_document("<a><b><c>x</c></b><b><c>y</c></b></a>").unwrap()
+    }
+
+    #[test]
+    fn resolve_simple() {
+        let d = doc();
+        let q = TwigPattern::parse("a/b/c").unwrap();
+        let r = ResolvedPattern::new(&q, &d).unwrap();
+        assert_eq!(r.allowed.len(), 3);
+        assert_eq!(r.candidates(PatternNodeId(2), &d).len(), 2);
+    }
+
+    #[test]
+    fn resolve_missing_label_is_none() {
+        let d = doc();
+        let q = TwigPattern::parse("a/zzz").unwrap();
+        assert!(ResolvedPattern::new(&q, &d).is_none());
+    }
+
+    #[test]
+    fn label_sets_union_candidates() {
+        let d = doc();
+        let q = TwigPattern::parse("a/x").unwrap();
+        let sets = vec![vec!["a".to_string()], vec!["b".to_string(), "c".to_string()]];
+        let r = ResolvedPattern::with_label_sets(&q, &d, &sets).unwrap();
+        // node 1 may be any b or c
+        assert_eq!(r.candidates(PatternNodeId(1), &d).len(), 4);
+    }
+
+    #[test]
+    fn label_sets_all_missing_is_none() {
+        let d = doc();
+        let q = TwigPattern::parse("a/x").unwrap();
+        let sets = vec![vec!["a".to_string()], vec!["nope".to_string()]];
+        assert!(ResolvedPattern::with_label_sets(&q, &d, &sets).is_none());
+    }
+
+    #[test]
+    fn text_predicate_filters_candidates() {
+        let d = doc();
+        let mut q = TwigPattern::parse("a//c").unwrap();
+        q.set_text_eq(PatternNodeId(1), "x");
+        let r = ResolvedPattern::new(&q, &d).unwrap();
+        assert_eq!(r.candidates(PatternNodeId(1), &d).len(), 1);
+    }
+
+    #[test]
+    fn root_anchoring() {
+        let d = doc();
+        let q_abs = TwigPattern::parse("b").unwrap(); // absolute: must be doc root
+        let r = ResolvedPattern::new(&q_abs, &d).unwrap();
+        let b = d.nodes_with_label("b")[0];
+        assert!(!r.root_position_ok(b, &d));
+        assert!(r.root_position_ok(d.root(), &d));
+
+        let q_rel = TwigPattern::parse("//b").unwrap();
+        let r = ResolvedPattern::new(&q_rel, &d).unwrap();
+        assert!(r.root_position_ok(b, &d));
+    }
+}

@@ -1,0 +1,180 @@
+//! Stack-based binary structural join (Al-Khalifa et al., ICDE 2002).
+//!
+//! Given two lists of document nodes sorted in document order — potential
+//! *ancestors* and potential *descendants* — produce every pair standing in
+//! the requested structural relation, in a single merge pass with a stack
+//! of nested ancestors. This is the `stack_join` primitive of the paper's
+//! Algorithm 4 (step 16).
+
+use crate::pattern::Axis;
+use uxm_xml::{DocNodeId, Document};
+
+/// Joins `ancestors × descendants` under `axis`.
+///
+/// Both inputs must be strictly sorted by node id (document order) and
+/// duplicate-free. Returns `(ancestor, descendant)` pairs sorted by
+/// descendant, then ancestor.
+///
+/// Complexity: `O(|A| + |D| + |output|)` — each input node is pushed and
+/// popped at most once.
+pub fn structural_join(
+    doc: &Document,
+    ancestors: &[DocNodeId],
+    descendants: &[DocNodeId],
+    axis: Axis,
+) -> Vec<(DocNodeId, DocNodeId)> {
+    debug_assert!(ancestors.windows(2).all(|w| w[0] < w[1]), "A must be sorted+unique");
+    debug_assert!(descendants.windows(2).all(|w| w[0] < w[1]), "D must be sorted+unique");
+
+    let mut out = Vec::new();
+    let mut stack: Vec<DocNodeId> = Vec::new();
+    let mut i = 0usize;
+
+    for &d in descendants {
+        // Push every ancestor candidate that starts before d.
+        while i < ancestors.len() && ancestors[i] < d {
+            let a = ancestors[i];
+            while let Some(&top) = stack.last() {
+                if doc.is_ancestor(top, a) {
+                    break;
+                }
+                stack.pop();
+            }
+            stack.push(a);
+            i += 1;
+        }
+        // Drop stack entries that do not contain d.
+        while let Some(&top) = stack.last() {
+            if doc.is_ancestor(top, d) {
+                break;
+            }
+            stack.pop();
+        }
+        match axis {
+            Axis::Descendant => {
+                // Every remaining stack entry contains d (they are nested).
+                for &a in stack.iter() {
+                    out.push((a, d));
+                }
+            }
+            Axis::Child => {
+                if let Some(p) = doc.parent(d) {
+                    // The parent, if it is a candidate, is on the stack.
+                    if stack.contains(&p) {
+                        out.push((p, d));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(a, d)| (d, a));
+    out
+}
+
+/// Nested-loop reference implementation, used by tests and as the ablation
+/// baseline in the benchmark suite.
+pub fn nested_loop_join(
+    doc: &Document,
+    ancestors: &[DocNodeId],
+    descendants: &[DocNodeId],
+    axis: Axis,
+) -> Vec<(DocNodeId, DocNodeId)> {
+    let mut out = Vec::new();
+    for &d in descendants {
+        for &a in ancestors {
+            let ok = match axis {
+                Axis::Child => doc.is_parent(a, d),
+                Axis::Descendant => doc.is_ancestor(a, d),
+            };
+            if ok {
+                out.push((a, d));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(a, d)| (d, a));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uxm_xml::parse_document;
+
+    fn nodes(doc: &Document, label: &str) -> Vec<DocNodeId> {
+        doc.nodes_with_label(label).to_vec()
+    }
+
+    #[test]
+    fn simple_ancestor_descendant() {
+        let d = parse_document("<a><b><c/></b><b/><c/></a>").unwrap();
+        let pairs = structural_join(&d, &nodes(&d, "b"), &nodes(&d, "c"), Axis::Descendant);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(d.label_str(pairs[0].0), "b");
+        assert_eq!(d.label_str(pairs[0].1), "c");
+    }
+
+    #[test]
+    fn nested_ancestors_all_reported() {
+        let d = parse_document("<a><b><b><c/></b></b></a>").unwrap();
+        let pairs = structural_join(&d, &nodes(&d, "b"), &nodes(&d, "c"), Axis::Descendant);
+        assert_eq!(pairs.len(), 2, "both nested b's contain c");
+    }
+
+    #[test]
+    fn child_axis_only_parent() {
+        let d = parse_document("<a><b><x><c/></x><c/></b></a>").unwrap();
+        let pairs = structural_join(&d, &nodes(&d, "b"), &nodes(&d, "c"), Axis::Child);
+        assert_eq!(pairs.len(), 1);
+        let desc = structural_join(&d, &nodes(&d, "b"), &nodes(&d, "c"), Axis::Descendant);
+        assert_eq!(desc.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let d = parse_document("<a><b/></a>").unwrap();
+        assert!(structural_join(&d, &[], &nodes(&d, "b"), Axis::Descendant).is_empty());
+        assert!(structural_join(&d, &nodes(&d, "b"), &[], Axis::Descendant).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_nested_loop_on_random_docs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..30 {
+            // random nested doc over labels a/b
+            let mut xml = String::from("<r>");
+            let mut open = Vec::new();
+            for _ in 0..40 {
+                if rng.gen_bool(0.55) || open.is_empty() {
+                    let l = if rng.gen_bool(0.5) { "a" } else { "b" };
+                    xml.push_str(&format!("<{l}>"));
+                    open.push(l);
+                } else {
+                    let l = open.pop().unwrap();
+                    xml.push_str(&format!("</{l}>"));
+                }
+            }
+            while let Some(l) = open.pop() {
+                xml.push_str(&format!("</{l}>"));
+            }
+            xml.push_str("</r>");
+            let d = parse_document(&xml).unwrap();
+            for axis in [Axis::Child, Axis::Descendant] {
+                let fast = structural_join(&d, &nodes(&d, "a"), &nodes(&d, "b"), axis);
+                let slow = nested_loop_join(&d, &nodes(&d, "a"), &nodes(&d, "b"), axis);
+                assert_eq!(fast, slow, "trial {trial} axis {axis:?} xml {xml}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_same_label() {
+        let d = parse_document("<a><a><a/></a><a/></a>").unwrap();
+        let all = nodes(&d, "a");
+        let pairs = structural_join(&d, &all, &all, Axis::Descendant);
+        // a0 contains a1,a2,a3; a1 contains a2 => 4 pairs
+        assert_eq!(pairs.len(), 4);
+        let slow = nested_loop_join(&d, &all, &all, Axis::Descendant);
+        assert_eq!(pairs, slow);
+    }
+}

@@ -1,0 +1,344 @@
+//! Seeded generation of documents conforming to a schema.
+//!
+//! The paper's query workload runs against `Order.xml`, an XCBL sample with
+//! 3 473 nodes. That file is not redistributable, so this module produces a
+//! deterministic stand-in in two phases:
+//!
+//! 1. **Cover** — instantiate every schema element once (subject to the node
+//!    budget), so every schema path occurs in the document.
+//! 2. **Grow** — while under [`DocGenConfig::target_nodes`], pick a random
+//!    `repeatable` schema element and add one more instance of its subtree
+//!    under a randomly chosen existing parent instance, preferring parents
+//!    below [`DocGenConfig::max_repeat`] instances.
+//!
+//! The intermediate tree is emitted into [`Document`] in pre-order at the
+//! end, preserving the invariant that document ids are pre-order ranks.
+
+use crate::document::Document;
+use crate::ids::SchemaNodeId;
+use crate::schema::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Controls for [`Document::generate`].
+#[derive(Clone, Debug)]
+pub struct DocGenConfig {
+    /// Stop growing once the document reaches this many nodes. The result
+    /// may overshoot by up to one repeated subtree.
+    pub target_nodes: usize,
+    /// Soft cap on instances of a repeatable element under one parent;
+    /// exceeded only when every candidate parent is saturated but the
+    /// target size has not been reached.
+    pub max_repeat: usize,
+    /// Probability that a leaf element receives text content.
+    pub text_prob: f64,
+}
+
+impl DocGenConfig {
+    /// A small document for examples and unit tests (~tens of nodes).
+    pub fn small() -> Self {
+        DocGenConfig {
+            target_nodes: 64,
+            max_repeat: 2,
+            text_prob: 1.0,
+        }
+    }
+
+    /// Matches the paper's `Order.xml` scale (~3 473 nodes).
+    pub fn order_xml() -> Self {
+        DocGenConfig {
+            target_nodes: 3473,
+            max_repeat: 6,
+            text_prob: 0.9,
+        }
+    }
+}
+
+impl Default for DocGenConfig {
+    fn default() -> Self {
+        DocGenConfig::small()
+    }
+}
+
+/// Leaf-value vocabulary: contact names from the paper's running example
+/// plus generic e-commerce values.
+const NAMES: &[&str] = &[
+    "Cathy", "Bob", "Alice", "Dave", "Erin", "Frank", "Grace", "Heidi",
+];
+const CITIES: &[&str] = &["HongKong", "London", "Berlin", "Tokyo", "Boston"];
+const WORDS: &[&str] = &["widget", "gadget", "bolt", "nut", "flange", "bracket"];
+
+/// Intermediate mutable instance tree (documents are append-in-preorder).
+struct GenNode {
+    schema: SchemaNodeId,
+    children: Vec<usize>,
+    text: Option<String>,
+}
+
+struct Gen<'a> {
+    schema: &'a Schema,
+    config: &'a DocGenConfig,
+    rng: StdRng,
+    nodes: Vec<GenNode>,
+    /// For each schema node, the instance indices created for it.
+    instances: Vec<Vec<usize>>,
+}
+
+impl Document {
+    /// Generates a document conforming to `schema`, deterministically from
+    /// `seed`. See the module docs for the two-phase strategy.
+    pub fn generate(schema: &Schema, config: &DocGenConfig, seed: u64) -> Document {
+        let mut gen = Gen {
+            schema,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            nodes: Vec::new(),
+            instances: vec![Vec::new(); schema.len()],
+        };
+        gen.cover(schema.root(), None);
+        gen.grow();
+        gen.emit()
+    }
+}
+
+impl<'a> Gen<'a> {
+    /// Phase 1: one instance per schema element, depth-first, within budget.
+    fn cover(&mut self, snode: SchemaNodeId, parent: Option<usize>) -> usize {
+        let idx = self.new_instance(snode, parent);
+        for &child in self.schema.children(snode) {
+            if self.nodes.len() >= self.config.target_nodes {
+                break;
+            }
+            self.cover(child, Some(idx));
+        }
+        idx
+    }
+
+    /// Phase 2: add subtree instances of repeatable elements until the
+    /// target size is reached (or nothing can grow).
+    fn grow(&mut self) {
+        let repeatables: Vec<SchemaNodeId> = self
+            .schema
+            .ids()
+            .filter(|&id| self.schema.node(id).repeatable && self.schema.parent(id).is_some())
+            .collect();
+        if repeatables.is_empty() {
+            return;
+        }
+        while self.nodes.len() < self.config.target_nodes {
+            let r = repeatables[self.rng.gen_range(0..repeatables.len())];
+            let parent_schema = self.schema.parent(r).expect("repeatable root filtered out");
+            let candidates = &self.instances[parent_schema.idx()];
+            if candidates.is_empty() {
+                continue;
+            }
+            // Prefer parents under the soft cap; fall back to any parent.
+            let unsaturated: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&p| self.count_children_of_kind(p, r) < self.config.max_repeat)
+                .collect();
+            let parent = if unsaturated.is_empty() {
+                candidates[self.rng.gen_range(0..candidates.len())]
+            } else {
+                unsaturated[self.rng.gen_range(0..unsaturated.len())]
+            };
+            self.instantiate_subtree(r, parent);
+        }
+    }
+
+    fn count_children_of_kind(&self, parent: usize, kind: SchemaNodeId) -> usize {
+        self.nodes[parent]
+            .children
+            .iter()
+            .filter(|&&c| self.nodes[c].schema == kind)
+            .count()
+    }
+
+    /// Instantiates the full subtree of `snode` under instance `parent`.
+    fn instantiate_subtree(&mut self, snode: SchemaNodeId, parent: usize) {
+        let idx = self.new_instance(snode, Some(parent));
+        let children: Vec<SchemaNodeId> = self.schema.children(snode).to_vec();
+        for child in children {
+            self.instantiate_subtree(child, idx);
+        }
+    }
+
+    fn new_instance(&mut self, snode: SchemaNodeId, parent: Option<usize>) -> usize {
+        let idx = self.nodes.len();
+        let text = if self.schema.is_leaf(snode) && self.rng.gen_bool(self.config.text_prob) {
+            Some(leaf_value(self.schema.label(snode), &mut self.rng))
+        } else {
+            None
+        };
+        self.nodes.push(GenNode {
+            schema: snode,
+            children: Vec::new(),
+            text,
+        });
+        if let Some(p) = parent {
+            self.nodes[p].children.push(idx);
+        }
+        self.instances[snode.idx()].push(idx);
+        idx
+    }
+
+    /// Emits the instance tree into a [`Document`] in pre-order.
+    fn emit(self) -> Document {
+        let mut builder = Document::builder(self.schema.label(self.nodes[0].schema));
+        if let Some(t) = &self.nodes[0].text {
+            builder.set_text(builder.root(), t.clone());
+        }
+        // Stack of (gen index, doc id); children pushed in reverse to pop in order.
+        let root = builder.root();
+        let mut stack: Vec<(usize, crate::ids::DocNodeId)> = self.nodes[0]
+            .children
+            .iter()
+            .rev()
+            .map(|&c| (c, root))
+            .collect();
+        while let Some((gen_idx, parent_doc)) = stack.pop() {
+            let node = &self.nodes[gen_idx];
+            let doc_id = builder.add_child(parent_doc, self.schema.label(node.schema));
+            if let Some(t) = &node.text {
+                builder.set_text(doc_id, t.clone());
+            }
+            for &c in node.children.iter().rev() {
+                stack.push((c, doc_id));
+            }
+        }
+        builder.finish()
+    }
+}
+
+/// Picks a plausible text value given the element's label.
+fn leaf_value(label: &str, rng: &mut StdRng) -> String {
+    let lower = label.to_ascii_lowercase();
+    if lower.contains("name") || lower.contains("contact") {
+        NAMES[rng.gen_range(0..NAMES.len())].to_string()
+    } else if lower.contains("city") || lower.contains("country") || lower.contains("addr") {
+        CITIES[rng.gen_range(0..CITIES.len())].to_string()
+    } else if lower.contains("price") || lower.contains("amount") || lower.contains("total") {
+        format!("{}.{:02}", rng.gen_range(1..500), rng.gen_range(0..100))
+    } else if lower.contains("qty")
+        || lower.contains("quantity")
+        || lower.contains("no")
+        || lower.contains("id")
+        || lower.contains("line")
+    {
+        rng.gen_range(1..1000).to_string()
+    } else if lower.contains("mail") {
+        format!(
+            "{}@example.com",
+            NAMES[rng.gen_range(0..NAMES.len())].to_ascii_lowercase()
+        )
+    } else {
+        WORDS[rng.gen_range(0..WORDS.len())].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::parse_outline(
+            "Order(Buyer(Name Contact(EMail)) POLine*(LineNo Quantity UnitPrice))",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let s = schema();
+        let a = Document::generate(&s, &DocGenConfig::small(), 42);
+        let b = Document::generate(&s, &DocGenConfig::small(), 42);
+        assert_eq!(crate::writer::to_xml(&a), crate::writer::to_xml(&b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = schema();
+        let a = Document::generate(&s, &DocGenConfig::order_xml(), 1);
+        let b = Document::generate(&s, &DocGenConfig::order_xml(), 2);
+        assert_ne!(crate::writer::to_xml(&a), crate::writer::to_xml(&b));
+    }
+
+    #[test]
+    fn covers_all_schema_elements() {
+        let s = schema();
+        let d = Document::generate(&s, &DocGenConfig::small(), 7);
+        for id in s.ids() {
+            assert!(
+                !d.nodes_with_label(s.label(id)).is_empty(),
+                "label {} missing from generated document",
+                s.label(id)
+            );
+        }
+    }
+
+    #[test]
+    fn reaches_target_size() {
+        let s = schema();
+        let cfg = DocGenConfig {
+            target_nodes: 500,
+            max_repeat: 5,
+            text_prob: 0.5,
+        };
+        let d = Document::generate(&s, &cfg, 3);
+        assert!(d.len() >= 500, "doc too small: {}", d.len());
+        // overshoot bounded by one POLine subtree (4 nodes)
+        assert!(d.len() <= 504, "doc too large: {}", d.len());
+    }
+
+    #[test]
+    fn no_growth_without_repeatables() {
+        let s = Schema::parse_outline("A(B C(D))").unwrap();
+        let cfg = DocGenConfig {
+            target_nodes: 100,
+            max_repeat: 4,
+            text_prob: 0.0,
+        };
+        let d = Document::generate(&s, &cfg, 5);
+        assert_eq!(d.len(), 4, "non-repeatable schema instantiates once");
+    }
+
+    #[test]
+    fn leaves_get_text_when_probability_is_one() {
+        let s = schema();
+        let cfg = DocGenConfig {
+            target_nodes: 64,
+            max_repeat: 2,
+            text_prob: 1.0,
+        };
+        let d = Document::generate(&s, &cfg, 9);
+        for id in d.ids() {
+            if d.children(id).is_empty() {
+                assert!(d.text(id).is_some(), "leaf {id} has no text");
+            }
+        }
+    }
+
+    #[test]
+    fn document_conforms_to_schema_paths() {
+        let s = schema();
+        let d = Document::generate(&s, &DocGenConfig::order_xml(), 11);
+        let schema_paths: std::collections::HashSet<String> =
+            s.ids().map(|id| s.path(id).replace('.', "/")).collect();
+        for id in d.ids() {
+            assert!(
+                schema_paths.contains(&d.path(id)),
+                "path {} not in schema",
+                d.path(id)
+            );
+        }
+    }
+
+    #[test]
+    fn order_xml_scale() {
+        let s = schema();
+        let d = Document::generate(&s, &DocGenConfig::order_xml(), 13);
+        assert!(d.len() >= 3473);
+        assert!(d.len() < 3480);
+    }
+}

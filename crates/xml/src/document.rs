@@ -1,0 +1,490 @@
+//! XML document trees with region encoding.
+//!
+//! A [`Document`] is a flat arena of element nodes, each carrying the
+//! `(pre, post, level)` region encoding that structural-join algorithms
+//! need: node `a` is an ancestor of node `b` iff
+//! `a.pre < b.pre && b.post < a.post`.
+//!
+//! Element labels are interned into per-document [`LabelId`]s, and the
+//! document maintains a label → nodes index (in document order) so twig
+//! matchers can fetch the candidate stream for a query node in O(1).
+
+use crate::ids::DocNodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned element label within one [`Document`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// Widens to a `usize` for table indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One element node of a document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DocNode {
+    /// Interned element label.
+    pub label: LabelId,
+    /// Parent node; `None` only for the root.
+    pub parent: Option<DocNodeId>,
+    /// Children in document order.
+    pub children: Vec<DocNodeId>,
+    /// Concatenated text content directly under this element, if any.
+    pub text: Option<String>,
+    /// Attributes in source order (empty for generated documents).
+    pub attrs: Vec<(String, String)>,
+    /// Pre-order rank (equals the node id value).
+    pub pre: u32,
+    /// Post-order rank.
+    pub post: u32,
+    /// Depth; the root is at level 0.
+    pub level: u32,
+}
+
+/// An XML document as an arena of element nodes.
+///
+/// Construct with [`Document::builder`], [`crate::parser::parse_document`],
+/// or [`Document::generate`].
+#[derive(Clone, Debug)]
+pub struct Document {
+    nodes: Vec<DocNode>,
+    labels: Vec<String>,
+    label_lookup: HashMap<String, LabelId>,
+    /// For each label, the node ids carrying it, in document order.
+    by_label: Vec<Vec<DocNodeId>>,
+}
+
+impl Document {
+    /// Starts building a document with the given root element label.
+    pub fn builder(root_label: &str) -> DocumentBuilder {
+        let mut b = DocumentBuilder {
+            doc: Document {
+                nodes: Vec::new(),
+                labels: Vec::new(),
+                label_lookup: HashMap::new(),
+                by_label: Vec::new(),
+            },
+        };
+        let label = b.doc.intern(root_label);
+        b.doc.nodes.push(DocNode {
+            label,
+            parent: None,
+            children: Vec::new(),
+            text: None,
+            attrs: Vec::new(),
+            pre: 0,
+            post: 0,
+            level: 0,
+        });
+        b
+    }
+
+    fn intern(&mut self, label: &str) -> LabelId {
+        if let Some(&id) = self.label_lookup.get(label) {
+            return id;
+        }
+        let id = LabelId(self.labels.len() as u32);
+        self.labels.push(label.to_string());
+        self.label_lookup.insert(label.to_string(), id);
+        self.by_label.push(Vec::new());
+        id
+    }
+
+    /// The root node id (always `DocNodeId(0)`).
+    #[inline]
+    pub fn root(&self) -> DocNodeId {
+        DocNodeId(0)
+    }
+
+    /// Total number of element nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document has only a root element.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, id: DocNodeId) -> &DocNode {
+        &self.nodes[id.idx()]
+    }
+
+    /// The string label of a node.
+    #[inline]
+    pub fn label_str(&self, id: DocNodeId) -> &str {
+        &self.labels[self.nodes[id.idx()].label.idx()]
+    }
+
+    /// Resolves a label string to its interned id, if the label occurs.
+    #[inline]
+    pub fn resolve_label(&self, label: &str) -> Option<LabelId> {
+        self.label_lookup.get(label).copied()
+    }
+
+    /// The string for an interned label id.
+    #[inline]
+    pub fn label_name(&self, label: LabelId) -> &str {
+        &self.labels[label.idx()]
+    }
+
+    /// Number of distinct labels.
+    #[inline]
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Nodes carrying `label`, in document order; empty if unknown label.
+    pub fn nodes_with_label(&self, label: &str) -> &[DocNodeId] {
+        match self.resolve_label(label) {
+            Some(id) => &self.by_label[id.idx()],
+            None => &[],
+        }
+    }
+
+    /// Nodes carrying the interned `label`, in document order.
+    #[inline]
+    pub fn nodes_with_label_id(&self, label: LabelId) -> &[DocNodeId] {
+        &self.by_label[label.idx()]
+    }
+
+    /// Children of `id` in document order.
+    #[inline]
+    pub fn children(&self, id: DocNodeId) -> &[DocNodeId] {
+        &self.nodes[id.idx()].children
+    }
+
+    /// Parent of `id`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: DocNodeId) -> Option<DocNodeId> {
+        self.nodes[id.idx()].parent
+    }
+
+    /// Text content directly under `id`, if any.
+    #[inline]
+    pub fn text(&self, id: DocNodeId) -> Option<&str> {
+        self.nodes[id.idx()].text.as_deref()
+    }
+
+    /// The value of attribute `name` on `id`, if present.
+    pub fn attr(&self, id: DocNodeId, name: &str) -> Option<&str> {
+        self.nodes[id.idx()]
+            .attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True iff `anc` is a *proper* ancestor of `desc` (region encoding).
+    #[inline]
+    pub fn is_ancestor(&self, anc: DocNodeId, desc: DocNodeId) -> bool {
+        let a = &self.nodes[anc.idx()];
+        let d = &self.nodes[desc.idx()];
+        a.pre < d.pre && d.post < a.post
+    }
+
+    /// True iff `parent` is the parent of `child`.
+    #[inline]
+    pub fn is_parent(&self, parent: DocNodeId, child: DocNodeId) -> bool {
+        self.nodes[child.idx()].parent == Some(parent)
+    }
+
+    /// Iterates all node ids in document (pre-) order.
+    pub fn ids(&self) -> impl Iterator<Item = DocNodeId> + '_ {
+        (0..self.nodes.len() as u32).map(DocNodeId)
+    }
+
+    /// All descendants of `id` (excluding `id`), in document order.
+    ///
+    /// Because ids are pre-order ranks and the subtree is a contiguous
+    /// pre-order interval, this is a simple range scan.
+    pub fn descendants(&self, id: DocNodeId) -> impl Iterator<Item = DocNodeId> + '_ {
+        let post = self.nodes[id.idx()].post;
+        (id.0 + 1..self.nodes.len() as u32)
+            .map(DocNodeId)
+            .take_while(move |n| self.nodes[n.idx()].post < post)
+    }
+
+    /// For every node, the largest pre-order id inside its subtree.
+    ///
+    /// With pre-order ids, node `m` is in `n`'s subtree iff
+    /// `n.0 <= m.0 <= table[n.idx()]`. Computed in O(n); matchers use it to
+    /// binary-search candidate lists by subtree interval.
+    pub fn subtree_end_table(&self) -> Vec<u32> {
+        let mut end: Vec<u32> = (0..self.nodes.len() as u32).collect();
+        // Children always have larger ids; walk in reverse so children are done.
+        for i in (0..self.nodes.len()).rev() {
+            if let Some(&last) = self.nodes[i].children.last() {
+                end[i] = end[last.idx()];
+            }
+        }
+        end
+    }
+
+    /// Root-to-node label path joined with `/`.
+    pub fn path(&self, id: DocNodeId) -> String {
+        let mut labels = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            labels.push(self.label_str(n));
+            cur = self.parent(n);
+        }
+        labels.reverse();
+        labels.join("/")
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Document[{} nodes, {} labels, root <{}>]",
+            self.len(),
+            self.label_count(),
+            self.label_str(self.root())
+        )
+    }
+}
+
+/// An index from root-to-node label paths to document nodes.
+///
+/// Node-granularity query rewriting (a mapping sends a *schema node*, not
+/// a label, to a source schema node) needs to locate the document nodes
+/// instantiating a given schema node; since generated and parsed documents
+/// carry no schema annotations, the label path identifies them.
+#[derive(Clone, Debug)]
+pub struct PathIndex {
+    map: HashMap<String, Vec<DocNodeId>>,
+}
+
+impl PathIndex {
+    /// Builds the index in one pass (paths are accumulated incrementally
+    /// down the tree, so total cost is linear in output size).
+    pub fn new(doc: &Document) -> PathIndex {
+        let mut paths: Vec<String> = Vec::with_capacity(doc.len());
+        let mut map: HashMap<String, Vec<DocNodeId>> = HashMap::new();
+        for id in doc.ids() {
+            let path = match doc.parent(id) {
+                Some(p) => format!("{}/{}", paths[p.idx()], doc.label_str(id)),
+                None => doc.label_str(id).to_string(),
+            };
+            map.entry(path.clone()).or_default().push(id);
+            paths.push(path);
+        }
+        PathIndex { map }
+    }
+
+    /// Document nodes whose root path equals `path` (labels joined with
+    /// `/`), in document order; empty when the path does not occur.
+    pub fn nodes(&self, path: &str) -> &[DocNodeId] {
+        self.map.get(path).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct paths.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the document was empty (never — a root always exists).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Incremental builder for [`Document`].
+///
+/// Nodes must be appended in document order (a child is added after its
+/// parent); this is what parsers and generators naturally do. `finish()`
+/// computes post-order ranks and the label index.
+pub struct DocumentBuilder {
+    doc: Document,
+}
+
+impl DocumentBuilder {
+    /// The root node id of the document being built.
+    pub fn root(&self) -> DocNodeId {
+        DocNodeId(0)
+    }
+
+    /// Appends an element under `parent`, returning its id.
+    pub fn add_child(&mut self, parent: DocNodeId, label: &str) -> DocNodeId {
+        let label = self.doc.intern(label);
+        let id = DocNodeId(self.doc.nodes.len() as u32);
+        let level = self.doc.nodes[parent.idx()].level + 1;
+        self.doc.nodes.push(DocNode {
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+            text: None,
+            attrs: Vec::new(),
+            pre: id.0,
+            post: 0,
+            level,
+        });
+        self.doc.nodes[parent.idx()].children.push(id);
+        id
+    }
+
+    /// Sets (replaces) the text content of a node.
+    pub fn set_text(&mut self, id: DocNodeId, text: impl Into<String>) {
+        self.doc.nodes[id.idx()].text = Some(text.into());
+    }
+
+    /// Appends an attribute to a node (used by the parser; generated
+    /// documents carry none).
+    pub fn add_attr(&mut self, id: DocNodeId, name: impl Into<String>, value: impl Into<String>) {
+        self.doc.nodes[id.idx()].attrs.push((name.into(), value.into()));
+    }
+
+    /// Appends to the text content of a node (used by the parser when text
+    /// is interleaved with child elements).
+    pub fn append_text(&mut self, id: DocNodeId, text: &str) {
+        match &mut self.doc.nodes[id.idx()].text {
+            Some(t) => t.push_str(text),
+            slot @ None => *slot = Some(text.to_string()),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.doc.nodes.len()
+    }
+
+    /// True when only the root exists so far.
+    pub fn is_empty(&self) -> bool {
+        self.doc.nodes.len() <= 1
+    }
+
+    /// Finalizes region encoding and the label index.
+    pub fn finish(mut self) -> Document {
+        // Iterative post-order numbering.
+        let mut post = 0u32;
+        let mut stack: Vec<(DocNodeId, usize)> = vec![(DocNodeId(0), 0)];
+        while let Some(&mut (node, ref mut child_idx)) = stack.last_mut() {
+            let kids = &self.doc.nodes[node.idx()].children;
+            if *child_idx < kids.len() {
+                let next = kids[*child_idx];
+                *child_idx += 1;
+                stack.push((next, 0));
+            } else {
+                self.doc.nodes[node.idx()].post = post;
+                post += 1;
+                stack.pop();
+            }
+        }
+        // Label index in document order.
+        for id in 0..self.doc.nodes.len() as u32 {
+            let label = self.doc.nodes[id as usize].label;
+            self.doc.by_label[label.idx()].push(DocNodeId(id));
+        }
+        self.doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// <a><b><d/></b><c/></a>
+    fn small() -> Document {
+        let mut b = Document::builder("a");
+        let root = b.root();
+        let nb = b.add_child(root, "b");
+        b.add_child(nb, "d");
+        b.add_child(root, "c");
+        b.finish()
+    }
+
+    #[test]
+    fn region_encoding_ancestorship() {
+        let d = small();
+        let a = d.root();
+        let b = d.nodes_with_label("b")[0];
+        let c = d.nodes_with_label("c")[0];
+        let dd = d.nodes_with_label("d")[0];
+        assert!(d.is_ancestor(a, b));
+        assert!(d.is_ancestor(a, dd));
+        assert!(d.is_ancestor(b, dd));
+        assert!(!d.is_ancestor(b, c));
+        assert!(!d.is_ancestor(dd, b));
+        assert!(!d.is_ancestor(a, a), "ancestor is strict");
+    }
+
+    #[test]
+    fn parent_child_relation() {
+        let d = small();
+        let a = d.root();
+        let b = d.nodes_with_label("b")[0];
+        let dd = d.nodes_with_label("d")[0];
+        assert!(d.is_parent(a, b));
+        assert!(d.is_parent(b, dd));
+        assert!(!d.is_parent(a, dd));
+    }
+
+    #[test]
+    fn descendants_are_contiguous() {
+        let d = small();
+        let a = d.root();
+        let descs: Vec<_> = d.descendants(a).collect();
+        assert_eq!(descs.len(), 3);
+        let b = d.nodes_with_label("b")[0];
+        let descs_b: Vec<_> = d.descendants(b).collect();
+        assert_eq!(descs_b, vec![d.nodes_with_label("d")[0]]);
+    }
+
+    #[test]
+    fn label_interning_and_index() {
+        let mut b = Document::builder("x");
+        let root = b.root();
+        b.add_child(root, "y");
+        b.add_child(root, "y");
+        b.add_child(root, "z");
+        let d = b.finish();
+        assert_eq!(d.label_count(), 3);
+        assert_eq!(d.nodes_with_label("y").len(), 2);
+        assert_eq!(d.nodes_with_label("missing").len(), 0);
+        let y = d.resolve_label("y").unwrap();
+        assert_eq!(d.nodes_with_label_id(y).len(), 2);
+        assert_eq!(d.label_name(y), "y");
+    }
+
+    #[test]
+    fn text_handling() {
+        let mut b = Document::builder("r");
+        let root = b.root();
+        let n = b.add_child(root, "t");
+        b.set_text(n, "hello");
+        b.append_text(n, " world");
+        let d = b.finish();
+        assert_eq!(d.text(n), Some("hello world"));
+        assert_eq!(d.text(root), None);
+    }
+
+    #[test]
+    fn paths_and_levels() {
+        let d = small();
+        let dd = d.nodes_with_label("d")[0];
+        assert_eq!(d.path(dd), "a/b/d");
+        assert_eq!(d.node(dd).level, 2);
+        assert_eq!(d.node(d.root()).level, 0);
+    }
+
+    #[test]
+    fn document_order_ids() {
+        let d = small();
+        // ids are pre-order: a=0, b=1, d=2, c=3
+        assert_eq!(d.label_str(DocNodeId(0)), "a");
+        assert_eq!(d.label_str(DocNodeId(1)), "b");
+        assert_eq!(d.label_str(DocNodeId(2)), "d");
+        assert_eq!(d.label_str(DocNodeId(3)), "c");
+    }
+}

@@ -1,0 +1,77 @@
+//! Dense index newtypes for the two arenas.
+//!
+//! Using `u32` keeps hot structures (correspondences, matches, blocks) small;
+//! schemas in the paper top out at ~1.1k elements and documents at a few
+//! thousand nodes, far below `u32::MAX`.
+
+use std::fmt;
+
+/// Index of an element declaration inside a [`crate::Schema`].
+///
+/// The root is always `SchemaNodeId(0)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SchemaNodeId(pub u32);
+
+/// Index of a node inside a [`crate::Document`].
+///
+/// The root is always `DocNodeId(0)`; ids are assigned in document order
+/// (pre-order), so `a.0 < b.0` whenever `a` precedes `b`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocNodeId(pub u32);
+
+impl SchemaNodeId {
+    /// Widens to a `usize` for arena indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl DocNodeId {
+    /// Widens to a `usize` for arena indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SchemaNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Debug for DocNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for SchemaNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Display for DocNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(SchemaNodeId(1) < SchemaNodeId(2));
+        assert!(DocNodeId(0) < DocNodeId(7));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", SchemaNodeId(3)), "s3");
+        assert_eq!(format!("{}", DocNodeId(9)), "d9");
+    }
+}

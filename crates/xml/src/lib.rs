@@ -1,0 +1,31 @@
+//! # uxm-xml — XML substrate
+//!
+//! Arena-based XML *schema* and *document* trees, a small XML parser and
+//! writer, and a seeded document generator. This crate is the foundation the
+//! rest of the reproduction is built on: schemas are what gets matched,
+//! documents are what twig queries run against.
+//!
+//! Design notes:
+//!
+//! * Both trees are flat arenas indexed by dense `u32` newtypes
+//!   ([`SchemaNodeId`], [`DocNodeId`]) — no `Rc`, no reference cycles, cheap
+//!   to clone and to traverse.
+//! * Document nodes carry *region encoding* (`pre`, `post`, `level`), the
+//!   classic prerequisite for stack-based structural joins
+//!   (Al-Khalifa et al., ICDE 2002), which the twig engine relies on.
+//! * Labels in documents are interned per-document ([`LabelId`]) so that the
+//!   twig matcher compares integers, not strings.
+
+pub mod docgen;
+pub mod document;
+pub mod ids;
+pub mod parser;
+pub mod schema;
+pub mod writer;
+pub mod xsd;
+
+pub use docgen::DocGenConfig;
+pub use document::{DocNode, Document, LabelId, PathIndex};
+pub use ids::{DocNodeId, SchemaNodeId};
+pub use parser::{parse_document, ParseError};
+pub use schema::{Schema, SchemaNode};

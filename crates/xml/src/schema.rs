@@ -1,0 +1,456 @@
+//! XML schema trees.
+//!
+//! A [`Schema`] models what the paper calls a source or target schema: a
+//! rooted, ordered tree of named elements. This is the granularity COMA++
+//! operates at — element declarations and their nesting — so no types,
+//! attributes, or occurrence constraints are modelled.
+
+use crate::ids::SchemaNodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One element declaration in a schema tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaNode {
+    /// Element name as it appears in the schema (e.g. `CONTACT_NAME`).
+    pub label: String,
+    /// Parent element; `None` only for the root.
+    pub parent: Option<SchemaNodeId>,
+    /// Children in declaration order.
+    pub children: Vec<SchemaNodeId>,
+    /// Whether instance documents may repeat this element under one parent
+    /// (a `maxOccurs > 1` analogue); drives document generation.
+    pub repeatable: bool,
+}
+
+/// A rooted tree of element declarations.
+///
+/// Nodes live in a flat arena; `SchemaNodeId(0)` is the root. Ids are
+/// assigned in pre-order, so a parent's id is always smaller than its
+/// descendants' ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// Human-readable name of the standard this schema mimics (e.g. `XCBL`).
+    pub name: String,
+    nodes: Vec<SchemaNode>,
+}
+
+impl Schema {
+    /// Creates a schema containing only a root element.
+    pub fn new(name: impl Into<String>, root_label: impl Into<String>) -> Self {
+        Schema {
+            name: name.into(),
+            nodes: vec![SchemaNode {
+                label: root_label.into(),
+                parent: None,
+                children: Vec::new(),
+                repeatable: false,
+            }],
+        }
+    }
+
+    /// The root element id (always `SchemaNodeId(0)`).
+    #[inline]
+    pub fn root(&self) -> SchemaNodeId {
+        SchemaNodeId(0)
+    }
+
+    /// Number of element declarations (the paper's `|S|` / `|T|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the schema has only a root (it can never be fully empty).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, id: SchemaNodeId) -> &SchemaNode {
+        &self.nodes[id.idx()]
+    }
+
+    /// Element label of a node.
+    #[inline]
+    pub fn label(&self, id: SchemaNodeId) -> &str {
+        &self.nodes[id.idx()].label
+    }
+
+    /// Children of `id` in declaration order.
+    #[inline]
+    pub fn children(&self, id: SchemaNodeId) -> &[SchemaNodeId] {
+        &self.nodes[id.idx()].children
+    }
+
+    /// Parent of `id`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: SchemaNodeId) -> Option<SchemaNodeId> {
+        self.nodes[id.idx()].parent
+    }
+
+    /// True when `id` has no children.
+    #[inline]
+    pub fn is_leaf(&self, id: SchemaNodeId) -> bool {
+        self.nodes[id.idx()].children.is_empty()
+    }
+
+    /// Appends a child element under `parent` and returns its id.
+    pub fn add_child(&mut self, parent: SchemaNodeId, label: impl Into<String>) -> SchemaNodeId {
+        self.add_child_full(parent, label, false)
+    }
+
+    /// Appends a child element, also setting its repeatability flag.
+    pub fn add_child_full(
+        &mut self,
+        parent: SchemaNodeId,
+        label: impl Into<String>,
+        repeatable: bool,
+    ) -> SchemaNodeId {
+        let id = SchemaNodeId(self.nodes.len() as u32);
+        self.nodes.push(SchemaNode {
+            label: label.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+            repeatable,
+        });
+        self.nodes[parent.idx()].children.push(id);
+        id
+    }
+
+    /// Iterates over all node ids in pre-order.
+    pub fn ids(&self) -> impl Iterator<Item = SchemaNodeId> + '_ {
+        (0..self.nodes.len() as u32).map(SchemaNodeId)
+    }
+
+    /// All nodes of the subtree rooted at `id`, in pre-order (including `id`).
+    pub fn subtree(&self, id: SchemaNodeId) -> Vec<SchemaNodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // Push in reverse so children pop in declaration order.
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Number of nodes in the subtree rooted at `id` (including `id`).
+    pub fn subtree_size(&self, id: SchemaNodeId) -> usize {
+        self.subtree(id).len()
+    }
+
+    /// Root-to-node label path joined with `.` — the paper's hash-table key
+    /// (e.g. `ORDER.IP.ICN`).
+    pub fn path(&self, id: SchemaNodeId) -> String {
+        let mut labels = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            labels.push(self.label(n));
+            cur = self.parent(n);
+        }
+        labels.reverse();
+        labels.join(".")
+    }
+
+    /// Depth of a node; the root has depth 0.
+    pub fn depth(&self, id: SchemaNodeId) -> usize {
+        let mut d = 0;
+        let mut cur = self.parent(id);
+        while let Some(n) = cur {
+            d += 1;
+            cur = self.parent(n);
+        }
+        d
+    }
+
+    /// All nodes whose label equals `label`.
+    pub fn nodes_with_label(&self, label: &str) -> Vec<SchemaNodeId> {
+        self.ids().filter(|&id| self.label(id) == label).collect()
+    }
+
+    /// True when `anc` is a proper ancestor of `desc`.
+    pub fn is_ancestor(&self, anc: SchemaNodeId, desc: SchemaNodeId) -> bool {
+        let mut cur = self.parent(desc);
+        while let Some(n) = cur {
+            if n == anc {
+                return true;
+            }
+            cur = self.parent(n);
+        }
+        false
+    }
+
+    /// Builds a label → node ids lookup for repeated queries.
+    pub fn label_index(&self) -> HashMap<&str, Vec<SchemaNodeId>> {
+        let mut map: HashMap<&str, Vec<SchemaNodeId>> = HashMap::new();
+        for id in self.ids() {
+            map.entry(self.label(id)).or_default().push(id);
+        }
+        map
+    }
+
+    /// Parses the compact outline syntax used throughout tests and examples:
+    ///
+    /// ```text
+    /// Order(Buyer(Name Contact(EMail)) POLine*(LineNo Quantity))
+    /// ```
+    ///
+    /// `Label(children...)` nests; whitespace separates siblings; a `*`
+    /// suffix marks the element repeatable. The outer label is the root.
+    pub fn parse_outline(outline: &str) -> Result<Self, OutlineError> {
+        let tokens = tokenize_outline(outline)?;
+        let mut iter = tokens.into_iter().peekable();
+        let (root_label, root_rep) = match iter.next() {
+            Some(OutlineToken::Label(l, rep)) => (l, rep),
+            _ => return Err(OutlineError::ExpectedLabel),
+        };
+        let mut schema = Schema::new("outline", root_label);
+        schema.nodes[0].repeatable = root_rep;
+        if let Some(OutlineToken::Open) = iter.peek() {
+            iter.next();
+            parse_children(&mut schema, SchemaNodeId(0), &mut iter)?;
+        }
+        if iter.next().is_some() {
+            return Err(OutlineError::TrailingInput);
+        }
+        Ok(schema)
+    }
+
+    /// Renders the schema back to outline syntax (inverse of
+    /// [`Schema::parse_outline`] up to whitespace).
+    pub fn to_outline(&self) -> String {
+        let mut out = String::new();
+        self.write_outline(self.root(), &mut out);
+        out
+    }
+
+    fn write_outline(&self, id: SchemaNodeId, out: &mut String) {
+        out.push_str(self.label(id));
+        if self.node(id).repeatable {
+            out.push('*');
+        }
+        let kids = self.children(id);
+        if !kids.is_empty() {
+            out.push('(');
+            for (i, &c) in kids.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                self.write_outline(c, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} elements]: {}", self.name, self.len(), self.to_outline())
+    }
+}
+
+/// Errors from [`Schema::parse_outline`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OutlineError {
+    /// A label was expected but something else (or nothing) was found.
+    ExpectedLabel,
+    /// More closing parentheses than opening ones.
+    UnbalancedClose,
+    /// Input continued after the root element was complete.
+    TrailingInput,
+    /// A character that cannot appear in outline syntax.
+    BadChar(char),
+}
+
+impl fmt::Display for OutlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutlineError::ExpectedLabel => write!(f, "expected element label"),
+            OutlineError::UnbalancedClose => write!(f, "unbalanced ')'"),
+            OutlineError::TrailingInput => write!(f, "trailing input after root element"),
+            OutlineError::BadChar(c) => write!(f, "unexpected character {c:?} in outline"),
+        }
+    }
+}
+
+impl std::error::Error for OutlineError {}
+
+#[derive(Debug)]
+enum OutlineToken {
+    Label(String, bool),
+    Open,
+    Close,
+}
+
+fn tokenize_outline(s: &str) -> Result<Vec<OutlineToken>, OutlineError> {
+    let mut tokens = Vec::new();
+    let mut chars = s.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '(' => {
+                chars.next();
+                tokens.push(OutlineToken::Open);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(OutlineToken::Close);
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            c if is_label_char(c) => {
+                let mut label = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_label_char(c) {
+                        label.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let repeatable = matches!(chars.peek(), Some('*'));
+                if repeatable {
+                    chars.next();
+                }
+                tokens.push(OutlineToken::Label(label, repeatable));
+            }
+            other => return Err(OutlineError::BadChar(other)),
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_label_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-' || c == ':'
+}
+
+fn parse_children(
+    schema: &mut Schema,
+    parent: SchemaNodeId,
+    iter: &mut std::iter::Peekable<std::vec::IntoIter<OutlineToken>>,
+) -> Result<(), OutlineError> {
+    loop {
+        match iter.next() {
+            Some(OutlineToken::Label(label, rep)) => {
+                let id = schema.add_child_full(parent, label, rep);
+                if let Some(OutlineToken::Open) = iter.peek() {
+                    iter.next();
+                    parse_children(schema, id, iter)?;
+                }
+            }
+            Some(OutlineToken::Close) => return Ok(()),
+            Some(OutlineToken::Open) => return Err(OutlineError::ExpectedLabel),
+            None => return Err(OutlineError::UnbalancedClose),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn po() -> Schema {
+        Schema::parse_outline("Order(Buyer(Name Contact(EMail)) POLine*(LineNo Quantity))")
+            .unwrap()
+    }
+
+    #[test]
+    fn outline_roundtrip() {
+        let s = po();
+        assert_eq!(
+            s.to_outline(),
+            "Order(Buyer(Name Contact(EMail)) POLine*(LineNo Quantity))"
+        );
+        let again = Schema::parse_outline(&s.to_outline()).unwrap();
+        assert_eq!(s.to_outline(), again.to_outline());
+    }
+
+    #[test]
+    fn node_count_and_labels() {
+        let s = po();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.label(s.root()), "Order");
+        assert_eq!(s.nodes_with_label("EMail").len(), 1);
+        assert_eq!(s.nodes_with_label("Nope").len(), 0);
+    }
+
+    #[test]
+    fn paths_use_dot_separator() {
+        let s = po();
+        let email = s.nodes_with_label("EMail")[0];
+        assert_eq!(s.path(email), "Order.Buyer.Contact.EMail");
+        assert_eq!(s.path(s.root()), "Order");
+    }
+
+    #[test]
+    fn preorder_parent_before_child() {
+        let s = po();
+        for id in s.ids() {
+            if let Some(p) = s.parent(id) {
+                assert!(p < id, "parent id must precede child id");
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_and_depth() {
+        let s = po();
+        let buyer = s.nodes_with_label("Buyer")[0];
+        assert_eq!(s.subtree_size(buyer), 4); // Buyer, Name, Contact, EMail
+        let email = s.nodes_with_label("EMail")[0];
+        assert_eq!(s.depth(email), 3);
+        assert!(s.is_ancestor(s.root(), email));
+        assert!(s.is_ancestor(buyer, email));
+        assert!(!s.is_ancestor(email, buyer));
+    }
+
+    #[test]
+    fn repeatable_flag_parsed() {
+        let s = po();
+        let line = s.nodes_with_label("POLine")[0];
+        assert!(s.node(line).repeatable);
+        assert!(!s.node(s.root()).repeatable);
+    }
+
+    #[test]
+    fn single_node_outline() {
+        let s = Schema::parse_outline("Root").unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.is_empty());
+        assert!(s.is_leaf(s.root()));
+    }
+
+    #[test]
+    fn outline_errors() {
+        assert_eq!(
+            Schema::parse_outline("A(B").unwrap_err(),
+            OutlineError::UnbalancedClose
+        );
+        assert_eq!(
+            Schema::parse_outline("A B").unwrap_err(),
+            OutlineError::TrailingInput
+        );
+        assert_eq!(
+            Schema::parse_outline("").unwrap_err(),
+            OutlineError::ExpectedLabel
+        );
+        assert!(matches!(
+            Schema::parse_outline("A($)"),
+            Err(OutlineError::BadChar('$'))
+        ));
+    }
+
+    #[test]
+    fn label_index_groups_duplicates() {
+        let s =
+            Schema::parse_outline("Order(BillTo(ContactName) ShipTo(ContactName))").unwrap();
+        let idx = s.label_index();
+        assert_eq!(idx["ContactName"].len(), 2);
+        assert_eq!(idx["Order"].len(), 1);
+    }
+}

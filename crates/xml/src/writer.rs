@@ -1,0 +1,121 @@
+//! XML serialization — the inverse of [`crate::parser`].
+
+use crate::document::Document;
+use crate::ids::DocNodeId;
+
+/// Serializes a document to a compact XML string (no indentation).
+///
+/// Round-trips with [`crate::parse_document`] for documents whose text
+/// content has no leading/trailing whitespace (the parser trims).
+pub fn to_xml(doc: &Document) -> String {
+    let mut out = String::with_capacity(doc.len() * 16);
+    write_node(doc, doc.root(), &mut out, None);
+    out
+}
+
+/// Serializes a document with `indent` spaces per nesting level.
+pub fn to_xml_pretty(doc: &Document, indent: usize) -> String {
+    let mut out = String::with_capacity(doc.len() * 24);
+    write_node(doc, doc.root(), &mut out, Some(indent));
+    out
+}
+
+fn write_node(doc: &Document, id: DocNodeId, out: &mut String, indent: Option<usize>) {
+    let label = doc.label_str(id);
+    let level = doc.node(id).level as usize;
+    if let Some(width) = indent {
+        if id != doc.root() {
+            out.push('\n');
+        }
+        out.extend(std::iter::repeat_n(' ', level * width));
+    }
+    let children = doc.children(id);
+    let text = doc.text(id);
+    if children.is_empty() && text.is_none() {
+        out.push('<');
+        out.push_str(label);
+        out.push_str("/>");
+        return;
+    }
+    out.push('<');
+    out.push_str(label);
+    out.push('>');
+    if let Some(t) = text {
+        escape_into(t, out);
+    }
+    for &c in children {
+        write_node(doc, c, out, indent);
+    }
+    if let Some(width) = indent {
+        if !children.is_empty() {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', level * width));
+        }
+    }
+    out.push_str("</");
+    out.push_str(label);
+    out.push('>');
+}
+
+/// Escapes the five predefined XML entities into `out`.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '\'' => out.push_str("&apos;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = "<a><b>hi</b><c/><b>x &amp; y</b></a>";
+        let doc = parse_document(src).unwrap();
+        assert_eq!(to_xml(&doc), src);
+    }
+
+    #[test]
+    fn roundtrip_twice_is_stable() {
+        let src = "<order><line><qty>2</qty></line><line><qty>5</qty></line></order>";
+        let once = to_xml(&parse_document(src).unwrap());
+        let twice = to_xml(&parse_document(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut b = Document::builder("r");
+        let root = b.root();
+        b.set_text(root, "<&>'\"");
+        let doc = b.finish();
+        assert_eq!(to_xml(&doc), "<r>&lt;&amp;&gt;&apos;&quot;</r>");
+        let back = parse_document(&to_xml(&doc)).unwrap();
+        assert_eq!(back.text(back.root()), Some("<&>'\""));
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let doc = parse_document("<a><b><c/></b></a>").unwrap();
+        let pretty = to_xml_pretty(&doc, 2);
+        assert!(pretty.contains("\n  <b>"));
+        assert!(pretty.contains("\n    <c/>"));
+        // pretty output parses back to the same structure
+        let back = parse_document(&pretty).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let doc = parse_document("<a/>").unwrap();
+        assert_eq!(to_xml(&doc), "<a/>");
+    }
+}

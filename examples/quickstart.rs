@@ -1,0 +1,59 @@
+//! Quickstart: match two small schemas, derive possible mappings, build a
+//! block tree, and run a probabilistic twig query.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use uxm::prelude::*;
+
+fn main() {
+    // 1. Two purchase-order schemas in different naming conventions.
+    let source = Schema::parse_outline(
+        "Order(Buyer(Name Contact(EMail)) DeliverTo(Address(City Street)) \
+         POLine*(LineNo Quantity UnitPrice))",
+    )
+    .unwrap();
+    let target = Schema::parse_outline(
+        "PURCHASE_ORDER(BUYER_PARTY(NAME CONTACT(E_MAIL)) \
+         DELIVER_TO(ADDRESS(CITY STREET)) \
+         PO_LINE(LINE_NO QUANTITY UNIT_PRICE))",
+    )
+    .unwrap();
+    println!("source: {source}");
+    println!("target: {target}\n");
+
+    // 2. Match them (a COMA++-style composite matcher).
+    let matching = Matcher::default().match_schemas(&source, &target);
+    println!("matcher found {} correspondences", matching.capacity());
+
+    // 3. Derive the top-16 possible mappings, with probabilities.
+    let mappings = PossibleMappings::top_h(&matching, 16);
+    println!("derived {} possible mappings", mappings.len());
+    for (id, m) in mappings.iter().take(3) {
+        println!("  {id:?}: {} pairs, p = {:.3}", m.len(), m.prob);
+    }
+
+    // 4. Build the block tree: the compact representation of the mapping set.
+    let tree = BlockTree::build(&target, &mappings, &BlockTreeConfig::default());
+    println!(
+        "\nblock tree: {} c-blocks (min support {})",
+        tree.block_count(),
+        tree.min_support
+    );
+
+    // 5. Generate a source document and ask a probabilistic twig query
+    //    *posed on the target schema*.
+    let doc = Document::generate(&source, &DocGenConfig::small(), 42);
+    let q = TwigPattern::parse("PURCHASE_ORDER//E_MAIL").unwrap();
+    println!("\nquery: {q}  (against a {}-node source document)", doc.len());
+
+    let answers = ptq_with_tree(&q, &mappings, &doc, &tree);
+    for (matches, prob) in answers.aggregate() {
+        let texts: Vec<&str> = matches
+            .iter()
+            .filter_map(|m| doc.text(*m.nodes.last().unwrap()))
+            .collect();
+        println!("  p = {prob:.3}: {texts:?}");
+    }
+}

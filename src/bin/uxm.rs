@@ -1,0 +1,280 @@
+//! `uxm` — command-line front end for the uncertain-schema-matching
+//! pipeline.
+//!
+//! ```text
+//! uxm match     <source.outline> <target.outline> [--strategy c|f] [--threshold X]
+//! uxm mappings  <source.outline> <target.outline> [--h N]
+//! uxm query     <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X] [--mode label|node]
+//! uxm gen-doc   <schema.outline> [--nodes N] [--seed N]
+//! uxm dataset   <D1..D10>
+//! ```
+//!
+//! Schema files use the outline syntax (`Order(Buyer(Name) Item*(Price))`).
+
+use std::process::ExitCode;
+use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm::core::mapping::PossibleMappings;
+use uxm::core::path_ptq::{ptq_basic_nodes, ptq_with_tree_nodes};
+use uxm::core::ptq::PtqResult;
+use uxm::core::ptq_tree::ptq_with_tree;
+use uxm::core::semantics::{expected_count, match_probabilities};
+use uxm::core::stats::o_ratio;
+use uxm::core::topk::topk_ptq;
+use uxm::datagen::datasets::{Dataset, DatasetId};
+use uxm::matching::Matcher;
+use uxm::twig::TwigPattern;
+use uxm::xml::{parse_document, DocGenConfig, Document, PathIndex, Schema};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let result = match command.as_str() {
+        "match" => cmd_match(&args[1..]),
+        "mappings" => cmd_mappings(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "gen-doc" => cmd_gen_doc(&args[1..]),
+        "dataset" => cmd_dataset(&args[1..]),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  uxm match    <source.outline> <target.outline> [--strategy c|f] [--threshold X]\n  \
+         uxm mappings <source.outline> <target.outline> [--h N]\n  \
+         uxm query    <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X] [--mode label|node]\n  \
+         uxm gen-doc  <schema.outline> [--nodes N] [--seed N]\n  \
+         uxm dataset  <D1..D10>"
+    );
+    ExitCode::from(2)
+}
+
+/// `(name, value)` pairs collected from `--flag value` options.
+type Flags<'a> = Vec<(&'a str, &'a str)>;
+
+/// Splits positional arguments from `--flag value` options.
+fn parse_args(args: &[String]) -> Result<(Vec<&str>, Flags<'_>), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name, value.as_str()));
+            i += 2;
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
+    flags.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+}
+
+/// Loads a schema from an outline file, or from an XSD when the file ends
+/// in `.xsd` (or its content starts with an XML prolog / `<`).
+fn load_schema(path: &str) -> Result<Schema, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trimmed = text.trim();
+    if path.ends_with(".xsd") || trimmed.starts_with('<') {
+        Schema::from_xsd(trimmed).map_err(|e| format!("{path}: {e}"))
+    } else {
+        Schema::parse_outline(trimmed).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn matcher_from(flags: &[(&str, &str)]) -> Result<Matcher, String> {
+    let mut matcher = match flag(flags, "strategy") {
+        Some("f") => Matcher::fragment(),
+        Some("c") | None => Matcher::context(),
+        Some(other) => return Err(format!("unknown strategy {other:?} (use c or f)")),
+    };
+    if let Some(t) = flag(flags, "threshold") {
+        matcher.threshold = t.parse().map_err(|_| "bad --threshold".to_string())?;
+    }
+    Ok(matcher)
+}
+
+fn cmd_match(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_args(args)?;
+    let [src, tgt] = pos.as_slice() else {
+        return Err("match needs <source.outline> <target.outline>".into());
+    };
+    let source = load_schema(src)?;
+    let target = load_schema(tgt)?;
+    let matching = matcher_from(&flags)?.match_schemas(&source, &target);
+    println!(
+        "{} correspondences between {} ({} elements) and {} ({} elements):",
+        matching.capacity(),
+        src,
+        source.len(),
+        tgt,
+        target.len()
+    );
+    for c in matching.correspondences() {
+        println!(
+            "  {:<40} ~ {:<40} {:.2}",
+            source.path(c.source),
+            target.path(c.target),
+            c.score
+        );
+    }
+    Ok(())
+}
+
+fn cmd_mappings(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_args(args)?;
+    let [src, tgt] = pos.as_slice() else {
+        return Err("mappings needs <source.outline> <target.outline>".into());
+    };
+    let h: usize = flag(&flags, "h").map_or(Ok(10), str::parse).map_err(|_| "bad --h")?;
+    let source = load_schema(src)?;
+    let target = load_schema(tgt)?;
+    let matching = matcher_from(&flags)?.match_schemas(&source, &target);
+    let pm = PossibleMappings::top_h(&matching, h);
+    println!(
+        "top-{} possible mappings (o-ratio {:.2}):",
+        pm.len(),
+        o_ratio(&pm)
+    );
+    for (id, m) in pm.iter() {
+        println!("mapping {:?}: score {:.2}, p = {:.4}", id, m.score, m.prob);
+        for &(s, t) in &m.pairs {
+            println!("    {} ~ {}", source.path(s), target.path(t));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_args(args)?;
+    let [src, tgt, doc_path, query] = pos.as_slice() else {
+        return Err("query needs <source.outline> <target.outline> <doc.xml> <twig>".into());
+    };
+    let h: usize = flag(&flags, "h").map_or(Ok(50), str::parse).map_err(|_| "bad --h")?;
+    let tau: f64 = flag(&flags, "tau").map_or(Ok(0.2), str::parse).map_err(|_| "bad --tau")?;
+    let source = load_schema(src)?;
+    let target = load_schema(tgt)?;
+    let xml = std::fs::read_to_string(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
+    let doc = parse_document(&xml).map_err(|e| format!("{doc_path}: {e}"))?;
+    let q = TwigPattern::parse(query).map_err(|e| format!("query: {e}"))?;
+
+    let matching = matcher_from(&flags)?.match_schemas(&source, &target);
+    let pm = PossibleMappings::top_h(&matching, h);
+    let tree = BlockTree::build(
+        &target,
+        &pm,
+        &BlockTreeConfig {
+            tau,
+            ..BlockTreeConfig::default()
+        },
+    );
+
+    let result: PtqResult = match (flag(&flags, "mode"), flag(&flags, "k")) {
+        (Some("node"), _) => {
+            let index = PathIndex::new(&doc);
+            match flag(&flags, "k") {
+                Some(k) => {
+                    let _k: usize = k.parse().map_err(|_| "bad --k")?;
+                    return Err("--k with --mode node is not supported; drop one".into());
+                }
+                None => {
+                    // block-tree node-mode evaluation
+                    let r = ptq_with_tree_nodes(&q, &pm, &doc, &index, &tree);
+                    debug_assert_eq!(
+                        {
+                            let mut a = ptq_basic_nodes(&q, &pm, &doc, &index);
+                            a.normalize();
+                            a
+                        },
+                        {
+                            let mut b = r.clone();
+                            b.normalize();
+                            b
+                        }
+                    );
+                    r
+                }
+            }
+        }
+        (_, Some(k)) => {
+            let k: usize = k.parse().map_err(|_| "bad --k")?;
+            topk_ptq(&q, &pm, &doc, &tree, k)
+        }
+        _ => ptq_with_tree(&q, &pm, &doc, &tree),
+    };
+
+    println!(
+        "query {q} over {} mappings: {} relevant, expected match count {:.2}",
+        pm.len(),
+        result.len(),
+        expected_count(&result)
+    );
+    for (m, p) in match_probabilities(&result).into_iter().take(20) {
+        let leaf = *m.nodes.last().expect("non-empty match");
+        let text = doc.text(leaf).unwrap_or("");
+        println!("  p = {:.3}  {} {}", p, doc.path(leaf), text);
+    }
+    Ok(())
+}
+
+fn cmd_gen_doc(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_args(args)?;
+    let [schema_path] = pos.as_slice() else {
+        return Err("gen-doc needs <schema.outline>".into());
+    };
+    let nodes: usize = flag(&flags, "nodes").map_or(Ok(200), str::parse).map_err(|_| "bad --nodes")?;
+    let seed: u64 = flag(&flags, "seed").map_or(Ok(42), str::parse).map_err(|_| "bad --seed")?;
+    let schema = load_schema(schema_path)?;
+    let doc = Document::generate(
+        &schema,
+        &DocGenConfig {
+            target_nodes: nodes,
+            max_repeat: 4,
+            text_prob: 0.9,
+        },
+        seed,
+    );
+    println!("{}", uxm::xml::writer::to_xml_pretty(&doc, 2));
+    Ok(())
+}
+
+fn cmd_dataset(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_args(args)?;
+    let [name] = pos.as_slice() else {
+        return Err("dataset needs an id (D1..D10)".into());
+    };
+    let id = DatasetId::all()
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let d = Dataset::load(id);
+    let (s, t, cap, o) = id.paper_row();
+    println!("{}: |S|={s} |T|={t}", id.name());
+    println!("  paper:    capacity {cap}, o-ratio {o:.2}");
+    let pm = PossibleMappings::top_h(&d.matching, 100);
+    println!(
+        "  measured: capacity {}, o-ratio {:.2} (|M|=100)",
+        d.capacity(),
+        o_ratio(&pm)
+    );
+    Ok(())
+}

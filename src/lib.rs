@@ -1,0 +1,68 @@
+//! # uxm — Managing Uncertainty of XML Schema Matching
+//!
+//! Umbrella crate re-exporting the full reproduction of Cheng, Gong, Cheung,
+//! *"Managing Uncertainty of XML Schema Matching"*, ICDE 2010.
+//!
+//! The pipeline, end to end:
+//!
+//! 1. [`xml`] — XML schema and document trees (the substrate).
+//! 2. [`matching`] — a COMA++-style matcher producing a scored
+//!    correspondence set (a *schema matching*) between two schemas.
+//! 3. [`assignment`] — turns a schema matching into its top-*h* possible
+//!    mappings via ranked bipartite assignment (Murty/Pascoal), accelerated
+//!    by connected-component partitioning (the paper's §V contribution).
+//! 4. [`core`] — the *block tree* compressing the possible-mapping set, and
+//!    probabilistic twig query (PTQ / top-k PTQ) evaluation over it.
+//! 5. [`twig`] — the twig-pattern query engine used underneath PTQ.
+//! 6. [`datagen`] — synthetic e-commerce datasets reproducing the paper's
+//!    Table II workloads.
+//!
+//! ```
+//! use uxm::prelude::*;
+//!
+//! // Two tiny purchase-order schemas.
+//! let source = Schema::parse_outline("Order(Buyer(Name) Item(Price))").unwrap();
+//! let target = Schema::parse_outline("PO(Vendor(ContactName) Line(UnitPrice))").unwrap();
+//!
+//! // Match them, derive possible mappings, build the block tree.
+//! let matching = Matcher::default().match_schemas(&source, &target);
+//! let mappings = PossibleMappings::top_h(&matching, 8);
+//! let tree = BlockTree::build(&target, &mappings, &BlockTreeConfig::default());
+//!
+//! // Ask a probabilistic twig query against a source document.
+//! let doc = Document::generate(&source, &DocGenConfig::small(), 7);
+//! let q = TwigPattern::parse("PO//ContactName").unwrap();
+//! let answers = ptq_with_tree(&q, &mappings, &doc, &tree);
+//! for ans in answers.iter() {
+//!     assert!(ans.probability > 0.0);
+//! }
+//! ```
+
+pub use uxm_assignment as assignment;
+pub use uxm_core as core;
+pub use uxm_datagen as datagen;
+pub use uxm_matching as matching;
+pub use uxm_twig as twig;
+pub use uxm_xml as xml;
+
+/// One-stop imports for the common pipeline.
+pub mod prelude {
+    pub use uxm_assignment::{
+        bipartite::Bipartite, murty::murty_top_h, partition::partition_top_h,
+    };
+    pub use uxm_core::{
+        block_tree::{BlockTree, BlockTreeConfig},
+        mapping::{Mapping, PossibleMappings},
+        ptq::{ptq_basic, PtqAnswer},
+        ptq_tree::ptq_with_tree,
+        topk::topk_ptq,
+    };
+    pub use uxm_datagen::datasets::{Dataset, DatasetId};
+    pub use uxm_matching::{matcher::Matcher, SchemaMatching};
+    pub use uxm_twig::pattern::TwigPattern;
+    pub use uxm_xml::{
+        document::Document,
+        docgen::DocGenConfig,
+        schema::Schema,
+    };
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the assignment substrate: the solver, Murty
+//! ranking, and partition-based generation are checked against exhaustive
+//! enumeration on arbitrary small bipartite problems.
+
+use proptest::prelude::*;
+use uxm::assignment::bipartite::Bipartite;
+use uxm::assignment::brute::{brute_top_h, enumerate_all};
+use uxm::assignment::murty::{ranked_assignments, RankVariant};
+use uxm::assignment::partition::{murty_top_h_mappings, partition, partition_top_h};
+use uxm::assignment::solver::solve;
+use uxm::matching::{Correspondence, SchemaMatching};
+use uxm::xml::{Schema, SchemaNodeId};
+
+/// Strategy: a random sparse bipartite with ≤5 lefts and ≤4 targets.
+fn bipartite_strategy() -> impl Strategy<Value = Bipartite> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..4, 1u32..=100), 0..4),
+        1..6,
+    )
+    .prop_map(|rows| {
+        let edges = rows
+            .into_iter()
+            .map(|row| {
+                let mut dedup: Vec<(u32, f64)> = Vec::new();
+                for (r, w) in row {
+                    if !dedup.iter().any(|&(rr, _)| rr == r) {
+                        dedup.push((r, w as f64 / 100.0));
+                    }
+                }
+                dedup
+            })
+            .collect();
+        Bipartite::from_edges(4, edges)
+    })
+}
+
+/// Strategy: a random sparse schema matching (≤6 sources, ≤5 targets).
+fn matching_strategy() -> impl Strategy<Value = SchemaMatching> {
+    proptest::collection::vec((1u32..=6, 1u32..=5, 1u32..=100), 0..12).prop_map(|triples| {
+        let source = Schema::parse_outline("R(S1 S2 S3 S4 S5 S6)").unwrap();
+        let target = Schema::parse_outline("Q(T1 T2 T3 T4 T5)").unwrap();
+        let corrs = triples
+            .into_iter()
+            .map(|(s, t, w)| Correspondence {
+                source: SchemaNodeId(s),
+                target: SchemaNodeId(t),
+                score: w as f64 / 100.0,
+            })
+            .collect();
+        SchemaMatching::new(source, target, corrs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solver_finds_optimum(bp in bipartite_strategy()) {
+        let a = solve(&bp);
+        prop_assert!(bp.is_valid(&a));
+        let best = enumerate_all(&bp).first().map(|x| x.score).unwrap_or(0.0);
+        prop_assert!((a.score - best).abs() < 1e-9, "{} vs {}", a.score, best);
+    }
+
+    #[test]
+    fn murty_matches_brute_force(bp in bipartite_strategy(), h in 1usize..10) {
+        for variant in [RankVariant::MurtyEager, RankVariant::PascoalLazy] {
+            let ranked = ranked_assignments(&bp, h, variant);
+            let brute = brute_top_h(&bp, h);
+            prop_assert_eq!(ranked.len(), brute.len());
+            for (r, b) in ranked.iter().zip(&brute) {
+                prop_assert!((r.score - b.score).abs() < 1e-9);
+                prop_assert!(bp.is_valid(r));
+            }
+        }
+    }
+
+    #[test]
+    fn murty_scores_non_increasing(bp in bipartite_strategy()) {
+        let ranked = ranked_assignments(&bp, 12, RankVariant::PascoalLazy);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].score >= w[1].score - 1e-9);
+        }
+    }
+
+    #[test]
+    fn partition_equals_whole_graph(m in matching_strategy(), h in 1usize..8) {
+        if m.is_empty() {
+            return Ok(());
+        }
+        let via_partition = partition_top_h(&m, h);
+        let direct = murty_top_h_mappings(&m, h, RankVariant::MurtyEager);
+        prop_assert_eq!(via_partition.len(), direct.len());
+        for (p, d) in via_partition.iter().zip(&direct) {
+            prop_assert!((p.score - d.score).abs() < 1e-9, "{} vs {}", p.score, d.score);
+        }
+    }
+
+    #[test]
+    fn partitions_cover_and_are_disjoint(m in matching_strategy()) {
+        let parts = partition(&m);
+        let total: usize = parts.iter().map(|p| p.corrs.len()).sum();
+        prop_assert_eq!(total, m.capacity());
+        // No source appears in two partitions.
+        let mut all_sources: Vec<_> = parts.iter().flat_map(|p| p.sources()).collect();
+        let before = all_sources.len();
+        all_sources.sort_unstable();
+        all_sources.dedup();
+        prop_assert_eq!(before, all_sources.len());
+        // No target appears in two partitions.
+        let mut all_targets: Vec<_> = parts.iter().flat_map(|p| p.targets()).collect();
+        let before = all_targets.len();
+        all_targets.sort_unstable();
+        all_targets.dedup();
+        prop_assert_eq!(before, all_targets.len());
+    }
+
+    #[test]
+    fn ranked_mappings_are_valid_functions(m in matching_strategy(), h in 1usize..8) {
+        for rm in partition_top_h(&m, h) {
+            let mut targets: Vec<_> = rm.pairs.iter().map(|p| p.1).collect();
+            targets.sort_unstable();
+            let before = targets.len();
+            targets.dedup();
+            prop_assert_eq!(before, targets.len());
+            // score equals the sum of correspondence scores
+            let sum: f64 = rm
+                .pairs
+                .iter()
+                .map(|&(s, t)| m.score(s, t).expect("pair from matching"))
+                .sum();
+            prop_assert!((sum - rm.score).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the twig engine: the production matcher
+//! agrees with the naive oracle on random documents and random patterns,
+//! and the structural join agrees with the nested-loop reference.
+
+use proptest::prelude::*;
+use uxm::twig::structural_join::{nested_loop_join, structural_join};
+use uxm::twig::{match_twig, match_twig_naive, Axis, ResolvedPattern, TwigPattern};
+use uxm::xml::{parse_document, Document};
+
+/// Strategy: a random small document over labels a/b/c, built from a
+/// nesting script.
+fn document_strategy() -> impl Strategy<Value = Document> {
+    proptest::collection::vec((0u8..3, prop::bool::ANY), 1..40).prop_map(|script| {
+        let mut xml = String::from("<r>");
+        let mut open: Vec<&str> = Vec::new();
+        for (label, close) in script {
+            if close && !open.is_empty() {
+                let l = open.pop().unwrap();
+                xml.push_str(&format!("</{l}>"));
+            } else {
+                let l = ["a", "b", "c"][label as usize];
+                xml.push_str(&format!("<{l}>"));
+                open.push(l);
+            }
+        }
+        while let Some(l) = open.pop() {
+            xml.push_str(&format!("</{l}>"));
+        }
+        xml.push_str("</r>");
+        parse_document(&xml).expect("generated XML is well-formed")
+    })
+}
+
+const PATTERNS: [&str; 10] = [
+    "//a/b",
+    "//a//b",
+    "//a[./b]/c",
+    "//a[.//b][.//c]",
+    "r//a",
+    "r/a/b/c",
+    "//b[./c]//a",
+    "//a//a",
+    "//c",
+    "r[./a]//b",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matcher_agrees_with_naive(doc in document_strategy(), p_idx in 0usize..PATTERNS.len()) {
+        let q = TwigPattern::parse(PATTERNS[p_idx]).unwrap();
+        if let Some(r) = ResolvedPattern::new(&q, &doc) {
+            let fast = match_twig(&doc, &r);
+            let slow = match_twig_naive(&doc, &r);
+            prop_assert_eq!(fast, slow, "pattern {}", PATTERNS[p_idx]);
+        }
+    }
+
+    #[test]
+    fn structural_join_agrees_with_nested_loop(doc in document_strategy()) {
+        let a: Vec<_> = doc.nodes_with_label("a").to_vec();
+        let b: Vec<_> = doc.nodes_with_label("b").to_vec();
+        for axis in [Axis::Child, Axis::Descendant] {
+            let fast = structural_join(&doc, &a, &b, axis);
+            let slow = nested_loop_join(&doc, &a, &b, axis);
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn matches_respect_structure(doc in document_strategy(), p_idx in 0usize..PATTERNS.len()) {
+        let q = TwigPattern::parse(PATTERNS[p_idx]).unwrap();
+        let Some(r) = ResolvedPattern::new(&q, &doc) else { return Ok(()); };
+        for m in match_twig(&doc, &r) {
+            for node in q.ids().skip(1) {
+                let parent = q.node(node).parent.unwrap();
+                let (pd, cd) = (m.nodes[parent.idx()], m.nodes[node.idx()]);
+                match q.node(node).axis {
+                    Axis::Child => prop_assert!(doc.is_parent(pd, cd)),
+                    Axis::Descendant => prop_assert!(doc.is_ancestor(pd, cd)),
+                }
+                prop_assert_eq!(
+                    doc.label_str(m.nodes[node.idx()]),
+                    &q.node(node).label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_end_table_brackets_descendants(doc in document_strategy()) {
+        let end = doc.subtree_end_table();
+        for n in doc.ids() {
+            for d in doc.descendants(n) {
+                prop_assert!(n.0 < d.0 && d.0 <= end[n.idx()]);
+            }
+            // nothing beyond the bracket is a descendant
+            if (end[n.idx()] as usize) + 1 < doc.len() {
+                let next = uxm::xml::DocNodeId(end[n.idx()] + 1);
+                prop_assert!(!doc.is_ancestor(n, next));
+            }
+        }
+    }
+}

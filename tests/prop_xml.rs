@@ -1,0 +1,99 @@
+//! Robustness properties for the XML substrate: the parser never panics
+//! on arbitrary input, well-formed documents roundtrip through the writer,
+//! and generated documents always conform to their schema.
+
+use proptest::prelude::*;
+use uxm::xml::{parse_document, writer, DocGenConfig, Document, PathIndex, Schema};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse_document(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_taglike_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("<c/>".to_string()),
+                Just("&amp;".to_string()),
+                Just("&bogus;".to_string()),
+                Just("text".to_string()),
+                Just("<!-- c -->".to_string()),
+                Just("<?pi?>".to_string()),
+                Just("<".to_string()),
+                Just(">".to_string()),
+            ],
+            0..20,
+        )
+    ) {
+        let _ = parse_document(&parts.concat());
+    }
+
+    #[test]
+    fn writer_roundtrips_generated_documents(seed in 0u64..200, nodes in 5usize..120) {
+        let schema = Schema::parse_outline(
+            "Order(Buyer(Name Contact(EMail)) Item*(No Qty Price) Note*)",
+        ).unwrap();
+        let cfg = DocGenConfig { target_nodes: nodes, max_repeat: 3, text_prob: 0.7 };
+        let doc = Document::generate(&schema, &cfg, seed);
+        let xml = writer::to_xml(&doc);
+        let back = parse_document(&xml).expect("own output parses");
+        prop_assert_eq!(doc.len(), back.len());
+        prop_assert_eq!(writer::to_xml(&back), xml);
+        // pretty form parses to the same structure too
+        let pretty = writer::to_xml_pretty(&doc, 2);
+        let back2 = parse_document(&pretty).expect("pretty output parses");
+        prop_assert_eq!(back2.len(), doc.len());
+    }
+
+    #[test]
+    fn generated_documents_conform(seed in 0u64..100) {
+        let schema = Schema::parse_outline(
+            "R(A(B C*) D*(E F(G)) H)",
+        ).unwrap();
+        let cfg = DocGenConfig { target_nodes: 80, max_repeat: 4, text_prob: 0.5 };
+        let doc = Document::generate(&schema, &cfg, seed);
+        let schema_paths: std::collections::HashSet<String> =
+            schema.ids().map(|id| schema.path(id).replace('.', "/")).collect();
+        for id in doc.ids() {
+            prop_assert!(schema_paths.contains(&doc.path(id)));
+        }
+        // the path index agrees with per-node path computation
+        let index = PathIndex::new(&doc);
+        for id in doc.ids() {
+            prop_assert!(index.nodes(&doc.path(id)).contains(&id));
+        }
+    }
+
+    #[test]
+    fn outline_roundtrip_for_random_trees(
+        script in proptest::collection::vec((0u8..5, prop::bool::ANY, prop::bool::ANY), 1..30)
+    ) {
+        // Build a random schema programmatically, render to outline, reparse.
+        let mut schema = Schema::new("t", "Root");
+        let mut cursor = vec![schema.root()];
+        for (label, descend, repeatable) in script {
+            let parent = *cursor.last().unwrap();
+            let child = schema.add_child_full(
+                parent,
+                format!("N{label}"),
+                repeatable,
+            );
+            if descend {
+                cursor.push(child);
+            } else if cursor.len() > 1 {
+                cursor.pop();
+            }
+        }
+        let outline = schema.to_outline();
+        let back = Schema::parse_outline(&outline).expect("own outline parses");
+        prop_assert_eq!(back.to_outline(), outline);
+        prop_assert_eq!(back.len(), schema.len());
+    }
+}
