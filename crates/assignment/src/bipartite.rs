@@ -198,7 +198,13 @@ mod tests {
         SchemaMatching::new(
             src,
             tgt,
-            vec![c(1, 1, 0.9), c(2, 1, 0.8), c(2, 2, 0.7), c(3, 2, 0.6), c(0, 0, 1.0)],
+            vec![
+                c(1, 1, 0.9),
+                c(2, 1, 0.8),
+                c(2, 2, 0.7),
+                c(3, 2, 0.6),
+                c(0, 0, 1.0),
+            ],
         )
     }
 

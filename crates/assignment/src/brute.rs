@@ -83,11 +83,14 @@ mod tests {
 
     #[test]
     fn all_enumerated_are_valid() {
-        let bp = Bipartite::from_edges(3, vec![
-            vec![(0, 0.9), (1, 0.4)],
-            vec![(0, 0.6), (2, 0.3)],
-            vec![(1, 0.8)],
-        ]);
+        let bp = Bipartite::from_edges(
+            3,
+            vec![
+                vec![(0, 0.9), (1, 0.4)],
+                vec![(0, 0.6), (2, 0.3)],
+                vec![(1, 0.8)],
+            ],
+        );
         for a in enumerate_all(&bp) {
             assert!(bp.is_valid(&a));
             assert!((bp.score_of(&a.choice) - a.score).abs() < 1e-12);

@@ -48,7 +48,11 @@ pub fn merge_top_h(a: &[RankedMapping], b: &[RankedMapping], h: usize) -> Vec<Ra
     if a.is_empty() || b.is_empty() || h == 0 {
         // An empty list means "that side has no mappings at all", which can
         // only happen for empty inputs; treat it as the identity.
-        return if a.is_empty() { b[..b.len().min(h)].to_vec() } else { a[..a.len().min(h)].to_vec() };
+        return if a.is_empty() {
+            b[..b.len().min(h)].to_vec()
+        } else {
+            a[..a.len().min(h)].to_vec()
+        };
     }
     let mut out = Vec::with_capacity(h.min(a.len() * b.len()));
     let mut heap: BinaryHeap<Frontier> = BinaryHeap::new();
@@ -60,7 +64,9 @@ pub fn merge_top_h(a: &[RankedMapping], b: &[RankedMapping], h: usize) -> Vec<Ra
     });
     seen.insert((0, 0));
     while out.len() < h {
-        let Some(Frontier { i, j, .. }) = heap.pop() else { break };
+        let Some(Frontier { i, j, .. }) = heap.pop() else {
+            break;
+        };
         out.push(a[i as usize].union(&b[j as usize]));
         let mut push = |i: u32, j: u32| {
             if (i as usize) < a.len() && (j as usize) < b.len() && seen.insert((i, j)) {
@@ -79,13 +85,13 @@ pub fn merge_top_h(a: &[RankedMapping], b: &[RankedMapping], h: usize) -> Vec<Ra
 
 /// Eager variant: materializes the full product then truncates. Kept as
 /// the ablation baseline corresponding to the paper's `merge` sketch.
-pub fn merge_top_h_eager(
-    a: &[RankedMapping],
-    b: &[RankedMapping],
-    h: usize,
-) -> Vec<RankedMapping> {
+pub fn merge_top_h_eager(a: &[RankedMapping], b: &[RankedMapping], h: usize) -> Vec<RankedMapping> {
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() { b[..b.len().min(h)].to_vec() } else { a[..a.len().min(h)].to_vec() };
+        return if a.is_empty() {
+            b[..b.len().min(h)].to_vec()
+        } else {
+            a[..a.len().min(h)].to_vec()
+        };
     }
     let mut all: Vec<RankedMapping> = a
         .iter()

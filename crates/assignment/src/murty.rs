@@ -68,10 +68,7 @@ pub fn ranked_assignments(bp: &Bipartite, h: usize, variant: RankVariant) -> Vec
                 // Lazy node: solve now, re-queue unless it is still the top.
                 match solve_constrained(bp, &node.cons) {
                     Some(s) => {
-                        if heap
-                            .peek()
-                            .is_some_and(|n| n.bound > s.score)
-                        {
+                        if heap.peek().is_some_and(|n| n.bound > s.score) {
                             heap.push(Node {
                                 bound: s.score,
                                 cons: node.cons,
@@ -146,9 +143,7 @@ fn has_alternative(
     fixed: &[(LeftId, RightId)],
 ) -> bool {
     let blocked = |rr: RightId| {
-        rr == r
-            || forbidden.contains(&(l, rr))
-            || fixed.iter().any(|&(_, fr)| fr == rr)
+        rr == r || forbidden.contains(&(l, rr)) || fixed.iter().any(|&(_, fr)| fr == rr)
     };
     let skip = bp.skip_of(l);
     if !blocked(skip) {

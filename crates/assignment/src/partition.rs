@@ -85,7 +85,10 @@ pub fn partition(matching: &SchemaMatching) -> Vec<Partition> {
     let mut groups: std::collections::HashMap<usize, Vec<Correspondence>> =
         std::collections::HashMap::new();
     for c in corrs {
-        groups.entry(uf.find(src_idx(c.source))).or_default().push(*c);
+        groups
+            .entry(uf.find(src_idx(c.source)))
+            .or_default()
+            .push(*c);
     }
     let mut parts: Vec<Partition> = groups
         .into_values()
@@ -251,13 +254,21 @@ mod tests {
         for trial in 0..15 {
             let ns = rng.gen_range(2..8);
             let nt = rng.gen_range(2..6);
-            let src = Schema::parse_outline(
-                &format!("R({})", (0..ns).map(|i| format!("S{i}")).collect::<Vec<_>>().join(" ")),
-            )
+            let src = Schema::parse_outline(&format!(
+                "R({})",
+                (0..ns)
+                    .map(|i| format!("S{i}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ))
             .unwrap();
-            let tgt = Schema::parse_outline(
-                &format!("Q({})", (0..nt).map(|i| format!("T{i}")).collect::<Vec<_>>().join(" ")),
-            )
+            let tgt = Schema::parse_outline(&format!(
+                "Q({})",
+                (0..nt)
+                    .map(|i| format!("T{i}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ))
             .unwrap();
             let mut corrs = Vec::new();
             for s in 1..=ns {

@@ -155,7 +155,10 @@ pub fn solve_constrained(bp: &Bipartite, cons: &Constraints) -> Option<Assignmen
         }
     }
 
-    let choice: Vec<RightId> = match_left.into_iter().map(|c| c.expect("perfect")).collect();
+    let choice: Vec<RightId> = match_left
+        .into_iter()
+        .map(|c| c.expect("perfect"))
+        .collect();
     let score = bp.score_of(&choice);
     if score == f64::NEG_INFINITY {
         return None;

@@ -17,24 +17,32 @@ fn bench_blocktree(c: &mut Criterion) {
 
     // Fig 9(a)/(b): construction across tau.
     for tau in [0.05, 0.2, 0.5] {
-        g.bench_with_input(BenchmarkId::new("build_tau", tau.to_string()), &tau, |b, &tau| {
-            let cfg = BlockTreeConfig {
-                tau,
-                ..BlockTreeConfig::default()
-            };
-            b.iter(|| std::hint::black_box(BlockTree::build(target, &pm, &cfg).block_count()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("build_tau", tau.to_string()),
+            &tau,
+            |b, &tau| {
+                let cfg = BlockTreeConfig {
+                    tau,
+                    ..BlockTreeConfig::default()
+                };
+                b.iter(|| std::hint::black_box(BlockTree::build(target, &pm, &cfg).block_count()));
+            },
+        );
     }
 
     // Fig 9(e): construction across MAX_B.
     for max_b in [20usize, 100, 300] {
-        g.bench_with_input(BenchmarkId::new("build_max_b", max_b), &max_b, |b, &max_b| {
-            let cfg = BlockTreeConfig {
-                max_blocks: max_b,
-                ..BlockTreeConfig::default()
-            };
-            b.iter(|| std::hint::black_box(BlockTree::build(target, &pm, &cfg).block_count()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("build_max_b", max_b),
+            &max_b,
+            |b, &max_b| {
+                let cfg = BlockTreeConfig {
+                    max_blocks: max_b,
+                    ..BlockTreeConfig::default()
+                };
+                b.iter(|| std::hint::black_box(BlockTree::build(target, &pm, &cfg).block_count()));
+            },
+        );
     }
 
     // Mapping compression (Algorithm 1 step 5).

@@ -5,6 +5,7 @@
 //! nodes), each data point averaged over repeated runs.
 
 use uxm_core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm_core::engine::QueryEngine;
 use uxm_core::mapping::PossibleMappings;
 use uxm_datagen::datasets::{Dataset, DatasetId};
 use uxm_xml::{DocGenConfig, Document};
@@ -28,6 +29,14 @@ pub struct QueryWorkload {
     pub doc: Document,
     /// The block tree built with the given configuration.
     pub tree: BlockTree,
+}
+
+impl QueryWorkload {
+    /// A [`QueryEngine`] session over this workload (clones the shared
+    /// data into the engine; build it once per experiment).
+    pub fn engine(&self) -> QueryEngine {
+        QueryEngine::new(self.mappings.clone(), self.doc.clone(), self.tree.clone())
+    }
 }
 
 /// Builds the paper's default D7 workload with `m` possible mappings.

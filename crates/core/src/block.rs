@@ -103,9 +103,30 @@ mod tests {
             source.clone(),
             target.clone(),
             vec![
-                (vec![(s("O"), t("ORDER")), (s("BP"), t("IP")), (s("BCN"), t("ICN"))], 3.0),
-                (vec![(s("O"), t("ORDER")), (s("BP"), t("IP")), (s("BCN"), t("ICN"))], 2.0),
-                (vec![(s("O"), t("ORDER")), (s("SP"), t("IP")), (s("SCN"), t("ICN"))], 1.0),
+                (
+                    vec![
+                        (s("O"), t("ORDER")),
+                        (s("BP"), t("IP")),
+                        (s("BCN"), t("ICN")),
+                    ],
+                    3.0,
+                ),
+                (
+                    vec![
+                        (s("O"), t("ORDER")),
+                        (s("BP"), t("IP")),
+                        (s("BCN"), t("ICN")),
+                    ],
+                    2.0,
+                ),
+                (
+                    vec![
+                        (s("O"), t("ORDER")),
+                        (s("SP"), t("IP")),
+                        (s("SCN"), t("ICN")),
+                    ],
+                    1.0,
+                ),
             ],
         );
         (target, pm)

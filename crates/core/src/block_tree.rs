@@ -263,9 +263,7 @@ impl<'a> Builder<'a> {
                         break;
                     }
                 }
-                if shared.len() >= self.min_support
-                    && self.blocks.len() < self.config.max_blocks
-                {
+                if shared.len() >= self.min_support && self.blocks.len() < self.config.max_blocks {
                     let mut corrs = vec![(*s, t)];
                     for (k, list) in child_lists.iter().enumerate() {
                         corrs.extend_from_slice(&self.blocks[list[idx[k]].idx()].corrs);
@@ -345,10 +343,8 @@ mod tests {
 
     /// The paper's running example: Fig. 1 schemas, Fig. 3 mappings.
     fn paper_example() -> (Schema, PossibleMappings) {
-        let source = Schema::parse_outline(
-            "Order(BP(BOC(BCN) ROC(RCN) OOC(OCN)) SP(SCN_src))",
-        )
-        .unwrap();
+        let source =
+            Schema::parse_outline("Order(BP(BOC(BCN) ROC(RCN) OOC(OCN)) SP(SCN_src))").unwrap();
         let target = Schema::parse_outline("ORDER(IP(ICN) SP2(SCN))").unwrap();
         let s = |l: &str| source.nodes_with_label(l)[0];
         let t = |l: &str| target.nodes_with_label(l)[0];
@@ -358,15 +354,55 @@ mod tests {
             target.clone(),
             vec![
                 // m1: Order~ORDER, BP~IP, BCN~ICN, RCN~SCN
-                (vec![(s("Order"), t("ORDER")), (s("BP"), t("IP")), (s("BCN"), t("ICN")), (s("RCN"), t("SCN"))], 3.0),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("BP"), t("IP")),
+                        (s("BCN"), t("ICN")),
+                        (s("RCN"), t("SCN")),
+                    ],
+                    3.0,
+                ),
                 // m2: Order~ORDER, BP~IP, BCN~ICN, OCN~SCN
-                (vec![(s("Order"), t("ORDER")), (s("BP"), t("IP")), (s("BCN"), t("ICN")), (s("OCN"), t("SCN"))], 2.5),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("BP"), t("IP")),
+                        (s("BCN"), t("ICN")),
+                        (s("OCN"), t("SCN")),
+                    ],
+                    2.5,
+                ),
                 // m3: Order~ORDER, SP~IP, RCN~ICN, OCN~SCN
-                (vec![(s("Order"), t("ORDER")), (s("SP"), t("IP")), (s("RCN"), t("ICN")), (s("OCN"), t("SCN"))], 2.0),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("SP"), t("IP")),
+                        (s("RCN"), t("ICN")),
+                        (s("OCN"), t("SCN")),
+                    ],
+                    2.0,
+                ),
                 // m4: Order~ORDER, BP~IP, RCN~ICN, BCN~SCN
-                (vec![(s("Order"), t("ORDER")), (s("BP"), t("IP")), (s("RCN"), t("ICN")), (s("BCN"), t("SCN"))], 1.5),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("BP"), t("IP")),
+                        (s("RCN"), t("ICN")),
+                        (s("BCN"), t("SCN")),
+                    ],
+                    1.5,
+                ),
                 // m5: Order~ORDER, BP~IP, OCN~ICN, BCN~SCN
-                (vec![(s("Order"), t("ORDER")), (s("BP"), t("IP")), (s("OCN"), t("ICN")), (s("BCN"), t("SCN"))], 1.0),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("BP"), t("IP")),
+                        (s("OCN"), t("ICN")),
+                        (s("BCN"), t("SCN")),
+                    ],
+                    1.0,
+                ),
             ],
         );
         (target, pm)
@@ -442,8 +478,14 @@ mod tests {
             ..BlockTreeConfig::default()
         };
         let tree = BlockTree::build(&target, &pm, &cfg);
-        assert_eq!(tree.find_node("ORDER.IP.ICN"), Some(target.nodes_with_label("ICN")[0]));
-        assert_eq!(tree.find_node("ORDER.IP"), Some(target.nodes_with_label("IP")[0]));
+        assert_eq!(
+            tree.find_node("ORDER.IP.ICN"),
+            Some(target.nodes_with_label("ICN")[0])
+        );
+        assert_eq!(
+            tree.find_node("ORDER.IP"),
+            Some(target.nodes_with_label("IP")[0])
+        );
         assert_eq!(tree.find_node("ORDER"), None, "no block at root");
         assert_eq!(tree.find_node("NOPE"), None);
     }

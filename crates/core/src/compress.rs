@@ -144,8 +144,7 @@ mod tests {
     fn overlapping_mappings() -> PossibleMappings {
         // A shared 9-element subtree plus one varying leaf, over 30
         // mappings — the regime the paper exploits (o-ratio near 1).
-        let source =
-            Schema::parse_outline("O(A0 A1 A2 A3 A4 A5 A6 A7 A8 B1 B2)").unwrap();
+        let source = Schema::parse_outline("O(A0 A1 A2 A3 A4 A5 A6 A7 A8 B1 B2)").unwrap();
         let target = Schema::parse_outline("R(X(C1 C2 C3 C4 C5 C6 C7 C8) Y)").unwrap();
         let s = |l: &str| source.nodes_with_label(l)[0];
         let t = |l: &str| target.nodes_with_label(l)[0];
@@ -244,14 +243,11 @@ mod tests {
 
     #[test]
     fn lossless_on_matcher_derived_mappings() {
-        let source = Schema::parse_outline(
-            "Order(Buyer(Name Contact(EMail)) POLine(LineNo Quantity))",
-        )
-        .unwrap();
-        let target = Schema::parse_outline(
-            "PO(Purchaser(PName PContact(PEMail)) Line(No Qty))",
-        )
-        .unwrap();
+        let source =
+            Schema::parse_outline("Order(Buyer(Name Contact(EMail)) POLine(LineNo Quantity))")
+                .unwrap();
+        let target =
+            Schema::parse_outline("PO(Purchaser(PName PContact(PEMail)) Line(No Qty))").unwrap();
         let matching = Matcher::context().match_schemas(&source, &target);
         let pm = PossibleMappings::top_h(&matching, 16);
         let tree = BlockTree::build(&target, &pm, &BlockTreeConfig::default());

@@ -1,0 +1,1331 @@
+//! The query-session layer: [`QueryEngine`].
+//!
+//! Every query entry point in this crate ([`crate::ptq`],
+//! [`crate::ptq_tree`], [`crate::topk`], [`crate::path_ptq`],
+//! [`crate::keyword`]) evaluates through this module. A [`QueryEngine`]
+//! owns one session's data — `(source schema, target schema,
+//! PossibleMappings, BlockTree, Document)` — plus derived state built once
+//! per session instead of once per query:
+//!
+//! * a [`SymbolTable`] interning every label of both schemas and the
+//!   document, so rewriting and filtering compare dense `u32` symbols,
+//!   never strings;
+//! * per-symbol target-node and document-label inverted indexes;
+//! * per-symbol *relevance bitsets* over the mapping set, turning the
+//!   paper's `filter_mappings` into a handful of bitwise ANDs;
+//! * a memoized rewrite cache keyed by `(query, mapping)` and a relevant-
+//!   mapping cache keyed by query, which make repeated-query workloads
+//!   (the service scenario) skip rewriting entirely.
+//!
+//! The legacy free functions remain as thin wrappers that build a
+//! throwaway session state, so their results — and the engine's — are
+//! identical by construction; the equivalence is additionally pinned by
+//! `tests/engine_equivalence.rs`.
+//!
+//! With the `parallel` feature, independent per-mapping / per-c-block /
+//! per-rewrite-group evaluations run on scoped threads (see [`par_run`]).
+
+use crate::block_tree::{BlockTree, BlockTreeConfig};
+use crate::keyword::{KeywordAnswer, KeywordError};
+use crate::mapping::{Mapping, MappingId, PossibleMappings};
+use crate::ptq::{PtqAnswer, PtqResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use uxm_twig::structural_join::structural_join;
+use uxm_twig::{match_twig, Axis, PatternNodeId, ResolvedPattern, TwigMatch, TwigPattern};
+use uxm_xml::{DocNodeId, Document, LabelId, PathIndex, Schema, SchemaNodeId, Symbol, SymbolTable};
+
+// ---------------------------------------------------------------------
+// parallel scaffolding
+
+/// Runs `f(0..n)` and collects results in index order.
+///
+/// With the `parallel` feature, work items are pulled off a shared atomic
+/// counter by `min(n, available_parallelism)` scoped threads; without it,
+/// this is a plain sequential map. Either way the output order (and hence
+/// every result in this crate) is deterministic.
+pub(crate) fn par_run<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads > 1 {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                local.push((i, f(i)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, r) in h.join().expect("engine worker panicked") {
+                        out[i] = Some(r);
+                    }
+                }
+            });
+            return out
+                .into_iter()
+                .map(|r| r.expect("all indices run"))
+                .collect();
+        }
+    }
+    (0..n).map(f).collect()
+}
+
+// ---------------------------------------------------------------------
+// relevance bitsets
+
+/// A fixed-width bitset over mapping ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct MappingBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl MappingBits {
+    #[cfg(test)]
+    fn empty(len: usize) -> MappingBits {
+        MappingBits {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    fn full(len: usize) -> MappingBits {
+        let mut b = MappingBits {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        // Clear the tail beyond `len`.
+        if !len.is_multiple_of(64) {
+            if let Some(last) = b.words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        b
+    }
+
+    #[cfg(test)]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn and_assign(&mut self, other: &[u64]) {
+        for (w, o) in self.words.iter_mut().zip(other) {
+            *w &= o;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Set bits in ascending order, as mapping ids.
+    fn ids(&self) -> Vec<MappingId> {
+        let mut out = Vec::new();
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(MappingId((wi * 64 + bit) as u32));
+                w &= w - 1;
+            }
+        }
+        out
+    }
+}
+
+/// Per-symbol relevance bitsets over the mapping set, stored flat — one
+/// allocation for all symbols, which keeps throwaway session construction
+/// (the legacy free-function path) cheap.
+struct RelevanceIndex {
+    words_per_sym: usize,
+    words: Vec<u64>,
+}
+
+impl RelevanceIndex {
+    fn new(n_syms: usize, n_mappings: usize) -> RelevanceIndex {
+        let words_per_sym = n_mappings.div_ceil(64);
+        RelevanceIndex {
+            words_per_sym,
+            words: vec![0; n_syms * words_per_sym],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, sym: Symbol, mapping: usize) {
+        self.words[sym.idx() * self.words_per_sym + mapping / 64] |= 1 << (mapping % 64);
+    }
+
+    /// The bitset words for `sym`'s label.
+    #[inline]
+    fn of(&self, sym: Symbol) -> &[u64] {
+        let start = sym.idx() * self.words_per_sym;
+        &self.words[start..start + self.words_per_sym]
+    }
+}
+
+// ---------------------------------------------------------------------
+// session state
+
+/// Hit/miss counters for the per-session caches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `(query, mapping)` rewrite cache hits.
+    pub rewrite_hits: u64,
+    /// `(query, mapping)` rewrite cache misses (computed entries).
+    pub rewrite_misses: u64,
+    /// Relevant-mapping cache hits.
+    pub relevant_hits: u64,
+    /// Relevant-mapping cache misses.
+    pub relevant_misses: u64,
+}
+
+/// Rewrite sets per query node — interned labels, sorted and deduplicated.
+type SymbolSets = Arc<Vec<Vec<Symbol>>>;
+/// Node-granularity rewrite sets per query node.
+type NodeSets = Arc<Vec<Vec<SchemaNodeId>>>;
+
+/// Everything derivable from `(PossibleMappings, Document)` that query
+/// evaluation wants precomputed. Built once per [`QueryEngine`]; the
+/// legacy free functions build a throwaway one per call.
+pub(crate) struct SessionState {
+    symbols: SymbolTable,
+    /// Per source schema node: its label's symbol.
+    source_syms: Vec<Symbol>,
+    /// Per symbol: target schema nodes carrying it (pre-order).
+    target_nodes_by_sym: Vec<Vec<SchemaNodeId>>,
+    /// Per symbol: the document's interned id for that label, if present.
+    sym_doc_label: Vec<Option<LabelId>>,
+    /// Per symbol: mappings covering ≥1 target node with that label.
+    relevance: RelevanceIndex,
+    n_mappings: usize,
+    rewrite_cache: Mutex<HashMap<String, HashMap<MappingId, Option<SymbolSets>>>>,
+    node_rewrite_cache: Mutex<HashMap<String, HashMap<MappingId, Option<NodeSets>>>>,
+    relevant_cache: Mutex<HashMap<String, Arc<Vec<MappingId>>>>,
+    rewrite_hits: AtomicU64,
+    rewrite_misses: AtomicU64,
+    relevant_hits: AtomicU64,
+    relevant_misses: AtomicU64,
+}
+
+impl SessionState {
+    pub(crate) fn build(pm: &PossibleMappings, doc: &Document) -> SessionState {
+        let mut symbols = SymbolTable::new();
+        let source_syms: Vec<Symbol> = pm
+            .source
+            .ids()
+            .map(|id| symbols.intern(pm.source.label(id)))
+            .collect();
+        let target_syms: Vec<Symbol> = pm
+            .target
+            .ids()
+            .map(|id| symbols.intern(pm.target.label(id)))
+            .collect();
+        let doc_label_syms: Vec<(Symbol, LabelId)> = (0..doc.label_count() as u32)
+            .map(|l| (symbols.intern(doc.label_name(LabelId(l))), LabelId(l)))
+            .collect();
+
+        let mut target_nodes_by_sym = vec![Vec::new(); symbols.len()];
+        for (id, &sym) in pm.target.ids().zip(&target_syms) {
+            target_nodes_by_sym[sym.idx()].push(id);
+        }
+
+        let mut sym_doc_label = vec![None; symbols.len()];
+        for (sym, l) in doc_label_syms {
+            sym_doc_label[sym.idx()] = Some(l);
+        }
+
+        let n_mappings = pm.len();
+        let mut relevance = RelevanceIndex::new(symbols.len(), n_mappings);
+        for (mid, m) in pm.iter() {
+            for &(_, t) in &m.pairs {
+                relevance.set(target_syms[t.idx()], mid.idx());
+            }
+        }
+
+        SessionState {
+            symbols,
+            source_syms,
+            target_nodes_by_sym,
+            sym_doc_label,
+            relevance,
+            n_mappings,
+            rewrite_cache: Mutex::new(HashMap::new()),
+            node_rewrite_cache: Mutex::new(HashMap::new()),
+            relevant_cache: Mutex::new(HashMap::new()),
+            rewrite_hits: AtomicU64::new(0),
+            rewrite_misses: AtomicU64::new(0),
+            relevant_hits: AtomicU64::new(0),
+            relevant_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The session's symbol table (crate tests peek at it).
+    #[cfg(test)]
+    pub(crate) fn symbols_for_tests(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            rewrite_hits: self.rewrite_hits.load(Ordering::Relaxed),
+            rewrite_misses: self.rewrite_misses.load(Ordering::Relaxed),
+            relevant_hits: self.relevant_hits.load(Ordering::Relaxed),
+            relevant_misses: self.relevant_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per pattern node: the session symbol of its label (`None` when the
+    /// label occurs in neither schema nor the document).
+    fn query_syms(&self, q: &TwigPattern) -> Vec<Option<Symbol>> {
+        q.ids()
+            .map(|id| self.symbols.resolve(&q.node(id).label))
+            .collect()
+    }
+
+    /// Target schema nodes whose label is `sym`.
+    #[inline]
+    fn target_nodes(&self, sym: Option<Symbol>) -> &[SchemaNodeId] {
+        match sym {
+            Some(s) => &self.target_nodes_by_sym[s.idx()],
+            None => &[],
+        }
+    }
+
+    /// Upper bound on distinct memoized queries per cache. Beyond it the
+    /// cache is cleared wholesale — crude, but it bounds a long-lived
+    /// session serving unbounded ad-hoc queries, and a clear only costs
+    /// re-deriving rewrites for queries still in rotation.
+    const MAX_CACHED_QUERIES: usize = 1024;
+
+    /// The paper's `filter_mappings` via bitset intersection, memoized per
+    /// query. Ids come out in ascending order, matching the legacy path.
+    pub(crate) fn relevant(&self, q: &TwigPattern, qstr: &str) -> Arc<Vec<MappingId>> {
+        if let Some(hit) = self.relevant_cache.lock().expect("cache lock").get(qstr) {
+            self.relevant_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.relevant_misses.fetch_add(1, Ordering::Relaxed);
+        let mut bits = MappingBits::full(self.n_mappings);
+        for sym in self.query_syms(q) {
+            match sym {
+                Some(s) => bits.and_assign(self.relevance.of(s)),
+                None => bits.clear(),
+            }
+        }
+        let ids = Arc::new(bits.ids());
+        let mut cache = self.relevant_cache.lock().expect("cache lock");
+        if cache.len() >= Self::MAX_CACHED_QUERIES {
+            cache.clear();
+        }
+        cache.insert(qstr.to_string(), Arc::clone(&ids));
+        ids
+    }
+
+    /// `source_for` over a correspondence slice sorted by target (a
+    /// mapping's pairs, or a c-block acting as a mini-mapping).
+    fn pairs_lookup(
+        pairs: &[(SchemaNodeId, SchemaNodeId)],
+    ) -> impl Fn(SchemaNodeId) -> Option<SchemaNodeId> + Copy + '_ {
+        move |t| {
+            pairs
+                .binary_search_by_key(&t, |&(_, tt)| tt)
+                .ok()
+                .map(|i| pairs[i].0)
+        }
+    }
+
+    /// One query node's rewrite: the target nodes carrying `sym`, mapped
+    /// through `source_for` and projected by `project`; sorted, deduped,
+    /// `None` when empty (the node — hence the mapping — is irrelevant).
+    fn rewrite_one<T: Ord>(
+        &self,
+        sym: Option<Symbol>,
+        source_for: impl Fn(SchemaNodeId) -> Option<SchemaNodeId>,
+        project: impl Fn(SchemaNodeId) -> T,
+    ) -> Option<Vec<T>> {
+        let mut out: Vec<T> = self
+            .target_nodes(sym)
+            .iter()
+            .filter_map(|&t| source_for(t).map(&project))
+            .collect();
+        if out.is_empty() {
+            return None;
+        }
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+
+    /// [`Self::rewrite_one`] across all query nodes; `None` as soon as any
+    /// node comes up empty.
+    fn rewrite_all<T: Ord>(
+        &self,
+        qsyms: &[Option<Symbol>],
+        source_for: impl Fn(SchemaNodeId) -> Option<SchemaNodeId> + Copy,
+        project: impl Fn(SchemaNodeId) -> T + Copy,
+    ) -> Option<Arc<Vec<Vec<T>>>> {
+        qsyms
+            .iter()
+            .map(|&sym| self.rewrite_one(sym, source_for, project))
+            .collect::<Option<Vec<_>>>()
+            .map(Arc::new)
+    }
+
+    /// The shared memoization shape of [`Self::rewrite`] and
+    /// [`Self::rewrite_nodes`]: probe `cache` (hits are allocation-free),
+    /// else compute, evict wholesale past [`Self::MAX_CACHED_QUERIES`],
+    /// and insert.
+    fn memoized<V: Clone>(
+        &self,
+        cache: &Mutex<HashMap<String, HashMap<MappingId, Option<V>>>>,
+        qstr: &str,
+        id: MappingId,
+        compute: impl FnOnce() -> Option<V>,
+    ) -> Option<V> {
+        if let Some(per_mapping) = cache.lock().expect("cache lock").get(qstr) {
+            if let Some(hit) = per_mapping.get(&id) {
+                self.rewrite_hits.fetch_add(1, Ordering::Relaxed);
+                return hit.clone();
+            }
+        }
+        self.rewrite_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = compute();
+        let mut cache = cache.lock().expect("cache lock");
+        if cache.len() >= Self::MAX_CACHED_QUERIES {
+            cache.clear();
+        }
+        cache
+            .entry(qstr.to_string())
+            .or_default()
+            .insert(id, computed.clone());
+        computed
+    }
+
+    /// Rewrites `q` through mapping `id`: per query node, the source-label
+    /// symbols it may match; `None` when the mapping is irrelevant.
+    /// Memoized on `(query, mapping)`; cache hits are allocation-free.
+    fn rewrite(
+        &self,
+        qstr: &str,
+        qsyms: &[Option<Symbol>],
+        m: &Mapping,
+        id: MappingId,
+    ) -> Option<SymbolSets> {
+        self.memoized(&self.rewrite_cache, qstr, id, || {
+            self.rewrite_all(
+                qsyms,
+                |t| m.source_for_target(t),
+                |s| self.source_syms[s.idx()],
+            )
+        })
+    }
+
+    /// Rewrites through a raw correspondence set (a c-block acting as a
+    /// mini-mapping); pairs are sorted by target.
+    fn rewrite_pairs(
+        &self,
+        qsyms: &[Option<Symbol>],
+        pairs: &[(SchemaNodeId, SchemaNodeId)],
+    ) -> Option<SymbolSets> {
+        self.rewrite_all(qsyms, Self::pairs_lookup(pairs), |s| {
+            self.source_syms[s.idx()]
+        })
+    }
+
+    /// Node-granularity rewrite (the source *schema nodes* per query
+    /// node), memoized on `(query, mapping)`.
+    fn rewrite_nodes(
+        &self,
+        qstr: &str,
+        qsyms: &[Option<Symbol>],
+        m: &Mapping,
+        id: MappingId,
+    ) -> Option<NodeSets> {
+        self.memoized(&self.node_rewrite_cache, qstr, id, || {
+            self.rewrite_all(qsyms, |t| m.source_for_target(t), |s| s)
+        })
+    }
+
+    /// Node-granularity rewrite through raw pairs.
+    fn rewrite_nodes_pairs(
+        &self,
+        qsyms: &[Option<Symbol>],
+        pairs: &[(SchemaNodeId, SchemaNodeId)],
+    ) -> Option<NodeSets> {
+        self.rewrite_all(qsyms, Self::pairs_lookup(pairs), |s| s)
+    }
+
+    /// Binds rewritten symbol sets to the document, skipping symbols whose
+    /// label the document never uses.
+    fn resolve(&self, q: &TwigPattern, sets: &[Vec<Symbol>]) -> Option<ResolvedPattern> {
+        let ids = sets
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .filter_map(|s| self.sym_doc_label[s.idx()])
+                    .collect()
+            })
+            .collect();
+        ResolvedPattern::with_label_ids(q, ids)
+    }
+}
+
+// ---------------------------------------------------------------------
+// label-granularity evaluation (Algorithms 3 and 4)
+
+/// Algorithm 3 over a pre-filtered mapping subset.
+pub(crate) fn eval_basic_over(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    doc: &Document,
+    state: &SessionState,
+    ids: &[MappingId],
+) -> PtqResult {
+    let qstr = q.to_string();
+    let qsyms = state.query_syms(q);
+    // Resolve rewrites up front (cache-served when warm) so the parallel
+    // workers below never touch the cache locks.
+    let rewrites: Vec<Option<SymbolSets>> = ids
+        .iter()
+        .map(|&id| state.rewrite(&qstr, &qsyms, pm.mapping(id), id))
+        .collect();
+    let answers = par_run(ids.len(), |k| {
+        let sets = rewrites[k].as_ref()?;
+        let matches = match state.resolve(q, sets) {
+            Some(resolved) => match_twig(doc, &resolved),
+            None => Vec::new(), // rewritten labels absent from the document
+        };
+        Some(PtqAnswer {
+            mapping: ids[k],
+            probability: pm.mapping(ids[k]).prob,
+            matches,
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    PtqResult { answers }
+}
+
+/// Algorithm 4 over a pre-filtered mapping subset.
+pub(crate) fn eval_tree_over(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    doc: &Document,
+    tree: &BlockTree,
+    state: &SessionState,
+    ids: &[MappingId],
+) -> PtqResult {
+    let per = eval_tree_rec(q, pm, doc, tree, state, ids);
+    let answers = ids
+        .iter()
+        .zip(per)
+        .map(|(&id, matches)| PtqAnswer {
+            mapping: id,
+            probability: pm.mapping(id).prob,
+            matches,
+        })
+        .collect();
+    PtqResult { answers }
+}
+
+/// The paper's `twig_query_tree` recursion: per mapping in `ids`, the
+/// match set of `q`.
+fn eval_tree_rec(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    doc: &Document,
+    tree: &BlockTree,
+    state: &SessionState,
+    ids: &[MappingId],
+) -> Vec<Vec<TwigMatch>> {
+    let qsyms = state.query_syms(q);
+    if let Some(t) = anchor_for(q, &qsyms, pm, state, tree) {
+        return query_subtree(q, &qsyms, t, pm, doc, tree, state, ids);
+    }
+    if q.len() == 1 || !any_subquery_anchors(q, pm, state, tree) {
+        // No decomposition can reach a c-block: splitting would only pay
+        // join overhead. Evaluate directly (the paper's `twig_query`).
+        return direct(q, pm, doc, state, ids);
+    }
+
+    // Split: root-only query + one subquery per child (`split_query`).
+    let q0 = q.node_only(q.root());
+    let r0 = direct(&q0, pm, doc, state, ids);
+
+    let children = q.node(q.root()).children.clone();
+    let mut child_results: Vec<Vec<Vec<TwigMatch>>> = Vec::with_capacity(children.len());
+    let mut child_maps = Vec::with_capacity(children.len());
+    let mut child_axes = Vec::with_capacity(children.len());
+    for &c in &children {
+        let (mut sub, map) = q.subpattern_with_map(c);
+        child_axes.push(q.node(c).axis);
+        // The parent edge is re-imposed by the join below; standalone the
+        // subquery may root anywhere.
+        sub.set_axis(sub.root(), Axis::Descendant);
+        child_results.push(eval_tree_rec(&sub, pm, doc, tree, state, ids));
+        child_maps.push(map);
+    }
+
+    // Per mapping: stack-join the root candidates with each child's
+    // sub-matches, then stitch combined matches.
+    par_run(ids.len(), |k| {
+        let child_matches: Vec<&[TwigMatch]> =
+            child_results.iter().map(|cr| cr[k].as_slice()).collect();
+        join_at_root(q, doc, &r0[k], &child_matches, &child_maps, &child_axes)
+    })
+}
+
+/// Finds a block-tree anchor usable for the whole (sub)query: the query
+/// root's label must denote a unique target element `t`, `t` must carry
+/// c-blocks, and every query label must occur only inside `t`'s subtree
+/// (otherwise a full mapping could rewrite a query label through an
+/// occurrence outside the block's coverage).
+pub(crate) fn anchor_for(
+    q: &TwigPattern,
+    qsyms: &[Option<Symbol>],
+    pm: &PossibleMappings,
+    state: &SessionState,
+    tree: &BlockTree,
+) -> Option<SchemaNodeId> {
+    let [t] = state.target_nodes(qsyms[q.root().idx()]) else {
+        return None;
+    };
+    let t = *t;
+    if !tree.has_blocks(t) {
+        return None;
+    }
+    let mut subtree = pm.target.subtree(t);
+    subtree.sort_unstable();
+    let mut distinct: Vec<Option<Symbol>> = qsyms.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    for sym in distinct {
+        for &n in state.target_nodes(sym) {
+            if subtree.binary_search(&n).is_err() {
+                return None;
+            }
+        }
+    }
+    Some(t)
+}
+
+/// True iff some proper subquery of `q` would find a usable anchor — the
+/// condition under which splitting can pay off.
+fn any_subquery_anchors(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    state: &SessionState,
+    tree: &BlockTree,
+) -> bool {
+    q.ids().skip(1).any(|n| {
+        let (sub, _) = q.subpattern_with_map(n);
+        let sub_syms = state.query_syms(&sub);
+        anchor_for(&sub, &sub_syms, pm, state, tree).is_some()
+    })
+}
+
+/// The paper's `query_subtree`: answer once per c-block, replicate to the
+/// block's mappings, evaluate the rest directly.
+#[allow(clippy::too_many_arguments)]
+fn query_subtree(
+    q: &TwigPattern,
+    qsyms: &[Option<Symbol>],
+    t: SchemaNodeId,
+    pm: &PossibleMappings,
+    doc: &Document,
+    tree: &BlockTree,
+    state: &SessionState,
+    ids: &[MappingId],
+) -> Vec<Vec<TwigMatch>> {
+    let pos: HashMap<MappingId, usize> = ids.iter().enumerate().map(|(k, &id)| (id, k)).collect();
+    let mut out: Vec<Option<Vec<TwigMatch>>> = vec![None; ids.len()];
+
+    // Evaluate q once per block (independently), then replicate in block
+    // order (later blocks overwrite, matching the legacy evaluator).
+    let block_ids = tree.blocks_at(t);
+    let block_matches = par_run(block_ids.len(), |bi| {
+        let b = tree.block(block_ids[bi]);
+        match state.rewrite_pairs(qsyms, &b.corrs) {
+            Some(sets) => match state.resolve(q, &sets) {
+                Some(resolved) => match_twig(doc, &resolved),
+                None => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    });
+    for (&bid, y) in block_ids.iter().zip(block_matches) {
+        for mid in &tree.block(bid).mappings {
+            if let Some(&k) = pos.get(mid) {
+                out[k] = Some(y.clone());
+            }
+        }
+    }
+
+    // Mappings not covered by any block: evaluate directly (with rewrite
+    // sharing among them).
+    let uncovered: Vec<MappingId> = out
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(k, _)| ids[k])
+        .collect();
+    let mut rest = direct(q, pm, doc, state, &uncovered).into_iter();
+    out.into_iter()
+        .map(|slot| match slot {
+            Some(m) => m,
+            None => rest.next().expect("one result per uncovered mapping"),
+        })
+        .collect()
+}
+
+/// Direct evaluation inside the block-tree algorithm, sharing work across
+/// mappings whose *rewrites agree* — the generalization of c-block
+/// replication to query fragments without an anchor.
+fn direct(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    doc: &Document,
+    state: &SessionState,
+    ids: &[MappingId],
+) -> Vec<Vec<TwigMatch>> {
+    let qstr = q.to_string();
+    let qsyms = state.query_syms(q);
+    let mut groups: HashMap<SymbolSets, Vec<usize>> = HashMap::new();
+    for (k, &id) in ids.iter().enumerate() {
+        if let Some(sets) = state.rewrite(&qstr, &qsyms, pm.mapping(id), id) {
+            groups.entry(sets).or_default().push(k);
+        }
+    }
+    let groups: Vec<(SymbolSets, Vec<usize>)> = groups.into_iter().collect();
+    let per_group = par_run(groups.len(), |gi| match state.resolve(q, &groups[gi].0) {
+        Some(resolved) => match_twig(doc, &resolved),
+        None => Vec::new(),
+    });
+    let mut out: Vec<Vec<TwigMatch>> = vec![Vec::new(); ids.len()];
+    for ((_, members), matches) in groups.into_iter().zip(per_group) {
+        let (last, rest) = members.split_last().expect("non-empty group");
+        for &k in rest {
+            out[k] = matches.clone();
+        }
+        out[*last] = matches;
+    }
+    out
+}
+
+/// Combines root-only matches with per-child sub-matches using the
+/// structural join on root document nodes, then stitches full matches.
+fn join_at_root(
+    q: &TwigPattern,
+    doc: &Document,
+    r0: &[TwigMatch],
+    child_matches: &[&[TwigMatch]],
+    child_maps: &[Vec<PatternNodeId>],
+    child_axes: &[Axis],
+) -> Vec<TwigMatch> {
+    if r0.is_empty() || child_matches.iter().any(|c| c.is_empty()) {
+        return Vec::new();
+    }
+    // Root candidates (single-node matches, already sorted and unique).
+    let roots: Vec<DocNodeId> = r0.iter().map(|m| m.nodes[0]).collect();
+
+    // For each child: sorted (root, child-match indices) association built
+    // from the structural join — no hashing on the per-mapping hot path.
+    let mut per_child: Vec<Vec<(DocNodeId, Vec<usize>)>> = Vec::with_capacity(child_matches.len());
+    for (j, cms) in child_matches.iter().enumerate() {
+        // Child matches are sorted, so their roots arrive non-decreasing.
+        let mut child_roots: Vec<DocNodeId> = Vec::new();
+        let mut back_refs: Vec<Vec<usize>> = Vec::new();
+        for (i, m) in cms.iter().enumerate() {
+            if child_roots.last() == Some(&m.nodes[0]) {
+                back_refs.last_mut().expect("parallel").push(i);
+            } else {
+                child_roots.push(m.nodes[0]);
+                back_refs.push(vec![i]);
+            }
+        }
+        let pairs = structural_join(doc, &roots, &child_roots, child_axes[j]);
+        // Group by ancestor.
+        let mut assoc: Vec<(DocNodeId, Vec<usize>)> = Vec::new();
+        let mut sorted_pairs = pairs;
+        sorted_pairs.sort_unstable_by_key(|&(a, d)| (a, d));
+        for (a, d) in sorted_pairs {
+            let refs = &back_refs[child_roots.binary_search(&d).expect("joined root")];
+            if assoc.last().map(|(x, _)| *x) == Some(a) {
+                assoc.last_mut().expect("grouped").1.extend_from_slice(refs);
+            } else {
+                assoc.push((a, refs.clone()));
+            }
+        }
+        per_child.push(assoc);
+    }
+
+    // Per root: cross product of joinable child matches.
+    let mut out = Vec::new();
+    let empty: Vec<usize> = Vec::new();
+    for &root in &roots {
+        let lists: Vec<&Vec<usize>> = per_child
+            .iter()
+            .map(|assoc| {
+                assoc
+                    .binary_search_by_key(&root, |&(a, _)| a)
+                    .map(|i| &assoc[i].1)
+                    .unwrap_or(&empty)
+            })
+            .collect();
+        if lists.iter().any(|l| l.is_empty()) {
+            continue;
+        }
+        let mut idx = vec![0usize; lists.len()];
+        loop {
+            let mut nodes = vec![DocNodeId(0); q.len()];
+            nodes[0] = root;
+            for (j, list) in lists.iter().enumerate() {
+                let cm = &child_matches[j][list[idx[j]]];
+                for (i, &orig) in child_maps[j].iter().enumerate() {
+                    nodes[orig.idx()] = cm.nodes[i];
+                }
+            }
+            out.push(TwigMatch { nodes });
+            // Advance odometer.
+            let mut j = 0;
+            loop {
+                if j == idx.len() {
+                    break;
+                }
+                idx[j] += 1;
+                if idx[j] < lists[j].len() {
+                    break;
+                }
+                idx[j] = 0;
+                j += 1;
+            }
+            if j == idx.len() {
+                break;
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------
+// node-granularity evaluation (path_ptq semantics)
+
+fn node_sets_to_matches(
+    q: &TwigPattern,
+    sets: &[Vec<SchemaNodeId>],
+    pm: &PossibleMappings,
+    doc: &Document,
+    index: &PathIndex,
+) -> Vec<TwigMatch> {
+    let candidates = crate::path_ptq::schema_nodes_to_doc(sets, &pm.source, index);
+    match ResolvedPattern::with_node_candidates(q, candidates) {
+        Some(resolved) => match_twig(doc, &resolved),
+        None => Vec::new(),
+    }
+}
+
+/// Node-granularity `query_basic`.
+pub(crate) fn eval_basic_nodes(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    doc: &Document,
+    index: &PathIndex,
+    state: &SessionState,
+) -> PtqResult {
+    let qstr = q.to_string();
+    let qsyms = state.query_syms(q);
+    let ids = state.relevant(q, &qstr);
+    // Resolve rewrites up front so the parallel workers below never touch
+    // the cache locks.
+    let rewrites: Vec<NodeSets> = ids
+        .iter()
+        .map(|&id| {
+            state
+                .rewrite_nodes(&qstr, &qsyms, pm.mapping(id), id)
+                .expect("filtered")
+        })
+        .collect();
+    let answers = par_run(ids.len(), |k| PtqAnswer {
+        mapping: ids[k],
+        probability: pm.mapping(ids[k]).prob,
+        matches: node_sets_to_matches(q, &rewrites[k], pm, doc, index),
+    });
+    PtqResult { answers }
+}
+
+/// Node-granularity PTQ with the block tree: blocks anchored at target
+/// nodes answer once per block; everything else shares work across
+/// mappings whose node-rewrites agree.
+pub(crate) fn eval_tree_nodes(
+    q: &TwigPattern,
+    pm: &PossibleMappings,
+    doc: &Document,
+    index: &PathIndex,
+    tree: &BlockTree,
+    state: &SessionState,
+) -> PtqResult {
+    let qstr = q.to_string();
+    let qsyms = state.query_syms(q);
+    let ids = state.relevant(q, &qstr);
+
+    let mut out: Vec<Option<Vec<TwigMatch>>> = vec![None; ids.len()];
+    if let Some(t) = anchor_for(q, &qsyms, pm, state, tree) {
+        let pos: HashMap<MappingId, usize> =
+            ids.iter().enumerate().map(|(k, &id)| (id, k)).collect();
+        let block_ids = tree.blocks_at(t);
+        let block_matches = par_run(block_ids.len(), |bi| {
+            let b = tree.block(block_ids[bi]);
+            match state.rewrite_nodes_pairs(&qsyms, &b.corrs) {
+                Some(sets) => node_sets_to_matches(q, &sets, pm, doc, index),
+                None => Vec::new(),
+            }
+        });
+        for (&bid, matches) in block_ids.iter().zip(block_matches) {
+            for mid in &tree.block(bid).mappings {
+                if let Some(&k) = pos.get(mid) {
+                    out[k] = Some(matches.clone());
+                }
+            }
+        }
+    }
+
+    // Everything uncovered: group by identical node rewrites.
+    let mut groups: HashMap<NodeSets, Vec<usize>> = HashMap::new();
+    for (k, &id) in ids.iter().enumerate() {
+        if out[k].is_none() {
+            let sets = state
+                .rewrite_nodes(&qstr, &qsyms, pm.mapping(id), id)
+                .expect("filtered");
+            groups.entry(sets).or_default().push(k);
+        }
+    }
+    let groups: Vec<(NodeSets, Vec<usize>)> = groups.into_iter().collect();
+    let per_group = par_run(groups.len(), |gi| {
+        node_sets_to_matches(q, &groups[gi].0, pm, doc, index)
+    });
+    for ((_, members), matches) in groups.into_iter().zip(per_group) {
+        for &k in &members {
+            out[k] = Some(matches.clone());
+        }
+    }
+
+    let answers = ids
+        .iter()
+        .zip(out)
+        .map(|(&id, matches)| PtqAnswer {
+            mapping: id,
+            probability: pm.mapping(id).prob,
+            matches: matches.expect("all slots filled"),
+        })
+        .collect();
+    PtqResult { answers }
+}
+
+// ---------------------------------------------------------------------
+// keyword evaluation
+
+/// Keyword query over every possible mapping (SLCA semantics); mappings
+/// whose rewrites agree share one evaluation.
+pub(crate) fn eval_keyword(
+    keywords: &[&str],
+    pm: &PossibleMappings,
+    doc: &Document,
+    state: &SessionState,
+) -> Result<Vec<KeywordAnswer>, KeywordError> {
+    KeywordError::check(keywords)?;
+
+    // Split vocabulary terms from value terms once: a term is vocabulary
+    // iff the target schema uses it as a label.
+    let term_syms: Vec<Option<Symbol>> =
+        keywords.iter().map(|k| state.symbols.resolve(k)).collect();
+    let is_vocab: Vec<bool> = term_syms
+        .iter()
+        .map(|&sym| !state.target_nodes(sym).is_empty())
+        .collect();
+
+    // Group mappings by the rewritten symbol sets of the vocabulary terms.
+    let mut groups: HashMap<Vec<Vec<Symbol>>, Vec<MappingId>> = HashMap::new();
+    'mapping: for (id, m) in pm.iter() {
+        let mut key = Vec::new();
+        for (&sym, &vocab) in term_syms.iter().zip(&is_vocab) {
+            if vocab {
+                let rewrite = state.rewrite_one(
+                    sym,
+                    |t| m.source_for_target(t),
+                    |s| state.source_syms[s.idx()],
+                );
+                match rewrite {
+                    Some(labels) => key.push(labels),
+                    None => continue 'mapping, // irrelevant
+                }
+            }
+        }
+        groups.entry(key).or_default().push(id);
+    }
+
+    let groups: Vec<(Vec<Vec<Symbol>>, Vec<MappingId>)> = groups.into_iter().collect();
+    let slca_sets = par_run(groups.len(), |gi| {
+        slca(keywords, &is_vocab, &groups[gi].0, doc, state)
+    });
+    let mut answers = Vec::new();
+    for ((_, ids), slcas) in groups.into_iter().zip(slca_sets) {
+        for id in ids {
+            answers.push(KeywordAnswer {
+                mapping: id,
+                probability: pm.mapping(id).prob,
+                slcas: slcas.clone(),
+            });
+        }
+    }
+    answers.sort_by_key(|a| a.mapping);
+    Ok(answers)
+}
+
+/// Computes the SLCA set for one rewrite. `rewrites` holds, in order, the
+/// source-symbol sets of the vocabulary keywords.
+fn slca(
+    keywords: &[&str],
+    is_vocab: &[bool],
+    rewrites: &[Vec<Symbol>],
+    doc: &Document,
+    state: &SessionState,
+) -> Vec<DocNodeId> {
+    let k = keywords.len();
+    // Per node: bitmask of keywords matched *at* the node.
+    let mut own = vec![0u64; doc.len()];
+    let mut rewrite_iter = rewrites.iter();
+    for (bit, (term, &vocab)) in keywords.iter().zip(is_vocab).enumerate() {
+        let mask = 1u64 << bit;
+        if vocab {
+            let labels = rewrite_iter.next().expect("one rewrite per vocab term");
+            for &sym in labels {
+                if let Some(l) = state.sym_doc_label[sym.idx()] {
+                    for &n in doc.nodes_with_label_id(l) {
+                        own[n.idx()] |= mask;
+                    }
+                }
+            }
+        } else {
+            // Value term: whole-word containment in text content.
+            for n in doc.ids() {
+                if doc.text(n).is_some_and(|t| contains_word(t, term)) {
+                    own[n.idx()] |= mask;
+                }
+            }
+        }
+    }
+
+    // Subtree masks bottom-up (children have larger ids).
+    let full = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+    let mut subtree = own;
+    for i in (0..doc.len()).rev() {
+        if let Some(p) = doc.parent(DocNodeId(i as u32)) {
+            let m = subtree[i];
+            subtree[p.idx()] |= m;
+        }
+    }
+
+    // SLCA: full mask, and no child with a full mask.
+    doc.ids()
+        .filter(|&n| {
+            subtree[n.idx()] == full && !doc.children(n).iter().any(|c| subtree[c.idx()] == full)
+        })
+        .collect()
+}
+
+/// Case-insensitive whole-word containment.
+pub(crate) fn contains_word(text: &str, word: &str) -> bool {
+    text.split(|c: char| !c.is_alphanumeric())
+        .any(|w| w.eq_ignore_ascii_case(word))
+}
+
+// ---------------------------------------------------------------------
+// the engine
+
+/// A query session over one `(mappings, document, block tree)` triple.
+///
+/// Build it once, then serve any number of queries; label interning,
+/// relevance bitsets, and the rewrite cache amortize across calls. All
+/// evaluation methods return exactly what the corresponding legacy free
+/// functions return.
+///
+/// ```
+/// use uxm_core::engine::QueryEngine;
+/// use uxm_core::block_tree::BlockTreeConfig;
+/// use uxm_core::mapping::PossibleMappings;
+/// use uxm_matching::Matcher;
+/// use uxm_twig::TwigPattern;
+/// use uxm_xml::{DocGenConfig, Document, Schema};
+///
+/// let source = Schema::parse_outline("Order(Buyer(Name) Item(Price))").unwrap();
+/// let target = Schema::parse_outline("PO(Vendor(ContactName) Line(UnitPrice))").unwrap();
+/// let matching = Matcher::default().match_schemas(&source, &target);
+/// let pm = PossibleMappings::top_h(&matching, 8);
+/// let doc = Document::generate(&source, &DocGenConfig::small(), 7);
+///
+/// let engine = QueryEngine::build(pm, doc, &BlockTreeConfig::default());
+/// let q = TwigPattern::parse("PO//ContactName").unwrap();
+/// let answers = engine.ptq_with_tree(&q);
+/// for ans in answers.iter() {
+///     assert!(ans.probability > 0.0);
+/// }
+/// ```
+pub struct QueryEngine {
+    pm: PossibleMappings,
+    doc: Document,
+    tree: BlockTree,
+    state: SessionState,
+    path_index: OnceLock<PathIndex>,
+}
+
+impl QueryEngine {
+    /// Wraps an already-built block tree.
+    pub fn new(pm: PossibleMappings, doc: Document, tree: BlockTree) -> QueryEngine {
+        let state = SessionState::build(&pm, &doc);
+        QueryEngine {
+            pm,
+            doc,
+            tree,
+            state,
+            path_index: OnceLock::new(),
+        }
+    }
+
+    /// Builds the block tree with `config`, then the session state.
+    pub fn build(pm: PossibleMappings, doc: Document, config: &BlockTreeConfig) -> QueryEngine {
+        let tree = BlockTree::build(&pm.target, &pm, config);
+        QueryEngine::new(pm, doc, tree)
+    }
+
+    /// The possible-mapping set this session serves.
+    pub fn mappings(&self) -> &PossibleMappings {
+        &self.pm
+    }
+
+    /// The source document queries run against.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The session's block tree.
+    pub fn tree(&self) -> &BlockTree {
+        &self.tree
+    }
+
+    /// The source schema.
+    pub fn source(&self) -> &Schema {
+        &self.pm.source
+    }
+
+    /// The target schema (queries are posed in its vocabulary).
+    pub fn target(&self) -> &Schema {
+        &self.pm.target
+    }
+
+    /// The lazily built path index (node-granularity evaluation).
+    pub fn path_index(&self) -> &PathIndex {
+        self.path_index.get_or_init(|| PathIndex::new(&self.doc))
+    }
+
+    /// Cache hit/miss counters for this session.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.stats()
+    }
+
+    /// The paper's `filter_mappings`: ids of mappings relevant to `q`, in
+    /// id order — computed by bitset intersection and memoized.
+    pub fn relevant_mappings(&self, q: &TwigPattern) -> Vec<MappingId> {
+        self.state.relevant(q, &q.to_string()).to_vec()
+    }
+
+    /// Algorithm 3 (`query_basic`) — identical to [`crate::ptq::ptq_basic`].
+    pub fn ptq(&self, q: &TwigPattern) -> PtqResult {
+        let ids = self.state.relevant(q, &q.to_string());
+        eval_basic_over(q, &self.pm, &self.doc, &self.state, &ids)
+    }
+
+    /// Algorithm 4 — identical to [`crate::ptq_tree::ptq_with_tree`].
+    pub fn ptq_with_tree(&self, q: &TwigPattern) -> PtqResult {
+        let ids = self.state.relevant(q, &q.to_string());
+        eval_tree_over(q, &self.pm, &self.doc, &self.tree, &self.state, &ids)
+    }
+
+    /// Top-k PTQ — identical to [`crate::topk::topk_ptq`].
+    pub fn topk(&self, q: &TwigPattern, k: usize) -> PtqResult {
+        let mut ids = self.state.relevant(q, &q.to_string()).to_vec();
+        ids.sort_by(|&a, &b| {
+            self.pm
+                .mapping(b)
+                .prob
+                .total_cmp(&self.pm.mapping(a).prob)
+                .then(a.cmp(&b))
+        });
+        ids.truncate(k);
+        let mut res = eval_tree_over(q, &self.pm, &self.doc, &self.tree, &self.state, &ids);
+        res.answers.sort_by(|a, b| {
+            b.probability
+                .total_cmp(&a.probability)
+                .then(a.mapping.cmp(&b.mapping))
+        });
+        res
+    }
+
+    /// Node-granularity `query_basic` — identical to
+    /// [`crate::path_ptq::ptq_basic_nodes`].
+    pub fn ptq_nodes(&self, q: &TwigPattern) -> PtqResult {
+        eval_basic_nodes(q, &self.pm, &self.doc, self.path_index(), &self.state)
+    }
+
+    /// Node-granularity block-tree PTQ — identical to
+    /// [`crate::path_ptq::ptq_with_tree_nodes`].
+    pub fn ptq_with_tree_nodes(&self, q: &TwigPattern) -> PtqResult {
+        eval_tree_nodes(
+            q,
+            &self.pm,
+            &self.doc,
+            self.path_index(),
+            &self.tree,
+            &self.state,
+        )
+    }
+
+    /// Keyword query (SLCA semantics) — identical to
+    /// [`crate::keyword::keyword_query`].
+    pub fn keyword(&self, keywords: &[&str]) -> Result<Vec<KeywordAnswer>, KeywordError> {
+        eval_keyword(keywords, &self.pm, &self.doc, &self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uxm_matching::Matcher;
+    use uxm_xml::DocGenConfig;
+
+    fn engine() -> QueryEngine {
+        let source = Schema::parse_outline(
+            "Order(Buyer(Name Contact(EMail)) DeliverTo(Address(City Street)) \
+             POLine*(LineNo Quantity UnitPrice))",
+        )
+        .unwrap();
+        let target = Schema::parse_outline(
+            "PO(Purchaser(PName PContact(PEMail)) ShipTo(Addr(Town Road)) \
+             Line(No Qty UnitPrice))",
+        )
+        .unwrap();
+        let matching = Matcher::context().match_schemas(&source, &target);
+        let pm = PossibleMappings::top_h(&matching, 16);
+        let doc = Document::generate(&source, &DocGenConfig::small(), 11);
+        QueryEngine::build(pm, doc, &BlockTreeConfig::default())
+    }
+
+    #[test]
+    fn engine_matches_legacy_free_functions() {
+        let e = engine();
+        for qs in [
+            "PO/Line/Qty",
+            "//Line//No",
+            "//UnitPrice",
+            "//Addr/Town",
+            "PO",
+        ] {
+            let q = TwigPattern::parse(qs).unwrap();
+            assert_eq!(
+                e.ptq(&q),
+                crate::ptq::ptq_basic(&q, e.mappings(), e.document()),
+                "ptq {qs}"
+            );
+            assert_eq!(
+                e.ptq_with_tree(&q),
+                crate::ptq_tree::ptq_with_tree(&q, e.mappings(), e.document(), e.tree()),
+                "ptq_with_tree {qs}"
+            );
+            assert_eq!(
+                e.topk(&q, 5),
+                crate::topk::topk_ptq(&q, e.mappings(), e.document(), e.tree(), 5),
+                "topk {qs}"
+            );
+        }
+    }
+
+    #[test]
+    fn relevant_mappings_match_filter_mappings() {
+        let e = engine();
+        for qs in ["PO/Line/Qty", "PO//PEMail", "//Nope", "PO"] {
+            let q = TwigPattern::parse(qs).unwrap();
+            assert_eq!(
+                e.relevant_mappings(&q),
+                crate::rewrite::filter_mappings(&q, e.mappings()),
+                "query {qs}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_caches() {
+        let e = engine();
+        let q = TwigPattern::parse("//Line//No").unwrap();
+        assert!(
+            !e.relevant_mappings(&q).is_empty(),
+            "fixture must produce relevant mappings"
+        );
+        // Basic evaluation rewrites per mapping — every repeat must come
+        // from the (query, mapping) cache.
+        let first = e.ptq(&q);
+        let cold = e.cache_stats();
+        let second = e.ptq(&q);
+        let warm = e.cache_stats();
+        assert_eq!(first, second);
+        assert!(warm.rewrite_hits > cold.rewrite_hits, "rewrite cache used");
+        assert!(
+            warm.relevant_hits > cold.relevant_hits,
+            "relevant cache used"
+        );
+        assert_eq!(
+            warm.rewrite_misses, cold.rewrite_misses,
+            "no recomputation on the second run"
+        );
+        // The tree path returns identical results before and after caching.
+        assert_eq!(e.ptq_with_tree(&q), e.ptq_with_tree(&q));
+    }
+
+    #[test]
+    fn unknown_label_yields_empty_everywhere() {
+        let e = engine();
+        let q = TwigPattern::parse("PO//DoesNotExist").unwrap();
+        assert!(e.relevant_mappings(&q).is_empty());
+        assert!(e.ptq(&q).is_empty());
+        assert!(e.ptq_with_tree(&q).is_empty());
+    }
+
+    #[test]
+    fn bitset_ids_roundtrip() {
+        let mut b = MappingBits::empty(130);
+        for i in [0usize, 63, 64, 65, 129] {
+            b.set(i);
+        }
+        let ids: Vec<u32> = b.ids().iter().map(|m| m.0).collect();
+        assert_eq!(ids, vec![0, 63, 64, 65, 129]);
+        let full = MappingBits::full(70);
+        assert_eq!(full.ids().len(), 70);
+    }
+}

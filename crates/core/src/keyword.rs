@@ -15,9 +15,14 @@
 //! text directly, independent of the mapping. Like PTQ, the result is one
 //! SLCA set per relevant mapping, weighted by the mapping's probability —
 //! and mappings whose rewrites agree share one evaluation.
+//!
+//! Evaluation happens in [`crate::engine`]; [`keyword_query`] is the
+//! free-function wrapper over a throwaway session, and malformed inputs
+//! surface as [`KeywordError`] instead of panicking.
 
+use crate::engine::{eval_keyword, SessionState};
 use crate::mapping::{MappingId, PossibleMappings};
-use std::collections::HashMap;
+use std::fmt;
 use uxm_xml::{DocNodeId, Document};
 
 /// One per-mapping keyword answer.
@@ -31,115 +36,72 @@ pub struct KeywordAnswer {
     pub slcas: Vec<DocNodeId>,
 }
 
+/// Rejected keyword queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeywordError {
+    /// The keyword list was empty — no SLCA is defined.
+    Empty,
+    /// More keywords than the 64-bit coverage bitmask can track.
+    TooMany {
+        /// How many keywords were supplied.
+        count: usize,
+    },
+}
+
+impl fmt::Display for KeywordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeywordError::Empty => write!(f, "keyword query needs at least one keyword"),
+            KeywordError::TooMany { count } => {
+                write!(
+                    f,
+                    "keyword query has {count} keywords; at most 64 are supported"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeywordError {}
+
+impl KeywordError {
+    /// Validates a keyword list against the evaluator's limits.
+    pub fn check(keywords: &[&str]) -> Result<(), KeywordError> {
+        if keywords.is_empty() {
+            return Err(KeywordError::Empty);
+        }
+        if keywords.len() > 64 {
+            return Err(KeywordError::TooMany {
+                count: keywords.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Evaluates a keyword query over every possible mapping.
 ///
 /// A mapping is *irrelevant* (and skipped) when some vocabulary keyword
 /// has no correspondence under it. Value keywords (terms matching no
 /// target label) never filter mappings.
+///
+/// Errors with [`KeywordError::Empty`] on an empty keyword list and
+/// [`KeywordError::TooMany`] beyond 64 keywords.
 pub fn keyword_query(
     keywords: &[&str],
     pm: &PossibleMappings,
     doc: &Document,
-) -> Vec<KeywordAnswer> {
-    assert!(!keywords.is_empty(), "at least one keyword");
-    assert!(keywords.len() <= 64, "at most 64 keywords (bitmask width)");
-
-    // Split vocabulary terms from value terms once.
-    let is_vocab: Vec<bool> = keywords
-        .iter()
-        .map(|k| !pm.target.nodes_with_label(k).is_empty())
-        .collect();
-
-    // Group mappings by the rewritten label sets of the vocabulary terms.
-    let mut groups: HashMap<Vec<Vec<String>>, Vec<MappingId>> = HashMap::new();
-    'mapping: for id in pm.ids() {
-        let mut key = Vec::new();
-        for (k, &vocab) in keywords.iter().zip(&is_vocab) {
-            if vocab {
-                let labels = pm.source_labels_for(id, k);
-                if labels.is_empty() {
-                    continue 'mapping; // irrelevant
-                }
-                key.push(labels);
-            }
-        }
-        groups.entry(key).or_default().push(id);
-    }
-
-    let mut answers = Vec::new();
-    for (key, ids) in groups {
-        let slcas = slca(keywords, &is_vocab, &key, doc);
-        for id in ids {
-            answers.push(KeywordAnswer {
-                mapping: id,
-                probability: pm.mapping(id).prob,
-                slcas: slcas.clone(),
-            });
-        }
-    }
-    answers.sort_by_key(|a| a.mapping);
-    answers
-}
-
-/// Computes the SLCA set for one rewrite. `rewrites` holds, in order, the
-/// source-label sets of the vocabulary keywords.
-fn slca(
-    keywords: &[&str],
-    is_vocab: &[bool],
-    rewrites: &[Vec<String>],
-    doc: &Document,
-) -> Vec<DocNodeId> {
-    let k = keywords.len();
-    // Per node: bitmask of keywords matched *at* the node.
-    let mut own = vec![0u64; doc.len()];
-    let mut rewrite_iter = rewrites.iter();
-    for (bit, (term, &vocab)) in keywords.iter().zip(is_vocab).enumerate() {
-        let mask = 1u64 << bit;
-        if vocab {
-            let labels = rewrite_iter.next().expect("one rewrite per vocab term");
-            for label in labels {
-                for &n in doc.nodes_with_label(label) {
-                    own[n.idx()] |= mask;
-                }
-            }
-        } else {
-            // Value term: whole-word containment in text content.
-            for n in doc.ids() {
-                if doc.text(n).is_some_and(|t| contains_word(t, term)) {
-                    own[n.idx()] |= mask;
-                }
-            }
-        }
-    }
-
-    // Subtree masks bottom-up (children have larger ids).
-    let full = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
-    let mut subtree = own;
-    for i in (0..doc.len()).rev() {
-        if let Some(p) = doc.parent(DocNodeId(i as u32)) {
-            let m = subtree[i];
-            subtree[p.idx()] |= m;
-        }
-    }
-
-    // SLCA: full mask, and no child with a full mask.
-    doc.ids()
-        .filter(|&n| {
-            subtree[n.idx()] == full
-                && !doc.children(n).iter().any(|c| subtree[c.idx()] == full)
-        })
-        .collect()
-}
-
-/// Case-insensitive whole-word containment.
-fn contains_word(text: &str, word: &str) -> bool {
-    text.split(|c: char| !c.is_alphanumeric())
-        .any(|w| w.eq_ignore_ascii_case(word))
+) -> Result<Vec<KeywordAnswer>, KeywordError> {
+    // Validate before paying for session construction.
+    KeywordError::check(keywords)?;
+    let state = SessionState::build(pm, doc);
+    eval_keyword(keywords, pm, doc, &state)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::contains_word;
     use uxm_xml::{parse_document, Schema};
 
     fn setup() -> (PossibleMappings, Document) {
@@ -167,7 +129,7 @@ mod tests {
     fn vocabulary_keyword_rewrites_per_mapping() {
         let (pm, doc) = setup();
         // "ICN" is a target label; each mapping sends it elsewhere.
-        let answers = keyword_query(&["ICN"], &pm, &doc);
+        let answers = keyword_query(&["ICN"], &pm, &doc).unwrap();
         assert_eq!(answers.len(), 3);
         // m0: ICN -> BCN: SLCA is the BCN node itself.
         let bcn = doc.nodes_with_label("BCN")[0];
@@ -179,7 +141,7 @@ mod tests {
     #[test]
     fn value_keyword_is_mapping_independent() {
         let (pm, doc) = setup();
-        let answers = keyword_query(&["Bob"], &pm, &doc);
+        let answers = keyword_query(&["Bob"], &pm, &doc).unwrap();
         assert_eq!(answers.len(), 3, "no filtering by value terms");
         let rcn = doc.nodes_with_label("RCN")[0];
         for a in &answers {
@@ -191,7 +153,7 @@ mod tests {
     fn mixed_terms_compute_slca() {
         let (pm, doc) = setup();
         // "IP" rewrites to BP (m0, m1) or SP (m2); "Bob" sits under BP.
-        let answers = keyword_query(&["IP", "Bob"], &pm, &doc);
+        let answers = keyword_query(&["IP", "Bob"], &pm, &doc).unwrap();
         assert_eq!(answers.len(), 3);
         let bp = doc.nodes_with_label("BP")[0];
         // Under m0/m1 both keywords are inside BP; the RCN node holds
@@ -208,7 +170,7 @@ mod tests {
         let (pm, doc) = setup();
         // Both terms match the same node: SLCA is that node, not its
         // ancestors.
-        let answers = keyword_query(&["ICN", "Cathy"], &pm, &doc);
+        let answers = keyword_query(&["ICN", "Cathy"], &pm, &doc).unwrap();
         let bcn = doc.nodes_with_label("BCN")[0];
         assert_eq!(answers[0].slcas, vec![bcn]);
         // m1 (ICN->RCN): RCN doesn't contain "Cathy" -> SLCA is BP.
@@ -219,7 +181,7 @@ mod tests {
     #[test]
     fn missing_keyword_yields_empty_slca() {
         let (pm, doc) = setup();
-        let answers = keyword_query(&["zzz-not-present"], &pm, &doc);
+        let answers = keyword_query(&["zzz-not-present"], &pm, &doc).unwrap();
         assert_eq!(answers.len(), 3);
         assert!(answers.iter().all(|a| a.slcas.is_empty()));
     }
@@ -228,7 +190,7 @@ mod tests {
     fn shared_rewrites_share_results() {
         let (pm, doc) = setup();
         // "IP" rewrites identically for m0 and m1 -> identical SLCA sets.
-        let answers = keyword_query(&["IP"], &pm, &doc);
+        let answers = keyword_query(&["IP"], &pm, &doc).unwrap();
         assert_eq!(answers[0].slcas, answers[1].slcas);
         assert_ne!(answers[0].slcas, answers[2].slcas);
     }
@@ -236,9 +198,31 @@ mod tests {
     #[test]
     fn probabilities_carried_through() {
         let (pm, doc) = setup();
-        let answers = keyword_query(&["ICN"], &pm, &doc);
+        let answers = keyword_query(&["ICN"], &pm, &doc).unwrap();
         let total: f64 = answers.iter().map(|a| a.probability).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_keyword_list_is_an_error() {
+        let (pm, doc) = setup();
+        assert_eq!(
+            keyword_query(&[], &pm, &doc).unwrap_err(),
+            KeywordError::Empty
+        );
+    }
+
+    #[test]
+    fn too_many_keywords_is_an_error() {
+        let (pm, doc) = setup();
+        let many: Vec<&str> = vec!["ICN"; 65];
+        assert_eq!(
+            keyword_query(&many, &pm, &doc).unwrap_err(),
+            KeywordError::TooMany { count: 65 }
+        );
+        // 64 keywords is still fine (the bitmask boundary).
+        let at_limit: Vec<&str> = vec!["ICN"; 64];
+        assert!(keyword_query(&at_limit, &pm, &doc).is_ok());
     }
 
     #[test]

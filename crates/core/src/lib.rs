@@ -15,11 +15,47 @@
 //! * [`topk`] — top-k PTQ (Definition 5),
 //! * [`stats`] — o-ratio and c-block distribution metrics (§VI),
 //! * [`path_ptq`] — node-granularity PTQ (an extension: exact semantics
-//!   when element labels repeat).
+//!   when element labels repeat),
+//! * [`engine`] — the [`engine::QueryEngine`] session layer every query
+//!   entry point evaluates through: interned labels, precomputed
+//!   relevance bitsets, and a memoized `(query, mapping)` rewrite cache.
+//!
+//! # Quickstart
+//!
+//! Build a [`engine::QueryEngine`] once per `(mappings, document)`
+//! session and serve queries from it:
+//!
+//! ```
+//! use uxm_core::block_tree::BlockTreeConfig;
+//! use uxm_core::engine::QueryEngine;
+//! use uxm_core::mapping::PossibleMappings;
+//! use uxm_matching::Matcher;
+//! use uxm_twig::TwigPattern;
+//! use uxm_xml::{DocGenConfig, Document, Schema};
+//!
+//! let source = Schema::parse_outline("Order(Buyer(Name) Item(Price))").unwrap();
+//! let target = Schema::parse_outline("PO(Vendor(ContactName) Line(UnitPrice))").unwrap();
+//! let matching = Matcher::default().match_schemas(&source, &target);
+//! let pm = PossibleMappings::top_h(&matching, 8);
+//! let doc = Document::generate(&source, &DocGenConfig::small(), 7);
+//!
+//! let engine = QueryEngine::build(pm, doc, &BlockTreeConfig::default());
+//! let q = TwigPattern::parse("PO//ContactName").unwrap();
+//! let full = engine.ptq_with_tree(&q);          // Algorithm 4
+//! let top2 = engine.topk(&q, 2);                // top-k PTQ
+//! // "laptop" matches no target label — a value term, never filtered.
+//! let kw = engine.keyword(&["laptop"]).unwrap();
+//! assert!(top2.len() <= full.len());
+//! assert_eq!(kw.len(), engine.mappings().len());
+//! ```
+//!
+//! The free functions ([`ptq_basic`], [`ptq_with_tree`], [`topk_ptq`], …)
+//! remain as thin wrappers building a throwaway session per call.
 
 pub mod block;
 pub mod block_tree;
 pub mod compress;
+pub mod engine;
 pub mod keyword;
 pub mod mapping;
 pub mod path_ptq;
@@ -33,6 +69,8 @@ pub mod topk;
 
 pub use block::{Block, BlockId};
 pub use block_tree::{BlockTree, BlockTreeConfig};
+pub use engine::QueryEngine;
+pub use keyword::{keyword_query, KeywordAnswer, KeywordError};
 pub use mapping::{Mapping, MappingId, PossibleMappings};
 pub use ptq::{ptq_basic, PtqAnswer, PtqResult};
 pub use ptq_tree::ptq_with_tree;

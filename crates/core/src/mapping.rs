@@ -262,7 +262,13 @@ mod tests {
         let pm = PossibleMappings::from_pairs(
             s,
             t,
-            vec![(vec![(SchemaNodeId(0), SchemaNodeId(0)), (SchemaNodeId(2), SchemaNodeId(2))], 1.0)],
+            vec![(
+                vec![
+                    (SchemaNodeId(0), SchemaNodeId(0)),
+                    (SchemaNodeId(2), SchemaNodeId(2)),
+                ],
+                1.0,
+            )],
         );
         let m = pm.mapping(MappingId(0));
         assert_eq!(m.source_for_target(SchemaNodeId(0)), Some(SchemaNodeId(0)));
@@ -303,7 +309,10 @@ mod tests {
             s,
             t,
             vec![(
-                vec![(SchemaNodeId(2), SchemaNodeId(2)), (SchemaNodeId(0), SchemaNodeId(0))],
+                vec![
+                    (SchemaNodeId(2), SchemaNodeId(2)),
+                    (SchemaNodeId(0), SchemaNodeId(0)),
+                ],
                 1.0,
             )],
         );

@@ -13,10 +13,10 @@
 //! beyond the paper's experimental prototype.
 
 use crate::block_tree::BlockTree;
+use crate::engine::{eval_basic_nodes, eval_tree_nodes, SessionState};
 use crate::mapping::{MappingId, PossibleMappings};
-use crate::ptq::{PtqAnswer, PtqResult};
-use std::collections::HashMap;
-use uxm_twig::{match_twig, ResolvedPattern, TwigMatch, TwigPattern};
+use crate::ptq::PtqResult;
+use uxm_twig::TwigPattern;
 use uxm_xml::{DocNodeId, Document, PathIndex, Schema, SchemaNodeId};
 
 /// Rewrites `q` through mapping `id` at node granularity: per query node,
@@ -93,24 +93,17 @@ pub fn filter_mappings_nodes(q: &TwigPattern, pm: &PossibleMappings) -> Vec<Mapp
 }
 
 /// Node-granularity `query_basic`: rewrite and evaluate per mapping.
+///
+/// Wrapper over [`crate::engine`] with a throwaway session; long-lived
+/// callers should use [`crate::engine::QueryEngine::ptq_nodes`].
 pub fn ptq_basic_nodes(
     q: &TwigPattern,
     pm: &PossibleMappings,
     doc: &Document,
     index: &PathIndex,
 ) -> PtqResult {
-    let ids = filter_mappings_nodes(q, pm);
-    let mut answers = Vec::with_capacity(ids.len());
-    for id in ids {
-        let sets = rewrite_nodes_with_mapping(q, pm, id).expect("filtered");
-        let matches = eval_node_sets(q, &sets, pm, doc, index);
-        answers.push(PtqAnswer {
-            mapping: id,
-            probability: pm.mapping(id).prob,
-            matches,
-        });
-    }
-    PtqResult { answers }
+    let state = SessionState::build(pm, doc);
+    eval_basic_nodes(q, pm, doc, index, &state)
 }
 
 /// Node-granularity PTQ with the block tree: blocks anchored at target
@@ -127,91 +120,8 @@ pub fn ptq_with_tree_nodes(
     index: &PathIndex,
     tree: &BlockTree,
 ) -> PtqResult {
-    let ids = filter_mappings_nodes(q, pm);
-
-    // Anchor: the query root's label must denote one target node with
-    // blocks whose subtree spans all query labels (block coverage equals
-    // the mapping's restriction there, so replication is exact).
-    let anchor = anchor_for_nodes(q, &pm.target, tree);
-
-    let mut out: Vec<Option<Vec<TwigMatch>>> = vec![None; ids.len()];
-    if let Some(t) = anchor {
-        let pos: HashMap<MappingId, usize> =
-            ids.iter().enumerate().map(|(k, &id)| (id, k)).collect();
-        for &bid in tree.blocks_at(t) {
-            let b = tree.block(bid);
-            let matches = match rewrite_nodes_with_pairs(q, &pm.target, &b.corrs) {
-                Some(sets) => eval_node_sets(q, &sets, pm, doc, index),
-                None => Vec::new(),
-            };
-            for mid in &b.mappings {
-                if let Some(&k) = pos.get(mid) {
-                    out[k] = Some(matches.clone());
-                }
-            }
-        }
-    }
-
-    // Everything uncovered: group by identical node rewrites.
-    let mut groups: HashMap<Vec<Vec<SchemaNodeId>>, Vec<usize>> = HashMap::new();
-    for (k, &id) in ids.iter().enumerate() {
-        if out[k].is_none() {
-            let sets = rewrite_nodes_with_mapping(q, pm, id).expect("filtered");
-            groups.entry(sets).or_default().push(k);
-        }
-    }
-    for (sets, members) in groups {
-        let matches = eval_node_sets(q, &sets, pm, doc, index);
-        for &k in &members {
-            out[k] = Some(matches.clone());
-        }
-    }
-
-    let answers = ids
-        .iter()
-        .zip(out)
-        .map(|(&id, matches)| PtqAnswer {
-            mapping: id,
-            probability: pm.mapping(id).prob,
-            matches: matches.expect("all slots filled"),
-        })
-        .collect();
-    PtqResult { answers }
-}
-
-fn eval_node_sets(
-    q: &TwigPattern,
-    sets: &[Vec<SchemaNodeId>],
-    pm: &PossibleMappings,
-    doc: &Document,
-    index: &PathIndex,
-) -> Vec<TwigMatch> {
-    let candidates = schema_nodes_to_doc(sets, &pm.source, index);
-    match ResolvedPattern::with_node_candidates(q, candidates) {
-        Some(resolved) => match_twig(doc, &resolved),
-        None => Vec::new(),
-    }
-}
-
-/// Anchor rule for node mode: unique root label with blocks, all query
-/// labels confined to the anchor's subtree.
-fn anchor_for_nodes(q: &TwigPattern, target: &Schema, tree: &BlockTree) -> Option<SchemaNodeId> {
-    let roots = target.nodes_with_label(&q.node(q.root()).label);
-    let [t] = roots.as_slice() else { return None };
-    let t = *t;
-    if !tree.has_blocks(t) {
-        return None;
-    }
-    let mut subtree = target.subtree(t);
-    subtree.sort_unstable();
-    for label in q.labels() {
-        for n in target.nodes_with_label(label) {
-            if subtree.binary_search(&n).is_err() {
-                return None;
-            }
-        }
-    }
-    Some(t)
+    let state = SessionState::build(pm, doc);
+    eval_tree_nodes(q, pm, doc, index, tree, &state)
 }
 
 #[cfg(test)]
@@ -224,10 +134,9 @@ mod tests {
     /// Shared labels that label-mode cannot tell apart: all three contacts
     /// are `ContactName`.
     fn ambiguous_setup() -> (PossibleMappings, Document, PathIndex) {
-        let source = Schema::parse_outline(
-            "Order(BP(BOC(ContactName) ROC(ContactName) OOC(ContactName)))",
-        )
-        .unwrap();
+        let source =
+            Schema::parse_outline("Order(BP(BOC(ContactName) ROC(ContactName) OOC(ContactName)))")
+                .unwrap();
         let target = Schema::parse_outline("ORDER(IP(ICN))").unwrap();
         let bp = source.nodes_with_label("BP")[0];
         let cns = source.nodes_with_label("ContactName");

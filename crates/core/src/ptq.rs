@@ -5,9 +5,9 @@
 //! rewritten query on the source document together with `p_i` — the
 //! probability that `R_i` is the correct answer.
 
+use crate::engine::{eval_basic_over, SessionState};
 use crate::mapping::{MappingId, PossibleMappings};
-use crate::rewrite::{filter_mappings, rewrite_with_mapping};
-use uxm_twig::{match_twig, ResolvedPattern, TwigMatch, TwigPattern};
+use uxm_twig::{TwigMatch, TwigPattern};
 use uxm_xml::Document;
 
 /// One `(R_i, pr(R_i))` tuple of a PTQ result.
@@ -75,9 +75,14 @@ impl PtqResult {
 
 /// Algorithm 3 (`query_basic`): filter irrelevant mappings, then rewrite
 /// and evaluate the query independently per mapping.
+///
+/// Wrapper over [`crate::engine`] with a throwaway session; long-lived
+/// callers should hold a [`crate::engine::QueryEngine`] instead and get
+/// rewrite/relevance caching across queries for free.
 pub fn ptq_basic(q: &TwigPattern, pm: &PossibleMappings, doc: &Document) -> PtqResult {
-    let ids = filter_mappings(q, pm);
-    ptq_basic_over(q, pm, doc, &ids)
+    let state = SessionState::build(pm, doc);
+    let ids = state.relevant(q, &q.to_string());
+    eval_basic_over(q, pm, doc, &state, &ids)
 }
 
 /// Algorithm 3 restricted to a pre-filtered mapping subset (shared by the
@@ -88,22 +93,8 @@ pub fn ptq_basic_over(
     doc: &Document,
     ids: &[MappingId],
 ) -> PtqResult {
-    let mut answers = Vec::with_capacity(ids.len());
-    for &id in ids {
-        let Some(sets) = rewrite_with_mapping(q, pm, id) else {
-            continue;
-        };
-        let matches = match ResolvedPattern::with_label_sets(q, doc, &sets) {
-            Some(resolved) => match_twig(doc, &resolved),
-            None => Vec::new(), // rewritten labels absent from the document
-        };
-        answers.push(PtqAnswer {
-            mapping: id,
-            probability: pm.mapping(id).prob,
-            matches,
-        });
-    }
-    PtqResult { answers }
+    let state = SessionState::build(pm, doc);
+    eval_basic_over(q, pm, doc, &state, ids)
 }
 
 #[cfg(test)]
@@ -114,10 +105,8 @@ mod tests {
     /// The paper's introduction example: query //IP//ICN over Fig. 2's
     /// document with three mappings for ICN.
     fn intro_example() -> (PossibleMappings, Document) {
-        let source = Schema::parse_outline(
-            "Order(BP(BOC(BCN) ROC(RCN) OOC(OCN)) SP(SCN))",
-        )
-        .unwrap();
+        let source =
+            Schema::parse_outline("Order(BP(BOC(BCN) ROC(RCN) OOC(OCN)) SP(SCN))").unwrap();
         let target = Schema::parse_outline("ORDER(IP(ICN))").unwrap();
         let s = |l: &str| source.nodes_with_label(l)[0];
         let t = |l: &str| target.nodes_with_label(l)[0];

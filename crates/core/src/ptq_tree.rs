@@ -12,18 +12,19 @@
 //! safe shortcut when every label the (sub)query uses occurs *exclusively*
 //! inside `t`'s subtree — otherwise a full mapping could rewrite a query
 //! label through an occurrence outside the block's coverage and the
-//! replicated answer would be wrong. The private `anchor_for` check
-//! enforces this, so
-//! `ptq_with_tree` always agrees exactly with [`crate::ptq::ptq_basic`].
+//! replicated answer would be wrong. The anchor check in [`crate::engine`]
+//! enforces this, so `ptq_with_tree` always agrees exactly with
+//! [`crate::ptq::ptq_basic`].
+//!
+//! The algorithm itself lives in [`crate::engine`]; these free functions
+//! wrap it with a throwaway session state.
 
 use crate::block_tree::BlockTree;
+use crate::engine::{eval_tree_over, SessionState};
 use crate::mapping::{MappingId, PossibleMappings};
-use crate::ptq::{PtqAnswer, PtqResult};
-use crate::rewrite::{filter_mappings, rewrite_with_mapping, rewrite_with_pairs};
-use std::collections::HashMap;
-use uxm_twig::structural_join::structural_join;
-use uxm_twig::{match_twig, Axis, ResolvedPattern, TwigMatch, TwigPattern};
-use uxm_xml::{DocNodeId, Document, Schema, SchemaNodeId};
+use crate::ptq::PtqResult;
+use uxm_twig::TwigPattern;
+use uxm_xml::Document;
 
 /// Algorithm 4: PTQ evaluation accelerated by the block tree.
 ///
@@ -34,8 +35,9 @@ pub fn ptq_with_tree(
     doc: &Document,
     tree: &BlockTree,
 ) -> PtqResult {
-    let ids = filter_mappings(q, pm);
-    ptq_with_tree_over(q, pm, doc, tree, &ids)
+    let state = SessionState::build(pm, doc);
+    let ids = state.relevant(q, &q.to_string());
+    eval_tree_over(q, pm, doc, tree, &state, &ids)
 }
 
 /// [`ptq_with_tree`] over a pre-filtered mapping subset (shared with the
@@ -47,288 +49,21 @@ pub fn ptq_with_tree_over(
     tree: &BlockTree,
     ids: &[MappingId],
 ) -> PtqResult {
-    let per = eval(q, pm, doc, tree, ids);
-    let answers = ids
-        .iter()
-        .zip(per)
-        .map(|(&id, matches)| PtqAnswer {
-            mapping: id,
-            probability: pm.mapping(id).prob,
-            matches,
-        })
-        .collect();
-    PtqResult { answers }
-}
-
-/// Recursive evaluation (the paper's `twig_query_tree`): per mapping in
-/// `ids`, the match set of `q`.
-fn eval(
-    q: &TwigPattern,
-    pm: &PossibleMappings,
-    doc: &Document,
-    tree: &BlockTree,
-    ids: &[MappingId],
-) -> Vec<Vec<TwigMatch>> {
-    if let Some(t) = anchor_for(q, &pm.target, tree) {
-        return query_subtree(q, t, pm, doc, tree, ids);
-    }
-    if q.len() == 1 || !any_subquery_anchors(q, &pm.target, tree) {
-        // No decomposition can reach a c-block: splitting would only pay
-        // join overhead. Evaluate directly (the paper's `twig_query`).
-        return direct(q, pm, doc, ids);
-    }
-
-    // Split: root-only query + one subquery per child (`split_query`).
-    let q0 = q.node_only(q.root());
-    let r0 = direct(&q0, pm, doc, ids);
-
-    let children = q.node(q.root()).children.clone();
-    let mut child_results: Vec<Vec<Vec<TwigMatch>>> = Vec::with_capacity(children.len());
-    let mut child_maps = Vec::with_capacity(children.len());
-    let mut child_axes = Vec::with_capacity(children.len());
-    for &c in &children {
-        let (mut sub, map) = q.subpattern_with_map(c);
-        child_axes.push(q.node(c).axis);
-        // The parent edge is re-imposed by the join below; standalone the
-        // subquery may root anywhere.
-        sub.set_axis(sub.root(), Axis::Descendant);
-        child_results.push(eval(&sub, pm, doc, tree, ids));
-        child_maps.push(map);
-    }
-
-    // Per mapping: stack-join the root candidates with each child's
-    // sub-matches, then stitch combined matches.
-    (0..ids.len())
-        .map(|k| {
-            let child_matches: Vec<&[TwigMatch]> =
-                child_results.iter().map(|cr| cr[k].as_slice()).collect();
-            join_at_root(q, doc, &r0[k], &child_matches, &child_maps, &child_axes)
-        })
-        .collect()
-}
-
-/// Finds a block-tree anchor usable for the whole (sub)query: the query
-/// root's label must denote a unique target element `t`, `t` must carry
-/// c-blocks, and every query label must occur only inside `t`'s subtree.
-fn anchor_for(q: &TwigPattern, target: &Schema, tree: &BlockTree) -> Option<SchemaNodeId> {
-    let roots = target.nodes_with_label(&q.node(q.root()).label);
-    let [t] = roots.as_slice() else { return None };
-    let t = *t;
-    if !tree.has_blocks(t) {
-        return None;
-    }
-    let mut subtree = target.subtree(t);
-    subtree.sort_unstable();
-    for label in q.labels() {
-        for n in target.nodes_with_label(label) {
-            if subtree.binary_search(&n).is_err() {
-                return None;
-            }
-        }
-    }
-    Some(t)
-}
-
-/// True iff some proper subquery of `q` would find a usable anchor — the
-/// condition under which splitting can pay off.
-fn any_subquery_anchors(q: &TwigPattern, target: &Schema, tree: &BlockTree) -> bool {
-    q.ids().skip(1).any(|n| {
-        let (sub, _) = q.subpattern_with_map(n);
-        anchor_for(&sub, target, tree).is_some()
-    })
-}
-
-/// The paper's `query_subtree`: answer once per c-block, replicate to the
-/// block's mappings, evaluate the rest directly.
-fn query_subtree(
-    q: &TwigPattern,
-    t: SchemaNodeId,
-    pm: &PossibleMappings,
-    doc: &Document,
-    tree: &BlockTree,
-    ids: &[MappingId],
-) -> Vec<Vec<TwigMatch>> {
-    let pos: HashMap<MappingId, usize> =
-        ids.iter().enumerate().map(|(k, &id)| (id, k)).collect();
-    let mut out: Vec<Option<Vec<TwigMatch>>> = vec![None; ids.len()];
-
-    for &bid in tree.blocks_at(t) {
-        let b = tree.block(bid);
-        // Evaluate q once against the block's correspondence set.
-        let y = match rewrite_with_pairs(q, &pm.source, &pm.target, &b.corrs) {
-            Some(sets) => match ResolvedPattern::with_label_sets(q, doc, &sets) {
-                Some(resolved) => match_twig(doc, &resolved),
-                None => Vec::new(),
-            },
-            None => Vec::new(),
-        };
-        // Replicate to all mappings sharing the block.
-        for mid in &b.mappings {
-            if let Some(&k) = pos.get(mid) {
-                out[k] = Some(y.clone());
-            }
-        }
-    }
-
-    // Mappings not covered by any block: evaluate directly (with rewrite
-    // sharing among them).
-    let uncovered: Vec<MappingId> = out
-        .iter()
-        .enumerate()
-        .filter(|(_, slot)| slot.is_none())
-        .map(|(k, _)| ids[k])
-        .collect();
-    let mut rest = direct(q, pm, doc, &uncovered).into_iter();
-    out.into_iter()
-        .map(|slot| match slot {
-            Some(m) => m,
-            None => rest.next().expect("one result per uncovered mapping"),
-        })
-        .collect()
-}
-
-/// Direct evaluation inside the block-tree algorithm, sharing work across
-/// mappings whose *rewrites agree* — the generalization of c-block
-/// replication to query fragments without an anchor. (`query_basic` keeps
-/// its faithful one-evaluation-per-mapping loop; this sharing is part of
-/// the block-tree algorithm's advantage.)
-fn direct(
-    q: &TwigPattern,
-    pm: &PossibleMappings,
-    doc: &Document,
-    ids: &[MappingId],
-) -> Vec<Vec<TwigMatch>> {
-    let mut groups: HashMap<Vec<Vec<String>>, Vec<usize>> = HashMap::new();
-    let mut out: Vec<Vec<TwigMatch>> = vec![Vec::new(); ids.len()];
-    for (k, &id) in ids.iter().enumerate() {
-        if let Some(sets) = rewrite_with_mapping(q, pm, id) {
-            groups.entry(sets).or_default().push(k);
-        }
-    }
-    for (sets, members) in groups {
-        let matches = match ResolvedPattern::with_label_sets(q, doc, &sets) {
-            Some(resolved) => match_twig(doc, &resolved),
-            None => Vec::new(),
-        };
-        let (last, rest) = members.split_last().expect("non-empty group");
-        for &k in rest {
-            out[k] = matches.clone();
-        }
-        out[*last] = matches;
-    }
-    out
-}
-
-/// Combines root-only matches with per-child sub-matches using the
-/// structural join on root document nodes, then stitches full matches.
-fn join_at_root(
-    q: &TwigPattern,
-    doc: &Document,
-    r0: &[TwigMatch],
-    child_matches: &[&[TwigMatch]],
-    child_maps: &[Vec<uxm_twig::PatternNodeId>],
-    child_axes: &[Axis],
-) -> Vec<TwigMatch> {
-    if r0.is_empty() || child_matches.iter().any(|c| c.is_empty()) {
-        return Vec::new();
-    }
-    // Root candidates (single-node matches, already sorted and unique).
-    let roots: Vec<DocNodeId> = r0.iter().map(|m| m.nodes[0]).collect();
-
-    // For each child: sorted (root, child-match indices) association built
-    // from the structural join — no hashing on the per-mapping hot path.
-    let mut per_child: Vec<Vec<(DocNodeId, Vec<usize>)>> =
-        Vec::with_capacity(child_matches.len());
-    for (j, cms) in child_matches.iter().enumerate() {
-        // Child matches are sorted, so their roots arrive non-decreasing.
-        let mut child_roots: Vec<DocNodeId> = Vec::new();
-        let mut back_refs: Vec<Vec<usize>> = Vec::new();
-        for (i, m) in cms.iter().enumerate() {
-            if child_roots.last() == Some(&m.nodes[0]) {
-                back_refs.last_mut().expect("parallel").push(i);
-            } else {
-                child_roots.push(m.nodes[0]);
-                back_refs.push(vec![i]);
-            }
-        }
-        let pairs = structural_join(doc, &roots, &child_roots, child_axes[j]);
-        // Group by ancestor.
-        let mut assoc: Vec<(DocNodeId, Vec<usize>)> = Vec::new();
-        let mut sorted_pairs = pairs;
-        sorted_pairs.sort_unstable_by_key(|&(a, d)| (a, d));
-        for (a, d) in sorted_pairs {
-            let refs = &back_refs[child_roots.binary_search(&d).expect("joined root")];
-            if assoc.last().map(|(x, _)| *x) == Some(a) {
-                assoc.last_mut().expect("grouped").1.extend_from_slice(refs);
-            } else {
-                assoc.push((a, refs.clone()));
-            }
-        }
-        per_child.push(assoc);
-    }
-
-    // Per root: cross product of joinable child matches.
-    let mut out = Vec::new();
-    let empty: Vec<usize> = Vec::new();
-    for &root in &roots {
-        let lists: Vec<&Vec<usize>> = per_child
-            .iter()
-            .map(|assoc| {
-                assoc
-                    .binary_search_by_key(&root, |&(a, _)| a)
-                    .map(|i| &assoc[i].1)
-                    .unwrap_or(&empty)
-            })
-            .collect();
-        if lists.iter().any(|l| l.is_empty()) {
-            continue;
-        }
-        let mut idx = vec![0usize; lists.len()];
-        loop {
-            let mut nodes = vec![DocNodeId(0); q.len()];
-            nodes[0] = root;
-            for (j, list) in lists.iter().enumerate() {
-                let cm = &child_matches[j][list[idx[j]]];
-                for (i, &orig) in child_maps[j].iter().enumerate() {
-                    nodes[orig.idx()] = cm.nodes[i];
-                }
-            }
-            out.push(TwigMatch { nodes });
-            // Advance odometer.
-            let mut j = 0;
-            loop {
-                if j == idx.len() {
-                    break;
-                }
-                idx[j] += 1;
-                if idx[j] < lists[j].len() {
-                    break;
-                }
-                idx[j] = 0;
-                j += 1;
-            }
-            if j == idx.len() {
-                break;
-            }
-        }
-    }
-    out.sort_unstable();
-    out.dedup();
-    out
+    let state = SessionState::build(pm, doc);
+    eval_tree_over(q, pm, doc, tree, &state, ids)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::block_tree::BlockTreeConfig;
+    use crate::engine::{anchor_for, SessionState};
     use crate::ptq::ptq_basic;
-    use uxm_xml::parse_document;
+    use uxm_xml::{parse_document, Schema, SchemaNodeId};
 
     fn paper_setup() -> (PossibleMappings, Document, BlockTree) {
-        let source = Schema::parse_outline(
-            "Order(BP(BOC(BCN) ROC(RCN) OOC(OCN)) SP(SCN_src))",
-        )
-        .unwrap();
+        let source =
+            Schema::parse_outline("Order(BP(BOC(BCN) ROC(RCN) OOC(OCN)) SP(SCN_src))").unwrap();
         let target = Schema::parse_outline("ORDER(IP(ICN) SP2(SCN))").unwrap();
         let s = |l: &str| source.nodes_with_label(l)[0];
         let t = |l: &str| target.nodes_with_label(l)[0];
@@ -336,11 +71,51 @@ mod tests {
             source.clone(),
             target.clone(),
             vec![
-                (vec![(s("Order"), t("ORDER")), (s("BP"), t("IP")), (s("BCN"), t("ICN")), (s("RCN"), t("SCN"))], 3.0),
-                (vec![(s("Order"), t("ORDER")), (s("BP"), t("IP")), (s("BCN"), t("ICN")), (s("OCN"), t("SCN"))], 2.5),
-                (vec![(s("Order"), t("ORDER")), (s("SP"), t("IP")), (s("RCN"), t("ICN")), (s("OCN"), t("SCN"))], 2.0),
-                (vec![(s("Order"), t("ORDER")), (s("BP"), t("IP")), (s("RCN"), t("ICN")), (s("BCN"), t("SCN"))], 1.5),
-                (vec![(s("Order"), t("ORDER")), (s("BP"), t("IP")), (s("OCN"), t("ICN")), (s("BCN"), t("SCN"))], 1.0),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("BP"), t("IP")),
+                        (s("BCN"), t("ICN")),
+                        (s("RCN"), t("SCN")),
+                    ],
+                    3.0,
+                ),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("BP"), t("IP")),
+                        (s("BCN"), t("ICN")),
+                        (s("OCN"), t("SCN")),
+                    ],
+                    2.5,
+                ),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("SP"), t("IP")),
+                        (s("RCN"), t("ICN")),
+                        (s("OCN"), t("SCN")),
+                    ],
+                    2.0,
+                ),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("BP"), t("IP")),
+                        (s("RCN"), t("ICN")),
+                        (s("BCN"), t("SCN")),
+                    ],
+                    1.5,
+                ),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("BP"), t("IP")),
+                        (s("OCN"), t("ICN")),
+                        (s("BCN"), t("SCN")),
+                    ],
+                    1.0,
+                ),
             ],
         );
         let doc = parse_document(
@@ -363,6 +138,22 @@ mod tests {
         basic.normalize();
         with_tree.normalize();
         assert_eq!(basic, with_tree, "query {q}");
+    }
+
+    /// Resolves the anchor the engine would use for `q` (test shim over
+    /// the internal anchor rule).
+    fn anchor_of(
+        q: &TwigPattern,
+        pm: &PossibleMappings,
+        doc: &Document,
+        tree: &BlockTree,
+    ) -> Option<SchemaNodeId> {
+        let state = SessionState::build(pm, doc);
+        let qsyms: Vec<_> = q
+            .ids()
+            .map(|id| state.symbols_for_tests().resolve(&q.node(id).label))
+            .collect();
+        anchor_for(q, &qsyms, pm, &state, tree)
     }
 
     #[test]
@@ -388,22 +179,18 @@ mod tests {
         // subtree).
         let q = TwigPattern::parse("//IP//ICN").unwrap();
         let t_ip = pm.target.nodes_with_label("IP")[0];
-        assert_eq!(anchor_for(&q, &pm.target, tree_ref(&tree)), Some(t_ip));
+        assert_eq!(anchor_of(&q, &pm, &doc, &tree), Some(t_ip));
         let res = ptq_with_tree(&q, &pm, &doc, &tree);
         assert_eq!(res.len(), 5);
-    }
-
-    fn tree_ref(t: &BlockTree) -> &BlockTree {
-        t
     }
 
     #[test]
     fn anchor_rejected_when_label_leaks_outside_subtree() {
         // A query whose label also occurs outside the anchored subtree.
-        let (pm, _, tree) = paper_setup();
+        let (pm, doc, tree) = paper_setup();
         let q = TwigPattern::parse("ORDER//ICN").unwrap();
         // ORDER is the root; root has no blocks -> no anchor, fine.
-        assert_eq!(anchor_for(&q, &pm.target, &tree), None);
+        assert_eq!(anchor_of(&q, &pm, &doc, &tree), None);
     }
 
     #[test]

@@ -83,8 +83,22 @@ mod tests {
             source.clone(),
             target.clone(),
             vec![
-                (vec![(s("Order"), t("ORDER")), (s("BP"), t("IP")), (s("BCN"), t("ICN"))], 2.0),
-                (vec![(s("Order"), t("ORDER")), (s("SP"), t("IP")), (s("SCN"), t("ICN"))], 1.0),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("BP"), t("IP")),
+                        (s("BCN"), t("ICN")),
+                    ],
+                    2.0,
+                ),
+                (
+                    vec![
+                        (s("Order"), t("ORDER")),
+                        (s("SP"), t("IP")),
+                        (s("SCN"), t("ICN")),
+                    ],
+                    1.0,
+                ),
                 (vec![(s("Order"), t("ORDER"))], 0.5), // maps only the root
             ],
         )

@@ -118,7 +118,10 @@ mod tests {
             source.clone(),
             target.clone(),
             vec![
-                (vec![(s("O"), t("R")), (s("A"), t("X")), (s("B"), t("Y"))], 0.7),
+                (
+                    vec![(s("O"), t("R")), (s("A"), t("X")), (s("B"), t("Y"))],
+                    0.7,
+                ),
                 (vec![(s("O"), t("R")), (s("A"), t("X"))], 0.3),
             ],
         );

@@ -102,11 +102,8 @@ mod tests {
         let source = uxm_xml::Schema::parse_outline("S(A)").unwrap();
         let target = uxm_xml::Schema::parse_outline("T(B)").unwrap();
         let pairs = vec![(id(1), id(1))];
-        let pm = PossibleMappings::from_pairs(
-            source,
-            target,
-            vec![(pairs.clone(), 1.0), (pairs, 1.0)],
-        );
+        let pm =
+            PossibleMappings::from_pairs(source, target, vec![(pairs.clone(), 1.0), (pairs, 1.0)]);
         assert_eq!(o_ratio(&pm), 1.0);
     }
 
@@ -124,11 +121,7 @@ mod tests {
                 (vec![(s("A"), t("X")), (s("B"), t("Y"))], 1.0),
             ],
         );
-        let tree = crate::block_tree::BlockTree::build(
-            &target,
-            &pm,
-            &BlockTreeConfig::default(),
-        );
+        let tree = crate::block_tree::BlockTree::build(&target, &pm, &BlockTreeConfig::default());
         let hist = block_size_histogram(&tree);
         assert_eq!(hist.iter().sum::<usize>(), tree.block_count());
         assert!(avg_block_size(&tree) >= 1.0);

@@ -160,10 +160,7 @@ pub fn decode_compressed(
         let mut pairs: Vec<(SchemaNodeId, SchemaNodeId)> = Vec::new();
         for _ in 0..n_b {
             let b = r.varint()? as usize;
-            let block = tree
-                .blocks()
-                .get(b)
-                .ok_or(DecodeError::IdOutOfRange)?;
+            let block = tree.blocks().get(b).ok_or(DecodeError::IdOutOfRange)?;
             pairs.extend_from_slice(&block.corrs);
         }
         pairs.extend(r.pairs(source.len(), target.len())?);
@@ -172,10 +169,7 @@ pub fn decode_compressed(
         mappings.push(Mapping { pairs, score, prob });
     }
     r.finish()?;
-    Ok((
-        PossibleMappings::from_parts(source, target, mappings),
-        tree,
-    ))
+    Ok((PossibleMappings::from_parts(source, target, mappings), tree))
 }
 
 /// Measured on-disk compression ratio: `1 - compressed / plain`.
@@ -250,7 +244,10 @@ impl<'a> Reader<'a> {
 
     fn f64(&mut self) -> Result<f64, DecodeError> {
         let end = self.pos + 8;
-        let slice = self.bytes.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(DecodeError::Truncated)?;
         self.pos = end;
         Ok(f64::from_bits(u64::from_le_bytes(
             slice.try_into().expect("8 bytes"),
@@ -295,10 +292,9 @@ mod tests {
             "Order(Buyer(Name Contact(EMail)) POLine(LineNo Quantity UnitPrice))",
         )
         .unwrap();
-        let target = Schema::parse_outline(
-            "PO(Purchaser(PName PContact(PEMail)) Line(No Qty Amount))",
-        )
-        .unwrap();
+        let target =
+            Schema::parse_outline("PO(Purchaser(PName PContact(PEMail)) Line(No Qty Amount))")
+                .unwrap();
         let matching = Matcher::context().match_schemas(&source, &target);
         let pm = PossibleMappings::top_h(&matching, 24);
         let tree = BlockTree::build(&target, &pm, &BlockTreeConfig::default());
@@ -339,8 +335,7 @@ mod tests {
     fn compressed_is_smaller_on_overlapping_sets() {
         // A heavily-overlapping set (the regime the paper targets): a
         // shared 9-element subtree across 60 mappings varying in one leaf.
-        let source =
-            Schema::parse_outline("O(A0 A1 A2 A3 A4 A5 A6 A7 A8 B1 B2)").unwrap();
+        let source = Schema::parse_outline("O(A0 A1 A2 A3 A4 A5 A6 A7 A8 B1 B2)").unwrap();
         let target = Schema::parse_outline("R(X(C1 C2 C3 C4 C5 C6 C7 C8) Y)").unwrap();
         let s = |l: &str| source.nodes_with_label(l)[0];
         let t = |l: &str| target.nodes_with_label(l)[0];

@@ -6,15 +6,18 @@
 //! before any query evaluation happens.
 
 use crate::block_tree::BlockTree;
+use crate::engine::{eval_tree_over, SessionState};
 use crate::mapping::{MappingId, PossibleMappings};
 use crate::ptq::PtqResult;
-use crate::ptq_tree::ptq_with_tree_over;
 use crate::rewrite::filter_mappings;
 use uxm_twig::TwigPattern;
 use uxm_xml::Document;
 
 /// Evaluates a top-k PTQ with the block tree: filter, keep the k
 /// most-probable mappings, then evaluate only those.
+///
+/// Wrapper over [`crate::engine`] with a throwaway session; long-lived
+/// callers should use [`crate::engine::QueryEngine::topk`].
 pub fn topk_ptq(
     q: &TwigPattern,
     pm: &PossibleMappings,
@@ -23,9 +26,13 @@ pub fn topk_ptq(
     k: usize,
 ) -> PtqResult {
     let ids = topk_mappings(q, pm, k);
-    let mut res = ptq_with_tree_over(q, pm, doc, tree, &ids);
-    res.answers
-        .sort_by(|a, b| b.probability.total_cmp(&a.probability).then(a.mapping.cmp(&b.mapping)));
+    let state = SessionState::build(pm, doc);
+    let mut res = eval_tree_over(q, pm, doc, tree, &state, &ids);
+    res.answers.sort_by(|a, b| {
+        b.probability
+            .total_cmp(&a.probability)
+            .then(a.mapping.cmp(&b.mapping))
+    });
     res
 }
 

@@ -12,7 +12,16 @@ use uxm_matching::{MatchStrategy, Matcher, SchemaMatching};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum DatasetId {
-    D1, D2, D3, D4, D5, D6, D7, D8, D9, D10,
+    D1,
+    D2,
+    D3,
+    D4,
+    D5,
+    D6,
+    D7,
+    D8,
+    D9,
+    D10,
 }
 
 impl DatasetId {

@@ -153,8 +153,7 @@ impl Standard {
 ///
 /// Panics if `n_elements` is smaller than the backbone.
 pub fn generate_schema(standard: Standard, n_elements: usize, seed: u64) -> Schema {
-    let mut schema =
-        Schema::parse_outline(standard.backbone()).expect("backbone outline is valid");
+    let mut schema = Schema::parse_outline(standard.backbone()).expect("backbone outline is valid");
     schema.name = standard.name().to_string();
     assert!(
         n_elements >= schema.len(),
@@ -243,8 +242,20 @@ mod tests {
     fn apertum_contains_all_query_labels() {
         let s = generate_schema(Standard::Apertum, 166, 42);
         for label in [
-            "Order", "DeliverTo", "Address", "City", "Country", "Street", "Contact",
-            "EMail", "POLine", "LineNo", "UnitPrice", "BuyerPartID", "Quantity", "Buyer",
+            "Order",
+            "DeliverTo",
+            "Address",
+            "City",
+            "Country",
+            "Street",
+            "Contact",
+            "EMail",
+            "POLine",
+            "LineNo",
+            "UnitPrice",
+            "BuyerPartID",
+            "Quantity",
+            "Buyer",
         ] {
             assert!(
                 !s.nodes_with_label(label).is_empty(),
@@ -265,8 +276,17 @@ mod tests {
     fn query_critical_apertum_labels_are_unique() {
         // POLine-subtree labels must be unique so block anchors apply.
         let s = generate_schema(Standard::Apertum, 166, 42);
-        for label in ["POLine", "LineNo", "UnitPrice", "BuyerPartID", "Quantity",
-                      "DeliverTo", "City", "Street", "Country"] {
+        for label in [
+            "POLine",
+            "LineNo",
+            "UnitPrice",
+            "BuyerPartID",
+            "Quantity",
+            "DeliverTo",
+            "City",
+            "Street",
+            "Country",
+        ] {
             assert_eq!(
                 s.nodes_with_label(label).len(),
                 1,

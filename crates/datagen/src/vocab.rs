@@ -28,10 +28,7 @@ impl NamingStyle {
                 .collect::<Vec<_>>()
                 .join("_"),
             NamingStyle::CamelCase => tokens.iter().map(|t| capitalize(t)).collect(),
-            NamingStyle::CamelAbbrev => tokens
-                .iter()
-                .map(|t| capitalize(&abbreviate(t)))
-                .collect(),
+            NamingStyle::CamelAbbrev => tokens.iter().map(|t| capitalize(&abbreviate(t))).collect(),
             NamingStyle::LowerCamel => {
                 let mut out = String::new();
                 for (i, t) in tokens.iter().enumerate() {
@@ -74,14 +71,60 @@ fn abbreviate(t: &str) -> String {
 /// vocabulary so that cross-standard filler occasionally matches (keeping
 /// the bipartite sparse but not empty, as in the paper's datasets).
 pub const FILLER_TOKENS: &[&str] = &[
-    "attachment", "reference", "code", "type", "detail", "group", "info",
-    "spec", "item", "note", "tax", "rate", "period", "term", "charge",
-    "allowance", "unit", "measure", "currency", "language", "region",
-    "schedule", "packing", "transport", "route", "carrier", "mode",
-    "account", "payment", "instrument", "card", "bank", "branch",
-    "document", "version", "status", "history", "event", "time", "stamp",
-    "location", "zone", "dock", "gate", "seal", "container", "weight",
-    "volume", "dimension", "height", "width", "length", "hazard", "class",
+    "attachment",
+    "reference",
+    "code",
+    "type",
+    "detail",
+    "group",
+    "info",
+    "spec",
+    "item",
+    "note",
+    "tax",
+    "rate",
+    "period",
+    "term",
+    "charge",
+    "allowance",
+    "unit",
+    "measure",
+    "currency",
+    "language",
+    "region",
+    "schedule",
+    "packing",
+    "transport",
+    "route",
+    "carrier",
+    "mode",
+    "account",
+    "payment",
+    "instrument",
+    "card",
+    "bank",
+    "branch",
+    "document",
+    "version",
+    "status",
+    "history",
+    "event",
+    "time",
+    "stamp",
+    "location",
+    "zone",
+    "dock",
+    "gate",
+    "seal",
+    "container",
+    "weight",
+    "volume",
+    "dimension",
+    "height",
+    "width",
+    "length",
+    "hazard",
+    "class",
 ];
 
 #[cfg(test)]
@@ -101,7 +144,10 @@ mod tests {
     fn abbreviations() {
         assert_eq!(NamingStyle::CamelAbbrev.render(&["quantity"]), "Qty");
         assert_eq!(NamingStyle::CamelAbbrev.render(&["number"]), "No");
-        assert_eq!(NamingStyle::CamelAbbrev.render(&["unit", "price"]), "UnitPric");
+        assert_eq!(
+            NamingStyle::CamelAbbrev.render(&["unit", "price"]),
+            "UnitPric"
+        );
     }
 
     #[test]

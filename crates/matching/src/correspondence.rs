@@ -68,7 +68,11 @@ impl SchemaMatching {
 
     /// Correspondences whose source is `s` (linear scan; rarely hot).
     pub fn candidates_for_source(&self, s: SchemaNodeId) -> Vec<Correspondence> {
-        self.corrs.iter().filter(|c| c.source == s).copied().collect()
+        self.corrs
+            .iter()
+            .filter(|c| c.source == s)
+            .copied()
+            .collect()
     }
 
     /// The score of `(s, t)` if that correspondence exists.
@@ -111,11 +115,27 @@ mod tests {
             src,
             tgt,
             vec![
-                Correspondence { source: s(1), target: s(1), score: 0.9 },
-                Correspondence { source: s(2), target: s(1), score: 0.8 },
-                Correspondence { source: s(3), target: s(2), score: 0.7 },
+                Correspondence {
+                    source: s(1),
+                    target: s(1),
+                    score: 0.9,
+                },
+                Correspondence {
+                    source: s(2),
+                    target: s(1),
+                    score: 0.8,
+                },
+                Correspondence {
+                    source: s(3),
+                    target: s(2),
+                    score: 0.7,
+                },
                 // duplicate to be removed:
-                Correspondence { source: s(1), target: s(1), score: 0.9 },
+                Correspondence {
+                    source: s(1),
+                    target: s(1),
+                    score: 0.9,
+                },
             ],
         )
     }

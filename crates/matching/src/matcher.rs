@@ -80,10 +80,14 @@ impl Matcher {
     /// Name signatures are precomputed per element, so the pair loop costs
     /// one signature comparison (short-string edit distances) per pair.
     pub fn match_schemas(&self, source: &Schema, target: &Schema) -> SchemaMatching {
-        let src_sigs: Vec<NameSig> =
-            source.ids().map(|s| NameSig::new(source.label(s))).collect();
-        let tgt_sigs: Vec<NameSig> =
-            target.ids().map(|t| NameSig::new(target.label(t))).collect();
+        let src_sigs: Vec<NameSig> = source
+            .ids()
+            .map(|s| NameSig::new(source.label(s)))
+            .collect();
+        let tgt_sigs: Vec<NameSig> = target
+            .ids()
+            .map(|t| NameSig::new(target.label(t)))
+            .collect();
         let mut corrs: Vec<Correspondence> = Vec::new();
         for t in target.ids() {
             let mut cands: Vec<Correspondence> = Vec::new();
@@ -150,7 +154,10 @@ mod tests {
         // Scores must be close (the paper's premise of uncertainty).
         let max = cands.iter().map(|c| c.score).fold(0.0, f64::max);
         let min = cands.iter().map(|c| c.score).fold(1.0, f64::min);
-        assert!(max - min < 0.25, "candidate scores should be close: {min}..{max}");
+        assert!(
+            max - min < 0.25,
+            "candidate scores should be close: {min}..{max}"
+        );
     }
 
     #[test]

@@ -105,13 +105,13 @@ pub fn tokenize(name: &str) -> Vec<String> {
             let prev = chars[i - 1];
             let next_lower = chars.get(i + 1).is_some_and(|n| n.is_lowercase());
             if (prev.is_lowercase() || prev.is_numeric() || (prev.is_uppercase() && next_lower))
-                && !cur.is_empty() {
-                    tokens.push(std::mem::take(&mut cur));
-                }
-        } else if i > 0 && c.is_numeric() != chars[i - 1].is_numeric()
-            && !cur.is_empty() {
+                && !cur.is_empty()
+            {
                 tokens.push(std::mem::take(&mut cur));
             }
+        } else if i > 0 && c.is_numeric() != chars[i - 1].is_numeric() && !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
         cur.extend(c.to_lowercase());
     }
     if !cur.is_empty() {
@@ -177,7 +177,11 @@ impl NameSig {
         let norm: String = tokens.iter().map(|t| expand_token(t)).collect();
         let mut grams = grams_of(&norm);
         grams.sort_unstable();
-        NameSig { norm, tokens, grams }
+        NameSig {
+            norm,
+            tokens,
+            grams,
+        }
     }
 }
 
@@ -264,7 +268,11 @@ mod tests {
 
     #[test]
     fn trigram_symmetric_and_bounded() {
-        for (a, b) in [("ContactName", "ContactNome"), ("Order", "ORDER"), ("a", "ab")] {
+        for (a, b) in [
+            ("ContactName", "ContactNome"),
+            ("Order", "ORDER"),
+            ("a", "ab"),
+        ] {
             let s1 = trigram_similarity(a, b);
             let s2 = trigram_similarity(b, a);
             assert!((s1 - s2).abs() < 1e-12);

@@ -66,19 +66,17 @@ pub fn fragment_similarity_sig(
     if cs.is_empty() || ct.is_empty() {
         return 0.0;
     }
-    let one_way = |xs: &[SchemaNodeId],
-                   x_sigs: &[NameSig],
-                   ys: &[SchemaNodeId],
-                   y_sigs: &[NameSig]| {
-        xs.iter()
-            .map(|x| {
-                ys.iter()
-                    .map(|y| name_similarity_sig(&x_sigs[x.idx()], &y_sigs[y.idx()]))
-                    .fold(0.0, f64::max)
-            })
-            .sum::<f64>()
-            / xs.len() as f64
-    };
+    let one_way =
+        |xs: &[SchemaNodeId], x_sigs: &[NameSig], ys: &[SchemaNodeId], y_sigs: &[NameSig]| {
+            xs.iter()
+                .map(|x| {
+                    ys.iter()
+                        .map(|y| name_similarity_sig(&x_sigs[x.idx()], &y_sigs[y.idx()]))
+                        .fold(0.0, f64::max)
+                })
+                .sum::<f64>()
+                / xs.len() as f64
+        };
     0.5 * (one_way(cs, s_sigs, ct, t_sigs) + one_way(ct, t_sigs, cs, s_sigs))
 }
 
@@ -98,8 +96,8 @@ mod tests {
 
     #[test]
     fn path_similarity_favours_same_context() {
-        let s = Schema::parse_outline("Order(BillToParty(ContactName) Seller(ContactName))")
-            .unwrap();
+        let s =
+            Schema::parse_outline("Order(BillToParty(ContactName) Seller(ContactName))").unwrap();
         let t = Schema::parse_outline("ORDER(INVOICE_PARTY(CONTACT_NAME))").unwrap();
         let bill_cn = s.nodes_with_label("ContactName")[0];
         let seller_cn = s.nodes_with_label("ContactName")[1];

@@ -78,9 +78,7 @@ fn has_satisfier_under(
             // Probe whichever side is smaller: n's children or the set.
             let children = doc.children(n);
             if children.len() <= sat_child.len() {
-                children
-                    .iter()
-                    .any(|c| sat_child.binary_search(c).is_ok())
+                children.iter().any(|c| sat_child.binary_search(c).is_ok())
             } else {
                 let lo = sat_child.partition_point(|&m| m.0 <= n.0);
                 sat_child[lo..]

@@ -451,10 +451,7 @@ mod tests {
     fn parses_predicates_as_branches() {
         let q = TwigPattern::parse("Order/DeliverTo/Address[./City][./Country]/Street").unwrap();
         assert_eq!(q.len(), 6);
-        let address = q
-            .ids()
-            .find(|&id| q.node(id).label == "Address")
-            .unwrap();
+        let address = q.ids().find(|&id| q.node(id).label == "Address").unwrap();
         assert_eq!(q.node(address).children.len(), 3); // City, Country, Street
     }
 

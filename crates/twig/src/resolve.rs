@@ -95,17 +95,42 @@ impl ResolvedPattern {
     /// `label_sets[i]` (strings). Returns `None` when some node's set has
     /// no label present in the document.
     ///
-    /// This is the entry point for rewritten (target → source) queries.
+    /// This is the `&str` shim over [`ResolvedPattern::with_label_ids`];
+    /// sessions that already hold interned labels (the query engine) call
+    /// the id-based entry point directly and skip the string hashing here.
     pub fn with_label_sets(
         pattern: &TwigPattern,
         doc: &Document,
         label_sets: &[Vec<String>],
     ) -> Option<ResolvedPattern> {
-        assert_eq!(label_sets.len(), pattern.len(), "one label set per query node");
-        let mut allowed = Vec::with_capacity(pattern.len());
-        for set in label_sets {
-            let mut ids: Vec<LabelId> =
-                set.iter().filter_map(|l| doc.resolve_label(l)).collect();
+        assert_eq!(
+            label_sets.len(),
+            pattern.len(),
+            "one label set per query node"
+        );
+        let ids = label_sets
+            .iter()
+            .map(|set| set.iter().filter_map(|l| doc.resolve_label(l)).collect())
+            .collect();
+        Self::with_label_ids(pattern, ids)
+    }
+
+    /// Resolves a pattern from per-node sets of *document-interned* label
+    /// ids. Returns `None` when some node's set is empty — then no match
+    /// can exist. Sets are sorted and deduplicated.
+    ///
+    /// This is the entry point for rewritten (target → source) queries.
+    pub fn with_label_ids(
+        pattern: &TwigPattern,
+        label_sets: Vec<Vec<LabelId>>,
+    ) -> Option<ResolvedPattern> {
+        assert_eq!(
+            label_sets.len(),
+            pattern.len(),
+            "one label set per query node"
+        );
+        let mut allowed = Vec::with_capacity(label_sets.len());
+        for mut ids in label_sets {
             if ids.is_empty() {
                 return None;
             }
@@ -213,7 +238,10 @@ mod tests {
     fn label_sets_union_candidates() {
         let d = doc();
         let q = TwigPattern::parse("a/x").unwrap();
-        let sets = vec![vec!["a".to_string()], vec!["b".to_string(), "c".to_string()]];
+        let sets = vec![
+            vec!["a".to_string()],
+            vec!["b".to_string(), "c".to_string()],
+        ];
         let r = ResolvedPattern::with_label_sets(&q, &d, &sets).unwrap();
         // node 1 may be any b or c
         assert_eq!(r.candidates(PatternNodeId(1), &d).len(), 4);
@@ -234,6 +262,24 @@ mod tests {
         q.set_text_eq(PatternNodeId(1), "x");
         let r = ResolvedPattern::new(&q, &d).unwrap();
         assert_eq!(r.candidates(PatternNodeId(1), &d).len(), 1);
+    }
+
+    #[test]
+    fn label_ids_agree_with_string_shim() {
+        let d = doc();
+        let q = TwigPattern::parse("a/x").unwrap();
+        let sets = vec![
+            vec!["a".to_string()],
+            vec!["b".to_string(), "c".to_string()],
+        ];
+        let via_str = ResolvedPattern::with_label_sets(&q, &d, &sets).unwrap();
+        let ids = sets
+            .iter()
+            .map(|s| s.iter().filter_map(|l| d.resolve_label(l)).collect())
+            .collect();
+        let via_ids = ResolvedPattern::with_label_ids(&q, ids).unwrap();
+        assert_eq!(via_str.allowed, via_ids.allowed);
+        assert!(ResolvedPattern::with_label_ids(&q, vec![vec![], vec![]]).is_none());
     }
 
     #[test]

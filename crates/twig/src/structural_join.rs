@@ -23,8 +23,14 @@ pub fn structural_join(
     descendants: &[DocNodeId],
     axis: Axis,
 ) -> Vec<(DocNodeId, DocNodeId)> {
-    debug_assert!(ancestors.windows(2).all(|w| w[0] < w[1]), "A must be sorted+unique");
-    debug_assert!(descendants.windows(2).all(|w| w[0] < w[1]), "D must be sorted+unique");
+    debug_assert!(
+        ancestors.windows(2).all(|w| w[0] < w[1]),
+        "A must be sorted+unique"
+    );
+    debug_assert!(
+        descendants.windows(2).all(|w| w[0] < w[1]),
+        "D must be sorted+unique"
+    );
 
     let mut out = Vec::new();
     let mut stack: Vec<DocNodeId> = Vec::new();

@@ -342,7 +342,9 @@ impl DocumentBuilder {
     /// Appends an attribute to a node (used by the parser; generated
     /// documents carry none).
     pub fn add_attr(&mut self, id: DocNodeId, name: impl Into<String>, value: impl Into<String>) {
-        self.doc.nodes[id.idx()].attrs.push((name.into(), value.into()));
+        self.doc.nodes[id.idx()]
+            .attrs
+            .push((name.into(), value.into()));
     }
 
     /// Appends to the text content of a node (used by the parser when text

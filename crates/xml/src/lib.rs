@@ -16,11 +16,16 @@
 //! * Labels in documents are interned per-document ([`LabelId`]) so that the
 //!   twig matcher compares integers, not strings.
 
+//! * Labels can additionally be interned *across* schemas and documents
+//!   into a session-wide [`SymbolTable`]; the query engine upstream uses
+//!   this to rewrite and filter queries without touching strings.
+
 pub mod docgen;
 pub mod document;
 pub mod ids;
 pub mod parser;
 pub mod schema;
+pub mod symbol;
 pub mod writer;
 pub mod xsd;
 
@@ -29,3 +34,4 @@ pub use document::{DocNode, Document, LabelId, PathIndex};
 pub use ids::{DocNodeId, SchemaNodeId};
 pub use parser::{parse_document, ParseError};
 pub use schema::{Schema, SchemaNode};
+pub use symbol::{Symbol, SymbolTable};

@@ -36,7 +36,10 @@ impl fmt::Display for ParseError {
         match self {
             ParseError::UnexpectedEof => write!(f, "unexpected end of input"),
             ParseError::MismatchedClose { expected, found } => {
-                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched close tag: expected </{expected}>, found </{found}>"
+                )
             }
             ParseError::UnopenedClose(tag) => write!(f, "close tag </{tag}> with no open element"),
             ParseError::UnclosedElement(tag) => write!(f, "element <{tag}> never closed"),
@@ -378,14 +381,14 @@ impl<'a> Parser<'a> {
                                 what: "character reference",
                             })
                     }
-                    n if n.starts_with('#') => n[1..]
-                        .parse::<u32>()
-                        .ok()
-                        .and_then(char::from_u32)
-                        .ok_or(ParseError::Malformed {
-                            offset: start,
-                            what: "character reference",
-                        }),
+                    n if n.starts_with('#') => {
+                        n[1..].parse::<u32>().ok().and_then(char::from_u32).ok_or(
+                            ParseError::Malformed {
+                                offset: start,
+                                what: "character reference",
+                            },
+                        )
+                    }
                     _ => Err(ParseError::Malformed {
                         offset: start,
                         what: "entity",

@@ -250,7 +250,13 @@ impl Schema {
 
 impl fmt::Display for Schema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{} elements]: {}", self.name, self.len(), self.to_outline())
+        write!(
+            f,
+            "{} [{} elements]: {}",
+            self.name,
+            self.len(),
+            self.to_outline()
+        )
     }
 }
 
@@ -355,8 +361,7 @@ mod tests {
     use super::*;
 
     fn po() -> Schema {
-        Schema::parse_outline("Order(Buyer(Name Contact(EMail)) POLine*(LineNo Quantity))")
-            .unwrap()
+        Schema::parse_outline("Order(Buyer(Name Contact(EMail)) POLine*(LineNo Quantity))").unwrap()
     }
 
     #[test]
@@ -447,8 +452,7 @@ mod tests {
 
     #[test]
     fn label_index_groups_duplicates() {
-        let s =
-            Schema::parse_outline("Order(BillTo(ContactName) ShipTo(ContactName))").unwrap();
+        let s = Schema::parse_outline("Order(BillTo(ContactName) ShipTo(ContactName))").unwrap();
         let idx = s.label_index();
         assert_eq!(idx["ContactName"].len(), 2);
         assert_eq!(idx["Order"].len(), 1);

@@ -1,0 +1,134 @@
+//! Session-wide label interning.
+//!
+//! [`crate::Document`] already interns labels per document
+//! ([`crate::LabelId`]); a [`SymbolTable`] does the same across a whole
+//! query session — source schema, target schema, and document labels live
+//! in one namespace, so query rewriting and relevance filtering can work
+//! on dense `u32` symbols instead of hashing and comparing `String`s on
+//! every evaluation. The `&str` APIs throughout the workspace remain and
+//! act as thin shims over the symbol-based paths.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned label within one [`SymbolTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Widens to a `usize` for table indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// A bidirectional `String` ↔ [`Symbol`] map.
+///
+/// Symbols are dense (`0..len`), so side tables indexed by symbol are
+/// plain `Vec`s.
+///
+/// ```
+/// use uxm_xml::{Symbol, SymbolTable};
+/// let mut t = SymbolTable::new();
+/// let a = t.intern("Order");
+/// assert_eq!(t.intern("Order"), a);
+/// assert_eq!(t.resolve("Order"), Some(a));
+/// assert_eq!(t.name(a), "Order");
+/// assert_eq!(t.resolve("missing"), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    lookup: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.lookup.get(name) {
+            return s;
+        }
+        let s = Symbol(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.lookup.insert(name.to_string(), s);
+        s
+    }
+
+    /// Looks up `name` without interning.
+    #[inline]
+    pub fn resolve(&self, name: &str) -> Option<Symbol> {
+        self.lookup.get(name).copied()
+    }
+
+    /// The string a symbol stands for.
+    #[inline]
+    pub fn name(&self, s: Symbol) -> &str {
+        &self.names[s.idx()]
+    }
+
+    /// Number of interned symbols.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(symbol, name)` in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_eq!(a, Symbol(0));
+        assert_eq!(b, Symbol(1));
+        assert_eq!(t.intern("a"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_and_name_agree() {
+        let mut t = SymbolTable::new();
+        let s = t.intern("ContactName");
+        assert_eq!(t.resolve("ContactName"), Some(s));
+        assert_eq!(t.name(s), "ContactName");
+        assert_eq!(t.resolve("contactname"), None, "case-sensitive");
+    }
+
+    #[test]
+    fn iter_in_interning_order() {
+        let mut t = SymbolTable::new();
+        t.intern("x");
+        t.intern("y");
+        let all: Vec<_> = t.iter().map(|(s, n)| (s.0, n.to_string())).collect();
+        assert_eq!(all, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

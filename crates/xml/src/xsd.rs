@@ -201,7 +201,11 @@ mod tests {
     fn ref_resolution() {
         let s = Schema::from_xsd(PO_XSD).unwrap();
         let note = s.nodes_with_label("Note")[0];
-        assert_eq!(s.children(note).len(), 1, "ref expands the target's content");
+        assert_eq!(
+            s.children(note).len(),
+            1,
+            "ref expands the target's content"
+        );
     }
 
     #[test]
@@ -242,7 +246,10 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert!(matches!(Schema::from_xsd("<a/>"), Err(XsdError::NotASchema)));
+        assert!(matches!(
+            Schema::from_xsd("<a/>"),
+            Err(XsdError::NotASchema)
+        ));
         assert!(matches!(
             Schema::from_xsd("<xs:schema xmlns:xs='x'/>"),
             Err(XsdError::NoRootElement)
@@ -266,11 +273,7 @@ mod tests {
     fn xsd_schema_flows_into_matcher_pipeline() {
         // End-to-end sanity: an XSD-read schema behaves like any other.
         let s = Schema::from_xsd(PO_XSD).unwrap();
-        let doc = crate::document::Document::generate(
-            &s,
-            &crate::docgen::DocGenConfig::small(),
-            4,
-        );
+        let doc = crate::document::Document::generate(&s, &crate::docgen::DocGenConfig::small(), 4);
         assert!(doc.len() >= s.len() - 1);
         assert!(!doc.nodes_with_label("Quantity").is_empty());
     }

@@ -8,10 +8,9 @@
 
 use std::time::Instant;
 use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm::core::engine::QueryEngine;
 use uxm::core::mapping::PossibleMappings;
-use uxm::core::ptq_tree::ptq_with_tree;
 use uxm::core::stats::o_ratio;
-use uxm::core::topk::topk_ptq;
 use uxm::datagen::datasets::{Dataset, DatasetId};
 use uxm::datagen::queries::paper_query;
 use uxm::xml::{DocGenConfig, Document};
@@ -36,11 +35,7 @@ fn main() {
     );
 
     // The block tree compresses and indexes them.
-    let tree = BlockTree::build(
-        &d7.matching.target,
-        &mappings,
-        &BlockTreeConfig::default(),
-    );
+    let tree = BlockTree::build(&d7.matching.target, &mappings, &BlockTreeConfig::default());
     println!(
         "block tree: {} c-blocks, {} hash entries, compression ratio {:.1}%",
         tree.block_count(),
@@ -48,16 +43,18 @@ fn main() {
         uxm::core::compress::compression_ratio(&mappings, &tree) * 100.0
     );
 
-    // An Order.xml-scale source document.
+    // An Order.xml-scale source document, wrapped into one query session
+    // serving the whole workload.
     let doc = Document::generate(&d7.matching.source, &DocGenConfig::order_xml(), 7);
     println!("source document: {} nodes\n", doc.len());
+    let engine = QueryEngine::new(mappings, doc, tree);
 
     // Q10, full vs top-k.
     let q = paper_query(10);
     println!("query Q10: {q}");
 
     let t0 = Instant::now();
-    let full = ptq_with_tree(&q, &mappings, &doc, &tree);
+    let full = engine.ptq_with_tree(&q);
     let t_full = t0.elapsed();
     println!(
         "full PTQ: {} answers in {:.2} ms (probability mass {:.2})",
@@ -68,7 +65,7 @@ fn main() {
 
     for k in [5, 10, 25] {
         let t0 = Instant::now();
-        let top = topk_ptq(&q, &mappings, &doc, &tree, k);
+        let top = engine.topk(&q, k);
         let t_top = t0.elapsed();
         println!(
             "top-{k:<3} PTQ: {} answers in {:.2} ms ({:.0}% of full time)",
@@ -77,4 +74,10 @@ fn main() {
             100.0 * t_top.as_secs_f64() / t_full.as_secs_f64()
         );
     }
+
+    let stats = engine.cache_stats();
+    println!(
+        "\nsession caches: {} rewrite hits / {} misses after serving the workload",
+        stats.rewrite_hits, stats.rewrite_misses
+    );
 }

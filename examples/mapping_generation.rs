@@ -57,6 +57,11 @@ fn main() {
     }
     println!("rankings agree at every rank; top mappings:");
     for (i, m) in partitioned.iter().take(5).enumerate() {
-        println!("  #{:<2} score {:.2}  ({} correspondences)", i + 1, m.score, m.pairs.len());
+        println!(
+            "  #{:<2} score {:.2}  ({} correspondences)",
+            i + 1,
+            m.score,
+            m.pairs.len()
+        );
     }
 }

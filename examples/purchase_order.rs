@@ -9,20 +9,17 @@
 //! cargo run --release --example purchase_order
 //! ```
 
-use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm::core::block_tree::BlockTreeConfig;
+use uxm::core::engine::QueryEngine;
 use uxm::core::mapping::PossibleMappings;
 use uxm::core::ptq::ptq_basic;
-use uxm::core::ptq_tree::ptq_with_tree;
 use uxm::prelude::*;
 use uxm::xml::parse_document;
 
 fn main() {
     // Fig. 1(a): the source schema, with the paper's element labels
     // (BCN / RCN / OCN are the three ContactName elements).
-    let source = Schema::parse_outline(
-        "Order(BP(BOC(BCN) ROC(RCN) OOC(OCN)) SP(SCN))",
-    )
-    .unwrap();
+    let source = Schema::parse_outline("Order(BP(BOC(BCN) ROC(RCN) OOC(OCN)) SP(SCN))").unwrap();
     // Fig. 1(b): the target schema.
     let target = Schema::parse_outline("ORDER(INVOICE_PARTY(CONTACT_NAME))").unwrap();
 
@@ -47,9 +44,18 @@ fn main() {
         source.clone(),
         target.clone(),
         vec![
-            (vec![(s("BP"), t("INVOICE_PARTY")), (s("BCN"), t("CONTACT_NAME"))], 0.3),
-            (vec![(s("BP"), t("INVOICE_PARTY")), (s("RCN"), t("CONTACT_NAME"))], 0.3),
-            (vec![(s("BP"), t("INVOICE_PARTY")), (s("OCN"), t("CONTACT_NAME"))], 0.2),
+            (
+                vec![(s("BP"), t("INVOICE_PARTY")), (s("BCN"), t("CONTACT_NAME"))],
+                0.3,
+            ),
+            (
+                vec![(s("BP"), t("INVOICE_PARTY")), (s("RCN"), t("CONTACT_NAME"))],
+                0.3,
+            ),
+            (
+                vec![(s("BP"), t("INVOICE_PARTY")), (s("OCN"), t("CONTACT_NAME"))],
+                0.2,
+            ),
             (vec![(s("Order"), t("ORDER"))], 0.2),
         ],
     );
@@ -67,19 +73,20 @@ fn main() {
         }
     }
 
-    // The same through the block tree — identical answers, shared work.
-    let tree = BlockTree::build(
-        &target,
-        &mappings,
+    // The same through a block-tree query session — identical answers,
+    // shared work, and cached rewrites for any follow-up queries.
+    let engine = QueryEngine::build(
+        mappings,
+        doc,
         &BlockTreeConfig {
             tau: 0.4,
             ..BlockTreeConfig::default()
         },
     );
-    let via_tree = ptq_with_tree(&q, &mappings, &doc, &tree);
+    let via_tree = engine.ptq_with_tree(&q);
     assert_eq!(result, via_tree);
     println!(
         "\nblock tree: {} c-blocks; block-tree evaluation returned identical answers",
-        tree.block_count()
+        engine.tree().block_count()
     );
 }

@@ -34,25 +34,30 @@ fn main() {
         println!("  {id:?}: {} pairs, p = {:.3}", m.len(), m.prob);
     }
 
-    // 4. Build the block tree: the compact representation of the mapping set.
-    let tree = BlockTree::build(&target, &mappings, &BlockTreeConfig::default());
+    // 4. Generate a source document and open a query session: the engine
+    //    builds the block tree plus its derived state (interned labels,
+    //    relevance bitsets, rewrite cache) once, then serves any number
+    //    of queries.
+    let doc = Document::generate(&source, &DocGenConfig::small(), 42);
+    let engine = QueryEngine::build(mappings, doc, &BlockTreeConfig::default());
     println!(
         "\nblock tree: {} c-blocks (min support {})",
-        tree.block_count(),
-        tree.min_support
+        engine.tree().block_count(),
+        engine.tree().min_support
     );
 
-    // 5. Generate a source document and ask a probabilistic twig query
-    //    *posed on the target schema*.
-    let doc = Document::generate(&source, &DocGenConfig::small(), 42);
+    // 5. Ask a probabilistic twig query *posed on the target schema*.
     let q = TwigPattern::parse("PURCHASE_ORDER//E_MAIL").unwrap();
-    println!("\nquery: {q}  (against a {}-node source document)", doc.len());
+    println!(
+        "\nquery: {q}  (against a {}-node source document)",
+        engine.document().len()
+    );
 
-    let answers = ptq_with_tree(&q, &mappings, &doc, &tree);
+    let answers = engine.ptq_with_tree(&q);
     for (matches, prob) in answers.aggregate() {
         let texts: Vec<&str> = matches
             .iter()
-            .filter_map(|m| doc.text(*m.nodes.last().unwrap()))
+            .filter_map(|m| engine.document().text(*m.nodes.last().unwrap()))
             .collect();
         println!("  p = {prob:.3}: {texts:?}");
     }

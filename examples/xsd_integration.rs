@@ -76,18 +76,20 @@ fn main() {
         );
     }
     let mappings = PossibleMappings::top_h(&matching, 20);
-    let tree = BlockTree::build(&target, &mappings, &BlockTreeConfig::default());
+
+    // 3. A supplier-side document, served through one query session in
+    //    the buyer's vocabulary.
+    let doc = Document::generate(&source, &DocGenConfig::small(), 3);
+    let engine = QueryEngine::build(mappings, doc, &BlockTreeConfig::default());
     println!(
         "\n{} possible mappings, {} c-blocks",
-        mappings.len(),
-        tree.block_count()
+        engine.mappings().len(),
+        engine.tree().block_count()
     );
-
-    // 3. A supplier-side document, queried in the buyer's vocabulary.
-    let doc = Document::generate(&source, &DocGenConfig::small(), 3);
     let q = TwigPattern::parse("PURCHASE_ORDER/PO_LINE[./QUANTITY]/UNIT_PRICE").unwrap();
     println!("\nbuyer query: {q}");
-    let result = ptq_with_tree(&q, &mappings, &doc, &tree);
+    let result = engine.ptq_with_tree(&q);
+    let doc = engine.document();
     for (m, p) in match_probabilities(&result).into_iter().take(5) {
         let price_node = *m.nodes.last().expect("non-empty");
         println!(

@@ -5,25 +5,26 @@
 //! uxm match     <source.outline> <target.outline> [--strategy c|f] [--threshold X]
 //! uxm mappings  <source.outline> <target.outline> [--h N]
 //! uxm query     <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X] [--mode label|node]
+//! uxm keyword   <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X]
 //! uxm gen-doc   <schema.outline> [--nodes N] [--seed N]
 //! uxm dataset   <D1..D10>
 //! ```
 //!
 //! Schema files use the outline syntax (`Order(Buyer(Name) Item*(Price))`).
+//! Query-serving commands build one [`QueryEngine`] session and evaluate
+//! through it.
 
 use std::process::ExitCode;
-use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm::core::block_tree::BlockTreeConfig;
+use uxm::core::engine::QueryEngine;
 use uxm::core::mapping::PossibleMappings;
-use uxm::core::path_ptq::{ptq_basic_nodes, ptq_with_tree_nodes};
 use uxm::core::ptq::PtqResult;
-use uxm::core::ptq_tree::ptq_with_tree;
 use uxm::core::semantics::{expected_count, match_probabilities};
 use uxm::core::stats::o_ratio;
-use uxm::core::topk::topk_ptq;
 use uxm::datagen::datasets::{Dataset, DatasetId};
 use uxm::matching::Matcher;
 use uxm::twig::TwigPattern;
-use uxm::xml::{parse_document, DocGenConfig, Document, PathIndex, Schema};
+use uxm::xml::{parse_document, DocGenConfig, Document, Schema};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
         "match" => cmd_match(&args[1..]),
         "mappings" => cmd_mappings(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "keyword" => cmd_keyword(&args[1..]),
         "gen-doc" => cmd_gen_doc(&args[1..]),
         "dataset" => cmd_dataset(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -56,6 +58,7 @@ fn usage() -> ExitCode {
         "usage:\n  uxm match    <source.outline> <target.outline> [--strategy c|f] [--threshold X]\n  \
          uxm mappings <source.outline> <target.outline> [--h N]\n  \
          uxm query    <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X] [--mode label|node]\n  \
+         uxm keyword  <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X]\n  \
          uxm gen-doc  <schema.outline> [--nodes N] [--seed N]\n  \
          uxm dataset  <D1..D10>"
     );
@@ -145,7 +148,9 @@ fn cmd_mappings(args: &[String]) -> Result<(), String> {
     let [src, tgt] = pos.as_slice() else {
         return Err("mappings needs <source.outline> <target.outline>".into());
     };
-    let h: usize = flag(&flags, "h").map_or(Ok(10), str::parse).map_err(|_| "bad --h")?;
+    let h: usize = flag(&flags, "h")
+        .map_or(Ok(10), str::parse)
+        .map_err(|_| "bad --h")?;
     let source = load_schema(src)?;
     let target = load_schema(tgt)?;
     let matching = matcher_from(&flags)?.match_schemas(&source, &target);
@@ -164,67 +169,75 @@ fn cmd_mappings(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the query-session engine shared by `query` and `keyword`.
+fn engine_from(
+    flags: &[(&str, &str)],
+    src: &str,
+    tgt: &str,
+    doc_path: &str,
+) -> Result<QueryEngine, String> {
+    let h: usize = flag(flags, "h")
+        .map_or(Ok(50), str::parse)
+        .map_err(|_| "bad --h")?;
+    let tau: f64 = flag(flags, "tau")
+        .map_or(Ok(0.2), str::parse)
+        .map_err(|_| "bad --tau")?;
+    let source = load_schema(src)?;
+    let target = load_schema(tgt)?;
+    let xml = std::fs::read_to_string(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
+    let doc = parse_document(&xml).map_err(|e| format!("{doc_path}: {e}"))?;
+    let matching = matcher_from(flags)?.match_schemas(&source, &target);
+    let pm = PossibleMappings::top_h(&matching, h);
+    Ok(QueryEngine::build(
+        pm,
+        doc,
+        &BlockTreeConfig {
+            tau,
+            ..BlockTreeConfig::default()
+        },
+    ))
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_args(args)?;
     let [src, tgt, doc_path, query] = pos.as_slice() else {
         return Err("query needs <source.outline> <target.outline> <doc.xml> <twig>".into());
     };
-    let h: usize = flag(&flags, "h").map_or(Ok(50), str::parse).map_err(|_| "bad --h")?;
-    let tau: f64 = flag(&flags, "tau").map_or(Ok(0.2), str::parse).map_err(|_| "bad --tau")?;
-    let source = load_schema(src)?;
-    let target = load_schema(tgt)?;
-    let xml = std::fs::read_to_string(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
-    let doc = parse_document(&xml).map_err(|e| format!("{doc_path}: {e}"))?;
     let q = TwigPattern::parse(query).map_err(|e| format!("query: {e}"))?;
-
-    let matching = matcher_from(&flags)?.match_schemas(&source, &target);
-    let pm = PossibleMappings::top_h(&matching, h);
-    let tree = BlockTree::build(
-        &target,
-        &pm,
-        &BlockTreeConfig {
-            tau,
-            ..BlockTreeConfig::default()
-        },
-    );
+    let engine = engine_from(&flags, src, tgt, doc_path)?;
 
     let result: PtqResult = match (flag(&flags, "mode"), flag(&flags, "k")) {
-        (Some("node"), _) => {
-            let index = PathIndex::new(&doc);
-            match flag(&flags, "k") {
-                Some(k) => {
-                    let _k: usize = k.parse().map_err(|_| "bad --k")?;
-                    return Err("--k with --mode node is not supported; drop one".into());
+        (Some("node"), Some(_)) => {
+            return Err("--k with --mode node is not supported; drop one".into());
+        }
+        (Some("node"), None) => {
+            // block-tree node-mode evaluation
+            let r = engine.ptq_with_tree_nodes(&q);
+            debug_assert_eq!(
+                {
+                    let mut a = engine.ptq_nodes(&q);
+                    a.normalize();
+                    a
+                },
+                {
+                    let mut b = r.clone();
+                    b.normalize();
+                    b
                 }
-                None => {
-                    // block-tree node-mode evaluation
-                    let r = ptq_with_tree_nodes(&q, &pm, &doc, &index, &tree);
-                    debug_assert_eq!(
-                        {
-                            let mut a = ptq_basic_nodes(&q, &pm, &doc, &index);
-                            a.normalize();
-                            a
-                        },
-                        {
-                            let mut b = r.clone();
-                            b.normalize();
-                            b
-                        }
-                    );
-                    r
-                }
-            }
+            );
+            r
         }
         (_, Some(k)) => {
             let k: usize = k.parse().map_err(|_| "bad --k")?;
-            topk_ptq(&q, &pm, &doc, &tree, k)
+            engine.topk(&q, k)
         }
-        _ => ptq_with_tree(&q, &pm, &doc, &tree),
+        _ => engine.ptq_with_tree(&q),
     };
 
+    let doc = engine.document();
     println!(
         "query {q} over {} mappings: {} relevant, expected match count {:.2}",
-        pm.len(),
+        engine.mappings().len(),
         result.len(),
         expected_count(&result)
     );
@@ -236,13 +249,38 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_keyword(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_args(args)?;
+    let [src, tgt, doc_path, terms @ ..] = pos.as_slice() else {
+        return Err("keyword needs <source.outline> <target.outline> <doc.xml> <term...>".into());
+    };
+    let engine = engine_from(&flags, src, tgt, doc_path)?;
+    let answers = engine.keyword(terms).map_err(|e| e.to_string())?;
+    let doc = engine.document();
+    println!(
+        "keywords {:?} over {} mappings: {} relevant",
+        terms,
+        engine.mappings().len(),
+        answers.len()
+    );
+    for a in answers.iter().take(20) {
+        let paths: Vec<String> = a.slcas.iter().map(|&n| doc.path(n)).collect();
+        println!("  p = {:.3}  {:?}", a.probability, paths);
+    }
+    Ok(())
+}
+
 fn cmd_gen_doc(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_args(args)?;
     let [schema_path] = pos.as_slice() else {
         return Err("gen-doc needs <schema.outline>".into());
     };
-    let nodes: usize = flag(&flags, "nodes").map_or(Ok(200), str::parse).map_err(|_| "bad --nodes")?;
-    let seed: u64 = flag(&flags, "seed").map_or(Ok(42), str::parse).map_err(|_| "bad --seed")?;
+    let nodes: usize = flag(&flags, "nodes")
+        .map_or(Ok(200), str::parse)
+        .map_err(|_| "bad --nodes")?;
+    let seed: u64 = flag(&flags, "seed")
+        .map_or(Ok(42), str::parse)
+        .map_err(|_| "bad --seed")?;
     let schema = load_schema(schema_path)?;
     let doc = Document::generate(
         &schema,

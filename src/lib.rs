@@ -24,19 +24,28 @@
 //! let source = Schema::parse_outline("Order(Buyer(Name) Item(Price))").unwrap();
 //! let target = Schema::parse_outline("PO(Vendor(ContactName) Line(UnitPrice))").unwrap();
 //!
-//! // Match them, derive possible mappings, build the block tree.
+//! // Match them and derive possible mappings.
 //! let matching = Matcher::default().match_schemas(&source, &target);
 //! let mappings = PossibleMappings::top_h(&matching, 8);
-//! let tree = BlockTree::build(&target, &mappings, &BlockTreeConfig::default());
 //!
-//! // Ask a probabilistic twig query against a source document.
+//! // Open a query session: the engine builds the block tree plus interned
+//! // labels, relevance bitsets, and a rewrite cache — once.
 //! let doc = Document::generate(&source, &DocGenConfig::small(), 7);
+//! let engine = QueryEngine::build(mappings, doc, &BlockTreeConfig::default());
+//!
+//! // Ask probabilistic twig queries against the source document.
 //! let q = TwigPattern::parse("PO//ContactName").unwrap();
-//! let answers = ptq_with_tree(&q, &mappings, &doc, &tree);
+//! let answers = engine.ptq_with_tree(&q);
 //! for ans in answers.iter() {
 //!     assert!(ans.probability > 0.0);
 //! }
+//! let top1 = engine.topk(&q, 1);
+//! assert!(top1.len() <= answers.len());
 //! ```
+//!
+//! The free functions (`ptq_basic`, `ptq_with_tree`, `topk_ptq`, …) remain
+//! available and return identical results; they wrap a throwaway engine
+//! session per call.
 
 pub use uxm_assignment as assignment;
 pub use uxm_core as core;
@@ -52,6 +61,8 @@ pub mod prelude {
     };
     pub use uxm_core::{
         block_tree::{BlockTree, BlockTreeConfig},
+        engine::QueryEngine,
+        keyword::{keyword_query, KeywordAnswer, KeywordError},
         mapping::{Mapping, PossibleMappings},
         ptq::{ptq_basic, PtqAnswer},
         ptq_tree::ptq_with_tree,
@@ -60,9 +71,5 @@ pub mod prelude {
     pub use uxm_datagen::datasets::{Dataset, DatasetId};
     pub use uxm_matching::{matcher::Matcher, SchemaMatching};
     pub use uxm_twig::pattern::TwigPattern;
-    pub use uxm_xml::{
-        document::Document,
-        docgen::DocGenConfig,
-        schema::Schema,
-    };
+    pub use uxm_xml::{docgen::DocGenConfig, document::Document, schema::Schema};
 }

@@ -1,0 +1,138 @@
+//! The `QueryEngine` session layer must return results *identical* to the
+//! legacy free-function paths — same answers, same order, same floats —
+//! across the Table II datasets and the paper's query workload. The free
+//! functions are themselves wrappers over the engine with a throwaway
+//! session, so this pins (a) wrapper/engine agreement including all cache
+//! interactions, and (b) warm-cache runs agreeing with cold runs.
+
+use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm::core::engine::QueryEngine;
+use uxm::core::keyword::keyword_query;
+use uxm::core::mapping::PossibleMappings;
+use uxm::core::path_ptq::{ptq_basic_nodes, ptq_with_tree_nodes};
+use uxm::core::ptq::ptq_basic;
+use uxm::core::ptq_tree::ptq_with_tree;
+use uxm::core::topk::topk_ptq;
+use uxm::datagen::datasets::{Dataset, DatasetId};
+use uxm::datagen::queries::paper_queries;
+use uxm::xml::{DocGenConfig, Document, PathIndex};
+
+/// Builds the session pieces for one dataset, sized to keep the full
+/// sweep affordable in debug builds.
+fn session(id: DatasetId, m: usize, nodes: usize) -> QueryEngine {
+    let d = Dataset::load(id);
+    let pm = PossibleMappings::top_h(&d.matching, m);
+    let doc = Document::generate(
+        &d.matching.source,
+        &DocGenConfig {
+            target_nodes: nodes,
+            max_repeat: 3,
+            text_prob: 0.7,
+        },
+        0x0D0C,
+    );
+    let tree = BlockTree::build(
+        &d.matching.target,
+        &pm,
+        &BlockTreeConfig {
+            tau: 0.2,
+            ..BlockTreeConfig::default()
+        },
+    );
+    QueryEngine::new(pm, doc, tree)
+}
+
+/// Asserts every evaluator agrees between engine and legacy on `queries`,
+/// and that a second (cache-warm) engine run is identical to the first.
+fn assert_equivalent(engine: &QueryEngine, queries: &[usize], dataset: &str) {
+    let all = paper_queries();
+    let (pm, doc, tree) = (engine.mappings(), engine.document(), engine.tree());
+    for &qi in queries {
+        let q = &all[qi - 1];
+        let label = format!("{dataset} Q{qi}");
+
+        let basic = engine.ptq(q);
+        assert_eq!(basic, ptq_basic(q, pm, doc), "{label}: ptq_basic");
+        assert_eq!(basic, engine.ptq(q), "{label}: warm ptq");
+
+        let tree_res = engine.ptq_with_tree(q);
+        assert_eq!(
+            tree_res,
+            ptq_with_tree(q, pm, doc, tree),
+            "{label}: ptq_with_tree"
+        );
+        assert_eq!(
+            tree_res,
+            engine.ptq_with_tree(q),
+            "{label}: warm ptq_with_tree"
+        );
+
+        let top = engine.topk(q, 5);
+        assert_eq!(top, topk_ptq(q, pm, doc, tree, 5), "{label}: topk_ptq");
+    }
+}
+
+#[test]
+fn engine_equals_legacy_on_small_datasets_full_workload() {
+    for id in [
+        DatasetId::D1,
+        DatasetId::D2,
+        DatasetId::D3,
+        DatasetId::D4,
+        DatasetId::D5,
+    ] {
+        let engine = session(id, 40, 800);
+        assert_equivalent(&engine, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], id.name());
+    }
+}
+
+#[test]
+fn engine_equals_legacy_on_large_datasets_spot_queries() {
+    for id in [
+        DatasetId::D6,
+        DatasetId::D7,
+        DatasetId::D8,
+        DatasetId::D9,
+        DatasetId::D10,
+    ] {
+        let engine = session(id, 20, 400);
+        assert_equivalent(&engine, &[2, 7, 10], id.name());
+    }
+}
+
+#[test]
+fn engine_equals_legacy_node_granularity_and_keyword() {
+    let engine = session(DatasetId::D4, 30, 600);
+    let (pm, doc, tree) = (engine.mappings(), engine.document(), engine.tree());
+    let index = PathIndex::new(doc);
+    let all = paper_queries();
+    for qi in [2usize, 7, 10] {
+        let q = &all[qi - 1];
+        assert_eq!(
+            engine.ptq_nodes(q),
+            ptq_basic_nodes(q, pm, doc, &index),
+            "D4 Q{qi}: ptq_basic_nodes"
+        );
+        assert_eq!(
+            engine.ptq_with_tree_nodes(q),
+            ptq_with_tree_nodes(q, pm, doc, &index, tree),
+            "D4 Q{qi}: ptq_with_tree_nodes"
+        );
+    }
+    // Keyword: one vocabulary term (a target label) and one value term.
+    let vocab = pm
+        .target
+        .label(pm.target.children(pm.target.root())[0])
+        .to_string();
+    for terms in [
+        vec![vocab.as_str()],
+        vec!["order"],
+        vec![vocab.as_str(), "order"],
+    ] {
+        assert_eq!(
+            engine.keyword(&terms).unwrap(),
+            keyword_query(&terms, pm, doc).unwrap(),
+            "keyword {terms:?}"
+        );
+    }
+}

@@ -36,10 +36,10 @@ fn workload() -> &'static (PossibleMappings, Document, BlockTree) {
 
 #[test]
 fn basic_and_block_tree_agree_on_all_paper_queries() {
-    let (pm, doc, tree) = &*workload();
+    let (pm, doc, tree) = workload();
     for (i, q) in paper_queries().iter().enumerate() {
-        let mut basic = ptq_basic(q, &pm, &doc);
-        let mut tree_res = ptq_with_tree(q, &pm, &doc, &tree);
+        let mut basic = ptq_basic(q, pm, doc);
+        let mut tree_res = ptq_with_tree(q, pm, doc, tree);
         basic.normalize();
         tree_res.normalize();
         assert_eq!(basic, tree_res, "Q{} differs", i + 1);
@@ -48,10 +48,10 @@ fn basic_and_block_tree_agree_on_all_paper_queries() {
 
 #[test]
 fn paper_queries_have_answers_on_d6() {
-    let (pm, doc, tree) = &*workload();
+    let (pm, doc, tree) = workload();
     let mut answered = 0;
     for q in &paper_queries() {
-        let res = ptq_with_tree(q, &pm, &doc, &tree);
+        let res = ptq_with_tree(q, pm, doc, tree);
         if res.iter().any(|a| !a.matches.is_empty()) {
             answered += 1;
         }
@@ -64,7 +64,7 @@ fn paper_queries_have_answers_on_d6() {
 
 #[test]
 fn probabilities_are_a_distribution() {
-    let (pm, _, _) = &*workload();
+    let (pm, _, _) = workload();
     let total: f64 = pm.iter().map(|(_, m)| m.prob).sum();
     assert!((total - 1.0).abs() < 1e-9);
     assert!(pm.iter().all(|(_, m)| m.prob >= 0.0));
@@ -72,7 +72,7 @@ fn probabilities_are_a_distribution() {
 
 #[test]
 fn mappings_are_one_to_one() {
-    let (pm, _, _) = &*workload();
+    let (pm, _, _) = workload();
     for (_, m) in pm.iter() {
         let mut targets: Vec<_> = m.pairs.iter().map(|p| p.1).collect();
         targets.sort_unstable();
@@ -89,40 +89,40 @@ fn mappings_are_one_to_one() {
 
 #[test]
 fn block_tree_blocks_satisfy_definition_on_real_workload() {
-    let (pm, _, tree) = &*workload();
+    let (pm, _, tree) = workload();
     for b in tree.blocks() {
-        b.validate(&pm.target, &pm, tree.min_support)
+        b.validate(&pm.target, pm, tree.min_support)
             .unwrap_or_else(|e| panic!("invalid block: {e}"));
     }
 }
 
 #[test]
 fn compression_is_lossless_on_real_workload() {
-    let (pm, _, tree) = &*workload();
-    let cm = compress(&pm, &tree);
+    let (pm, _, tree) = workload();
+    let cm = compress(pm, tree);
     for (mid, m) in pm.iter() {
-        assert_eq!(cm.reconstruct(&tree, mid), m.pairs, "mapping {mid:?}");
+        assert_eq!(cm.reconstruct(tree, mid), m.pairs, "mapping {mid:?}");
     }
 }
 
 #[test]
 fn compression_saves_space_on_overlapping_mappings() {
-    let (pm, _, tree) = &*workload();
-    let ratio = compression_ratio(&pm, &tree);
+    let (pm, _, tree) = workload();
+    let ratio = compression_ratio(pm, tree);
     assert!(
         ratio > 0.0,
         "expected positive compression on o-ratio {:.2} workload, got {ratio:.3}",
-        o_ratio(&pm)
+        o_ratio(pm)
     );
 }
 
 #[test]
 fn topk_is_prefix_of_full_by_probability() {
-    let (pm, doc, tree) = &*workload();
+    let (pm, doc, tree) = workload();
     let q = &paper_queries()[9];
-    let full = ptq_with_tree(q, &pm, &doc, &tree);
+    let full = ptq_with_tree(q, pm, doc, tree);
     for k in [1, 5, 20] {
-        let top = topk_ptq(q, &pm, &doc, &tree, k);
+        let top = topk_ptq(q, pm, doc, tree, k);
         assert!(top.len() <= k);
         // every top-k answer matches the full result for its mapping
         for a in top.iter() {
@@ -148,10 +148,10 @@ fn topk_is_prefix_of_full_by_probability() {
 
 #[test]
 fn tau_one_blocks_are_universal() {
-    let (pm, _, _) = &*workload();
+    let (pm, _, _) = workload();
     let tree = BlockTree::build(
         &pm.target.clone(),
-        &pm,
+        pm,
         &BlockTreeConfig {
             tau: 1.0,
             ..BlockTreeConfig::default()
@@ -173,7 +173,11 @@ fn generated_document_conforms_to_source_schema() {
         .map(|id| d.matching.source.path(id).replace('.', "/"))
         .collect();
     for id in doc.ids() {
-        assert!(schema_paths.contains(&doc.path(id)), "bad path {}", doc.path(id));
+        assert!(
+            schema_paths.contains(&doc.path(id)),
+            "bad path {}",
+            doc.path(id)
+        );
     }
 }
 

@@ -13,25 +13,22 @@ use uxm::xml::{Schema, SchemaNodeId};
 
 /// Strategy: a random sparse bipartite with ≤5 lefts and ≤4 targets.
 fn bipartite_strategy() -> impl Strategy<Value = Bipartite> {
-    proptest::collection::vec(
-        proptest::collection::vec((0u32..4, 1u32..=100), 0..4),
-        1..6,
-    )
-    .prop_map(|rows| {
-        let edges = rows
-            .into_iter()
-            .map(|row| {
-                let mut dedup: Vec<(u32, f64)> = Vec::new();
-                for (r, w) in row {
-                    if !dedup.iter().any(|&(rr, _)| rr == r) {
-                        dedup.push((r, w as f64 / 100.0));
+    proptest::collection::vec(proptest::collection::vec((0u32..4, 1u32..=100), 0..4), 1..6)
+        .prop_map(|rows| {
+            let edges = rows
+                .into_iter()
+                .map(|row| {
+                    let mut dedup: Vec<(u32, f64)> = Vec::new();
+                    for (r, w) in row {
+                        if !dedup.iter().any(|&(rr, _)| rr == r) {
+                            dedup.push((r, w as f64 / 100.0));
+                        }
                     }
-                }
-                dedup
-            })
-            .collect();
-        Bipartite::from_edges(4, edges)
-    })
+                    dedup
+                })
+                .collect();
+            Bipartite::from_edges(4, edges)
+        })
 }
 
 /// Strategy: a random sparse schema matching (≤6 sources, ≤5 targets).

@@ -32,31 +32,26 @@ fn mappings_strategy() -> impl Strategy<Value = PossibleMappings> {
     let (source, target) = schemas();
     let n_t = target.len();
     let n_s = source.len();
-    proptest::collection::vec(
-        proptest::collection::vec(0usize..(n_s + 3), n_t),
-        4..12,
-    )
-    .prop_map(move |choice_sets| {
-        let sets = choice_sets
-            .into_iter()
-            .enumerate()
-            .map(|(i, choices)| {
-                let mut used = vec![false; n_s];
-                let mut pairs = Vec::new();
-                for (t_idx, s_choice) in choices.into_iter().enumerate() {
-                    if s_choice < n_s && !used[s_choice] {
-                        used[s_choice] = true;
-                        pairs.push((
-                            SchemaNodeId(s_choice as u32),
-                            SchemaNodeId(t_idx as u32),
-                        ));
+    proptest::collection::vec(proptest::collection::vec(0usize..(n_s + 3), n_t), 4..12).prop_map(
+        move |choice_sets| {
+            let sets = choice_sets
+                .into_iter()
+                .enumerate()
+                .map(|(i, choices)| {
+                    let mut used = vec![false; n_s];
+                    let mut pairs = Vec::new();
+                    for (t_idx, s_choice) in choices.into_iter().enumerate() {
+                        if s_choice < n_s && !used[s_choice] {
+                            used[s_choice] = true;
+                            pairs.push((SchemaNodeId(s_choice as u32), SchemaNodeId(t_idx as u32)));
+                        }
                     }
-                }
-                (pairs, 1.0 + i as f64 * 0.1)
-            })
-            .collect();
-        PossibleMappings::from_pairs(source.clone(), target.clone(), sets)
-    })
+                    (pairs, 1.0 + i as f64 * 0.1)
+                })
+                .collect();
+            PossibleMappings::from_pairs(source.clone(), target.clone(), sets)
+        },
+    )
 }
 
 const QUERIES: [&str; 8] = [

@@ -1,0 +1,247 @@
+//! Storage codec properties: the plain and block-compressed encodings
+//! round-trip to identical `PossibleMappings` on arbitrary mapping sets,
+//! corrupt input never panics, and every `DecodeError` variant is
+//! reachable.
+
+use proptest::prelude::*;
+use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm::core::mapping::PossibleMappings;
+use uxm::core::storage::{
+    decode_compressed, decode_plain, encode_compressed, encode_plain, DecodeError,
+};
+use uxm::xml::{Schema, SchemaNodeId};
+
+fn schemas() -> (Schema, Schema) {
+    let source = Schema::parse_outline(
+        "Ord(BuyerA(NameA MailA) BuyerB(NameB MailB) Ship(Str City) Item*(No Qty Price))",
+    )
+    .unwrap();
+    let target = Schema::parse_outline(
+        "PO(Cust(CName CMail) Dest(Street Town) Line(LineNo Quantity Amount))",
+    )
+    .unwrap();
+    (source, target)
+}
+
+/// Strategy: a random set of 1–12 one-to-one mappings (same construction
+/// as `prop_core`).
+fn mappings_strategy() -> impl Strategy<Value = PossibleMappings> {
+    let (source, target) = schemas();
+    let n_t = target.len();
+    let n_s = source.len();
+    proptest::collection::vec(proptest::collection::vec(0usize..(n_s + 3), n_t), 1..12).prop_map(
+        move |choice_sets| {
+            let sets = choice_sets
+                .into_iter()
+                .enumerate()
+                .map(|(i, choices)| {
+                    let mut used = vec![false; n_s];
+                    let mut pairs = Vec::new();
+                    for (t_idx, s_choice) in choices.into_iter().enumerate() {
+                        if s_choice < n_s && !used[s_choice] {
+                            used[s_choice] = true;
+                            pairs.push((SchemaNodeId(s_choice as u32), SchemaNodeId(t_idx as u32)));
+                        }
+                    }
+                    (pairs, 1.0 + i as f64 * 0.1)
+                })
+                .collect();
+            PossibleMappings::from_pairs(source.clone(), target.clone(), sets)
+        },
+    )
+}
+
+fn assert_same_mappings(a: &PossibleMappings, b: &PossibleMappings) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        prop_assert_eq!(x, y);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The satellite property: `decode(encode_plain(pm))` equals
+    /// `decode(encode_compressed(pm, tree))` equals `pm`, for arbitrary
+    /// mapping sets and block trees.
+    #[test]
+    fn plain_and_compressed_decode_identically(
+        pm in mappings_strategy(),
+        tau in 0.1f64..1.0,
+    ) {
+        let tree = BlockTree::build(
+            &pm.target.clone(),
+            &pm,
+            &BlockTreeConfig { tau, ..BlockTreeConfig::default() },
+        );
+        let via_plain =
+            decode_plain(&encode_plain(&pm), pm.source.clone(), pm.target.clone()).unwrap();
+        let (via_compressed, back_tree) = decode_compressed(
+            &encode_compressed(&pm, &tree),
+            pm.source.clone(),
+            pm.target.clone(),
+        )
+        .unwrap();
+        assert_same_mappings(&via_plain, &via_compressed)?;
+        assert_same_mappings(&pm, &via_plain)?;
+        prop_assert_eq!(tree.blocks(), back_tree.blocks());
+        prop_assert_eq!(tree.min_support, back_tree.min_support);
+    }
+
+    /// Fuzz-ish robustness: flipping any byte of either encoding must
+    /// yield `Ok` or a clean `DecodeError` — never a panic.
+    #[test]
+    fn corrupt_bytes_never_panic(
+        pm in mappings_strategy(),
+        pos in 0usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let tree = BlockTree::build(&pm.target.clone(), &pm, &BlockTreeConfig::default());
+        for bytes in [encode_plain(&pm), encode_compressed(&pm, &tree)] {
+            let mut corrupt = bytes.clone();
+            let p = pos % corrupt.len();
+            corrupt[p] ^= xor;
+            let _ = decode_plain(&corrupt, pm.source.clone(), pm.target.clone());
+            let _ = decode_compressed(&corrupt, pm.source.clone(), pm.target.clone());
+        }
+    }
+
+    /// Truncating at any point must error (and never panic): a shortened
+    /// prefix is either missing data (`Truncated`), or — when the cut
+    /// garbles a length prefix — may surface as any other decode error,
+    /// but never as success.
+    #[test]
+    fn every_truncation_errors(pm in mappings_strategy(), cut_seed in 0usize..4096) {
+        let (source, target) = (pm.source.clone(), pm.target.clone());
+        let plain = encode_plain(&pm);
+        let cut = cut_seed % plain.len();
+        prop_assert!(decode_plain(&plain[..cut], source.clone(), target.clone()).is_err());
+        let tree = BlockTree::build(&target.clone(), &pm, &BlockTreeConfig::default());
+        let compressed = encode_compressed(&pm, &tree);
+        let cut = cut_seed % compressed.len();
+        prop_assert!(decode_compressed(&compressed[..cut], source, target).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// every DecodeError variant, on both codecs
+
+fn sample() -> (PossibleMappings, BlockTree) {
+    let (source, target) = schemas();
+    let s = |l: &str| source.nodes_with_label(l)[0];
+    let t = |l: &str| target.nodes_with_label(l)[0];
+    let pm = PossibleMappings::from_pairs(
+        source.clone(),
+        target.clone(),
+        vec![
+            (vec![(s("Ord"), t("PO")), (s("NameA"), t("CName"))], 2.0),
+            (vec![(s("Ord"), t("PO")), (s("NameB"), t("CName"))], 1.0),
+        ],
+    );
+    let tree = BlockTree::build(&target, &pm, &BlockTreeConfig::default());
+    (pm, tree)
+}
+
+fn varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[test]
+fn bad_magic_variant() {
+    let (pm, tree) = sample();
+    // Cross-format confusion both ways...
+    let plain = encode_plain(&pm);
+    let compressed = encode_compressed(&pm, &tree);
+    assert_eq!(
+        decode_compressed(&plain, pm.source.clone(), pm.target.clone()).unwrap_err(),
+        DecodeError::BadMagic
+    );
+    assert_eq!(
+        decode_plain(&compressed, pm.source.clone(), pm.target.clone()).unwrap_err(),
+        DecodeError::BadMagic
+    );
+    // ...and outright garbage.
+    assert_eq!(
+        decode_plain(b"NOPE", pm.source.clone(), pm.target.clone()).unwrap_err(),
+        DecodeError::BadMagic
+    );
+}
+
+#[test]
+fn truncated_variant() {
+    let (pm, tree) = sample();
+    let plain = encode_plain(&pm);
+    for cut in [0, 3, plain.len() / 2, plain.len() - 1] {
+        assert_eq!(
+            decode_plain(&plain[..cut], pm.source.clone(), pm.target.clone()).unwrap_err(),
+            DecodeError::Truncated,
+            "plain cut at {cut}"
+        );
+    }
+    let compressed = encode_compressed(&pm, &tree);
+    assert_eq!(
+        decode_compressed(
+            &compressed[..compressed.len() - 1],
+            pm.source.clone(),
+            pm.target.clone()
+        )
+        .unwrap_err(),
+        DecodeError::Truncated
+    );
+    // Trailing garbage is rejected as Truncated too (incomplete consume).
+    let mut trailing = plain.clone();
+    trailing.push(0x00);
+    assert_eq!(
+        decode_plain(&trailing, pm.source.clone(), pm.target.clone()).unwrap_err(),
+        DecodeError::Truncated
+    );
+    // An unterminated varint (continuation bits forever) overflows the
+    // 64-bit shift and must surface as Truncated, not panic.
+    let mut evil = Vec::from(*b"UXM0");
+    evil.extend_from_slice(&[0xFF; 12]);
+    assert_eq!(
+        decode_plain(&evil, pm.source.clone(), pm.target.clone()).unwrap_err(),
+        DecodeError::Truncated
+    );
+}
+
+#[test]
+fn id_out_of_range_variant() {
+    let (pm, tree) = sample();
+    let tiny = Schema::parse_outline("X").unwrap();
+    // Plain: stored pair ids exceed a shrunken schema.
+    let plain = encode_plain(&pm);
+    assert_eq!(
+        decode_plain(&plain, pm.source.clone(), tiny.clone()).unwrap_err(),
+        DecodeError::IdOutOfRange
+    );
+    // Compressed: block anchors exceed a shrunken target schema.
+    let compressed = encode_compressed(&pm, &tree);
+    assert_eq!(
+        decode_compressed(&compressed, pm.source.clone(), tiny).unwrap_err(),
+        DecodeError::IdOutOfRange
+    );
+    // Compressed: a mapping referencing a block id beyond the block table.
+    let mut crafted = Vec::from(*b"UXM1");
+    varint(&mut crafted, 1); // min_support
+    varint(&mut crafted, 0); // no blocks
+    varint(&mut crafted, 1); // one mapping
+    crafted.extend_from_slice(&1.0f64.to_bits().to_le_bytes()); // score
+    crafted.extend_from_slice(&1.0f64.to_bits().to_le_bytes()); // prob
+    varint(&mut crafted, 1); // one block pointer...
+    varint(&mut crafted, 0); // ...into the empty block table
+    varint(&mut crafted, 0); // no residual pairs
+    assert_eq!(
+        decode_compressed(&crafted, pm.source.clone(), pm.target.clone()).unwrap_err(),
+        DecodeError::IdOutOfRange
+    );
+}
