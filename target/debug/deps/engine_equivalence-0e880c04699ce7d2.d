@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-0e880c04699ce7d2.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-0e880c04699ce7d2: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-1e3392c58eff022b.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/libengine_equivalence-1e3392c58eff022b.rmeta: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

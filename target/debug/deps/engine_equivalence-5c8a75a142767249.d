@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-5c8a75a142767249.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-5c8a75a142767249: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

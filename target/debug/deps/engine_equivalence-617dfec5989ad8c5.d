@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-617dfec5989ad8c5.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/libengine_equivalence-617dfec5989ad8c5.rmeta: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

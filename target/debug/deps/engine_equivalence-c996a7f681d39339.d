@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-c996a7f681d39339.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-c996a7f681d39339: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-72b6ca179536d54f.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/debug/deps/extensions-72b6ca179536d54f: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

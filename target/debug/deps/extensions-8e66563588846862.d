@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-8e66563588846862.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-8e66563588846862.rmeta: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-9bfcc6d2416ae7d9.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-9bfcc6d2416ae7d9.rmeta: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_generation-06d857f995c892dd.d: crates/bench/benches/fig10_generation.rs
+
+/root/repo/target/debug/deps/libfig10_generation-06d857f995c892dd.rmeta: crates/bench/benches/fig10_generation.rs
+
+crates/bench/benches/fig10_generation.rs:

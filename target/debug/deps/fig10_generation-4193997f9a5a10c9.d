@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_generation-4193997f9a5a10c9.d: crates/bench/benches/fig10_generation.rs
+
+/root/repo/target/debug/deps/libfig10_generation-4193997f9a5a10c9.rmeta: crates/bench/benches/fig10_generation.rs
+
+crates/bench/benches/fig10_generation.rs:

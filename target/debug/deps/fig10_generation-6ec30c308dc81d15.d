@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_generation-6ec30c308dc81d15.d: crates/bench/benches/fig10_generation.rs
+
+/root/repo/target/debug/deps/fig10_generation-6ec30c308dc81d15: crates/bench/benches/fig10_generation.rs
+
+crates/bench/benches/fig10_generation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_generation-aefb41e7f18bff87.d: crates/bench/benches/fig10_generation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_generation-aefb41e7f18bff87.rmeta: crates/bench/benches/fig10_generation.rs Cargo.toml
+
+crates/bench/benches/fig10_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

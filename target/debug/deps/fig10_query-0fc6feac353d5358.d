@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_query-0fc6feac353d5358.d: crates/bench/benches/fig10_query.rs
+
+/root/repo/target/debug/deps/libfig10_query-0fc6feac353d5358.rmeta: crates/bench/benches/fig10_query.rs
+
+crates/bench/benches/fig10_query.rs:

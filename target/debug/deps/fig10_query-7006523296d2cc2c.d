@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_query-7006523296d2cc2c.d: crates/bench/benches/fig10_query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_query-7006523296d2cc2c.rmeta: crates/bench/benches/fig10_query.rs Cargo.toml
+
+crates/bench/benches/fig10_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_query-8c7a2d54d3f18af1.d: crates/bench/benches/fig10_query.rs
+
+/root/repo/target/debug/deps/fig10_query-8c7a2d54d3f18af1: crates/bench/benches/fig10_query.rs
+
+crates/bench/benches/fig10_query.rs:

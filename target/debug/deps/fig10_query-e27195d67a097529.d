@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_query-e27195d67a097529.d: crates/bench/benches/fig10_query.rs
+
+/root/repo/target/debug/deps/libfig10_query-e27195d67a097529.rmeta: crates/bench/benches/fig10_query.rs
+
+crates/bench/benches/fig10_query.rs:

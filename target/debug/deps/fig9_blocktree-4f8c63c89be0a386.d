@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_blocktree-4f8c63c89be0a386.d: crates/bench/benches/fig9_blocktree.rs
+
+/root/repo/target/debug/deps/libfig9_blocktree-4f8c63c89be0a386.rmeta: crates/bench/benches/fig9_blocktree.rs
+
+crates/bench/benches/fig9_blocktree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_blocktree-826a2a947ada5080.d: crates/bench/benches/fig9_blocktree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_blocktree-826a2a947ada5080.rmeta: crates/bench/benches/fig9_blocktree.rs Cargo.toml
+
+crates/bench/benches/fig9_blocktree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

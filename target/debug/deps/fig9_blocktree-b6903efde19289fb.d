@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_blocktree-b6903efde19289fb.d: crates/bench/benches/fig9_blocktree.rs
+
+/root/repo/target/debug/deps/fig9_blocktree-b6903efde19289fb: crates/bench/benches/fig9_blocktree.rs
+
+crates/bench/benches/fig9_blocktree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_blocktree-c60528838d681807.d: crates/bench/benches/fig9_blocktree.rs
+
+/root/repo/target/debug/deps/libfig9_blocktree-c60528838d681807.rmeta: crates/bench/benches/fig9_blocktree.rs
+
+crates/bench/benches/fig9_blocktree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-055f7ebeed7763a6.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-055f7ebeed7763a6.rmeta: tests/pipeline.rs
+
+tests/pipeline.rs:

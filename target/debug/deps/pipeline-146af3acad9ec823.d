@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-146af3acad9ec823.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-146af3acad9ec823: tests/pipeline.rs
+
+tests/pipeline.rs:

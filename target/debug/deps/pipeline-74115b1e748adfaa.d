@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-74115b1e748adfaa.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-74115b1e748adfaa: tests/pipeline.rs
+
+tests/pipeline.rs:

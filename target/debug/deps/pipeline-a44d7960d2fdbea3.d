@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-a44d7960d2fdbea3.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-a44d7960d2fdbea3: tests/pipeline.rs
+
+tests/pipeline.rs:

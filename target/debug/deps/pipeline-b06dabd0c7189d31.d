@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-b06dabd0c7189d31.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-b06dabd0c7189d31.rmeta: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_assignment-09098a69ab1e8ac5.d: tests/prop_assignment.rs
+
+/root/repo/target/debug/deps/libprop_assignment-09098a69ab1e8ac5.rmeta: tests/prop_assignment.rs
+
+tests/prop_assignment.rs:

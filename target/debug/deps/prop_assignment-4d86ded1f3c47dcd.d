@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_assignment-4d86ded1f3c47dcd.d: tests/prop_assignment.rs
+
+/root/repo/target/debug/deps/prop_assignment-4d86ded1f3c47dcd: tests/prop_assignment.rs
+
+tests/prop_assignment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_assignment-91f7f2f11d504618.d: tests/prop_assignment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_assignment-91f7f2f11d504618.rmeta: tests/prop_assignment.rs Cargo.toml
+
+tests/prop_assignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

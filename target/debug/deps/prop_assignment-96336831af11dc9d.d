@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_assignment-96336831af11dc9d.d: tests/prop_assignment.rs
+
+/root/repo/target/debug/deps/prop_assignment-96336831af11dc9d: tests/prop_assignment.rs
+
+tests/prop_assignment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_assignment-f73220f2414a4e73.d: tests/prop_assignment.rs
+
+/root/repo/target/debug/deps/prop_assignment-f73220f2414a4e73: tests/prop_assignment.rs
+
+tests/prop_assignment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_assignment-fb1a5904e858a97f.d: tests/prop_assignment.rs
+
+/root/repo/target/debug/deps/libprop_assignment-fb1a5904e858a97f.rmeta: tests/prop_assignment.rs
+
+tests/prop_assignment.rs:

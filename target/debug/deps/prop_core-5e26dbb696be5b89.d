@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_core-5e26dbb696be5b89.d: tests/prop_core.rs
+
+/root/repo/target/debug/deps/prop_core-5e26dbb696be5b89: tests/prop_core.rs
+
+tests/prop_core.rs:

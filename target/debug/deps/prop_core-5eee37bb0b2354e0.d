@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_core-5eee37bb0b2354e0.d: tests/prop_core.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_core-5eee37bb0b2354e0.rmeta: tests/prop_core.rs Cargo.toml
+
+tests/prop_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_core-657a6fea57372601.d: tests/prop_core.rs
+
+/root/repo/target/debug/deps/libprop_core-657a6fea57372601.rmeta: tests/prop_core.rs
+
+tests/prop_core.rs:

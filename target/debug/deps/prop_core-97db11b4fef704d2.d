@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_core-97db11b4fef704d2.d: tests/prop_core.rs
+
+/root/repo/target/debug/deps/prop_core-97db11b4fef704d2: tests/prop_core.rs
+
+tests/prop_core.rs:

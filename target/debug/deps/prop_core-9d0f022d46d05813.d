@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_core-9d0f022d46d05813.d: tests/prop_core.rs
+
+/root/repo/target/debug/deps/libprop_core-9d0f022d46d05813.rmeta: tests/prop_core.rs
+
+tests/prop_core.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_core-f47e8a4e00887644.d: tests/prop_core.rs
+
+/root/repo/target/debug/deps/prop_core-f47e8a4e00887644: tests/prop_core.rs
+
+tests/prop_core.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_storage-1d133769bacc7fdf.d: tests/prop_storage.rs
+
+/root/repo/target/debug/deps/prop_storage-1d133769bacc7fdf: tests/prop_storage.rs
+
+tests/prop_storage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_storage-58db326da56db0f9.d: tests/prop_storage.rs
+
+/root/repo/target/debug/deps/prop_storage-58db326da56db0f9: tests/prop_storage.rs
+
+tests/prop_storage.rs:

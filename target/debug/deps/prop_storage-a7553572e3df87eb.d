@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_storage-a7553572e3df87eb.d: tests/prop_storage.rs
+
+/root/repo/target/debug/deps/prop_storage-a7553572e3df87eb: tests/prop_storage.rs
+
+tests/prop_storage.rs:

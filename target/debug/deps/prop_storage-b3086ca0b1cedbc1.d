@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_storage-b3086ca0b1cedbc1.d: tests/prop_storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_storage-b3086ca0b1cedbc1.rmeta: tests/prop_storage.rs Cargo.toml
+
+tests/prop_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

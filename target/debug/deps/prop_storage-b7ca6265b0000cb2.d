@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_storage-b7ca6265b0000cb2.d: tests/prop_storage.rs
+
+/root/repo/target/debug/deps/libprop_storage-b7ca6265b0000cb2.rmeta: tests/prop_storage.rs
+
+tests/prop_storage.rs:

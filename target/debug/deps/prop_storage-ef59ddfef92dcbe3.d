@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_storage-ef59ddfef92dcbe3.d: tests/prop_storage.rs
+
+/root/repo/target/debug/deps/libprop_storage-ef59ddfef92dcbe3.rmeta: tests/prop_storage.rs
+
+tests/prop_storage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_twig-10524c08255231a0.d: tests/prop_twig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_twig-10524c08255231a0.rmeta: tests/prop_twig.rs Cargo.toml
+
+tests/prop_twig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

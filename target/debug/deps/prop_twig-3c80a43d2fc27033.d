@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_twig-3c80a43d2fc27033.d: tests/prop_twig.rs
+
+/root/repo/target/debug/deps/prop_twig-3c80a43d2fc27033: tests/prop_twig.rs
+
+tests/prop_twig.rs:

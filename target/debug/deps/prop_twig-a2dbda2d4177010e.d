@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_twig-a2dbda2d4177010e.d: tests/prop_twig.rs
+
+/root/repo/target/debug/deps/prop_twig-a2dbda2d4177010e: tests/prop_twig.rs
+
+tests/prop_twig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_twig-d7ae312f303e3979.d: tests/prop_twig.rs
+
+/root/repo/target/debug/deps/prop_twig-d7ae312f303e3979: tests/prop_twig.rs
+
+tests/prop_twig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_twig-f0ae403eac12297c.d: tests/prop_twig.rs
+
+/root/repo/target/debug/deps/libprop_twig-f0ae403eac12297c.rmeta: tests/prop_twig.rs
+
+tests/prop_twig.rs:

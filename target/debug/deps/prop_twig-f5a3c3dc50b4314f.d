@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_twig-f5a3c3dc50b4314f.d: tests/prop_twig.rs
+
+/root/repo/target/debug/deps/libprop_twig-f5a3c3dc50b4314f.rmeta: tests/prop_twig.rs
+
+tests/prop_twig.rs:

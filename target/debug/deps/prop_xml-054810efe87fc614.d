@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_xml-054810efe87fc614.d: tests/prop_xml.rs
+
+/root/repo/target/debug/deps/prop_xml-054810efe87fc614: tests/prop_xml.rs
+
+tests/prop_xml.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_xml-0660dc3697135f67.d: tests/prop_xml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_xml-0660dc3697135f67.rmeta: tests/prop_xml.rs Cargo.toml
+
+tests/prop_xml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_xml-1c3ead34c26d0c79.d: tests/prop_xml.rs
+
+/root/repo/target/debug/deps/prop_xml-1c3ead34c26d0c79: tests/prop_xml.rs
+
+tests/prop_xml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_xml-49315d18f644393c.d: tests/prop_xml.rs
+
+/root/repo/target/debug/deps/libprop_xml-49315d18f644393c.rmeta: tests/prop_xml.rs
+
+tests/prop_xml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_xml-9d0d1831d97b23a2.d: tests/prop_xml.rs
+
+/root/repo/target/debug/deps/prop_xml-9d0d1831d97b23a2: tests/prop_xml.rs
+
+tests/prop_xml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_xml-bad42646ce98f70b.d: tests/prop_xml.rs
+
+/root/repo/target/debug/deps/libprop_xml-bad42646ce98f70b.rmeta: tests/prop_xml.rs
+
+tests/prop_xml.rs:

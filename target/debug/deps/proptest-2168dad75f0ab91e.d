@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2168dad75f0ab91e.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2168dad75f0ab91e.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

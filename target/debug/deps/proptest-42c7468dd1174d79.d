@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-42c7468dd1174d79.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-42c7468dd1174d79: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

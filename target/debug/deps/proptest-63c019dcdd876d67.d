@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-63c019dcdd876d67.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-63c019dcdd876d67.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-63c019dcdd876d67.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-5dca215be8c02f41.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5dca215be8c02f41.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

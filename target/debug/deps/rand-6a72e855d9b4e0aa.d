@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-6a72e855d9b4e0aa.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6a72e855d9b4e0aa.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

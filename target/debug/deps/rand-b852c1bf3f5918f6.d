@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b852c1bf3f5918f6.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-b852c1bf3f5918f6: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

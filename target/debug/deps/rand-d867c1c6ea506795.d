@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-d867c1c6ea506795.d: crates/compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-d867c1c6ea506795.rmeta: crates/compat/rand/src/lib.rs Cargo.toml
+
+crates/compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

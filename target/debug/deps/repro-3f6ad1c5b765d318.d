@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-3f6ad1c5b765d318.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-3f6ad1c5b765d318.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

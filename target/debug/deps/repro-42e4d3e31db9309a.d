@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-42e4d3e31db9309a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-42e4d3e31db9309a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4a972096b03950f4.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4a972096b03950f4: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-69b66ba7e52571bf.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-69b66ba7e52571bf.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

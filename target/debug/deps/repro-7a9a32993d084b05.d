@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7a9a32993d084b05.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-7a9a32993d084b05.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

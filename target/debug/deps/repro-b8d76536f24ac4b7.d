@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-b8d76536f24ac4b7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-b8d76536f24ac4b7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

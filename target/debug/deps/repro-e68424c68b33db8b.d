@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e68424c68b33db8b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-e68424c68b33db8b.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

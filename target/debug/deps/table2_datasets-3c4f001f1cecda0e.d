@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_datasets-3c4f001f1cecda0e.d: crates/bench/benches/table2_datasets.rs
+
+/root/repo/target/debug/deps/libtable2_datasets-3c4f001f1cecda0e.rmeta: crates/bench/benches/table2_datasets.rs
+
+crates/bench/benches/table2_datasets.rs:

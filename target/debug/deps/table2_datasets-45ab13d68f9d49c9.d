@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_datasets-45ab13d68f9d49c9.d: crates/bench/benches/table2_datasets.rs
+
+/root/repo/target/debug/deps/table2_datasets-45ab13d68f9d49c9: crates/bench/benches/table2_datasets.rs
+
+crates/bench/benches/table2_datasets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_datasets-58a012ba92a94ae2.d: crates/bench/benches/table2_datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_datasets-58a012ba92a94ae2.rmeta: crates/bench/benches/table2_datasets.rs Cargo.toml
+
+crates/bench/benches/table2_datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_datasets-b34ccc941bc49ba5.d: crates/bench/benches/table2_datasets.rs
+
+/root/repo/target/debug/deps/libtable2_datasets-b34ccc941bc49ba5.rmeta: crates/bench/benches/table2_datasets.rs
+
+crates/bench/benches/table2_datasets.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uxm-13864e0667411b08.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuxm-13864e0667411b08.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libuxm-13864e0667411b08.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uxm-21d198842956c93e.d: src/bin/uxm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuxm-21d198842956c93e.rmeta: src/bin/uxm.rs Cargo.toml
+
+src/bin/uxm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

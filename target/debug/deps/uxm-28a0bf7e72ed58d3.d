@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-28a0bf7e72ed58d3.d: src/bin/uxm.rs
+
+/root/repo/target/debug/deps/uxm-28a0bf7e72ed58d3: src/bin/uxm.rs
+
+src/bin/uxm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uxm-2d158b5bfd512a7b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuxm-2d158b5bfd512a7b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libuxm-2d158b5bfd512a7b.rmeta: src/lib.rs
+
+src/lib.rs:

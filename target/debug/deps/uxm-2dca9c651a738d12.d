@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-2dca9c651a738d12.d: src/bin/uxm.rs
+
+/root/repo/target/debug/deps/uxm-2dca9c651a738d12: src/bin/uxm.rs
+
+src/bin/uxm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-4fedbcd36e5498bf.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuxm-4fedbcd36e5498bf.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-54b1bec6c6560f24.d: src/bin/uxm.rs
+
+/root/repo/target/debug/deps/uxm-54b1bec6c6560f24: src/bin/uxm.rs
+
+src/bin/uxm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-62639ab44b418dc4.d: src/bin/uxm.rs
+
+/root/repo/target/debug/deps/libuxm-62639ab44b418dc4.rmeta: src/bin/uxm.rs
+
+src/bin/uxm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-6fd5f5e11a6d1741.d: src/bin/uxm.rs
+
+/root/repo/target/debug/deps/uxm-6fd5f5e11a6d1741: src/bin/uxm.rs
+
+src/bin/uxm.rs:

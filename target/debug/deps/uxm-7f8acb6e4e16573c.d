@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-7f8acb6e4e16573c.d: src/bin/uxm.rs
+
+/root/repo/target/debug/deps/libuxm-7f8acb6e4e16573c.rmeta: src/bin/uxm.rs
+
+src/bin/uxm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uxm-862be28343ee87fa.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuxm-862be28343ee87fa.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

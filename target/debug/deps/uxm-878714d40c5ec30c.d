@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uxm-878714d40c5ec30c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuxm-878714d40c5ec30c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libuxm-878714d40c5ec30c.rmeta: src/lib.rs
+
+src/lib.rs:

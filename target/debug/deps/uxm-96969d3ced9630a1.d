@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-96969d3ced9630a1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuxm-96969d3ced9630a1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-96d0a6b2a4de4d75.d: src/lib.rs
+
+/root/repo/target/debug/deps/uxm-96d0a6b2a4de4d75: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-9837e014247da2a7.d: src/bin/uxm.rs
+
+/root/repo/target/debug/deps/uxm-9837e014247da2a7: src/bin/uxm.rs
+
+src/bin/uxm.rs:

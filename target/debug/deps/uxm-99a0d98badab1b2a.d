@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-99a0d98badab1b2a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuxm-99a0d98badab1b2a.rmeta: src/lib.rs
+
+src/lib.rs:

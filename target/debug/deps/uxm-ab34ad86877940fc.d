@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-ab34ad86877940fc.d: src/bin/uxm.rs
+
+/root/repo/target/debug/deps/libuxm-ab34ad86877940fc.rmeta: src/bin/uxm.rs
+
+src/bin/uxm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-aca0288d2972bc0d.d: src/lib.rs
+
+/root/repo/target/debug/deps/uxm-aca0288d2972bc0d: src/lib.rs
+
+src/lib.rs:

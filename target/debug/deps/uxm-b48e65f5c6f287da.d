@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-b48e65f5c6f287da.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuxm-b48e65f5c6f287da.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-c40a9349b6c40511.d: src/bin/uxm.rs
+
+/root/repo/target/debug/deps/uxm-c40a9349b6c40511: src/bin/uxm.rs
+
+src/bin/uxm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-c4a24de0e79c6b40.d: src/lib.rs
+
+/root/repo/target/debug/deps/uxm-c4a24de0e79c6b40: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uxm-da90d9071a3afdb9.d: src/bin/uxm.rs
+
+/root/repo/target/debug/deps/libuxm-da90d9071a3afdb9.rmeta: src/bin/uxm.rs
+
+src/bin/uxm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uxm-dca8bb3c814162e7.d: src/bin/uxm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuxm-dca8bb3c814162e7.rmeta: src/bin/uxm.rs Cargo.toml
+
+src/bin/uxm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

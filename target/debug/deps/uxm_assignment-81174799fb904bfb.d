@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uxm_assignment-81174799fb904bfb.d: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs
+
+/root/repo/target/debug/deps/uxm_assignment-81174799fb904bfb: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs
+
+crates/assignment/src/lib.rs:
+crates/assignment/src/bipartite.rs:
+crates/assignment/src/brute.rs:
+crates/assignment/src/merge.rs:
+crates/assignment/src/murty.rs:
+crates/assignment/src/partition.rs:
+crates/assignment/src/solver.rs:

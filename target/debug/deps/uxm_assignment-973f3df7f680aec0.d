@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uxm_assignment-973f3df7f680aec0.d: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs
+
+/root/repo/target/debug/deps/libuxm_assignment-973f3df7f680aec0.rlib: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs
+
+/root/repo/target/debug/deps/libuxm_assignment-973f3df7f680aec0.rmeta: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs
+
+crates/assignment/src/lib.rs:
+crates/assignment/src/bipartite.rs:
+crates/assignment/src/brute.rs:
+crates/assignment/src/merge.rs:
+crates/assignment/src/murty.rs:
+crates/assignment/src/partition.rs:
+crates/assignment/src/solver.rs:

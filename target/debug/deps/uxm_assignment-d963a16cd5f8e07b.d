@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/uxm_assignment-d963a16cd5f8e07b.d: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuxm_assignment-d963a16cd5f8e07b.rmeta: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs Cargo.toml
+
+crates/assignment/src/lib.rs:
+crates/assignment/src/bipartite.rs:
+crates/assignment/src/brute.rs:
+crates/assignment/src/merge.rs:
+crates/assignment/src/murty.rs:
+crates/assignment/src/partition.rs:
+crates/assignment/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uxm_bench-580a46b6e70b42be.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libuxm_bench-580a46b6e70b42be.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libuxm_bench-580a46b6e70b42be.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/workload.rs:

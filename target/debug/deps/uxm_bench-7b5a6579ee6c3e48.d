@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uxm_bench-7b5a6579ee6c3e48.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuxm_bench-7b5a6579ee6c3e48.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

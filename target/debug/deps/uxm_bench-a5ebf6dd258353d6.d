@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uxm_bench-a5ebf6dd258353d6.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/uxm_bench-a5ebf6dd258353d6: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uxm_bench-ab46abcda03151a9.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libuxm_bench-ab46abcda03151a9.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uxm_bench-b9a499f56a2c5a40.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/uxm_bench-b9a499f56a2c5a40: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/workload.rs:

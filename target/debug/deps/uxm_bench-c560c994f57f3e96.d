@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uxm_bench-c560c994f57f3e96.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libuxm_bench-c560c994f57f3e96.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/workload.rs:

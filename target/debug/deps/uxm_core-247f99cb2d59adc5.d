@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/uxm_core-247f99cb2d59adc5.d: crates/core/src/lib.rs crates/core/src/block.rs crates/core/src/block_tree.rs crates/core/src/compress.rs crates/core/src/engine.rs crates/core/src/keyword.rs crates/core/src/mapping.rs crates/core/src/path_ptq.rs crates/core/src/ptq.rs crates/core/src/ptq_tree.rs crates/core/src/rewrite.rs crates/core/src/semantics.rs crates/core/src/stats.rs crates/core/src/storage.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/libuxm_core-247f99cb2d59adc5.rmeta: crates/core/src/lib.rs crates/core/src/block.rs crates/core/src/block_tree.rs crates/core/src/compress.rs crates/core/src/engine.rs crates/core/src/keyword.rs crates/core/src/mapping.rs crates/core/src/path_ptq.rs crates/core/src/ptq.rs crates/core/src/ptq_tree.rs crates/core/src/rewrite.rs crates/core/src/semantics.rs crates/core/src/stats.rs crates/core/src/storage.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/block.rs:
+crates/core/src/block_tree.rs:
+crates/core/src/compress.rs:
+crates/core/src/engine.rs:
+crates/core/src/keyword.rs:
+crates/core/src/mapping.rs:
+crates/core/src/path_ptq.rs:
+crates/core/src/ptq.rs:
+crates/core/src/ptq_tree.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/semantics.rs:
+crates/core/src/stats.rs:
+crates/core/src/storage.rs:
+crates/core/src/topk.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/uxm_core-45164ab4fcb0c057.d: crates/core/src/lib.rs crates/core/src/block.rs crates/core/src/block_tree.rs crates/core/src/compress.rs crates/core/src/engine.rs crates/core/src/keyword.rs crates/core/src/mapping.rs crates/core/src/path_ptq.rs crates/core/src/ptq.rs crates/core/src/ptq_tree.rs crates/core/src/rewrite.rs crates/core/src/semantics.rs crates/core/src/stats.rs crates/core/src/storage.rs crates/core/src/topk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuxm_core-45164ab4fcb0c057.rmeta: crates/core/src/lib.rs crates/core/src/block.rs crates/core/src/block_tree.rs crates/core/src/compress.rs crates/core/src/engine.rs crates/core/src/keyword.rs crates/core/src/mapping.rs crates/core/src/path_ptq.rs crates/core/src/ptq.rs crates/core/src/ptq_tree.rs crates/core/src/rewrite.rs crates/core/src/semantics.rs crates/core/src/stats.rs crates/core/src/storage.rs crates/core/src/topk.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/block.rs:
+crates/core/src/block_tree.rs:
+crates/core/src/compress.rs:
+crates/core/src/engine.rs:
+crates/core/src/keyword.rs:
+crates/core/src/mapping.rs:
+crates/core/src/path_ptq.rs:
+crates/core/src/ptq.rs:
+crates/core/src/ptq_tree.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/semantics.rs:
+crates/core/src/stats.rs:
+crates/core/src/storage.rs:
+crates/core/src/topk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

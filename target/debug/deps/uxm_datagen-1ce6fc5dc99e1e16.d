@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uxm_datagen-1ce6fc5dc99e1e16.d: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/debug/deps/libuxm_datagen-1ce6fc5dc99e1e16.rlib: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/debug/deps/libuxm_datagen-1ce6fc5dc99e1e16.rmeta: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/datasets.rs:
+crates/datagen/src/queries.rs:
+crates/datagen/src/schema_gen.rs:
+crates/datagen/src/vocab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uxm_datagen-2e92f9d8f8690abf.d: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/debug/deps/libuxm_datagen-2e92f9d8f8690abf.rmeta: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/datasets.rs:
+crates/datagen/src/queries.rs:
+crates/datagen/src/schema_gen.rs:
+crates/datagen/src/vocab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uxm_datagen-cc23b9b718c290d0.d: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/debug/deps/libuxm_datagen-cc23b9b718c290d0.rmeta: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/datasets.rs:
+crates/datagen/src/queries.rs:
+crates/datagen/src/schema_gen.rs:
+crates/datagen/src/vocab.rs:

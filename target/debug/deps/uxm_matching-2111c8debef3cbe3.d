@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uxm_matching-2111c8debef3cbe3.d: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+/root/repo/target/debug/deps/uxm_matching-2111c8debef3cbe3: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/correspondence.rs:
+crates/matching/src/matcher.rs:
+crates/matching/src/similarity.rs:
+crates/matching/src/structural.rs:

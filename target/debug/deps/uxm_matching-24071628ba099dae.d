@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uxm_matching-24071628ba099dae.d: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+/root/repo/target/debug/deps/libuxm_matching-24071628ba099dae.rmeta: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/correspondence.rs:
+crates/matching/src/matcher.rs:
+crates/matching/src/similarity.rs:
+crates/matching/src/structural.rs:

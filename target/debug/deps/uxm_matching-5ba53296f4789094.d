@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uxm_matching-5ba53296f4789094.d: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+/root/repo/target/debug/deps/libuxm_matching-5ba53296f4789094.rlib: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+/root/repo/target/debug/deps/libuxm_matching-5ba53296f4789094.rmeta: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/correspondence.rs:
+crates/matching/src/matcher.rs:
+crates/matching/src/similarity.rs:
+crates/matching/src/structural.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uxm_matching-e0e0363d3285e166.d: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuxm_matching-e0e0363d3285e166.rmeta: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs Cargo.toml
+
+crates/matching/src/lib.rs:
+crates/matching/src/correspondence.rs:
+crates/matching/src/matcher.rs:
+crates/matching/src/similarity.rs:
+crates/matching/src/structural.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

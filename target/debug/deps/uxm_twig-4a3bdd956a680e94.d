@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uxm_twig-4a3bdd956a680e94.d: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs
+
+/root/repo/target/debug/deps/libuxm_twig-4a3bdd956a680e94.rlib: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs
+
+/root/repo/target/debug/deps/libuxm_twig-4a3bdd956a680e94.rmeta: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs
+
+crates/twig/src/lib.rs:
+crates/twig/src/matcher.rs:
+crates/twig/src/naive.rs:
+crates/twig/src/pattern.rs:
+crates/twig/src/resolve.rs:
+crates/twig/src/structural_join.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/uxm_twig-701688537a59a8de.d: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuxm_twig-701688537a59a8de.rmeta: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs Cargo.toml
+
+crates/twig/src/lib.rs:
+crates/twig/src/matcher.rs:
+crates/twig/src/naive.rs:
+crates/twig/src/pattern.rs:
+crates/twig/src/resolve.rs:
+crates/twig/src/structural_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

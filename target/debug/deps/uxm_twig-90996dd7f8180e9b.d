@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uxm_twig-90996dd7f8180e9b.d: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs
+
+/root/repo/target/debug/deps/uxm_twig-90996dd7f8180e9b: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs
+
+crates/twig/src/lib.rs:
+crates/twig/src/matcher.rs:
+crates/twig/src/naive.rs:
+crates/twig/src/pattern.rs:
+crates/twig/src/resolve.rs:
+crates/twig/src/structural_join.rs:

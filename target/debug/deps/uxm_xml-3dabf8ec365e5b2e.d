@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/uxm_xml-3dabf8ec365e5b2e.d: crates/xml/src/lib.rs crates/xml/src/docgen.rs crates/xml/src/document.rs crates/xml/src/ids.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/symbol.rs crates/xml/src/writer.rs crates/xml/src/xsd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuxm_xml-3dabf8ec365e5b2e.rmeta: crates/xml/src/lib.rs crates/xml/src/docgen.rs crates/xml/src/document.rs crates/xml/src/ids.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/symbol.rs crates/xml/src/writer.rs crates/xml/src/xsd.rs Cargo.toml
+
+crates/xml/src/lib.rs:
+crates/xml/src/docgen.rs:
+crates/xml/src/document.rs:
+crates/xml/src/ids.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/schema.rs:
+crates/xml/src/symbol.rs:
+crates/xml/src/writer.rs:
+crates/xml/src/xsd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

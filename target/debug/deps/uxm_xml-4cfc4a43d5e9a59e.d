@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uxm_xml-4cfc4a43d5e9a59e.d: crates/xml/src/lib.rs crates/xml/src/docgen.rs crates/xml/src/document.rs crates/xml/src/ids.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/symbol.rs crates/xml/src/writer.rs crates/xml/src/xsd.rs
+
+/root/repo/target/debug/deps/libuxm_xml-4cfc4a43d5e9a59e.rmeta: crates/xml/src/lib.rs crates/xml/src/docgen.rs crates/xml/src/document.rs crates/xml/src/ids.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/symbol.rs crates/xml/src/writer.rs crates/xml/src/xsd.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/docgen.rs:
+crates/xml/src/document.rs:
+crates/xml/src/ids.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/schema.rs:
+crates/xml/src/symbol.rs:
+crates/xml/src/writer.rs:
+crates/xml/src/xsd.rs:

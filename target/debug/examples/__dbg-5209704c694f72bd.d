@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/__dbg-5209704c694f72bd.d: examples/__dbg.rs
+
+/root/repo/target/debug/examples/__dbg-5209704c694f72bd: examples/__dbg.rs
+
+examples/__dbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataspace_topk-12fc9891ec53986b.d: examples/dataspace_topk.rs
+
+/root/repo/target/debug/examples/dataspace_topk-12fc9891ec53986b: examples/dataspace_topk.rs
+
+examples/dataspace_topk.rs:

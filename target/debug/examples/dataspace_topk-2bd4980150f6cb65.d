@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataspace_topk-2bd4980150f6cb65.d: examples/dataspace_topk.rs
+
+/root/repo/target/debug/examples/libdataspace_topk-2bd4980150f6cb65.rmeta: examples/dataspace_topk.rs
+
+examples/dataspace_topk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataspace_topk-5f988f9d96881ab9.d: examples/dataspace_topk.rs
+
+/root/repo/target/debug/examples/dataspace_topk-5f988f9d96881ab9: examples/dataspace_topk.rs
+
+examples/dataspace_topk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dataspace_topk-a210b48135402007.d: examples/dataspace_topk.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdataspace_topk-a210b48135402007.rmeta: examples/dataspace_topk.rs Cargo.toml
+
+examples/dataspace_topk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataspace_topk-bda52720d8ba30a8.d: examples/dataspace_topk.rs
+
+/root/repo/target/debug/examples/libdataspace_topk-bda52720d8ba30a8.rmeta: examples/dataspace_topk.rs
+
+examples/dataspace_topk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataspace_topk-e2ba7281479e9ef8.d: examples/dataspace_topk.rs
+
+/root/repo/target/debug/examples/dataspace_topk-e2ba7281479e9ef8: examples/dataspace_topk.rs
+
+examples/dataspace_topk.rs:

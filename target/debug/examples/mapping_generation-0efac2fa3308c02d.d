@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mapping_generation-0efac2fa3308c02d.d: examples/mapping_generation.rs
+
+/root/repo/target/debug/examples/mapping_generation-0efac2fa3308c02d: examples/mapping_generation.rs
+
+examples/mapping_generation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mapping_generation-246c686d1a4378bd.d: examples/mapping_generation.rs
+
+/root/repo/target/debug/examples/libmapping_generation-246c686d1a4378bd.rmeta: examples/mapping_generation.rs
+
+examples/mapping_generation.rs:

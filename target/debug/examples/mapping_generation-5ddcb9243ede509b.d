@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mapping_generation-5ddcb9243ede509b.d: examples/mapping_generation.rs
+
+/root/repo/target/debug/examples/mapping_generation-5ddcb9243ede509b: examples/mapping_generation.rs
+
+examples/mapping_generation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mapping_generation-5e1444b2375aa562.d: examples/mapping_generation.rs
+
+/root/repo/target/debug/examples/libmapping_generation-5e1444b2375aa562.rmeta: examples/mapping_generation.rs
+
+examples/mapping_generation.rs:

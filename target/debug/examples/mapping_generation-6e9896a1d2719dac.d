@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mapping_generation-6e9896a1d2719dac.d: examples/mapping_generation.rs
+
+/root/repo/target/debug/examples/mapping_generation-6e9896a1d2719dac: examples/mapping_generation.rs
+
+examples/mapping_generation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mapping_generation-b1ceb095790ec7e4.d: examples/mapping_generation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmapping_generation-b1ceb095790ec7e4.rmeta: examples/mapping_generation.rs Cargo.toml
+
+examples/mapping_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

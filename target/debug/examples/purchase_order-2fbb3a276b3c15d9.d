@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/purchase_order-2fbb3a276b3c15d9.d: examples/purchase_order.rs
+
+/root/repo/target/debug/examples/purchase_order-2fbb3a276b3c15d9: examples/purchase_order.rs
+
+examples/purchase_order.rs:

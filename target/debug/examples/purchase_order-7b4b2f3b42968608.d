@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/purchase_order-7b4b2f3b42968608.d: examples/purchase_order.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpurchase_order-7b4b2f3b42968608.rmeta: examples/purchase_order.rs Cargo.toml
+
+examples/purchase_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

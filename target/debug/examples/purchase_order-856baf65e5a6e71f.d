@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/purchase_order-856baf65e5a6e71f.d: examples/purchase_order.rs
+
+/root/repo/target/debug/examples/purchase_order-856baf65e5a6e71f: examples/purchase_order.rs
+
+examples/purchase_order.rs:

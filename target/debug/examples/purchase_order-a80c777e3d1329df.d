@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/purchase_order-a80c777e3d1329df.d: examples/purchase_order.rs
+
+/root/repo/target/debug/examples/purchase_order-a80c777e3d1329df: examples/purchase_order.rs
+
+examples/purchase_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/purchase_order-ccef1e78fcecc216.d: examples/purchase_order.rs
+
+/root/repo/target/debug/examples/libpurchase_order-ccef1e78fcecc216.rmeta: examples/purchase_order.rs
+
+examples/purchase_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/purchase_order-eb010e0a9b6bad33.d: examples/purchase_order.rs
+
+/root/repo/target/debug/examples/libpurchase_order-eb010e0a9b6bad33.rmeta: examples/purchase_order.rs
+
+examples/purchase_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1b3e9d23c010841f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1b3e9d23c010841f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-44ff9707743569d3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-44ff9707743569d3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-77814b097c13395e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-77814b097c13395e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-95b08a9c1739461e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-95b08a9c1739461e.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

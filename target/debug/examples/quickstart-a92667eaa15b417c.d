@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a92667eaa15b417c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-a92667eaa15b417c.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

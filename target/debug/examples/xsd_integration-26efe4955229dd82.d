@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/xsd_integration-26efe4955229dd82.d: examples/xsd_integration.rs
+
+/root/repo/target/debug/examples/libxsd_integration-26efe4955229dd82.rmeta: examples/xsd_integration.rs
+
+examples/xsd_integration.rs:

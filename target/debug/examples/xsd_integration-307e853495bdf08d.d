@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/xsd_integration-307e853495bdf08d.d: examples/xsd_integration.rs
+
+/root/repo/target/debug/examples/xsd_integration-307e853495bdf08d: examples/xsd_integration.rs
+
+examples/xsd_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/xsd_integration-7e76e5c786062aba.d: examples/xsd_integration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libxsd_integration-7e76e5c786062aba.rmeta: examples/xsd_integration.rs Cargo.toml
+
+examples/xsd_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

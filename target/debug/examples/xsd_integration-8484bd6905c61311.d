@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/xsd_integration-8484bd6905c61311.d: examples/xsd_integration.rs
+
+/root/repo/target/debug/examples/xsd_integration-8484bd6905c61311: examples/xsd_integration.rs
+
+examples/xsd_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/xsd_integration-88518e8753d1f0a0.d: examples/xsd_integration.rs
+
+/root/repo/target/debug/examples/libxsd_integration-88518e8753d1f0a0.rmeta: examples/xsd_integration.rs
+
+examples/xsd_integration.rs:

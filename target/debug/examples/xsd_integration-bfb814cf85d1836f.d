@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/xsd_integration-bfb814cf85d1836f.d: examples/xsd_integration.rs
+
+/root/repo/target/debug/examples/xsd_integration-bfb814cf85d1836f: examples/xsd_integration.rs
+
+examples/xsd_integration.rs:

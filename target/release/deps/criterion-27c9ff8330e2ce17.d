@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-27c9ff8330e2ce17.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-27c9ff8330e2ce17: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-bb0653d6a38497f6.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-bb0653d6a38497f6.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-bb0653d6a38497f6.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-4b5b99ab07edd5f0.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/release/deps/extensions-4b5b99ab07edd5f0: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_generation-73f7a2c9adcc2d91.d: crates/bench/benches/fig10_generation.rs
+
+/root/repo/target/release/deps/fig10_generation-73f7a2c9adcc2d91: crates/bench/benches/fig10_generation.rs
+
+crates/bench/benches/fig10_generation.rs:

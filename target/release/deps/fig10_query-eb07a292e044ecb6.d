@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_query-eb07a292e044ecb6.d: crates/bench/benches/fig10_query.rs
+
+/root/repo/target/release/deps/fig10_query-eb07a292e044ecb6: crates/bench/benches/fig10_query.rs
+
+crates/bench/benches/fig10_query.rs:

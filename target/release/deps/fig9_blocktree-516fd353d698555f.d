@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_blocktree-516fd353d698555f.d: crates/bench/benches/fig9_blocktree.rs
+
+/root/repo/target/release/deps/fig9_blocktree-516fd353d698555f: crates/bench/benches/fig9_blocktree.rs
+
+crates/bench/benches/fig9_blocktree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-3bdb4e500f6b7d61.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-3bdb4e500f6b7d61: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-592e10493ebdca47.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-592e10493ebdca47.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-592e10493ebdca47.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

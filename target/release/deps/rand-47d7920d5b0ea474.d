@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-47d7920d5b0ea474.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-47d7920d5b0ea474.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-47d7920d5b0ea474.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

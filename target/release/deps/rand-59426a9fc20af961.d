@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-59426a9fc20af961.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-59426a9fc20af961: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

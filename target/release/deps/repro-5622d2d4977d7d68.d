@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-5622d2d4977d7d68.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-5622d2d4977d7d68: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

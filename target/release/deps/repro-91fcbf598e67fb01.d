@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-91fcbf598e67fb01.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-91fcbf598e67fb01: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

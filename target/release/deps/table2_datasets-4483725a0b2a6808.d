@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_datasets-4483725a0b2a6808.d: crates/bench/benches/table2_datasets.rs
+
+/root/repo/target/release/deps/table2_datasets-4483725a0b2a6808: crates/bench/benches/table2_datasets.rs
+
+crates/bench/benches/table2_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uxm-5215aaaa3aa6a613.d: src/bin/uxm.rs
+
+/root/repo/target/release/deps/uxm-5215aaaa3aa6a613: src/bin/uxm.rs
+
+src/bin/uxm.rs:

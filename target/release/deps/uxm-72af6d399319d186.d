@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uxm-72af6d399319d186.d: src/bin/uxm.rs
+
+/root/repo/target/release/deps/uxm-72af6d399319d186: src/bin/uxm.rs
+
+src/bin/uxm.rs:

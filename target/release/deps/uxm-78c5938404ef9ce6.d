@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uxm-78c5938404ef9ce6.d: src/lib.rs
+
+/root/repo/target/release/deps/libuxm-78c5938404ef9ce6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libuxm-78c5938404ef9ce6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uxm-8d65198c5d64cce2.d: src/lib.rs
+
+/root/repo/target/release/deps/libuxm-8d65198c5d64cce2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libuxm-8d65198c5d64cce2.rmeta: src/lib.rs
+
+src/lib.rs:

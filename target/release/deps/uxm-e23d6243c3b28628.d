@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uxm-e23d6243c3b28628.d: src/bin/uxm.rs
+
+/root/repo/target/release/deps/uxm-e23d6243c3b28628: src/bin/uxm.rs
+
+src/bin/uxm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uxm-f5733ac579d7e2f9.d: src/lib.rs
+
+/root/repo/target/release/deps/uxm-f5733ac579d7e2f9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/uxm_assignment-7dba211ee18349e5.d: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs
+
+/root/repo/target/release/deps/libuxm_assignment-7dba211ee18349e5.rlib: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs
+
+/root/repo/target/release/deps/libuxm_assignment-7dba211ee18349e5.rmeta: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs
+
+crates/assignment/src/lib.rs:
+crates/assignment/src/bipartite.rs:
+crates/assignment/src/brute.rs:
+crates/assignment/src/merge.rs:
+crates/assignment/src/murty.rs:
+crates/assignment/src/partition.rs:
+crates/assignment/src/solver.rs:

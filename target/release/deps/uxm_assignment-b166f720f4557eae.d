@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uxm_assignment-b166f720f4557eae.d: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs
+
+/root/repo/target/release/deps/uxm_assignment-b166f720f4557eae: crates/assignment/src/lib.rs crates/assignment/src/bipartite.rs crates/assignment/src/brute.rs crates/assignment/src/merge.rs crates/assignment/src/murty.rs crates/assignment/src/partition.rs crates/assignment/src/solver.rs
+
+crates/assignment/src/lib.rs:
+crates/assignment/src/bipartite.rs:
+crates/assignment/src/brute.rs:
+crates/assignment/src/merge.rs:
+crates/assignment/src/murty.rs:
+crates/assignment/src/partition.rs:
+crates/assignment/src/solver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/uxm_bench-48d70f5c349873cf.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libuxm_bench-48d70f5c349873cf.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libuxm_bench-48d70f5c349873cf.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/workload.rs:

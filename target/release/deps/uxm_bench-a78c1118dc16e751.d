@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uxm_bench-a78c1118dc16e751.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/uxm_bench-a78c1118dc16e751: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/uxm_datagen-19361c85b0cafc90.d: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/release/deps/uxm_datagen-19361c85b0cafc90: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/datasets.rs:
+crates/datagen/src/queries.rs:
+crates/datagen/src/schema_gen.rs:
+crates/datagen/src/vocab.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uxm_datagen-f3bf90bcf450bd4b.d: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/release/deps/libuxm_datagen-f3bf90bcf450bd4b.rlib: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/release/deps/libuxm_datagen-f3bf90bcf450bd4b.rmeta: crates/datagen/src/lib.rs crates/datagen/src/datasets.rs crates/datagen/src/queries.rs crates/datagen/src/schema_gen.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/datasets.rs:
+crates/datagen/src/queries.rs:
+crates/datagen/src/schema_gen.rs:
+crates/datagen/src/vocab.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uxm_matching-3f9d927a198b2fc5.d: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+/root/repo/target/release/deps/libuxm_matching-3f9d927a198b2fc5.rlib: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+/root/repo/target/release/deps/libuxm_matching-3f9d927a198b2fc5.rmeta: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/correspondence.rs:
+crates/matching/src/matcher.rs:
+crates/matching/src/similarity.rs:
+crates/matching/src/structural.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/uxm_matching-67c8b4db9447c441.d: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+/root/repo/target/release/deps/uxm_matching-67c8b4db9447c441: crates/matching/src/lib.rs crates/matching/src/correspondence.rs crates/matching/src/matcher.rs crates/matching/src/similarity.rs crates/matching/src/structural.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/correspondence.rs:
+crates/matching/src/matcher.rs:
+crates/matching/src/similarity.rs:
+crates/matching/src/structural.rs:

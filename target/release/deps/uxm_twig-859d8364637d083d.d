@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/uxm_twig-859d8364637d083d.d: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs
+
+/root/repo/target/release/deps/uxm_twig-859d8364637d083d: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs
+
+crates/twig/src/lib.rs:
+crates/twig/src/matcher.rs:
+crates/twig/src/naive.rs:
+crates/twig/src/pattern.rs:
+crates/twig/src/resolve.rs:
+crates/twig/src/structural_join.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/uxm_twig-c45228f94727bfe9.d: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs
+
+/root/repo/target/release/deps/libuxm_twig-c45228f94727bfe9.rlib: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs
+
+/root/repo/target/release/deps/libuxm_twig-c45228f94727bfe9.rmeta: crates/twig/src/lib.rs crates/twig/src/matcher.rs crates/twig/src/naive.rs crates/twig/src/pattern.rs crates/twig/src/resolve.rs crates/twig/src/structural_join.rs
+
+crates/twig/src/lib.rs:
+crates/twig/src/matcher.rs:
+crates/twig/src/naive.rs:
+crates/twig/src/pattern.rs:
+crates/twig/src/resolve.rs:
+crates/twig/src/structural_join.rs:

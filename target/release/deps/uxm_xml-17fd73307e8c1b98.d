@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/uxm_xml-17fd73307e8c1b98.d: crates/xml/src/lib.rs crates/xml/src/docgen.rs crates/xml/src/document.rs crates/xml/src/ids.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/writer.rs crates/xml/src/xsd.rs
+
+/root/repo/target/release/deps/uxm_xml-17fd73307e8c1b98: crates/xml/src/lib.rs crates/xml/src/docgen.rs crates/xml/src/document.rs crates/xml/src/ids.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/writer.rs crates/xml/src/xsd.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/docgen.rs:
+crates/xml/src/document.rs:
+crates/xml/src/ids.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/schema.rs:
+crates/xml/src/writer.rs:
+crates/xml/src/xsd.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/uxm_xml-3431725807052c22.d: crates/xml/src/lib.rs crates/xml/src/docgen.rs crates/xml/src/document.rs crates/xml/src/ids.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/symbol.rs crates/xml/src/writer.rs crates/xml/src/xsd.rs
+
+/root/repo/target/release/deps/libuxm_xml-3431725807052c22.rlib: crates/xml/src/lib.rs crates/xml/src/docgen.rs crates/xml/src/document.rs crates/xml/src/ids.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/symbol.rs crates/xml/src/writer.rs crates/xml/src/xsd.rs
+
+/root/repo/target/release/deps/libuxm_xml-3431725807052c22.rmeta: crates/xml/src/lib.rs crates/xml/src/docgen.rs crates/xml/src/document.rs crates/xml/src/ids.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/symbol.rs crates/xml/src/writer.rs crates/xml/src/xsd.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/docgen.rs:
+crates/xml/src/document.rs:
+crates/xml/src/ids.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/schema.rs:
+crates/xml/src/symbol.rs:
+crates/xml/src/writer.rs:
+crates/xml/src/xsd.rs:

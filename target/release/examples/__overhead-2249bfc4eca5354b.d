@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__overhead-2249bfc4eca5354b.d: crates/bench/examples/__overhead.rs
+
+/root/repo/target/release/examples/__overhead-2249bfc4eca5354b: crates/bench/examples/__overhead.rs
+
+crates/bench/examples/__overhead.rs:

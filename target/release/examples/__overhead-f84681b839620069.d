@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__overhead-f84681b839620069.d: examples/__overhead.rs
+
+/root/repo/target/release/examples/__overhead-f84681b839620069: examples/__overhead.rs
+
+examples/__overhead.rs:

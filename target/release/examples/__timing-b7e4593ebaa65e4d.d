@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__timing-b7e4593ebaa65e4d.d: examples/__timing.rs
+
+/root/repo/target/release/examples/__timing-b7e4593ebaa65e4d: examples/__timing.rs
+
+examples/__timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dataspace_topk-3a040af6f2f62c59.d: examples/dataspace_topk.rs
+
+/root/repo/target/release/examples/dataspace_topk-3a040af6f2f62c59: examples/dataspace_topk.rs
+
+examples/dataspace_topk.rs:

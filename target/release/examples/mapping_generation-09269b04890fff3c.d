@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mapping_generation-09269b04890fff3c.d: examples/mapping_generation.rs
+
+/root/repo/target/release/examples/mapping_generation-09269b04890fff3c: examples/mapping_generation.rs
+
+examples/mapping_generation.rs:

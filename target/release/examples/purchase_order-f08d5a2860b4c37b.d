@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/purchase_order-f08d5a2860b4c37b.d: examples/purchase_order.rs
+
+/root/repo/target/release/examples/purchase_order-f08d5a2860b4c37b: examples/purchase_order.rs
+
+examples/purchase_order.rs:

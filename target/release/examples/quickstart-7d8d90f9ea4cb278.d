@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7d8d90f9ea4cb278.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7d8d90f9ea4cb278: examples/quickstart.rs
+
+examples/quickstart.rs:

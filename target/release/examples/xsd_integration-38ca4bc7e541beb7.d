@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/xsd_integration-38ca4bc7e541beb7.d: examples/xsd_integration.rs
+
+/root/repo/target/release/examples/xsd_integration-38ca4bc7e541beb7: examples/xsd_integration.rs
+
+examples/xsd_integration.rs:
