@@ -352,6 +352,87 @@ pub fn fig10f(cfg: &ReproConfig) -> String {
     out
 }
 
+/// Serving-layer throughput (the reproduction's concurrency extension):
+/// the paper's 10-query workload served from ONE shared warm
+/// [`uxm_core::engine::QueryEngine`] by 1..=8 client threads, plus the
+/// [`uxm_core::registry::EngineRegistry`] batch path over the same
+/// requests. The throughput column is the serving metric: the engine is
+/// `Send + Sync` with sharded caches, so warm-cache queries scale with
+/// clients instead of serializing on a session lock. The speedup ceiling
+/// is `available_parallelism` — on a single-core host every row sits
+/// near 1.0x by construction.
+pub fn serve(cfg: &ReproConfig) -> String {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use uxm_core::registry::{BatchQuery, EngineRegistry, Request};
+
+    let w = d7_workload(cfg.m, &default_config());
+    let engine = std::sync::Arc::new(w.engine());
+    let queries = paper_queries();
+    // Warm every cache once so we measure serving, not first-touch.
+    for q in &queries {
+        std::hint::black_box(engine.ptq_with_tree(q).len());
+    }
+
+    let rounds = cfg.runs.max(1) * 20;
+    let total = rounds * queries.len();
+    let mut out = format!(
+        "Serve — concurrent throughput (D7, |M| = {}, warm engine, {} requests of the 10-query mix)\n  \
+         clients     wall(s)   throughput(q/s)   speedup\n",
+        cfg.m, total
+    );
+
+    let mut base_qps = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let next = AtomicUsize::new(0);
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    std::hint::black_box(engine.ptq_with_tree(&queries[i % queries.len()]).len());
+                });
+            }
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let qps = total as f64 / wall;
+        if threads == 1 {
+            base_qps = qps;
+        }
+        let _ = writeln!(
+            out,
+            "  {threads:<9} {wall:>9.4} {qps:>17.0} {:>8.2}x",
+            qps / base_qps
+        );
+    }
+
+    // The registry batch path over the same request mix (its internal
+    // fan-out uses the `parallel` feature when enabled).
+    let registry = EngineRegistry::new();
+    registry.insert("d7", w.engine());
+    let batch: Vec<BatchQuery> = (0..total)
+        .map(|i| BatchQuery {
+            engine: "d7".to_string(),
+            request: Request::Ptq(queries[i % queries.len()].clone()),
+        })
+        .collect();
+    std::hint::black_box(registry.batch(&batch[..queries.len()])); // warm
+    let start = std::time::Instant::now();
+    let answers = registry.batch(&batch);
+    let wall = start.elapsed().as_secs_f64();
+    assert!(answers.iter().all(Result::is_ok));
+    let qps = total as f64 / wall;
+    let _ = writeln!(
+        out,
+        "  {:<9} {wall:>9.4} {qps:>17.0} {:>8.2}x",
+        "batch",
+        qps / base_qps
+    );
+    out
+}
+
 /// Ablations for the design choices called out in DESIGN.md §6.
 pub fn ablation(cfg: &ReproConfig) -> String {
     use uxm_twig::structural_join::{nested_loop_join, structural_join};
@@ -447,9 +528,9 @@ pub fn ablation(cfg: &ReproConfig) -> String {
 }
 
 /// All experiment ids accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 14] = [
+pub const EXPERIMENTS: [&str; 15] = [
     "table2", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "fig10a", "fig10b", "fig10c",
-    "fig10d", "fig10e", "fig10f", "ablation",
+    "fig10d", "fig10e", "fig10f", "serve", "ablation",
 ];
 
 /// Runs one experiment by id.
@@ -468,6 +549,7 @@ pub fn run_experiment(id: &str, cfg: &ReproConfig) -> Option<String> {
         "fig10d" => fig10d(cfg),
         "fig10e" => fig10e(cfg),
         "fig10f" => fig10f(cfg),
+        "serve" => serve(cfg),
         "ablation" => ablation(cfg),
         _ => return None,
     })

@@ -30,8 +30,9 @@ use crate::keyword::{KeywordAnswer, KeywordError};
 use crate::mapping::{Mapping, MappingId, PossibleMappings};
 use crate::ptq::{PtqAnswer, PtqResult};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use uxm_twig::structural_join::structural_join;
 use uxm_twig::{match_twig, Axis, PatternNodeId, ResolvedPattern, TwigMatch, TwigPattern};
 use uxm_xml::{DocNodeId, Document, LabelId, PathIndex, Schema, SchemaNodeId, Symbol, SymbolTable};
@@ -180,6 +181,57 @@ impl RelevanceIndex {
 }
 
 // ---------------------------------------------------------------------
+// sharded cache maps
+
+/// Lock shards per cache. Queries hash to a shard, so concurrent readers
+/// (and writers) of *different* queries never contend on a lock; readers
+/// of the same query share a read lock.
+const CACHE_SHARDS: usize = 16;
+
+/// A query-string-keyed map split across [`CACHE_SHARDS`] `RwLock`ed
+/// shards. This is what makes [`SessionState`] — and hence
+/// [`QueryEngine`] — usable from many threads at once: the old
+/// single-`Mutex` caches serialized every cache probe.
+struct Sharded<V> {
+    shards: Vec<RwLock<HashMap<String, V>>>,
+}
+
+impl<V> Sharded<V> {
+    fn new() -> Sharded<V> {
+        Sharded {
+            shards: (0..CACHE_SHARDS).map(|_| RwLock::default()).collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % CACHE_SHARDS]
+    }
+
+    /// Applies `f` to `key`'s entry under the shard's read lock.
+    fn read<R>(&self, key: &str, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.shard(key).read().expect("cache lock").get(key).map(f)
+    }
+
+    /// Updates `key`'s entry (default-created if absent) under the shard's
+    /// write lock. A shard holding `cap` distinct queries is cleared
+    /// wholesale before a *new* query is admitted — crude, but it bounds a
+    /// long-lived session serving unbounded ad-hoc queries, and a clear
+    /// only costs re-deriving rewrites for queries still in rotation.
+    fn update(&self, key: &str, cap: usize, f: impl FnOnce(&mut V))
+    where
+        V: Default,
+    {
+        let mut shard = self.shard(key).write().expect("cache lock");
+        if shard.len() >= cap && !shard.contains_key(key) {
+            shard.clear();
+        }
+        f(shard.entry(key.to_string()).or_default())
+    }
+}
+
+// ---------------------------------------------------------------------
 // session state
 
 /// Hit/miss counters for the per-session caches.
@@ -214,9 +266,9 @@ pub(crate) struct SessionState {
     /// Per symbol: mappings covering ≥1 target node with that label.
     relevance: RelevanceIndex,
     n_mappings: usize,
-    rewrite_cache: Mutex<HashMap<String, HashMap<MappingId, Option<SymbolSets>>>>,
-    node_rewrite_cache: Mutex<HashMap<String, HashMap<MappingId, Option<NodeSets>>>>,
-    relevant_cache: Mutex<HashMap<String, Arc<Vec<MappingId>>>>,
+    rewrite_cache: Sharded<HashMap<MappingId, Option<SymbolSets>>>,
+    node_rewrite_cache: Sharded<HashMap<MappingId, Option<NodeSets>>>,
+    relevant_cache: Sharded<Arc<Vec<MappingId>>>,
     rewrite_hits: AtomicU64,
     rewrite_misses: AtomicU64,
     relevant_hits: AtomicU64,
@@ -265,9 +317,9 @@ impl SessionState {
             sym_doc_label,
             relevance,
             n_mappings,
-            rewrite_cache: Mutex::new(HashMap::new()),
-            node_rewrite_cache: Mutex::new(HashMap::new()),
-            relevant_cache: Mutex::new(HashMap::new()),
+            rewrite_cache: Sharded::new(),
+            node_rewrite_cache: Sharded::new(),
+            relevant_cache: Sharded::new(),
             rewrite_hits: AtomicU64::new(0),
             rewrite_misses: AtomicU64::new(0),
             relevant_hits: AtomicU64::new(0),
@@ -307,18 +359,16 @@ impl SessionState {
         }
     }
 
-    /// Upper bound on distinct memoized queries per cache. Beyond it the
-    /// cache is cleared wholesale — crude, but it bounds a long-lived
-    /// session serving unbounded ad-hoc queries, and a clear only costs
-    /// re-deriving rewrites for queries still in rotation.
-    const MAX_CACHED_QUERIES: usize = 1024;
+    /// Upper bound on distinct memoized queries per cache *shard* (about
+    /// 1024 queries across the whole cache).
+    const QUERIES_PER_SHARD: usize = 64;
 
     /// The paper's `filter_mappings` via bitset intersection, memoized per
     /// query. Ids come out in ascending order, matching the legacy path.
     pub(crate) fn relevant(&self, q: &TwigPattern, qstr: &str) -> Arc<Vec<MappingId>> {
-        if let Some(hit) = self.relevant_cache.lock().expect("cache lock").get(qstr) {
+        if let Some(hit) = self.relevant_cache.read(qstr, Arc::clone) {
             self.relevant_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return hit;
         }
         self.relevant_misses.fetch_add(1, Ordering::Relaxed);
         let mut bits = MappingBits::full(self.n_mappings);
@@ -329,11 +379,10 @@ impl SessionState {
             }
         }
         let ids = Arc::new(bits.ids());
-        let mut cache = self.relevant_cache.lock().expect("cache lock");
-        if cache.len() >= Self::MAX_CACHED_QUERIES {
-            cache.clear();
-        }
-        cache.insert(qstr.to_string(), Arc::clone(&ids));
+        self.relevant_cache
+            .update(qstr, Self::QUERIES_PER_SHARD, |slot| {
+                *slot = Arc::clone(&ids)
+            });
         ids
     }
 
@@ -388,32 +437,26 @@ impl SessionState {
     }
 
     /// The shared memoization shape of [`Self::rewrite`] and
-    /// [`Self::rewrite_nodes`]: probe `cache` (hits are allocation-free),
-    /// else compute, evict wholesale past [`Self::MAX_CACHED_QUERIES`],
-    /// and insert.
+    /// [`Self::rewrite_nodes`]: probe `cache` under a shard read lock
+    /// (hits are allocation-free), else compute outside any lock and
+    /// insert. Two threads racing on the same cold `(query, mapping)` may
+    /// both compute; the values are identical, so last-write-wins is fine.
     fn memoized<V: Clone>(
         &self,
-        cache: &Mutex<HashMap<String, HashMap<MappingId, Option<V>>>>,
+        cache: &Sharded<HashMap<MappingId, Option<V>>>,
         qstr: &str,
         id: MappingId,
         compute: impl FnOnce() -> Option<V>,
     ) -> Option<V> {
-        if let Some(per_mapping) = cache.lock().expect("cache lock").get(qstr) {
-            if let Some(hit) = per_mapping.get(&id) {
-                self.rewrite_hits.fetch_add(1, Ordering::Relaxed);
-                return hit.clone();
-            }
+        if let Some(Some(hit)) = cache.read(qstr, |per_mapping| per_mapping.get(&id).cloned()) {
+            self.rewrite_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
         }
         self.rewrite_misses.fetch_add(1, Ordering::Relaxed);
         let computed = compute();
-        let mut cache = cache.lock().expect("cache lock");
-        if cache.len() >= Self::MAX_CACHED_QUERIES {
-            cache.clear();
-        }
-        cache
-            .entry(qstr.to_string())
-            .or_default()
-            .insert(id, computed.clone());
+        cache.update(qstr, Self::QUERIES_PER_SHARD, |per_mapping| {
+            per_mapping.insert(id, computed.clone());
+        });
         computed
     }
 
@@ -1097,6 +1140,26 @@ pub struct QueryEngine {
     path_index: OnceLock<PathIndex>,
 }
 
+// The registry shares one engine across many serving threads; the caches
+// are sharded `RwLock` maps, so this holds by construction — enforce it
+// at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryEngine>();
+};
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("source", &self.pm.source.name)
+            .field("target", &self.pm.target.name)
+            .field("mappings", &self.pm.len())
+            .field("doc_nodes", &self.doc.len())
+            .field("blocks", &self.tree.block_count())
+            .finish()
+    }
+}
+
 impl QueryEngine {
     /// Wraps an already-built block tree.
     pub fn new(pm: PossibleMappings, doc: Document, tree: BlockTree) -> QueryEngine {
@@ -1149,6 +1212,38 @@ impl QueryEngine {
     /// Cache hit/miss counters for this session.
     pub fn cache_stats(&self) -> CacheStats {
         self.state.stats()
+    }
+
+    /// Rough resident-size estimate of the session's owned data, in bytes.
+    ///
+    /// Counts the dominant allocations — document nodes with their text
+    /// and attributes, mapping pairs, and block-tree correspondences —
+    /// not the (bounded) caches. The [`crate::registry::EngineRegistry`]
+    /// charges this against its memory budget when deciding evictions, so
+    /// it only needs to be proportional, not exact.
+    pub fn approx_bytes(&self) -> usize {
+        let doc_text: usize = self
+            .doc
+            .ids()
+            .map(|n| {
+                let node = self.doc.node(n);
+                node.text.as_ref().map_or(0, String::len)
+                    + node
+                        .attrs
+                        .iter()
+                        .map(|(k, v)| k.len() + v.len())
+                        .sum::<usize>()
+            })
+            .sum();
+        let doc = self.doc.len() * std::mem::size_of::<uxm_xml::DocNode>() + doc_text;
+        let pairs: usize = self.pm.iter().map(|(_, m)| m.pairs.len()).sum();
+        let blocks: usize = self
+            .tree
+            .blocks()
+            .iter()
+            .map(|b| b.corrs.len() * 8 + b.mappings.len() * 4)
+            .sum();
+        doc + pairs * 8 + blocks + self.state.relevance.words.len() * 8
     }
 
     /// The paper's `filter_mappings`: ids of mappings relevant to `q`, in

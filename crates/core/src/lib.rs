@@ -18,7 +18,13 @@
 //!   when element labels repeat),
 //! * [`engine`] — the [`engine::QueryEngine`] session layer every query
 //!   entry point evaluates through: interned labels, precomputed
-//!   relevance bitsets, and a memoized `(query, mapping)` rewrite cache.
+//!   relevance bitsets, and sharded, thread-safe `(query, mapping)`
+//!   rewrite caches (the engine is `Send + Sync`),
+//! * [`registry`] — the [`registry::EngineRegistry`] serving layer:
+//!   many named engines, concurrent batched queries, LRU eviction under
+//!   a memory budget, and lazy hydration from engine snapshots,
+//! * [`storage`] — binary codecs for mapping sets and whole engine
+//!   snapshots (see the snapshot format/version notes there).
 //!
 //! # Quickstart
 //!
@@ -51,6 +57,10 @@
 //!
 //! The free functions ([`ptq_basic`], [`ptq_with_tree`], [`topk_ptq`], …)
 //! remain as thin wrappers building a throwaway session per call.
+//!
+//! To serve **many** schema-pair/document sessions at once — with
+//! snapshot persistence and a memory budget — put engines behind an
+//! [`registry::EngineRegistry`]; its module docs hold a worked example.
 
 pub mod block;
 pub mod block_tree;
@@ -61,6 +71,7 @@ pub mod mapping;
 pub mod path_ptq;
 pub mod ptq;
 pub mod ptq_tree;
+pub mod registry;
 pub mod rewrite;
 pub mod semantics;
 pub mod stats;
@@ -74,4 +85,5 @@ pub use keyword::{keyword_query, KeywordAnswer, KeywordError};
 pub use mapping::{Mapping, MappingId, PossibleMappings};
 pub use ptq::{ptq_basic, PtqAnswer, PtqResult};
 pub use ptq_tree::ptq_with_tree;
+pub use registry::{BatchQuery, EngineRegistry, RegistryConfig, RegistryError, Request, Response};
 pub use topk::topk_ptq;

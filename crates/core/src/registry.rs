@@ -1,0 +1,660 @@
+//! Multi-engine serving: the [`EngineRegistry`].
+//!
+//! A [`crate::engine::QueryEngine`] is one session over one
+//! `(schema pair, document)`; a service serves *many* such sessions at
+//! once. The registry manages named engines behind `Arc`s so any number
+//! of threads can query them concurrently (the engine is `Send + Sync`),
+//! answers whole request batches in one call — with the `parallel`
+//! feature, batch items evaluate on scoped threads — and keeps resident
+//! memory under a configurable budget by evicting the least-recently-used
+//! engines.
+//!
+//! Engines can also live on disk as snapshots (see
+//! [`crate::storage::encode_engine_snapshot`]): point the registry at a
+//! snapshot directory and [`EngineRegistry::fetch`] lazily hydrates
+//! `name` from `<dir>/<name>.uxm` on first use, so a restarted service
+//! warms up from disk instead of re-matching schemas.
+//!
+//! ```
+//! use uxm_core::block_tree::BlockTreeConfig;
+//! use uxm_core::engine::QueryEngine;
+//! use uxm_core::mapping::PossibleMappings;
+//! use uxm_core::registry::{BatchQuery, EngineRegistry, Request, Response};
+//! use uxm_matching::Matcher;
+//! use uxm_twig::TwigPattern;
+//! use uxm_xml::{DocGenConfig, Document, Schema};
+//!
+//! fn engine(src: &str, tgt: &str, seed: u64) -> QueryEngine {
+//!     let source = Schema::parse_outline(src).unwrap();
+//!     let target = Schema::parse_outline(tgt).unwrap();
+//!     let matching = Matcher::context().match_schemas(&source, &target);
+//!     let pm = PossibleMappings::top_h(&matching, 8);
+//!     let doc = Document::generate(&source, &DocGenConfig::small(), seed);
+//!     QueryEngine::build(pm, doc, &BlockTreeConfig::default())
+//! }
+//!
+//! let registry = EngineRegistry::new();
+//! registry.insert(
+//!     "orders",
+//!     engine(
+//!         "Order(Buyer(Name) POLine(Quantity UnitPrice))",
+//!         "PO(Purchaser(PName) Line(Qty UnitPrice))",
+//!         7,
+//!     ),
+//! );
+//! registry.insert(
+//!     "invoices",
+//!     engine("Invoice(Payer(PayerName) Total)", "Bill(Customer(CName) Total)", 11),
+//! );
+//!
+//! // One batch, many engines; answers come back in request order.
+//! let answers = registry.batch(&[
+//!     BatchQuery::ptq("orders", TwigPattern::parse("//UnitPrice").unwrap()),
+//!     BatchQuery::topk("orders", TwigPattern::parse("//Line//Qty").unwrap(), 2),
+//!     BatchQuery::ptq("invoices", TwigPattern::parse("//Total").unwrap()),
+//! ]);
+//! assert_eq!(answers.len(), 3);
+//! for a in &answers {
+//!     match a.as_ref().unwrap() {
+//!         Response::Ptq(r) => assert!(r.total_probability() > 0.0),
+//!         Response::Keyword(_) => unreachable!(),
+//!     }
+//! }
+//! ```
+
+use crate::engine::{par_run, QueryEngine};
+use crate::keyword::{KeywordAnswer, KeywordError};
+use crate::ptq::PtqResult;
+use crate::storage::{decode_engine_snapshot, encode_engine_snapshot, DecodeError};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use uxm_twig::TwigPattern;
+
+/// Registry tuning knobs.
+#[derive(Clone, Debug, Default)]
+pub struct RegistryConfig {
+    /// Upper bound, in approximate bytes (see
+    /// [`QueryEngine::approx_bytes`]), on the resident engine set; `0`
+    /// means unlimited. When an insert or hydration pushes the total over
+    /// budget, least-recently-used engines other than the newcomer are
+    /// evicted until the total fits (the newest engine is always kept, so
+    /// one engine larger than the whole budget still serves).
+    pub memory_budget: usize,
+}
+
+/// Registry operation failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RegistryError {
+    /// No resident engine under that name, and no snapshot to hydrate.
+    UnknownEngine(String),
+    /// A name unusable as a snapshot file stem (path separators, `..`,
+    /// or empty).
+    InvalidName(String),
+    /// Snapshot persistence was requested but the registry has no
+    /// snapshot directory configured.
+    NoSnapshotDir,
+    /// Reading or writing a snapshot file failed.
+    Io(String),
+    /// A snapshot file exists but does not decode.
+    Decode(DecodeError),
+    /// A keyword request was rejected by the engine.
+    Keyword(KeywordError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownEngine(n) => write!(f, "no engine named {n:?}"),
+            RegistryError::InvalidName(n) => write!(f, "invalid engine name {n:?}"),
+            RegistryError::NoSnapshotDir => write!(f, "registry has no snapshot directory"),
+            RegistryError::Io(e) => write!(f, "snapshot i/o: {e}"),
+            RegistryError::Decode(e) => write!(f, "snapshot decode: {e}"),
+            RegistryError::Keyword(e) => write!(f, "keyword query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One request of a [`EngineRegistry::batch`] call: an engine name plus
+/// what to ask it.
+#[derive(Clone, Debug)]
+pub struct BatchQuery {
+    /// Which engine serves this request.
+    pub engine: String,
+    /// The query itself.
+    pub request: Request,
+}
+
+impl BatchQuery {
+    /// A block-tree PTQ (Algorithm 4) request.
+    pub fn ptq(engine: impl Into<String>, q: TwigPattern) -> BatchQuery {
+        BatchQuery {
+            engine: engine.into(),
+            request: Request::Ptq(q),
+        }
+    }
+
+    /// A basic PTQ (Algorithm 3) request.
+    pub fn basic(engine: impl Into<String>, q: TwigPattern) -> BatchQuery {
+        BatchQuery {
+            engine: engine.into(),
+            request: Request::Basic(q),
+        }
+    }
+
+    /// A top-k PTQ request.
+    pub fn topk(engine: impl Into<String>, q: TwigPattern, k: usize) -> BatchQuery {
+        BatchQuery {
+            engine: engine.into(),
+            request: Request::TopK(q, k),
+        }
+    }
+
+    /// A keyword (SLCA) request.
+    pub fn keyword(engine: impl Into<String>, terms: Vec<String>) -> BatchQuery {
+        BatchQuery {
+            engine: engine.into(),
+            request: Request::Keyword(terms),
+        }
+    }
+}
+
+/// The query kinds a registry batch can carry — one per
+/// [`QueryEngine`] entry point.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Block-tree PTQ ([`QueryEngine::ptq_with_tree`]).
+    Ptq(TwigPattern),
+    /// Basic PTQ ([`QueryEngine::ptq`]).
+    Basic(TwigPattern),
+    /// Top-k PTQ ([`QueryEngine::topk`]).
+    TopK(TwigPattern, usize),
+    /// Keyword query ([`QueryEngine::keyword`]).
+    Keyword(Vec<String>),
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Ptq(q) => write!(f, "ptq {q}"),
+            Request::Basic(q) => write!(f, "basic {q}"),
+            Request::TopK(q, k) => write!(f, "topk {k} {q}"),
+            Request::Keyword(terms) => write!(f, "keyword {}", terms.join(" ")),
+        }
+    }
+}
+
+/// A successful batch answer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to any PTQ-shaped request.
+    Ptq(PtqResult),
+    /// Answer to a keyword request.
+    Keyword(Vec<KeywordAnswer>),
+}
+
+struct Entry {
+    engine: Arc<QueryEngine>,
+    bytes: usize,
+    last_used: AtomicU64,
+}
+
+/// A concurrent collection of named [`QueryEngine`]s with LRU eviction
+/// under a memory budget and lazy hydration from snapshot files.
+///
+/// All methods take `&self`; the registry is `Send + Sync` and meant to
+/// be shared (e.g. in an `Arc`) across serving threads. See the [module
+/// docs](self) for a worked example.
+pub struct EngineRegistry {
+    config: RegistryConfig,
+    snapshot_dir: Option<PathBuf>,
+    engines: RwLock<HashMap<String, Entry>>,
+    /// Logical LRU clock: bumped on every touch, never wraps in practice.
+    clock: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for EngineRegistry {
+    fn default() -> EngineRegistry {
+        EngineRegistry::new()
+    }
+}
+
+impl EngineRegistry {
+    /// An empty registry with no memory budget and no snapshot directory.
+    pub fn new() -> EngineRegistry {
+        EngineRegistry::with_config(RegistryConfig::default())
+    }
+
+    /// An empty registry with the given configuration.
+    pub fn with_config(config: RegistryConfig) -> EngineRegistry {
+        EngineRegistry {
+            config,
+            snapshot_dir: None,
+            engines: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the directory used for snapshot persistence and lazy
+    /// hydration (`<dir>/<name>.uxm`).
+    pub fn snapshot_dir(mut self, dir: impl Into<PathBuf>) -> EngineRegistry {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    fn touch(&self, entry: &Entry) {
+        entry.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Registers (or replaces) `name`, returning the shared handle.
+    /// May evict colder engines to honor the memory budget; the engine
+    /// just inserted is never the victim.
+    pub fn insert(&self, name: impl Into<String>, engine: QueryEngine) -> Arc<QueryEngine> {
+        let name = name.into();
+        let engine = Arc::new(engine);
+        let entry = Entry {
+            engine: Arc::clone(&engine),
+            bytes: engine.approx_bytes(),
+            last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed) + 1),
+        };
+        let mut map = self.engines.write().expect("registry lock");
+        map.insert(name.clone(), entry);
+        self.evict_over_budget(&mut map, &name);
+        engine
+    }
+
+    /// The resident engine under `name`, if any; touches its LRU stamp.
+    /// Does **not** read from disk — see [`EngineRegistry::fetch`].
+    pub fn get(&self, name: &str) -> Option<Arc<QueryEngine>> {
+        let map = self.engines.read().expect("registry lock");
+        map.get(name).map(|entry| {
+            self.touch(entry);
+            Arc::clone(&entry.engine)
+        })
+    }
+
+    /// The engine under `name`, hydrating `<dir>/<name>.uxm` when it is
+    /// not resident. Two threads racing on the same cold name may both
+    /// decode the snapshot; the engines are identical and one wins the
+    /// map slot — harmless beyond the duplicated work.
+    pub fn fetch(&self, name: &str) -> Result<Arc<QueryEngine>, RegistryError> {
+        if let Some(engine) = self.get(name) {
+            return Ok(engine);
+        }
+        let path = match self.snapshot_path(name) {
+            // Nowhere to hydrate from: the name is simply unknown.
+            Err(RegistryError::NoSnapshotDir) => {
+                return Err(RegistryError::UnknownEngine(name.to_string()))
+            }
+            other => other?,
+        };
+        let bytes = std::fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                RegistryError::UnknownEngine(name.to_string())
+            } else {
+                RegistryError::Io(format!("{}: {e}", path.display()))
+            }
+        })?;
+        let engine = decode_engine_snapshot(&bytes).map_err(RegistryError::Decode)?;
+        Ok(self.insert(name, engine))
+    }
+
+    /// Writes `name`'s snapshot to `<dir>/<name>.uxm`, creating the
+    /// directory if needed. Returns the file path.
+    pub fn save(&self, name: &str) -> Result<PathBuf, RegistryError> {
+        let engine = self
+            .get(name)
+            .ok_or_else(|| RegistryError::UnknownEngine(name.to_string()))?;
+        let path = self.snapshot_path(name)?;
+        let dir = path.parent().expect("snapshot path has a directory");
+        std::fs::create_dir_all(dir)
+            .map_err(|e| RegistryError::Io(format!("{}: {e}", dir.display())))?;
+        std::fs::write(&path, encode_engine_snapshot(&engine))
+            .map_err(|e| RegistryError::Io(format!("{}: {e}", path.display())))?;
+        Ok(path)
+    }
+
+    /// Snapshots every resident engine; returns the written paths in
+    /// name order. Engines that cannot be snapshotted by name are
+    /// skipped, not errors: one evicted by another thread mid-call
+    /// (`UnknownEngine`), or one registered under a name unusable as a
+    /// file stem (`InvalidName` — `insert` accepts any name).
+    pub fn save_all(&self) -> Result<Vec<PathBuf>, RegistryError> {
+        let mut out = Vec::new();
+        for name in self.names() {
+            match self.save(&name) {
+                Ok(path) => out.push(path),
+                Err(RegistryError::UnknownEngine(_) | RegistryError::InvalidName(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drops the resident engine under `name` (its snapshot, if any,
+    /// stays on disk). Returns whether it was resident. Outstanding
+    /// `Arc` handles keep serving until dropped.
+    pub fn remove(&self, name: &str) -> bool {
+        self.engines
+            .write()
+            .expect("registry lock")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Resident engine names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let map = self.engines.read().expect("registry lock");
+        let mut names: Vec<String> = map.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of resident engines.
+    pub fn len(&self) -> usize {
+        self.engines.read().expect("registry lock").len()
+    }
+
+    /// True when no engine is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of [`QueryEngine::approx_bytes`] over resident engines.
+    pub fn resident_bytes(&self) -> usize {
+        let map = self.engines.read().expect("registry lock");
+        map.values().map(|e| e.bytes).sum()
+    }
+
+    /// How many engines the memory budget has evicted so far.
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Answers a whole batch; answers come back in request order. Each
+    /// distinct engine is resolved once (hydrating cold ones from disk).
+    ///
+    /// With no memory budget, engines hydrate and requests evaluate with
+    /// full fan-out (scoped threads under the `parallel` feature;
+    /// per-request evaluation also parallelizes internally — the brief
+    /// oversubscription is benign since total work is fixed). With a
+    /// budget configured, engines are served **one group at a time** and
+    /// each engine's handle is dropped before the next hydrates, so
+    /// resident memory stays bounded by the budget plus the engine
+    /// currently being served — a batch naming more engines than the
+    /// budget fits cannot blow past it.
+    pub fn batch(&self, queries: &[BatchQuery]) -> Vec<Result<Response, RegistryError>> {
+        // One group of request indices per distinct engine, in
+        // first-appearance order.
+        let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+        let mut group_of: HashMap<&str, usize> = HashMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            match group_of.get(q.engine.as_str()) {
+                Some(&g) => groups[g].1.push(i),
+                None => {
+                    group_of.insert(q.engine.as_str(), groups.len());
+                    groups.push((q.engine.as_str(), vec![i]));
+                }
+            }
+        }
+
+        if self.config.memory_budget == 0 {
+            // Unlimited: hydrate engines and evaluate ALL requests with
+            // full fan-out, across engines as well as within them.
+            let engines = par_run(groups.len(), |g| self.fetch(groups[g].0));
+            return par_run(queries.len(), |i| {
+                match &engines[group_of[queries[i].engine.as_str()]] {
+                    Err(e) => Err(e.clone()),
+                    Ok(engine) => run_request(engine, &queries[i].request),
+                }
+            });
+        }
+
+        // Budgeted: one engine group at a time; the handle drops before
+        // the next group hydrates, so only the registry's (budgeted)
+        // residency carries engines between groups.
+        let mut out: Vec<Option<Result<Response, RegistryError>>> = vec![None; queries.len()];
+        for (name, idxs) in &groups {
+            let engine = self.fetch(name);
+            let answers = par_run(idxs.len(), |k| match &engine {
+                Err(e) => Err(e.clone()),
+                Ok(engine) => run_request(engine, &queries[idxs[k]].request),
+            });
+            for (&i, a) in idxs.iter().zip(answers) {
+                out[i] = Some(a);
+            }
+        }
+        out.into_iter()
+            .map(|a| a.expect("every request answered"))
+            .collect()
+    }
+
+    /// `<dir>/<name>.uxm`, rejecting names that would escape the
+    /// directory.
+    fn snapshot_path(&self, name: &str) -> Result<PathBuf, RegistryError> {
+        // ':' also guards Windows drive-prefixed names ("C:evil"), whose
+        // join would replace the base directory outright.
+        if name.is_empty() || name.contains(['/', '\\', ':']) || name.contains("..") {
+            return Err(RegistryError::InvalidName(name.to_string()));
+        }
+        let dir: &Path = self
+            .snapshot_dir
+            .as_deref()
+            .ok_or(RegistryError::NoSnapshotDir)?;
+        Ok(dir.join(format!("{name}.uxm")))
+    }
+
+    fn evict_over_budget(&self, map: &mut HashMap<String, Entry>, keep: &str) {
+        let budget = self.config.memory_budget;
+        if budget == 0 {
+            return;
+        }
+        let mut total: usize = map.values().map(|e| e.bytes).sum();
+        while map.len() > 1 && total > budget {
+            // Oldest stamp wins; ties break by name for determinism.
+            let victim = map
+                .iter()
+                .filter(|(name, _)| name.as_str() != keep)
+                .min_by(|(an, a), (bn, b)| {
+                    let (sa, sb) = (
+                        a.last_used.load(Ordering::Relaxed),
+                        b.last_used.load(Ordering::Relaxed),
+                    );
+                    sa.cmp(&sb).then_with(|| an.as_str().cmp(bn.as_str()))
+                })
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    if let Some(entry) = map.remove(&name) {
+                        total -= entry.bytes;
+                    }
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+impl fmt::Debug for EngineRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineRegistry")
+            .field("engines", &self.names())
+            .field("resident_bytes", &self.resident_bytes())
+            .field("memory_budget", &self.config.memory_budget)
+            .field("snapshot_dir", &self.snapshot_dir)
+            .finish()
+    }
+}
+
+fn run_request(engine: &QueryEngine, request: &Request) -> Result<Response, RegistryError> {
+    Ok(match request {
+        Request::Ptq(q) => Response::Ptq(engine.ptq_with_tree(q)),
+        Request::Basic(q) => Response::Ptq(engine.ptq(q)),
+        Request::TopK(q, k) => Response::Ptq(engine.topk(q, *k)),
+        Request::Keyword(terms) => {
+            let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+            Response::Keyword(engine.keyword(&refs).map_err(RegistryError::Keyword)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_tree::BlockTreeConfig;
+    use crate::mapping::PossibleMappings;
+    use uxm_matching::Matcher;
+    use uxm_xml::{DocGenConfig, Document, Schema};
+
+    fn engine(seed: u64) -> QueryEngine {
+        let source = Schema::parse_outline(
+            "Order(Buyer(Name Contact(EMail)) POLine*(LineNo Quantity UnitPrice))",
+        )
+        .unwrap();
+        let target =
+            Schema::parse_outline("PO(Purchaser(PName PContact(PEMail)) Line(No Qty Amount))")
+                .unwrap();
+        let matching = Matcher::context().match_schemas(&source, &target);
+        let pm = PossibleMappings::top_h(&matching, 12);
+        let doc = Document::generate(&source, &DocGenConfig::small(), seed);
+        QueryEngine::build(pm, doc, &BlockTreeConfig::default())
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("uxm-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let registry = EngineRegistry::new();
+        assert!(registry.is_empty());
+        registry.insert("a", engine(1));
+        registry.insert("b", engine(2));
+        assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(registry.get("a").is_some());
+        assert!(registry.get("missing").is_none());
+        assert!(registry.remove("a"));
+        assert!(!registry.remove("a"));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn batch_matches_direct_calls() {
+        let registry = EngineRegistry::new();
+        let handle = registry.insert("po", engine(3));
+        let q = uxm_twig::TwigPattern::parse("PO//Qty").unwrap();
+        let answers = registry.batch(&[
+            BatchQuery::ptq("po", q.clone()),
+            BatchQuery::basic("po", q.clone()),
+            BatchQuery::topk("po", q.clone(), 3),
+            BatchQuery::keyword("po", vec!["Qty".to_string()]),
+            BatchQuery::ptq("nope", q.clone()),
+        ]);
+        assert_eq!(answers[0], Ok(Response::Ptq(handle.ptq_with_tree(&q))));
+        assert_eq!(answers[1], Ok(Response::Ptq(handle.ptq(&q))));
+        assert_eq!(answers[2], Ok(Response::Ptq(handle.topk(&q, 3))));
+        assert_eq!(
+            answers[3],
+            Ok(Response::Keyword(handle.keyword(&["Qty"]).unwrap()))
+        );
+        assert_eq!(
+            answers[4],
+            Err(RegistryError::UnknownEngine("nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn keyword_errors_surface_per_request() {
+        let registry = EngineRegistry::new();
+        registry.insert("po", engine(4));
+        let answers = registry.batch(&[BatchQuery::keyword("po", vec![])]);
+        assert_eq!(answers[0], Err(RegistryError::Keyword(KeywordError::Empty)));
+    }
+
+    #[test]
+    fn memory_budget_evicts_lru() {
+        let one = engine(5).approx_bytes();
+        // Room for two engines, not three.
+        let registry = EngineRegistry::with_config(RegistryConfig {
+            memory_budget: one * 2 + one / 2,
+        });
+        registry.insert("a", engine(5));
+        registry.insert("b", engine(6));
+        // Touch "a" so "b" is the LRU when "c" arrives.
+        assert!(registry.get("a").is_some());
+        registry.insert("c", engine(7));
+        assert_eq!(registry.names(), vec!["a".to_string(), "c".to_string()]);
+        assert_eq!(registry.eviction_count(), 1);
+        assert!(registry.resident_bytes() <= one * 2 + one / 2);
+    }
+
+    #[test]
+    fn oversized_engine_survives_alone() {
+        let registry = EngineRegistry::with_config(RegistryConfig { memory_budget: 1 });
+        registry.insert("big", engine(8));
+        assert_eq!(registry.len(), 1, "the newest engine is never evicted");
+        registry.insert("bigger", engine(9));
+        assert_eq!(registry.names(), vec!["bigger".to_string()]);
+    }
+
+    #[test]
+    fn snapshot_save_and_lazy_hydration() {
+        let dir = scratch_dir("hydrate");
+        let saved = EngineRegistry::new().snapshot_dir(&dir);
+        let original = saved.insert("po", engine(10));
+        let path = saved.save("po").unwrap();
+        assert!(path.ends_with("po.uxm"));
+
+        // A fresh registry (a restarted process) hydrates lazily.
+        let restarted = EngineRegistry::new().snapshot_dir(&dir);
+        assert!(restarted.get("po").is_none(), "not resident yet");
+        let q = uxm_twig::TwigPattern::parse("PO//Amount").unwrap();
+        let answers = restarted.batch(&[BatchQuery::ptq("po", q.clone())]);
+        assert_eq!(answers[0], Ok(Response::Ptq(original.ptq_with_tree(&q))));
+        assert_eq!(restarted.len(), 1, "hydrated engine is now resident");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_requires_dir_and_valid_names() {
+        let registry = EngineRegistry::new();
+        registry.insert("po", engine(11));
+        assert_eq!(registry.save("po"), Err(RegistryError::NoSnapshotDir));
+        let with_dir = EngineRegistry::new().snapshot_dir(scratch_dir("names"));
+        with_dir.insert("../evil", engine(12));
+        assert_eq!(
+            with_dir.save("../evil"),
+            Err(RegistryError::InvalidName("../evil".to_string()))
+        );
+        assert_eq!(
+            with_dir.fetch("a/b").unwrap_err(),
+            RegistryError::InvalidName("a/b".to_string())
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_reports_decode_error() {
+        let dir = scratch_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.uxm"), b"UXMSgarbage").unwrap();
+        let registry = EngineRegistry::new().snapshot_dir(&dir);
+        assert!(matches!(
+            registry.fetch("bad").unwrap_err(),
+            RegistryError::Decode(_)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

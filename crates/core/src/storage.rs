@@ -1,4 +1,4 @@
-//! Binary storage for mapping sets — plain and block-compressed.
+//! Binary storage for mapping sets and whole engine sessions.
 //!
 //! The paper's compression ratio (§VI-2) is a storage metric; this module
 //! makes it concrete: a mapping set can be serialized *verbatim*
@@ -8,18 +8,54 @@
 //! [`crate::compress::compress`]). Both decode back to an identical
 //! [`PossibleMappings`].
 //!
-//! The format uses LEB128 varints for ids and counts, so the on-disk sizes
-//! reflect genuine entropy, not padding.
+//! On top of the mapping codecs sits the **engine snapshot**
+//! ([`encode_engine_snapshot`] / [`decode_engine_snapshot`]): one
+//! versioned container holding everything a [`QueryEngine`] session owns —
+//! both schemas, the block-compressed mapping set, and the source
+//! document — so a [`crate::registry::EngineRegistry`] can hydrate a
+//! serving engine from a single file with no out-of-band state.
+//!
+//! # Snapshot format
+//!
+//! ```text
+//! magic  "UXMS"
+//! varint  version            — see SNAPSHOT_VERSION
+//! schema  source             — name, then nodes in pre-order:
+//!                              label, parent id (omitted for the root),
+//!                              repeatable flag
+//! schema  target
+//! varint  payload length
+//! bytes   encode_compressed  — the "UXM1" block-compressed mapping set
+//! doc     source document    — label table, then nodes in document
+//!                              order: label id, parent id (omitted for
+//!                              the root), optional text, attributes
+//! ```
+//!
+//! **Version history** (`SNAPSHOT_VERSION`):
+//!
+//! * **1** — initial format, as above. Decoders reject anything else
+//!   with [`DecodeError::UnsupportedVersion`]; bumping the version is
+//!   required for any layout change, so stale snapshot files fail loudly
+//!   instead of misparsing.
+//!
+//! All formats use LEB128 varints for ids and counts, so the on-disk
+//! sizes reflect genuine entropy, not padding.
 
 use crate::block::Block;
 use crate::block_tree::BlockTree;
 use crate::compress::compress;
+use crate::engine::QueryEngine;
 use crate::mapping::{Mapping, MappingId, PossibleMappings};
 use std::fmt;
-use uxm_xml::{Schema, SchemaNodeId};
+use uxm_xml::{DocNodeId, Document, Schema, SchemaNodeId};
 
 const MAGIC_PLAIN: &[u8; 4] = b"UXM0";
 const MAGIC_BLOCK: &[u8; 4] = b"UXM1";
+const MAGIC_SNAPSHOT: &[u8; 4] = b"UXMS";
+
+/// Current engine-snapshot format version (see the module docs for the
+/// version history). Decoders accept exactly this version.
+pub const SNAPSHOT_VERSION: u64 = 1;
 
 /// Decode failures.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,6 +66,14 @@ pub enum DecodeError {
     Truncated,
     /// A stored id exceeds the schema / block table bounds.
     IdOutOfRange,
+    /// A snapshot written by an unknown (newer or corrupted) format
+    /// version; the value is the version the file claims.
+    UnsupportedVersion(u64),
+    /// A stored string is not valid UTF-8.
+    BadString,
+    /// Structurally impossible data: an empty node table, or a node whose
+    /// parent does not precede it in pre-order.
+    Malformed,
 }
 
 impl fmt::Display for DecodeError {
@@ -38,6 +82,14 @@ impl fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "bad magic / wrong format"),
             DecodeError::Truncated => write!(f, "truncated input"),
             DecodeError::IdOutOfRange => write!(f, "stored id out of range"),
+            DecodeError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            DecodeError::BadString => write!(f, "stored string is not valid UTF-8"),
+            DecodeError::Malformed => write!(f, "structurally malformed input"),
         }
     }
 }
@@ -180,6 +232,115 @@ pub fn measured_compression_ratio(pm: &PossibleMappings, tree: &BlockTree) -> f6
 }
 
 // ---------------------------------------------------------------------
+// engine snapshots
+
+/// Serializes a whole engine session — schemas, block-compressed mapping
+/// set, and document — into one versioned container (see the module docs
+/// for the layout).
+pub fn encode_engine_snapshot(engine: &QueryEngine) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_SNAPSHOT);
+    put_varint(&mut out, SNAPSHOT_VERSION);
+    put_schema(&mut out, engine.source());
+    put_schema(&mut out, engine.target());
+    let payload = encode_compressed(engine.mappings(), engine.tree());
+    put_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    put_document(&mut out, engine.document());
+    out
+}
+
+/// The decoded parts of an engine snapshot, before session-state
+/// construction.
+///
+/// [`decode_engine_snapshot`] wraps these in [`QueryEngine::new`];
+/// callers that only *inspect* a snapshot (e.g. `uxm registry list`) can
+/// stop here and skip building symbol tables and relevance bitsets.
+pub struct EngineSnapshot {
+    /// The mapping set, decompressed through its block tree.
+    pub mappings: PossibleMappings,
+    /// The reconstructed block tree.
+    pub tree: BlockTree,
+    /// The source document.
+    pub document: Document,
+}
+
+/// Deserializes an engine snapshot into its parts, without building any
+/// session state.
+pub fn decode_engine_snapshot_parts(bytes: &[u8]) -> Result<EngineSnapshot, DecodeError> {
+    let mut r = Reader::new(bytes);
+    r.expect_magic(MAGIC_SNAPSHOT)?;
+    let version = r.varint()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let source = r.schema()?;
+    let target = r.schema()?;
+    let payload_len = r.varint()? as usize;
+    let payload = r.take(payload_len)?;
+    let (mappings, tree) = decode_compressed(payload, source, target)?;
+    let document = r.document()?;
+    r.finish()?;
+    Ok(EngineSnapshot {
+        mappings,
+        tree,
+        document,
+    })
+}
+
+/// Deserializes an engine snapshot and rebuilds the full session state
+/// (symbol tables, relevance bitsets, caches) from it. The rehydrated
+/// engine answers every query identically to the one that was saved.
+pub fn decode_engine_snapshot(bytes: &[u8]) -> Result<QueryEngine, DecodeError> {
+    let parts = decode_engine_snapshot_parts(bytes)?;
+    Ok(QueryEngine::new(parts.mappings, parts.document, parts.tree))
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_str(out, &schema.name);
+    put_varint(out, schema.len() as u64);
+    for id in schema.ids() {
+        put_str(out, schema.label(id));
+        if let Some(p) = schema.parent(id) {
+            put_varint(out, p.0 as u64);
+        }
+        out.push(schema.node(id).repeatable as u8);
+    }
+}
+
+fn put_document(out: &mut Vec<u8>, doc: &Document) {
+    put_varint(out, doc.label_count() as u64);
+    for l in 0..doc.label_count() as u32 {
+        put_str(out, doc.label_name(uxm_xml::LabelId(l)));
+    }
+    put_varint(out, doc.len() as u64);
+    for id in doc.ids() {
+        let node = doc.node(id);
+        put_varint(out, node.label.0 as u64);
+        if let Some(p) = node.parent {
+            put_varint(out, p.0 as u64);
+        }
+        match &node.text {
+            Some(t) => {
+                out.push(1);
+                put_str(out, t);
+            }
+            None => out.push(0),
+        }
+        put_varint(out, node.attrs.len() as u64);
+        for (name, value) in &node.attrs {
+            put_str(out, name);
+            put_str(out, value);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // varint plumbing
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -270,6 +431,93 @@ impl<'a> Reader<'a> {
             out.push((SchemaNodeId(s), SchemaNodeId(t)));
         }
         Ok(out)
+    }
+
+    /// Consumes the next `n` raw bytes.
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn str(&mut self) -> Result<&'a str, DecodeError> {
+        let len = self.varint()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| DecodeError::BadString)
+    }
+
+    /// A schema stored by `put_schema`: pre-order nodes, parent preceding
+    /// child.
+    fn schema(&mut self) -> Result<Schema, DecodeError> {
+        let name = self.str()?.to_string();
+        let n = self.varint()? as usize;
+        if n == 0 {
+            return Err(DecodeError::Malformed);
+        }
+        let root_label = self.str()?.to_string();
+        let mut schema = Schema::new(name, root_label);
+        let root_rep = self.take(1)?[0] != 0;
+        schema.set_repeatable(SchemaNodeId(0), root_rep);
+        for id in 1..n {
+            let label = self.str()?.to_string();
+            let parent = self.varint()? as usize;
+            if parent >= id {
+                return Err(DecodeError::Malformed);
+            }
+            let repeatable = self.take(1)?[0] != 0;
+            schema.add_child_full(SchemaNodeId(parent as u32), label, repeatable);
+        }
+        Ok(schema)
+    }
+
+    /// A document stored by `put_document`: nodes in document order,
+    /// parent preceding child (the builder's append contract).
+    fn document(&mut self) -> Result<Document, DecodeError> {
+        let n_labels = self.varint()? as usize;
+        let mut labels = Vec::with_capacity(n_labels.min(4096));
+        for _ in 0..n_labels {
+            labels.push(self.str()?.to_string());
+        }
+        let n = self.varint()? as usize;
+        if n == 0 {
+            return Err(DecodeError::Malformed);
+        }
+        let mut builder: Option<uxm_xml::document::DocumentBuilder> = None;
+        for id in 0..n {
+            let label = labels
+                .get(self.varint()? as usize)
+                .ok_or(DecodeError::IdOutOfRange)?;
+            let node = match (&mut builder, id) {
+                (slot @ None, 0) => {
+                    *slot = Some(Document::builder(label));
+                    DocNodeId(0)
+                }
+                (Some(b), _) => {
+                    let parent = self.varint()? as usize;
+                    if parent >= id {
+                        return Err(DecodeError::Malformed);
+                    }
+                    b.add_child(DocNodeId(parent as u32), label)
+                }
+                (None, _) => unreachable!("builder set on id 0"),
+            };
+            let b = builder.as_mut().expect("builder initialized");
+            if self.take(1)?[0] != 0 {
+                let text = self.str()?.to_string();
+                b.set_text(node, text);
+            }
+            let n_attrs = self.varint()? as usize;
+            for _ in 0..n_attrs {
+                let name = self.str()?.to_string();
+                let value = self.str()?.to_string();
+                b.add_attr(node, name, value);
+            }
+        }
+        Ok(builder.expect("at least the root").finish())
     }
 
     fn finish(&self) -> Result<(), DecodeError> {
@@ -405,6 +653,135 @@ mod tests {
         bytes.push(0xFF);
         let err = decode_plain(&bytes, pm.source.clone(), pm.target.clone()).unwrap_err();
         assert_eq!(err, DecodeError::Truncated);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_queries() {
+        use uxm_twig::TwigPattern;
+        use uxm_xml::DocGenConfig;
+
+        let (pm, tree) = workload();
+        let mut doc = {
+            let mut b = Document::builder("Order");
+            let root = b.root();
+            let line = b.add_child(root, "POLine");
+            let qty = b.add_child(line, "Quantity");
+            b.set_text(qty, "3");
+            b.add_attr(line, "id", "L1");
+            b.finish()
+        };
+        // Also exercise a generated (larger) document.
+        for generated in [false, true] {
+            if generated {
+                doc = Document::generate(&pm.source, &DocGenConfig::small(), 5);
+            }
+            let engine = QueryEngine::new(pm.clone(), doc.clone(), tree.clone());
+            let bytes = encode_engine_snapshot(&engine);
+            let back = decode_engine_snapshot(&bytes).unwrap();
+            assert_eq!(back.source(), engine.source());
+            assert_eq!(back.target(), engine.target());
+            assert_same_mappings(back.mappings(), engine.mappings());
+            assert_eq!(back.tree().blocks(), engine.tree().blocks());
+            assert_eq!(back.document().len(), engine.document().len());
+            for qs in ["PO//Qty", "PO/Line", "//Amount"] {
+                let q = TwigPattern::parse(qs).unwrap();
+                assert_eq!(back.ptq_with_tree(&q), engine.ptq_with_tree(&q), "{qs}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_text_and_attrs() {
+        let (pm, tree) = workload();
+        let doc = {
+            let mut b = Document::builder("Order");
+            let root = b.root();
+            let n = b.add_child(root, "Item");
+            b.set_text(n, "héllo — utf8 ✓");
+            b.add_attr(n, "currency", "EUR");
+            b.add_attr(n, "unit", "kg");
+            b.finish()
+        };
+        let engine = QueryEngine::new(pm, doc, tree);
+        let back = decode_engine_snapshot(&encode_engine_snapshot(&engine)).unwrap();
+        let item = back.document().nodes_with_label("Item")[0];
+        assert_eq!(back.document().text(item), Some("héllo — utf8 ✓"));
+        assert_eq!(back.document().attr(item, "currency"), Some("EUR"));
+        assert_eq!(back.document().attr(item, "unit"), Some("kg"));
+    }
+
+    #[test]
+    fn snapshot_rejects_unsupported_version() {
+        let (pm, tree) = workload();
+        let doc = Document::builder("Order").finish();
+        let mut bytes = encode_engine_snapshot(&QueryEngine::new(pm, doc, tree));
+        bytes[4] = 99; // version varint lives right after the magic
+        assert_eq!(
+            decode_engine_snapshot(&bytes).unwrap_err(),
+            DecodeError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_strings_and_malformed_trees() {
+        // Hand-craft a snapshot whose source schema name is invalid UTF-8.
+        let mut bad_string = Vec::new();
+        bad_string.extend_from_slice(MAGIC_SNAPSHOT);
+        put_varint(&mut bad_string, SNAPSHOT_VERSION);
+        put_varint(&mut bad_string, 2); // name length...
+        bad_string.extend_from_slice(&[0xFF, 0xFE]); // ...invalid bytes
+        assert_eq!(
+            decode_engine_snapshot(&bad_string).unwrap_err(),
+            DecodeError::BadString
+        );
+
+        // A schema node whose parent does not precede it.
+        let mut bad_parent = Vec::new();
+        bad_parent.extend_from_slice(MAGIC_SNAPSHOT);
+        put_varint(&mut bad_parent, SNAPSHOT_VERSION);
+        put_str(&mut bad_parent, "s");
+        put_varint(&mut bad_parent, 2); // two nodes
+        put_str(&mut bad_parent, "Root");
+        bad_parent.push(0);
+        put_str(&mut bad_parent, "Child");
+        put_varint(&mut bad_parent, 5); // parent id 5 >= node id 1
+        bad_parent.push(0);
+        assert_eq!(
+            decode_engine_snapshot(&bad_parent).unwrap_err(),
+            DecodeError::Malformed
+        );
+
+        // An empty node table.
+        let mut empty = Vec::new();
+        empty.extend_from_slice(MAGIC_SNAPSHOT);
+        put_varint(&mut empty, SNAPSHOT_VERSION);
+        put_str(&mut empty, "s");
+        put_varint(&mut empty, 0); // zero schema nodes
+        assert_eq!(
+            decode_engine_snapshot(&empty).unwrap_err(),
+            DecodeError::Malformed
+        );
+    }
+
+    #[test]
+    fn snapshot_truncation_and_magic() {
+        let (pm, tree) = workload();
+        let doc = Document::builder("Order").finish();
+        let bytes = encode_engine_snapshot(&QueryEngine::new(pm, doc, tree));
+        assert_eq!(
+            decode_engine_snapshot(&bytes[..bytes.len() - 1]).unwrap_err(),
+            DecodeError::Truncated
+        );
+        assert_eq!(
+            decode_engine_snapshot(b"UXM0whatever").unwrap_err(),
+            DecodeError::BadMagic
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            decode_engine_snapshot(&trailing).unwrap_err(),
+            DecodeError::Truncated
+        );
     }
 
     #[test]

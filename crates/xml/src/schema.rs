@@ -102,6 +102,12 @@ impl Schema {
         self.add_child_full(parent, label, false)
     }
 
+    /// Sets the repeatability flag of an existing node (decoders rebuild
+    /// schemas root-first and only learn the flag per stored node).
+    pub fn set_repeatable(&mut self, id: SchemaNodeId, repeatable: bool) {
+        self.nodes[id.idx()].repeatable = repeatable;
+    }
+
     /// Appends a child element, also setting its repeatability flag.
     pub fn add_child_full(
         &mut self,

@@ -1,11 +1,13 @@
-//! Quickstart: match two small schemas, derive possible mappings, build a
-//! block tree, and run a probabilistic twig query.
+//! Quickstart: match two small schemas, derive possible mappings, open a
+//! query session behind an [`EngineRegistry`], serve a batch, and round-
+//! trip the whole session through an on-disk snapshot.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use uxm::prelude::*;
+use uxm::twig::TwigPattern;
 
 fn main() {
     // 1. Two purchase-order schemas in different naming conventions.
@@ -34,10 +36,10 @@ fn main() {
         println!("  {id:?}: {} pairs, p = {:.3}", m.len(), m.prob);
     }
 
-    // 4. Generate a source document and open a query session: the engine
-    //    builds the block tree plus its derived state (interned labels,
-    //    relevance bitsets, rewrite cache) once, then serves any number
-    //    of queries.
+    // 4. Generate a source document and build the session engine: block
+    //    tree plus derived state (interned labels, relevance bitsets,
+    //    sharded rewrite caches) — built once, then shared freely, since
+    //    the engine is `Send + Sync`.
     let doc = Document::generate(&source, &DocGenConfig::small(), 42);
     let engine = QueryEngine::build(mappings, doc, &BlockTreeConfig::default());
     println!(
@@ -46,19 +48,44 @@ fn main() {
         engine.tree().min_support
     );
 
-    // 5. Ask a probabilistic twig query *posed on the target schema*.
+    // 5. Serve it through a registry. A real service registers one engine
+    //    per (schema pair, document) under a memory budget; queries are
+    //    answered in batches, concurrently under `--features parallel`.
+    let registry = EngineRegistry::with_config(RegistryConfig {
+        memory_budget: 64 << 20, // 64 MiB of resident engines
+    })
+    .snapshot_dir(std::env::temp_dir().join("uxm-quickstart"));
+    registry.insert("purchase-orders", engine);
+
     let q = TwigPattern::parse("PURCHASE_ORDER//E_MAIL").unwrap();
+    let answers = registry.batch(&[
+        BatchQuery::ptq("purchase-orders", q.clone()),
+        BatchQuery::topk("purchase-orders", q.clone(), 3),
+    ]);
+    let handle = registry.get("purchase-orders").unwrap();
     println!(
         "\nquery: {q}  (against a {}-node source document)",
-        engine.document().len()
+        handle.document().len()
     );
-
-    let answers = engine.ptq_with_tree(&q);
-    for (matches, prob) in answers.aggregate() {
-        let texts: Vec<&str> = matches
-            .iter()
-            .filter_map(|m| engine.document().text(*m.nodes.last().unwrap()))
-            .collect();
-        println!("  p = {prob:.3}: {texts:?}");
+    if let Ok(uxm::core::registry::Response::Ptq(full)) = &answers[0] {
+        for (matches, prob) in full.aggregate() {
+            let texts: Vec<&str> = matches
+                .iter()
+                .filter_map(|m| handle.document().text(*m.nodes.last().unwrap()))
+                .collect();
+            println!("  p = {prob:.3}: {texts:?}");
+        }
     }
+
+    // 6. Persist the session and hydrate it back — a restarted service
+    //    warms up from the snapshot instead of re-matching schemas.
+    let path = registry.save("purchase-orders").unwrap();
+    let restarted = EngineRegistry::new().snapshot_dir(path.parent().unwrap());
+    let rehydrated = restarted.fetch("purchase-orders").unwrap();
+    assert_eq!(rehydrated.ptq_with_tree(&q), handle.ptq_with_tree(&q));
+    println!(
+        "\nsnapshot: {} ({} bytes) rehydrates to identical answers",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
 }

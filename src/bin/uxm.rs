@@ -6,21 +6,30 @@
 //! uxm mappings  <source.outline> <target.outline> [--h N]
 //! uxm query     <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X] [--mode label|node]
 //! uxm keyword   <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X]
+//! uxm registry  save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]
+//! uxm registry  list --dir D
+//! uxm batch     <requests.txt> --dir D [--budget BYTES]
 //! uxm gen-doc   <schema.outline> [--nodes N] [--seed N]
 //! uxm dataset   <D1..D10>
 //! ```
 //!
 //! Schema files use the outline syntax (`Order(Buyer(Name) Item*(Price))`).
 //! Query-serving commands build one [`QueryEngine`] session and evaluate
-//! through it.
+//! through it. The serving commands (`registry`, `batch`) manage engine
+//! *snapshots* — one file per (schema pair, document) session — behind an
+//! [`EngineRegistry`]: `registry save` persists a session, `batch` lazily
+//! hydrates the engines a request file names and answers the whole batch
+//! (concurrently when built with `--features parallel`).
 
 use std::process::ExitCode;
 use uxm::core::block_tree::BlockTreeConfig;
 use uxm::core::engine::QueryEngine;
 use uxm::core::mapping::PossibleMappings;
 use uxm::core::ptq::PtqResult;
+use uxm::core::registry::{BatchQuery, EngineRegistry, RegistryConfig, Response};
 use uxm::core::semantics::{expected_count, match_probabilities};
 use uxm::core::stats::o_ratio;
+use uxm::core::storage::decode_engine_snapshot_parts;
 use uxm::datagen::datasets::{Dataset, DatasetId};
 use uxm::matching::Matcher;
 use uxm::twig::TwigPattern;
@@ -36,6 +45,8 @@ fn main() -> ExitCode {
         "mappings" => cmd_mappings(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "keyword" => cmd_keyword(&args[1..]),
+        "registry" => cmd_registry(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
         "gen-doc" => cmd_gen_doc(&args[1..]),
         "dataset" => cmd_dataset(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -59,6 +70,9 @@ fn usage() -> ExitCode {
          uxm mappings <source.outline> <target.outline> [--h N]\n  \
          uxm query    <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X] [--mode label|node]\n  \
          uxm keyword  <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X]\n  \
+         uxm registry save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]\n  \
+         uxm registry list --dir D\n  \
+         uxm batch    <requests.txt> --dir D [--budget BYTES]\n  \
          uxm gen-doc  <schema.outline> [--nodes N] [--seed N]\n  \
          uxm dataset  <D1..D10>"
     );
@@ -266,6 +280,171 @@ fn cmd_keyword(args: &[String]) -> Result<(), String> {
     for a in answers.iter().take(20) {
         let paths: Vec<String> = a.slcas.iter().map(|&n| doc.path(n)).collect();
         println!("  p = {:.3}  {:?}", a.probability, paths);
+    }
+    Ok(())
+}
+
+/// `uxm registry save|list` — manage the on-disk engine-snapshot set.
+fn cmd_registry(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_args(args)?;
+    let dir = flag(&flags, "dir").ok_or("registry needs --dir <snapshot-dir>")?;
+    match pos.as_slice() {
+        ["save", name, src, tgt, doc_path] => {
+            let registry = EngineRegistry::new().snapshot_dir(dir);
+            let engine = registry.insert(*name, engine_from(&flags, src, tgt, doc_path)?);
+            let path = registry.save(name).map_err(|e| e.to_string())?;
+            println!(
+                "saved {name:?} to {} ({} bytes on disk, ~{} KiB resident): \
+                 |M|={}, {} doc nodes, {} c-blocks",
+                path.display(),
+                std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                engine.approx_bytes() / 1024,
+                engine.mappings().len(),
+                engine.document().len(),
+                engine.tree().block_count(),
+            );
+            Ok(())
+        }
+        ["list"] => {
+            let mut entries: Vec<_> = std::fs::read_dir(dir)
+                .map_err(|e| format!("{dir}: {e}"))?
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "uxm"))
+                .map(|e| e.path())
+                .collect();
+            entries.sort();
+            println!("{} snapshot(s) in {dir}:", entries.len());
+            for path in entries {
+                let name = path.file_stem().unwrap_or_default().to_string_lossy();
+                let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+                // Parts-level decode: listing should not pay for session
+                // state (symbol tables, bitsets) it never queries.
+                match decode_engine_snapshot_parts(&bytes) {
+                    Ok(snap) => println!(
+                        "  {name:<24} {:>9} bytes  |M|={:<4} doc={:<6} blocks={:<4} {} -> {}",
+                        bytes.len(),
+                        snap.mappings.len(),
+                        snap.document.len(),
+                        snap.tree.block_count(),
+                        snap.mappings.source.name,
+                        snap.mappings.target.name,
+                    ),
+                    Err(e) => println!("  {name:<24} UNREADABLE: {e}"),
+                }
+            }
+            Ok(())
+        }
+        _ => Err(
+            "registry needs: save <name> <source> <target> <doc.xml> --dir D, or list --dir D"
+                .into(),
+        ),
+    }
+}
+
+/// Parses one request line of a batch file:
+/// `<engine> ptq <twig>` | `<engine> basic <twig>` |
+/// `<engine> topk <k> <twig>` | `<engine> keyword <term...>`.
+fn parse_request_line(line: &str, lineno: usize) -> Result<BatchQuery, String> {
+    let err = |msg: &str| format!("line {lineno}: {msg}");
+    let mut parts = line.split_whitespace();
+    let engine = parts.next().ok_or_else(|| err("missing engine name"))?;
+    let kind = parts.next().ok_or_else(|| err("missing request kind"))?;
+    let parse_twig = |s: Option<&str>| -> Result<TwigPattern, String> {
+        let s = s.ok_or_else(|| err("missing twig pattern"))?;
+        TwigPattern::parse(s).map_err(|e| err(&format!("bad twig {s:?}: {e}")))
+    };
+    // Twig-shaped requests take exactly one pattern token; anything after
+    // it is a mistake (e.g. a pattern accidentally split by a space), not
+    // something to silently drop.
+    let done = |q: BatchQuery, mut rest: std::str::SplitWhitespace<'_>| match rest.next() {
+        None => Ok(q),
+        Some(extra) => Err(err(&format!("unexpected trailing token {extra:?}"))),
+    };
+    match kind {
+        "ptq" => {
+            let q = parse_twig(parts.next())?;
+            done(BatchQuery::ptq(engine, q), parts)
+        }
+        "basic" => {
+            let q = parse_twig(parts.next())?;
+            done(BatchQuery::basic(engine, q), parts)
+        }
+        "topk" => {
+            let k: usize = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err("topk needs <k> <twig>"))?;
+            let q = parse_twig(parts.next())?;
+            done(BatchQuery::topk(engine, q, k), parts)
+        }
+        "keyword" => {
+            let terms: Vec<String> = parts.map(str::to_string).collect();
+            if terms.is_empty() {
+                return Err(err("keyword needs at least one term"));
+            }
+            Ok(BatchQuery::keyword(engine, terms))
+        }
+        other => Err(err(&format!(
+            "unknown request kind {other:?} (ptq | basic | topk | keyword)"
+        ))),
+    }
+}
+
+/// `uxm batch` — answer a request file against a snapshot directory.
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_args(args)?;
+    let [requests_path] = pos.as_slice() else {
+        return Err("batch needs <requests.txt> --dir D".into());
+    };
+    let dir = flag(&flags, "dir").ok_or("batch needs --dir <snapshot-dir>")?;
+    let budget: usize = flag(&flags, "budget")
+        .map_or(Ok(0), str::parse)
+        .map_err(|_| "bad --budget")?;
+    let text =
+        std::fs::read_to_string(requests_path).map_err(|e| format!("{requests_path}: {e}"))?;
+    let queries = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .map(|(i, l)| parse_request_line(l, i + 1))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let registry = EngineRegistry::with_config(RegistryConfig {
+        memory_budget: budget,
+    })
+    .snapshot_dir(dir);
+    let start = std::time::Instant::now();
+    let answers = registry.batch(&queries);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut failures = 0usize;
+    for (q, a) in queries.iter().zip(&answers) {
+        match a {
+            Ok(Response::Ptq(r)) => println!(
+                "{:<16} {} -> {} answers, expected count {:.2}",
+                q.engine,
+                q.request,
+                r.len(),
+                expected_count(r)
+            ),
+            Ok(Response::Keyword(ans)) => {
+                println!("{:<16} {} -> {} answers", q.engine, q.request, ans.len())
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{:<16} {} -> error: {e}", q.engine, q.request);
+            }
+        }
+    }
+    println!(
+        "{} request(s) in {elapsed:.3}s ({:.0} req/s), {} engine(s) resident (~{} KiB), {failures} failed",
+        queries.len(),
+        queries.len() as f64 / elapsed.max(1e-9),
+        registry.len(),
+        registry.resident_bytes() / 1024,
+    );
+    if failures > 0 {
+        return Err(format!("{failures} request(s) failed"));
     }
     Ok(())
 }

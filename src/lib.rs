@@ -66,6 +66,7 @@ pub mod prelude {
         mapping::{Mapping, PossibleMappings},
         ptq::{ptq_basic, PtqAnswer},
         ptq_tree::ptq_with_tree,
+        registry::{BatchQuery, EngineRegistry, RegistryConfig},
         topk::topk_ptq,
     };
     pub use uxm_datagen::datasets::{Dataset, DatasetId};

@@ -1,0 +1,159 @@
+//! Determinism under concurrency: N threads hammer ONE shared
+//! [`QueryEngine`] with a mixed ptq / top-k / keyword workload, and every
+//! single answer must be byte-identical to the single-threaded evaluation
+//! of the same request. This is the contract the `EngineRegistry` serving
+//! layer builds on — the sharded caches may race on *computing* an entry,
+//! but never on its value.
+//!
+//! The test is meaningful both with and without `--features parallel`
+//! (the engine then also fans out internally, nesting scoped threads).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm::core::engine::QueryEngine;
+use uxm::core::keyword::KeywordAnswer;
+use uxm::core::mapping::PossibleMappings;
+use uxm::core::ptq::PtqResult;
+use uxm::datagen::datasets::{Dataset, DatasetId};
+use uxm::datagen::queries::paper_queries;
+use uxm::twig::TwigPattern;
+use uxm::xml::{DocGenConfig, Document};
+
+const THREADS: usize = 8;
+/// Total requests pulled off the shared work queue by all threads.
+const REQUESTS: usize = 400;
+
+fn engine(id: DatasetId, m: usize, nodes: usize) -> QueryEngine {
+    let d = Dataset::load(id);
+    let pm = PossibleMappings::top_h(&d.matching, m);
+    let doc = Document::generate(
+        &d.matching.source,
+        &DocGenConfig {
+            target_nodes: nodes,
+            max_repeat: 3,
+            text_prob: 0.7,
+        },
+        0x0D0C,
+    );
+    let tree = BlockTree::build(
+        &d.matching.target,
+        &pm,
+        &BlockTreeConfig {
+            tau: 0.2,
+            ..BlockTreeConfig::default()
+        },
+    );
+    QueryEngine::new(pm, doc, tree)
+}
+
+/// The mixed request stream: request `i` deterministically selects one of
+/// the evaluators and one of the paper queries / keyword lists.
+#[derive(Debug, Clone, PartialEq)]
+enum Answer {
+    Ptq(PtqResult),
+    Keyword(Vec<KeywordAnswer>),
+}
+
+fn run_request(
+    engine: &QueryEngine,
+    queries: &[TwigPattern],
+    terms: &[Vec<&str>],
+    i: usize,
+) -> Answer {
+    let q = &queries[i % queries.len()];
+    match i % 5 {
+        0 => Answer::Ptq(engine.ptq_with_tree(q)),
+        1 => Answer::Ptq(engine.ptq(q)),
+        2 => Answer::Ptq(engine.topk(q, 1 + i % 7)),
+        3 => Answer::Ptq(engine.ptq_with_tree_nodes(q)),
+        _ => Answer::Keyword(engine.keyword(&terms[i % terms.len()]).unwrap()),
+    }
+}
+
+#[test]
+fn hammered_engine_matches_single_threaded_evaluation() {
+    let shared = Arc::new(engine(DatasetId::D7, 20, 400));
+    let queries = paper_queries();
+    // One vocabulary term (a target label) plus value terms.
+    let vocab = {
+        let t = &shared.mappings().target;
+        t.label(t.children(t.root())[0]).to_string()
+    };
+    let terms: Vec<Vec<&str>> = vec![
+        vec![vocab.as_str()],
+        vec!["order"],
+        vec![vocab.as_str(), "item"],
+    ];
+
+    // Single-threaded ground truth from a FRESH engine (cold caches), one
+    // answer per request index.
+    let fresh = engine(DatasetId::D7, 20, 400);
+    let expected: Vec<Answer> = (0..REQUESTS)
+        .map(|i| run_request(&fresh, &queries, &terms, i))
+        .collect();
+
+    // Hammer the shared engine: threads pull request indices off a shared
+    // counter, so interleavings (and hence cache fill order) vary freely.
+    let next = AtomicUsize::new(0);
+    let mismatches: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let queries = &queries;
+                let terms = &terms;
+                let next = &next;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut bad = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= REQUESTS {
+                            break;
+                        }
+                        let got = run_request(&shared, queries, terms, i);
+                        if got != expected[i] {
+                            bad.push(format!("request {i} diverged"));
+                        }
+                    }
+                    bad
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("stress worker panicked"))
+            .collect()
+    });
+    assert!(mismatches.is_empty(), "{mismatches:?}");
+
+    // The workload repeats each (evaluator, query) pair many times, so the
+    // shared caches must have served hits.
+    let stats = shared.cache_stats();
+    assert!(stats.rewrite_hits > 0, "stats: {stats:?}");
+    assert!(stats.relevant_hits > 0, "stats: {stats:?}");
+}
+
+#[test]
+fn warm_and_cold_answers_agree_across_threads() {
+    // A second shape of the race: every thread runs the SAME query; the
+    // first to finish populates the caches while the rest are mid-flight.
+    let shared = Arc::new(engine(DatasetId::D7, 12, 250));
+    let q = &paper_queries()[1];
+    let expected = engine(DatasetId::D7, 12, 250).ptq_with_tree(q);
+    let answers: Vec<PtqResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || (0..20).map(|_| shared.ptq_with_tree(q)).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for (i, a) in answers.iter().enumerate() {
+        assert_eq!(a, &expected, "run {i}");
+    }
+}

@@ -12,6 +12,7 @@ use uxm::core::mapping::PossibleMappings;
 use uxm::core::path_ptq::{ptq_basic_nodes, ptq_with_tree_nodes};
 use uxm::core::ptq::ptq_basic;
 use uxm::core::ptq_tree::ptq_with_tree;
+use uxm::core::registry::{BatchQuery, EngineRegistry, Response};
 use uxm::core::topk::topk_ptq;
 use uxm::datagen::datasets::{Dataset, DatasetId};
 use uxm::datagen::queries::paper_queries;
@@ -97,6 +98,60 @@ fn engine_equals_legacy_on_large_datasets_spot_queries() {
     ] {
         let engine = session(id, 20, 400);
         assert_equivalent(&engine, &[2, 7, 10], id.name());
+    }
+}
+
+/// The serving stack adds no semantics: for every request kind, the
+/// registry batch path returns exactly what the engine returns, which
+/// returns exactly what the legacy free functions return
+/// (registry ≡ engine ≡ legacy).
+#[test]
+fn registry_batch_equals_engine_equals_legacy() {
+    let registry = EngineRegistry::new();
+    let all = paper_queries();
+    // Two resident engines so the batch exercises cross-engine routing.
+    for (name, id) in [("d4", DatasetId::D4), ("d7", DatasetId::D7)] {
+        registry.insert(name, session(id, 20, 400));
+    }
+    for (name, id) in [("d4", DatasetId::D4), ("d7", DatasetId::D7)] {
+        let legacy = session(id, 20, 400);
+        let (pm, doc, tree) = (legacy.mappings(), legacy.document(), legacy.tree());
+        let vocab = pm
+            .target
+            .label(pm.target.children(pm.target.root())[0])
+            .to_string();
+        for qi in [2usize, 7, 10] {
+            let q = &all[qi - 1];
+            let answers = registry.batch(&[
+                BatchQuery::ptq(name, q.clone()),
+                BatchQuery::basic(name, q.clone()),
+                BatchQuery::topk(name, q.clone(), 5),
+                BatchQuery::keyword(name, vec![vocab.clone(), "order".to_string()]),
+            ]);
+            let label = format!("{} Q{qi}", id.name());
+            assert_eq!(
+                answers[0],
+                Ok(Response::Ptq(ptq_with_tree(q, pm, doc, tree))),
+                "{label}: registry ptq vs legacy"
+            );
+            assert_eq!(
+                answers[1],
+                Ok(Response::Ptq(ptq_basic(q, pm, doc))),
+                "{label}: registry basic vs legacy"
+            );
+            assert_eq!(
+                answers[2],
+                Ok(Response::Ptq(topk_ptq(q, pm, doc, tree, 5))),
+                "{label}: registry topk vs legacy"
+            );
+            assert_eq!(
+                answers[3],
+                Ok(Response::Keyword(
+                    keyword_query(&[vocab.as_str(), "order"], pm, doc).unwrap()
+                )),
+                "{label}: registry keyword vs legacy"
+            );
+        }
     }
 }
 
