@@ -1,6 +1,10 @@
 //! Criterion benches for the reproduction's extensions: storage codec,
 //! node-granularity PTQ, and per-match semantics.
 
+// The one-shot rows measure the deprecated legacy paths on purpose (the
+// comparison against the warm engine session is the experiment).
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use uxm_bench::workload::{d7_workload, default_config};
 use uxm_core::path_ptq::{ptq_basic_nodes, ptq_with_tree_nodes};

@@ -5,6 +5,10 @@
 //! interned labels, relevance bitsets, and `(query, mapping)` rewrite
 //! cache.
 
+// The legacy free functions and engine methods are measured on purpose
+// (one-shot vs warm-session comparison is the experiment).
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use uxm_bench::workload::{d7_workload, default_config};
 use uxm_core::ptq::ptq_basic;

@@ -5,19 +5,29 @@
 //! *shapes* — who wins, trends over τ / |M| / k / h — are the target.
 
 use crate::time_avg;
-use crate::workload::{d7_workload, default_config, DEFAULT_M};
+use crate::workload::{d7_workload, default_config, workload_for, DEFAULT_M};
 use std::fmt::Write as _;
 use uxm_assignment::murty::RankVariant;
 use uxm_assignment::partition::{murty_top_h_mappings, partition, partition_top_h_with};
+use uxm_core::api::{EvaluatorHint, Query};
 use uxm_core::block_tree::{BlockTree, BlockTreeConfig};
 use uxm_core::compress::compression_ratio;
+use uxm_core::json::Json;
 use uxm_core::mapping::PossibleMappings;
-use uxm_core::ptq::ptq_basic;
-use uxm_core::ptq_tree::ptq_with_tree;
+use uxm_core::planner::Evaluator;
 use uxm_core::stats::{avg_block_size, block_size_histogram, max_block_coverage, o_ratio};
-use uxm_core::topk::topk_ptq;
 use uxm_datagen::datasets::{Dataset, DatasetId};
 use uxm_datagen::queries::paper_queries;
+// The one-shot timing experiments measure the paper's *legacy* per-call
+// paths (throwaway session per query) on purpose — that is exactly what
+// Fig 9(f)/10 plot. They are the only remaining consumers of the
+// deprecated shims outside the shim-coverage tests.
+#[allow(deprecated)]
+use uxm_core::ptq::ptq_basic;
+#[allow(deprecated)]
+use uxm_core::ptq_tree::ptq_with_tree;
+#[allow(deprecated)]
+use uxm_core::topk::topk_ptq;
 
 /// Shared knobs for the repro run.
 #[derive(Clone, Debug)]
@@ -189,10 +199,15 @@ pub fn fig9e(cfg: &ReproConfig) -> String {
 /// Fig 9(f) / Fig 10(a): per-query time, basic vs block-tree, plus the
 /// warm `QueryEngine` session (one session serving the repeated queries —
 /// the reproduction's service-layer extension).
+#[allow(deprecated)] // measures the legacy one-shot paths on purpose
 pub fn fig9f_10a(cfg: &ReproConfig, m: usize) -> String {
     let w = d7_workload(m, &default_config());
     let engine = w.engine();
     let queries = paper_queries();
+    let engine_queries: Vec<Query> = queries
+        .iter()
+        .map(|q| Query::ptq(q.clone()).with_evaluator(EvaluatorHint::BlockTree))
+        .collect();
     let mut out = format!(
         "Fig {} — query time Tq (s), |M| = {m}\n  Q     basic  block-tree   speedup  engine(warm)\n",
         if m <= DEFAULT_M { "9(f)" } else { "10(a)" }
@@ -207,10 +222,11 @@ pub fn fig9f_10a(cfg: &ReproConfig, m: usize) -> String {
         let tt = time_avg(cfg.runs, || {
             std::hint::black_box(ptq_with_tree(q, &w.mappings, &w.doc, &w.tree).len());
         });
-        // Warm the session caches, then time cache-served evaluation.
-        std::hint::black_box(engine.ptq_with_tree(q).len());
+        // Warm the session caches, then time cache-served evaluation
+        // through the unified entry point.
+        std::hint::black_box(engine.run(&engine_queries[i]).expect("valid query").len());
         let te = time_avg(cfg.runs, || {
-            std::hint::black_box(engine.ptq_with_tree(q).len());
+            std::hint::black_box(engine.run(&engine_queries[i]).expect("valid query").len());
         });
         total_basic += tb;
         total_tree += tt;
@@ -237,6 +253,7 @@ pub fn fig9f_10a(cfg: &ReproConfig, m: usize) -> String {
 }
 
 /// Fig 10(b): Q10 time vs τ (block-tree algorithm).
+#[allow(deprecated)] // measures the legacy one-shot path on purpose
 pub fn fig10b(cfg: &ReproConfig) -> String {
     let w = d7_workload(cfg.m, &default_config());
     let q10 = &paper_queries()[9];
@@ -259,6 +276,7 @@ pub fn fig10b(cfg: &ReproConfig) -> String {
 }
 
 /// Fig 10(c): Q10 time vs |M|, basic vs block-tree.
+#[allow(deprecated)] // measures the legacy one-shot paths on purpose
 pub fn fig10c(cfg: &ReproConfig) -> String {
     let q10 = &paper_queries()[9];
     let mut out = String::from("Fig 10(c) — Tq vs |M| (D7, Q10)\n   |M|    basic  block-tree\n");
@@ -276,6 +294,7 @@ pub fn fig10c(cfg: &ReproConfig) -> String {
 }
 
 /// Fig 10(d): top-k PTQ time vs k (D7, Q10).
+#[allow(deprecated)] // measures the legacy one-shot paths on purpose
 pub fn fig10d(cfg: &ReproConfig) -> String {
     let w = d7_workload(cfg.m, &default_config());
     let q10 = &paper_queries()[9];
@@ -363,14 +382,17 @@ pub fn fig10f(cfg: &ReproConfig) -> String {
 /// near 1.0x by construction.
 pub fn serve(cfg: &ReproConfig) -> String {
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use uxm_core::registry::{BatchQuery, EngineRegistry, Request};
+    use uxm_core::registry::{BatchQuery, EngineRegistry};
 
     let w = d7_workload(cfg.m, &default_config());
     let engine = std::sync::Arc::new(w.engine());
-    let queries = paper_queries();
+    let queries: Vec<Query> = paper_queries()
+        .iter()
+        .map(|q| Query::ptq(q.clone()).with_evaluator(EvaluatorHint::BlockTree))
+        .collect();
     // Warm every cache once so we measure serving, not first-touch.
     for q in &queries {
-        std::hint::black_box(engine.ptq_with_tree(q).len());
+        std::hint::black_box(engine.run(q).expect("valid query").len());
     }
 
     let rounds = cfg.runs.max(1) * 20;
@@ -392,7 +414,12 @@ pub fn serve(cfg: &ReproConfig) -> String {
                     if i >= total {
                         break;
                     }
-                    std::hint::black_box(engine.ptq_with_tree(&queries[i % queries.len()]).len());
+                    std::hint::black_box(
+                        engine
+                            .run(&queries[i % queries.len()])
+                            .expect("valid query")
+                            .len(),
+                    );
                 });
             }
         });
@@ -413,10 +440,7 @@ pub fn serve(cfg: &ReproConfig) -> String {
     let registry = EngineRegistry::new();
     registry.insert("d7", w.engine());
     let batch: Vec<BatchQuery> = (0..total)
-        .map(|i| BatchQuery {
-            engine: "d7".to_string(),
-            request: Request::Ptq(queries[i % queries.len()].clone()),
-        })
+        .map(|i| BatchQuery::new("d7", queries[i % queries.len()].clone()))
         .collect();
     std::hint::black_box(registry.batch(&batch[..queries.len()])); // warm
     let start = std::time::Instant::now();
@@ -527,10 +551,127 @@ pub fn ablation(cfg: &ReproConfig) -> String {
     out
 }
 
+/// The planner benchmark behind `BENCH_query.json`: for every Table II
+/// dataset, the paper's 10-query workload served by one warm
+/// [`uxm_core::engine::QueryEngine`] through the unified
+/// `QueryEngine::run` entry point — once with the auto plan, once pinned
+/// to each evaluator — so the performance trajectory of the planner is
+/// recorded machine-readably. Writes `BENCH_query.json` (canonical
+/// JSON, see `uxm_core::json`) into the current directory and returns a
+/// printable summary.
+pub fn bench_query(cfg: &ReproConfig) -> String {
+    let queries = paper_queries();
+    let hints = [
+        ("auto", EvaluatorHint::Auto),
+        ("naive", EvaluatorHint::Naive),
+        ("block_tree", EvaluatorHint::BlockTree),
+    ];
+    let mut out = format!(
+        "BENCH_query — per-dataset 10-query latency (s), |M| = {}, warm engine\n  \
+         ID       auto     naive  block-tree   auto plans\n",
+        cfg.m
+    );
+    let mut rows = Vec::new();
+    for id in DatasetId::all() {
+        let w = workload_for(id, cfg.m, &default_config());
+        let engine = w.engine();
+        let mut cells: Vec<(&str, f64)> = Vec::new();
+        let mut auto_naive = 0usize;
+        let mut auto_tree = 0usize;
+        for (name, hint) in hints {
+            let pinned: Vec<Query> = queries
+                .iter()
+                .map(|q| Query::ptq(q.clone()).with_evaluator(hint))
+                .collect();
+            // One warming pass (caches are shared engine-wide, so every
+            // hint is measured equally warm), then — for the auto row — a
+            // plan census in the SAME warm state the timed runs see (the
+            // planner may pick differently cold vs warm), then the timed
+            // runs.
+            for q in &pinned {
+                std::hint::black_box(engine.run(q).expect("valid query").len());
+            }
+            if hint == EvaluatorHint::Auto {
+                for q in &pinned {
+                    match engine.run(q).expect("valid query").stats.plan.evaluator {
+                        Evaluator::Naive => auto_naive += 1,
+                        Evaluator::BlockTree => auto_tree += 1,
+                    }
+                }
+            }
+            let t = time_avg(cfg.runs, || {
+                for q in &pinned {
+                    std::hint::black_box(engine.run(q).expect("valid query").len());
+                }
+            });
+            cells.push((name, t));
+        }
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>8.4} {:>9.4} {:>11.4}   {}x tree, {}x naive",
+            id.name(),
+            cells[0].1,
+            cells[1].1,
+            cells[2].1,
+            auto_tree,
+            auto_naive,
+        );
+        rows.push(Json::Obj(vec![
+            (
+                "auto_plans".into(),
+                Json::Obj(vec![
+                    ("block_tree".into(), Json::uint(auto_tree as u64)),
+                    ("naive".into(), Json::uint(auto_naive as u64)),
+                ]),
+            ),
+            ("id".into(), Json::str(id.name())),
+            (
+                "latency_s".into(),
+                Json::Obj(
+                    cells
+                        .iter()
+                        .map(|&(n, t)| (n.into(), Json::Num(t)))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+    let report = Json::Obj(vec![
+        ("datasets".into(), Json::Arr(rows)),
+        ("m".into(), Json::uint(cfg.m as u64)),
+        ("queries".into(), Json::uint(queries.len() as u64)),
+        ("runs".into(), Json::uint(cfg.runs as u64)),
+    ]);
+    let path = "BENCH_query.json";
+    match std::fs::write(path, format!("{report}\n")) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote {path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "could not write {path}: {e}");
+        }
+    }
+    out
+}
+
 /// All experiment ids accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 15] = [
-    "table2", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "fig10a", "fig10b", "fig10c",
-    "fig10d", "fig10e", "fig10f", "serve", "ablation",
+pub const EXPERIMENTS: [&str; 16] = [
+    "table2",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig9d",
+    "fig9e",
+    "fig9f",
+    "fig10a",
+    "fig10b",
+    "fig10c",
+    "fig10d",
+    "fig10e",
+    "fig10f",
+    "serve",
+    "bench_query",
+    "ablation",
 ];
 
 /// Runs one experiment by id.
@@ -550,6 +691,7 @@ pub fn run_experiment(id: &str, cfg: &ReproConfig) -> Option<String> {
         "fig10e" => fig10e(cfg),
         "fig10f" => fig10f(cfg),
         "serve" => serve(cfg),
+        "bench_query" => bench_query(cfg),
         "ablation" => ablation(cfg),
         _ => return None,
     })

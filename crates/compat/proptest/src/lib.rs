@@ -200,7 +200,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Size specifications accepted by [`vec`]: an exact length or a
+    /// Size specifications accepted by [`vec()`]: an exact length or a
     /// half-open range of lengths.
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;

@@ -23,11 +23,15 @@
 //! `tests/engine_equivalence.rs`.
 //!
 //! With the `parallel` feature, independent per-mapping / per-c-block /
-//! per-rewrite-group evaluations run on scoped threads (see [`par_run`]).
+//! per-rewrite-group evaluations run on scoped threads (see the
+//! crate-internal `par_run`).
 
+use crate::api::{ExecStats, Query, QueryResponse};
 use crate::block_tree::{BlockTree, BlockTreeConfig};
+use crate::error::UxmError;
 use crate::keyword::{KeywordAnswer, KeywordError};
 use crate::mapping::{Mapping, MappingId, PossibleMappings};
+use crate::planner::{self, Evaluator, Plan, PlannerStats};
 use crate::ptq::{PtqAnswer, PtqResult};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -331,6 +335,13 @@ impl SessionState {
     #[cfg(test)]
     pub(crate) fn symbols_for_tests(&self) -> &SymbolTable {
         &self.symbols
+    }
+
+    /// Whether the relevant-mapping cache already holds `qstr` — the
+    /// planner's cache-warmth signal. A pure probe: hit counters are
+    /// untouched.
+    pub(crate) fn relevant_cached(&self, qstr: &str) -> bool {
+        self.relevant_cache.read(qstr, |_| ()).is_some()
     }
 
     fn stats(&self) -> CacheStats {
@@ -1106,12 +1117,15 @@ pub(crate) fn contains_word(text: &str, word: &str) -> bool {
 
 /// A query session over one `(mappings, document, block tree)` triple.
 ///
-/// Build it once, then serve any number of queries; label interning,
-/// relevance bitsets, and the rewrite cache amortize across calls. All
-/// evaluation methods return exactly what the corresponding legacy free
-/// functions return.
+/// Build it once, then serve any number of typed [`Query`] requests
+/// through [`QueryEngine::run`] — the one query entry point; label
+/// interning, relevance bitsets, and the rewrite cache amortize across
+/// calls. Evaluation strategy (naive vs block-tree) is chosen by the
+/// [`crate::planner`] unless the query pins it, and never affects the
+/// answers.
 ///
 /// ```
+/// use uxm_core::api::Query;
 /// use uxm_core::engine::QueryEngine;
 /// use uxm_core::block_tree::BlockTreeConfig;
 /// use uxm_core::mapping::PossibleMappings;
@@ -1127,9 +1141,9 @@ pub(crate) fn contains_word(text: &str, word: &str) -> bool {
 ///
 /// let engine = QueryEngine::build(pm, doc, &BlockTreeConfig::default());
 /// let q = TwigPattern::parse("PO//ContactName").unwrap();
-/// let answers = engine.ptq_with_tree(&q);
-/// for ans in answers.iter() {
-///     assert!(ans.probability > 0.0);
+/// let response = engine.run(&Query::ptq(q)).unwrap();
+/// for answer in &response.answers {
+///     assert!(answer.probability > 0.0);
 /// }
 /// ```
 pub struct QueryEngine {
@@ -1138,6 +1152,9 @@ pub struct QueryEngine {
     tree: BlockTree,
     state: SessionState,
     path_index: OnceLock<PathIndex>,
+    /// Average mappings per c-block (the planner's fan-out statistic),
+    /// fixed at build time.
+    avg_block_fanout: f64,
 }
 
 // The registry shares one engine across many serving threads; the caches
@@ -1164,12 +1181,19 @@ impl QueryEngine {
     /// Wraps an already-built block tree.
     pub fn new(pm: PossibleMappings, doc: Document, tree: BlockTree) -> QueryEngine {
         let state = SessionState::build(&pm, &doc);
+        let blocks = tree.blocks();
+        let avg_block_fanout = if blocks.is_empty() {
+            0.0
+        } else {
+            blocks.iter().map(|b| b.mappings.len()).sum::<usize>() as f64 / blocks.len() as f64
+        };
         QueryEngine {
             pm,
             doc,
             tree,
             state,
             path_index: OnceLock::new(),
+            avg_block_fanout,
         }
     }
 
@@ -1252,21 +1276,21 @@ impl QueryEngine {
         self.state.relevant(q, &q.to_string()).to_vec()
     }
 
-    /// Algorithm 3 (`query_basic`) — identical to [`crate::ptq::ptq_basic`].
-    pub fn ptq(&self, q: &TwigPattern) -> PtqResult {
-        let ids = self.state.relevant(q, &q.to_string());
-        eval_basic_over(q, &self.pm, &self.doc, &self.state, &ids)
+    /// The planner inputs for a query whose relevant set has `relevant`
+    /// mappings.
+    fn planner_stats(&self, relevant: usize, cache_warm: bool) -> PlannerStats {
+        PlannerStats {
+            relevant_mappings: relevant,
+            block_count: self.tree.block_count(),
+            avg_block_fanout: self.avg_block_fanout,
+            cache_warm,
+        }
     }
 
-    /// Algorithm 4 — identical to [`crate::ptq_tree::ptq_with_tree`].
-    pub fn ptq_with_tree(&self, q: &TwigPattern) -> PtqResult {
-        let ids = self.state.relevant(q, &q.to_string());
-        eval_tree_over(q, &self.pm, &self.doc, &self.tree, &self.state, &ids)
-    }
-
-    /// Top-k PTQ — identical to [`crate::topk::topk_ptq`].
-    pub fn topk(&self, q: &TwigPattern, k: usize) -> PtqResult {
-        let mut ids = self.state.relevant(q, &q.to_string()).to_vec();
+    /// The k most-probable relevant mappings for `q` (ties by id), in
+    /// evaluation order.
+    fn topk_ids(&self, q: &TwigPattern, qstr: &str, k: usize) -> Vec<MappingId> {
+        let mut ids = self.state.relevant(q, qstr).to_vec();
         ids.sort_by(|&a, &b| {
             self.pm
                 .mapping(b)
@@ -1275,6 +1299,138 @@ impl QueryEngine {
                 .then(a.cmp(&b))
         });
         ids.truncate(k);
+        ids
+    }
+
+    /// Label-granularity evaluation over a pre-filtered id set with the
+    /// planned evaluator.
+    fn eval_label(&self, q: &TwigPattern, ids: &[MappingId], evaluator: Evaluator) -> PtqResult {
+        match evaluator {
+            Evaluator::Naive => eval_basic_over(q, &self.pm, &self.doc, &self.state, ids),
+            Evaluator::BlockTree => {
+                eval_tree_over(q, &self.pm, &self.doc, &self.tree, &self.state, ids)
+            }
+        }
+    }
+
+    /// Runs one typed [`Query`] — the single query entry point.
+    ///
+    /// Parsed options are validated first; evaluation strategy is chosen
+    /// by [`crate::planner::choose`] from `(|M_q|, block fan-out, cache
+    /// warmth)` unless the query pins it. The returned
+    /// [`QueryResponse`] carries the answers (with per-answer mapping
+    /// provenance) and an [`ExecStats`] block reporting the plan, the
+    /// cache traffic, and the elapsed time. Answers are independent of
+    /// the chosen plan by construction — pinned by the planner
+    /// differential suite in `tests/engine_equivalence.rs`.
+    pub fn run(&self, query: &Query) -> Result<QueryResponse, UxmError> {
+        query.validate()?;
+        let start = std::time::Instant::now();
+        let before = self.state.stats();
+        let options = *query.options();
+        let (answers, plan, relevant) = match query {
+            Query::Ptq { pattern, .. } => {
+                let qstr = pattern.to_string();
+                let warm = self.state.relevant_cached(&qstr);
+                let ids = self.state.relevant(pattern, &qstr);
+                let plan = planner::choose(options.evaluator, &self.planner_stats(ids.len(), warm));
+                let res = self.eval_label(pattern, &ids, plan.evaluator);
+                (
+                    crate::api::shape_ptq_answers(res.answers, &options),
+                    plan,
+                    ids.len(),
+                )
+            }
+            Query::PtqNodes { pattern, .. } => {
+                let qstr = pattern.to_string();
+                let warm = self.state.relevant_cached(&qstr);
+                let relevant = self.state.relevant(pattern, &qstr).len();
+                let plan = planner::choose(options.evaluator, &self.planner_stats(relevant, warm));
+                let res = match plan.evaluator {
+                    Evaluator::Naive => eval_basic_nodes(
+                        pattern,
+                        &self.pm,
+                        &self.doc,
+                        self.path_index(),
+                        &self.state,
+                    ),
+                    Evaluator::BlockTree => eval_tree_nodes(
+                        pattern,
+                        &self.pm,
+                        &self.doc,
+                        self.path_index(),
+                        &self.tree,
+                        &self.state,
+                    ),
+                };
+                (
+                    crate::api::shape_ptq_answers(res.answers, &options),
+                    plan,
+                    relevant,
+                )
+            }
+            Query::TopK { pattern, k, .. } => {
+                let qstr = pattern.to_string();
+                let warm = self.state.relevant_cached(&qstr);
+                let ids = self.topk_ids(pattern, &qstr, *k);
+                let plan = planner::choose(options.evaluator, &self.planner_stats(ids.len(), warm));
+                let mut res = self.eval_label(pattern, &ids, plan.evaluator);
+                res.answers.sort_by(|a, b| {
+                    b.probability
+                        .total_cmp(&a.probability)
+                        .then(a.mapping.cmp(&b.mapping))
+                });
+                (
+                    crate::api::shape_ptq_answers(res.answers, &options),
+                    plan,
+                    ids.len(),
+                )
+            }
+            Query::Keyword { terms, .. } => {
+                let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+                let raw = eval_keyword(&refs, &self.pm, &self.doc, &self.state)?;
+                let relevant = raw.len();
+                (
+                    crate::api::shape_keyword_answers(raw, &options),
+                    Plan::only(Evaluator::Naive),
+                    relevant,
+                )
+            }
+        };
+        let after = self.state.stats();
+        Ok(QueryResponse {
+            answers,
+            stats: ExecStats {
+                plan,
+                relevant,
+                rewrite_hits: after.rewrite_hits - before.rewrite_hits,
+                rewrite_misses: after.rewrite_misses - before.rewrite_misses,
+                elapsed_us: start.elapsed().as_micros() as u64,
+            },
+        })
+    }
+
+    /// Algorithm 3 (`query_basic`) — identical to the legacy
+    /// `ptq_basic` free function.
+    #[deprecated(note = "build an api::Query (evaluator hint Naive) and call QueryEngine::run")]
+    pub fn ptq(&self, q: &TwigPattern) -> PtqResult {
+        let ids = self.state.relevant(q, &q.to_string());
+        eval_basic_over(q, &self.pm, &self.doc, &self.state, &ids)
+    }
+
+    /// Algorithm 4 — identical to the legacy `ptq_with_tree` free
+    /// function.
+    #[deprecated(note = "build an api::Query (evaluator hint BlockTree) and call QueryEngine::run")]
+    pub fn ptq_with_tree(&self, q: &TwigPattern) -> PtqResult {
+        let ids = self.state.relevant(q, &q.to_string());
+        eval_tree_over(q, &self.pm, &self.doc, &self.tree, &self.state, &ids)
+    }
+
+    /// Top-k PTQ — identical to the legacy `topk_ptq` free function.
+    #[deprecated(note = "build an api::Query::topk and call QueryEngine::run")]
+    pub fn topk(&self, q: &TwigPattern, k: usize) -> PtqResult {
+        let qstr = q.to_string();
+        let ids = self.topk_ids(q, &qstr, k);
         let mut res = eval_tree_over(q, &self.pm, &self.doc, &self.tree, &self.state, &ids);
         res.answers.sort_by(|a, b| {
             b.probability
@@ -1284,14 +1440,18 @@ impl QueryEngine {
         res
     }
 
-    /// Node-granularity `query_basic` — identical to
-    /// [`crate::path_ptq::ptq_basic_nodes`].
+    /// Node-granularity `query_basic` — identical to the legacy
+    /// `ptq_basic_nodes` free function.
+    #[deprecated(note = "build an api::Query::ptq_nodes (hint Naive) and call QueryEngine::run")]
     pub fn ptq_nodes(&self, q: &TwigPattern) -> PtqResult {
         eval_basic_nodes(q, &self.pm, &self.doc, self.path_index(), &self.state)
     }
 
-    /// Node-granularity block-tree PTQ — identical to
-    /// [`crate::path_ptq::ptq_with_tree_nodes`].
+    /// Node-granularity block-tree PTQ — identical to the legacy
+    /// `ptq_with_tree_nodes` free function.
+    #[deprecated(
+        note = "build an api::Query::ptq_nodes (hint BlockTree) and call QueryEngine::run"
+    )]
     pub fn ptq_with_tree_nodes(&self, q: &TwigPattern) -> PtqResult {
         eval_tree_nodes(
             q,
@@ -1303,16 +1463,21 @@ impl QueryEngine {
         )
     }
 
-    /// Keyword query (SLCA semantics) — identical to
-    /// [`crate::keyword::keyword_query`].
+    /// Keyword query (SLCA semantics) — identical to the legacy
+    /// `keyword_query` free function.
+    #[deprecated(note = "build an api::Query::keyword and call QueryEngine::run")]
     pub fn keyword(&self, keywords: &[&str]) -> Result<Vec<KeywordAnswer>, KeywordError> {
         eval_keyword(keywords, &self.pm, &self.doc, &self.state)
     }
 }
 
 #[cfg(test)]
+// The legacy methods stay under test until they are removed: this module
+// is part of the shim coverage the deprecation gate exempts.
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::api::{EvaluatorHint, Granularity};
     use uxm_matching::Matcher;
     use uxm_xml::DocGenConfig;
 
@@ -1410,6 +1575,109 @@ mod tests {
         assert!(e.relevant_mappings(&q).is_empty());
         assert!(e.ptq(&q).is_empty());
         assert!(e.ptq_with_tree(&q).is_empty());
+    }
+
+    #[test]
+    fn run_matches_legacy_methods_under_every_hint() {
+        let e = engine();
+        let hints = [
+            EvaluatorHint::Auto,
+            EvaluatorHint::Naive,
+            EvaluatorHint::BlockTree,
+        ];
+        for qs in ["PO/Line/Qty", "//Line//No", "//UnitPrice", "PO"] {
+            let q = TwigPattern::parse(qs).unwrap();
+            let legacy = e.ptq_with_tree(&q);
+            for hint in hints {
+                let resp = e.run(&Query::ptq(q.clone()).with_evaluator(hint)).unwrap();
+                assert_eq!(resp.len(), legacy.len(), "{qs} {hint:?}");
+                for (a, l) in resp.answers.iter().zip(legacy.iter()) {
+                    assert_eq!(a.mappings, vec![l.mapping], "{qs} {hint:?}");
+                    assert_eq!(a.matches, l.matches, "{qs} {hint:?}");
+                    assert_eq!(a.probability, l.probability, "{qs} {hint:?}");
+                }
+            }
+            // Top-k and node granularity agree with their legacy methods
+            // too.
+            let top = e.run(&Query::topk(q.clone(), 3)).unwrap();
+            let top_legacy = e.topk(&q, 3);
+            assert_eq!(top.len(), top_legacy.len(), "{qs} topk");
+            for (a, l) in top.answers.iter().zip(top_legacy.iter()) {
+                assert_eq!(
+                    (a.mappings.as_slice(), &a.matches),
+                    (&[l.mapping][..], &l.matches)
+                );
+            }
+            let nodes = e.run(&Query::ptq_nodes(q.clone())).unwrap();
+            let mut nodes_legacy = e.ptq_with_tree_nodes(&q);
+            nodes_legacy.normalize();
+            assert_eq!(nodes.len(), nodes_legacy.len(), "{qs} nodes");
+        }
+    }
+
+    #[test]
+    fn run_reports_plan_and_exec_stats() {
+        let e = engine();
+        let q = TwigPattern::parse("//Line//No").unwrap();
+        let pinned = e
+            .run(&Query::ptq(q.clone()).with_evaluator(EvaluatorHint::Naive))
+            .unwrap();
+        assert_eq!(pinned.stats.plan.evaluator, Evaluator::Naive);
+        assert_eq!(pinned.stats.plan.reason, crate::planner::PlanReason::Pinned);
+        assert_eq!(pinned.stats.relevant, e.relevant_mappings(&q).len());
+        // A repeat of the same query is served from the caches.
+        let warm = e.run(&Query::ptq(q.clone())).unwrap();
+        assert!(
+            warm.stats.rewrite_misses == 0,
+            "second run recomputes nothing"
+        );
+        assert_eq!(warm.answers, pinned.answers);
+    }
+
+    #[test]
+    fn run_distinct_granularity_aggregates_with_provenance() {
+        let e = engine();
+        let q = TwigPattern::parse("//Line//No").unwrap();
+        let per_mapping = e.run(&Query::ptq(q.clone())).unwrap();
+        let distinct = e
+            .run(&Query::ptq(q.clone()).with_granularity(Granularity::Distinct))
+            .unwrap();
+        assert!(distinct.len() <= per_mapping.len());
+        // Mass is conserved and provenance partitions the relevant set.
+        assert!((distinct.total_probability() - per_mapping.total_probability()).abs() < 1e-9);
+        let mut provenance: Vec<MappingId> = distinct
+            .answers
+            .iter()
+            .flat_map(|a| a.mappings.iter().copied())
+            .collect();
+        provenance.sort_unstable();
+        assert_eq!(provenance, e.relevant_mappings(&q));
+        // The threshold drops low-mass answers.
+        let thresholded = e.run(&Query::ptq(q).with_min_probability(1.0)).unwrap();
+        assert!(thresholded.len() <= per_mapping.len());
+        assert!(thresholded.answers.iter().all(|a| a.probability >= 1.0));
+    }
+
+    #[test]
+    fn run_keyword_matches_legacy_and_validates() {
+        let e = engine();
+        let resp = e.run(&Query::keyword(vec!["UnitPrice".into()])).unwrap();
+        let legacy = e.keyword(&["UnitPrice"]).unwrap();
+        assert_eq!(resp.len(), legacy.len());
+        for (a, l) in resp.answers.iter().zip(&legacy) {
+            assert_eq!(a.mappings, vec![l.mapping]);
+            let slcas: Vec<_> = a.matches.iter().map(|m| m.nodes[0]).collect();
+            assert_eq!(slcas, l.slcas);
+        }
+        assert!(matches!(
+            e.run(&Query::keyword(vec![])),
+            Err(UxmError::Keyword(KeywordError::Empty))
+        ));
+        let q = TwigPattern::parse("PO").unwrap();
+        assert!(matches!(
+            e.run(&Query::ptq(q).with_min_probability(2.0)),
+            Err(UxmError::InvalidQuery(_))
+        ));
     }
 
     #[test]

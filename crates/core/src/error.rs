@@ -1,0 +1,147 @@
+//! The crate-wide error type: [`UxmError`].
+//!
+//! Before the unified query API, each query surface failed with its own
+//! type — [`KeywordError`] from keyword evaluation, the registry's
+//! `RegistryError`, [`DecodeError`] from snapshot codecs, and
+//! [`TwigParseError`] from query parsing. [`UxmError`] absorbs all of
+//! them (via `From` impls, so `?` just works), giving every layer — CLI,
+//! registry batches, [`crate::engine::QueryEngine::run`] — one typed
+//! error surface.
+
+use crate::json::JsonError;
+use crate::keyword::KeywordError;
+use crate::storage::DecodeError;
+use std::fmt;
+use uxm_twig::TwigParseError;
+
+/// Any failure the query stack can report.
+///
+/// The variants fold the legacy error types into one enum:
+/// `KeywordError`, `DecodeError`, and `TwigParseError` are wrapped; the
+/// old `RegistryError` variants (`UnknownEngine`, `InvalidName`,
+/// `NoSnapshotDir`, `Io`) are carried directly, so
+/// `uxm_core::registry::RegistryError` is now just a deprecated alias of
+/// this type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UxmError {
+    /// A twig pattern failed to parse.
+    Parse(TwigParseError),
+    /// A keyword query was rejected by the evaluator.
+    Keyword(KeywordError),
+    /// A stored artifact (mapping set or engine snapshot) failed to
+    /// decode.
+    Decode(DecodeError),
+    /// No engine is registered (or snapshotted) under that name.
+    UnknownEngine(String),
+    /// An engine name unusable as a snapshot file stem (path separators,
+    /// `..`, or empty).
+    InvalidName(String),
+    /// Snapshot persistence was requested but no snapshot directory is
+    /// configured.
+    NoSnapshotDir,
+    /// Reading or writing a file failed (the message names the path).
+    Io(String),
+    /// An input artifact (schema outline/XSD, XML document) failed to
+    /// parse; the message names the file.
+    Input(String),
+    /// A batch run completed but some requests failed (each already
+    /// reported individually).
+    Batch {
+        /// How many requests failed.
+        failed: usize,
+    },
+    /// A wire-format document failed to parse or had the wrong shape.
+    Json(String),
+    /// A structurally valid [`crate::api::Query`] with unusable options
+    /// (e.g. a non-finite probability threshold).
+    InvalidQuery(String),
+    /// Malformed command-line usage (CLI layer only).
+    Usage(String),
+}
+
+impl fmt::Display for UxmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UxmError::Parse(e) => write!(f, "query parse: {e}"),
+            UxmError::Keyword(e) => write!(f, "keyword query: {e}"),
+            UxmError::Decode(e) => write!(f, "snapshot decode: {e}"),
+            UxmError::UnknownEngine(n) => write!(f, "no engine named {n:?}"),
+            UxmError::InvalidName(n) => write!(f, "invalid engine name {n:?}"),
+            UxmError::NoSnapshotDir => write!(f, "registry has no snapshot directory"),
+            UxmError::Io(e) => write!(f, "i/o: {e}"),
+            UxmError::Input(e) => write!(f, "input: {e}"),
+            UxmError::Batch { failed } => write!(f, "batch: {failed} request(s) failed"),
+            UxmError::Json(e) => write!(f, "wire format: {e}"),
+            UxmError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+            UxmError::Usage(e) => write!(f, "usage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UxmError {}
+
+impl From<TwigParseError> for UxmError {
+    fn from(e: TwigParseError) -> UxmError {
+        UxmError::Parse(e)
+    }
+}
+
+impl From<KeywordError> for UxmError {
+    fn from(e: KeywordError) -> UxmError {
+        UxmError::Keyword(e)
+    }
+}
+
+impl From<DecodeError> for UxmError {
+    fn from(e: DecodeError) -> UxmError {
+        UxmError::Decode(e)
+    }
+}
+
+impl From<JsonError> for UxmError {
+    fn from(e: JsonError) -> UxmError {
+        UxmError::Json(e.to_string())
+    }
+}
+
+impl UxmError {
+    /// Wraps an I/O failure, prefixing the path it concerned.
+    pub fn io(path: impl fmt::Display, e: std::io::Error) -> UxmError {
+        UxmError::Io(format!("{path}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_absorb_legacy_errors() {
+        let k: UxmError = KeywordError::Empty.into();
+        assert_eq!(k, UxmError::Keyword(KeywordError::Empty));
+        let d: UxmError = DecodeError::BadMagic.into();
+        assert_eq!(d, UxmError::Decode(DecodeError::BadMagic));
+        let p: UxmError = TwigParseError::Empty.into();
+        assert_eq!(p, UxmError::Parse(TwigParseError::Empty));
+        let j: UxmError = crate::json::JsonError {
+            offset: 3,
+            message: "expected ':'",
+        }
+        .into();
+        assert!(matches!(j, UxmError::Json(_)));
+    }
+
+    #[test]
+    fn display_is_prefixed_by_layer() {
+        assert_eq!(
+            UxmError::UnknownEngine("po".into()).to_string(),
+            "no engine named \"po\""
+        );
+        assert!(UxmError::Keyword(KeywordError::Empty)
+            .to_string()
+            .starts_with("keyword query:"));
+        assert!(UxmError::io("f.txt", std::io::Error::other("boom"))
+            .to_string()
+            .contains("f.txt"));
+    }
+}

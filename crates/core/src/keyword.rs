@@ -87,6 +87,10 @@ impl KeywordError {
 ///
 /// Errors with [`KeywordError::Empty`] on an empty keyword list and
 /// [`KeywordError::TooMany`] beyond 64 keywords.
+///
+/// Deprecated shim; build an [`crate::api::Query::keyword`] and call
+/// [`crate::engine::QueryEngine::run`] instead.
+#[deprecated(note = "build an api::Query::keyword and call QueryEngine::run")]
 pub fn keyword_query(
     keywords: &[&str],
     pm: &PossibleMappings,
@@ -99,6 +103,7 @@ pub fn keyword_query(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shim coverage: the legacy wrapper stays under test
 mod tests {
     use super::*;
     use crate::engine::contains_word;

@@ -20,6 +20,15 @@
 //!   entry point evaluates through: interned labels, precomputed
 //!   relevance bitsets, and sharded, thread-safe `(query, mapping)`
 //!   rewrite caches (the engine is `Send + Sync`),
+//! * [`api`] — the unified query surface: the typed [`api::Query`] AST,
+//!   the uniform [`api::QueryResponse`] with provenance and execution
+//!   stats, and its canonical JSON wire format,
+//! * [`planner`] — the cost-aware choice between naive and block-tree
+//!   evaluation, driven by engine statistics unless a query pins it,
+//! * [`error`] — the crate-wide [`error::UxmError`] every layer fails
+//!   with,
+//! * [`json`] — the minimal canonical-JSON support under the wire
+//!   format,
 //! * [`registry`] — the [`registry::EngineRegistry`] serving layer:
 //!   many named engines, concurrent batched queries, LRU eviction under
 //!   a memory budget, and lazy hydration from engine snapshots,
@@ -29,9 +38,11 @@
 //! # Quickstart
 //!
 //! Build a [`engine::QueryEngine`] once per `(mappings, document)`
-//! session and serve queries from it:
+//! session, then serve typed [`api::Query`] requests through
+//! [`engine::QueryEngine::run`] — the one entry point:
 //!
 //! ```
+//! use uxm_core::api::Query;
 //! use uxm_core::block_tree::BlockTreeConfig;
 //! use uxm_core::engine::QueryEngine;
 //! use uxm_core::mapping::PossibleMappings;
@@ -47,28 +58,33 @@
 //!
 //! let engine = QueryEngine::build(pm, doc, &BlockTreeConfig::default());
 //! let q = TwigPattern::parse("PO//ContactName").unwrap();
-//! let full = engine.ptq_with_tree(&q);          // Algorithm 4
-//! let top2 = engine.topk(&q, 2);                // top-k PTQ
+//! let full = engine.run(&Query::ptq(q.clone())).unwrap();
+//! let top2 = engine.run(&Query::topk(q, 2)).unwrap();
 //! // "laptop" matches no target label — a value term, never filtered.
-//! let kw = engine.keyword(&["laptop"]).unwrap();
+//! let kw = engine.run(&Query::keyword(vec!["laptop".into()])).unwrap();
 //! assert!(top2.len() <= full.len());
 //! assert_eq!(kw.len(), engine.mappings().len());
 //! ```
 //!
-//! The free functions ([`ptq_basic`], [`ptq_with_tree`], [`topk_ptq`], …)
-//! remain as thin wrappers building a throwaway session per call.
+//! The legacy free functions (`ptq_basic`, `ptq_with_tree`, `topk_ptq`,
+//! …) remain as **deprecated** shims building a throwaway session per
+//! call; the [`api`] module docs carry the migration table.
 //!
 //! To serve **many** schema-pair/document sessions at once — with
 //! snapshot persistence and a memory budget — put engines behind an
 //! [`registry::EngineRegistry`]; its module docs hold a worked example.
 
+pub mod api;
 pub mod block;
 pub mod block_tree;
 pub mod compress;
 pub mod engine;
+pub mod error;
+pub mod json;
 pub mod keyword;
 pub mod mapping;
 pub mod path_ptq;
+pub mod planner;
 pub mod ptq;
 pub mod ptq_tree;
 pub mod registry;
@@ -78,12 +94,26 @@ pub mod stats;
 pub mod storage;
 pub mod topk;
 
+pub use api::{Answer, EvaluatorHint, Granularity, Query, QueryOptions, QueryResponse};
 pub use block::{Block, BlockId};
 pub use block_tree::{BlockTree, BlockTreeConfig};
 pub use engine::QueryEngine;
-pub use keyword::{keyword_query, KeywordAnswer, KeywordError};
+pub use error::UxmError;
+pub use keyword::{KeywordAnswer, KeywordError};
 pub use mapping::{Mapping, MappingId, PossibleMappings};
-pub use ptq::{ptq_basic, PtqAnswer, PtqResult};
+pub use planner::{Evaluator, Plan, PlanReason};
+pub use ptq::{PtqAnswer, PtqResult};
+pub use registry::{BatchQuery, EngineRegistry, RegistryConfig, Request, Response};
+
+// Legacy one-shot entry points, kept as deprecated shims over the
+// engine (see the `api` module docs for the migration table).
+#[allow(deprecated)]
+pub use keyword::keyword_query;
+#[allow(deprecated)]
+pub use ptq::ptq_basic;
+#[allow(deprecated)]
 pub use ptq_tree::ptq_with_tree;
-pub use registry::{BatchQuery, EngineRegistry, RegistryConfig, RegistryError, Request, Response};
+#[allow(deprecated)]
+pub use registry::RegistryError;
+#[allow(deprecated)]
 pub use topk::topk_ptq;

@@ -94,8 +94,13 @@ pub fn filter_mappings_nodes(q: &TwigPattern, pm: &PossibleMappings) -> Vec<Mapp
 
 /// Node-granularity `query_basic`: rewrite and evaluate per mapping.
 ///
-/// Wrapper over [`crate::engine`] with a throwaway session; long-lived
-/// callers should use [`crate::engine::QueryEngine::ptq_nodes`].
+/// Deprecated shim over [`crate::engine`] with a throwaway session;
+/// build an [`crate::api::Query::ptq_nodes`] with evaluator hint
+/// [`crate::api::EvaluatorHint::Naive`] and call
+/// [`crate::engine::QueryEngine::run`] instead.
+#[deprecated(
+    note = "build an api::Query::ptq_nodes (evaluator hint Naive) and call QueryEngine::run"
+)]
 pub fn ptq_basic_nodes(
     q: &TwigPattern,
     pm: &PossibleMappings,
@@ -113,6 +118,13 @@ pub fn ptq_basic_nodes(
 /// Node candidates pin query nodes to exact source elements, so a block's
 /// answer is valid for precisely `b.M` — no label-uniqueness side
 /// condition is needed (unlike the label-mode evaluator).
+///
+/// Deprecated shim; build an [`crate::api::Query::ptq_nodes`] with
+/// evaluator hint [`crate::api::EvaluatorHint::BlockTree`] and call
+/// [`crate::engine::QueryEngine::run`] instead.
+#[deprecated(
+    note = "build an api::Query::ptq_nodes (evaluator hint BlockTree) and call QueryEngine::run"
+)]
 pub fn ptq_with_tree_nodes(
     q: &TwigPattern,
     pm: &PossibleMappings,
@@ -125,6 +137,7 @@ pub fn ptq_with_tree_nodes(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shim coverage: the legacy wrappers stay under test
 mod tests {
     use super::*;
     use crate::block_tree::BlockTreeConfig;

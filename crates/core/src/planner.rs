@@ -1,0 +1,242 @@
+//! The cost-aware query planner behind
+//! [`QueryEngine::run`](crate::engine::QueryEngine::run).
+//!
+//! The paper exposes *two* PTQ evaluation strategies — naive per-mapping
+//! rewriting (Algorithm 3) and block-tree sharing (Algorithm 4) — and its
+//! experiments (§VI, Fig. 9f/10a–c) show neither dominates: the block
+//! tree wins when many mappings share c-blocks, the naive path wins on
+//! small relevant sets where the tree's split/join machinery is pure
+//! overhead. Under the unified [`crate::api::Query`] surface that choice
+//! is no longer the caller's problem: the planner picks an [`Evaluator`]
+//! from cheap per-query engine statistics ([`PlannerStats`]) unless the
+//! query pins one via [`EvaluatorHint`].
+//!
+//! Both evaluators return answers that are **identical by construction**
+//! (pinned by `tests/engine_equivalence.rs` and the planner differential
+//! suite), so the plan choice is a pure performance decision — it can
+//! never change a result.
+
+use crate::api::EvaluatorHint;
+use std::fmt;
+
+/// How many relevant mappings the naive evaluator handles so cheaply
+/// that the block tree's bookkeeping cannot pay for itself.
+pub const FEW_MAPPINGS_CUTOFF: usize = 8;
+
+/// Minimum average c-block fan-out (mappings sharing a block) for the
+/// tree's answer replication to beat per-mapping evaluation outright.
+pub const SHARED_FANOUT_CUTOFF: f64 = 2.0;
+
+/// A PTQ evaluation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Evaluator {
+    /// Algorithm 3: rewrite and evaluate per mapping.
+    Naive,
+    /// Algorithm 4: share work through the block tree.
+    BlockTree,
+}
+
+impl Evaluator {
+    /// The kebab-case wire name (`naive` / `block-tree`).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Evaluator::Naive => "naive",
+            Evaluator::BlockTree => "block-tree",
+        }
+    }
+}
+
+impl fmt::Display for Evaluator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+/// Why the planner picked its evaluator (reported in
+/// [`crate::api::ExecStats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanReason {
+    /// The query's [`EvaluatorHint`] pinned the evaluator.
+    Pinned,
+    /// The session has no c-blocks; the tree cannot share anything.
+    NoBlocks,
+    /// The relevant mapping set is at most [`FEW_MAPPINGS_CUTOFF`].
+    FewMappings,
+    /// Average c-block fan-out ≥ [`SHARED_FANOUT_CUTOFF`]: block answers
+    /// replicate across many mappings.
+    SharedBlocks,
+    /// The session caches already hold this query's rewrites, removing
+    /// most of what the tree would have saved.
+    WarmCache,
+    /// Default for large relevant sets with modest sharing.
+    ManyMappings,
+    /// The query kind has a single evaluator (keyword queries).
+    OnlyEvaluator,
+}
+
+impl PlanReason {
+    /// The kebab-case wire name.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            PlanReason::Pinned => "pinned",
+            PlanReason::NoBlocks => "no-blocks",
+            PlanReason::FewMappings => "few-mappings",
+            PlanReason::SharedBlocks => "shared-blocks",
+            PlanReason::WarmCache => "warm-cache",
+            PlanReason::ManyMappings => "many-mappings",
+            PlanReason::OnlyEvaluator => "only-evaluator",
+        }
+    }
+}
+
+impl fmt::Display for PlanReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+/// The planner's decision: which evaluator, and why.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Plan {
+    /// The strategy the engine will run.
+    pub evaluator: Evaluator,
+    /// Why it was chosen.
+    pub reason: PlanReason,
+}
+
+impl Plan {
+    /// The fixed plan for query kinds with one evaluator.
+    pub fn only(evaluator: Evaluator) -> Plan {
+        Plan {
+            evaluator,
+            reason: PlanReason::OnlyEvaluator,
+        }
+    }
+}
+
+/// The per-query engine statistics the planner decides from. All of them
+/// are O(1) to read off a [`crate::engine::QueryEngine`] session.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlannerStats {
+    /// `|M_q|` — mappings relevant to this query (after the paper's
+    /// `filter_mappings`; for top-k, after the k-pruning too).
+    pub relevant_mappings: usize,
+    /// Total c-blocks in the session's block tree.
+    pub block_count: usize,
+    /// Average mappings per c-block — the replication factor block
+    /// answers enjoy. `0.0` when there are no blocks.
+    pub avg_block_fanout: f64,
+    /// Whether the session caches already hold this query (its relevant
+    /// set, and with it the memoized rewrites of a previous evaluation).
+    pub cache_warm: bool,
+}
+
+/// Picks the evaluator for one PTQ-shaped query.
+///
+/// A pinned hint always wins. Under [`EvaluatorHint::Auto`] the rules,
+/// in order:
+///
+/// 1. no c-blocks → [`Evaluator::Naive`] (nothing to share);
+/// 2. `relevant_mappings ≤ `[`FEW_MAPPINGS_CUTOFF`] → `Naive` (the
+///    tree's split/join overhead exceeds the work it saves);
+/// 3. `avg_block_fanout ≥ `[`SHARED_FANOUT_CUTOFF`] → `BlockTree`
+///    (block answers replicate across ≥2 mappings on average);
+/// 4. warm caches → `Naive` (rewrites are already memoized, which is
+///    most of what the tree would have shared);
+/// 5. otherwise → `BlockTree` (large `|M_q|`, let rewrite-group sharing
+///    work).
+pub fn choose(hint: EvaluatorHint, stats: &PlannerStats) -> Plan {
+    let pin = |evaluator| Plan {
+        evaluator,
+        reason: PlanReason::Pinned,
+    };
+    let auto = |evaluator, reason| Plan { evaluator, reason };
+    match hint {
+        EvaluatorHint::Naive => pin(Evaluator::Naive),
+        EvaluatorHint::BlockTree => pin(Evaluator::BlockTree),
+        EvaluatorHint::Auto => {
+            if stats.block_count == 0 {
+                auto(Evaluator::Naive, PlanReason::NoBlocks)
+            } else if stats.relevant_mappings <= FEW_MAPPINGS_CUTOFF {
+                auto(Evaluator::Naive, PlanReason::FewMappings)
+            } else if stats.avg_block_fanout >= SHARED_FANOUT_CUTOFF {
+                auto(Evaluator::BlockTree, PlanReason::SharedBlocks)
+            } else if stats.cache_warm {
+                auto(Evaluator::Naive, PlanReason::WarmCache)
+            } else {
+                auto(Evaluator::BlockTree, PlanReason::ManyMappings)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(relevant: usize, blocks: usize, fanout: f64, warm: bool) -> PlannerStats {
+        PlannerStats {
+            relevant_mappings: relevant,
+            block_count: blocks,
+            avg_block_fanout: fanout,
+            cache_warm: warm,
+        }
+    }
+
+    #[test]
+    fn pinned_hints_always_win() {
+        let s = stats(1000, 0, 0.0, true); // auto would say Naive
+        assert_eq!(
+            choose(EvaluatorHint::BlockTree, &s),
+            Plan {
+                evaluator: Evaluator::BlockTree,
+                reason: PlanReason::Pinned
+            }
+        );
+        assert_eq!(
+            choose(EvaluatorHint::Naive, &stats(1000, 50, 10.0, false)).evaluator,
+            Evaluator::Naive
+        );
+    }
+
+    #[test]
+    fn auto_rules_in_order() {
+        let c = |s: &PlannerStats| choose(EvaluatorHint::Auto, s);
+        assert_eq!(c(&stats(100, 0, 0.0, false)).reason, PlanReason::NoBlocks);
+        assert_eq!(
+            c(&stats(FEW_MAPPINGS_CUTOFF, 40, 10.0, false)).reason,
+            PlanReason::FewMappings
+        );
+        assert_eq!(
+            c(&stats(100, 40, 5.0, true)).reason,
+            PlanReason::SharedBlocks
+        );
+        assert_eq!(c(&stats(100, 40, 1.2, true)).reason, PlanReason::WarmCache);
+        assert_eq!(
+            c(&stats(100, 40, 1.2, false)).reason,
+            PlanReason::ManyMappings
+        );
+    }
+
+    #[test]
+    fn reasons_map_to_evaluators() {
+        let c = |s: &PlannerStats| choose(EvaluatorHint::Auto, s);
+        assert_eq!(c(&stats(100, 0, 0.0, false)).evaluator, Evaluator::Naive);
+        assert_eq!(c(&stats(2, 40, 10.0, false)).evaluator, Evaluator::Naive);
+        assert_eq!(
+            c(&stats(100, 40, 5.0, false)).evaluator,
+            Evaluator::BlockTree
+        );
+        assert_eq!(c(&stats(100, 40, 1.0, true)).evaluator, Evaluator::Naive);
+        assert_eq!(
+            c(&stats(100, 40, 1.0, false)).evaluator,
+            Evaluator::BlockTree
+        );
+    }
+
+    #[test]
+    fn wire_names_are_kebab_case() {
+        assert_eq!(Evaluator::BlockTree.wire_name(), "block-tree");
+        assert_eq!(PlanReason::SharedBlocks.to_string(), "shared-blocks");
+    }
+}

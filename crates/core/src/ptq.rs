@@ -76,9 +76,11 @@ impl PtqResult {
 /// Algorithm 3 (`query_basic`): filter irrelevant mappings, then rewrite
 /// and evaluate the query independently per mapping.
 ///
-/// Wrapper over [`crate::engine`] with a throwaway session; long-lived
-/// callers should hold a [`crate::engine::QueryEngine`] instead and get
-/// rewrite/relevance caching across queries for free.
+/// Deprecated shim over [`crate::engine`] with a throwaway session;
+/// build an [`crate::api::Query`] with evaluator hint
+/// [`crate::api::EvaluatorHint::Naive`] and call
+/// [`crate::engine::QueryEngine::run`] instead.
+#[deprecated(note = "build an api::Query (evaluator hint Naive) and call QueryEngine::run")]
 pub fn ptq_basic(q: &TwigPattern, pm: &PossibleMappings, doc: &Document) -> PtqResult {
     let state = SessionState::build(pm, doc);
     let ids = state.relevant(q, &q.to_string());
@@ -87,6 +89,7 @@ pub fn ptq_basic(q: &TwigPattern, pm: &PossibleMappings, doc: &Document) -> PtqR
 
 /// Algorithm 3 restricted to a pre-filtered mapping subset (shared by the
 /// top-k evaluator).
+#[deprecated(note = "build an api::Query and call QueryEngine::run")]
 pub fn ptq_basic_over(
     q: &TwigPattern,
     pm: &PossibleMappings,
@@ -98,6 +101,7 @@ pub fn ptq_basic_over(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shim coverage: the legacy wrappers stay under test
 mod tests {
     use super::*;
     use uxm_xml::{parse_document, Schema, SchemaNodeId};

@@ -28,7 +28,11 @@ use uxm_xml::Document;
 
 /// Algorithm 4: PTQ evaluation accelerated by the block tree.
 ///
-/// Produces exactly the same result as [`crate::ptq::ptq_basic`].
+/// Produces exactly the same result as the legacy `ptq_basic`; build an
+/// [`crate::api::Query`] with evaluator hint
+/// [`crate::api::EvaluatorHint::BlockTree`] and call
+/// [`crate::engine::QueryEngine::run`] instead.
+#[deprecated(note = "build an api::Query (evaluator hint BlockTree) and call QueryEngine::run")]
 pub fn ptq_with_tree(
     q: &TwigPattern,
     pm: &PossibleMappings,
@@ -42,6 +46,7 @@ pub fn ptq_with_tree(
 
 /// [`ptq_with_tree`] over a pre-filtered mapping subset (shared with the
 /// top-k evaluator).
+#[deprecated(note = "build an api::Query and call QueryEngine::run")]
 pub fn ptq_with_tree_over(
     q: &TwigPattern,
     pm: &PossibleMappings,
@@ -54,6 +59,7 @@ pub fn ptq_with_tree_over(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shim coverage: the legacy wrappers stay under test
 mod tests {
     use super::*;
     use crate::block_tree::BlockTreeConfig;

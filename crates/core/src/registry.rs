@@ -9,6 +9,12 @@
 //! memory under a configurable budget by evicting the least-recently-used
 //! engines.
 //!
+//! The registry speaks the unified query surface of [`crate::api`]: a
+//! batch item is an engine name plus a typed [`Query`] ([`BatchQuery`]),
+//! every answer is a [`QueryResponse`], every failure a
+//! [`UxmError`] — exactly the wire format `uxm batch` files carry (see
+//! [`BatchQuery::from_json`]).
+//!
 //! Engines can also live on disk as snapshots (see
 //! [`crate::storage::encode_engine_snapshot`]): point the registry at a
 //! snapshot directory and [`EngineRegistry::fetch`] lazily hydrates
@@ -16,10 +22,11 @@
 //! warms up from disk instead of re-matching schemas.
 //!
 //! ```
+//! use uxm_core::api::Query;
 //! use uxm_core::block_tree::BlockTreeConfig;
 //! use uxm_core::engine::QueryEngine;
 //! use uxm_core::mapping::PossibleMappings;
-//! use uxm_core::registry::{BatchQuery, EngineRegistry, Request, Response};
+//! use uxm_core::registry::{BatchQuery, EngineRegistry};
 //! use uxm_matching::Matcher;
 //! use uxm_twig::TwigPattern;
 //! use uxm_xml::{DocGenConfig, Document, Schema};
@@ -49,23 +56,22 @@
 //!
 //! // One batch, many engines; answers come back in request order.
 //! let answers = registry.batch(&[
-//!     BatchQuery::ptq("orders", TwigPattern::parse("//UnitPrice").unwrap()),
-//!     BatchQuery::topk("orders", TwigPattern::parse("//Line//Qty").unwrap(), 2),
-//!     BatchQuery::ptq("invoices", TwigPattern::parse("//Total").unwrap()),
+//!     BatchQuery::new("orders", Query::ptq(TwigPattern::parse("//UnitPrice").unwrap())),
+//!     BatchQuery::new("orders", Query::topk(TwigPattern::parse("//Line//Qty").unwrap(), 2)),
+//!     BatchQuery::new("invoices", Query::ptq(TwigPattern::parse("//Total").unwrap())),
 //! ]);
 //! assert_eq!(answers.len(), 3);
 //! for a in &answers {
-//!     match a.as_ref().unwrap() {
-//!         Response::Ptq(r) => assert!(r.total_probability() > 0.0),
-//!         Response::Keyword(_) => unreachable!(),
-//!     }
+//!     let response = a.as_ref().unwrap();
+//!     assert!(response.total_probability() > 0.0);
 //! }
 //! ```
 
+use crate::api::{Query, QueryResponse};
 use crate::engine::{par_run, QueryEngine};
-use crate::keyword::{KeywordAnswer, KeywordError};
-use crate::ptq::PtqResult;
-use crate::storage::{decode_engine_snapshot, encode_engine_snapshot, DecodeError};
+use crate::error::UxmError;
+use crate::json::Json;
+use crate::storage::{decode_engine_snapshot, encode_engine_snapshot};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -85,116 +91,114 @@ pub struct RegistryConfig {
     pub memory_budget: usize,
 }
 
-/// Registry operation failures.
-#[derive(Clone, Debug, PartialEq)]
-pub enum RegistryError {
-    /// No resident engine under that name, and no snapshot to hydrate.
-    UnknownEngine(String),
-    /// A name unusable as a snapshot file stem (path separators, `..`,
-    /// or empty).
-    InvalidName(String),
-    /// Snapshot persistence was requested but the registry has no
-    /// snapshot directory configured.
-    NoSnapshotDir,
-    /// Reading or writing a snapshot file failed.
-    Io(String),
-    /// A snapshot file exists but does not decode.
-    Decode(DecodeError),
-    /// A keyword request was rejected by the engine.
-    Keyword(KeywordError),
-}
+/// The registry's old error type, absorbed into the crate-wide
+/// [`UxmError`] (variant for variant).
+#[deprecated(note = "use uxm_core::UxmError")]
+pub type RegistryError = UxmError;
 
-impl fmt::Display for RegistryError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RegistryError::UnknownEngine(n) => write!(f, "no engine named {n:?}"),
-            RegistryError::InvalidName(n) => write!(f, "invalid engine name {n:?}"),
-            RegistryError::NoSnapshotDir => write!(f, "registry has no snapshot directory"),
-            RegistryError::Io(e) => write!(f, "snapshot i/o: {e}"),
-            RegistryError::Decode(e) => write!(f, "snapshot decode: {e}"),
-            RegistryError::Keyword(e) => write!(f, "keyword query: {e}"),
-        }
-    }
-}
+/// The request shape a registry batch carries: the typed [`Query`] of
+/// [`crate::api`].
+pub type Request = Query;
 
-impl std::error::Error for RegistryError {}
+/// The answer shape: the uniform [`QueryResponse`] of [`crate::api`].
+pub type Response = QueryResponse;
 
 /// One request of a [`EngineRegistry::batch`] call: an engine name plus
-/// what to ask it.
-#[derive(Clone, Debug)]
+/// the typed [`Query`] to ask it.
+#[derive(Clone, Debug, PartialEq)]
 pub struct BatchQuery {
     /// Which engine serves this request.
     pub engine: String,
     /// The query itself.
-    pub request: Request,
+    pub query: Query,
 }
 
 impl BatchQuery {
-    /// A block-tree PTQ (Algorithm 4) request.
-    pub fn ptq(engine: impl Into<String>, q: TwigPattern) -> BatchQuery {
+    /// Pairs an engine name with a query.
+    pub fn new(engine: impl Into<String>, query: Query) -> BatchQuery {
         BatchQuery {
             engine: engine.into(),
-            request: Request::Ptq(q),
+            query,
         }
     }
 
-    /// A basic PTQ (Algorithm 3) request.
+    /// A PTQ request pinned to the block tree (Algorithm 4) — the legacy
+    /// `ptq` request kind.
+    pub fn ptq(engine: impl Into<String>, q: TwigPattern) -> BatchQuery {
+        BatchQuery::new(
+            engine,
+            Query::ptq(q).with_evaluator(crate::api::EvaluatorHint::BlockTree),
+        )
+    }
+
+    /// A PTQ request pinned to naive evaluation (Algorithm 3) — the
+    /// legacy `basic` request kind.
     pub fn basic(engine: impl Into<String>, q: TwigPattern) -> BatchQuery {
-        BatchQuery {
-            engine: engine.into(),
-            request: Request::Basic(q),
-        }
+        BatchQuery::new(
+            engine,
+            Query::ptq(q).with_evaluator(crate::api::EvaluatorHint::Naive),
+        )
     }
 
     /// A top-k PTQ request.
     pub fn topk(engine: impl Into<String>, q: TwigPattern, k: usize) -> BatchQuery {
-        BatchQuery {
-            engine: engine.into(),
-            request: Request::TopK(q, k),
-        }
+        BatchQuery::new(engine, Query::topk(q, k))
     }
 
     /// A keyword (SLCA) request.
     pub fn keyword(engine: impl Into<String>, terms: Vec<String>) -> BatchQuery {
-        BatchQuery {
-            engine: engine.into(),
-            request: Request::Keyword(terms),
-        }
+        BatchQuery::new(engine, Query::keyword(terms))
     }
-}
 
-/// The query kinds a registry batch can carry — one per
-/// [`QueryEngine`] entry point.
-#[derive(Clone, Debug)]
-pub enum Request {
-    /// Block-tree PTQ ([`QueryEngine::ptq_with_tree`]).
-    Ptq(TwigPattern),
-    /// Basic PTQ ([`QueryEngine::ptq`]).
-    Basic(TwigPattern),
-    /// Top-k PTQ ([`QueryEngine::topk`]).
-    TopK(TwigPattern, usize),
-    /// Keyword query ([`QueryEngine::keyword`]).
-    Keyword(Vec<String>),
-}
-
-impl fmt::Display for Request {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Request::Ptq(q) => write!(f, "ptq {q}"),
-            Request::Basic(q) => write!(f, "basic {q}"),
-            Request::TopK(q, k) => write!(f, "topk {k} {q}"),
-            Request::Keyword(terms) => write!(f, "keyword {}", terms.join(" ")),
-        }
+    /// The canonical JSON form: `{"engine":...,"query":{...}}` — one
+    /// line of a `uxm batch` file.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("engine".into(), Json::str(&self.engine)),
+            ("query".into(), self.query.to_json()),
+        ])
     }
-}
 
-/// A successful batch answer.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Response {
-    /// Answer to any PTQ-shaped request.
-    Ptq(PtqResult),
-    /// Answer to a keyword request.
-    Keyword(Vec<KeywordAnswer>),
+    /// [`BatchQuery::to_json`] rendered canonically.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parses the canonical JSON form (strict: unknown keys rejected).
+    pub fn from_json(v: &Json) -> Result<BatchQuery, UxmError> {
+        let members = v
+            .as_obj()
+            .ok_or_else(|| UxmError::Json("batch request must be an object".into()))?;
+        let mut engine: Option<String> = None;
+        let mut query: Option<Query> = None;
+        for (key, val) in members {
+            match key.as_str() {
+                "engine" => {
+                    engine = Some(
+                        val.as_str()
+                            .ok_or_else(|| UxmError::Json("engine must be a string".into()))?
+                            .to_string(),
+                    )
+                }
+                "query" => query = Some(Query::from_json(val)?),
+                other => {
+                    return Err(UxmError::Json(format!(
+                        "unknown batch request key {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(BatchQuery {
+            engine: engine
+                .ok_or_else(|| UxmError::Json("batch request needs an \"engine\"".into()))?,
+            query: query.ok_or_else(|| UxmError::Json("batch request needs a \"query\"".into()))?,
+        })
+    }
+
+    /// Parses one batch-file line.
+    pub fn from_json_str(text: &str) -> Result<BatchQuery, UxmError> {
+        BatchQuery::from_json(&Json::parse(text)?)
+    }
 }
 
 struct Entry {
@@ -286,40 +290,37 @@ impl EngineRegistry {
     /// not resident. Two threads racing on the same cold name may both
     /// decode the snapshot; the engines are identical and one wins the
     /// map slot — harmless beyond the duplicated work.
-    pub fn fetch(&self, name: &str) -> Result<Arc<QueryEngine>, RegistryError> {
+    pub fn fetch(&self, name: &str) -> Result<Arc<QueryEngine>, UxmError> {
         if let Some(engine) = self.get(name) {
             return Ok(engine);
         }
         let path = match self.snapshot_path(name) {
             // Nowhere to hydrate from: the name is simply unknown.
-            Err(RegistryError::NoSnapshotDir) => {
-                return Err(RegistryError::UnknownEngine(name.to_string()))
-            }
+            Err(UxmError::NoSnapshotDir) => return Err(UxmError::UnknownEngine(name.to_string())),
             other => other?,
         };
         let bytes = std::fs::read(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
-                RegistryError::UnknownEngine(name.to_string())
+                UxmError::UnknownEngine(name.to_string())
             } else {
-                RegistryError::Io(format!("{}: {e}", path.display()))
+                UxmError::io(path.display(), e)
             }
         })?;
-        let engine = decode_engine_snapshot(&bytes).map_err(RegistryError::Decode)?;
+        let engine = decode_engine_snapshot(&bytes)?;
         Ok(self.insert(name, engine))
     }
 
     /// Writes `name`'s snapshot to `<dir>/<name>.uxm`, creating the
     /// directory if needed. Returns the file path.
-    pub fn save(&self, name: &str) -> Result<PathBuf, RegistryError> {
+    pub fn save(&self, name: &str) -> Result<PathBuf, UxmError> {
         let engine = self
             .get(name)
-            .ok_or_else(|| RegistryError::UnknownEngine(name.to_string()))?;
+            .ok_or_else(|| UxmError::UnknownEngine(name.to_string()))?;
         let path = self.snapshot_path(name)?;
         let dir = path.parent().expect("snapshot path has a directory");
-        std::fs::create_dir_all(dir)
-            .map_err(|e| RegistryError::Io(format!("{}: {e}", dir.display())))?;
+        std::fs::create_dir_all(dir).map_err(|e| UxmError::io(dir.display(), e))?;
         std::fs::write(&path, encode_engine_snapshot(&engine))
-            .map_err(|e| RegistryError::Io(format!("{}: {e}", path.display())))?;
+            .map_err(|e| UxmError::io(path.display(), e))?;
         Ok(path)
     }
 
@@ -328,12 +329,12 @@ impl EngineRegistry {
     /// skipped, not errors: one evicted by another thread mid-call
     /// (`UnknownEngine`), or one registered under a name unusable as a
     /// file stem (`InvalidName` — `insert` accepts any name).
-    pub fn save_all(&self) -> Result<Vec<PathBuf>, RegistryError> {
+    pub fn save_all(&self) -> Result<Vec<PathBuf>, UxmError> {
         let mut out = Vec::new();
         for name in self.names() {
             match self.save(&name) {
                 Ok(path) => out.push(path),
-                Err(RegistryError::UnknownEngine(_) | RegistryError::InvalidName(_)) => {}
+                Err(UxmError::UnknownEngine(_) | UxmError::InvalidName(_)) => {}
                 Err(e) => return Err(e),
             }
         }
@@ -380,8 +381,10 @@ impl EngineRegistry {
         self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Answers a whole batch; answers come back in request order. Each
-    /// distinct engine is resolved once (hydrating cold ones from disk).
+    /// Answers a whole batch through
+    /// [`QueryEngine::run`](crate::engine::QueryEngine::run); answers
+    /// come back in request order. Each distinct engine is resolved once
+    /// (hydrating cold ones from disk).
     ///
     /// With no memory budget, engines hydrate and requests evaluate with
     /// full fan-out (scoped threads under the `parallel` feature;
@@ -392,7 +395,7 @@ impl EngineRegistry {
     /// resident memory stays bounded by the budget plus the engine
     /// currently being served — a batch naming more engines than the
     /// budget fits cannot blow past it.
-    pub fn batch(&self, queries: &[BatchQuery]) -> Vec<Result<Response, RegistryError>> {
+    pub fn batch(&self, queries: &[BatchQuery]) -> Vec<Result<QueryResponse, UxmError>> {
         // One group of request indices per distinct engine, in
         // first-appearance order.
         let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
@@ -414,7 +417,7 @@ impl EngineRegistry {
             return par_run(queries.len(), |i| {
                 match &engines[group_of[queries[i].engine.as_str()]] {
                     Err(e) => Err(e.clone()),
-                    Ok(engine) => run_request(engine, &queries[i].request),
+                    Ok(engine) => engine.run(&queries[i].query),
                 }
             });
         }
@@ -422,12 +425,12 @@ impl EngineRegistry {
         // Budgeted: one engine group at a time; the handle drops before
         // the next group hydrates, so only the registry's (budgeted)
         // residency carries engines between groups.
-        let mut out: Vec<Option<Result<Response, RegistryError>>> = vec![None; queries.len()];
+        let mut out: Vec<Option<Result<QueryResponse, UxmError>>> = vec![None; queries.len()];
         for (name, idxs) in &groups {
             let engine = self.fetch(name);
             let answers = par_run(idxs.len(), |k| match &engine {
                 Err(e) => Err(e.clone()),
-                Ok(engine) => run_request(engine, &queries[idxs[k]].request),
+                Ok(engine) => engine.run(&queries[idxs[k]].query),
             });
             for (&i, a) in idxs.iter().zip(answers) {
                 out[i] = Some(a);
@@ -440,16 +443,16 @@ impl EngineRegistry {
 
     /// `<dir>/<name>.uxm`, rejecting names that would escape the
     /// directory.
-    fn snapshot_path(&self, name: &str) -> Result<PathBuf, RegistryError> {
+    fn snapshot_path(&self, name: &str) -> Result<PathBuf, UxmError> {
         // ':' also guards Windows drive-prefixed names ("C:evil"), whose
         // join would replace the base directory outright.
         if name.is_empty() || name.contains(['/', '\\', ':']) || name.contains("..") {
-            return Err(RegistryError::InvalidName(name.to_string()));
+            return Err(UxmError::InvalidName(name.to_string()));
         }
         let dir: &Path = self
             .snapshot_dir
             .as_deref()
-            .ok_or(RegistryError::NoSnapshotDir)?;
+            .ok_or(UxmError::NoSnapshotDir)?;
         Ok(dir.join(format!("{name}.uxm")))
     }
 
@@ -496,22 +499,11 @@ impl fmt::Debug for EngineRegistry {
     }
 }
 
-fn run_request(engine: &QueryEngine, request: &Request) -> Result<Response, RegistryError> {
-    Ok(match request {
-        Request::Ptq(q) => Response::Ptq(engine.ptq_with_tree(q)),
-        Request::Basic(q) => Response::Ptq(engine.ptq(q)),
-        Request::TopK(q, k) => Response::Ptq(engine.topk(q, *k)),
-        Request::Keyword(terms) => {
-            let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
-            Response::Keyword(engine.keyword(&refs).map_err(RegistryError::Keyword)?)
-        }
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::block_tree::BlockTreeConfig;
+    use crate::keyword::KeywordError;
     use crate::mapping::PossibleMappings;
     use uxm_matching::Matcher;
     use uxm_xml::{DocGenConfig, Document, Schema};
@@ -551,27 +543,30 @@ mod tests {
     }
 
     #[test]
-    fn batch_matches_direct_calls() {
+    fn batch_matches_direct_runs() {
         let registry = EngineRegistry::new();
         let handle = registry.insert("po", engine(3));
         let q = uxm_twig::TwigPattern::parse("PO//Qty").unwrap();
-        let answers = registry.batch(&[
+        let requests = [
             BatchQuery::ptq("po", q.clone()),
             BatchQuery::basic("po", q.clone()),
             BatchQuery::topk("po", q.clone(), 3),
             BatchQuery::keyword("po", vec!["Qty".to_string()]),
             BatchQuery::ptq("nope", q.clone()),
-        ]);
-        assert_eq!(answers[0], Ok(Response::Ptq(handle.ptq_with_tree(&q))));
-        assert_eq!(answers[1], Ok(Response::Ptq(handle.ptq(&q))));
-        assert_eq!(answers[2], Ok(Response::Ptq(handle.topk(&q, 3))));
+        ];
+        let answers = registry.batch(&requests);
+        for (req, answer) in requests.iter().take(4).zip(&answers) {
+            let direct = handle.run(&req.query).unwrap();
+            assert_eq!(
+                answer.as_ref().unwrap().answers,
+                direct.answers,
+                "batch {} differs from direct run",
+                req.query
+            );
+        }
         assert_eq!(
-            answers[3],
-            Ok(Response::Keyword(handle.keyword(&["Qty"]).unwrap()))
-        );
-        assert_eq!(
-            answers[4],
-            Err(RegistryError::UnknownEngine("nope".to_string()))
+            answers[4].clone().unwrap_err(),
+            UxmError::UnknownEngine("nope".to_string())
         );
     }
 
@@ -580,7 +575,28 @@ mod tests {
         let registry = EngineRegistry::new();
         registry.insert("po", engine(4));
         let answers = registry.batch(&[BatchQuery::keyword("po", vec![])]);
-        assert_eq!(answers[0], Err(RegistryError::Keyword(KeywordError::Empty)));
+        assert_eq!(
+            answers[0].clone().unwrap_err(),
+            UxmError::Keyword(KeywordError::Empty)
+        );
+    }
+
+    #[test]
+    fn batch_query_json_roundtrip_is_byte_stable() {
+        let q = uxm_twig::TwigPattern::parse("PO/Line[./No]//Qty").unwrap();
+        for request in [
+            BatchQuery::ptq("po", q.clone()),
+            BatchQuery::basic("orders", q.clone()),
+            BatchQuery::topk("po", q.clone(), 7),
+            BatchQuery::keyword("po", vec!["Qty".into(), "order".into()]),
+        ] {
+            let once = request.to_json_string();
+            let parsed = BatchQuery::from_json_str(&once).unwrap();
+            assert_eq!(parsed, request);
+            assert_eq!(parsed.to_json_string(), once, "byte-stable: {once}");
+        }
+        assert!(BatchQuery::from_json_str("{\"engine\":\"po\"}").is_err());
+        assert!(BatchQuery::from_json_str("{\"query\":{},\"engine\":\"po\",\"x\":1}").is_err());
     }
 
     #[test]
@@ -621,8 +637,12 @@ mod tests {
         let restarted = EngineRegistry::new().snapshot_dir(&dir);
         assert!(restarted.get("po").is_none(), "not resident yet");
         let q = uxm_twig::TwigPattern::parse("PO//Amount").unwrap();
-        let answers = restarted.batch(&[BatchQuery::ptq("po", q.clone())]);
-        assert_eq!(answers[0], Ok(Response::Ptq(original.ptq_with_tree(&q))));
+        let request = BatchQuery::ptq("po", q.clone());
+        let answers = restarted.batch(std::slice::from_ref(&request));
+        assert_eq!(
+            answers[0].as_ref().unwrap().answers,
+            original.run(&request.query).unwrap().answers
+        );
         assert_eq!(restarted.len(), 1, "hydrated engine is now resident");
 
         std::fs::remove_dir_all(&dir).unwrap();
@@ -632,16 +652,16 @@ mod tests {
     fn save_requires_dir_and_valid_names() {
         let registry = EngineRegistry::new();
         registry.insert("po", engine(11));
-        assert_eq!(registry.save("po"), Err(RegistryError::NoSnapshotDir));
+        assert_eq!(registry.save("po"), Err(UxmError::NoSnapshotDir));
         let with_dir = EngineRegistry::new().snapshot_dir(scratch_dir("names"));
         with_dir.insert("../evil", engine(12));
         assert_eq!(
             with_dir.save("../evil"),
-            Err(RegistryError::InvalidName("../evil".to_string()))
+            Err(UxmError::InvalidName("../evil".to_string()))
         );
         assert_eq!(
             with_dir.fetch("a/b").unwrap_err(),
-            RegistryError::InvalidName("a/b".to_string())
+            UxmError::InvalidName("a/b".to_string())
         );
     }
 
@@ -653,7 +673,7 @@ mod tests {
         let registry = EngineRegistry::new().snapshot_dir(&dir);
         assert!(matches!(
             registry.fetch("bad").unwrap_err(),
-            RegistryError::Decode(_)
+            UxmError::Decode(_)
         ));
         std::fs::remove_dir_all(&dir).unwrap();
     }

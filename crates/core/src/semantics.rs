@@ -64,6 +64,7 @@ pub fn expected_count(result: &PtqResult) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // fixtures built through the legacy wrappers
 mod tests {
     use super::*;
     use crate::mapping::PossibleMappings;

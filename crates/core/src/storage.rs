@@ -684,8 +684,12 @@ mod tests {
             assert_eq!(back.tree().blocks(), engine.tree().blocks());
             assert_eq!(back.document().len(), engine.document().len());
             for qs in ["PO//Qty", "PO/Line", "//Amount"] {
-                let q = TwigPattern::parse(qs).unwrap();
-                assert_eq!(back.ptq_with_tree(&q), engine.ptq_with_tree(&q), "{qs}");
+                let query = crate::api::Query::ptq(TwigPattern::parse(qs).unwrap());
+                assert_eq!(
+                    back.run(&query).unwrap().answers,
+                    engine.run(&query).unwrap().answers,
+                    "{qs}"
+                );
             }
         }
     }

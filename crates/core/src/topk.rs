@@ -16,8 +16,10 @@ use uxm_xml::Document;
 /// Evaluates a top-k PTQ with the block tree: filter, keep the k
 /// most-probable mappings, then evaluate only those.
 ///
-/// Wrapper over [`crate::engine`] with a throwaway session; long-lived
-/// callers should use [`crate::engine::QueryEngine::topk`].
+/// Deprecated shim over [`crate::engine`] with a throwaway session;
+/// build an [`crate::api::Query::topk`] and call
+/// [`crate::engine::QueryEngine::run`] instead.
+#[deprecated(note = "build an api::Query::topk and call QueryEngine::run")]
 pub fn topk_ptq(
     q: &TwigPattern,
     pm: &PossibleMappings,
@@ -50,6 +52,7 @@ pub fn topk_mappings(q: &TwigPattern, pm: &PossibleMappings, k: usize) -> Vec<Ma
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shim coverage: the legacy wrappers stay under test
 mod tests {
     use super::*;
     use crate::block_tree::{BlockTree, BlockTreeConfig};

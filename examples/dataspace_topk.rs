@@ -7,6 +7,7 @@
 //! ```
 
 use std::time::Instant;
+use uxm::core::api::Query;
 use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
 use uxm::core::engine::QueryEngine;
 use uxm::core::mapping::PossibleMappings;
@@ -49,23 +50,26 @@ fn main() {
     println!("source document: {} nodes\n", doc.len());
     let engine = QueryEngine::new(mappings, doc, tree);
 
-    // Q10, full vs top-k.
+    // Q10, full vs top-k, through the unified entry point (the planner
+    // picks the evaluator; the response reports its choice).
     let q = paper_query(10);
     println!("query Q10: {q}");
 
     let t0 = Instant::now();
-    let full = engine.ptq_with_tree(&q);
+    let full = engine.run(&Query::ptq(q.clone())).unwrap();
     let t_full = t0.elapsed();
     println!(
-        "full PTQ: {} answers in {:.2} ms (probability mass {:.2})",
+        "full PTQ: {} answers in {:.2} ms (probability mass {:.2}, plan {} — {})",
         full.len(),
         t_full.as_secs_f64() * 1e3,
-        full.total_probability()
+        full.total_probability(),
+        full.stats.plan.evaluator,
+        full.stats.plan.reason,
     );
 
     for k in [5, 10, 25] {
         let t0 = Instant::now();
-        let top = engine.topk(&q, k);
+        let top = engine.run(&Query::topk(q.clone(), k)).unwrap();
         let t_top = t0.elapsed();
         println!(
             "top-{k:<3} PTQ: {} answers in {:.2} ms ({:.0}% of full time)",

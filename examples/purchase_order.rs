@@ -12,7 +12,6 @@
 use uxm::core::block_tree::BlockTreeConfig;
 use uxm::core::engine::QueryEngine;
 use uxm::core::mapping::PossibleMappings;
-use uxm::core::ptq::ptq_basic;
 use uxm::prelude::*;
 use uxm::xml::parse_document;
 
@@ -60,21 +59,8 @@ fn main() {
         ],
     );
 
-    // The introduction's query: Q = //IP//ICN.
-    let q = TwigPattern::parse("//INVOICE_PARTY//CONTACT_NAME").unwrap();
-    println!("query: {q}\n");
-
-    let result = ptq_basic(&q, &mappings, &doc);
-    println!("PTQ answers (one per relevant mapping):");
-    for a in result.iter() {
-        for m in &a.matches {
-            let name = doc.text(m.nodes[1]).unwrap_or("?");
-            println!("  ({name:?}, {:.1})", a.probability);
-        }
-    }
-
-    // The same through a block-tree query session — identical answers,
-    // shared work, and cached rewrites for any follow-up queries.
+    // The introduction's query: Q = //IP//ICN, asked through the unified
+    // entry point — one session, one typed query, one response shape.
     let engine = QueryEngine::build(
         mappings,
         doc,
@@ -83,10 +69,31 @@ fn main() {
             ..BlockTreeConfig::default()
         },
     );
-    let via_tree = engine.ptq_with_tree(&q);
-    assert_eq!(result, via_tree);
+    let q = TwigPattern::parse("//INVOICE_PARTY//CONTACT_NAME").unwrap();
+    let query = Query::ptq(q);
+    println!("query: {query}\n");
+
+    let response = engine.run(&query).unwrap();
+    let doc = engine.document();
+    println!("PTQ answers (one per relevant mapping):");
+    for a in &response.answers {
+        for m in &a.matches {
+            let name = doc.text(m.nodes[1]).unwrap_or("?");
+            println!("  ({name:?}, {:.1})", a.probability);
+        }
+    }
+
+    // The planner picked an evaluation strategy; pinning either one
+    // returns identical answers — the choice is pure performance.
+    for hint in [EvaluatorHint::Naive, EvaluatorHint::BlockTree] {
+        let pinned = engine.run(&query.clone().with_evaluator(hint)).unwrap();
+        assert_eq!(response.answers, pinned.answers);
+    }
     println!(
-        "\nblock tree: {} c-blocks; block-tree evaluation returned identical answers",
-        engine.tree().block_count()
+        "\nblock tree: {} c-blocks; auto plan chose {} ({}); both pinned \
+         evaluators returned identical answers",
+        engine.tree().block_count(),
+        response.stats.plan.evaluator,
+        response.stats.plan.reason,
     );
 }

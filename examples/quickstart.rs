@@ -58,22 +58,30 @@ fn main() {
     registry.insert("purchase-orders", engine);
 
     let q = TwigPattern::parse("PURCHASE_ORDER//E_MAIL").unwrap();
+    // Distinct granularity merges identical match sets and reports which
+    // mappings contributed to each answer (provenance).
+    let distinct = Query::ptq(q.clone()).with_granularity(Granularity::Distinct);
     let answers = registry.batch(&[
-        BatchQuery::ptq("purchase-orders", q.clone()),
-        BatchQuery::topk("purchase-orders", q.clone(), 3),
+        BatchQuery::new("purchase-orders", distinct.clone()),
+        BatchQuery::new("purchase-orders", Query::topk(q.clone(), 3)),
     ]);
     let handle = registry.get("purchase-orders").unwrap();
     println!(
         "\nquery: {q}  (against a {}-node source document)",
         handle.document().len()
     );
-    if let Ok(uxm::core::registry::Response::Ptq(full)) = &answers[0] {
-        for (matches, prob) in full.aggregate() {
-            let texts: Vec<&str> = matches
+    if let Ok(full) = &answers[0] {
+        for answer in &full.answers {
+            let texts: Vec<&str> = answer
+                .matches
                 .iter()
                 .filter_map(|m| handle.document().text(*m.nodes.last().unwrap()))
                 .collect();
-            println!("  p = {prob:.3}: {texts:?}");
+            println!(
+                "  p = {:.3} (from {} mapping(s)): {texts:?}",
+                answer.probability,
+                answer.mappings.len()
+            );
         }
     }
 
@@ -82,7 +90,10 @@ fn main() {
     let path = registry.save("purchase-orders").unwrap();
     let restarted = EngineRegistry::new().snapshot_dir(path.parent().unwrap());
     let rehydrated = restarted.fetch("purchase-orders").unwrap();
-    assert_eq!(rehydrated.ptq_with_tree(&q), handle.ptq_with_tree(&q));
+    assert_eq!(
+        rehydrated.run(&distinct).unwrap().answers,
+        handle.run(&distinct).unwrap().answers
+    );
     println!(
         "\nsnapshot: {} ({} bytes) rehydrates to identical answers",
         path.display(),

@@ -7,7 +7,6 @@
 //! cargo run --release --example xsd_integration
 //! ```
 
-use uxm::core::semantics::match_probabilities;
 use uxm::prelude::*;
 
 const SUPPLIER_XSD: &str = r#"<?xml version="1.0"?>
@@ -88,9 +87,9 @@ fn main() {
     );
     let q = TwigPattern::parse("PURCHASE_ORDER/PO_LINE[./QUANTITY]/UNIT_PRICE").unwrap();
     println!("\nbuyer query: {q}");
-    let result = engine.ptq_with_tree(&q);
+    let result = engine.run(&Query::ptq(q)).unwrap();
     let doc = engine.document();
-    for (m, p) in match_probabilities(&result).into_iter().take(5) {
+    for (m, p) in result.match_probabilities().into_iter().take(5) {
         let price_node = *m.nodes.last().expect("non-empty");
         println!(
             "  p = {:.2}  {} = {}",

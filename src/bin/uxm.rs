@@ -4,30 +4,35 @@
 //! ```text
 //! uxm match     <source.outline> <target.outline> [--strategy c|f] [--threshold X]
 //! uxm mappings  <source.outline> <target.outline> [--h N]
-//! uxm query     <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X] [--mode label|node]
-//! uxm keyword   <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X]
+//! uxm query     <source.outline> <target.outline> <doc.xml> <twig>
+//!               [--h N] [--k N] [--tau X] [--mode label|node]
+//!               [--hint auto|naive|block-tree] [--min-p X]
+//!               [--granularity mapping|distinct] [--json]
+//! uxm keyword   <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X] [--json]
 //! uxm registry  save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]
 //! uxm registry  list --dir D
-//! uxm batch     <requests.txt> --dir D [--budget BYTES]
+//! uxm batch     <requests.txt> --dir D [--budget BYTES] [--json]
 //! uxm gen-doc   <schema.outline> [--nodes N] [--seed N]
 //! uxm dataset   <D1..D10>
 //! ```
 //!
 //! Schema files use the outline syntax (`Order(Buyer(Name) Item*(Price))`).
-//! Query-serving commands build one [`QueryEngine`] session and evaluate
-//! through it. The serving commands (`registry`, `batch`) manage engine
-//! *snapshots* — one file per (schema pair, document) session — behind an
-//! [`EngineRegistry`]: `registry save` persists a session, `batch` lazily
-//! hydrates the engines a request file names and answers the whole batch
-//! (concurrently when built with `--features parallel`).
+//! Every query-serving command speaks the unified query surface of
+//! [`uxm::core::api`]: arguments build a typed [`Query`], evaluation goes
+//! through [`QueryEngine::run`], failures are [`UxmError`]s reported with
+//! a nonzero exit code, and `--json` emits the canonical wire format —
+//! the same bytes the registry consumes. `uxm batch` files carry one
+//! request per line, either as canonical JSON
+//! (`{"engine":...,"query":{...}}`, see [`BatchQuery::to_json`]) or in
+//! the legacy text form (`<engine> ptq <twig>` …).
 
 use std::process::ExitCode;
+use uxm::core::api::{EvaluatorHint, Granularity, Query};
 use uxm::core::block_tree::BlockTreeConfig;
 use uxm::core::engine::QueryEngine;
+use uxm::core::error::UxmError;
 use uxm::core::mapping::PossibleMappings;
-use uxm::core::ptq::PtqResult;
-use uxm::core::registry::{BatchQuery, EngineRegistry, RegistryConfig, Response};
-use uxm::core::semantics::{expected_count, match_probabilities};
+use uxm::core::registry::{BatchQuery, EngineRegistry, RegistryConfig};
 use uxm::core::stats::o_ratio;
 use uxm::core::storage::decode_engine_snapshot_parts;
 use uxm::datagen::datasets::{Dataset, DatasetId};
@@ -38,7 +43,8 @@ use uxm::xml::{parse_document, DocGenConfig, Document, Schema};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        return usage();
+        usage();
+        return ExitCode::from(2);
     };
     let result = match command.as_str() {
         "match" => cmd_match(&args[1..]),
@@ -53,45 +59,58 @@ fn main() -> ExitCode {
             usage();
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(UxmError::Usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            if matches!(e, UxmError::Usage(_)) {
+                usage();
+            }
             ExitCode::from(2)
         }
     }
 }
 
-fn usage() -> ExitCode {
+fn usage() {
     eprintln!(
         "usage:\n  uxm match    <source.outline> <target.outline> [--strategy c|f] [--threshold X]\n  \
          uxm mappings <source.outline> <target.outline> [--h N]\n  \
-         uxm query    <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X] [--mode label|node]\n  \
-         uxm keyword  <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X]\n  \
+         uxm query    <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X]\n               \
+         [--mode label|node] [--hint auto|naive|block-tree] [--min-p X]\n               \
+         [--granularity mapping|distinct] [--json]\n  \
+         uxm keyword  <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X] [--json]\n  \
          uxm registry save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]\n  \
          uxm registry list --dir D\n  \
-         uxm batch    <requests.txt> --dir D [--budget BYTES]\n  \
+         uxm batch    <requests.txt> --dir D [--budget BYTES] [--json]\n  \
          uxm gen-doc  <schema.outline> [--nodes N] [--seed N]\n  \
          uxm dataset  <D1..D10>"
     );
-    ExitCode::from(2)
 }
 
 /// `(name, value)` pairs collected from `--flag value` options.
 type Flags<'a> = Vec<(&'a str, &'a str)>;
 
-/// Splits positional arguments from `--flag value` options.
-fn parse_args(args: &[String]) -> Result<(Vec<&str>, Flags<'_>), String> {
+/// Flags that take no value.
+const BOOL_FLAGS: [&str; 1] = ["json"];
+
+/// Splits positional arguments from `--flag value` options (boolean
+/// flags record `"true"` without consuming a value).
+fn parse_args(args: &[String]) -> Result<(Vec<&str>, Flags<'_>), UxmError> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                flags.push((name, "true"));
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+                .ok_or_else(|| UxmError::Usage(format!("--{name} needs a value")))?;
             flags.push((name, value.as_str()));
             i += 2;
         } else {
@@ -106,34 +125,52 @@ fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
     flags.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
 }
 
-/// Loads a schema from an outline file, or from an XSD when the file ends
-/// in `.xsd` (or its content starts with an XML prolog / `<`).
-fn load_schema(path: &str) -> Result<Schema, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let trimmed = text.trim();
-    if path.ends_with(".xsd") || trimmed.starts_with('<') {
-        Schema::from_xsd(trimmed).map_err(|e| format!("{path}: {e}"))
-    } else {
-        Schema::parse_outline(trimmed).map_err(|e| format!("{path}: {e}"))
+/// Parses `--name` as a `T`, with a default when absent.
+fn parse_flag<T: std::str::FromStr>(
+    flags: &[(&str, &str)],
+    name: &str,
+    default: T,
+) -> Result<T, UxmError> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| UxmError::Usage(format!("bad --{name} value {v:?}"))),
     }
 }
 
-fn matcher_from(flags: &[(&str, &str)]) -> Result<Matcher, String> {
+/// Loads a schema from an outline file, or from an XSD when the file ends
+/// in `.xsd` (or its content starts with an XML prolog / `<`).
+fn load_schema(path: &str) -> Result<Schema, UxmError> {
+    let text = std::fs::read_to_string(path).map_err(|e| UxmError::io(path, e))?;
+    let trimmed = text.trim();
+    if path.ends_with(".xsd") || trimmed.starts_with('<') {
+        Schema::from_xsd(trimmed).map_err(|e| UxmError::Input(format!("{path}: {e}")))
+    } else {
+        Schema::parse_outline(trimmed).map_err(|e| UxmError::Input(format!("{path}: {e}")))
+    }
+}
+
+fn matcher_from(flags: &[(&str, &str)]) -> Result<Matcher, UxmError> {
     let mut matcher = match flag(flags, "strategy") {
         Some("f") => Matcher::fragment(),
         Some("c") | None => Matcher::context(),
-        Some(other) => return Err(format!("unknown strategy {other:?} (use c or f)")),
+        Some(other) => {
+            return Err(UxmError::Usage(format!(
+                "unknown strategy {other:?} (use c or f)"
+            )))
+        }
     };
-    if let Some(t) = flag(flags, "threshold") {
-        matcher.threshold = t.parse().map_err(|_| "bad --threshold".to_string())?;
-    }
+    matcher.threshold = parse_flag(flags, "threshold", matcher.threshold)?;
     Ok(matcher)
 }
 
-fn cmd_match(args: &[String]) -> Result<(), String> {
+fn cmd_match(args: &[String]) -> Result<(), UxmError> {
     let (pos, flags) = parse_args(args)?;
     let [src, tgt] = pos.as_slice() else {
-        return Err("match needs <source.outline> <target.outline>".into());
+        return Err(UxmError::Usage(
+            "match needs <source.outline> <target.outline>".into(),
+        ));
     };
     let source = load_schema(src)?;
     let target = load_schema(tgt)?;
@@ -157,14 +194,14 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mappings(args: &[String]) -> Result<(), String> {
+fn cmd_mappings(args: &[String]) -> Result<(), UxmError> {
     let (pos, flags) = parse_args(args)?;
     let [src, tgt] = pos.as_slice() else {
-        return Err("mappings needs <source.outline> <target.outline>".into());
+        return Err(UxmError::Usage(
+            "mappings needs <source.outline> <target.outline>".into(),
+        ));
     };
-    let h: usize = flag(&flags, "h")
-        .map_or(Ok(10), str::parse)
-        .map_err(|_| "bad --h")?;
+    let h: usize = parse_flag(&flags, "h", 10)?;
     let source = load_schema(src)?;
     let target = load_schema(tgt)?;
     let matching = matcher_from(&flags)?.match_schemas(&source, &target);
@@ -189,17 +226,13 @@ fn engine_from(
     src: &str,
     tgt: &str,
     doc_path: &str,
-) -> Result<QueryEngine, String> {
-    let h: usize = flag(flags, "h")
-        .map_or(Ok(50), str::parse)
-        .map_err(|_| "bad --h")?;
-    let tau: f64 = flag(flags, "tau")
-        .map_or(Ok(0.2), str::parse)
-        .map_err(|_| "bad --tau")?;
+) -> Result<QueryEngine, UxmError> {
+    let h: usize = parse_flag(flags, "h", 50)?;
+    let tau: f64 = parse_flag(flags, "tau", 0.2)?;
     let source = load_schema(src)?;
     let target = load_schema(tgt)?;
-    let xml = std::fs::read_to_string(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
-    let doc = parse_document(&xml).map_err(|e| format!("{doc_path}: {e}"))?;
+    let xml = std::fs::read_to_string(doc_path).map_err(|e| UxmError::io(doc_path, e))?;
+    let doc = parse_document(&xml).map_err(|e| UxmError::Input(format!("{doc_path}: {e}")))?;
     let matching = matcher_from(flags)?.match_schemas(&source, &target);
     let pm = PossibleMappings::top_h(&matching, h);
     Ok(QueryEngine::build(
@@ -212,87 +245,138 @@ fn engine_from(
     ))
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
+/// The shared `--hint` / `--min-p` / `--granularity` option handling.
+fn apply_options(mut query: Query, flags: &[(&str, &str)]) -> Result<Query, UxmError> {
+    match flag(flags, "hint") {
+        None | Some("auto") => {}
+        Some("naive") => query = query.with_evaluator(EvaluatorHint::Naive),
+        Some("block-tree") | Some("tree") => query = query.with_evaluator(EvaluatorHint::BlockTree),
+        Some(other) => {
+            return Err(UxmError::Usage(format!(
+                "unknown hint {other:?} (auto | naive | block-tree)"
+            )))
+        }
+    }
+    match flag(flags, "granularity") {
+        None | Some("mapping") => {}
+        Some("distinct") => query = query.with_granularity(Granularity::Distinct),
+        Some(other) => {
+            return Err(UxmError::Usage(format!(
+                "unknown granularity {other:?} (mapping | distinct)"
+            )))
+        }
+    }
+    if let Some(p) = flag(flags, "min-p") {
+        let p: f64 = p
+            .parse()
+            .map_err(|_| UxmError::Usage(format!("bad --min-p value {p:?}")))?;
+        query = query.with_min_probability(p);
+    }
+    Ok(query)
+}
+
+fn cmd_query(args: &[String]) -> Result<(), UxmError> {
     let (pos, flags) = parse_args(args)?;
-    let [src, tgt, doc_path, query] = pos.as_slice() else {
-        return Err("query needs <source.outline> <target.outline> <doc.xml> <twig>".into());
+    let [src, tgt, doc_path, query_text] = pos.as_slice() else {
+        return Err(UxmError::Usage(
+            "query needs <source.outline> <target.outline> <doc.xml> <twig>".into(),
+        ));
     };
-    let q = TwigPattern::parse(query).map_err(|e| format!("query: {e}"))?;
-    let engine = engine_from(&flags, src, tgt, doc_path)?;
-
-    let result: PtqResult = match (flag(&flags, "mode"), flag(&flags, "k")) {
+    let pattern = TwigPattern::parse(query_text)?;
+    let query = match (flag(&flags, "mode"), flag(&flags, "k")) {
         (Some("node"), Some(_)) => {
-            return Err("--k with --mode node is not supported; drop one".into());
+            return Err(UxmError::Usage(
+                "--k with --mode node is not supported; drop one".into(),
+            ));
         }
-        (Some("node"), None) => {
-            // block-tree node-mode evaluation
-            let r = engine.ptq_with_tree_nodes(&q);
-            debug_assert_eq!(
-                {
-                    let mut a = engine.ptq_nodes(&q);
-                    a.normalize();
-                    a
-                },
-                {
-                    let mut b = r.clone();
-                    b.normalize();
-                    b
-                }
-            );
-            r
+        (Some("node"), None) => Query::ptq_nodes(pattern),
+        (Some("label") | None, Some(k)) => {
+            let k: usize = k
+                .parse()
+                .map_err(|_| UxmError::Usage(format!("bad --k value {k:?}")))?;
+            Query::topk(pattern, k)
         }
-        (_, Some(k)) => {
-            let k: usize = k.parse().map_err(|_| "bad --k")?;
-            engine.topk(&q, k)
+        (Some("label") | None, None) => Query::ptq(pattern),
+        (Some(other), _) => {
+            return Err(UxmError::Usage(format!(
+                "unknown mode {other:?} (label | node)"
+            )));
         }
-        _ => engine.ptq_with_tree(&q),
     };
+    let query = apply_options(query, &flags)?;
+    let engine = engine_from(&flags, src, tgt, doc_path)?;
+    let response = engine.run(&query)?;
 
+    if flag(&flags, "json").is_some() {
+        println!("{}", response.to_json_string());
+        return Ok(());
+    }
     let doc = engine.document();
     println!(
-        "query {q} over {} mappings: {} relevant, expected match count {:.2}",
+        "{query} over {} mappings: {} answer(s) ({} relevant), plan {} ({}), \
+         expected match count {:.2}",
         engine.mappings().len(),
-        result.len(),
-        expected_count(&result)
+        response.len(),
+        response.stats.relevant,
+        response.stats.plan.evaluator,
+        response.stats.plan.reason,
+        response.expected_count()
     );
-    for (m, p) in match_probabilities(&result).into_iter().take(20) {
-        let leaf = *m.nodes.last().expect("non-empty match");
+    for (m, p) in response.match_probabilities().into_iter().take(20) {
+        let Some(&leaf) = m.nodes.last() else {
+            continue;
+        };
         let text = doc.text(leaf).unwrap_or("");
         println!("  p = {:.3}  {} {}", p, doc.path(leaf), text);
     }
     Ok(())
 }
 
-fn cmd_keyword(args: &[String]) -> Result<(), String> {
+fn cmd_keyword(args: &[String]) -> Result<(), UxmError> {
     let (pos, flags) = parse_args(args)?;
     let [src, tgt, doc_path, terms @ ..] = pos.as_slice() else {
-        return Err("keyword needs <source.outline> <target.outline> <doc.xml> <term...>".into());
+        return Err(UxmError::Usage(
+            "keyword needs <source.outline> <target.outline> <doc.xml> <term...>".into(),
+        ));
     };
+    let query = apply_options(
+        Query::keyword(terms.iter().map(|t| t.to_string()).collect()),
+        &flags,
+    )?;
     let engine = engine_from(&flags, src, tgt, doc_path)?;
-    let answers = engine.keyword(terms).map_err(|e| e.to_string())?;
+    let response = engine.run(&query)?;
+    if flag(&flags, "json").is_some() {
+        println!("{}", response.to_json_string());
+        return Ok(());
+    }
     let doc = engine.document();
     println!(
-        "keywords {:?} over {} mappings: {} relevant",
+        "keywords {:?} over {} mappings: {} answer(s)",
         terms,
         engine.mappings().len(),
-        answers.len()
+        response.len()
     );
-    for a in answers.iter().take(20) {
-        let paths: Vec<String> = a.slcas.iter().map(|&n| doc.path(n)).collect();
+    for a in response.answers.iter().take(20) {
+        let paths: Vec<String> = a
+            .matches
+            .iter()
+            .filter_map(|m| m.nodes.first().map(|&n| doc.path(n)))
+            .collect();
         println!("  p = {:.3}  {:?}", a.probability, paths);
     }
     Ok(())
 }
 
 /// `uxm registry save|list` — manage the on-disk engine-snapshot set.
-fn cmd_registry(args: &[String]) -> Result<(), String> {
+fn cmd_registry(args: &[String]) -> Result<(), UxmError> {
     let (pos, flags) = parse_args(args)?;
-    let dir = flag(&flags, "dir").ok_or("registry needs --dir <snapshot-dir>")?;
+    let dir = flag(&flags, "dir")
+        .ok_or_else(|| UxmError::Usage("registry needs --dir <snapshot-dir>".into()))?;
     match pos.as_slice() {
         ["save", name, src, tgt, doc_path] => {
             let registry = EngineRegistry::new().snapshot_dir(dir);
             let engine = registry.insert(*name, engine_from(&flags, src, tgt, doc_path)?);
-            let path = registry.save(name).map_err(|e| e.to_string())?;
+            let path = registry.save(name)?;
             println!(
                 "saved {name:?} to {} ({} bytes on disk, ~{} KiB resident): \
                  |M|={}, {} doc nodes, {} c-blocks",
@@ -307,7 +391,7 @@ fn cmd_registry(args: &[String]) -> Result<(), String> {
         }
         ["list"] => {
             let mut entries: Vec<_> = std::fs::read_dir(dir)
-                .map_err(|e| format!("{dir}: {e}"))?
+                .map_err(|e| UxmError::io(dir, e))?
                 .filter_map(|e| e.ok())
                 .filter(|e| e.path().extension().is_some_and(|x| x == "uxm"))
                 .map(|e| e.path())
@@ -316,7 +400,7 @@ fn cmd_registry(args: &[String]) -> Result<(), String> {
             println!("{} snapshot(s) in {dir}:", entries.len());
             for path in entries {
                 let name = path.file_stem().unwrap_or_default().to_string_lossy();
-                let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+                let bytes = std::fs::read(&path).map_err(|e| UxmError::io(path.display(), e))?;
                 // Parts-level decode: listing should not pay for session
                 // state (symbol tables, bitsets) it never queries.
                 match decode_engine_snapshot_parts(&bytes) {
@@ -334,31 +418,37 @@ fn cmd_registry(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        _ => Err(
+        _ => Err(UxmError::Usage(
             "registry needs: save <name> <source> <target> <doc.xml> --dir D, or list --dir D"
                 .into(),
-        ),
+        )),
     }
 }
 
-/// Parses one request line of a batch file:
+/// Parses one legacy text request line of a batch file:
 /// `<engine> ptq <twig>` | `<engine> basic <twig>` |
 /// `<engine> topk <k> <twig>` | `<engine> keyword <term...>`.
-fn parse_request_line(line: &str, lineno: usize) -> Result<BatchQuery, String> {
-    let err = |msg: &str| format!("line {lineno}: {msg}");
+/// JSON lines (starting with `{`) are handled by
+/// [`BatchQuery::from_json_str`] instead.
+fn parse_request_line(line: &str, lineno: usize) -> Result<BatchQuery, UxmError> {
+    let err = |msg: String| UxmError::Usage(format!("line {lineno}: {msg}"));
     let mut parts = line.split_whitespace();
-    let engine = parts.next().ok_or_else(|| err("missing engine name"))?;
-    let kind = parts.next().ok_or_else(|| err("missing request kind"))?;
-    let parse_twig = |s: Option<&str>| -> Result<TwigPattern, String> {
-        let s = s.ok_or_else(|| err("missing twig pattern"))?;
-        TwigPattern::parse(s).map_err(|e| err(&format!("bad twig {s:?}: {e}")))
+    let engine = parts
+        .next()
+        .ok_or_else(|| err("missing engine name".into()))?;
+    let kind = parts
+        .next()
+        .ok_or_else(|| err("missing request kind".into()))?;
+    let parse_twig = |s: Option<&str>| -> Result<TwigPattern, UxmError> {
+        let s = s.ok_or_else(|| err("missing twig pattern".into()))?;
+        TwigPattern::parse(s).map_err(|e| err(format!("bad twig {s:?}: {e}")))
     };
     // Twig-shaped requests take exactly one pattern token; anything after
     // it is a mistake (e.g. a pattern accidentally split by a space), not
     // something to silently drop.
     let done = |q: BatchQuery, mut rest: std::str::SplitWhitespace<'_>| match rest.next() {
         None => Ok(q),
-        Some(extra) => Err(err(&format!("unexpected trailing token {extra:?}"))),
+        Some(extra) => Err(err(format!("unexpected trailing token {extra:?}"))),
     };
     match kind {
         "ptq" => {
@@ -373,40 +463,52 @@ fn parse_request_line(line: &str, lineno: usize) -> Result<BatchQuery, String> {
             let k: usize = parts
                 .next()
                 .and_then(|v| v.parse().ok())
-                .ok_or_else(|| err("topk needs <k> <twig>"))?;
+                .ok_or_else(|| err("topk needs <k> <twig>".into()))?;
             let q = parse_twig(parts.next())?;
             done(BatchQuery::topk(engine, q, k), parts)
         }
         "keyword" => {
             let terms: Vec<String> = parts.map(str::to_string).collect();
             if terms.is_empty() {
-                return Err(err("keyword needs at least one term"));
+                return Err(err("keyword needs at least one term".into()));
             }
             Ok(BatchQuery::keyword(engine, terms))
         }
-        other => Err(err(&format!(
+        other => Err(err(format!(
             "unknown request kind {other:?} (ptq | basic | topk | keyword)"
         ))),
     }
 }
 
 /// `uxm batch` — answer a request file against a snapshot directory.
-fn cmd_batch(args: &[String]) -> Result<(), String> {
+fn cmd_batch(args: &[String]) -> Result<(), UxmError> {
     let (pos, flags) = parse_args(args)?;
     let [requests_path] = pos.as_slice() else {
-        return Err("batch needs <requests.txt> --dir D".into());
+        return Err(UxmError::Usage("batch needs <requests.txt> --dir D".into()));
     };
-    let dir = flag(&flags, "dir").ok_or("batch needs --dir <snapshot-dir>")?;
-    let budget: usize = flag(&flags, "budget")
-        .map_or(Ok(0), str::parse)
-        .map_err(|_| "bad --budget")?;
+    let dir = flag(&flags, "dir")
+        .ok_or_else(|| UxmError::Usage("batch needs --dir <snapshot-dir>".into()))?;
+    let budget: usize = parse_flag(&flags, "budget", 0)?;
+    let as_json = flag(&flags, "json").is_some();
     let text =
-        std::fs::read_to_string(requests_path).map_err(|e| format!("{requests_path}: {e}"))?;
+        std::fs::read_to_string(requests_path).map_err(|e| UxmError::io(requests_path, e))?;
     let queries = text
         .lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
-        .map(|(i, l)| parse_request_line(l, i + 1))
+        .map(|(i, l)| {
+            let line = l.trim();
+            if line.starts_with('{') {
+                BatchQuery::from_json_str(line).map_err(|e| match e {
+                    // Prefix the line number inside the variant so the
+                    // "wire format:" display prefix is not duplicated.
+                    UxmError::Json(msg) => UxmError::Json(format!("line {}: {msg}", i + 1)),
+                    other => UxmError::Json(format!("line {}: {other}", i + 1)),
+                })
+            } else {
+                parse_request_line(line, i + 1)
+            }
+        })
         .collect::<Result<Vec<_>, _>>()?;
 
     let registry = EngineRegistry::with_config(RegistryConfig {
@@ -420,46 +522,53 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut failures = 0usize;
     for (q, a) in queries.iter().zip(&answers) {
         match a {
-            Ok(Response::Ptq(r)) => println!(
-                "{:<16} {} -> {} answers, expected count {:.2}",
-                q.engine,
-                q.request,
-                r.len(),
-                expected_count(r)
-            ),
-            Ok(Response::Keyword(ans)) => {
-                println!("{:<16} {} -> {} answers", q.engine, q.request, ans.len())
+            Ok(response) if as_json => {
+                println!("{}", response.to_json_string());
             }
+            Ok(response) => println!(
+                "{:<16} {} -> {} answer(s), plan {}, expected count {:.2}",
+                q.engine,
+                q.query,
+                response.len(),
+                response.stats.plan.evaluator,
+                response.expected_count()
+            ),
             Err(e) => {
                 failures += 1;
-                println!("{:<16} {} -> error: {e}", q.engine, q.request);
+                if as_json {
+                    let obj = uxm::core::json::Json::Obj(vec![(
+                        "error".to_string(),
+                        uxm::core::json::Json::Str(e.to_string()),
+                    )]);
+                    println!("{obj}");
+                } else {
+                    println!("{:<16} {} -> error: {e}", q.engine, q.query);
+                }
             }
         }
     }
-    println!(
-        "{} request(s) in {elapsed:.3}s ({:.0} req/s), {} engine(s) resident (~{} KiB), {failures} failed",
-        queries.len(),
-        queries.len() as f64 / elapsed.max(1e-9),
-        registry.len(),
-        registry.resident_bytes() / 1024,
-    );
+    if !as_json {
+        println!(
+            "{} request(s) in {elapsed:.3}s ({:.0} req/s), {} engine(s) resident (~{} KiB), {failures} failed",
+            queries.len(),
+            queries.len() as f64 / elapsed.max(1e-9),
+            registry.len(),
+            registry.resident_bytes() / 1024,
+        );
+    }
     if failures > 0 {
-        return Err(format!("{failures} request(s) failed"));
+        return Err(UxmError::Batch { failed: failures });
     }
     Ok(())
 }
 
-fn cmd_gen_doc(args: &[String]) -> Result<(), String> {
+fn cmd_gen_doc(args: &[String]) -> Result<(), UxmError> {
     let (pos, flags) = parse_args(args)?;
     let [schema_path] = pos.as_slice() else {
-        return Err("gen-doc needs <schema.outline>".into());
+        return Err(UxmError::Usage("gen-doc needs <schema.outline>".into()));
     };
-    let nodes: usize = flag(&flags, "nodes")
-        .map_or(Ok(200), str::parse)
-        .map_err(|_| "bad --nodes")?;
-    let seed: u64 = flag(&flags, "seed")
-        .map_or(Ok(42), str::parse)
-        .map_err(|_| "bad --seed")?;
+    let nodes: usize = parse_flag(&flags, "nodes", 200)?;
+    let seed: u64 = parse_flag(&flags, "seed", 42)?;
     let schema = load_schema(schema_path)?;
     let doc = Document::generate(
         &schema,
@@ -474,15 +583,15 @@ fn cmd_gen_doc(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_dataset(args: &[String]) -> Result<(), String> {
+fn cmd_dataset(args: &[String]) -> Result<(), UxmError> {
     let (pos, _) = parse_args(args)?;
     let [name] = pos.as_slice() else {
-        return Err("dataset needs an id (D1..D10)".into());
+        return Err(UxmError::Usage("dataset needs an id (D1..D10)".into()));
     };
     let id = DatasetId::all()
         .into_iter()
         .find(|d| d.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+        .ok_or_else(|| UxmError::Usage(format!("unknown dataset {name:?}")))?;
     let d = Dataset::load(id);
     let (s, t, cap, o) = id.paper_row();
     println!("{}: |S|={s} |T|={t}", id.name());

@@ -33,19 +33,20 @@
 //! let doc = Document::generate(&source, &DocGenConfig::small(), 7);
 //! let engine = QueryEngine::build(mappings, doc, &BlockTreeConfig::default());
 //!
-//! // Ask probabilistic twig queries against the source document.
+//! // Ask typed queries through the one entry point; the planner picks
+//! // the evaluation strategy from engine statistics.
 //! let q = TwigPattern::parse("PO//ContactName").unwrap();
-//! let answers = engine.ptq_with_tree(&q);
-//! for ans in answers.iter() {
+//! let answers = engine.run(&Query::ptq(q.clone())).unwrap();
+//! for ans in &answers.answers {
 //!     assert!(ans.probability > 0.0);
 //! }
-//! let top1 = engine.topk(&q, 1);
+//! let top1 = engine.run(&Query::topk(q, 1)).unwrap();
 //! assert!(top1.len() <= answers.len());
 //! ```
 //!
-//! The free functions (`ptq_basic`, `ptq_with_tree`, `topk_ptq`, …) remain
-//! available and return identical results; they wrap a throwaway engine
-//! session per call.
+//! The legacy free functions (`ptq_basic`, `ptq_with_tree`, `topk_ptq`, …)
+//! remain available as deprecated shims and return identical results;
+//! `uxm::core::api` documents the migration.
 
 pub use uxm_assignment as assignment;
 pub use uxm_core as core;
@@ -60,14 +61,19 @@ pub mod prelude {
         bipartite::Bipartite, murty::murty_top_h, partition::partition_top_h,
     };
     pub use uxm_core::{
+        api::{Answer, EvaluatorHint, Granularity, Query, QueryOptions, QueryResponse},
         block_tree::{BlockTree, BlockTreeConfig},
         engine::QueryEngine,
-        keyword::{keyword_query, KeywordAnswer, KeywordError},
+        error::UxmError,
+        keyword::{KeywordAnswer, KeywordError},
         mapping::{Mapping, PossibleMappings},
-        ptq::{ptq_basic, PtqAnswer},
-        ptq_tree::ptq_with_tree,
+        ptq::PtqAnswer,
         registry::{BatchQuery, EngineRegistry, RegistryConfig},
-        topk::topk_ptq,
+    };
+    // Legacy one-shot entry points (deprecated shims over the engine).
+    #[allow(deprecated)]
+    pub use uxm_core::{
+        keyword::keyword_query, ptq::ptq_basic, ptq_tree::ptq_with_tree, topk::topk_ptq,
     };
     pub use uxm_datagen::datasets::{Dataset, DatasetId};
     pub use uxm_matching::{matcher::Matcher, SchemaMatching};

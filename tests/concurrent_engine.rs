@@ -1,20 +1,21 @@
 //! Determinism under concurrency: N threads hammer ONE shared
-//! [`QueryEngine`] with a mixed ptq / top-k / keyword workload, and every
-//! single answer must be byte-identical to the single-threaded evaluation
-//! of the same request. This is the contract the `EngineRegistry` serving
-//! layer builds on — the sharded caches may race on *computing* an entry,
-//! but never on its value.
+//! [`QueryEngine`] through the unified `run` entry point with a mixed
+//! ptq / top-k / node / keyword workload, and every single answer must be
+//! identical to the single-threaded evaluation of the same request. This
+//! is the contract the `EngineRegistry` serving layer builds on — the
+//! sharded caches may race on *computing* an entry, but never on its
+//! value, and the planner's choice (which may differ between cold and
+//! warm caches) never changes answers.
 //!
 //! The test is meaningful both with and without `--features parallel`
 //! (the engine then also fans out internally, nesting scoped threads).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use uxm::core::api::{Answer, EvaluatorHint, Granularity, Query};
 use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
 use uxm::core::engine::QueryEngine;
-use uxm::core::keyword::KeywordAnswer;
 use uxm::core::mapping::PossibleMappings;
-use uxm::core::ptq::PtqResult;
 use uxm::datagen::datasets::{Dataset, DatasetId};
 use uxm::datagen::queries::paper_queries;
 use uxm::twig::TwigPattern;
@@ -48,27 +49,27 @@ fn engine(id: DatasetId, m: usize, nodes: usize) -> QueryEngine {
 }
 
 /// The mixed request stream: request `i` deterministically selects one of
-/// the evaluators and one of the paper queries / keyword lists.
-#[derive(Debug, Clone, PartialEq)]
-enum Answer {
-    Ptq(PtqResult),
-    Keyword(Vec<KeywordAnswer>),
+/// the query kinds (with varying hints and granularity) over the paper
+/// queries / keyword lists.
+fn request(queries: &[TwigPattern], terms: &[Vec<&str>], i: usize) -> Query {
+    let q = queries[i % queries.len()].clone();
+    match i % 6 {
+        0 => Query::ptq(q).with_evaluator(EvaluatorHint::BlockTree),
+        1 => Query::ptq(q).with_evaluator(EvaluatorHint::Naive),
+        2 => Query::ptq(q).with_granularity(Granularity::Distinct),
+        3 => Query::topk(q, 1 + i % 7),
+        4 => Query::ptq_nodes(q),
+        _ => Query::keyword(
+            terms[i % terms.len()]
+                .iter()
+                .map(|t| t.to_string())
+                .collect(),
+        ),
+    }
 }
 
-fn run_request(
-    engine: &QueryEngine,
-    queries: &[TwigPattern],
-    terms: &[Vec<&str>],
-    i: usize,
-) -> Answer {
-    let q = &queries[i % queries.len()];
-    match i % 5 {
-        0 => Answer::Ptq(engine.ptq_with_tree(q)),
-        1 => Answer::Ptq(engine.ptq(q)),
-        2 => Answer::Ptq(engine.topk(q, 1 + i % 7)),
-        3 => Answer::Ptq(engine.ptq_with_tree_nodes(q)),
-        _ => Answer::Keyword(engine.keyword(&terms[i % terms.len()]).unwrap()),
-    }
+fn run_request(engine: &QueryEngine, query: &Query) -> Vec<Answer> {
+    engine.run(query).expect("valid request").answers
 }
 
 #[test]
@@ -85,13 +86,14 @@ fn hammered_engine_matches_single_threaded_evaluation() {
         vec!["order"],
         vec![vocab.as_str(), "item"],
     ];
+    let requests: Vec<Query> = (0..REQUESTS)
+        .map(|i| request(&queries, &terms, i))
+        .collect();
 
     // Single-threaded ground truth from a FRESH engine (cold caches), one
     // answer per request index.
     let fresh = engine(DatasetId::D7, 20, 400);
-    let expected: Vec<Answer> = (0..REQUESTS)
-        .map(|i| run_request(&fresh, &queries, &terms, i))
-        .collect();
+    let expected: Vec<Vec<Answer>> = requests.iter().map(|q| run_request(&fresh, q)).collect();
 
     // Hammer the shared engine: threads pull request indices off a shared
     // counter, so interleavings (and hence cache fill order) vary freely.
@@ -100,8 +102,7 @@ fn hammered_engine_matches_single_threaded_evaluation() {
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                let queries = &queries;
-                let terms = &terms;
+                let requests = &requests;
                 let next = &next;
                 let expected = &expected;
                 scope.spawn(move || {
@@ -111,7 +112,7 @@ fn hammered_engine_matches_single_threaded_evaluation() {
                         if i >= REQUESTS {
                             break;
                         }
-                        let got = run_request(&shared, queries, terms, i);
+                        let got = run_request(&shared, &requests[i]);
                         if got != expected[i] {
                             bad.push(format!("request {i} diverged"));
                         }
@@ -137,15 +138,21 @@ fn hammered_engine_matches_single_threaded_evaluation() {
 #[test]
 fn warm_and_cold_answers_agree_across_threads() {
     // A second shape of the race: every thread runs the SAME query; the
-    // first to finish populates the caches while the rest are mid-flight.
+    // first to finish populates the caches while the rest are mid-flight
+    // (and the auto planner may see warm caches on later runs).
     let shared = Arc::new(engine(DatasetId::D7, 12, 250));
-    let q = &paper_queries()[1];
-    let expected = engine(DatasetId::D7, 12, 250).ptq_with_tree(q);
-    let answers: Vec<PtqResult> = std::thread::scope(|scope| {
+    let query = Query::ptq(paper_queries()[1].clone());
+    let expected = run_request(&engine(DatasetId::D7, 12, 250), &query);
+    let answers: Vec<Vec<Answer>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                scope.spawn(move || (0..20).map(|_| shared.ptq_with_tree(q)).collect::<Vec<_>>())
+                let query = &query;
+                scope.spawn(move || {
+                    (0..20)
+                        .map(|_| run_request(&shared, query))
+                        .collect::<Vec<_>>()
+                })
             })
             .collect();
         handles

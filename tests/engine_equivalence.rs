@@ -4,7 +4,19 @@
 //! functions are themselves wrappers over the engine with a throwaway
 //! session, so this pins (a) wrapper/engine agreement including all cache
 //! interactions, and (b) warm-cache runs agreeing with cold runs.
+//!
+//! It also hosts the **planner differential suite**: `QueryEngine::run`
+//! must return identical answers under every forced evaluator hint and
+//! the auto plan, for every query kind, across all Table II datasets —
+//! the guarantee that lets the planner treat evaluator choice as a pure
+//! performance decision.
+//!
+//! This file is the designated *shim coverage*: it exercises the
+//! deprecated legacy entry points on purpose, so the CI deprecation gate
+//! (`RUSTFLAGS="-D deprecated"`) exempts it via this allow.
+#![allow(deprecated)]
 
+use uxm::core::api::{Answer, EvaluatorHint, Granularity, Query};
 use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
 use uxm::core::engine::QueryEngine;
 use uxm::core::keyword::keyword_query;
@@ -12,7 +24,7 @@ use uxm::core::mapping::PossibleMappings;
 use uxm::core::path_ptq::{ptq_basic_nodes, ptq_with_tree_nodes};
 use uxm::core::ptq::ptq_basic;
 use uxm::core::ptq_tree::ptq_with_tree;
-use uxm::core::registry::{BatchQuery, EngineRegistry, Response};
+use uxm::core::registry::{BatchQuery, EngineRegistry};
 use uxm::core::topk::topk_ptq;
 use uxm::datagen::datasets::{Dataset, DatasetId};
 use uxm::datagen::queries::paper_queries;
@@ -130,29 +142,150 @@ fn registry_batch_equals_engine_equals_legacy() {
             ]);
             let label = format!("{} Q{qi}", id.name());
             assert_eq!(
-                answers[0],
-                Ok(Response::Ptq(ptq_with_tree(q, pm, doc, tree))),
+                answers[0].as_ref().unwrap().answers,
+                legacy_as_answers(&ptq_with_tree(q, pm, doc, tree)),
                 "{label}: registry ptq vs legacy"
             );
             assert_eq!(
-                answers[1],
-                Ok(Response::Ptq(ptq_basic(q, pm, doc))),
+                answers[1].as_ref().unwrap().answers,
+                legacy_as_answers(&ptq_basic(q, pm, doc)),
                 "{label}: registry basic vs legacy"
             );
             assert_eq!(
-                answers[2],
-                Ok(Response::Ptq(topk_ptq(q, pm, doc, tree, 5))),
+                answers[2].as_ref().unwrap().answers,
+                legacy_as_answers(&topk_ptq(q, pm, doc, tree, 5)),
                 "{label}: registry topk vs legacy"
             );
+            let keyword_legacy: Vec<Answer> = keyword_query(&[vocab.as_str(), "order"], pm, doc)
+                .unwrap()
+                .into_iter()
+                .map(|a| Answer {
+                    probability: a.probability,
+                    mappings: vec![a.mapping],
+                    matches: a
+                        .slcas
+                        .into_iter()
+                        .map(|n| uxm::twig::TwigMatch { nodes: vec![n] })
+                        .collect(),
+                })
+                .collect();
             assert_eq!(
-                answers[3],
-                Ok(Response::Keyword(
-                    keyword_query(&[vocab.as_str(), "order"], pm, doc).unwrap()
-                )),
+                answers[3].as_ref().unwrap().answers,
+                keyword_legacy,
                 "{label}: registry keyword vs legacy"
             );
         }
     }
+}
+
+/// Converts a legacy per-mapping result into the unified answer shape
+/// (the exact transformation `run` performs at `Granularity::Mapping`).
+fn legacy_as_answers(result: &uxm::core::ptq::PtqResult) -> Vec<Answer> {
+    result
+        .iter()
+        .map(|a| Answer {
+            probability: a.probability,
+            mappings: vec![a.mapping],
+            matches: a.matches.clone(),
+        })
+        .collect()
+}
+
+/// The planner differential suite: for every Table II dataset and every
+/// query kind, `run()` answers are identical under the auto plan and
+/// both pinned evaluators — and equal to the legacy ground truth.
+#[test]
+fn run_is_plan_invariant_across_all_datasets() {
+    let hints = [
+        EvaluatorHint::Auto,
+        EvaluatorHint::Naive,
+        EvaluatorHint::BlockTree,
+    ];
+    let all = paper_queries();
+    for id in DatasetId::all() {
+        let engine = session(id, 20, 400);
+        let (pm, doc) = (engine.mappings(), engine.document());
+        for qi in [2usize, 7, 10] {
+            let q = &all[qi - 1];
+            let label = format!("{} Q{qi}", id.name());
+
+            // Label granularity: auto and both pins agree with legacy.
+            let expected = legacy_as_answers(&ptq_basic(q, pm, doc));
+            for hint in hints {
+                let got = engine
+                    .run(&Query::ptq(q.clone()).with_evaluator(hint))
+                    .unwrap();
+                assert_eq!(got.answers, expected, "{label}: ptq {hint:?}");
+            }
+
+            // Node granularity: all hints agree with each other.
+            let node_reference = engine.run(&Query::ptq_nodes(q.clone())).unwrap();
+            for hint in hints {
+                let got = engine
+                    .run(&Query::ptq_nodes(q.clone()).with_evaluator(hint))
+                    .unwrap();
+                assert_eq!(
+                    got.answers, node_reference.answers,
+                    "{label}: ptq-nodes {hint:?}"
+                );
+            }
+
+            // Top-k: all hints agree with each other and with legacy.
+            let top_expected = legacy_as_answers(&topk_ptq(q, pm, doc, engine.tree(), 5));
+            for hint in hints {
+                let got = engine
+                    .run(&Query::topk(q.clone(), 5).with_evaluator(hint))
+                    .unwrap();
+                assert_eq!(got.answers, top_expected, "{label}: topk {hint:?}");
+            }
+
+            // Distinct granularity: identical across plans, and its mass
+            // matches the per-mapping mass.
+            let distinct_reference = engine
+                .run(&Query::ptq(q.clone()).with_granularity(Granularity::Distinct))
+                .unwrap();
+            for hint in hints {
+                let got = engine
+                    .run(
+                        &Query::ptq(q.clone())
+                            .with_granularity(Granularity::Distinct)
+                            .with_evaluator(hint),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    got.answers, distinct_reference.answers,
+                    "{label}: distinct {hint:?}"
+                );
+            }
+            let mapping_mass: f64 = expected.iter().map(|a| a.probability).sum();
+            assert!(
+                (distinct_reference.total_probability() - mapping_mass).abs() < 1e-9,
+                "{label}: distinct mass"
+            );
+        }
+    }
+}
+
+/// The response must name the evaluator it actually ran: pinned hints
+/// are honored verbatim, and the auto plan always picks one of the two.
+#[test]
+fn run_reports_the_pinned_evaluator() {
+    use uxm::core::planner::{Evaluator, PlanReason};
+    let engine = session(DatasetId::D4, 20, 400);
+    let q = &paper_queries()[6];
+    for (hint, expected) in [
+        (EvaluatorHint::Naive, Evaluator::Naive),
+        (EvaluatorHint::BlockTree, Evaluator::BlockTree),
+    ] {
+        let got = engine
+            .run(&Query::ptq(q.clone()).with_evaluator(hint))
+            .unwrap();
+        assert_eq!(got.stats.plan.evaluator, expected);
+        assert_eq!(got.stats.plan.reason, PlanReason::Pinned);
+    }
+    let auto = engine.run(&Query::ptq(q.clone())).unwrap();
+    assert_ne!(auto.stats.plan.reason, PlanReason::Pinned);
+    assert_eq!(auto.stats.relevant, engine.relevant_mappings(q).len());
 }
 
 #[test]
