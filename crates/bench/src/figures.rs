@@ -457,6 +457,144 @@ pub fn serve(cfg: &ReproConfig) -> String {
     out
 }
 
+/// The closed-loop HTTP load experiment behind `BENCH_serve.json`: all
+/// ten Table II datasets live behind one [`uxm_core::registry::EngineRegistry`]
+/// served by [`uxm_core::server::Server`] on a loopback socket, and 8
+/// persistent-connection clients drive the 100-request mix (10 paper
+/// queries × 10 datasets) closed-loop while the worker count sweeps
+/// 1 → 8. Client-observed latency (p50/p99) and throughput per worker
+/// count are printed and written to `BENCH_serve.json` (canonical
+/// JSON). The registry is shared across rounds, so every round after
+/// the warmup measures warm-cache serving — the service scenario. As
+/// with [`serve`], the speedup ceiling is `available_parallelism`: on
+/// a single-core host throughput sits near 1.0x by construction and
+/// the worker sweep shows up in tail latency (p99) instead.
+pub fn serve_http(cfg: &ReproConfig) -> String {
+    use std::sync::Arc;
+    use uxm_core::registry::EngineRegistry;
+    use uxm_core::server::{Client, Server, ServerConfig};
+
+    let registry = Arc::new(EngineRegistry::new());
+    let mix: Vec<(String, String)> = DatasetId::all()
+        .into_iter()
+        .flat_map(|id| {
+            let w = workload_for(id, cfg.m, &default_config());
+            registry.insert(id.name(), w.engine());
+            paper_queries().into_iter().map(move |q| {
+                let query = Query::ptq(q);
+                (format!("/query/{}", id.name()), query.to_json_string())
+            })
+        })
+        .collect();
+
+    const CLIENTS: usize = 8;
+    // ~4×runs passes over the whole mix, split evenly across clients.
+    let per_client = (cfg.runs.max(1) * 4 * mix.len()).div_ceil(CLIENTS);
+    let total = per_client * CLIENTS;
+    let mut out = format!(
+        "BENCH_serve — closed-loop HTTP serving (10 datasets × 10 queries, |M| = {}, \
+         {CLIENTS} clients, {total} requests per point)\n  \
+         workers     wall(s)   throughput(q/s)   p50(µs)   p99(µs)   speedup\n",
+        cfg.m
+    );
+
+    let mut rows = Vec::new();
+    let mut base_qps = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let server = Server::bind(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr();
+        let handle = server.start();
+
+        // Warm every (engine, query) pair once so each worker-count
+        // round measures steady-state serving, not first-touch rewrites.
+        {
+            let mut warm = Client::connect(addr).expect("warm client");
+            for (path, body) in &mix {
+                let (status, response) = warm.post(path, body).expect("warm request");
+                assert_eq!(status, 200, "warmup failed: {response}");
+            }
+        }
+
+        let start = std::time::Instant::now();
+        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let mix = &mix;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("client connect");
+                        let mut observed = Vec::with_capacity(per_client);
+                        for i in 0..per_client {
+                            let (path, body) = &mix[(c + i) % mix.len()];
+                            let sent = std::time::Instant::now();
+                            let (status, response) = client.post(path, body).expect("request");
+                            assert_eq!(status, 200, "{response}");
+                            observed.push(sent.elapsed().as_micros() as u64);
+                        }
+                        observed
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let wall = start.elapsed().as_secs_f64();
+        handle.shutdown();
+
+        latencies.sort_unstable();
+        let pct = |p: f64| {
+            latencies[((p / 100.0 * latencies.len() as f64).ceil() as usize)
+                .clamp(1, latencies.len())
+                - 1]
+        };
+        let (p50, p99) = (pct(50.0), pct(99.0));
+        let qps = latencies.len() as f64 / wall;
+        if workers == 1 {
+            base_qps = qps;
+        }
+        let _ = writeln!(
+            out,
+            "  {workers:<9} {wall:>9.4} {qps:>17.0} {p50:>9} {p99:>9} {:>8.2}x",
+            qps / base_qps
+        );
+        rows.push(Json::Obj(vec![
+            ("p50_us".into(), Json::uint(p50)),
+            ("p99_us".into(), Json::uint(p99)),
+            ("requests".into(), Json::uint(latencies.len() as u64)),
+            ("throughput_qps".into(), Json::Num(qps)),
+            ("wall_s".into(), Json::Num(wall)),
+            ("workers".into(), Json::uint(workers as u64)),
+        ]));
+    }
+
+    let report = Json::Obj(vec![
+        ("clients".into(), Json::uint(CLIENTS as u64)),
+        ("datasets".into(), Json::uint(10)),
+        ("m".into(), Json::uint(cfg.m as u64)),
+        ("queries_per_dataset".into(), Json::uint(10)),
+        ("rounds".into(), Json::Arr(rows)),
+    ]);
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, format!("{report}\n")) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote {path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "could not write {path}: {e}");
+        }
+    }
+    out
+}
+
 /// Ablations for the design choices called out in DESIGN.md §6.
 pub fn ablation(cfg: &ReproConfig) -> String {
     use uxm_twig::structural_join::{nested_loop_join, structural_join};
@@ -655,7 +793,7 @@ pub fn bench_query(cfg: &ReproConfig) -> String {
 }
 
 /// All experiment ids accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 16] = [
+pub const EXPERIMENTS: [&str; 17] = [
     "table2",
     "fig9a",
     "fig9b",
@@ -670,6 +808,7 @@ pub const EXPERIMENTS: [&str; 16] = [
     "fig10e",
     "fig10f",
     "serve",
+    "serve-http",
     "bench_query",
     "ablation",
 ];
@@ -691,6 +830,7 @@ pub fn run_experiment(id: &str, cfg: &ReproConfig) -> Option<String> {
         "fig10e" => fig10e(cfg),
         "fig10f" => fig10f(cfg),
         "serve" => serve(cfg),
+        "serve-http" => serve_http(cfg),
         "bench_query" => bench_query(cfg),
         "ablation" => ablation(cfg),
         _ => return None,

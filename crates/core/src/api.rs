@@ -24,6 +24,8 @@
 //!   (object keys are emitted alphabetically, patterns in the twig
 //!   grammar's canonical rendering).
 //!
+//! # Examples
+//!
 //! The one entry point is
 //! [`QueryEngine::run`](crate::engine::QueryEngine::run):
 //!

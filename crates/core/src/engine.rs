@@ -1412,6 +1412,10 @@ impl QueryEngine {
 
     /// Algorithm 3 (`query_basic`) — identical to the legacy
     /// `ptq_basic` free function.
+    ///
+    /// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run) with
+    /// [`Query::ptq`](crate::api::Query::ptq) pinned to
+    /// [`EvaluatorHint::Naive`](crate::api::EvaluatorHint::Naive).
     #[deprecated(note = "build an api::Query (evaluator hint Naive) and call QueryEngine::run")]
     pub fn ptq(&self, q: &TwigPattern) -> PtqResult {
         let ids = self.state.relevant(q, &q.to_string());
@@ -1420,6 +1424,10 @@ impl QueryEngine {
 
     /// Algorithm 4 — identical to the legacy `ptq_with_tree` free
     /// function.
+    ///
+    /// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run) with
+    /// [`Query::ptq`](crate::api::Query::ptq) pinned to
+    /// [`EvaluatorHint::BlockTree`](crate::api::EvaluatorHint::BlockTree).
     #[deprecated(note = "build an api::Query (evaluator hint BlockTree) and call QueryEngine::run")]
     pub fn ptq_with_tree(&self, q: &TwigPattern) -> PtqResult {
         let ids = self.state.relevant(q, &q.to_string());
@@ -1427,6 +1435,9 @@ impl QueryEngine {
     }
 
     /// Top-k PTQ — identical to the legacy `topk_ptq` free function.
+    ///
+    /// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run) with
+    /// [`Query::topk`](crate::api::Query::topk).
     #[deprecated(note = "build an api::Query::topk and call QueryEngine::run")]
     pub fn topk(&self, q: &TwigPattern, k: usize) -> PtqResult {
         let qstr = q.to_string();
@@ -1442,6 +1453,10 @@ impl QueryEngine {
 
     /// Node-granularity `query_basic` — identical to the legacy
     /// `ptq_basic_nodes` free function.
+    ///
+    /// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run) with
+    /// [`Query::ptq_nodes`](crate::api::Query::ptq_nodes) pinned to
+    /// [`EvaluatorHint::Naive`](crate::api::EvaluatorHint::Naive).
     #[deprecated(note = "build an api::Query::ptq_nodes (hint Naive) and call QueryEngine::run")]
     pub fn ptq_nodes(&self, q: &TwigPattern) -> PtqResult {
         eval_basic_nodes(q, &self.pm, &self.doc, self.path_index(), &self.state)
@@ -1449,6 +1464,10 @@ impl QueryEngine {
 
     /// Node-granularity block-tree PTQ — identical to the legacy
     /// `ptq_with_tree_nodes` free function.
+    ///
+    /// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run) with
+    /// [`Query::ptq_nodes`](crate::api::Query::ptq_nodes) pinned to
+    /// [`EvaluatorHint::BlockTree`](crate::api::EvaluatorHint::BlockTree).
     #[deprecated(
         note = "build an api::Query::ptq_nodes (hint BlockTree) and call QueryEngine::run"
     )]
@@ -1465,6 +1484,9 @@ impl QueryEngine {
 
     /// Keyword query (SLCA semantics) — identical to the legacy
     /// `keyword_query` free function.
+    ///
+    /// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run) with
+    /// [`Query::keyword`](crate::api::Query::keyword).
     #[deprecated(note = "build an api::Query::keyword and call QueryEngine::run")]
     pub fn keyword(&self, keywords: &[&str]) -> Result<Vec<KeywordAnswer>, KeywordError> {
         eval_keyword(keywords, &self.pm, &self.doc, &self.state)

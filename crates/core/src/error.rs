@@ -109,6 +109,27 @@ impl UxmError {
     pub fn io(path: impl fmt::Display, e: std::io::Error) -> UxmError {
         UxmError::Io(format!("{path}: {e}"))
     }
+
+    /// The stable kebab-case kind name carried in wire-format error
+    /// bodies (`{"error":{"kind":…}}`, see [`crate::server`] and
+    /// `docs/wire-format.md`). One name per variant; messages may
+    /// change between releases, kinds do not.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            UxmError::Parse(_) => "parse",
+            UxmError::Keyword(_) => "keyword",
+            UxmError::Decode(_) => "decode",
+            UxmError::UnknownEngine(_) => "unknown-engine",
+            UxmError::InvalidName(_) => "invalid-name",
+            UxmError::NoSnapshotDir => "no-snapshot-dir",
+            UxmError::Io(_) => "io",
+            UxmError::Input(_) => "input",
+            UxmError::Batch { .. } => "batch",
+            UxmError::Json(_) => "json",
+            UxmError::InvalidQuery(_) => "invalid-query",
+            UxmError::Usage(_) => "usage",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -88,8 +88,8 @@ impl KeywordError {
 /// Errors with [`KeywordError::Empty`] on an empty keyword list and
 /// [`KeywordError::TooMany`] beyond 64 keywords.
 ///
-/// Deprecated shim; build an [`crate::api::Query::keyword`] and call
-/// [`crate::engine::QueryEngine::run`] instead.
+/// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run)
+/// with [`Query::keyword`](crate::api::Query::keyword).
 #[deprecated(note = "build an api::Query::keyword and call QueryEngine::run")]
 pub fn keyword_query(
     keywords: &[&str],

@@ -32,8 +32,24 @@
 //! * [`registry`] — the [`registry::EngineRegistry`] serving layer:
 //!   many named engines, concurrent batched queries, LRU eviction under
 //!   a memory budget, and lazy hydration from engine snapshots,
+//! * [`server`] — the [`server::Server`] HTTP/JSON front end over a
+//!   registry: a dependency-free threaded HTTP/1.1 server (plus the
+//!   [`server::Client`] test helper) speaking the canonical wire
+//!   format over real sockets — what `uxm serve` runs,
 //! * [`storage`] — binary codecs for mapping sets and whole engine
 //!   snapshots (see the snapshot format/version notes there).
+//!
+//! The layer stack, bottom to top (the prose version lives in
+//! `docs/architecture.md`):
+//!
+//! ```text
+//! uxm-xml / uxm-twig          schemas, documents, twig patterns
+//!   └─ mapping / block_tree   possible mappings, c-blocks (§III)
+//!        └─ engine            one (schemas, mappings, document) session
+//!             └─ api+planner  typed Query/QueryResponse, plan choice
+//!                  └─ registry   many named engines, snapshots, LRU
+//!                       └─ server   HTTP/1.1 JSON over the registry
+//! ```
 //!
 //! # Quickstart
 //!
@@ -90,6 +106,7 @@ pub mod ptq_tree;
 pub mod registry;
 pub mod rewrite;
 pub mod semantics;
+pub mod server;
 pub mod stats;
 pub mod storage;
 pub mod topk;
@@ -104,6 +121,7 @@ pub use mapping::{Mapping, MappingId, PossibleMappings};
 pub use planner::{Evaluator, Plan, PlanReason};
 pub use ptq::{PtqAnswer, PtqResult};
 pub use registry::{BatchQuery, EngineRegistry, RegistryConfig, Request, Response};
+pub use server::{Server, ServerConfig, ServerHandle};
 
 // Legacy one-shot entry points, kept as deprecated shims over the
 // engine (see the `api` module docs for the migration table).

@@ -94,10 +94,11 @@ pub fn filter_mappings_nodes(q: &TwigPattern, pm: &PossibleMappings) -> Vec<Mapp
 
 /// Node-granularity `query_basic`: rewrite and evaluate per mapping.
 ///
-/// Deprecated shim over [`crate::engine`] with a throwaway session;
-/// build an [`crate::api::Query::ptq_nodes`] with evaluator hint
-/// [`crate::api::EvaluatorHint::Naive`] and call
-/// [`crate::engine::QueryEngine::run`] instead.
+/// Deprecated shim over [`crate::engine`] with a throwaway session.
+///
+/// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run)
+/// with [`Query::ptq_nodes`](crate::api::Query::ptq_nodes) pinned to
+/// [`EvaluatorHint::Naive`](crate::api::EvaluatorHint::Naive).
 #[deprecated(
     note = "build an api::Query::ptq_nodes (evaluator hint Naive) and call QueryEngine::run"
 )]
@@ -119,9 +120,9 @@ pub fn ptq_basic_nodes(
 /// answer is valid for precisely `b.M` — no label-uniqueness side
 /// condition is needed (unlike the label-mode evaluator).
 ///
-/// Deprecated shim; build an [`crate::api::Query::ptq_nodes`] with
-/// evaluator hint [`crate::api::EvaluatorHint::BlockTree`] and call
-/// [`crate::engine::QueryEngine::run`] instead.
+/// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run)
+/// with [`Query::ptq_nodes`](crate::api::Query::ptq_nodes) pinned to
+/// [`EvaluatorHint::BlockTree`](crate::api::EvaluatorHint::BlockTree).
 #[deprecated(
     note = "build an api::Query::ptq_nodes (evaluator hint BlockTree) and call QueryEngine::run"
 )]

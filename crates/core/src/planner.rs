@@ -15,6 +15,38 @@
 //! (pinned by `tests/engine_equivalence.rs` and the planner differential
 //! suite), so the plan choice is a pure performance decision — it can
 //! never change a result.
+//!
+//! # Examples
+//!
+//! The planner is a pure function from hint + statistics to a [`Plan`];
+//! a query's [`crate::api::ExecStats`] reports what it picked and why:
+//!
+//! ```
+//! use uxm_core::api::EvaluatorHint;
+//! use uxm_core::planner::{choose, Evaluator, Plan, PlanReason, PlannerStats};
+//!
+//! let stats = PlannerStats {
+//!     relevant_mappings: 40,
+//!     block_count: 12,
+//!     avg_block_fanout: 3.5, // block answers replicate across mappings
+//!     cache_warm: false,
+//! };
+//! assert_eq!(
+//!     choose(EvaluatorHint::Auto, &stats),
+//!     Plan { evaluator: Evaluator::BlockTree, reason: PlanReason::SharedBlocks },
+//! );
+//!
+//! // A tiny relevant set flips the choice: the tree cannot pay for itself.
+//! let few = PlannerStats { relevant_mappings: 3, ..stats };
+//! assert_eq!(choose(EvaluatorHint::Auto, &few).evaluator, Evaluator::Naive);
+//!
+//! // A pinned hint always wins.
+//! let pinned = choose(EvaluatorHint::Naive, &stats);
+//! assert_eq!(
+//!     (pinned.evaluator, pinned.reason),
+//!     (Evaluator::Naive, PlanReason::Pinned),
+//! );
+//! ```
 
 use crate::api::EvaluatorHint;
 use std::fmt;

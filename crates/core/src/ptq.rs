@@ -77,9 +77,9 @@ impl PtqResult {
 /// and evaluate the query independently per mapping.
 ///
 /// Deprecated shim over [`crate::engine`] with a throwaway session;
-/// build an [`crate::api::Query`] with evaluator hint
-/// [`crate::api::EvaluatorHint::Naive`] and call
-/// [`crate::engine::QueryEngine::run`] instead.
+/// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run)
+/// with [`Query::ptq`](crate::api::Query::ptq) pinned to
+/// [`EvaluatorHint::Naive`](crate::api::EvaluatorHint::Naive).
 #[deprecated(note = "build an api::Query (evaluator hint Naive) and call QueryEngine::run")]
 pub fn ptq_basic(q: &TwigPattern, pm: &PossibleMappings, doc: &Document) -> PtqResult {
     let state = SessionState::build(pm, doc);
@@ -89,6 +89,10 @@ pub fn ptq_basic(q: &TwigPattern, pm: &PossibleMappings, doc: &Document) -> PtqR
 
 /// Algorithm 3 restricted to a pre-filtered mapping subset (shared by the
 /// top-k evaluator).
+///
+/// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run)
+/// with [`Query::topk`](crate::api::Query::topk) (the one caller that
+/// needed a pre-filtered subset).
 #[deprecated(note = "build an api::Query and call QueryEngine::run")]
 pub fn ptq_basic_over(
     q: &TwigPattern,

@@ -28,10 +28,11 @@ use uxm_xml::Document;
 
 /// Algorithm 4: PTQ evaluation accelerated by the block tree.
 ///
-/// Produces exactly the same result as the legacy `ptq_basic`; build an
-/// [`crate::api::Query`] with evaluator hint
-/// [`crate::api::EvaluatorHint::BlockTree`] and call
-/// [`crate::engine::QueryEngine::run`] instead.
+/// Produces exactly the same result as the legacy `ptq_basic`.
+///
+/// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run)
+/// with [`Query::ptq`](crate::api::Query::ptq) pinned to
+/// [`EvaluatorHint::BlockTree`](crate::api::EvaluatorHint::BlockTree).
 #[deprecated(note = "build an api::Query (evaluator hint BlockTree) and call QueryEngine::run")]
 pub fn ptq_with_tree(
     q: &TwigPattern,
@@ -46,6 +47,9 @@ pub fn ptq_with_tree(
 
 /// [`ptq_with_tree`] over a pre-filtered mapping subset (shared with the
 /// top-k evaluator).
+///
+/// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run)
+/// with [`Query::topk`](crate::api::Query::topk).
 #[deprecated(note = "build an api::Query and call QueryEngine::run")]
 pub fn ptq_with_tree_over(
     q: &TwigPattern,

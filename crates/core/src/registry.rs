@@ -19,7 +19,10 @@
 //! [`crate::storage::encode_engine_snapshot`]): point the registry at a
 //! snapshot directory and [`EngineRegistry::fetch`] lazily hydrates
 //! `name` from `<dir>/<name>.uxm` on first use, so a restarted service
-//! warms up from disk instead of re-matching schemas.
+//! warms up from disk instead of re-matching schemas. To serve a
+//! registry over the network, see [`crate::server`].
+//!
+//! # Examples
 //!
 //! ```
 //! use uxm_core::api::Query;
@@ -93,6 +96,9 @@ pub struct RegistryConfig {
 
 /// The registry's old error type, absorbed into the crate-wide
 /// [`UxmError`] (variant for variant).
+///
+/// Use instead: [`UxmError`] (and match its variants directly — they
+/// carry the same data).
 #[deprecated(note = "use uxm_core::UxmError")]
 pub type RegistryError = UxmError;
 
@@ -374,6 +380,40 @@ impl EngineRegistry {
     pub fn resident_bytes(&self) -> usize {
         let map = self.engines.read().expect("registry lock");
         map.values().map(|e| e.bytes).sum()
+    }
+
+    /// Resident engines with their approximate sizes
+    /// ([`QueryEngine::approx_bytes`]), name-sorted — the listing
+    /// behind the server's `GET /engines`.
+    pub fn resident(&self) -> Vec<(String, usize)> {
+        let map = self.engines.read().expect("registry lock");
+        let mut entries: Vec<(String, usize)> = map
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.bytes))
+            .collect();
+        entries.sort();
+        entries
+    }
+
+    /// Stems of the `*.uxm` snapshot files in the snapshot directory,
+    /// sorted; empty when no directory is configured or it cannot be
+    /// read (a service listing hydratable names must not fail on a
+    /// missing directory).
+    pub fn snapshot_names(&self) -> Vec<String> {
+        let Some(dir) = self.snapshot_dir.as_deref() else {
+            return Vec::new();
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "uxm"))
+            .filter_map(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+            .collect();
+        names.sort();
+        names
     }
 
     /// How many engines the memory budget has evicted so far.

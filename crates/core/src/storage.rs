@@ -40,6 +40,39 @@
 //!
 //! All formats use LEB128 varints for ids and counts, so the on-disk
 //! sizes reflect genuine entropy, not padding.
+//!
+//! # Examples
+//!
+//! A snapshot round trip preserves answers exactly (the per-dataset
+//! byte-level guarantee lives in `tests/snapshot_roundtrip.rs`):
+//!
+//! ```
+//! use uxm_core::api::Query;
+//! use uxm_core::block_tree::BlockTreeConfig;
+//! use uxm_core::engine::QueryEngine;
+//! use uxm_core::mapping::PossibleMappings;
+//! use uxm_core::storage::{decode_engine_snapshot, encode_engine_snapshot};
+//! use uxm_matching::Matcher;
+//! use uxm_twig::TwigPattern;
+//! use uxm_xml::{DocGenConfig, Document, Schema};
+//!
+//! let source = Schema::parse_outline("Order(Buyer(Name) Item(Price))").unwrap();
+//! let target = Schema::parse_outline("PO(Vendor(ContactName) Line(UnitPrice))").unwrap();
+//! let matching = Matcher::default().match_schemas(&source, &target);
+//! let pm = PossibleMappings::top_h(&matching, 8);
+//! let doc = Document::generate(&source, &DocGenConfig::small(), 7);
+//! let engine = QueryEngine::build(pm, doc, &BlockTreeConfig::default());
+//!
+//! // One self-contained artifact: schemas + compressed mappings + document.
+//! let bytes = encode_engine_snapshot(&engine);
+//! let restored = decode_engine_snapshot(&bytes).unwrap();
+//!
+//! let q = Query::ptq(TwigPattern::parse("PO//ContactName").unwrap());
+//! assert_eq!(
+//!     engine.run(&q).unwrap().answers,
+//!     restored.run(&q).unwrap().answers,
+//! );
+//! ```
 
 use crate::block::Block;
 use crate::block_tree::BlockTree;

@@ -16,9 +16,10 @@ use uxm_xml::Document;
 /// Evaluates a top-k PTQ with the block tree: filter, keep the k
 /// most-probable mappings, then evaluate only those.
 ///
-/// Deprecated shim over [`crate::engine`] with a throwaway session;
-/// build an [`crate::api::Query::topk`] and call
-/// [`crate::engine::QueryEngine::run`] instead.
+/// Deprecated shim over [`crate::engine`] with a throwaway session.
+///
+/// Use instead: [`QueryEngine::run`](crate::engine::QueryEngine::run)
+/// with [`Query::topk`](crate::api::Query::topk).
 #[deprecated(note = "build an api::Query::topk and call QueryEngine::run")]
 pub fn topk_ptq(
     q: &TwigPattern,

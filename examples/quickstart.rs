@@ -1,6 +1,7 @@
 //! Quickstart: match two small schemas, derive possible mappings, open a
-//! query session behind an [`EngineRegistry`], serve a batch, and round-
-//! trip the whole session through an on-disk snapshot.
+//! query session behind an [`EngineRegistry`], serve a batch, round-trip
+//! the whole session through an on-disk snapshot, and answer the same
+//! query over HTTP — the full `uxm serve` stack, in-process.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -99,4 +100,39 @@ fn main() {
         path.display(),
         std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
     );
+
+    // 7. The same registry over HTTP — what `uxm serve` runs. The
+    //    in-process `Client` speaks the canonical JSON wire format over
+    //    a real loopback socket (docs/wire-format.md, docs/serving.md).
+    let served = Server::bind(
+        std::sync::Arc::new(restarted),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .start();
+    let mut client = uxm::core::server::Client::connect(served.addr()).unwrap();
+    let (status, body) = client.query("purchase-orders", &distinct).unwrap();
+    assert_eq!(status, 200);
+    let over_http = uxm::core::json::Json::parse(&body).unwrap();
+    assert_eq!(
+        over_http.get("answers").unwrap().to_string(),
+        rehydrated
+            .run(&distinct)
+            .unwrap()
+            .to_json()
+            .get("answers")
+            .unwrap()
+            .to_string(),
+        "HTTP answers are the engine's answers, byte for byte"
+    );
+    println!(
+        "served over http://{}: {} bytes of canonical JSON, same answers",
+        served.addr(),
+        body.len()
+    );
+    served.shutdown();
 }

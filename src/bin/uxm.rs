@@ -12,6 +12,7 @@
 //! uxm registry  save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]
 //! uxm registry  list --dir D
 //! uxm batch     <requests.txt> --dir D [--budget BYTES] [--json]
+//! uxm serve     --dir D [--addr IP:PORT] [--workers N] [--budget BYTES]
 //! uxm gen-doc   <schema.outline> [--nodes N] [--seed N]
 //! uxm dataset   <D1..D10>
 //! ```
@@ -24,7 +25,9 @@
 //! the same bytes the registry consumes. `uxm batch` files carry one
 //! request per line, either as canonical JSON
 //! (`{"engine":...,"query":{...}}`, see [`BatchQuery::to_json`]) or in
-//! the legacy text form (`<engine> ptq <twig>` …).
+//! the legacy text form (`<engine> ptq <twig>` …). `uxm serve` puts the
+//! same snapshot directory behind the threaded HTTP/JSON server of
+//! [`uxm::core::server`] (see `docs/serving.md`).
 
 use std::process::ExitCode;
 use uxm::core::api::{EvaluatorHint, Granularity, Query};
@@ -33,6 +36,7 @@ use uxm::core::engine::QueryEngine;
 use uxm::core::error::UxmError;
 use uxm::core::mapping::PossibleMappings;
 use uxm::core::registry::{BatchQuery, EngineRegistry, RegistryConfig};
+use uxm::core::server::{Server, ServerConfig};
 use uxm::core::stats::o_ratio;
 use uxm::core::storage::decode_engine_snapshot_parts;
 use uxm::datagen::datasets::{Dataset, DatasetId};
@@ -53,6 +57,7 @@ fn main() -> ExitCode {
         "keyword" => cmd_keyword(&args[1..]),
         "registry" => cmd_registry(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "gen-doc" => cmd_gen_doc(&args[1..]),
         "dataset" => cmd_dataset(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -84,6 +89,7 @@ fn usage() {
          uxm registry save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]\n  \
          uxm registry list --dir D\n  \
          uxm batch    <requests.txt> --dir D [--budget BYTES] [--json]\n  \
+         uxm serve    --dir D [--addr IP:PORT] [--workers N] [--budget BYTES]\n  \
          uxm gen-doc  <schema.outline> [--nodes N] [--seed N]\n  \
          uxm dataset  <D1..D10>"
     );
@@ -559,6 +565,53 @@ fn cmd_batch(args: &[String]) -> Result<(), UxmError> {
     if failures > 0 {
         return Err(UxmError::Batch { failed: failures });
     }
+    Ok(())
+}
+
+/// `uxm serve` — the threaded HTTP/JSON query server over a snapshot
+/// directory (see `uxm::core::server` and `docs/serving.md`). Engines
+/// hydrate lazily on first request; the process serves until killed.
+fn cmd_serve(args: &[String]) -> Result<(), UxmError> {
+    let (pos, flags) = parse_args(args)?;
+    if let Some(extra) = pos.first() {
+        return Err(UxmError::Usage(format!(
+            "serve takes no positional arguments, got {extra:?}"
+        )));
+    }
+    let dir = flag(&flags, "dir")
+        .ok_or_else(|| UxmError::Usage("serve needs --dir <snapshot-dir>".into()))?;
+    let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:8080");
+    let workers: usize = parse_flag(&flags, "workers", 0)?;
+    let budget: usize = parse_flag(&flags, "budget", 0)?;
+
+    let registry = std::sync::Arc::new(
+        EngineRegistry::with_config(RegistryConfig {
+            memory_budget: budget,
+        })
+        .snapshot_dir(dir),
+    );
+    let snapshots = registry.snapshot_names();
+    let config = ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(std::sync::Arc::clone(&registry), addr, config.clone())?;
+    let local = server.local_addr();
+    println!(
+        "uxm serve on http://{local} — {} worker(s), {} snapshot(s) in {dir}{}",
+        config.effective_workers(),
+        snapshots.len(),
+        if budget > 0 {
+            format!(", budget {budget} bytes")
+        } else {
+            String::new()
+        }
+    );
+    for name in &snapshots {
+        println!("  {name}");
+    }
+    println!("routes: POST /query/<engine>  POST /batch  GET /engines  GET /stats  GET /healthz");
+    server.start().wait();
     Ok(())
 }
 

@@ -69,6 +69,7 @@ pub mod prelude {
         mapping::{Mapping, PossibleMappings},
         ptq::PtqAnswer,
         registry::{BatchQuery, EngineRegistry, RegistryConfig},
+        server::{Server, ServerConfig, ServerHandle},
     };
     // Legacy one-shot entry points (deprecated shims over the engine).
     #[allow(deprecated)]

@@ -1,0 +1,160 @@
+//! Offline link checker for the markdown documentation: every relative
+//! link in `README.md` and `docs/*.md` must point at a file that exists
+//! in this repository, and every `#fragment` on a markdown target must
+//! resolve to a real heading's GitHub-style anchor. External links
+//! (`http://`…) are out of scope — the build environment is offline.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The documentation set under check.
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    let mut pages: Vec<PathBuf> = std::fs::read_dir(&docs)
+        .unwrap_or_else(|e| panic!("docs/ directory: {e}"))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    pages.sort();
+    assert!(!pages.is_empty(), "docs/ book has pages");
+    files.extend(pages);
+    files
+}
+
+/// `[text](target)` pairs outside fenced code blocks.
+fn markdown_links(text: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                if let Some(end) = line[i + 2..].find(')') {
+                    links.push(line[i + 2..i + 2 + end].to_string());
+                    i += 2 + end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+/// GitHub's heading-anchor slug: lowercase; spaces become hyphens;
+/// everything not alphanumeric, hyphen, or underscore is dropped.
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| match c {
+            ' ' => Some('-'),
+            c if c.is_alphanumeric() || c == '-' || c == '_' => Some(c.to_ascii_lowercase()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn heading_slugs(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let mut in_fence = false;
+    let mut slugs = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && line.starts_with('#') {
+            slugs.push(slug(line.trim_start_matches('#')));
+        }
+    }
+    slugs
+}
+
+#[test]
+fn relative_links_and_anchors_resolve() {
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for file in doc_files() {
+        let text =
+            std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        let dir = file.parent().expect("doc file has a directory");
+        for link in markdown_links(&text) {
+            // Offline checker: external schemes are out of scope.
+            if link.starts_with("http://")
+                || link.starts_with("https://")
+                || link.starts_with("mailto:")
+            {
+                continue;
+            }
+            checked += 1;
+            let (path_part, fragment) = match link.split_once('#') {
+                Some((p, f)) => (p, Some(f)),
+                None => (link.as_str(), None),
+            };
+            let target = if path_part.is_empty() {
+                file.clone()
+            } else {
+                dir.join(path_part)
+            };
+            if !target.exists() {
+                failures.push(format!(
+                    "{}: link {link:?} → missing file {}",
+                    file.display(),
+                    target.display()
+                ));
+                continue;
+            }
+            if let Some(fragment) = fragment {
+                if target.extension().is_some_and(|x| x == "md")
+                    && !heading_slugs(&target).iter().any(|s| s == fragment)
+                {
+                    failures.push(format!(
+                        "{}: link {link:?} → no heading {fragment:?} in {}",
+                        file.display(),
+                        target.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} broken link(s):\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+    // The checker itself must be exercising something: README links the
+    // docs book, the book cross-links itself.
+    assert!(checked >= 10, "only {checked} relative links found");
+}
+
+#[test]
+fn readme_links_every_docs_page() {
+    let readme =
+        std::fs::read_to_string(repo_root().join("README.md")).expect("README.md readable");
+    for page in doc_files() {
+        let name = page.file_name().unwrap().to_string_lossy();
+        if name == "README.md" {
+            continue;
+        }
+        assert!(
+            readme.contains(&format!("docs/{name}")),
+            "README.md does not link docs/{name}"
+        );
+    }
+}

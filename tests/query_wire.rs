@@ -184,3 +184,43 @@ proptest! {
         prop_assert_eq!(reparsed.to_string(), text);
     }
 }
+
+/// The byte-exact examples printed in `docs/wire-format.md` — if one of
+/// these assertions moves, the docs page must move with it.
+#[test]
+fn docs_wire_format_examples_are_byte_exact() {
+    let ptq = Query::ptq(TwigPattern::parse("//Line//Qty").unwrap());
+    assert_eq!(
+        ptq.to_json_string(),
+        "{\"options\":{\"evaluator\":\"auto\",\"granularity\":\"mapping\",\
+         \"min_probability\":0},\"pattern\":\"//Line//Qty\",\"type\":\"ptq\"}"
+    );
+
+    let topk = Query::topk(TwigPattern::parse("PO/Line[./No]//Qty").unwrap(), 3)
+        .with_evaluator(EvaluatorHint::Naive)
+        .with_granularity(Granularity::Distinct)
+        .with_min_probability(0.25);
+    assert_eq!(
+        topk.to_json_string(),
+        "{\"k\":3,\"options\":{\"evaluator\":\"naive\",\"granularity\":\"distinct\",\
+         \"min_probability\":0.25},\"pattern\":\"PO/Line[./No]//Qty\",\"type\":\"topk\"}"
+    );
+
+    let keyword = Query::keyword(vec!["Qty".into(), "order".into()]);
+    assert_eq!(
+        keyword.to_json_string(),
+        "{\"options\":{\"evaluator\":\"auto\",\"granularity\":\"mapping\",\
+         \"min_probability\":0},\"terms\":[\"Qty\",\"order\"],\"type\":\"keyword\"}"
+    );
+
+    let line = BatchQuery::new(
+        "orders",
+        Query::ptq(TwigPattern::parse("//Line//Qty").unwrap()),
+    );
+    assert_eq!(
+        line.to_json_string(),
+        "{\"engine\":\"orders\",\"query\":{\"options\":{\"evaluator\":\"auto\",\
+         \"granularity\":\"mapping\",\"min_probability\":0},\"pattern\":\"//Line//Qty\",\
+         \"type\":\"ptq\"}}"
+    );
+}
