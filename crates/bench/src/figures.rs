@@ -792,8 +792,116 @@ pub fn bench_query(cfg: &ReproConfig) -> String {
     out
 }
 
+/// The columnar-layout benchmark behind `BENCH_layout.json`: for every
+/// Table II dataset, the engine's resident per-component footprint, the
+/// v1 vs v2 snapshot sizes, hydration (decode) latency for both
+/// versions, and the warm 10-query latency through the unified
+/// `QueryEngine::run` path. Writes `BENCH_layout.json` (canonical JSON)
+/// into the current directory and returns a printable summary.
+pub fn bench_layout(cfg: &ReproConfig) -> String {
+    use uxm_core::storage::{
+        decode_engine_snapshot, encode_engine_snapshot, encode_engine_snapshot_v1,
+    };
+    let queries = paper_queries();
+    let mut out = format!(
+        "BENCH_layout — columnar arena + snapshot v2, |M| = {}\n  \
+         ID     resident     v1 bytes   v2 bytes   v2/v1   hydr v1   hydr v2   speedup   warm 10q\n",
+        cfg.m
+    );
+    let mut rows = Vec::new();
+    for id in DatasetId::all() {
+        let w = workload_for(id, cfg.m, &default_config());
+        let engine = w.engine();
+        let v1 = encode_engine_snapshot_v1(&engine);
+        let v2 = encode_engine_snapshot(&engine);
+        let hydrate_v1 = time_avg(cfg.runs, || {
+            std::hint::black_box(
+                decode_engine_snapshot(&v1)
+                    .expect("v1 decodes")
+                    .approx_bytes(),
+            );
+        });
+        let hydrate_v2 = time_avg(cfg.runs, || {
+            std::hint::black_box(
+                decode_engine_snapshot(&v2)
+                    .expect("v2 decodes")
+                    .approx_bytes(),
+            );
+        });
+        let fp = engine.footprint();
+        let typed: Vec<Query> = queries.iter().map(|q| Query::ptq(q.clone())).collect();
+        for q in &typed {
+            std::hint::black_box(engine.run(q).expect("valid query").len());
+        }
+        let warm = time_avg(cfg.runs, || {
+            for q in &typed {
+                std::hint::black_box(engine.run(q).expect("valid query").len());
+            }
+        });
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>9} B {:>10} {:>10} {:>7.2} {:>8.4}s {:>8.4}s {:>8.2}x {:>9.4}s",
+            id.name(),
+            fp.total(),
+            v1.len(),
+            v2.len(),
+            v2.len() as f64 / v1.len() as f64,
+            hydrate_v1,
+            hydrate_v2,
+            hydrate_v1 / hydrate_v2.max(1e-12),
+            warm,
+        );
+        rows.push(Json::Obj(vec![
+            (
+                "hydrate_s".into(),
+                Json::Obj(vec![
+                    ("v1".into(), Json::Num(hydrate_v1)),
+                    ("v2".into(), Json::Num(hydrate_v2)),
+                ]),
+            ),
+            ("id".into(), Json::str(id.name())),
+            (
+                "resident_bytes".into(),
+                Json::Obj(vec![
+                    ("block_tree".into(), Json::uint(fp.block_tree as u64)),
+                    ("document".into(), Json::uint(fp.document as u64)),
+                    ("mappings".into(), Json::uint(fp.mappings as u64)),
+                    ("path_index".into(), Json::uint(fp.path_index as u64)),
+                    ("schemas".into(), Json::uint(fp.schemas as u64)),
+                    ("session".into(), Json::uint(fp.session as u64)),
+                    ("total".into(), Json::uint(fp.total() as u64)),
+                ]),
+            ),
+            (
+                "snapshot_bytes".into(),
+                Json::Obj(vec![
+                    ("v1".into(), Json::uint(v1.len() as u64)),
+                    ("v2".into(), Json::uint(v2.len() as u64)),
+                ]),
+            ),
+            ("warm_query_s".into(), Json::Num(warm)),
+        ]));
+    }
+    let report = Json::Obj(vec![
+        ("datasets".into(), Json::Arr(rows)),
+        ("m".into(), Json::uint(cfg.m as u64)),
+        ("queries".into(), Json::uint(queries.len() as u64)),
+        ("runs".into(), Json::uint(cfg.runs as u64)),
+    ]);
+    let path = "BENCH_layout.json";
+    match std::fs::write(path, format!("{report}\n")) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote {path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "could not write {path}: {e}");
+        }
+    }
+    out
+}
+
 /// All experiment ids accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 17] = [
+pub const EXPERIMENTS: [&str; 18] = [
     "table2",
     "fig9a",
     "fig9b",
@@ -810,6 +918,7 @@ pub const EXPERIMENTS: [&str; 17] = [
     "serve",
     "serve-http",
     "bench_query",
+    "bench_layout",
     "ablation",
 ];
 
@@ -832,6 +941,7 @@ pub fn run_experiment(id: &str, cfg: &ReproConfig) -> Option<String> {
         "serve" => serve(cfg),
         "serve-http" => serve_http(cfg),
         "bench_query" => bench_query(cfg),
+        "bench_layout" => bench_layout(cfg),
         "ablation" => ablation(cfg),
         _ => return None,
     })

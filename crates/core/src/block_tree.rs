@@ -15,12 +15,18 @@
 //!
 //! A hash index (the paper's `H`) maps target-schema paths of nodes owning
 //! c-blocks to those nodes, so the query evaluator can test "does the
-//! query root sit on a block-bearing node" in O(1).
+//! query root sit on a block-bearing node" in O(1). Paths are interned
+//! into a [`SymbolTable`] rather than used as owned `String` keys.
+//!
+//! Per-node block lists are stored as one CSR (offsets + flat array)
+//! pair. Construction is post-order, so the c-blocks of each node occupy
+//! a contiguous [`BlockId`] range in creation order — the builder records
+//! only `(start, len)` ranges and never clones child block lists.
 
 use crate::block::{Block, BlockId};
 use crate::mapping::{MappingId, PossibleMappings};
 use std::collections::HashMap;
-use uxm_xml::{Schema, SchemaNodeId};
+use uxm_xml::{Schema, SchemaNodeId, SymbolTable};
 
 /// Construction parameters (paper defaults: `τ=0.2`, `MAX_B=500`,
 /// `MAX_F=500`).
@@ -61,10 +67,14 @@ pub struct BuildStats {
 pub struct BlockTree {
     /// All c-blocks, in creation order.
     blocks: Vec<Block>,
-    /// Per target-schema node: the c-blocks anchored there.
-    node_blocks: Vec<Vec<BlockId>>,
-    /// `H`: target path (e.g. `ORDER.IP.ICN`) → node, for nodes with blocks.
-    hash: HashMap<String, SchemaNodeId>,
+    /// CSR block lists: the c-blocks anchored at target node `t` are
+    /// `node_block_list[node_block_offsets[t]..node_block_offsets[t+1]]`.
+    node_block_offsets: Vec<u32>,
+    node_block_list: Vec<BlockId>,
+    /// Interned target paths (e.g. `ORDER.IP.ICN`) of block-bearing nodes.
+    path_syms: SymbolTable,
+    /// `H`: per path symbol, the node it denotes.
+    hash: Vec<SchemaNodeId>,
     /// Construction counters.
     pub stats: BuildStats,
     /// The minimum support used (`ceil(τ·|M|)`, at least 1).
@@ -86,14 +96,29 @@ impl BlockTree {
             config,
             min_support,
             blocks: Vec::new(),
-            node_blocks: vec![Vec::new(); target.len()],
-            hash: HashMap::new(),
+            node_ranges: vec![(0, 0); target.len()],
+            path_syms: SymbolTable::new(),
+            hash: Vec::new(),
             stats: BuildStats::default(),
         };
         b.construct_c_block(target.root());
+        // Post-order construction anchors each node's blocks in one
+        // contiguous creation-order run, so the CSR assembles from the
+        // recorded ranges without touching the blocks again.
+        let mut node_block_offsets = Vec::with_capacity(target.len() + 1);
+        let mut node_block_list = Vec::with_capacity(b.blocks.len());
+        node_block_offsets.push(0);
+        for &(start, len) in &b.node_ranges {
+            for k in 0..len {
+                node_block_list.push(BlockId(start + k));
+            }
+            node_block_offsets.push(node_block_list.len() as u32);
+        }
         BlockTree {
             blocks: b.blocks,
-            node_blocks: b.node_blocks,
+            node_block_offsets,
+            node_block_list,
+            path_syms: b.path_syms,
             hash: b.hash,
             stats: b.stats,
             min_support,
@@ -104,15 +129,33 @@ impl BlockTree {
     /// decode path). Per-node lists and the hash index are rebuilt; the
     /// construction counters are zeroed.
     pub fn from_blocks(target: &Schema, blocks: Vec<Block>, min_support: usize) -> BlockTree {
-        let mut node_blocks = vec![Vec::new(); target.len()];
-        let mut hash = HashMap::new();
+        // CSR by counting sort over anchors; iterating blocks in creation
+        // order keeps each per-node run in creation order, matching the
+        // incremental builder.
+        let mut node_block_offsets = vec![0u32; target.len() + 1];
+        for b in &blocks {
+            node_block_offsets[b.anchor.idx() + 1] += 1;
+        }
+        for i in 0..target.len() {
+            node_block_offsets[i + 1] += node_block_offsets[i];
+        }
+        let mut cursor = node_block_offsets.clone();
+        let mut node_block_list = vec![BlockId(0); blocks.len()];
+        let mut path_syms = SymbolTable::new();
+        let mut hash = Vec::new();
         for (i, b) in blocks.iter().enumerate() {
-            node_blocks[b.anchor.idx()].push(BlockId(i as u32));
-            hash.entry(target.path(b.anchor)).or_insert(b.anchor);
+            node_block_list[cursor[b.anchor.idx()] as usize] = BlockId(i as u32);
+            cursor[b.anchor.idx()] += 1;
+            let sym = path_syms.intern(&target.path(b.anchor));
+            if sym.idx() == hash.len() {
+                hash.push(b.anchor); // first block on this path wins
+            }
         }
         BlockTree {
             blocks,
-            node_blocks,
+            node_block_offsets,
+            node_block_list,
+            path_syms,
             hash,
             stats: BuildStats::default(),
             min_support,
@@ -136,22 +179,51 @@ impl BlockTree {
 
     /// The c-blocks anchored at target node `t`.
     pub fn blocks_at(&self, t: SchemaNodeId) -> &[BlockId] {
-        &self.node_blocks[t.idx()]
+        let (a, b) = (
+            self.node_block_offsets[t.idx()] as usize,
+            self.node_block_offsets[t.idx() + 1] as usize,
+        );
+        &self.node_block_list[a..b]
     }
 
-    /// Hash-table lookup by target path (the paper's `find_node`).
+    /// Hash-table lookup by target path (the paper's `find_node`),
+    /// resolved through the interned path symbols.
     pub fn find_node(&self, path: &str) -> Option<SchemaNodeId> {
-        self.hash.get(path).copied()
+        self.path_syms.resolve(path).map(|s| self.hash[s.idx()])
     }
 
     /// True iff node `t` carries at least one c-block.
     pub fn has_blocks(&self, t: SchemaNodeId) -> bool {
-        !self.node_blocks[t.idx()].is_empty()
+        self.node_block_offsets[t.idx()] != self.node_block_offsets[t.idx() + 1]
     }
 
     /// Number of hash entries (nodes owning blocks).
     pub fn hash_len(&self) -> usize {
         self.hash.len()
+    }
+
+    /// Resident heap bytes of the tree: every block's correspondence and
+    /// mapping arrays, the CSR block lists, and the path hash.
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let blocks: usize = self
+            .blocks
+            .iter()
+            .map(|b| {
+                size_of::<Block>()
+                    + b.corrs.len() * size_of::<(SchemaNodeId, SchemaNodeId)>()
+                    + b.mappings.len() * size_of::<MappingId>()
+            })
+            .sum();
+        blocks
+            + self.node_block_offsets.len() * size_of::<u32>()
+            + self.node_block_list.len() * size_of::<BlockId>()
+            + self.hash.len() * size_of::<SchemaNodeId>()
+            + self
+                .path_syms
+                .iter()
+                .map(|(_, n)| n.len() + 16)
+                .sum::<usize>()
     }
 }
 
@@ -166,8 +238,10 @@ struct Builder<'a> {
     config: &'a BlockTreeConfig,
     min_support: usize,
     blocks: Vec<Block>,
-    node_blocks: Vec<Vec<BlockId>>,
-    hash: HashMap<String, SchemaNodeId>,
+    /// Per target node: `(start, len)` of its contiguous block range.
+    node_ranges: Vec<(u32, u32)>,
+    path_syms: SymbolTable,
+    hash: Vec<SchemaNodeId>,
     stats: BuildStats,
 }
 
@@ -176,7 +250,9 @@ impl<'a> Builder<'a> {
     /// Returns the number of c-blocks created at `t`.
     fn construct_c_block(&mut self, t: SchemaNodeId) -> usize {
         if self.target.is_leaf(t) {
+            let start = self.blocks.len() as u32;
             let n = self.init_leaf(t);
+            self.node_ranges[t.idx()] = (start, n as u32);
             if n > 0 {
                 self.insert_hash(t);
             }
@@ -192,7 +268,9 @@ impl<'a> Builder<'a> {
             self.stats.lemma2_skips += 1;
             return 0; // Lemma 2
         }
+        let start = self.blocks.len() as u32;
         let n = self.gen_non_leaf(t);
+        self.node_ranges[t.idx()] = (start, n as u32);
         if n > 0 {
             self.insert_hash(t);
         }
@@ -236,43 +314,57 @@ impl<'a> Builder<'a> {
     }
 
     /// Algorithm 2: c-blocks at a non-leaf from own groups × child blocks.
+    ///
+    /// Child block lists are the already-recorded `(start, len)` ranges —
+    /// two `u32`s each, never cloned — and the running mapping-set
+    /// intersection reuses two scratch buffers, so a failed combination
+    /// allocates nothing.
     fn gen_non_leaf(&mut self, t: SchemaNodeId) -> usize {
         let own = self.own_groups(t);
         if own.is_empty() {
             return 0;
         }
-        let children: Vec<SchemaNodeId> = self.target.children(t).to_vec();
-        let child_lists: Vec<Vec<BlockId>> = children
+        let child_ranges: Vec<(u32, u32)> = self
+            .target
+            .children(t)
             .iter()
-            .map(|&c| self.node_blocks[c.idx()].clone())
+            .map(|&c| self.node_ranges[c.idx()])
             .collect();
-        debug_assert!(child_lists.iter().all(|l| !l.is_empty()), "Lemma 2 ensured");
+        debug_assert!(
+            child_ranges.iter().all(|&(_, len)| len > 0),
+            "Lemma 2 ensured"
+        );
 
         let mut created = 0;
         let mut failures = 0usize;
+        let mut shared: Vec<MappingId> = Vec::new();
+        let mut scratch: Vec<MappingId> = Vec::new();
         'outer: for (s, ms) in &own {
             // Odometer over one block choice per child.
-            let mut idx = vec![0usize; child_lists.len()];
+            let mut idx = vec![0usize; child_ranges.len()];
             loop {
                 // Intersect mapping sets with early bailout.
-                let mut shared: Vec<MappingId> = ms.clone();
-                for (k, list) in child_lists.iter().enumerate() {
-                    let b = &self.blocks[list[idx[k]].idx()];
-                    shared = intersect_sorted(&shared, &b.mappings);
+                shared.clear();
+                shared.extend_from_slice(ms);
+                for (k, &(start, _)) in child_ranges.iter().enumerate() {
+                    let b = &self.blocks[start as usize + idx[k]];
+                    scratch.clear();
+                    intersect_sorted_into(&shared, &b.mappings, &mut scratch);
+                    std::mem::swap(&mut shared, &mut scratch);
                     if shared.len() < self.min_support {
                         break;
                     }
                 }
                 if shared.len() >= self.min_support && self.blocks.len() < self.config.max_blocks {
                     let mut corrs = vec![(*s, t)];
-                    for (k, list) in child_lists.iter().enumerate() {
-                        corrs.extend_from_slice(&self.blocks[list[idx[k]].idx()].corrs);
+                    for (k, &(start, _)) in child_ranges.iter().enumerate() {
+                        corrs.extend_from_slice(&self.blocks[start as usize + idx[k]].corrs);
                     }
                     corrs.sort_by_key(|&(_, tt)| tt);
                     self.attach(Block {
                         anchor: t,
                         corrs,
-                        mappings: shared,
+                        mappings: std::mem::take(&mut shared),
                     });
                     created += 1;
                 } else {
@@ -291,7 +383,7 @@ impl<'a> Builder<'a> {
                         break;
                     }
                     idx[k] += 1;
-                    if idx[k] < child_lists[k].len() {
+                    if idx[k] < child_ranges[k].1 as usize {
                         break;
                     }
                     idx[k] = 0;
@@ -307,20 +399,22 @@ impl<'a> Builder<'a> {
 
     fn attach(&mut self, block: Block) {
         debug_assert!(block.mappings.windows(2).all(|w| w[0] < w[1]));
-        let id = BlockId(self.blocks.len() as u32);
-        self.node_blocks[block.anchor.idx()].push(id);
         self.blocks.push(block);
         self.stats.blocks_created += 1;
     }
 
     fn insert_hash(&mut self, t: SchemaNodeId) {
-        self.hash.insert(self.target.path(t), t);
+        let sym = self.path_syms.intern(&self.target.path(t));
+        if sym.idx() == self.hash.len() {
+            self.hash.push(t);
+        } else {
+            self.hash[sym.idx()] = t; // re-insert overwrites
+        }
     }
 }
 
-/// Intersection of two sorted id lists.
-fn intersect_sorted(a: &[MappingId], b: &[MappingId]) -> Vec<MappingId> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
+/// Intersection of two sorted id lists into a caller-provided buffer.
+fn intersect_sorted_into(a: &[MappingId], b: &[MappingId], out: &mut Vec<MappingId>) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -333,7 +427,6 @@ fn intersect_sorted(a: &[MappingId], b: &[MappingId]) -> Vec<MappingId> {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

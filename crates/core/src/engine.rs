@@ -30,7 +30,7 @@ use crate::api::{ExecStats, Query, QueryResponse};
 use crate::block_tree::{BlockTree, BlockTreeConfig};
 use crate::error::UxmError;
 use crate::keyword::{KeywordAnswer, KeywordError};
-use crate::mapping::{Mapping, MappingId, PossibleMappings};
+use crate::mapping::{MappingId, MappingRef, PossibleMappings};
 use crate::planner::{self, Evaluator, Plan, PlannerStats};
 use crate::ptq::{PtqAnswer, PtqResult};
 use std::collections::HashMap;
@@ -269,6 +269,12 @@ pub(crate) struct SessionState {
     sym_doc_label: Vec<Option<LabelId>>,
     /// Per symbol: mappings covering ≥1 target node with that label.
     relevance: RelevanceIndex,
+    /// Per symbol: the total document posting-list length of every source
+    /// label this (target) label can rewrite to under any mapping — the
+    /// measured upper bound of the candidate stream a query node with
+    /// this label feeds the twig matcher. The planner reads the minimum
+    /// over a query's nodes.
+    rewrite_postings: Vec<usize>,
     n_mappings: usize,
     rewrite_cache: Sharded<HashMap<MappingId, Option<SymbolSets>>>,
     node_rewrite_cache: Sharded<HashMap<MappingId, Option<NodeSets>>>,
@@ -309,10 +315,32 @@ impl SessionState {
         let n_mappings = pm.len();
         let mut relevance = RelevanceIndex::new(symbols.len(), n_mappings);
         for (mid, m) in pm.iter() {
-            for &(_, t) in &m.pairs {
+            for &(_, t) in m.pairs {
                 relevance.set(target_syms[t.idx()], mid.idx());
             }
         }
+
+        // True per-label posting lengths: for every target symbol, the
+        // deduplicated source labels it can rewrite to, priced by their
+        // document posting lists.
+        let mut rewrite_syms: Vec<Vec<Symbol>> = vec![Vec::new(); symbols.len()];
+        for (_, m) in pm.iter() {
+            for &(s, t) in m.pairs {
+                rewrite_syms[target_syms[t.idx()].idx()].push(source_syms[s.idx()]);
+            }
+        }
+        let rewrite_postings: Vec<usize> = rewrite_syms
+            .into_iter()
+            .map(|mut v| {
+                v.sort_unstable();
+                v.dedup();
+                v.iter()
+                    .map(|sym| {
+                        sym_doc_label[sym.idx()].map_or(0, |l| doc.nodes_with_label_id(l).len())
+                    })
+                    .sum()
+            })
+            .collect();
 
         SessionState {
             symbols,
@@ -320,6 +348,7 @@ impl SessionState {
             target_nodes_by_sym,
             sym_doc_label,
             relevance,
+            rewrite_postings,
             n_mappings,
             rewrite_cache: Sharded::new(),
             node_rewrite_cache: Sharded::new(),
@@ -351,6 +380,27 @@ impl SessionState {
             relevant_hits: self.relevant_hits.load(Ordering::Relaxed),
             relevant_misses: self.relevant_misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Resident heap bytes of the precomputed session state: the
+    /// relevance bitsets, per-symbol indexes, and symbol-table strings
+    /// (the bounded rewrite caches are excluded).
+    fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.relevance.words.len() * size_of::<u64>()
+            + self.rewrite_postings.len() * size_of::<usize>()
+            + self.source_syms.len() * size_of::<Symbol>()
+            + self
+                .target_nodes_by_sym
+                .iter()
+                .map(|v| v.len() * size_of::<SchemaNodeId>() + size_of::<Vec<SchemaNodeId>>())
+                .sum::<usize>()
+            + self.sym_doc_label.len() * size_of::<Option<LabelId>>()
+            + self
+                .symbols
+                .iter()
+                .map(|(_, n)| n.len() + size_of::<String>())
+                .sum::<usize>()
     }
 
     /// Per pattern node: the session symbol of its label (`None` when the
@@ -478,7 +528,7 @@ impl SessionState {
         &self,
         qstr: &str,
         qsyms: &[Option<Symbol>],
-        m: &Mapping,
+        m: MappingRef<'_>,
         id: MappingId,
     ) -> Option<SymbolSets> {
         self.memoized(&self.rewrite_cache, qstr, id, || {
@@ -508,7 +558,7 @@ impl SessionState {
         &self,
         qstr: &str,
         qsyms: &[Option<Symbol>],
-        m: &Mapping,
+        m: MappingRef<'_>,
         id: MappingId,
     ) -> Option<NodeSets> {
         self.memoized(&self.node_rewrite_cache, qstr, id, || {
@@ -1115,6 +1165,50 @@ pub(crate) fn contains_word(text: &str, word: &str) -> bool {
 // ---------------------------------------------------------------------
 // the engine
 
+/// Per-component resident-size breakdown of one [`QueryEngine`] session,
+/// in bytes — every field is the exact heap size of a columnar arena (see
+/// [`QueryEngine::footprint`]). `uxm stats` prints this, and
+/// [`QueryEngine::approx_bytes`] (the registry's LRU currency) is its
+/// total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineFootprint {
+    /// The document arena: node columns, CSR child/label indexes, and the
+    /// contiguous text/attribute buffers.
+    pub document: usize,
+    /// The columnar mapping store: score/probability columns and the flat
+    /// correspondence CSR.
+    pub mappings: usize,
+    /// The block tree: block arrays, CSR per-node block lists, path hash.
+    pub block_tree: usize,
+    /// Both schemas (node tables and label strings).
+    pub schemas: usize,
+    /// Session state: relevance bitsets, the symbol table, and the
+    /// per-symbol inverted indexes.
+    pub session: usize,
+    /// The lazily built path index; 0 until a node-granularity query
+    /// forces construction.
+    pub path_index: usize,
+}
+
+impl EngineFootprint {
+    /// Sum of all components.
+    pub fn total(&self) -> usize {
+        self.document
+            + self.mappings
+            + self.block_tree
+            + self.schemas
+            + self.session
+            + self.path_index
+    }
+}
+
+/// Exact label bytes plus a fixed per-node table cost for one schema.
+fn schema_bytes(s: &Schema) -> usize {
+    s.ids().map(|id| s.label(id).len()).sum::<usize>()
+        + s.len() * std::mem::size_of::<uxm_xml::SchemaNode>()
+        + s.name.len()
+}
+
 /// A query session over one `(mappings, document, block tree)` triple.
 ///
 /// Build it once, then serve any number of typed [`Query`] requests
@@ -1238,36 +1332,30 @@ impl QueryEngine {
         self.state.stats()
     }
 
-    /// Rough resident-size estimate of the session's owned data, in bytes.
+    /// Per-component resident-size breakdown of this session, computed
+    /// from the **real columnar arena sizes** (exact array and buffer
+    /// lengths), not encode-time estimates. The bounded per-query caches
+    /// are excluded.
+    pub fn footprint(&self) -> EngineFootprint {
+        EngineFootprint {
+            document: self.doc.arena_bytes(),
+            mappings: self.pm.arena_bytes(),
+            block_tree: self.tree.arena_bytes(),
+            schemas: schema_bytes(self.source()) + schema_bytes(self.target()),
+            session: self.state.arena_bytes(),
+            path_index: self.path_index.get().map_or(0, PathIndex::arena_bytes),
+        }
+    }
+
+    /// Resident size of the session's owned data, in bytes — the total of
+    /// [`QueryEngine::footprint`].
     ///
-    /// Counts the dominant allocations — document nodes with their text
-    /// and attributes, mapping pairs, and block-tree correspondences —
-    /// not the (bounded) caches. The [`crate::registry::EngineRegistry`]
-    /// charges this against its memory budget when deciding evictions, so
-    /// it only needs to be proportional, not exact.
+    /// The [`crate::registry::EngineRegistry`] charges this against its
+    /// memory budget when deciding evictions; since it reads the actual
+    /// arena sizes, hydrated and freshly built engines account
+    /// identically.
     pub fn approx_bytes(&self) -> usize {
-        let doc_text: usize = self
-            .doc
-            .ids()
-            .map(|n| {
-                let node = self.doc.node(n);
-                node.text.as_ref().map_or(0, String::len)
-                    + node
-                        .attrs
-                        .iter()
-                        .map(|(k, v)| k.len() + v.len())
-                        .sum::<usize>()
-            })
-            .sum();
-        let doc = self.doc.len() * std::mem::size_of::<uxm_xml::DocNode>() + doc_text;
-        let pairs: usize = self.pm.iter().map(|(_, m)| m.pairs.len()).sum();
-        let blocks: usize = self
-            .tree
-            .blocks()
-            .iter()
-            .map(|b| b.corrs.len() * 8 + b.mappings.len() * 4)
-            .sum();
-        doc + pairs * 8 + blocks + self.state.relevance.words.len() * 8
+        self.footprint().total()
     }
 
     /// The paper's `filter_mappings`: ids of mappings relevant to `q`, in
@@ -1276,15 +1364,37 @@ impl QueryEngine {
         self.state.relevant(q, &q.to_string()).to_vec()
     }
 
-    /// The planner inputs for a query whose relevant set has `relevant`
-    /// mappings.
-    fn planner_stats(&self, relevant: usize, cache_warm: bool) -> PlannerStats {
+    /// The planner inputs for one query: the relevant-set size, the block
+    /// statistics fixed at build time, and the query's measured
+    /// posting-list floor.
+    fn planner_stats(&self, q: &TwigPattern, relevant: usize, cache_warm: bool) -> PlannerStats {
+        let postings = self.rewrite_postings(q);
         PlannerStats {
             relevant_mappings: relevant,
             block_count: self.tree.block_count(),
             avg_block_fanout: self.avg_block_fanout,
+            min_rewrite_postings: postings.0,
+            total_rewrite_postings: postings.1,
             cache_warm,
         }
+    }
+
+    /// The `(min, total)` rewritten-label posting-list lengths over `q`'s
+    /// nodes, read off the session's per-symbol posting table (O(|q|)).
+    /// A label occurring in neither schema nor the document contributes
+    /// 0 — its candidate stream is empty.
+    fn rewrite_postings(&self, q: &TwigPattern) -> (usize, usize) {
+        let mut min = usize::MAX;
+        let mut total = 0usize;
+        for &sym in &self.state.query_syms(q) {
+            let p = match sym {
+                Some(s) => self.state.rewrite_postings[s.idx()],
+                None => 0,
+            };
+            min = min.min(p);
+            total += p;
+        }
+        (if min == usize::MAX { 0 } else { min }, total)
     }
 
     /// The k most-probable relevant mappings for `q` (ties by id), in
@@ -1333,7 +1443,10 @@ impl QueryEngine {
                 let qstr = pattern.to_string();
                 let warm = self.state.relevant_cached(&qstr);
                 let ids = self.state.relevant(pattern, &qstr);
-                let plan = planner::choose(options.evaluator, &self.planner_stats(ids.len(), warm));
+                let plan = planner::choose(
+                    options.evaluator,
+                    &self.planner_stats(pattern, ids.len(), warm),
+                );
                 let res = self.eval_label(pattern, &ids, plan.evaluator);
                 (
                     crate::api::shape_ptq_answers(res.answers, &options),
@@ -1345,7 +1458,10 @@ impl QueryEngine {
                 let qstr = pattern.to_string();
                 let warm = self.state.relevant_cached(&qstr);
                 let relevant = self.state.relevant(pattern, &qstr).len();
-                let plan = planner::choose(options.evaluator, &self.planner_stats(relevant, warm));
+                let plan = planner::choose(
+                    options.evaluator,
+                    &self.planner_stats(pattern, relevant, warm),
+                );
                 let res = match plan.evaluator {
                     Evaluator::Naive => eval_basic_nodes(
                         pattern,
@@ -1373,7 +1489,10 @@ impl QueryEngine {
                 let qstr = pattern.to_string();
                 let warm = self.state.relevant_cached(&qstr);
                 let ids = self.topk_ids(pattern, &qstr, *k);
-                let plan = planner::choose(options.evaluator, &self.planner_stats(ids.len(), warm));
+                let plan = planner::choose(
+                    options.evaluator,
+                    &self.planner_stats(pattern, ids.len(), warm),
+                );
                 let mut res = self.eval_label(pattern, &ids, plan.evaluator);
                 res.answers.sort_by(|a, b| {
                     b.probability

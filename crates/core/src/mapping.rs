@@ -1,15 +1,25 @@
-//! Possible mappings with probabilities.
+//! Possible mappings with probabilities, stored columnar.
 //!
 //! A *possible mapping* (paper §I) is a partial one-to-one function from
 //! source to target elements; a schema matching is modelled as a
 //! probability distribution over possible mappings, obtained by ranking
 //! assignments (§V) and normalizing their scores.
+//!
+//! [`PossibleMappings`] keeps the whole set in structure-of-arrays form:
+//! one contiguous `Vec<f64>` each for scores and probabilities, and one
+//! flat correspondence array addressed per mapping through a CSR offsets
+//! table — no per-mapping `Vec` allocations, no pointer chasing on the
+//! evaluation hot path. Borrowing a mapping yields a cheap [`MappingRef`]
+//! view (a slice plus two floats). Source and target element labels are
+//! additionally interned into one [`SymbolTable`] namespace so label-level
+//! rewriting can run on dense `u32` symbols; the `String`-returning APIs
+//! are shims over the symbol paths.
 
 use uxm_assignment::merge::RankedMapping;
 use uxm_assignment::murty::RankVariant;
 use uxm_assignment::partition::{murty_top_h_mappings, partition_top_h};
 use uxm_matching::SchemaMatching;
-use uxm_xml::{Schema, SchemaNodeId};
+use uxm_xml::{Schema, SchemaNodeId, Symbol, SymbolTable};
 
 /// Index of a mapping within a [`PossibleMappings`] set.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -23,7 +33,13 @@ impl MappingId {
     }
 }
 
-/// One possible mapping `m_i` with its probability `p_i`.
+/// One possible mapping `m_i` with its probability `p_i`, in owned form.
+///
+/// The columnar [`PossibleMappings`] store does not hold `Mapping`s
+/// directly — this type is the construction/decode currency (e.g. the
+/// storage codec builds a `Vec<Mapping>` and hands it to
+/// [`PossibleMappings::from_parts`]) and the owned counterpart of the
+/// borrowed [`MappingRef`] view.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Mapping {
     /// Correspondence pairs `(source, target)`, sorted by target element.
@@ -35,7 +51,26 @@ pub struct Mapping {
     pub prob: f64,
 }
 
-impl Mapping {
+/// A borrowed view of one mapping inside a [`PossibleMappings`] set: a
+/// slice into the flat correspondence array plus the score/probability
+/// read from their contiguous columns. `Copy`, so it passes by value.
+#[derive(Clone, Copy, Debug)]
+pub struct MappingRef<'a> {
+    /// Correspondence pairs `(source, target)`, sorted by target element.
+    pub pairs: &'a [(SchemaNodeId, SchemaNodeId)],
+    /// The raw assignment score (sum of correspondence scores).
+    pub score: f64,
+    /// Normalized probability; the set sums to 1.
+    pub prob: f64,
+}
+
+impl PartialEq for MappingRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.pairs == other.pairs && self.score == other.score && self.prob == other.prob
+    }
+}
+
+impl<'a> MappingRef<'a> {
     /// The source element mapped to target `t`, if any (binary search).
     pub fn source_for_target(&self, t: SchemaNodeId) -> Option<SchemaNodeId> {
         self.pairs
@@ -58,16 +93,72 @@ impl Mapping {
     pub fn is_empty(&self) -> bool {
         self.pairs.is_empty()
     }
+
+    /// Copies the view into an owned [`Mapping`].
+    pub fn to_owned(&self) -> Mapping {
+        Mapping {
+            pairs: self.pairs.to_vec(),
+            score: self.score,
+            prob: self.prob,
+        }
+    }
 }
 
-/// A set `M` of possible mappings between two schemas, with probabilities.
+impl Mapping {
+    /// The source element mapped to target `t`, if any (binary search).
+    pub fn source_for_target(&self, t: SchemaNodeId) -> Option<SchemaNodeId> {
+        self.as_ref().source_for_target(t)
+    }
+
+    /// True iff the mapping contains exactly this pair.
+    pub fn contains_pair(&self, s: SchemaNodeId, t: SchemaNodeId) -> bool {
+        self.as_ref().contains_pair(s, t)
+    }
+
+    /// Number of correspondences.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True for the empty mapping.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Borrows the owned mapping as a [`MappingRef`] view.
+    pub fn as_ref(&self) -> MappingRef<'_> {
+        MappingRef {
+            pairs: &self.pairs,
+            score: self.score,
+            prob: self.prob,
+        }
+    }
+}
+
+/// A set `M` of possible mappings between two schemas, with probabilities,
+/// in columnar (structure-of-arrays) layout.
 #[derive(Clone, Debug)]
 pub struct PossibleMappings {
     /// The source schema `S`.
     pub source: Schema,
     /// The target schema `T`.
     pub target: Schema,
-    mappings: Vec<Mapping>,
+    /// Raw assignment scores, one per mapping.
+    scores: Vec<f64>,
+    /// Normalized probabilities, one per mapping (sums to 1).
+    probs: Vec<f64>,
+    /// CSR offsets: mapping `i`'s pairs are
+    /// `pairs[pair_offsets[i]..pair_offsets[i+1]]`.
+    pair_offsets: Vec<u32>,
+    /// All correspondence pairs, flat; each mapping's run is sorted by
+    /// target element.
+    pairs: Vec<(SchemaNodeId, SchemaNodeId)>,
+    /// Source and target element labels interned into one namespace.
+    labels: SymbolTable,
+    /// Per source schema node: its label's symbol.
+    source_syms: Vec<Symbol>,
+    /// Per target schema node: its label's symbol.
+    target_syms: Vec<Symbol>,
 }
 
 impl PossibleMappings {
@@ -100,23 +191,19 @@ impl PossibleMappings {
     ) -> PossibleMappings {
         let total: f64 = ranked.iter().map(|r| r.score).sum();
         let n = ranked.len().max(1);
-        let mappings = ranked
-            .into_iter()
-            .map(|r| Mapping {
-                prob: if total > 0.0 {
+        let mut pm = PossibleMappings::empty_columns(source, target, ranked.len());
+        for r in ranked {
+            pm.push_row(
+                &r.pairs,
+                r.score,
+                if total > 0.0 {
                     r.score / total
                 } else {
                     1.0 / n as f64
                 },
-                pairs: r.pairs,
-                score: r.score,
-            })
-            .collect();
-        PossibleMappings {
-            source,
-            target,
-            mappings,
+            );
         }
+        pm
     }
 
     /// Builds directly from mappings (tests); normalizes probabilities
@@ -140,55 +227,175 @@ impl PossibleMappings {
     /// path) — scores and probabilities are taken as stored, not
     /// renormalized.
     pub fn from_parts(source: Schema, target: Schema, mappings: Vec<Mapping>) -> Self {
+        let mut pm = PossibleMappings::empty_columns(source, target, mappings.len());
+        for m in mappings {
+            pm.push_row(&m.pairs, m.score, m.prob);
+        }
+        pm
+    }
+
+    /// Assembles the columnar set directly (the snapshot v2 decoder's
+    /// fast path). `pair_offsets` must have one more entry than `scores`,
+    /// start at 0, be non-decreasing, and end at `pairs.len()`; callers
+    /// validate pair ids against the schemas beforehand.
+    pub fn from_columns(
+        source: Schema,
+        target: Schema,
+        scores: Vec<f64>,
+        probs: Vec<f64>,
+        pair_offsets: Vec<u32>,
+        pairs: Vec<(SchemaNodeId, SchemaNodeId)>,
+    ) -> Option<PossibleMappings> {
+        let n = scores.len();
+        if probs.len() != n
+            || pair_offsets.len() != n + 1
+            || pair_offsets.first() != Some(&0)
+            || *pair_offsets.last().expect("n+1 entries") as usize != pairs.len()
+            || pair_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return None;
+        }
+        let (labels, source_syms, target_syms) = intern_labels(&source, &target);
+        Some(PossibleMappings {
+            source,
+            target,
+            scores,
+            probs,
+            pair_offsets,
+            pairs,
+            labels,
+            source_syms,
+            target_syms,
+        })
+    }
+
+    fn empty_columns(source: Schema, target: Schema, capacity: usize) -> PossibleMappings {
+        let (labels, source_syms, target_syms) = intern_labels(&source, &target);
         PossibleMappings {
             source,
             target,
-            mappings,
+            scores: Vec::with_capacity(capacity),
+            probs: Vec::with_capacity(capacity),
+            pair_offsets: {
+                let mut v = Vec::with_capacity(capacity + 1);
+                v.push(0);
+                v
+            },
+            pairs: Vec::new(),
+            labels,
+            source_syms,
+            target_syms,
         }
+    }
+
+    fn push_row(&mut self, pairs: &[(SchemaNodeId, SchemaNodeId)], score: f64, prob: f64) {
+        self.pairs.extend_from_slice(pairs);
+        self.pair_offsets.push(self.pairs.len() as u32);
+        self.scores.push(score);
+        self.probs.push(prob);
     }
 
     /// Number of mappings (the paper's `|M|`).
     #[inline]
     pub fn len(&self) -> usize {
-        self.mappings.len()
+        self.scores.len()
     }
 
     /// True when no mappings exist.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.mappings.is_empty()
+        self.scores.is_empty()
     }
 
-    /// Borrow a mapping.
+    /// Borrow a mapping as a [`MappingRef`] view.
     #[inline]
-    pub fn mapping(&self, id: MappingId) -> &Mapping {
-        &self.mappings[id.idx()]
+    pub fn mapping(&self, id: MappingId) -> MappingRef<'_> {
+        let (a, b) = (
+            self.pair_offsets[id.idx()] as usize,
+            self.pair_offsets[id.idx() + 1] as usize,
+        );
+        MappingRef {
+            pairs: &self.pairs[a..b],
+            score: self.scores[id.idx()],
+            prob: self.probs[id.idx()],
+        }
     }
 
-    /// Iterate over `(id, mapping)`.
-    pub fn iter(&self) -> impl Iterator<Item = (MappingId, &Mapping)> {
-        self.mappings
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (MappingId(i as u32), m))
+    /// The probability column — one contiguous `f64` per mapping.
+    #[inline]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The probability of one mapping (O(1) column read).
+    #[inline]
+    pub fn prob(&self, id: MappingId) -> f64 {
+        self.probs[id.idx()]
+    }
+
+    /// Total number of correspondence pairs across all mappings.
+    #[inline]
+    pub fn total_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Iterate over `(id, mapping view)`.
+    pub fn iter(&self) -> impl Iterator<Item = (MappingId, MappingRef<'_>)> {
+        self.ids().map(|id| (id, self.mapping(id)))
     }
 
     /// All mapping ids.
     pub fn ids(&self) -> impl Iterator<Item = MappingId> {
-        (0..self.mappings.len() as u32).map(MappingId)
+        (0..self.scores.len() as u32).map(MappingId)
+    }
+
+    /// The shared label namespace (source + target element labels).
+    #[inline]
+    pub fn label_table(&self) -> &SymbolTable {
+        &self.labels
+    }
+
+    /// The interned label symbol of a source schema node.
+    #[inline]
+    pub fn source_label_sym(&self, s: SchemaNodeId) -> Symbol {
+        self.source_syms[s.idx()]
+    }
+
+    /// The interned label symbol of a target schema node.
+    #[inline]
+    pub fn target_label_sym(&self, t: SchemaNodeId) -> Symbol {
+        self.target_syms[t.idx()]
+    }
+
+    /// The interned source-label symbols that target-label `label` can
+    /// rewrite to under mapping `id` — the allocation-lean core of
+    /// [`PossibleMappings::source_labels_for`]: for every target element
+    /// labelled `label` that the mapping covers, the symbol of its mapped
+    /// source element's label (sorted, deduplicated).
+    pub fn source_label_syms_for(&self, id: MappingId, label: &str) -> Vec<Symbol> {
+        let m = self.mapping(id);
+        let mut out: Vec<Symbol> = self
+            .target
+            .nodes_with_label(label)
+            .into_iter()
+            .filter_map(|t| m.source_for_target(t))
+            .map(|s| self.source_syms[s.idx()])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// The source labels that target-label `label` can rewrite to under
-    /// mapping `id`: for every target element labelled `label` that the
-    /// mapping covers, the label of its mapped source element.
+    /// mapping `id`, as owned strings in sorted order. A shim over
+    /// [`PossibleMappings::source_label_syms_for`] for `String`-level
+    /// callers.
     pub fn source_labels_for(&self, id: MappingId, label: &str) -> Vec<String> {
-        let m = self.mapping(id);
-        let mut out = Vec::new();
-        for t in self.target.nodes_with_label(label) {
-            if let Some(s) = m.source_for_target(t) {
-                out.push(self.source.label(s).to_string());
-            }
-        }
+        let mut out: Vec<String> = self
+            .source_label_syms_for(id, label)
+            .into_iter()
+            .map(|s| self.labels.name(s).to_string())
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -209,6 +416,32 @@ impl PossibleMappings {
         out.dedup();
         out
     }
+
+    /// Resident heap bytes of the columnar store (scores, probabilities,
+    /// offsets, flat pairs, and the label symbol arrays); excludes the
+    /// schemas, which the engine accounts separately.
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.scores.len() + self.probs.len()) * size_of::<f64>()
+            + self.pair_offsets.len() * size_of::<u32>()
+            + self.pairs.len() * size_of::<(SchemaNodeId, SchemaNodeId)>()
+            + (self.source_syms.len() + self.target_syms.len()) * size_of::<Symbol>()
+    }
+}
+
+/// Interns every source and target element label into one namespace and
+/// records each node's symbol.
+fn intern_labels(source: &Schema, target: &Schema) -> (SymbolTable, Vec<Symbol>, Vec<Symbol>) {
+    let mut labels = SymbolTable::new();
+    let source_syms = source
+        .ids()
+        .map(|id| labels.intern(source.label(id)))
+        .collect();
+    let target_syms = target
+        .ids()
+        .map(|id| labels.intern(target.label(id)))
+        .collect();
+    (labels, source_syms, target_syms)
 }
 
 #[cfg(test)]
@@ -231,6 +464,7 @@ mod tests {
         assert!(!pm.is_empty());
         let total: f64 = pm.iter().map(|(_, m)| m.prob).sum();
         assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        assert_eq!(pm.probabilities().len(), pm.len());
     }
 
     #[test]
@@ -293,6 +527,10 @@ mod tests {
         let labels = pm.source_labels_for(MappingId(0), "CN");
         assert_eq!(labels, vec!["Name".to_string()]);
         assert!(pm.source_labels_for(MappingId(0), "Sup").is_empty());
+        // The symbol path agrees with the string shim.
+        let syms = pm.source_label_syms_for(MappingId(0), "CN");
+        assert_eq!(syms.len(), 1);
+        assert_eq!(pm.label_table().name(syms[0]), "Name");
     }
 
     #[test]
@@ -300,6 +538,7 @@ mod tests {
         let (s, t) = schemas();
         let pm = PossibleMappings::from_pairs(s, t, vec![(vec![], 0.0), (vec![], 0.0)]);
         assert!((pm.mapping(MappingId(0)).prob - 0.5).abs() < 1e-12);
+        assert!((pm.prob(MappingId(0)) - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -318,5 +557,53 @@ mod tests {
         );
         let m = pm.mapping(MappingId(0));
         assert!(m.pairs[0].1 < m.pairs[1].1);
+    }
+
+    #[test]
+    fn columnar_roundtrip_through_owned_mappings() {
+        let (s, t) = schemas();
+        let matching = Matcher::context().match_schemas(&s, &t);
+        let pm = PossibleMappings::top_h(&matching, 6);
+        let owned: Vec<Mapping> = pm.iter().map(|(_, m)| m.to_owned()).collect();
+        let back = PossibleMappings::from_parts(pm.source.clone(), pm.target.clone(), owned);
+        assert_eq!(pm.len(), back.len());
+        for (a, b) in pm.iter().zip(back.iter()) {
+            assert_eq!(a.1, b.1);
+        }
+        assert_eq!(pm.total_pairs(), back.total_pairs());
+    }
+
+    #[test]
+    fn from_columns_validates_offsets() {
+        let (s, t) = schemas();
+        assert!(PossibleMappings::from_columns(
+            s.clone(),
+            t.clone(),
+            vec![1.0],
+            vec![1.0],
+            vec![0, 1],
+            vec![(SchemaNodeId(0), SchemaNodeId(0))],
+        )
+        .is_some());
+        // Offsets not covering the pair array.
+        assert!(PossibleMappings::from_columns(
+            s.clone(),
+            t.clone(),
+            vec![1.0],
+            vec![1.0],
+            vec![0, 0],
+            vec![(SchemaNodeId(0), SchemaNodeId(0))],
+        )
+        .is_none());
+        // Decreasing offsets.
+        assert!(PossibleMappings::from_columns(
+            s,
+            t,
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+            vec![0, 1, 0],
+            vec![(SchemaNodeId(0), SchemaNodeId(0))],
+        )
+        .is_none());
     }
 }

@@ -29,6 +29,8 @@
 //!     relevant_mappings: 40,
 //!     block_count: 12,
 //!     avg_block_fanout: 3.5, // block answers replicate across mappings
+//!     min_rewrite_postings: 40,   // cheapest per-label candidate stream
+//!     total_rewrite_postings: 120, // summed over the query's nodes
 //!     cache_warm: false,
 //! };
 //! assert_eq!(
@@ -39,6 +41,14 @@
 //! // A tiny relevant set flips the choice: the tree cannot pay for itself.
 //! let few = PlannerStats { relevant_mappings: 3, ..stats };
 //! assert_eq!(choose(EvaluatorHint::Auto, &few).evaluator, Evaluator::Naive);
+//!
+//! // So does an empty candidate stream: when some query label can never
+//! // match a document node, every evaluation is near-free.
+//! let tiny = PlannerStats { min_rewrite_postings: 0, ..stats };
+//! assert_eq!(
+//!     choose(EvaluatorHint::Auto, &tiny).reason,
+//!     PlanReason::TinyPostings,
+//! );
 //!
 //! // A pinned hint always wins.
 //! let pinned = choose(EvaluatorHint::Naive, &stats);
@@ -58,6 +68,13 @@ pub const FEW_MAPPINGS_CUTOFF: usize = 8;
 /// Minimum average c-block fan-out (mappings sharing a block) for the
 /// tree's answer replication to beat per-mapping evaluation outright.
 pub const SHARED_FANOUT_CUTOFF: f64 = 2.0;
+
+/// Posting-list budget under which a warm cache makes naive evaluation
+/// the winner: with rewrites memoized, per-mapping match work over
+/// candidate streams totalling at most this many document nodes is
+/// cheaper than the tree's split/join machinery. Above it, match work
+/// dominates and block sharing still pays even when warm.
+pub const WARM_POSTINGS_CUTOFF: usize = 1024;
 
 /// A PTQ evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,11 +111,17 @@ pub enum PlanReason {
     NoBlocks,
     /// The relevant mapping set is at most [`FEW_MAPPINGS_CUTOFF`].
     FewMappings,
+    /// Some query node's measured candidate stream is empty: no document
+    /// node can ever match it, every answer is provably empty, and the
+    /// tree's split/join machinery would be pure overhead.
+    TinyPostings,
     /// Average c-block fan-out ≥ [`SHARED_FANOUT_CUTOFF`]: block answers
     /// replicate across many mappings.
     SharedBlocks,
-    /// The session caches already hold this query's rewrites, removing
-    /// most of what the tree would have saved.
+    /// The session caches already hold this query's rewrites **and** the
+    /// measured candidate streams are small (≤
+    /// [`WARM_POSTINGS_CUTOFF`] document nodes in total), so memoized
+    /// per-mapping evaluation beats the tree's machinery.
     WarmCache,
     /// Default for large relevant sets with modest sharing.
     ManyMappings,
@@ -113,6 +136,7 @@ impl PlanReason {
             PlanReason::Pinned => "pinned",
             PlanReason::NoBlocks => "no-blocks",
             PlanReason::FewMappings => "few-mappings",
+            PlanReason::TinyPostings => "tiny-postings",
             PlanReason::SharedBlocks => "shared-blocks",
             PlanReason::WarmCache => "warm-cache",
             PlanReason::ManyMappings => "many-mappings",
@@ -158,6 +182,16 @@ pub struct PlannerStats {
     /// Average mappings per c-block — the replication factor block
     /// answers enjoy. `0.0` when there are no blocks.
     pub avg_block_fanout: f64,
+    /// The smallest *rewritten-label* posting-list length among the
+    /// query's nodes: per query label, the total document postings of
+    /// every source label it can rewrite to under any mapping. Zero means
+    /// some query node can never match a document node, so every answer
+    /// is empty. Measured from the session's posting table.
+    pub min_rewrite_postings: usize,
+    /// The summed rewritten-label posting-list lengths over all query
+    /// nodes — an upper bound on the candidate stream a single twig
+    /// evaluation scans.
+    pub total_rewrite_postings: usize,
     /// Whether the session caches already hold this query (its relevant
     /// set, and with it the memoized rewrites of a previous evaluation).
     pub cache_warm: bool,
@@ -171,11 +205,16 @@ pub struct PlannerStats {
 /// 1. no c-blocks → [`Evaluator::Naive`] (nothing to share);
 /// 2. `relevant_mappings ≤ `[`FEW_MAPPINGS_CUTOFF`] → `Naive` (the
 ///    tree's split/join overhead exceeds the work it saves);
-/// 3. `avg_block_fanout ≥ `[`SHARED_FANOUT_CUTOFF`] → `BlockTree`
+/// 3. `min_rewrite_postings == 0` → `Naive` (some query node's measured
+///    candidate stream is empty, so every answer is provably empty and
+///    there is nothing to share);
+/// 4. `avg_block_fanout ≥ `[`SHARED_FANOUT_CUTOFF`] → `BlockTree`
 ///    (block answers replicate across ≥2 mappings on average);
-/// 4. warm caches → `Naive` (rewrites are already memoized, which is
-///    most of what the tree would have shared);
-/// 5. otherwise → `BlockTree` (large `|M_q|`, let rewrite-group sharing
+/// 5. warm caches and `total_rewrite_postings ≤
+///    `[`WARM_POSTINGS_CUTOFF`] → `Naive` (rewrites are memoized and
+///    the measured match work is small — most of what the tree would
+///    have shared is already free);
+/// 6. otherwise → `BlockTree` (large `|M_q|`, let rewrite-group sharing
 ///    work).
 pub fn choose(hint: EvaluatorHint, stats: &PlannerStats) -> Plan {
     let pin = |evaluator| Plan {
@@ -191,9 +230,11 @@ pub fn choose(hint: EvaluatorHint, stats: &PlannerStats) -> Plan {
                 auto(Evaluator::Naive, PlanReason::NoBlocks)
             } else if stats.relevant_mappings <= FEW_MAPPINGS_CUTOFF {
                 auto(Evaluator::Naive, PlanReason::FewMappings)
+            } else if stats.min_rewrite_postings == 0 {
+                auto(Evaluator::Naive, PlanReason::TinyPostings)
             } else if stats.avg_block_fanout >= SHARED_FANOUT_CUTOFF {
                 auto(Evaluator::BlockTree, PlanReason::SharedBlocks)
-            } else if stats.cache_warm {
+            } else if stats.cache_warm && stats.total_rewrite_postings <= WARM_POSTINGS_CUTOFF {
                 auto(Evaluator::Naive, PlanReason::WarmCache)
             } else {
                 auto(Evaluator::BlockTree, PlanReason::ManyMappings)
@@ -211,6 +252,8 @@ mod tests {
             relevant_mappings: relevant,
             block_count: blocks,
             avg_block_fanout: fanout,
+            min_rewrite_postings: 100,
+            total_rewrite_postings: 1000,
             cache_warm: warm,
         }
     }
@@ -238,6 +281,25 @@ mod tests {
         assert_eq!(
             c(&stats(FEW_MAPPINGS_CUTOFF, 40, 10.0, false)).reason,
             PlanReason::FewMappings
+        );
+        assert_eq!(
+            c(&PlannerStats {
+                min_rewrite_postings: 0,
+                ..stats(100, 40, 10.0, false)
+            }),
+            Plan {
+                evaluator: Evaluator::Naive,
+                reason: PlanReason::TinyPostings
+            }
+        );
+        assert_eq!(
+            c(&PlannerStats {
+                total_rewrite_postings: WARM_POSTINGS_CUTOFF + 1,
+                ..stats(100, 40, 1.2, true)
+            })
+            .reason,
+            PlanReason::ManyMappings,
+            "huge streams keep the tree even when warm"
         );
         assert_eq!(
             c(&stats(100, 40, 5.0, true)).reason,
@@ -270,5 +332,6 @@ mod tests {
     fn wire_names_are_kebab_case() {
         assert_eq!(Evaluator::BlockTree.wire_name(), "block-tree");
         assert_eq!(PlanReason::SharedBlocks.to_string(), "shared-blocks");
+        assert_eq!(PlanReason::TinyPostings.to_string(), "tiny-postings");
     }
 }

@@ -137,7 +137,7 @@ mod tests {
         let q = TwigPattern::parse("ORDER//ICN").unwrap();
         let m = pm.mapping(MappingId(0));
         let a = rewrite_with_mapping(&q, &pm, MappingId(0)).unwrap();
-        let b = rewrite_with_pairs(&q, &pm.source, &pm.target, &m.pairs).unwrap();
+        let b = rewrite_with_pairs(&q, &pm.source, &pm.target, m.pairs).unwrap();
         assert_eq!(a, b);
     }
 

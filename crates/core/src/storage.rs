@@ -15,28 +15,42 @@
 //! document — so a [`crate::registry::EngineRegistry`] can hydrate a
 //! serving engine from a single file with no out-of-band state.
 //!
-//! # Snapshot format
+//! # Snapshot format (version 2, current)
+//!
+//! Version 2 serializes the **columnar layout directly** — the same
+//! structure-of-arrays form the engine holds resident — so hydration
+//! builds no per-node `String`s and no intermediate tree (see
+//! `docs/wire-format.md` for the byte-level grammar):
 //!
 //! ```text
 //! magic  "UXMS"
-//! varint  version            — see SNAPSHOT_VERSION
+//! varint  version            — 2
 //! schema  source             — name, then nodes in pre-order:
 //!                              label, parent id (omitted for the root),
 //!                              repeatable flag
 //! schema  target
-//! varint  payload length
-//! bytes   encode_compressed  — the "UXM1" block-compressed mapping set
-//! doc     source document    — label table, then nodes in document
-//!                              order: label id, parent id (omitted for
-//!                              the root), optional text, attributes
+//! varint  min_support; blocks — anchor, corrs, mapping ids (as "UXM1")
+//! varint  |M|; scores ×|M| (f64), probs ×|M| (f64)
+//! per mapping: block pointers, then residual pairs
+//! doc     label table; node count; label column; parent column;
+//!         sparse text spans (node, byte len) + one contiguous text
+//!         buffer; flat attribute spans (node, name len, value len) +
+//!         one contiguous attribute buffer
 //! ```
 //!
 //! **Version history** (`SNAPSHOT_VERSION`):
 //!
-//! * **1** — initial format, as above. Decoders reject anything else
-//!   with [`DecodeError::UnsupportedVersion`]; bumping the version is
-//!   required for any layout change, so stale snapshot files fail loudly
-//!   instead of misparsing.
+//! * **1** — initial format: schemas, a length-prefixed embedded
+//!   `encode_compressed` payload, then the document with per-node
+//!   text/attribute records. Still decoded (see
+//!   [`decode_engine_snapshot`]); [`encode_engine_snapshot_v1`] keeps
+//!   the writer alive for compatibility fixtures.
+//! * **2** — columnar document and mapping sections as above: smaller
+//!   files (no per-node flag bytes or length-prefixed strings) and
+//!   faster hydration (the decoder feeds `Document::from_columns` /
+//!   `PossibleMappings::from_columns` directly). Decoders reject any
+//!   other version with [`DecodeError::UnsupportedVersion`], so stale
+//!   snapshot files fail loudly instead of misparsing.
 //!
 //! All formats use LEB128 varints for ids and counts, so the on-disk
 //! sizes reflect genuine entropy, not padding.
@@ -80,15 +94,16 @@ use crate::compress::compress;
 use crate::engine::QueryEngine;
 use crate::mapping::{Mapping, MappingId, PossibleMappings};
 use std::fmt;
-use uxm_xml::{DocNodeId, Document, Schema, SchemaNodeId};
+use uxm_xml::{ColumnError, DocNodeId, Document, LabelId, Schema, SchemaNodeId};
 
 const MAGIC_PLAIN: &[u8; 4] = b"UXM0";
 const MAGIC_BLOCK: &[u8; 4] = b"UXM1";
 const MAGIC_SNAPSHOT: &[u8; 4] = b"UXMS";
 
 /// Current engine-snapshot format version (see the module docs for the
-/// version history). Decoders accept exactly this version.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// version history). Encoders write this version; decoders accept it
+/// **and** still read version-1 files.
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// Decode failures.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -138,7 +153,7 @@ pub fn encode_plain(pm: &PossibleMappings) -> Vec<u8> {
         out.extend_from_slice(&m.score.to_le_bits_bytes());
         out.extend_from_slice(&m.prob.to_le_bits_bytes());
         put_varint(&mut out, m.pairs.len() as u64);
-        for &(s, t) in &m.pairs {
+        for &(s, t) in m.pairs {
             put_varint(&mut out, s.0 as u64);
             put_varint(&mut out, t.0 as u64);
         }
@@ -174,19 +189,7 @@ pub fn encode_compressed(pm: &PossibleMappings, tree: &BlockTree) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC_BLOCK);
     put_varint(&mut out, tree.min_support as u64);
-    put_varint(&mut out, tree.blocks().len() as u64);
-    for b in tree.blocks() {
-        put_varint(&mut out, b.anchor.0 as u64);
-        put_varint(&mut out, b.corrs.len() as u64);
-        for &(s, t) in &b.corrs {
-            put_varint(&mut out, s.0 as u64);
-            put_varint(&mut out, t.0 as u64);
-        }
-        put_varint(&mut out, b.mappings.len() as u64);
-        for &m in &b.mappings {
-            put_varint(&mut out, m.0 as u64);
-        }
-    }
+    put_blocks(&mut out, tree.blocks());
     put_varint(&mut out, pm.len() as u64);
     for (mid, m) in pm.iter() {
         let c = &cm.mappings[mid.idx()];
@@ -268,12 +271,53 @@ pub fn measured_compression_ratio(pm: &PossibleMappings, tree: &BlockTree) -> f6
 // engine snapshots
 
 /// Serializes a whole engine session — schemas, block-compressed mapping
-/// set, and document — into one versioned container (see the module docs
-/// for the layout).
+/// set, and document — into one versioned container in the current
+/// (columnar, version-2) layout. See the module docs for the layout and
+/// [`encode_engine_snapshot_v1`] for the legacy writer.
 pub fn encode_engine_snapshot(engine: &QueryEngine) -> Vec<u8> {
+    let pm = engine.mappings();
+    let tree = engine.tree();
+    let cm = compress(pm, tree);
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC_SNAPSHOT);
     put_varint(&mut out, SNAPSHOT_VERSION);
+    put_schema(&mut out, engine.source());
+    put_schema(&mut out, engine.target());
+
+    // Mapping section: blocks once, then columnar mapping columns.
+    put_varint(&mut out, tree.min_support as u64);
+    put_blocks(&mut out, tree.blocks());
+    put_varint(&mut out, pm.len() as u64);
+    for (_, m) in pm.iter() {
+        out.extend_from_slice(&m.score.to_le_bits_bytes());
+    }
+    for (_, m) in pm.iter() {
+        out.extend_from_slice(&m.prob.to_le_bits_bytes());
+    }
+    for (mid, _) in pm.iter() {
+        let c = &cm.mappings[mid.idx()];
+        put_varint(&mut out, c.blocks.len() as u64);
+        for &b in &c.blocks {
+            put_varint(&mut out, b.0 as u64);
+        }
+        put_varint(&mut out, c.residual.len() as u64);
+        for &(s, t) in &c.residual {
+            put_varint(&mut out, s.0 as u64);
+            put_varint(&mut out, t.0 as u64);
+        }
+    }
+
+    put_document_columnar(&mut out, engine.document());
+    out
+}
+
+/// The legacy (version-1) snapshot writer, kept so compatibility tests
+/// and fixtures can still produce v1 bytes. New snapshots should use
+/// [`encode_engine_snapshot`].
+pub fn encode_engine_snapshot_v1(engine: &QueryEngine) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_SNAPSHOT);
+    put_varint(&mut out, 1);
     put_schema(&mut out, engine.source());
     put_schema(&mut out, engine.target());
     let payload = encode_compressed(engine.mappings(), engine.tree());
@@ -298,27 +342,49 @@ pub struct EngineSnapshot {
     pub document: Document,
 }
 
+/// Peeks the format version of an engine snapshot without decoding its
+/// body (`uxm stats` and the compat tooling report it).
+pub fn snapshot_version(bytes: &[u8]) -> Result<u64, DecodeError> {
+    let mut r = Reader::new(bytes);
+    r.expect_magic(MAGIC_SNAPSHOT)?;
+    r.varint()
+}
+
 /// Deserializes an engine snapshot into its parts, without building any
 /// session state.
 pub fn decode_engine_snapshot_parts(bytes: &[u8]) -> Result<EngineSnapshot, DecodeError> {
     let mut r = Reader::new(bytes);
     r.expect_magic(MAGIC_SNAPSHOT)?;
     let version = r.varint()?;
-    if version != SNAPSHOT_VERSION {
-        return Err(DecodeError::UnsupportedVersion(version));
+    match version {
+        1 => {
+            let source = r.schema()?;
+            let target = r.schema()?;
+            let payload_len = r.varint()? as usize;
+            let payload = r.take(payload_len)?;
+            let (mappings, tree) = decode_compressed(payload, source, target)?;
+            let document = r.document()?;
+            r.finish()?;
+            Ok(EngineSnapshot {
+                mappings,
+                tree,
+                document,
+            })
+        }
+        2 => {
+            let source = r.schema()?;
+            let target = r.schema()?;
+            let (mappings, tree) = r.columnar_mappings(source, target)?;
+            let document = r.document_columnar()?;
+            r.finish()?;
+            Ok(EngineSnapshot {
+                mappings,
+                tree,
+                document,
+            })
+        }
+        other => Err(DecodeError::UnsupportedVersion(other)),
     }
-    let source = r.schema()?;
-    let target = r.schema()?;
-    let payload_len = r.varint()? as usize;
-    let payload = r.take(payload_len)?;
-    let (mappings, tree) = decode_compressed(payload, source, target)?;
-    let document = r.document()?;
-    r.finish()?;
-    Ok(EngineSnapshot {
-        mappings,
-        tree,
-        document,
-    })
 }
 
 /// Deserializes an engine snapshot and rebuilds the full session state
@@ -346,6 +412,67 @@ fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
     }
 }
 
+/// The shared block encoding (anchor, corrs, mapping ids) used by both
+/// the standalone "UXM1" codec and the v2 snapshot's mapping section.
+fn put_blocks(out: &mut Vec<u8>, blocks: &[Block]) {
+    put_varint(out, blocks.len() as u64);
+    for b in blocks {
+        put_varint(out, b.anchor.0 as u64);
+        put_varint(out, b.corrs.len() as u64);
+        for &(s, t) in &b.corrs {
+            put_varint(out, s.0 as u64);
+            put_varint(out, t.0 as u64);
+        }
+        put_varint(out, b.mappings.len() as u64);
+        for &m in &b.mappings {
+            put_varint(out, m.0 as u64);
+        }
+    }
+}
+
+/// The v2 columnar document section: label table, label/parent columns,
+/// sparse text spans with one contiguous text buffer, flat attribute
+/// spans with one contiguous attribute buffer.
+fn put_document_columnar(out: &mut Vec<u8>, doc: &Document) {
+    put_varint(out, doc.label_count() as u64);
+    for l in 0..doc.label_count() as u32 {
+        put_str(out, doc.label_name(uxm_xml::LabelId(l)));
+    }
+    put_varint(out, doc.len() as u64);
+    for id in doc.ids() {
+        put_varint(out, doc.label(id).0 as u64);
+    }
+    for id in doc.ids().skip(1) {
+        put_varint(out, doc.parent(id).expect("non-root has a parent").0 as u64);
+    }
+    // Sparse text spans in node order, then the concatenated bytes.
+    let with_text: Vec<DocNodeId> = doc.ids().filter(|&n| doc.text(n).is_some()).collect();
+    put_varint(out, with_text.len() as u64);
+    for &n in &with_text {
+        put_varint(out, n.0 as u64);
+        put_varint(out, doc.text(n).expect("filtered").len() as u64);
+    }
+    for &n in &with_text {
+        out.extend_from_slice(doc.text(n).expect("filtered").as_bytes());
+    }
+    // Flat attribute spans in node order, then the concatenated bytes.
+    let total_attrs: usize = doc.ids().map(|n| doc.attr_count(n)).sum();
+    put_varint(out, total_attrs as u64);
+    for n in doc.ids() {
+        for (name, value) in doc.attrs(n) {
+            put_varint(out, n.0 as u64);
+            put_varint(out, name.len() as u64);
+            put_varint(out, value.len() as u64);
+        }
+    }
+    for n in doc.ids() {
+        for (name, value) in doc.attrs(n) {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(value.as_bytes());
+        }
+    }
+}
+
 fn put_document(out: &mut Vec<u8>, doc: &Document) {
     put_varint(out, doc.label_count() as u64);
     for l in 0..doc.label_count() as u32 {
@@ -353,20 +480,19 @@ fn put_document(out: &mut Vec<u8>, doc: &Document) {
     }
     put_varint(out, doc.len() as u64);
     for id in doc.ids() {
-        let node = doc.node(id);
-        put_varint(out, node.label.0 as u64);
-        if let Some(p) = node.parent {
+        put_varint(out, doc.label(id).0 as u64);
+        if let Some(p) = doc.parent(id) {
             put_varint(out, p.0 as u64);
         }
-        match &node.text {
+        match doc.text(id) {
             Some(t) => {
                 out.push(1);
                 put_str(out, t);
             }
             None => out.push(0),
         }
-        put_varint(out, node.attrs.len() as u64);
-        for (name, value) in &node.attrs {
+        put_varint(out, doc.attr_count(id) as u64);
+        for (name, value) in doc.attrs(id) {
             put_str(out, name);
             put_str(out, value);
         }
@@ -551,6 +677,177 @@ impl<'a> Reader<'a> {
             }
         }
         Ok(builder.expect("at least the root").finish())
+    }
+
+    /// A varint that must fit in a `u32` (column offsets and lengths).
+    fn varint_u32(&mut self) -> Result<u32, DecodeError> {
+        let v = self.varint()?;
+        u32::try_from(v).map_err(|_| DecodeError::Malformed)
+    }
+
+    /// The v2 mapping section: shared blocks, then columnar score /
+    /// probability columns and per-mapping block pointers + residuals,
+    /// reconstructed straight into the columnar [`PossibleMappings`].
+    fn columnar_mappings(
+        &mut self,
+        source: Schema,
+        target: Schema,
+    ) -> Result<(PossibleMappings, BlockTree), DecodeError> {
+        let min_support = self.varint()? as usize;
+        let n_blocks = self.varint()? as usize;
+        let mut blocks = Vec::with_capacity(n_blocks.min(4096));
+        for _ in 0..n_blocks {
+            let anchor = self.varint_u32()?;
+            if anchor as usize >= target.len() {
+                return Err(DecodeError::IdOutOfRange);
+            }
+            let corrs = self.pairs(source.len(), target.len())?;
+            let n_m = self.varint()? as usize;
+            let mut mappings = Vec::with_capacity(n_m.min(4096));
+            for _ in 0..n_m {
+                mappings.push(MappingId(self.varint_u32()?));
+            }
+            blocks.push(Block {
+                anchor: SchemaNodeId(anchor),
+                corrs,
+                mappings,
+            });
+        }
+        let tree = BlockTree::from_blocks(&target, blocks, min_support);
+
+        let n = self.varint()? as usize;
+        let mut scores = Vec::with_capacity(n.min(65536));
+        for _ in 0..n {
+            scores.push(self.f64()?);
+        }
+        let mut probs = Vec::with_capacity(n.min(65536));
+        for _ in 0..n {
+            probs.push(self.f64()?);
+        }
+        let mut pair_offsets = Vec::with_capacity(n + 1);
+        pair_offsets.push(0u32);
+        let mut pairs: Vec<(SchemaNodeId, SchemaNodeId)> = Vec::new();
+        let mut row: Vec<(SchemaNodeId, SchemaNodeId)> = Vec::new();
+        for _ in 0..n {
+            row.clear();
+            let n_b = self.varint()? as usize;
+            for _ in 0..n_b {
+                let b = self.varint()? as usize;
+                let block = tree.blocks().get(b).ok_or(DecodeError::IdOutOfRange)?;
+                row.extend_from_slice(&block.corrs);
+            }
+            row.extend(self.pairs(source.len(), target.len())?);
+            row.sort_by_key(|&(s, t)| (t, s));
+            row.dedup();
+            pairs.extend_from_slice(&row);
+            let end = u32::try_from(pairs.len()).map_err(|_| DecodeError::Malformed)?;
+            pair_offsets.push(end);
+        }
+        let pm = PossibleMappings::from_columns(source, target, scores, probs, pair_offsets, pairs)
+            .ok_or(DecodeError::Malformed)?;
+        Ok((pm, tree))
+    }
+
+    /// The v2 columnar document section, decoded straight into
+    /// [`Document::from_columns`] — no per-node `String` allocation and
+    /// no incremental builder.
+    fn document_columnar(&mut self) -> Result<Document, DecodeError> {
+        let n_labels = self.varint()? as usize;
+        let mut label_names = Vec::with_capacity(n_labels.min(4096));
+        for _ in 0..n_labels {
+            label_names.push(self.str()?.to_string());
+        }
+        let n = self.varint()? as usize;
+        if n == 0 {
+            return Err(DecodeError::Malformed);
+        }
+        let cap = n.min(1 << 20);
+        let mut labels = Vec::with_capacity(cap);
+        for _ in 0..n {
+            labels.push(LabelId(self.varint_u32()?));
+        }
+        let mut parents = Vec::with_capacity(cap);
+        parents.push(Document::NO_PARENT);
+        for _ in 1..n {
+            parents.push(self.varint_u32()?);
+        }
+
+        // Sparse text spans: (node, byte len) with strictly increasing
+        // nodes, then the one contiguous buffer.
+        let n_text = self.varint()? as usize;
+        let mut text_entries = Vec::with_capacity(n_text.min(cap));
+        let mut total_text = 0usize;
+        let mut last: Option<u32> = None;
+        for _ in 0..n_text {
+            let node = self.varint_u32()?;
+            let len = self.varint_u32()?;
+            if node as usize >= n {
+                return Err(DecodeError::IdOutOfRange);
+            }
+            if last.is_some_and(|l| node <= l) {
+                return Err(DecodeError::Malformed);
+            }
+            last = Some(node);
+            text_entries.push((node, len));
+            total_text += len as usize;
+        }
+        let text_buf = std::str::from_utf8(self.take(total_text)?)
+            .map_err(|_| DecodeError::BadString)?
+            .to_string();
+        let mut text_spans = vec![(Document::NO_PARENT, 0u32); n];
+        let mut off = 0u32;
+        for &(node, len) in &text_entries {
+            text_spans[node as usize] = (off, len);
+            off += len;
+        }
+
+        // Flat attribute spans: (node, name len, value len) with
+        // non-decreasing nodes, then the one contiguous buffer.
+        let n_attrs = self.varint()? as usize;
+        let mut attr_counts = vec![0u32; n];
+        let mut attr_lens = Vec::with_capacity(n_attrs.min(cap));
+        let mut total_attr = 0usize;
+        let mut last_node: Option<u32> = None;
+        for _ in 0..n_attrs {
+            let node = self.varint_u32()?;
+            if node as usize >= n {
+                return Err(DecodeError::IdOutOfRange);
+            }
+            if last_node.is_some_and(|l| node < l) {
+                return Err(DecodeError::Malformed);
+            }
+            last_node = Some(node);
+            let name_len = self.varint_u32()?;
+            let value_len = self.varint_u32()?;
+            attr_counts[node as usize] += 1;
+            total_attr += name_len as usize + value_len as usize;
+            attr_lens.push((name_len, value_len));
+        }
+        let attr_buf = std::str::from_utf8(self.take(total_attr)?)
+            .map_err(|_| DecodeError::BadString)?
+            .to_string();
+        let mut attr_spans = Vec::with_capacity(attr_lens.len());
+        let mut off = 0u32;
+        for &(name_len, value_len) in &attr_lens {
+            attr_spans.push(((off, name_len), (off + name_len, value_len)));
+            off += name_len + value_len;
+        }
+
+        Document::from_columns(
+            label_names,
+            labels,
+            parents,
+            text_buf,
+            text_spans,
+            attr_buf,
+            attr_counts,
+            attr_spans,
+        )
+        .map_err(|e| match e {
+            ColumnError::BadParent => DecodeError::Malformed,
+            ColumnError::BadLabel => DecodeError::IdOutOfRange,
+            ColumnError::BadSpan => DecodeError::BadString,
+        })
     }
 
     fn finish(&self) -> Result<(), DecodeError> {

@@ -171,7 +171,7 @@ impl ResolvedPattern {
     pub fn node_accepts(&self, id: PatternNodeId, n: DocNodeId, doc: &Document) -> bool {
         let node_ok = match &self.node_candidates {
             Some(lists) => lists[id.idx()].binary_search(&n).is_ok(),
-            None => self.allowed[id.idx()].contains(&doc.node(n).label),
+            None => self.allowed[id.idx()].contains(&doc.label(n)),
         };
         if !node_ok {
             return false;

@@ -1,13 +1,24 @@
-//! XML document trees with region encoding.
+//! XML document trees with region encoding, stored as a columnar arena.
 //!
-//! A [`Document`] is a flat arena of element nodes, each carrying the
+//! A [`Document`] is a flat, structure-of-arrays arena: per-node labels,
+//! parents, post-order ranks and levels live in parallel `Vec`s indexed by
+//! [`DocNodeId`]; child lists are one CSR (offsets + flat array) pair; all
+//! text content sits in **one contiguous buffer** addressed by
+//! `(offset, len)` spans, and attributes likewise. Each node carries the
 //! `(pre, post, level)` region encoding that structural-join algorithms
 //! need: node `a` is an ancestor of node `b` iff
-//! `a.pre < b.pre && b.post < a.post`.
+//! `a.pre < b.pre && b.post < a.post` (`pre` *is* the node id).
 //!
 //! Element labels are interned into per-document [`LabelId`]s, and the
-//! document maintains a label → nodes index (in document order) so twig
-//! matchers can fetch the candidate stream for a query node in O(1).
+//! document maintains a label → nodes CSR index (in document order) so
+//! twig matchers can fetch the candidate stream for a query node in O(1).
+//!
+//! The columnar layout has two invariants every constructor maintains:
+//!
+//! * **pre-order ids** — a node's parent always has a smaller id, so the
+//!   subtree of `n` is the contiguous id interval `[n, subtree_end(n)]`;
+//! * **span integrity** — every text/attribute span lies inside its
+//!   buffer and starts/ends on UTF-8 character boundaries.
 
 use crate::ids::DocNodeId;
 use std::collections::HashMap;
@@ -25,74 +36,252 @@ impl LabelId {
     }
 }
 
-/// One element node of a document.
-#[derive(Clone, Debug, PartialEq)]
-pub struct DocNode {
-    /// Interned element label.
-    pub label: LabelId,
-    /// Parent node; `None` only for the root.
-    pub parent: Option<DocNodeId>,
-    /// Children in document order.
-    pub children: Vec<DocNodeId>,
-    /// Concatenated text content directly under this element, if any.
-    pub text: Option<String>,
-    /// Attributes in source order (empty for generated documents).
-    pub attrs: Vec<(String, String)>,
-    /// Pre-order rank (equals the node id value).
-    pub pre: u32,
-    /// Post-order rank.
-    pub post: u32,
-    /// Depth; the root is at level 0.
-    pub level: u32,
+/// Sentinel for "no parent" / "no text" in the columnar arrays.
+const NONE: u32 = u32::MAX;
+
+/// A `(offset, len)` span into one of the document's string buffers.
+/// `(NONE, 0)` marks an absent text.
+type Span = (u32, u32);
+
+/// Structural errors reported by [`Document::from_columns`] (the snapshot
+/// decoder's fast path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnError {
+    /// A non-root node whose parent does not precede it, a root with a
+    /// parent, or an empty node table.
+    BadParent,
+    /// A node label outside the label table.
+    BadLabel,
+    /// A text or attribute span outside its buffer or splitting a UTF-8
+    /// character.
+    BadSpan,
 }
 
-/// An XML document as an arena of element nodes.
+/// An XML document as a columnar arena of element nodes.
 ///
 /// Construct with [`Document::builder`], [`crate::parser::parse_document`],
 /// or [`Document::generate`].
 #[derive(Clone, Debug)]
 pub struct Document {
-    nodes: Vec<DocNode>,
-    labels: Vec<String>,
+    /// Per node: interned label.
+    labels: Vec<LabelId>,
+    /// Per node: parent id (`NONE` for the root).
+    parents: Vec<u32>,
+    /// Per node: post-order rank.
+    posts: Vec<u32>,
+    /// Per node: depth (root at 0).
+    levels: Vec<u32>,
+    /// CSR child lists: node `i`'s children are
+    /// `child_list[child_offsets[i]..child_offsets[i+1]]`, in document order.
+    child_offsets: Vec<u32>,
+    child_list: Vec<DocNodeId>,
+    /// All text content, concatenated; per-node spans below.
+    text_buf: String,
+    /// Per node: span into `text_buf`, `(NONE, 0)` when the node has none.
+    text_spans: Vec<Span>,
+    /// All attribute names and values, concatenated.
+    attr_buf: String,
+    /// CSR attribute lists: node `i`'s attributes are
+    /// `attr_spans[attr_offsets[i]..attr_offsets[i+1]]`.
+    attr_offsets: Vec<u32>,
+    /// Flat `(name span, value span)` pairs into `attr_buf`.
+    attr_spans: Vec<(Span, Span)>,
+    /// Label table (interning order).
+    label_names: Vec<String>,
     label_lookup: HashMap<String, LabelId>,
-    /// For each label, the node ids carrying it, in document order.
-    by_label: Vec<Vec<DocNodeId>>,
+    /// CSR label index: nodes carrying label `l` are
+    /// `by_label_list[by_label_offsets[l]..by_label_offsets[l+1]]`.
+    by_label_offsets: Vec<u32>,
+    by_label_list: Vec<DocNodeId>,
 }
 
 impl Document {
+    /// The parent sentinel of the columnar layout: the root's entry in
+    /// the `parents` column handed to [`Document::from_columns`] must
+    /// hold this value.
+    pub const NO_PARENT: u32 = NONE;
+
     /// Starts building a document with the given root element label.
     pub fn builder(root_label: &str) -> DocumentBuilder {
         let mut b = DocumentBuilder {
-            doc: Document {
-                nodes: Vec::new(),
-                labels: Vec::new(),
-                label_lookup: HashMap::new(),
-                by_label: Vec::new(),
-            },
-        };
-        let label = b.doc.intern(root_label);
-        b.doc.nodes.push(DocNode {
-            label,
-            parent: None,
-            children: Vec::new(),
-            text: None,
+            labels: Vec::new(),
+            parents: Vec::new(),
+            levels: Vec::new(),
+            texts: Vec::new(),
             attrs: Vec::new(),
-            pre: 0,
-            post: 0,
-            level: 0,
-        });
+            label_names: Vec::new(),
+            label_lookup: HashMap::new(),
+        };
+        let label = b.intern(root_label);
+        b.labels.push(label);
+        b.parents.push(NONE);
+        b.levels.push(0);
+        b.texts.push(None);
         b
     }
 
-    fn intern(&mut self, label: &str) -> LabelId {
-        if let Some(&id) = self.label_lookup.get(label) {
-            return id;
+    /// Assembles a document directly from columnar parts — the snapshot
+    /// decoder's fast path, which skips per-node `String` allocation and
+    /// the incremental builder entirely. Post-order ranks, levels, the
+    /// child CSR, and the label index are derived here; the inputs are
+    /// validated (pre-order parents, label ids in range, spans inside
+    /// their buffers on character boundaries).
+    ///
+    /// `attrs` holds, per node in document order, that node's attribute
+    /// count; `attr_spans` is the flat `(name, value)` span list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_columns(
+        label_names: Vec<String>,
+        labels: Vec<LabelId>,
+        parents: Vec<u32>,
+        text_buf: String,
+        text_spans: Vec<(u32, u32)>,
+        attr_buf: String,
+        attr_counts: Vec<u32>,
+        attr_spans: Vec<((u32, u32), (u32, u32))>,
+    ) -> Result<Document, ColumnError> {
+        let n = labels.len();
+        if n == 0
+            || parents.len() != n
+            || text_spans.len() != n
+            || attr_counts.len() != n
+            || parents[0] != NONE
+        {
+            return Err(ColumnError::BadParent);
         }
-        let id = LabelId(self.labels.len() as u32);
-        self.labels.push(label.to_string());
-        self.label_lookup.insert(label.to_string(), id);
-        self.by_label.push(Vec::new());
-        id
+        if labels.iter().any(|l| l.idx() >= label_names.len()) {
+            return Err(ColumnError::BadLabel);
+        }
+        for (i, &p) in parents.iter().enumerate().skip(1) {
+            if p as usize >= i {
+                return Err(ColumnError::BadParent);
+            }
+        }
+        let check_span = |buf: &str, (off, len): Span| -> Result<(), ColumnError> {
+            let (start, end) = (off as usize, off as usize + len as usize);
+            if end > buf.len() || !buf.is_char_boundary(start) || !buf.is_char_boundary(end) {
+                return Err(ColumnError::BadSpan);
+            }
+            Ok(())
+        };
+        for &span in &text_spans {
+            // (NONE, 0) is the absent-text sentinel; real spans validate.
+            if span != (NONE, 0) {
+                check_span(&text_buf, span)?;
+            }
+        }
+        let total_attrs: usize = attr_counts.iter().map(|&c| c as usize).sum();
+        if total_attrs != attr_spans.len() {
+            return Err(ColumnError::BadSpan);
+        }
+        // Attribute spans have no sentinel — every one must be real.
+        for &(name, value) in &attr_spans {
+            check_span(&attr_buf, name)?;
+            check_span(&attr_buf, value)?;
+        }
+        let mut attr_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        attr_offsets.push(0);
+        for &c in &attr_counts {
+            acc += c;
+            attr_offsets.push(acc);
+        }
+
+        let mut label_lookup = HashMap::with_capacity(label_names.len());
+        for (i, name) in label_names.iter().enumerate() {
+            label_lookup.insert(name.clone(), LabelId(i as u32));
+        }
+        let mut doc = Document {
+            labels,
+            parents,
+            posts: Vec::new(),
+            levels: Vec::new(),
+            child_offsets: Vec::new(),
+            child_list: Vec::new(),
+            text_buf,
+            text_spans,
+            attr_buf,
+            attr_offsets,
+            attr_spans,
+            label_names,
+            label_lookup,
+            by_label_offsets: Vec::new(),
+            by_label_list: Vec::new(),
+        };
+        doc.finish_derived();
+        Ok(doc)
+    }
+
+    /// Derives the CSR child lists, post-order ranks, levels, and label
+    /// index from `labels` + `parents` (which must already satisfy the
+    /// pre-order invariant).
+    fn finish_derived(&mut self) {
+        let n = self.labels.len();
+        // CSR children by counting sort over parents; filling in ascending
+        // id order keeps each child list in document order.
+        let mut offsets = vec![0u32; n + 1];
+        for &p in self.parents.iter().skip(1) {
+            offsets[p as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut list = vec![DocNodeId(0); n.saturating_sub(1)];
+        for id in 1..n as u32 {
+            let p = self.parents[id as usize] as usize;
+            list[cursor[p] as usize] = DocNodeId(id);
+            cursor[p] += 1;
+        }
+        self.child_offsets = offsets;
+        self.child_list = list;
+
+        // Levels: parents precede children, so one forward pass suffices.
+        let mut levels = vec![0u32; n];
+        for id in 1..n {
+            levels[id] = levels[self.parents[id] as usize] + 1;
+        }
+        self.levels = levels;
+
+        // Iterative post-order numbering over the CSR.
+        let mut posts = vec![0u32; n];
+        let mut post = 0u32;
+        let mut stack: Vec<(u32, u32)> = vec![(0, 0)];
+        while let Some(&mut (node, ref mut child_idx)) = stack.last_mut() {
+            let (start, end) = (
+                self.child_offsets[node as usize],
+                self.child_offsets[node as usize + 1],
+            );
+            if start + *child_idx < end {
+                let next = self.child_list[(start + *child_idx) as usize];
+                *child_idx += 1;
+                stack.push((next.0, 0));
+            } else {
+                posts[node as usize] = post;
+                post += 1;
+                stack.pop();
+            }
+        }
+        self.posts = posts;
+
+        // CSR label index, again by counting sort in document order.
+        let l = self.label_names.len();
+        let mut loff = vec![0u32; l + 1];
+        for lab in &self.labels {
+            loff[lab.idx() + 1] += 1;
+        }
+        for i in 0..l {
+            loff[i + 1] += loff[i];
+        }
+        let mut lcur = loff.clone();
+        let mut llist = vec![DocNodeId(0); n];
+        for id in 0..n as u32 {
+            let lab = self.labels[id as usize].idx();
+            llist[lcur[lab] as usize] = DocNodeId(id);
+            lcur[lab] += 1;
+        }
+        self.by_label_offsets = loff;
+        self.by_label_list = llist;
     }
 
     /// The root node id (always `DocNodeId(0)`).
@@ -104,25 +293,43 @@ impl Document {
     /// Total number of element nodes.
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.labels.len()
     }
 
     /// True when the document has only a root element.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.len() <= 1
+        self.labels.len() <= 1
     }
 
-    /// Borrow a node.
+    /// The interned label of a node.
     #[inline]
-    pub fn node(&self, id: DocNodeId) -> &DocNode {
-        &self.nodes[id.idx()]
+    pub fn label(&self, id: DocNodeId) -> LabelId {
+        self.labels[id.idx()]
+    }
+
+    /// Pre-order rank of a node (equals the id value).
+    #[inline]
+    pub fn pre(&self, id: DocNodeId) -> u32 {
+        id.0
+    }
+
+    /// Post-order rank of a node.
+    #[inline]
+    pub fn post(&self, id: DocNodeId) -> u32 {
+        self.posts[id.idx()]
+    }
+
+    /// Depth of a node; the root is at level 0.
+    #[inline]
+    pub fn level(&self, id: DocNodeId) -> u32 {
+        self.levels[id.idx()]
     }
 
     /// The string label of a node.
     #[inline]
     pub fn label_str(&self, id: DocNodeId) -> &str {
-        &self.labels[self.nodes[id.idx()].label.idx()]
+        &self.label_names[self.labels[id.idx()].idx()]
     }
 
     /// Resolves a label string to its interned id, if the label occurs.
@@ -134,19 +341,19 @@ impl Document {
     /// The string for an interned label id.
     #[inline]
     pub fn label_name(&self, label: LabelId) -> &str {
-        &self.labels[label.idx()]
+        &self.label_names[label.idx()]
     }
 
     /// Number of distinct labels.
     #[inline]
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        self.label_names.len()
     }
 
     /// Nodes carrying `label`, in document order; empty if unknown label.
     pub fn nodes_with_label(&self, label: &str) -> &[DocNodeId] {
         match self.resolve_label(label) {
-            Some(id) => &self.by_label[id.idx()],
+            Some(id) => self.nodes_with_label_id(id),
             None => &[],
         }
     }
@@ -154,53 +361,83 @@ impl Document {
     /// Nodes carrying the interned `label`, in document order.
     #[inline]
     pub fn nodes_with_label_id(&self, label: LabelId) -> &[DocNodeId] {
-        &self.by_label[label.idx()]
+        let (a, b) = (
+            self.by_label_offsets[label.idx()] as usize,
+            self.by_label_offsets[label.idx() + 1] as usize,
+        );
+        &self.by_label_list[a..b]
     }
 
     /// Children of `id` in document order.
     #[inline]
     pub fn children(&self, id: DocNodeId) -> &[DocNodeId] {
-        &self.nodes[id.idx()].children
+        let (a, b) = (
+            self.child_offsets[id.idx()] as usize,
+            self.child_offsets[id.idx() + 1] as usize,
+        );
+        &self.child_list[a..b]
     }
 
     /// Parent of `id`, or `None` for the root.
     #[inline]
     pub fn parent(&self, id: DocNodeId) -> Option<DocNodeId> {
-        self.nodes[id.idx()].parent
+        match self.parents[id.idx()] {
+            NONE => None,
+            p => Some(DocNodeId(p)),
+        }
     }
 
     /// Text content directly under `id`, if any.
     #[inline]
     pub fn text(&self, id: DocNodeId) -> Option<&str> {
-        self.nodes[id.idx()].text.as_deref()
+        let (off, len) = self.text_spans[id.idx()];
+        if off == NONE && len == 0 {
+            None
+        } else {
+            Some(&self.text_buf[off as usize..off as usize + len as usize])
+        }
+    }
+
+    /// Attributes of `id` in source order, as `(name, value)` pairs.
+    pub fn attrs(&self, id: DocNodeId) -> impl Iterator<Item = (&str, &str)> {
+        let (a, b) = (
+            self.attr_offsets[id.idx()] as usize,
+            self.attr_offsets[id.idx() + 1] as usize,
+        );
+        self.attr_spans[a..b].iter().map(|&(n, v)| {
+            (
+                &self.attr_buf[n.0 as usize..n.0 as usize + n.1 as usize],
+                &self.attr_buf[v.0 as usize..v.0 as usize + v.1 as usize],
+            )
+        })
+    }
+
+    /// Number of attributes on `id`.
+    #[inline]
+    pub fn attr_count(&self, id: DocNodeId) -> usize {
+        (self.attr_offsets[id.idx() + 1] - self.attr_offsets[id.idx()]) as usize
     }
 
     /// The value of attribute `name` on `id`, if present.
     pub fn attr(&self, id: DocNodeId, name: &str) -> Option<&str> {
-        self.nodes[id.idx()]
-            .attrs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+        self.attrs(id).find(|&(n, _)| n == name).map(|(_, v)| v)
     }
 
     /// True iff `anc` is a *proper* ancestor of `desc` (region encoding).
     #[inline]
     pub fn is_ancestor(&self, anc: DocNodeId, desc: DocNodeId) -> bool {
-        let a = &self.nodes[anc.idx()];
-        let d = &self.nodes[desc.idx()];
-        a.pre < d.pre && d.post < a.post
+        anc.0 < desc.0 && self.posts[desc.idx()] < self.posts[anc.idx()]
     }
 
     /// True iff `parent` is the parent of `child`.
     #[inline]
     pub fn is_parent(&self, parent: DocNodeId, child: DocNodeId) -> bool {
-        self.nodes[child.idx()].parent == Some(parent)
+        self.parents[child.idx()] == parent.0
     }
 
     /// Iterates all node ids in document (pre-) order.
     pub fn ids(&self) -> impl Iterator<Item = DocNodeId> + '_ {
-        (0..self.nodes.len() as u32).map(DocNodeId)
+        (0..self.labels.len() as u32).map(DocNodeId)
     }
 
     /// All descendants of `id` (excluding `id`), in document order.
@@ -208,10 +445,10 @@ impl Document {
     /// Because ids are pre-order ranks and the subtree is a contiguous
     /// pre-order interval, this is a simple range scan.
     pub fn descendants(&self, id: DocNodeId) -> impl Iterator<Item = DocNodeId> + '_ {
-        let post = self.nodes[id.idx()].post;
-        (id.0 + 1..self.nodes.len() as u32)
+        let post = self.posts[id.idx()];
+        (id.0 + 1..self.labels.len() as u32)
             .map(DocNodeId)
-            .take_while(move |n| self.nodes[n.idx()].post < post)
+            .take_while(move |n| self.posts[n.idx()] < post)
     }
 
     /// For every node, the largest pre-order id inside its subtree.
@@ -220,10 +457,10 @@ impl Document {
     /// `n.0 <= m.0 <= table[n.idx()]`. Computed in O(n); matchers use it to
     /// binary-search candidate lists by subtree interval.
     pub fn subtree_end_table(&self) -> Vec<u32> {
-        let mut end: Vec<u32> = (0..self.nodes.len() as u32).collect();
+        let mut end: Vec<u32> = (0..self.labels.len() as u32).collect();
         // Children always have larger ids; walk in reverse so children are done.
-        for i in (0..self.nodes.len()).rev() {
-            if let Some(&last) = self.nodes[i].children.last() {
+        for i in (0..self.labels.len()).rev() {
+            if let Some(&last) = self.children(DocNodeId(i as u32)).last() {
                 end[i] = end[last.idx()];
             }
         }
@@ -241,6 +478,43 @@ impl Document {
         labels.reverse();
         labels.join("/")
     }
+
+    /// Total bytes of text content (the `text_buf` length).
+    #[inline]
+    pub fn text_bytes(&self) -> usize {
+        self.text_buf.len()
+    }
+
+    /// Total bytes of attribute names and values (the `attr_buf` length).
+    #[inline]
+    pub fn attr_bytes(&self) -> usize {
+        self.attr_buf.len()
+    }
+
+    /// Resident heap bytes of the arena — the exact sum of every columnar
+    /// array and string buffer this document owns (label-table strings
+    /// counted by content length). Feeds
+    /// `QueryEngine::approx_bytes`, and through it the registry's LRU
+    /// memory budget.
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.labels.len() * size_of::<LabelId>()
+            + (self.parents.len() + self.posts.len() + self.levels.len()) * size_of::<u32>()
+            + self.child_offsets.len() * size_of::<u32>()
+            + self.child_list.len() * size_of::<DocNodeId>()
+            + self.text_buf.len()
+            + self.text_spans.len() * size_of::<Span>()
+            + self.attr_buf.len()
+            + self.attr_offsets.len() * size_of::<u32>()
+            + self.attr_spans.len() * size_of::<(Span, Span)>()
+            + self
+                .label_names
+                .iter()
+                .map(|n| n.len() + size_of::<String>())
+                .sum::<usize>()
+            + self.by_label_offsets.len() * size_of::<u32>()
+            + self.by_label_list.len() * size_of::<DocNodeId>()
+    }
 }
 
 impl fmt::Display for Document {
@@ -255,48 +529,121 @@ impl fmt::Display for Document {
     }
 }
 
-/// An index from root-to-node label paths to document nodes.
+/// An index from root-to-node label paths to document nodes, keyed by
+/// **interned path symbols** — building it allocates no per-node path
+/// `String`s.
 ///
 /// Node-granularity query rewriting (a mapping sends a *schema node*, not
 /// a label, to a source schema node) needs to locate the document nodes
 /// instantiating a given schema node; since generated and parsed documents
 /// carry no schema annotations, the label path identifies them.
+///
+/// Internally a path is interned structurally: the symbol of a node's path
+/// is determined by `(parent's path symbol, node label)`, so the whole
+/// index is one hash map over `(u32, u32)` keys plus a CSR node list —
+/// the string form of a path only exists transiently inside
+/// [`PathIndex::nodes`] lookups.
 #[derive(Clone, Debug)]
 pub struct PathIndex {
-    map: HashMap<String, Vec<DocNodeId>>,
+    /// `(parent path symbol or NONE, label) → path symbol`.
+    interner: HashMap<(u32, LabelId), u32>,
+    /// CSR: nodes whose path has symbol `p` are
+    /// `list[offsets[p]..offsets[p+1]]`, in document order.
+    offsets: Vec<u32>,
+    list: Vec<DocNodeId>,
+    /// Label resolution for string lookups (small: one entry per distinct
+    /// label, copied once from the document).
+    labels: HashMap<String, LabelId>,
 }
 
 impl PathIndex {
-    /// Builds the index in one pass (paths are accumulated incrementally
-    /// down the tree, so total cost is linear in output size).
+    /// Builds the index in one pass. Path symbols are interned
+    /// structurally (pair-wise), so total cost is linear in the node count
+    /// with no per-node string allocation.
     pub fn new(doc: &Document) -> PathIndex {
-        let mut paths: Vec<String> = Vec::with_capacity(doc.len());
-        let mut map: HashMap<String, Vec<DocNodeId>> = HashMap::new();
+        let n = doc.len();
+        let mut interner: HashMap<(u32, LabelId), u32> = HashMap::new();
+        let mut node_path: Vec<u32> = Vec::with_capacity(n);
         for id in doc.ids() {
-            let path = match doc.parent(id) {
-                Some(p) => format!("{}/{}", paths[p.idx()], doc.label_str(id)),
-                None => doc.label_str(id).to_string(),
+            let parent_path = match doc.parent(id) {
+                Some(p) => node_path[p.idx()],
+                None => NONE,
             };
-            map.entry(path.clone()).or_default().push(id);
-            paths.push(path);
+            let next = interner.len() as u32;
+            let pid = *interner.entry((parent_path, doc.label(id))).or_insert(next);
+            node_path.push(pid);
         }
-        PathIndex { map }
+        // CSR by counting sort; ascending id order keeps document order.
+        let paths = interner.len();
+        let mut offsets = vec![0u32; paths + 1];
+        for &p in &node_path {
+            offsets[p as usize + 1] += 1;
+        }
+        for i in 0..paths {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut list = vec![DocNodeId(0); n];
+        for (id, &p) in node_path.iter().enumerate() {
+            list[cursor[p as usize] as usize] = DocNodeId(id as u32);
+            cursor[p as usize] += 1;
+        }
+        let labels = (0..doc.label_count() as u32)
+            .map(|l| (doc.label_name(LabelId(l)).to_string(), LabelId(l)))
+            .collect();
+        PathIndex {
+            interner,
+            offsets,
+            list,
+            labels,
+        }
     }
 
     /// Document nodes whose root path equals `path` (labels joined with
     /// `/`), in document order; empty when the path does not occur.
     pub fn nodes(&self, path: &str) -> &[DocNodeId] {
-        self.map.get(path).map(Vec::as_slice).unwrap_or(&[])
+        let mut cur = NONE;
+        for seg in path.split('/') {
+            let Some(&label) = self.labels.get(seg) else {
+                return &[];
+            };
+            match self.interner.get(&(cur, label)) {
+                Some(&next) => cur = next,
+                None => return &[],
+            }
+        }
+        if cur == NONE {
+            return &[];
+        }
+        let (a, b) = (
+            self.offsets[cur as usize] as usize,
+            self.offsets[cur as usize + 1] as usize,
+        );
+        &self.list[a..b]
     }
 
     /// Number of distinct paths.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.interner.len()
     }
 
     /// True when the document was empty (never — a root always exists).
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.interner.is_empty()
+    }
+
+    /// Resident heap bytes of the index: interner entries, the CSR node
+    /// arrays, and the copied label table.
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.interner.len() * (size_of::<(u32, LabelId)>() + size_of::<u32>() + 16)
+            + self.offsets.len() * size_of::<u32>()
+            + self.list.len() * size_of::<DocNodeId>()
+            + self
+                .labels
+                .keys()
+                .map(|k| k.len() + size_of::<String>() + size_of::<LabelId>())
+                .sum::<usize>()
     }
 }
 
@@ -304,12 +651,32 @@ impl PathIndex {
 ///
 /// Nodes must be appended in document order (a child is added after its
 /// parent); this is what parsers and generators naturally do. `finish()`
-/// computes post-order ranks and the label index.
+/// computes post-order ranks, packs text and attributes into their
+/// contiguous buffers, and builds the CSR child and label indexes.
 pub struct DocumentBuilder {
-    doc: Document,
+    labels: Vec<LabelId>,
+    parents: Vec<u32>,
+    levels: Vec<u32>,
+    /// Per-node text, staged; packed into one buffer at `finish()`.
+    texts: Vec<Option<String>>,
+    /// `(node, name, value)` in insertion order; bucketed per node at
+    /// `finish()` (insertion order per node is preserved).
+    attrs: Vec<(u32, String, String)>,
+    label_names: Vec<String>,
+    label_lookup: HashMap<String, LabelId>,
 }
 
 impl DocumentBuilder {
+    fn intern(&mut self, label: &str) -> LabelId {
+        if let Some(&id) = self.label_lookup.get(label) {
+            return id;
+        }
+        let id = LabelId(self.label_names.len() as u32);
+        self.label_names.push(label.to_string());
+        self.label_lookup.insert(label.to_string(), id);
+        id
+    }
+
     /// The root node id of the document being built.
     pub fn root(&self) -> DocNodeId {
         DocNodeId(0)
@@ -317,40 +684,31 @@ impl DocumentBuilder {
 
     /// Appends an element under `parent`, returning its id.
     pub fn add_child(&mut self, parent: DocNodeId, label: &str) -> DocNodeId {
-        let label = self.doc.intern(label);
-        let id = DocNodeId(self.doc.nodes.len() as u32);
-        let level = self.doc.nodes[parent.idx()].level + 1;
-        self.doc.nodes.push(DocNode {
-            label,
-            parent: Some(parent),
-            children: Vec::new(),
-            text: None,
-            attrs: Vec::new(),
-            pre: id.0,
-            post: 0,
-            level,
-        });
-        self.doc.nodes[parent.idx()].children.push(id);
+        let label = self.intern(label);
+        let id = DocNodeId(self.labels.len() as u32);
+        let level = self.levels[parent.idx()] + 1;
+        self.labels.push(label);
+        self.parents.push(parent.0);
+        self.levels.push(level);
+        self.texts.push(None);
         id
     }
 
     /// Sets (replaces) the text content of a node.
     pub fn set_text(&mut self, id: DocNodeId, text: impl Into<String>) {
-        self.doc.nodes[id.idx()].text = Some(text.into());
+        self.texts[id.idx()] = Some(text.into());
     }
 
     /// Appends an attribute to a node (used by the parser; generated
     /// documents carry none).
     pub fn add_attr(&mut self, id: DocNodeId, name: impl Into<String>, value: impl Into<String>) {
-        self.doc.nodes[id.idx()]
-            .attrs
-            .push((name.into(), value.into()));
+        self.attrs.push((id.0, name.into(), value.into()));
     }
 
     /// Appends to the text content of a node (used by the parser when text
     /// is interleaved with child elements).
     pub fn append_text(&mut self, id: DocNodeId, text: &str) {
-        match &mut self.doc.nodes[id.idx()].text {
+        match &mut self.texts[id.idx()] {
             Some(t) => t.push_str(text),
             slot @ None => *slot = Some(text.to_string()),
         }
@@ -358,37 +716,74 @@ impl DocumentBuilder {
 
     /// Number of nodes added so far.
     pub fn len(&self) -> usize {
-        self.doc.nodes.len()
+        self.labels.len()
     }
 
     /// True when only the root exists so far.
     pub fn is_empty(&self) -> bool {
-        self.doc.nodes.len() <= 1
+        self.labels.len() <= 1
     }
 
-    /// Finalizes region encoding and the label index.
-    pub fn finish(mut self) -> Document {
-        // Iterative post-order numbering.
-        let mut post = 0u32;
-        let mut stack: Vec<(DocNodeId, usize)> = vec![(DocNodeId(0), 0)];
-        while let Some(&mut (node, ref mut child_idx)) = stack.last_mut() {
-            let kids = &self.doc.nodes[node.idx()].children;
-            if *child_idx < kids.len() {
-                let next = kids[*child_idx];
-                *child_idx += 1;
-                stack.push((next, 0));
-            } else {
-                self.doc.nodes[node.idx()].post = post;
-                post += 1;
-                stack.pop();
+    /// Finalizes region encoding, packs the string buffers, and builds the
+    /// CSR indexes.
+    pub fn finish(self) -> Document {
+        let n = self.labels.len();
+        // Pack text into one contiguous buffer.
+        let text_total: usize = self.texts.iter().flatten().map(String::len).sum();
+        let mut text_buf = String::with_capacity(text_total);
+        let mut text_spans = Vec::with_capacity(n);
+        for t in &self.texts {
+            match t {
+                Some(t) => {
+                    let off = text_buf.len() as u32;
+                    text_buf.push_str(t);
+                    text_spans.push((off, t.len() as u32));
+                }
+                None => text_spans.push((NONE, 0)),
             }
         }
-        // Label index in document order.
-        for id in 0..self.doc.nodes.len() as u32 {
-            let label = self.doc.nodes[id as usize].label;
-            self.doc.by_label[label.idx()].push(DocNodeId(id));
+        // Bucket attributes per node (stable sort keeps per-node insertion
+        // order), then pack names/values contiguously.
+        let mut attrs = self.attrs;
+        attrs.sort_by_key(|&(node, _, _)| node);
+        let attr_total: usize = attrs.iter().map(|(_, k, v)| k.len() + v.len()).sum();
+        let mut attr_buf = String::with_capacity(attr_total);
+        let mut attr_spans = Vec::with_capacity(attrs.len());
+        let mut attr_offsets = vec![0u32; n + 1];
+        for (node, name, value) in &attrs {
+            attr_offsets[*node as usize + 1] += 1;
+            let name_off = attr_buf.len() as u32;
+            attr_buf.push_str(name);
+            let value_off = attr_buf.len() as u32;
+            attr_buf.push_str(value);
+            attr_spans.push((
+                (name_off, name.len() as u32),
+                (value_off, value.len() as u32),
+            ));
         }
-        self.doc
+        for i in 0..n {
+            attr_offsets[i + 1] += attr_offsets[i];
+        }
+
+        let mut doc = Document {
+            labels: self.labels,
+            parents: self.parents,
+            posts: Vec::new(),
+            levels: Vec::new(),
+            child_offsets: Vec::new(),
+            child_list: Vec::new(),
+            text_buf,
+            text_spans,
+            attr_buf,
+            attr_offsets,
+            attr_spans,
+            label_names: self.label_names,
+            label_lookup: self.label_lookup,
+            by_label_offsets: Vec::new(),
+            by_label_list: Vec::new(),
+        };
+        doc.finish_derived();
+        doc
     }
 }
 
@@ -472,12 +867,45 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_text_stays_per_node() {
+        // <a>t1<b>x</b>t2</a> — a's text is appended after b's was set;
+        // the packed buffer must still keep each node's text contiguous.
+        let mut b = Document::builder("a");
+        let root = b.root();
+        b.set_text(root, "t1");
+        let nb = b.add_child(root, "b");
+        b.set_text(nb, "x");
+        b.append_text(root, "t2");
+        let d = b.finish();
+        assert_eq!(d.text(root), Some("t1t2"));
+        assert_eq!(d.text(nb), Some("x"));
+    }
+
+    #[test]
+    fn attrs_preserved_in_order() {
+        let mut b = Document::builder("r");
+        let root = b.root();
+        let n = b.add_child(root, "item");
+        b.add_attr(n, "x", "1");
+        b.add_attr(root, "lang", "en");
+        b.add_attr(n, "y", "2");
+        let d = b.finish();
+        assert_eq!(d.attr(root, "lang"), Some("en"));
+        assert_eq!(d.attr(n, "x"), Some("1"));
+        assert_eq!(d.attr(n, "y"), Some("2"));
+        assert_eq!(d.attr(n, "z"), None);
+        let pairs: Vec<_> = d.attrs(n).collect();
+        assert_eq!(pairs, vec![("x", "1"), ("y", "2")]);
+        assert_eq!(d.attr_count(n), 2);
+    }
+
+    #[test]
     fn paths_and_levels() {
         let d = small();
         let dd = d.nodes_with_label("d")[0];
         assert_eq!(d.path(dd), "a/b/d");
-        assert_eq!(d.node(dd).level, 2);
-        assert_eq!(d.node(d.root()).level, 0);
+        assert_eq!(d.level(dd), 2);
+        assert_eq!(d.level(d.root()), 0);
     }
 
     #[test]
@@ -488,5 +916,129 @@ mod tests {
         assert_eq!(d.label_str(DocNodeId(1)), "b");
         assert_eq!(d.label_str(DocNodeId(2)), "d");
         assert_eq!(d.label_str(DocNodeId(3)), "c");
+    }
+
+    #[test]
+    fn path_index_interned_lookup() {
+        let mut b = Document::builder("a");
+        let root = b.root();
+        let x = b.add_child(root, "x");
+        b.add_child(x, "y");
+        let x2 = b.add_child(root, "x");
+        b.add_child(x2, "y");
+        let d = b.finish();
+        let idx = PathIndex::new(&d);
+        assert_eq!(idx.nodes("a").len(), 1);
+        assert_eq!(idx.nodes("a/x").len(), 2);
+        assert_eq!(idx.nodes("a/x/y").len(), 2);
+        assert_eq!(idx.nodes("a/y").len(), 0);
+        assert_eq!(idx.nodes("nope").len(), 0);
+        assert_eq!(idx.len(), 3, "a, a/x, a/x/y");
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn from_columns_roundtrip_and_validation() {
+        let built = {
+            let mut b = Document::builder("a");
+            let root = b.root();
+            let nb = b.add_child(root, "b");
+            b.set_text(nb, "hi");
+            b.add_attr(nb, "k", "v");
+            b.add_child(root, "c");
+            b.finish()
+        };
+        let doc = Document::from_columns(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![LabelId(0), LabelId(1), LabelId(2)],
+            vec![NONE, 0, 0],
+            "hi".into(),
+            vec![(NONE, 0), (0, 2), (NONE, 0)],
+            "kv".into(),
+            vec![0, 1, 0],
+            vec![((0, 1), (1, 1))],
+        )
+        .unwrap();
+        assert_eq!(doc.len(), built.len());
+        let nb = doc.nodes_with_label("b")[0];
+        assert_eq!(doc.text(nb), Some("hi"));
+        assert_eq!(doc.attr(nb, "k"), Some("v"));
+        assert_eq!(doc.post(doc.root()), built.post(built.root()));
+        assert!(doc.is_parent(doc.root(), nb));
+
+        // Parent not preceding the child.
+        assert_eq!(
+            Document::from_columns(
+                vec!["a".into()],
+                vec![LabelId(0), LabelId(0)],
+                vec![NONE, 5],
+                String::new(),
+                vec![(NONE, 0), (NONE, 0)],
+                String::new(),
+                vec![0, 0],
+                vec![],
+            )
+            .unwrap_err(),
+            ColumnError::BadParent
+        );
+        // Label out of range.
+        assert_eq!(
+            Document::from_columns(
+                vec!["a".into()],
+                vec![LabelId(7)],
+                vec![NONE],
+                String::new(),
+                vec![(NONE, 0)],
+                String::new(),
+                vec![0],
+                vec![],
+            )
+            .unwrap_err(),
+            ColumnError::BadLabel
+        );
+        // Span past the buffer / splitting a character.
+        assert_eq!(
+            Document::from_columns(
+                vec!["a".into()],
+                vec![LabelId(0)],
+                vec![NONE],
+                "é".into(),
+                vec![(0, 1)],
+                String::new(),
+                vec![0],
+                vec![],
+            )
+            .unwrap_err(),
+            ColumnError::BadSpan
+        );
+        // The absent-text sentinel is NOT valid for attribute spans.
+        assert_eq!(
+            Document::from_columns(
+                vec!["a".into()],
+                vec![LabelId(0)],
+                vec![NONE],
+                String::new(),
+                vec![(NONE, 0)],
+                String::new(),
+                vec![1],
+                vec![((NONE, 0), (0, 0))],
+            )
+            .unwrap_err(),
+            ColumnError::BadSpan
+        );
+    }
+
+    #[test]
+    fn arena_bytes_counts_buffers() {
+        let d = small();
+        let base = d.arena_bytes();
+        assert!(base > 0);
+        let mut b = Document::builder("a");
+        let root = b.root();
+        let n = b.add_child(root, "b");
+        b.set_text(n, "0123456789");
+        let with_text = b.finish();
+        assert!(with_text.text_bytes() == 10);
+        assert_eq!(with_text.attr_bytes(), 0);
     }
 }

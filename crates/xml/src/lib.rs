@@ -30,7 +30,7 @@ pub mod writer;
 pub mod xsd;
 
 pub use docgen::DocGenConfig;
-pub use document::{DocNode, Document, LabelId, PathIndex};
+pub use document::{ColumnError, Document, LabelId, PathIndex};
 pub use ids::{DocNodeId, SchemaNodeId};
 pub use parser::{parse_document, ParseError};
 pub use schema::{Schema, SchemaNode};

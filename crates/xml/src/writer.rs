@@ -22,7 +22,7 @@ pub fn to_xml_pretty(doc: &Document, indent: usize) -> String {
 
 fn write_node(doc: &Document, id: DocNodeId, out: &mut String, indent: Option<usize>) {
     let label = doc.label_str(id);
-    let level = doc.node(id).level as usize;
+    let level = doc.level(id) as usize;
     if let Some(width) = indent {
         if id != doc.root() {
             out.push('\n');

@@ -11,6 +11,7 @@
 //! uxm keyword   <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X] [--json]
 //! uxm registry  save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]
 //! uxm registry  list --dir D
+//! uxm stats     <engine> --dir D
 //! uxm batch     <requests.txt> --dir D [--budget BYTES] [--json]
 //! uxm serve     --dir D [--addr IP:PORT] [--workers N] [--budget BYTES]
 //! uxm gen-doc   <schema.outline> [--nodes N] [--seed N]
@@ -38,7 +39,7 @@ use uxm::core::mapping::PossibleMappings;
 use uxm::core::registry::{BatchQuery, EngineRegistry, RegistryConfig};
 use uxm::core::server::{Server, ServerConfig};
 use uxm::core::stats::o_ratio;
-use uxm::core::storage::decode_engine_snapshot_parts;
+use uxm::core::storage::{decode_engine_snapshot, decode_engine_snapshot_parts, snapshot_version};
 use uxm::datagen::datasets::{Dataset, DatasetId};
 use uxm::matching::Matcher;
 use uxm::twig::TwigPattern;
@@ -56,6 +57,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args[1..]),
         "keyword" => cmd_keyword(&args[1..]),
         "registry" => cmd_registry(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "gen-doc" => cmd_gen_doc(&args[1..]),
@@ -88,6 +90,7 @@ fn usage() {
          uxm keyword  <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X] [--json]\n  \
          uxm registry save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]\n  \
          uxm registry list --dir D\n  \
+         uxm stats    <engine> --dir D\n  \
          uxm batch    <requests.txt> --dir D [--budget BYTES] [--json]\n  \
          uxm serve    --dir D [--addr IP:PORT] [--workers N] [--budget BYTES]\n  \
          uxm gen-doc  <schema.outline> [--nodes N] [--seed N]\n  \
@@ -219,7 +222,7 @@ fn cmd_mappings(args: &[String]) -> Result<(), UxmError> {
     );
     for (id, m) in pm.iter() {
         println!("mapping {:?}: score {:.2}, p = {:.4}", id, m.score, m.prob);
-        for &(s, t) in &m.pairs {
+        for &(s, t) in m.pairs {
             println!("    {} ~ {}", source.path(s), target.path(t));
         }
     }
@@ -429,6 +432,53 @@ fn cmd_registry(args: &[String]) -> Result<(), UxmError> {
                 .into(),
         )),
     }
+}
+
+/// `uxm stats <engine> --dir D` — decode one snapshot and report the
+/// resident per-component footprint (the registry's LRU accounting).
+fn cmd_stats(args: &[String]) -> Result<(), UxmError> {
+    let (pos, flags) = parse_args(args)?;
+    let [name] = pos.as_slice() else {
+        return Err(UxmError::Usage("stats needs <engine> --dir D".into()));
+    };
+    let dir = flag(&flags, "dir")
+        .ok_or_else(|| UxmError::Usage("stats needs --dir <snapshot-dir>".into()))?;
+    let path = std::path::Path::new(dir).join(format!("{name}.uxm"));
+    let bytes = std::fs::read(&path).map_err(|e| UxmError::io(path.display(), e))?;
+    let version = snapshot_version(&bytes)?;
+    let engine = decode_engine_snapshot(&bytes)?;
+    let fp = engine.footprint();
+    let total = fp.total().max(1);
+    println!(
+        "{name}: snapshot v{version}, {} bytes on disk -> {} bytes resident ({:.2}x)",
+        bytes.len(),
+        fp.total(),
+        fp.total() as f64 / bytes.len().max(1) as f64,
+    );
+    println!(
+        "  |M| = {} ({} pairs), {} doc nodes ({} labels, {} text bytes, {} attr bytes), {} c-blocks",
+        engine.mappings().len(),
+        engine.mappings().total_pairs(),
+        engine.document().len(),
+        engine.document().label_count(),
+        engine.document().text_bytes(),
+        engine.document().attr_bytes(),
+        engine.tree().block_count(),
+    );
+    let row = |label: &str, bytes: usize| {
+        println!(
+            "  {label:<12} {bytes:>10} B  {:>5.1}%",
+            100.0 * bytes as f64 / total as f64
+        );
+    };
+    row("document", fp.document);
+    row("mappings", fp.mappings);
+    row("block-tree", fp.block_tree);
+    row("schemas", fp.schemas);
+    row("session", fp.session);
+    row("path-index", fp.path_index);
+    println!("  {:<12} {:>10} B", "total", fp.total());
+    Ok(())
 }
 
 /// Parses one legacy text request line of a batch file:

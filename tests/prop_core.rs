@@ -91,7 +91,7 @@ proptest! {
         let tree = BlockTree::build(&pm.target.clone(), &pm, &cfg);
         let cm = compress(&pm, &tree);
         for (mid, m) in pm.iter() {
-            prop_assert_eq!(cm.reconstruct(&tree, mid), m.pairs.clone());
+            prop_assert_eq!(cm.reconstruct(&tree, mid), m.pairs);
         }
     }
 

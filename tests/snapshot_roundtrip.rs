@@ -229,9 +229,11 @@ fn bad_magic_and_truncated_variants() {
 fn id_out_of_range_variant_through_embedded_payload() {
     // Corrupt the embedded block-compressed payload: find the "UXM1"
     // magic inside the snapshot and bump a stored anchor id to the
-    // target-schema length, which the inner decoder must reject.
+    // target-schema length, which the inner decoder must reject. Only
+    // v1 snapshots embed the "UXM1" payload (v2 inlines the block
+    // section), so this pins the legacy decode path.
     let e = engine(DatasetId::D1, 4, 80);
-    let bytes = encode_engine_snapshot(&e);
+    let bytes = uxm::core::storage::encode_engine_snapshot_v1(&e);
     let inner = bytes
         .windows(4)
         .position(|w| w == b"UXM1")

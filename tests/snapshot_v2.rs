@@ -1,0 +1,301 @@
+//! Snapshot format v2: columnar encode/decode must preserve answers on
+//! every Table II dataset, re-encode byte-stably, keep decoding the
+//! committed v1 golden fixture, and survive arbitrary corruption of the
+//! new decode paths without panicking.
+
+use proptest::prelude::*;
+use uxm::core::api::{EvaluatorHint, Query};
+use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
+use uxm::core::engine::QueryEngine;
+use uxm::core::mapping::PossibleMappings;
+use uxm::core::storage::{
+    decode_engine_snapshot, encode_engine_snapshot, encode_engine_snapshot_v1, snapshot_version,
+    DecodeError, SNAPSHOT_VERSION,
+};
+use uxm::datagen::datasets::{Dataset, DatasetId};
+use uxm::datagen::queries::paper_queries;
+use uxm::twig::TwigPattern;
+use uxm::xml::{DocGenConfig, Document, Schema};
+
+const FIXTURE_PATH: &str = "tests/fixtures/snapshot_v1.uxm";
+
+fn engine(id: DatasetId, m: usize, nodes: usize) -> QueryEngine {
+    let d = Dataset::load(id);
+    let pm = PossibleMappings::top_h(&d.matching, m);
+    let doc = Document::generate(
+        &d.matching.source,
+        &DocGenConfig {
+            target_nodes: nodes,
+            max_repeat: 3,
+            text_prob: 0.7,
+        },
+        0x5EED,
+    );
+    let tree = BlockTree::build(&d.matching.target, &pm, &BlockTreeConfig::default());
+    QueryEngine::new(pm, doc, tree)
+}
+
+/// The fully deterministic engine behind the committed v1 fixture: no
+/// matcher, no generator — explicit mappings over a hand-built document,
+/// so any build of this repository reproduces it bit for bit.
+fn fixture_engine() -> QueryEngine {
+    let source = Schema::parse_outline(
+        "Order(Buyer(Name Contact(EMail)) POLine(LineNo Quantity UnitPrice))",
+    )
+    .unwrap();
+    let target =
+        Schema::parse_outline("PO(Purchaser(PName PContact(PEMail)) Line(No Qty Amount))").unwrap();
+    let s = |l: &str| source.nodes_with_label(l)[0];
+    let t = |l: &str| target.nodes_with_label(l)[0];
+    let pm = PossibleMappings::from_pairs(
+        source.clone(),
+        target.clone(),
+        vec![
+            (
+                vec![
+                    (s("Order"), t("PO")),
+                    (s("Buyer"), t("Purchaser")),
+                    (s("Name"), t("PName")),
+                    (s("EMail"), t("PEMail")),
+                    (s("LineNo"), t("No")),
+                    (s("Quantity"), t("Qty")),
+                    (s("UnitPrice"), t("Amount")),
+                ],
+                3.0,
+            ),
+            (
+                vec![
+                    (s("Order"), t("PO")),
+                    (s("Buyer"), t("Purchaser")),
+                    (s("Name"), t("PName")),
+                    (s("EMail"), t("PEMail")),
+                    (s("LineNo"), t("No")),
+                    (s("UnitPrice"), t("Qty")),
+                    (s("Quantity"), t("Amount")),
+                ],
+                2.0,
+            ),
+            (
+                vec![
+                    (s("Order"), t("PO")),
+                    (s("Contact"), t("Purchaser")),
+                    (s("EMail"), t("PName")),
+                    (s("LineNo"), t("No")),
+                    (s("Quantity"), t("Qty")),
+                ],
+                1.0,
+            ),
+        ],
+    );
+    let doc = {
+        let mut b = Document::builder("Order");
+        let root = b.root();
+        let buyer = b.add_child(root, "Buyer");
+        let name = b.add_child(buyer, "Name");
+        b.set_text(name, "Ada");
+        let contact = b.add_child(buyer, "Contact");
+        let email = b.add_child(contact, "EMail");
+        b.set_text(email, "ada@example.org");
+        for (no, qty, price) in [("1", "3", "9.50"), ("2", "1", "4.25")] {
+            let line = b.add_child(root, "POLine");
+            b.add_attr(line, "id", no);
+            let ln = b.add_child(line, "LineNo");
+            b.set_text(ln, no);
+            let q = b.add_child(line, "Quantity");
+            b.set_text(q, qty);
+            let p = b.add_child(line, "UnitPrice");
+            b.set_text(p, price);
+        }
+        b.finish()
+    };
+    QueryEngine::build(pm, doc, &BlockTreeConfig::default())
+}
+
+fn fixture_queries() -> Vec<Query> {
+    ["PO//Qty", "PO/Line/No", "//Amount", "PO/Purchaser//PEMail"]
+        .iter()
+        .map(|qs| Query::ptq(TwigPattern::parse(qs).unwrap()))
+        .collect()
+}
+
+/// The tentpole acceptance criterion: a v2 snapshot round trip preserves
+/// `QueryResponse` answers byte-for-byte on every Table II dataset, under
+/// every evaluator hint, and the re-encode is byte-stable.
+#[test]
+fn v2_roundtrip_all_datasets() {
+    let queries = paper_queries();
+    for id in DatasetId::all() {
+        let original = engine(id, 12, 250);
+        let bytes = encode_engine_snapshot(&original);
+        assert_eq!(
+            snapshot_version(&bytes).unwrap(),
+            SNAPSHOT_VERSION,
+            "{}: snapshots default to v2",
+            id.name()
+        );
+        let back = decode_engine_snapshot(&bytes).expect("v2 decodes");
+        assert_eq!(back.source(), original.source(), "{}: source", id.name());
+        assert_eq!(back.target(), original.target(), "{}: target", id.name());
+        assert_eq!(
+            back.tree().blocks(),
+            original.tree().blocks(),
+            "{}: blocks",
+            id.name()
+        );
+        for (a, b) in back.mappings().iter().zip(original.mappings().iter()) {
+            assert_eq!(a, b, "{}: mapping", id.name());
+        }
+        for qi in [2usize, 7, 10] {
+            for hint in [EvaluatorHint::Naive, EvaluatorHint::BlockTree] {
+                let q = Query::ptq(queries[qi - 1].clone()).with_evaluator(hint);
+                assert_eq!(
+                    back.run(&q).unwrap().answers,
+                    original.run(&q).unwrap().answers,
+                    "{} Q{qi} {hint:?}",
+                    id.name()
+                );
+            }
+        }
+        assert_eq!(
+            encode_engine_snapshot(&back),
+            bytes,
+            "{}: byte-stable re-encode",
+            id.name()
+        );
+    }
+}
+
+/// v2 files are no larger than the v1 encoding of the same engine (the
+/// columnar document section drops per-node flag bytes).
+#[test]
+fn v2_not_larger_than_v1() {
+    for id in [DatasetId::D1, DatasetId::D7] {
+        let e = engine(id, 12, 250);
+        let v1 = encode_engine_snapshot_v1(&e);
+        let v2 = encode_engine_snapshot(&e);
+        assert!(
+            v2.len() <= v1.len(),
+            "{}: v2 {} bytes > v1 {} bytes",
+            id.name(),
+            v2.len(),
+            v1.len()
+        );
+    }
+}
+
+/// The committed v1 golden fixture still decodes, reports version 1, and
+/// answers queries identically to a freshly built engine — the backwards
+/// compatibility contract CI pins on every push.
+#[test]
+fn v1_golden_fixture_decodes() {
+    let bytes = std::fs::read(FIXTURE_PATH)
+        .expect("v1 fixture committed at tests/fixtures/snapshot_v1.uxm");
+    assert_eq!(snapshot_version(&bytes).unwrap(), 1);
+    let decoded = decode_engine_snapshot(&bytes).expect("v1 still decodes");
+    let fresh = fixture_engine();
+    // The fixture is regenerable bit-for-bit from this repository.
+    assert_eq!(
+        encode_engine_snapshot_v1(&fresh),
+        bytes,
+        "fixture drifted — regenerate with `cargo test --test snapshot_v2 \
+         regenerate_v1_fixture -- --ignored`"
+    );
+    for q in fixture_queries() {
+        assert_eq!(
+            decoded.run(&q).unwrap().answers,
+            fresh.run(&q).unwrap().answers,
+            "{q}"
+        );
+    }
+    // And re-encoding under the current version upgrades it losslessly.
+    let upgraded = decode_engine_snapshot(&encode_engine_snapshot(&decoded)).unwrap();
+    for q in fixture_queries() {
+        assert_eq!(
+            upgraded.run(&q).unwrap().answers,
+            fresh.run(&q).unwrap().answers,
+            "upgraded {q}"
+        );
+    }
+}
+
+/// A v1 and a v2 snapshot of the same engine hydrate to engines with
+/// identical answers (the two decode paths agree).
+#[test]
+fn v1_and_v2_decoders_agree() {
+    let e = engine(DatasetId::D7, 12, 250);
+    let from_v1 = decode_engine_snapshot(&encode_engine_snapshot_v1(&e)).unwrap();
+    let from_v2 = decode_engine_snapshot(&encode_engine_snapshot(&e)).unwrap();
+    let queries = paper_queries();
+    for qi in [1usize, 4, 7, 10] {
+        let q = Query::ptq(queries[qi - 1].clone());
+        assert_eq!(
+            from_v1.run(&q).unwrap().answers,
+            from_v2.run(&q).unwrap().answers,
+            "Q{qi}"
+        );
+    }
+}
+
+/// Writes the golden fixture. Run once when the fixture legitimately
+/// needs regenerating:
+/// `cargo test --test snapshot_v2 regenerate_v1_fixture -- --ignored`
+#[test]
+#[ignore = "writes tests/fixtures/snapshot_v1.uxm"]
+fn regenerate_v1_fixture() {
+    std::fs::create_dir_all("tests/fixtures").unwrap();
+    std::fs::write(FIXTURE_PATH, encode_engine_snapshot_v1(&fixture_engine())).unwrap();
+}
+
+/// One valid v2 snapshot, built once and shared by all property cases.
+fn valid_v2_snapshot() -> &'static [u8] {
+    static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    BYTES.get_or_init(|| encode_engine_snapshot(&engine(DatasetId::D2, 6, 120)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Flipping any byte of a valid v2 snapshot yields `Ok` or a clean
+    /// `DecodeError` — the columnar decode paths never panic.
+    #[test]
+    fn corrupt_v2_snapshot_never_panics(pos in 0usize..1 << 16, xor in 1u8..=255) {
+        let bytes = valid_v2_snapshot();
+        let mut corrupt = bytes.to_vec();
+        let p = pos % corrupt.len();
+        corrupt[p] ^= xor;
+        let _ = decode_engine_snapshot(&corrupt);
+    }
+
+    /// Truncating a valid v2 snapshot at any point errors cleanly.
+    #[test]
+    fn truncated_v2_snapshot_errors(cut in 0usize..1 << 16) {
+        let bytes = valid_v2_snapshot();
+        let cut = cut % bytes.len();
+        match decode_engine_snapshot(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!("truncated snapshot decoded at cut {cut}"),
+        }
+    }
+
+    /// Appending trailing garbage to a valid v2 snapshot is rejected.
+    #[test]
+    fn trailing_garbage_v2_rejected(extra in 1usize..16, byte in 0u8..=255) {
+        let mut bytes = valid_v2_snapshot().to_vec();
+        bytes.extend(std::iter::repeat_n(byte, extra));
+        prop_assert!(decode_engine_snapshot(&bytes).is_err());
+    }
+}
+
+/// The crafted-corruption cases that pin specific v2 `DecodeError`
+/// variants: a text span node out of range, non-monotone text nodes, and
+/// invalid UTF-8 in the contiguous buffers all fail loudly.
+#[test]
+fn v2_structural_corruption_reports_typed_errors() {
+    // An unknown version is rejected with the claimed version.
+    let mut bytes = valid_v2_snapshot().to_vec();
+    bytes[4] = 77; // version varint sits right after the magic
+    assert_eq!(
+        decode_engine_snapshot(&bytes).unwrap_err(),
+        DecodeError::UnsupportedVersion(77)
+    );
+}
