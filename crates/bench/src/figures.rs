@@ -716,6 +716,7 @@ pub fn bench_query(cfg: &ReproConfig) -> String {
         let mut cells: Vec<(&str, f64)> = Vec::new();
         let mut auto_naive = 0usize;
         let mut auto_tree = 0usize;
+        let mut auto_compiled = 0usize;
         for (name, hint) in hints {
             let pinned: Vec<Query> = queries
                 .iter()
@@ -734,6 +735,7 @@ pub fn bench_query(cfg: &ReproConfig) -> String {
                     match engine.run(q).expect("valid query").stats.plan.evaluator {
                         Evaluator::Naive => auto_naive += 1,
                         Evaluator::BlockTree => auto_tree += 1,
+                        Evaluator::Compiled => auto_compiled += 1,
                     }
                 }
             }
@@ -746,12 +748,13 @@ pub fn bench_query(cfg: &ReproConfig) -> String {
         }
         let _ = writeln!(
             out,
-            "  {:<5} {:>8.4} {:>9.4} {:>11.4}   {}x tree, {}x naive",
+            "  {:<5} {:>8.4} {:>9.4} {:>11.4}   {}x tree, {}x compiled, {}x naive",
             id.name(),
             cells[0].1,
             cells[1].1,
             cells[2].1,
             auto_tree,
+            auto_compiled,
             auto_naive,
         );
         rows.push(Json::Obj(vec![
@@ -759,6 +762,7 @@ pub fn bench_query(cfg: &ReproConfig) -> String {
                 "auto_plans".into(),
                 Json::Obj(vec![
                     ("block_tree".into(), Json::uint(auto_tree as u64)),
+                    ("compiled".into(), Json::uint(auto_compiled as u64)),
                     ("naive".into(), Json::uint(auto_naive as u64)),
                 ]),
             ),
@@ -900,8 +904,192 @@ pub fn bench_layout(cfg: &ReproConfig) -> String {
     out
 }
 
+/// The compiled-execution benchmark behind `BENCH_exec.json`: for every
+/// Table II dataset, the paper's 10-query workload pinned to each
+/// backend (compiled bytecode VM vs the two recursive evaluators) on
+/// one warm engine — plus an **amortization curve** on D4: cumulative
+/// workload latency over repeated runs for compiled (cold compile on
+/// run 1, program-cache replays after) against the naive recursive
+/// evaluator, showing where compile cost breaks even. Writes
+/// `BENCH_exec.json` (canonical JSON, see `uxm_core::json`) into the
+/// current directory and returns a printable summary.
+pub fn bench_exec(cfg: &ReproConfig) -> String {
+    let queries = paper_queries();
+    let hints = [
+        ("compiled", EvaluatorHint::Compiled),
+        ("naive", EvaluatorHint::Naive),
+        ("block_tree", EvaluatorHint::BlockTree),
+    ];
+    let mut out = format!(
+        "BENCH_exec — per-dataset 10-query latency (s), |M| = {}, warm engine\n  \
+         ID     compiled     naive  block-tree   vs best recursive\n",
+        cfg.m
+    );
+    let mut rows = Vec::new();
+    let mut compiled_wins = 0usize;
+    for id in DatasetId::all() {
+        let w = workload_for(id, cfg.m, &default_config());
+        let engine = w.engine();
+        let pinned: Vec<(&str, Vec<Query>)> = hints
+            .iter()
+            .map(|&(name, hint)| {
+                let qs = queries
+                    .iter()
+                    .map(|q| Query::ptq(q.clone()).with_evaluator(hint))
+                    .collect();
+                (name, qs)
+            })
+            .collect();
+        // Warm every backend before timing any of them, so each row runs
+        // against equally hot data: the compiled row measures program-cache
+        // replays, the recursive rows warm rewrite caches, and no backend
+        // pays the fresh engine's first-touch page faults inside its timing.
+        for (_, qs) in &pinned {
+            for q in qs {
+                std::hint::black_box(engine.run(q).expect("valid query").len());
+            }
+        }
+        // Interleave the timed repetitions and keep the per-backend
+        // minimum — at the microsecond scale of the small datasets one
+        // scheduler blip would otherwise decide the row. Each timed call
+        // runs the workload `INNER` times so the timer itself stays
+        // below the noise floor.
+        const INNER: usize = 16;
+        let mut cells: Vec<(&str, f64)> = pinned.iter().map(|&(n, _)| (n, f64::MAX)).collect();
+        for _ in 0..3 {
+            for (cell, (_, qs)) in cells.iter_mut().zip(&pinned) {
+                let t = time_avg(cfg.runs, || {
+                    for _ in 0..INNER {
+                        for q in qs {
+                            std::hint::black_box(engine.run(q).expect("valid query").len());
+                        }
+                    }
+                });
+                cell.1 = cell.1.min(t / INNER as f64);
+            }
+        }
+        let best_recursive = cells[1].1.min(cells[2].1);
+        let wins = cells[0].1 <= best_recursive;
+        compiled_wins += wins as usize;
+        let cache = engine.exec_cache_stats();
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>8.4} {:>9.4} {:>11.4}   {:.2}x {}",
+            id.name(),
+            cells[0].1,
+            cells[1].1,
+            cells[2].1,
+            best_recursive / cells[0].1.max(1e-12),
+            if wins { "(compiled wins)" } else { "" },
+        );
+        rows.push(Json::Obj(vec![
+            ("compiled_wins".into(), Json::Bool(wins)),
+            ("id".into(), Json::str(id.name())),
+            (
+                "latency_s".into(),
+                Json::Obj({
+                    let mut by_key: Vec<(String, Json)> = cells
+                        .iter()
+                        .map(|&(n, t)| (n.into(), Json::Num(t)))
+                        .collect();
+                    by_key.sort_by(|a, b| a.0.cmp(&b.0));
+                    by_key
+                }),
+            ),
+            (
+                "program_cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::uint(cache.hits)),
+                    ("misses".into(), Json::uint(cache.misses)),
+                ]),
+            ),
+        ]));
+    }
+    let _ = writeln!(
+        out,
+        "  compiled ≤ best recursive on {compiled_wins}/10 datasets"
+    );
+
+    // Amortization: cumulative cost of run n on fresh engines — run 1
+    // pays the compile (or the recursive evaluator's cold caches), later
+    // runs replay. Separate engines per backend so neither measurement
+    // inherits the other's warmed shared caches.
+    let checkpoints = [1usize, 2, 5, 10, 20, 50];
+    let amort_id = DatasetId::D7;
+    let mut curves = Vec::new();
+    let mut curve_text = String::new();
+    for (name, hint) in [
+        ("compiled", EvaluatorHint::Compiled),
+        ("naive", EvaluatorHint::Naive),
+    ] {
+        let w = workload_for(amort_id, cfg.m, &default_config());
+        let engine = w.engine();
+        let pinned: Vec<Query> = queries
+            .iter()
+            .map(|q| Query::ptq(q.clone()).with_evaluator(hint))
+            .collect();
+        let mut cumulative = 0.0f64;
+        let mut points = Vec::new();
+        let mut done = 0usize;
+        for &n in &checkpoints {
+            let start = std::time::Instant::now();
+            for _ in done..n {
+                for q in &pinned {
+                    std::hint::black_box(engine.run(q).expect("valid query").len());
+                }
+            }
+            cumulative += start.elapsed().as_secs_f64();
+            done = n;
+            points.push(Json::Num(cumulative));
+        }
+        let _ = write!(curve_text, "  {name:<9}");
+        for (i, p) in points.iter().enumerate() {
+            if let Json::Num(t) = p {
+                let _ = write!(curve_text, " n={:<3} {:>8.4}", checkpoints[i], t);
+            }
+        }
+        curve_text.push('\n');
+        curves.push((name.to_string(), Json::Arr(points)));
+    }
+    let _ = writeln!(
+        out,
+        "  amortization on {} (cumulative s, cold engines):\n{}",
+        amort_id.name(),
+        curve_text.trim_end(),
+    );
+
+    let report = Json::Obj(vec![
+        (
+            "amortization".into(),
+            Json::Obj(vec![
+                (
+                    "checkpoints".into(),
+                    Json::Arr(checkpoints.iter().map(|&n| Json::uint(n as u64)).collect()),
+                ),
+                ("cumulative_s".into(), Json::Obj(curves)),
+                ("dataset".into(), Json::str(amort_id.name())),
+            ]),
+        ),
+        ("compiled_wins".into(), Json::uint(compiled_wins as u64)),
+        ("datasets".into(), Json::Arr(rows)),
+        ("m".into(), Json::uint(cfg.m as u64)),
+        ("queries".into(), Json::uint(queries.len() as u64)),
+        ("runs".into(), Json::uint(cfg.runs as u64)),
+    ]);
+    let path = "BENCH_exec.json";
+    match std::fs::write(path, format!("{report}\n")) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote {path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "could not write {path}: {e}");
+        }
+    }
+    out
+}
+
 /// All experiment ids accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 18] = [
+pub const EXPERIMENTS: [&str; 19] = [
     "table2",
     "fig9a",
     "fig9b",
@@ -919,6 +1107,7 @@ pub const EXPERIMENTS: [&str; 18] = [
     "serve-http",
     "bench_query",
     "bench_layout",
+    "bench_exec",
     "ablation",
 ];
 
@@ -942,6 +1131,7 @@ pub fn run_experiment(id: &str, cfg: &ReproConfig) -> Option<String> {
         "serve-http" => serve_http(cfg),
         "bench_query" => bench_query(cfg),
         "bench_layout" => bench_layout(cfg),
+        "bench_exec" => bench_exec(cfg),
         "ablation" => ablation(cfg),
         _ => return None,
     })

@@ -65,7 +65,7 @@ use crate::error::UxmError;
 use crate::json::Json;
 use crate::keyword::{KeywordAnswer, KeywordError};
 use crate::mapping::MappingId;
-use crate::planner::Plan;
+use crate::planner::{Evaluator, Plan};
 use crate::ptq::PtqAnswer;
 use std::fmt;
 use uxm_twig::{TwigMatch, TwigPattern};
@@ -109,6 +109,8 @@ pub enum EvaluatorHint {
     Naive,
     /// Pin Algorithm 4 (block-tree evaluation).
     BlockTree,
+    /// Pin the [`crate::exec`] compiled-program backend.
+    Compiled,
 }
 
 impl EvaluatorHint {
@@ -118,6 +120,7 @@ impl EvaluatorHint {
             EvaluatorHint::Auto => "auto",
             EvaluatorHint::Naive => "naive",
             EvaluatorHint::BlockTree => "block-tree",
+            EvaluatorHint::Compiled => "compiled",
         }
     }
 }
@@ -179,9 +182,10 @@ impl QueryOptions {
                         Some("auto") => EvaluatorHint::Auto,
                         Some("naive") => EvaluatorHint::Naive,
                         Some("block-tree") => EvaluatorHint::BlockTree,
+                        Some("compiled") => EvaluatorHint::Compiled,
                         _ => {
                             return Err(UxmError::Json(format!(
-                                "evaluator must be auto | naive | block-tree, got {val}"
+                                "evaluator must be auto | naive | block-tree | compiled, got {val}"
                             )))
                         }
                     }
@@ -543,9 +547,21 @@ pub struct Answer {
 pub struct ExecStats {
     /// The plan the [`crate::planner`] chose (and why).
     pub plan: Plan,
+    /// The backend that **actually ran**. Usually equal to
+    /// `plan.evaluator`; it differs when execution cannot follow the
+    /// plan (keyword queries always run naive, and a compiled plan falls
+    /// back to naive if the pattern cannot be lowered).
+    pub backend: Evaluator,
     /// `|M_q|` — mappings the evaluator actually ran (after filtering,
     /// and for top-k after pruning).
     pub relevant: usize,
+    /// Program-cache hits for this query: `1` when a compiled program
+    /// was replayed from the engine's cache, `0` otherwise. Unlike the
+    /// rewrite counters this is exact per-query accounting.
+    pub program_cache_hits: u64,
+    /// Program-cache misses for this query: `1` when the compiled
+    /// backend ran and had to compile, `0` otherwise.
+    pub program_cache_misses: u64,
     /// Session rewrite-cache hits observed while this query ran (see
     /// the type docs for the concurrency caveat).
     pub rewrite_hits: u64,
@@ -643,6 +659,7 @@ impl QueryResponse {
             })
             .collect();
         let stats = Json::Obj(vec![
+            ("backend".into(), Json::str(self.stats.backend.wire_name())),
             ("elapsed_us".into(), Json::uint(self.stats.elapsed_us)),
             (
                 "evaluator".into(),
@@ -651,6 +668,14 @@ impl QueryResponse {
             (
                 "plan_reason".into(),
                 Json::str(self.stats.plan.reason.wire_name()),
+            ),
+            (
+                "program_cache_hits".into(),
+                Json::uint(self.stats.program_cache_hits),
+            ),
+            (
+                "program_cache_misses".into(),
+                Json::uint(self.stats.program_cache_misses),
             ),
             ("relevant".into(), Json::uint(self.stats.relevant as u64)),
             ("rewrite_hits".into(), Json::uint(self.stats.rewrite_hits)),
@@ -896,7 +921,10 @@ mod tests {
                     evaluator: Evaluator::BlockTree,
                     reason: PlanReason::SharedBlocks,
                 },
+                backend: Evaluator::BlockTree,
                 relevant: 7,
+                program_cache_hits: 0,
+                program_cache_misses: 0,
                 rewrite_hits: 2,
                 rewrite_misses: 5,
                 elapsed_us: 123,
@@ -906,9 +934,10 @@ mod tests {
         assert_eq!(
             text,
             "{\"answers\":[{\"mappings\":[0,3],\"matches\":[[1,4]],\"probability\":0.5}],\
-             \"stats\":{\"elapsed_us\":123,\"evaluator\":\"block-tree\",\
-             \"plan_reason\":\"shared-blocks\",\"relevant\":7,\"rewrite_hits\":2,\
-             \"rewrite_misses\":5}}"
+             \"stats\":{\"backend\":\"block-tree\",\"elapsed_us\":123,\
+             \"evaluator\":\"block-tree\",\"plan_reason\":\"shared-blocks\",\
+             \"program_cache_hits\":0,\"program_cache_misses\":0,\"relevant\":7,\
+             \"rewrite_hits\":2,\"rewrite_misses\":5}}"
         );
         // Emitted JSON is canonical: re-parsing and re-writing is stable.
         assert_eq!(Json::parse(&text).unwrap().to_string(), text);

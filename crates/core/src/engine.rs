@@ -29,6 +29,7 @@
 use crate::api::{ExecStats, Query, QueryResponse};
 use crate::block_tree::{BlockTree, BlockTreeConfig};
 use crate::error::UxmError;
+use crate::exec::{self, Explain, ProgramCache, ProgramCacheStats, SetMode};
 use crate::keyword::{KeywordAnswer, KeywordError};
 use crate::mapping::{MappingId, MappingRef, PossibleMappings};
 use crate::planner::{self, Evaluator, Plan, PlannerStats};
@@ -196,12 +197,12 @@ const CACHE_SHARDS: usize = 16;
 /// shards. This is what makes [`SessionState`] — and hence
 /// [`QueryEngine`] — usable from many threads at once: the old
 /// single-`Mutex` caches serialized every cache probe.
-struct Sharded<V> {
+pub(crate) struct Sharded<V> {
     shards: Vec<RwLock<HashMap<String, V>>>,
 }
 
 impl<V> Sharded<V> {
-    fn new() -> Sharded<V> {
+    pub(crate) fn new() -> Sharded<V> {
         Sharded {
             shards: (0..CACHE_SHARDS).map(|_| RwLock::default()).collect(),
         }
@@ -214,7 +215,7 @@ impl<V> Sharded<V> {
     }
 
     /// Applies `f` to `key`'s entry under the shard's read lock.
-    fn read<R>(&self, key: &str, f: impl FnOnce(&V) -> R) -> Option<R> {
+    pub(crate) fn read<R>(&self, key: &str, f: impl FnOnce(&V) -> R) -> Option<R> {
         self.shard(key).read().expect("cache lock").get(key).map(f)
     }
 
@@ -223,7 +224,7 @@ impl<V> Sharded<V> {
     /// wholesale before a *new* query is admitted — crude, but it bounds a
     /// long-lived session serving unbounded ad-hoc queries, and a clear
     /// only costs re-deriving rewrites for queries still in rotation.
-    fn update(&self, key: &str, cap: usize, f: impl FnOnce(&mut V))
+    pub(crate) fn update(&self, key: &str, cap: usize, f: impl FnOnce(&mut V))
     where
         V: Default,
     {
@@ -405,7 +406,7 @@ impl SessionState {
 
     /// Per pattern node: the session symbol of its label (`None` when the
     /// label occurs in neither schema nor the document).
-    fn query_syms(&self, q: &TwigPattern) -> Vec<Option<Symbol>> {
+    pub(crate) fn query_syms(&self, q: &TwigPattern) -> Vec<Option<Symbol>> {
         q.ids()
             .map(|id| self.symbols.resolve(&q.node(id).label))
             .collect()
@@ -413,11 +414,36 @@ impl SessionState {
 
     /// Target schema nodes whose label is `sym`.
     #[inline]
-    fn target_nodes(&self, sym: Option<Symbol>) -> &[SchemaNodeId] {
+    pub(crate) fn target_nodes(&self, sym: Option<Symbol>) -> &[SchemaNodeId] {
         match sym {
             Some(s) => &self.target_nodes_by_sym[s.idx()],
             None => &[],
         }
+    }
+
+    /// Number of mappings in the session — the width every liveness
+    /// bitset (including a compiled program's) is sized to.
+    pub(crate) fn n_mappings(&self) -> usize {
+        self.n_mappings
+    }
+
+    /// The relevance bitset column for `sym` (bit `i` ⇔ mapping `i`
+    /// covers a target node with that label) — what a compiled
+    /// program's `and-relevance` op ANDs.
+    pub(crate) fn relevance_words(&self, sym: Symbol) -> &[u64] {
+        self.relevance.of(sym)
+    }
+
+    /// The source-label symbol of a source schema node (the compiled
+    /// label-granularity projection).
+    pub(crate) fn source_sym(&self, s: SchemaNodeId) -> Symbol {
+        self.source_syms[s.idx()]
+    }
+
+    /// The document label for a raw symbol id — the VM's shape arena
+    /// stores symbols as raw `u32`s.
+    pub(crate) fn doc_label_raw(&self, raw: u32) -> Option<LabelId> {
+        self.sym_doc_label[raw as usize]
     }
 
     /// Upper bound on distinct memoized queries per cache *shard* (about
@@ -933,7 +959,7 @@ fn join_at_root(
 // ---------------------------------------------------------------------
 // node-granularity evaluation (path_ptq semantics)
 
-fn node_sets_to_matches(
+pub(crate) fn node_sets_to_matches(
     q: &TwigPattern,
     sets: &[Vec<SchemaNodeId>],
     pm: &PossibleMappings,
@@ -1246,6 +1272,10 @@ pub struct QueryEngine {
     tree: BlockTree,
     state: SessionState,
     path_index: OnceLock<PathIndex>,
+    /// Compiled programs keyed by canonical query shape (see
+    /// [`crate::exec`]); programs embed session symbols, so the cache
+    /// lives and dies with this engine.
+    exec_cache: ProgramCache,
     /// Average mappings per c-block (the planner's fan-out statistic),
     /// fixed at build time.
     avg_block_fanout: f64,
@@ -1287,6 +1317,7 @@ impl QueryEngine {
             tree,
             state,
             path_index: OnceLock::new(),
+            exec_cache: ProgramCache::new(),
             avg_block_fanout,
         }
     }
@@ -1330,6 +1361,13 @@ impl QueryEngine {
     /// Cache hit/miss counters for this session.
     pub fn cache_stats(&self) -> CacheStats {
         self.state.stats()
+    }
+
+    /// Cumulative program-cache counters for the compiled backend
+    /// (hits, misses, programs compiled) — surfaced per engine through
+    /// `GET /stats`.
+    pub fn exec_cache_stats(&self) -> ProgramCacheStats {
+        self.exec_cache.stats()
     }
 
     /// Per-component resident-size breakdown of this session, computed
@@ -1412,14 +1450,92 @@ impl QueryEngine {
         ids
     }
 
-    /// Label-granularity evaluation over a pre-filtered id set with the
-    /// planned evaluator.
+    /// Label-granularity evaluation over a pre-filtered id set with a
+    /// *recursive* evaluator (the compiled backend goes through
+    /// [`Self::eval_compiled`], which derives its own id set from the
+    /// program's bitset ops).
     fn eval_label(&self, q: &TwigPattern, ids: &[MappingId], evaluator: Evaluator) -> PtqResult {
         match evaluator {
-            Evaluator::Naive => eval_basic_over(q, &self.pm, &self.doc, &self.state, ids),
+            Evaluator::Naive | Evaluator::Compiled => {
+                eval_basic_over(q, &self.pm, &self.doc, &self.state, ids)
+            }
             Evaluator::BlockTree => {
                 eval_tree_over(q, &self.pm, &self.doc, &self.tree, &self.state, ids)
             }
+        }
+    }
+
+    /// Runs `q` through the compiled backend: fetch (or compile) the
+    /// program for the canonical query shape, then replay it over the
+    /// session arenas. Returns the raw result and whether the program
+    /// came from the cache.
+    fn eval_compiled(
+        &self,
+        q: &TwigPattern,
+        qstr: &str,
+        mode: SetMode,
+        k: Option<usize>,
+    ) -> (PtqResult, bool) {
+        let key = ProgramCache::key(mode, k, qstr);
+        let (program, hit) = self
+            .exec_cache
+            .get_or_compile(&key, || exec::compile(q, mode, k, &self.state));
+        let ctx = exec::EngineCtx {
+            pm: &self.pm,
+            doc: &self.doc,
+            state: &self.state,
+            index: matches!(mode, SetMode::SchemaNodes).then(|| self.path_index()),
+        };
+        (program.run(&ctx), hit)
+    }
+
+    /// The observability hook behind `uxm explain` and the `/query`
+    /// `explain: true` option: the plan [`Self::run`] would execute
+    /// right now, the planner statistics it would decide from, and the
+    /// compiled program listing (always included for PTQ-shaped
+    /// queries, whatever the plan picks). Like `run`, this warms the
+    /// relevant-mapping cache — so explain-then-run reports a warm
+    /// plan. The program is compiled fresh, off the cache, leaving the
+    /// program-cache counters untouched.
+    pub fn explain(&self, query: &Query) -> Result<Explain, UxmError> {
+        query.validate()?;
+        let hint = query.options().evaluator;
+        Ok(match query {
+            Query::Ptq { pattern, .. } => {
+                self.explain_shaped(pattern, SetMode::Symbols, None, hint)
+            }
+            Query::PtqNodes { pattern, .. } => {
+                self.explain_shaped(pattern, SetMode::SchemaNodes, None, hint)
+            }
+            Query::TopK { pattern, k, .. } => {
+                self.explain_shaped(pattern, SetMode::Symbols, Some(*k), hint)
+            }
+            Query::Keyword { .. } => Explain {
+                plan: Plan::only(Evaluator::Naive),
+                planner: None,
+                program: None,
+            },
+        })
+    }
+
+    /// [`Self::explain`] for the three PTQ-shaped query kinds.
+    fn explain_shaped(
+        &self,
+        q: &TwigPattern,
+        mode: SetMode,
+        k: Option<usize>,
+        hint: crate::api::EvaluatorHint,
+    ) -> Explain {
+        let qstr = q.to_string();
+        let warm = self.state.relevant_cached(&qstr);
+        let relevant = self.state.relevant(q, &qstr).len();
+        let relevant = k.map_or(relevant, |k| relevant.min(k));
+        let stats = self.planner_stats(q, relevant, warm);
+        let plan = exec::apply_env(hint, planner::choose(hint, &stats));
+        Explain {
+            plan,
+            planner: Some(stats),
+            program: Some(Arc::new(exec::compile(q, mode, k, &self.state))),
         }
     }
 
@@ -1438,62 +1554,100 @@ impl QueryEngine {
         let start = std::time::Instant::now();
         let before = self.state.stats();
         let options = *query.options();
-        let (answers, plan, relevant) = match query {
+        // `program` is `Some(cache_hit)` when the compiled backend ran.
+        let (answers, plan, relevant, backend, program) = match query {
             Query::Ptq { pattern, .. } => {
                 let qstr = pattern.to_string();
                 let warm = self.state.relevant_cached(&qstr);
                 let ids = self.state.relevant(pattern, &qstr);
-                let plan = planner::choose(
+                let plan = exec::apply_env(
                     options.evaluator,
-                    &self.planner_stats(pattern, ids.len(), warm),
+                    planner::choose(
+                        options.evaluator,
+                        &self.planner_stats(pattern, ids.len(), warm),
+                    ),
                 );
-                let res = self.eval_label(pattern, &ids, plan.evaluator);
+                let (res, program) = match plan.evaluator {
+                    Evaluator::Compiled => {
+                        let (res, hit) = self.eval_compiled(pattern, &qstr, SetMode::Symbols, None);
+                        (res, Some(hit))
+                    }
+                    ev => (self.eval_label(pattern, &ids, ev), None),
+                };
                 (
                     crate::api::shape_ptq_answers(res.answers, &options),
                     plan,
                     ids.len(),
+                    plan.evaluator,
+                    program,
                 )
             }
             Query::PtqNodes { pattern, .. } => {
                 let qstr = pattern.to_string();
                 let warm = self.state.relevant_cached(&qstr);
                 let relevant = self.state.relevant(pattern, &qstr).len();
-                let plan = planner::choose(
+                let plan = exec::apply_env(
                     options.evaluator,
-                    &self.planner_stats(pattern, relevant, warm),
+                    planner::choose(
+                        options.evaluator,
+                        &self.planner_stats(pattern, relevant, warm),
+                    ),
                 );
-                let res = match plan.evaluator {
-                    Evaluator::Naive => eval_basic_nodes(
-                        pattern,
-                        &self.pm,
-                        &self.doc,
-                        self.path_index(),
-                        &self.state,
+                let (res, program) = match plan.evaluator {
+                    Evaluator::Naive => (
+                        eval_basic_nodes(
+                            pattern,
+                            &self.pm,
+                            &self.doc,
+                            self.path_index(),
+                            &self.state,
+                        ),
+                        None,
                     ),
-                    Evaluator::BlockTree => eval_tree_nodes(
-                        pattern,
-                        &self.pm,
-                        &self.doc,
-                        self.path_index(),
-                        &self.tree,
-                        &self.state,
+                    Evaluator::BlockTree => (
+                        eval_tree_nodes(
+                            pattern,
+                            &self.pm,
+                            &self.doc,
+                            self.path_index(),
+                            &self.tree,
+                            &self.state,
+                        ),
+                        None,
                     ),
+                    Evaluator::Compiled => {
+                        let (res, hit) =
+                            self.eval_compiled(pattern, &qstr, SetMode::SchemaNodes, None);
+                        (res, Some(hit))
+                    }
                 };
                 (
                     crate::api::shape_ptq_answers(res.answers, &options),
                     plan,
                     relevant,
+                    plan.evaluator,
+                    program,
                 )
             }
             Query::TopK { pattern, k, .. } => {
                 let qstr = pattern.to_string();
                 let warm = self.state.relevant_cached(&qstr);
                 let ids = self.topk_ids(pattern, &qstr, *k);
-                let plan = planner::choose(
+                let plan = exec::apply_env(
                     options.evaluator,
-                    &self.planner_stats(pattern, ids.len(), warm),
+                    planner::choose(
+                        options.evaluator,
+                        &self.planner_stats(pattern, ids.len(), warm),
+                    ),
                 );
-                let mut res = self.eval_label(pattern, &ids, plan.evaluator);
+                let (mut res, program) = match plan.evaluator {
+                    Evaluator::Compiled => {
+                        let (res, hit) =
+                            self.eval_compiled(pattern, &qstr, SetMode::Symbols, Some(*k));
+                        (res, Some(hit))
+                    }
+                    ev => (self.eval_label(pattern, &ids, ev), None),
+                };
                 res.answers.sort_by(|a, b| {
                     b.probability
                         .total_cmp(&a.probability)
@@ -1503,6 +1657,8 @@ impl QueryEngine {
                     crate::api::shape_ptq_answers(res.answers, &options),
                     plan,
                     ids.len(),
+                    plan.evaluator,
+                    program,
                 )
             }
             Query::Keyword { terms, .. } => {
@@ -1513,6 +1669,8 @@ impl QueryEngine {
                     crate::api::shape_keyword_answers(raw, &options),
                     Plan::only(Evaluator::Naive),
                     relevant,
+                    Evaluator::Naive,
+                    None,
                 )
             }
         };
@@ -1521,7 +1679,10 @@ impl QueryEngine {
             answers,
             stats: ExecStats {
                 plan,
+                backend,
                 relevant,
+                program_cache_hits: u64::from(program == Some(true)),
+                program_cache_misses: u64::from(program == Some(false)),
                 rewrite_hits: after.rewrite_hits - before.rewrite_hits,
                 rewrite_misses: after.rewrite_misses - before.rewrite_misses,
                 elapsed_us: start.elapsed().as_micros() as u64,

@@ -1,0 +1,96 @@
+//! The per-engine program cache: compile once, replay on every
+//! repeated query.
+//!
+//! Keys are the **canonical query shape** — the execution granularity,
+//! the top-k bound, and the pattern's canonical rendering. Symbols and
+//! target candidates are resolved *into* the cached program (compile
+//! inlines them as constants), which is why the cache must be
+//! per-engine: a program is only meaningful against the session whose
+//! arenas it was compiled over.
+
+use super::program::{Program, SetMode};
+use crate::engine::Sharded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on cached programs per shard (the same wholesale-clear
+/// discipline as the engine's rewrite caches; ~1024 programs total).
+const PROGRAMS_PER_SHARD: usize = 64;
+
+/// Cumulative program-cache counters for one engine, surfaced through
+/// `GET /stats` and `uxm explain`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProgramCacheStats {
+    /// Lookups served by a cached program.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Programs compiled over this engine's lifetime. Equal to `misses`
+    /// unless concurrent cold lookups raced on one key (each racer
+    /// compiles; last write wins, the results are identical).
+    pub compiled: u64,
+}
+
+/// A sharded map from canonical query shape to its compiled [`Program`].
+pub(crate) struct ProgramCache {
+    shards: Sharded<Option<Arc<Program>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compiled: AtomicU64,
+}
+
+impl ProgramCache {
+    pub(crate) fn new() -> ProgramCache {
+        ProgramCache {
+            shards: Sharded::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            compiled: AtomicU64::new(0),
+        }
+    }
+
+    /// The canonical cache key: granularity tag + top-k bound + the
+    /// pattern's canonical rendering (so textual variants of one twig
+    /// share a program).
+    pub(crate) fn key(mode: SetMode, k: Option<usize>, qstr: &str) -> String {
+        let tag = match mode {
+            SetMode::Symbols => "L",
+            SetMode::SchemaNodes => "N",
+        };
+        match k {
+            Some(k) => format!("{tag}:{k}:{qstr}"),
+            None => format!("{tag}:-:{qstr}"),
+        }
+    }
+
+    /// Returns the cached program for `key`, or compiles, caches, and
+    /// returns it. The boolean is `true` on a cache hit. Compilation
+    /// runs outside any lock; two threads racing on a cold key both
+    /// compile identical programs and last-write-wins.
+    pub(crate) fn get_or_compile(
+        &self,
+        key: &str,
+        compile: impl FnOnce() -> Program,
+    ) -> (Arc<Program>, bool) {
+        if let Some(Some(hit)) = self.shards.read(key, Clone::clone) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.compiled.fetch_add(1, Ordering::Relaxed);
+        let program = Arc::new(compile());
+        self.shards.update(key, PROGRAMS_PER_SHARD, |slot| {
+            *slot = Some(Arc::clone(&program));
+        });
+        (program, false)
+    }
+
+    /// Cumulative counters.
+    pub(crate) fn stats(&self) -> ProgramCacheStats {
+        ProgramCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compiled: self.compiled.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Lowering a planner-annotated query into a flat [`Program`].
+//!
+//! Compilation resolves every name once — query labels to interned
+//! symbols, symbols to target-schema candidate lists — and inlines the
+//! results into the program as constants, so the interpreter never
+//! touches the symbol table, the schemas, or any per-node tree walk.
+//! The pipeline mirrors Algorithm 3's phases exactly (filter → rewrite
+//! → resolve → match → fold), which is what makes the compiled backend
+//! answer-identical to the recursive evaluators by construction.
+
+use super::program::{FoldMode, Op, Program, SetMode};
+use crate::engine::SessionState;
+use uxm_twig::TwigPattern;
+
+/// Lowers `pattern` into a [`Program`] against one engine session.
+///
+/// The emitted shape is fixed:
+///
+/// ```text
+/// init-bits
+/// and-relevance / clear-bits     (one per distinct query label)
+/// materialize-ids
+/// topk-heap k                    (top-k queries only)
+/// intersect-csr                  (one per query node)
+/// group-shapes
+/// match-shapes
+/// fold-prob
+/// emit-answers
+/// ```
+///
+/// Programs embed session symbols and schema node ids, so they are only
+/// valid against the engine whose [`SessionState`] compiled them — the
+/// per-engine program cache enforces that.
+pub(crate) fn compile(
+    pattern: &TwigPattern,
+    mode: SetMode,
+    k: Option<usize>,
+    state: &SessionState,
+) -> Program {
+    let qsyms = state.query_syms(pattern);
+    let n_nodes = qsyms.len();
+    let mut ops: Vec<Op> = Vec::with_capacity(n_nodes * 2 + 6);
+
+    // Phase 1 — the paper's filter_mappings as bitset ANDs, one op per
+    // distinct query label (ANDing a column twice is a no-op; compile it
+    // out).
+    ops.push(Op::InitBits);
+    let mut seen_labels: Vec<&str> = Vec::with_capacity(n_nodes);
+    for (id, sym) in pattern.ids().zip(&qsyms) {
+        let label = pattern.node(id).label.as_str();
+        if seen_labels.contains(&label) {
+            continue;
+        }
+        seen_labels.push(label);
+        match sym {
+            Some(s) => ops.push(Op::AndRelevance {
+                sym: *s,
+                label: label.to_string(),
+            }),
+            None => ops.push(Op::ClearBits {
+                label: label.to_string(),
+            }),
+        }
+    }
+    ops.push(Op::MaterializeIds);
+    if let Some(k) = k {
+        ops.push(Op::TopKHeap { k });
+    }
+
+    // Phase 2 — per-node rewrites: inline each node's target-candidate
+    // list into one flat arena, sorted so the VM can merge-intersect it
+    // against the mappings' target-sorted CSR rows.
+    let mut targets = Vec::new();
+    for (node, sym) in qsyms.iter().enumerate() {
+        let start = targets.len() as u32;
+        targets.extend_from_slice(state.target_nodes(*sym));
+        targets[start as usize..].sort_unstable();
+        ops.push(Op::IntersectCsr {
+            node: node as u32,
+            targets: start..targets.len() as u32,
+        });
+    }
+
+    // Phase 3 — share the matcher across identical shapes, then fold the
+    // probability column into per-mapping answers.
+    ops.push(Op::GroupShapes);
+    ops.push(Op::MatchShapes { mode });
+    ops.push(Op::FoldProb {
+        mode: if k.is_some() {
+            FoldMode::TopOrder
+        } else {
+            FoldMode::PerMapping
+        },
+    });
+    ops.push(Op::EmitAnswers);
+
+    Program {
+        pattern: pattern.clone(),
+        mode,
+        ops,
+        targets,
+        n_nodes,
+        n_mappings: state.n_mappings(),
+    }
+}

@@ -23,8 +23,13 @@
 //! * [`api`] — the unified query surface: the typed [`api::Query`] AST,
 //!   the uniform [`api::QueryResponse`] with provenance and execution
 //!   stats, and its canonical JSON wire format,
-//! * [`planner`] — the cost-aware choice between naive and block-tree
-//!   evaluation, driven by engine statistics unless a query pins it,
+//! * [`planner`] — the cost-aware choice between naive, block-tree,
+//!   and compiled evaluation, driven by engine statistics unless a
+//!   query pins it,
+//! * [`exec`] — compiled query execution: flat bytecode programs
+//!   lowered once per query shape, interpreted by a register VM over
+//!   the engine's columnar arenas, and replayed from a sharded
+//!   per-engine program cache,
 //! * [`error`] — the crate-wide [`error::UxmError`] every layer fails
 //!   with,
 //! * [`json`] — the minimal canonical-JSON support under the wire
@@ -96,6 +101,7 @@ pub mod block_tree;
 pub mod compress;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod json;
 pub mod keyword;
 pub mod mapping;

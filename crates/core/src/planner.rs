@@ -6,15 +6,18 @@
 //! experiments (§VI, Fig. 9f/10a–c) show neither dominates: the block
 //! tree wins when many mappings share c-blocks, the naive path wins on
 //! small relevant sets where the tree's split/join machinery is pure
-//! overhead. Under the unified [`crate::api::Query`] surface that choice
-//! is no longer the caller's problem: the planner picks an [`Evaluator`]
-//! from cheap per-query engine statistics ([`PlannerStats`]) unless the
-//! query pins one via [`EvaluatorHint`].
+//! overhead. The engine adds a third strategy on top of the paper's two:
+//! a [`crate::exec`] backend that lowers the query into a flat compiled
+//! [`Program`](crate::exec::Program) replayed from a per-engine cache.
+//! Under the unified [`crate::api::Query`] surface that choice is no
+//! longer the caller's problem: the planner picks an [`Evaluator`] from
+//! cheap per-query engine statistics ([`PlannerStats`]) unless the query
+//! pins one via [`EvaluatorHint`].
 //!
-//! Both evaluators return answers that are **identical by construction**
-//! (pinned by `tests/engine_equivalence.rs` and the planner differential
-//! suite), so the plan choice is a pure performance decision — it can
-//! never change a result.
+//! All evaluators return answers that are **identical by construction**
+//! (pinned by `tests/engine_equivalence.rs`, `tests/prop_exec.rs`, and
+//! the planner differential suite), so the plan choice is a pure
+//! performance decision — it can never change a result.
 //!
 //! # Examples
 //!
@@ -38,9 +41,10 @@
 //!     Plan { evaluator: Evaluator::BlockTree, reason: PlanReason::SharedBlocks },
 //! );
 //!
-//! // A tiny relevant set flips the choice: the tree cannot pay for itself.
+//! // A tiny relevant set flips the choice: the tree cannot pay for
+//! // itself, and the flat compiled program wins outright.
 //! let few = PlannerStats { relevant_mappings: 3, ..stats };
-//! assert_eq!(choose(EvaluatorHint::Auto, &few).evaluator, Evaluator::Naive);
+//! assert_eq!(choose(EvaluatorHint::Auto, &few).evaluator, Evaluator::Compiled);
 //!
 //! // So does an empty candidate stream: when some query label can never
 //! // match a document node, every evaluation is near-free.
@@ -61,19 +65,20 @@
 use crate::api::EvaluatorHint;
 use std::fmt;
 
-/// How many relevant mappings the naive evaluator handles so cheaply
-/// that the block tree's bookkeeping cannot pay for itself.
+/// How many relevant mappings the per-mapping evaluators handle so
+/// cheaply that the block tree's bookkeeping cannot pay for itself.
 pub const FEW_MAPPINGS_CUTOFF: usize = 8;
 
 /// Minimum average c-block fan-out (mappings sharing a block) for the
 /// tree's answer replication to beat per-mapping evaluation outright.
 pub const SHARED_FANOUT_CUTOFF: f64 = 2.0;
 
-/// Posting-list budget under which a warm cache makes naive evaluation
-/// the winner: with rewrites memoized, per-mapping match work over
-/// candidate streams totalling at most this many document nodes is
-/// cheaper than the tree's split/join machinery. Above it, match work
-/// dominates and block sharing still pays even when warm.
+/// Posting-list budget under which warm per-mapping evaluation is the
+/// winner: with a compiled program cached (and rewrites memoized on the
+/// recursive path), match work over candidate streams totalling at most
+/// this many document nodes is cheaper than the tree's split/join
+/// machinery. Above it, match work dominates and block sharing still
+/// pays even when warm.
 pub const WARM_POSTINGS_CUTOFF: usize = 1024;
 
 /// A PTQ evaluation strategy.
@@ -83,14 +88,20 @@ pub enum Evaluator {
     Naive,
     /// Algorithm 4: share work through the block tree.
     BlockTree,
+    /// The [`crate::exec`] backend: the query is lowered to a flat
+    /// [`Program`](crate::exec::Program) over the columnar arenas and
+    /// replayed from the engine's program cache. Answer-identical to
+    /// [`Evaluator::Naive`] by construction.
+    Compiled,
 }
 
 impl Evaluator {
-    /// The kebab-case wire name (`naive` / `block-tree`).
+    /// The kebab-case wire name (`naive` / `block-tree` / `compiled`).
     pub fn wire_name(self) -> &'static str {
         match self {
             Evaluator::Naive => "naive",
             Evaluator::BlockTree => "block-tree",
+            Evaluator::Compiled => "compiled",
         }
     }
 }
@@ -118,10 +129,10 @@ pub enum PlanReason {
     /// Average c-block fan-out ≥ [`SHARED_FANOUT_CUTOFF`]: block answers
     /// replicate across many mappings.
     SharedBlocks,
-    /// The session caches already hold this query's rewrites **and** the
-    /// measured candidate streams are small (≤
-    /// [`WARM_POSTINGS_CUTOFF`] document nodes in total), so memoized
-    /// per-mapping evaluation beats the tree's machinery.
+    /// The session caches already hold this query (a compiled program
+    /// and/or memoized rewrites) **and** the measured candidate streams
+    /// are small (≤ [`WARM_POSTINGS_CUTOFF`] document nodes in total),
+    /// so replaying per-mapping evaluation beats the tree's machinery.
     WarmCache,
     /// Default for large relevant sets with modest sharing.
     ManyMappings,
@@ -193,25 +204,29 @@ pub struct PlannerStats {
     /// evaluation scans.
     pub total_rewrite_postings: usize,
     /// Whether the session caches already hold this query (its relevant
-    /// set, and with it the memoized rewrites of a previous evaluation).
+    /// set, and with it the memoized rewrites or compiled program of a
+    /// previous evaluation).
     pub cache_warm: bool,
 }
 
 /// Picks the evaluator for one PTQ-shaped query.
 ///
 /// A pinned hint always wins. Under [`EvaluatorHint::Auto`] the rules,
-/// in order:
+/// in order — every per-mapping outcome routes to the flat
+/// [`Evaluator::Compiled`] backend (which replaces the recursive naive
+/// walk without changing answers), while block-tree outcomes keep
+/// Algorithm 4's cross-mapping sharing:
 ///
-/// 1. no c-blocks → [`Evaluator::Naive`] (nothing to share);
-/// 2. `relevant_mappings ≤ `[`FEW_MAPPINGS_CUTOFF`] → `Naive` (the
+/// 1. no c-blocks → [`Evaluator::Compiled`] (nothing to share);
+/// 2. `relevant_mappings ≤ `[`FEW_MAPPINGS_CUTOFF`] → `Compiled` (the
 ///    tree's split/join overhead exceeds the work it saves);
-/// 3. `min_rewrite_postings == 0` → `Naive` (some query node's measured
-///    candidate stream is empty, so every answer is provably empty and
-///    there is nothing to share);
+/// 3. `min_rewrite_postings == 0` → `Compiled` (some query node's
+///    measured candidate stream is empty, so every answer is provably
+///    empty and there is nothing to share);
 /// 4. `avg_block_fanout ≥ `[`SHARED_FANOUT_CUTOFF`] → `BlockTree`
 ///    (block answers replicate across ≥2 mappings on average);
 /// 5. warm caches and `total_rewrite_postings ≤
-///    `[`WARM_POSTINGS_CUTOFF`] → `Naive` (rewrites are memoized and
+///    `[`WARM_POSTINGS_CUTOFF`] → `Compiled` (the program is cached and
 ///    the measured match work is small — most of what the tree would
 ///    have shared is already free);
 /// 6. otherwise → `BlockTree` (large `|M_q|`, let rewrite-group sharing
@@ -225,17 +240,18 @@ pub fn choose(hint: EvaluatorHint, stats: &PlannerStats) -> Plan {
     match hint {
         EvaluatorHint::Naive => pin(Evaluator::Naive),
         EvaluatorHint::BlockTree => pin(Evaluator::BlockTree),
+        EvaluatorHint::Compiled => pin(Evaluator::Compiled),
         EvaluatorHint::Auto => {
             if stats.block_count == 0 {
-                auto(Evaluator::Naive, PlanReason::NoBlocks)
+                auto(Evaluator::Compiled, PlanReason::NoBlocks)
             } else if stats.relevant_mappings <= FEW_MAPPINGS_CUTOFF {
-                auto(Evaluator::Naive, PlanReason::FewMappings)
+                auto(Evaluator::Compiled, PlanReason::FewMappings)
             } else if stats.min_rewrite_postings == 0 {
-                auto(Evaluator::Naive, PlanReason::TinyPostings)
+                auto(Evaluator::Compiled, PlanReason::TinyPostings)
             } else if stats.avg_block_fanout >= SHARED_FANOUT_CUTOFF {
                 auto(Evaluator::BlockTree, PlanReason::SharedBlocks)
             } else if stats.cache_warm && stats.total_rewrite_postings <= WARM_POSTINGS_CUTOFF {
-                auto(Evaluator::Naive, PlanReason::WarmCache)
+                auto(Evaluator::Compiled, PlanReason::WarmCache)
             } else {
                 auto(Evaluator::BlockTree, PlanReason::ManyMappings)
             }
@@ -260,7 +276,7 @@ mod tests {
 
     #[test]
     fn pinned_hints_always_win() {
-        let s = stats(1000, 0, 0.0, true); // auto would say Naive
+        let s = stats(1000, 0, 0.0, true); // auto would say Compiled
         assert_eq!(
             choose(EvaluatorHint::BlockTree, &s),
             Plan {
@@ -271,6 +287,13 @@ mod tests {
         assert_eq!(
             choose(EvaluatorHint::Naive, &stats(1000, 50, 10.0, false)).evaluator,
             Evaluator::Naive
+        );
+        assert_eq!(
+            choose(EvaluatorHint::Compiled, &stats(1000, 50, 10.0, false)),
+            Plan {
+                evaluator: Evaluator::Compiled,
+                reason: PlanReason::Pinned
+            }
         );
     }
 
@@ -288,7 +311,7 @@ mod tests {
                 ..stats(100, 40, 10.0, false)
             }),
             Plan {
-                evaluator: Evaluator::Naive,
+                evaluator: Evaluator::Compiled,
                 reason: PlanReason::TinyPostings
             }
         );
@@ -315,13 +338,13 @@ mod tests {
     #[test]
     fn reasons_map_to_evaluators() {
         let c = |s: &PlannerStats| choose(EvaluatorHint::Auto, s);
-        assert_eq!(c(&stats(100, 0, 0.0, false)).evaluator, Evaluator::Naive);
-        assert_eq!(c(&stats(2, 40, 10.0, false)).evaluator, Evaluator::Naive);
+        assert_eq!(c(&stats(100, 0, 0.0, false)).evaluator, Evaluator::Compiled);
+        assert_eq!(c(&stats(2, 40, 10.0, false)).evaluator, Evaluator::Compiled);
         assert_eq!(
             c(&stats(100, 40, 5.0, false)).evaluator,
             Evaluator::BlockTree
         );
-        assert_eq!(c(&stats(100, 40, 1.0, true)).evaluator, Evaluator::Naive);
+        assert_eq!(c(&stats(100, 40, 1.0, true)).evaluator, Evaluator::Compiled);
         assert_eq!(
             c(&stats(100, 40, 1.0, false)).evaluator,
             Evaluator::BlockTree
@@ -331,6 +354,7 @@ mod tests {
     #[test]
     fn wire_names_are_kebab_case() {
         assert_eq!(Evaluator::BlockTree.wire_name(), "block-tree");
+        assert_eq!(Evaluator::Compiled.wire_name(), "compiled");
         assert_eq!(PlanReason::SharedBlocks.to_string(), "shared-blocks");
         assert_eq!(PlanReason::TinyPostings.to_string(), "tiny-postings");
     }

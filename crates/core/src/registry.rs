@@ -7,7 +7,9 @@
 //! answers whole request batches in one call — with the `parallel`
 //! feature, batch items evaluate on scoped threads — and keeps resident
 //! memory under a configurable budget by evicting the least-recently-used
-//! engines.
+//! engines. Because engines are shared, so are their caches: every
+//! client benefits from every other client's warm rewrite caches and
+//! compiled-program cache ([`crate::exec`]).
 //!
 //! The registry speaks the unified query surface of [`crate::api`]: a
 //! batch item is an engine name plus a typed [`Query`] ([`BatchQuery`]),

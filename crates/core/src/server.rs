@@ -220,6 +220,14 @@ struct EngineCounters {
     errors: AtomicU64,
     plans_naive: AtomicU64,
     plans_block_tree: AtomicU64,
+    plans_compiled: AtomicU64,
+    /// The backend that actually executed (`ExecStats::backend`), which
+    /// is the planned evaluator after the `UXM_EXEC` toggle resolves.
+    backends_naive: AtomicU64,
+    backends_block_tree: AtomicU64,
+    backends_compiled: AtomicU64,
+    program_cache_hits: AtomicU64,
+    program_cache_misses: AtomicU64,
     rewrite_hits: AtomicU64,
     rewrite_misses: AtomicU64,
     /// Engine evaluation time per request ([`crate::api::ExecStats`]'
@@ -235,6 +243,12 @@ impl EngineCounters {
             errors: AtomicU64::new(0),
             plans_naive: AtomicU64::new(0),
             plans_block_tree: AtomicU64::new(0),
+            plans_compiled: AtomicU64::new(0),
+            backends_naive: AtomicU64::new(0),
+            backends_block_tree: AtomicU64::new(0),
+            backends_compiled: AtomicU64::new(0),
+            program_cache_hits: AtomicU64::new(0),
+            program_cache_misses: AtomicU64::new(0),
             rewrite_hits: AtomicU64::new(0),
             rewrite_misses: AtomicU64::new(0),
             latency: Latency::new(),
@@ -243,6 +257,23 @@ impl EngineCounters {
 
     fn to_json(&self) -> Json {
         Json::Obj(vec![
+            (
+                "backends".into(),
+                Json::Obj(vec![
+                    (
+                        "block-tree".into(),
+                        Json::uint(self.backends_block_tree.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "compiled".into(),
+                        Json::uint(self.backends_compiled.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "naive".into(),
+                        Json::uint(self.backends_naive.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
             (
                 "errors".into(),
                 Json::uint(self.errors.load(Ordering::Relaxed)),
@@ -256,8 +287,25 @@ impl EngineCounters {
                         Json::uint(self.plans_block_tree.load(Ordering::Relaxed)),
                     ),
                     (
+                        "compiled".into(),
+                        Json::uint(self.plans_compiled.load(Ordering::Relaxed)),
+                    ),
+                    (
                         "naive".into(),
                         Json::uint(self.plans_naive.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "program_cache".into(),
+                Json::Obj(vec![
+                    (
+                        "hits".into(),
+                        Json::uint(self.program_cache_hits.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "misses".into(),
+                        Json::uint(self.program_cache_misses.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),
@@ -318,7 +366,17 @@ impl ServerStats {
                 match response.stats.plan.evaluator {
                     Evaluator::Naive => c.plans_naive.fetch_add(1, Ordering::Relaxed),
                     Evaluator::BlockTree => c.plans_block_tree.fetch_add(1, Ordering::Relaxed),
+                    Evaluator::Compiled => c.plans_compiled.fetch_add(1, Ordering::Relaxed),
                 };
+                match response.stats.backend {
+                    Evaluator::Naive => c.backends_naive.fetch_add(1, Ordering::Relaxed),
+                    Evaluator::BlockTree => c.backends_block_tree.fetch_add(1, Ordering::Relaxed),
+                    Evaluator::Compiled => c.backends_compiled.fetch_add(1, Ordering::Relaxed),
+                };
+                c.program_cache_hits
+                    .fetch_add(response.stats.program_cache_hits, Ordering::Relaxed);
+                c.program_cache_misses
+                    .fetch_add(response.stats.program_cache_misses, Ordering::Relaxed);
                 c.rewrite_hits
                     .fetch_add(response.stats.rewrite_hits, Ordering::Relaxed);
                 c.rewrite_misses
@@ -840,15 +898,47 @@ fn route(shared: &Shared, request: &Request) -> (u16, String) {
 /// the serving engine, serialized canonically (so the `answers`
 /// subtree is byte-identical to a direct run; the timing stats are
 /// this run's own).
+///
+/// The body may additionally carry `"explain": true` — a serving-layer
+/// envelope option, not part of the query wire format — which adds an
+/// `"explain"` object (plan, planner inputs, compiled program listing;
+/// see [`crate::exec::Explain`]) to the response.
 fn handle_query(shared: &Shared, name: &str, body: &str) -> Result<String, UxmError> {
     if name.is_empty() {
         return Err(UxmError::UnknownEngine(String::new()));
     }
-    let query = Query::from_json_str(body)?;
+    // Strip the envelope option before the strict query parser (which
+    // rejects unknown members) sees the object.
+    let mut parsed = Json::parse(body)?;
+    let explain = match &mut parsed {
+        Json::Obj(members) => match members.iter().position(|(k, _)| k == "explain") {
+            None => false,
+            Some(i) => match members.remove(i).1 {
+                Json::Bool(b) => b,
+                other => {
+                    return Err(UxmError::Json(format!(
+                        "explain must be a boolean, got {other}"
+                    )))
+                }
+            },
+        },
+        _ => false,
+    };
+    let query = Query::from_json(&parsed)?;
     let engine = shared.registry.fetch(name)?;
     let outcome = engine.run(&query);
     shared.stats.record(name, &outcome);
-    Ok(outcome?.to_json_string())
+    let response = outcome?;
+    if !explain {
+        return Ok(response.to_json_string());
+    }
+    let explanation = engine.explain(&query)?;
+    let Json::Obj(mut members) = response.to_json() else {
+        unreachable!("QueryResponse::to_json is an object");
+    };
+    // Keys stay alphabetical: answers < explain < stats.
+    members.insert(1, ("explain".into(), explanation.to_json()));
+    Ok(Json::Obj(members).to_string())
 }
 
 /// `POST /batch`: a JSON array of `{"engine":…,"query":…}` objects in,

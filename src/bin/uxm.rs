@@ -6,8 +6,11 @@
 //! uxm mappings  <source.outline> <target.outline> [--h N]
 //! uxm query     <source.outline> <target.outline> <doc.xml> <twig>
 //!               [--h N] [--k N] [--tau X] [--mode label|node]
-//!               [--hint auto|naive|block-tree] [--min-p X]
+//!               [--hint auto|naive|block-tree|compiled] [--min-p X]
 //!               [--granularity mapping|distinct] [--json]
+//! uxm explain   <source.outline> <target.outline> <doc.xml> <twig>
+//!               [--h N] [--k N] [--tau X] [--mode label|node]
+//!               [--hint auto|naive|block-tree|compiled] [--json]
 //! uxm keyword   <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X] [--json]
 //! uxm registry  save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]
 //! uxm registry  list --dir D
@@ -23,7 +26,9 @@
 //! [`uxm::core::api`]: arguments build a typed [`Query`], evaluation goes
 //! through [`QueryEngine::run`], failures are [`UxmError`]s reported with
 //! a nonzero exit code, and `--json` emits the canonical wire format —
-//! the same bytes the registry consumes. `uxm batch` files carry one
+//! the same bytes the registry consumes. `uxm explain` builds the same
+//! query but prints the plan and the compiled bytecode program instead
+//! of evaluating it (see `docs/execution.md`). `uxm batch` files carry one
 //! request per line, either as canonical JSON
 //! (`{"engine":...,"query":{...}}`, see [`BatchQuery::to_json`]) or in
 //! the legacy text form (`<engine> ptq <twig>` …). `uxm serve` puts the
@@ -55,6 +60,7 @@ fn main() -> ExitCode {
         "match" => cmd_match(&args[1..]),
         "mappings" => cmd_mappings(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
         "keyword" => cmd_keyword(&args[1..]),
         "registry" => cmd_registry(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
@@ -85,8 +91,10 @@ fn usage() {
         "usage:\n  uxm match    <source.outline> <target.outline> [--strategy c|f] [--threshold X]\n  \
          uxm mappings <source.outline> <target.outline> [--h N]\n  \
          uxm query    <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X]\n               \
-         [--mode label|node] [--hint auto|naive|block-tree] [--min-p X]\n               \
+         [--mode label|node] [--hint auto|naive|block-tree|compiled] [--min-p X]\n               \
          [--granularity mapping|distinct] [--json]\n  \
+         uxm explain  <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X]\n               \
+         [--mode label|node] [--hint auto|naive|block-tree|compiled] [--json]\n  \
          uxm keyword  <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X] [--json]\n  \
          uxm registry save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]\n  \
          uxm registry list --dir D\n  \
@@ -260,9 +268,10 @@ fn apply_options(mut query: Query, flags: &[(&str, &str)]) -> Result<Query, UxmE
         None | Some("auto") => {}
         Some("naive") => query = query.with_evaluator(EvaluatorHint::Naive),
         Some("block-tree") | Some("tree") => query = query.with_evaluator(EvaluatorHint::BlockTree),
+        Some("compiled") => query = query.with_evaluator(EvaluatorHint::Compiled),
         Some(other) => {
             return Err(UxmError::Usage(format!(
-                "unknown hint {other:?} (auto | naive | block-tree)"
+                "unknown hint {other:?} (auto | naive | block-tree | compiled)"
             )))
         }
     }
@@ -284,6 +293,27 @@ fn apply_options(mut query: Query, flags: &[(&str, &str)]) -> Result<Query, UxmE
     Ok(query)
 }
 
+/// Builds the twig-shaped query `query` and `explain` share from the
+/// `--mode` / `--k` flags.
+fn twig_query_from(pattern: TwigPattern, flags: &[(&str, &str)]) -> Result<Query, UxmError> {
+    match (flag(flags, "mode"), flag(flags, "k")) {
+        (Some("node"), Some(_)) => Err(UxmError::Usage(
+            "--k with --mode node is not supported; drop one".into(),
+        )),
+        (Some("node"), None) => Ok(Query::ptq_nodes(pattern)),
+        (Some("label") | None, Some(k)) => {
+            let k: usize = k
+                .parse()
+                .map_err(|_| UxmError::Usage(format!("bad --k value {k:?}")))?;
+            Ok(Query::topk(pattern, k))
+        }
+        (Some("label") | None, None) => Ok(Query::ptq(pattern)),
+        (Some(other), _) => Err(UxmError::Usage(format!(
+            "unknown mode {other:?} (label | node)"
+        ))),
+    }
+}
+
 fn cmd_query(args: &[String]) -> Result<(), UxmError> {
     let (pos, flags) = parse_args(args)?;
     let [src, tgt, doc_path, query_text] = pos.as_slice() else {
@@ -292,27 +322,7 @@ fn cmd_query(args: &[String]) -> Result<(), UxmError> {
         ));
     };
     let pattern = TwigPattern::parse(query_text)?;
-    let query = match (flag(&flags, "mode"), flag(&flags, "k")) {
-        (Some("node"), Some(_)) => {
-            return Err(UxmError::Usage(
-                "--k with --mode node is not supported; drop one".into(),
-            ));
-        }
-        (Some("node"), None) => Query::ptq_nodes(pattern),
-        (Some("label") | None, Some(k)) => {
-            let k: usize = k
-                .parse()
-                .map_err(|_| UxmError::Usage(format!("bad --k value {k:?}")))?;
-            Query::topk(pattern, k)
-        }
-        (Some("label") | None, None) => Query::ptq(pattern),
-        (Some(other), _) => {
-            return Err(UxmError::Usage(format!(
-                "unknown mode {other:?} (label | node)"
-            )));
-        }
-    };
-    let query = apply_options(query, &flags)?;
+    let query = apply_options(twig_query_from(pattern, &flags)?, &flags)?;
     let engine = engine_from(&flags, src, tgt, doc_path)?;
     let response = engine.run(&query)?;
 
@@ -338,6 +348,28 @@ fn cmd_query(args: &[String]) -> Result<(), UxmError> {
         let text = doc.text(leaf).unwrap_or("");
         println!("  p = {:.3}  {} {}", p, doc.path(leaf), text);
     }
+    Ok(())
+}
+
+/// `uxm explain` — print the plan and the compiled bytecode program for
+/// a query without running it (see `docs/execution.md`).
+fn cmd_explain(args: &[String]) -> Result<(), UxmError> {
+    let (pos, flags) = parse_args(args)?;
+    let [src, tgt, doc_path, query_text] = pos.as_slice() else {
+        return Err(UxmError::Usage(
+            "explain needs <source.outline> <target.outline> <doc.xml> <twig>".into(),
+        ));
+    };
+    let pattern = TwigPattern::parse(query_text)?;
+    let query = apply_options(twig_query_from(pattern, &flags)?, &flags)?;
+    let engine = engine_from(&flags, src, tgt, doc_path)?;
+    let explain = engine.explain(&query)?;
+    if flag(&flags, "json").is_some() {
+        println!("{}", explain.to_json());
+        return Ok(());
+    }
+    println!("{query}");
+    print!("{explain}");
     Ok(())
 }
 

@@ -193,13 +193,15 @@ fn legacy_as_answers(result: &uxm::core::ptq::PtqResult) -> Vec<Answer> {
 
 /// The planner differential suite: for every Table II dataset and every
 /// query kind, `run()` answers are identical under the auto plan and
-/// both pinned evaluators — and equal to the legacy ground truth.
+/// every pinned evaluator — including the compiled bytecode backend —
+/// and equal to the legacy ground truth.
 #[test]
 fn run_is_plan_invariant_across_all_datasets() {
     let hints = [
         EvaluatorHint::Auto,
         EvaluatorHint::Naive,
         EvaluatorHint::BlockTree,
+        EvaluatorHint::Compiled,
     ];
     let all = paper_queries();
     for id in DatasetId::all() {
@@ -267,7 +269,8 @@ fn run_is_plan_invariant_across_all_datasets() {
 }
 
 /// The response must name the evaluator it actually ran: pinned hints
-/// are honored verbatim, and the auto plan always picks one of the two.
+/// are honored verbatim (plan *and* backend), and the auto plan always
+/// picks one of the three.
 #[test]
 fn run_reports_the_pinned_evaluator() {
     use uxm::core::planner::{Evaluator, PlanReason};
@@ -276,16 +279,51 @@ fn run_reports_the_pinned_evaluator() {
     for (hint, expected) in [
         (EvaluatorHint::Naive, Evaluator::Naive),
         (EvaluatorHint::BlockTree, Evaluator::BlockTree),
+        (EvaluatorHint::Compiled, Evaluator::Compiled),
     ] {
         let got = engine
             .run(&Query::ptq(q.clone()).with_evaluator(hint))
             .unwrap();
         assert_eq!(got.stats.plan.evaluator, expected);
+        assert_eq!(got.stats.backend, expected);
         assert_eq!(got.stats.plan.reason, PlanReason::Pinned);
+        // Only the compiled backend touches the program cache.
+        let touched = got.stats.program_cache_hits + got.stats.program_cache_misses;
+        assert_eq!(touched, u64::from(expected == Evaluator::Compiled));
     }
     let auto = engine.run(&Query::ptq(q.clone())).unwrap();
     assert_ne!(auto.stats.plan.reason, PlanReason::Pinned);
+    assert_eq!(auto.stats.backend, auto.stats.plan.evaluator);
     assert_eq!(auto.stats.relevant, engine.relevant_mappings(q).len());
+}
+
+/// Replaying a query shape through the compiled backend hits the
+/// per-engine program cache and returns byte-identical responses.
+#[test]
+fn compiled_replay_hits_the_program_cache() {
+    let engine = session(DatasetId::D4, 20, 400);
+    let q = &paper_queries()[1];
+    let query = Query::ptq(q.clone()).with_evaluator(EvaluatorHint::Compiled);
+    let cold = engine.run(&query).unwrap();
+    assert_eq!(cold.stats.program_cache_misses, 1, "cold run compiles");
+    assert_eq!(cold.stats.program_cache_hits, 0);
+    let warm = engine.run(&query).unwrap();
+    assert_eq!(warm.stats.program_cache_hits, 1, "warm run replays");
+    assert_eq!(warm.stats.program_cache_misses, 0);
+    assert_eq!(warm.answers, cold.answers, "replay is answer-identical");
+    // Top-k and node granularity compile distinct programs (different
+    // cache keys), so each first run is a miss, not a collision.
+    let topk = engine
+        .run(&Query::topk(q.clone(), 3).with_evaluator(EvaluatorHint::Compiled))
+        .unwrap();
+    assert_eq!(topk.stats.program_cache_misses, 1);
+    let nodes = engine
+        .run(&Query::ptq_nodes(q.clone()).with_evaluator(EvaluatorHint::Compiled))
+        .unwrap();
+    assert_eq!(nodes.stats.program_cache_misses, 1);
+    let stats = engine.exec_cache_stats();
+    assert_eq!(stats.misses, 3, "three shapes compiled");
+    assert_eq!(stats.hits, 1, "one replay");
 }
 
 #[test]

@@ -419,9 +419,30 @@ fn engines_and_stats_endpoints_report_traffic() {
     let plans = po.get("plans").unwrap();
     assert_eq!(
         plans.get("naive").unwrap().as_usize().unwrap()
-            + plans.get("block-tree").unwrap().as_usize().unwrap(),
+            + plans.get("block-tree").unwrap().as_usize().unwrap()
+            + plans.get("compiled").unwrap().as_usize().unwrap(),
         3,
         "every request chose a plan: {body}"
+    );
+    let backends = po.get("backends").unwrap();
+    assert_eq!(
+        backends.get("naive").unwrap().as_usize().unwrap()
+            + backends.get("block-tree").unwrap().as_usize().unwrap()
+            + backends.get("compiled").unwrap().as_usize().unwrap(),
+        3,
+        "every request ran a backend: {body}"
+    );
+    let prog = po.get("program_cache").unwrap();
+    let (hits, misses) = (
+        prog.get("hits").unwrap().as_usize().unwrap(),
+        prog.get("misses").unwrap().as_usize().unwrap(),
+    );
+    // One query shape repeated: compiled at most once, replayed after.
+    assert!(misses <= 1, "one shape compiles at most once: {body}");
+    assert_eq!(
+        hits + misses,
+        backends.get("compiled").unwrap().as_usize().unwrap(),
+        "every compiled run is a cache hit or miss: {body}"
     );
     let latency = po.get("latency_us").unwrap();
     assert_eq!(latency.get("count").unwrap().as_usize(), Some(3));
@@ -434,6 +455,75 @@ fn engines_and_stats_endpoints_report_traffic() {
 
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `"explain": true` on `/query` adds the plan + compiled program
+/// listing to the response without changing the answers, and the
+/// envelope member never leaks into the strict query parser.
+#[test]
+fn query_with_explain_reports_plan_and_program() {
+    let registry = Arc::new(EngineRegistry::new());
+    registry.insert("po", small_engine(8));
+    let handle = start(Arc::clone(&registry), 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let query = Query::ptq(TwigPattern::parse("PO//Qty").unwrap());
+    let plain = {
+        let (status, body) = client.query("po", &query).unwrap();
+        assert_eq!(status, 200, "{body}");
+        body
+    };
+
+    let Json::Obj(mut members) = query.to_json() else {
+        panic!("query JSON is an object")
+    };
+    members.insert(0, ("explain".into(), Json::Bool(true)));
+    let (status, body) = client
+        .post("/query/po", &Json::Obj(members).to_string())
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let parsed = Json::parse(&body).unwrap();
+    let explain = parsed.get("explain").expect("explain object present");
+    assert_eq!(
+        explain.get("evaluator").unwrap().as_str(),
+        Json::parse(&plain)
+            .unwrap()
+            .get("stats")
+            .unwrap()
+            .get("evaluator")
+            .unwrap()
+            .as_str(),
+        "explain names the evaluator the run reports: {body}"
+    );
+    let program = explain.get("program").unwrap().as_arr().unwrap();
+    let listing = program
+        .iter()
+        .map(|l| l.as_str().unwrap())
+        .collect::<Vec<_>>()
+        .join("\n");
+    for op in ["init-bits", "intersect-csr", "fold-prob", "emit-answers"] {
+        assert!(listing.contains(op), "listing misses {op}: {listing}");
+    }
+    // The answers subtree is unaffected by the envelope option.
+    assert_eq!(
+        parsed.get("answers").unwrap().to_string(),
+        Json::parse(&plain)
+            .unwrap()
+            .get("answers")
+            .unwrap()
+            .to_string()
+    );
+
+    // A non-boolean explain value is a 400, not a silent ignore.
+    let (status, body) = client
+        .post(
+            "/query/po",
+            "{\"explain\":1,\"kind\":\"ptq\",\"pattern\":\"PO//Qty\"}",
+        )
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+
+    handle.shutdown();
 }
 
 #[test]
