@@ -1,10 +1,15 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro all              # every experiment
-//! repro table2 fig9a     # selected experiments
-//! repro --runs 10 fig9f  # more repetitions per data point
+//! repro all                  # every experiment
+//! repro table2 fig9a         # selected experiments
+//! repro --runs 10 fig9f      # more repetitions per data point
+//! repro --duration 30 soak   # 30 s overload soak -> BENCH_soak.json
 //! ```
+//!
+//! The `soak` experiment also honours `--docs`, `--nodes`, `--budget`,
+//! `--clients`, and `--seed` (corpus/load shape; see
+//! `uxm_bench::soak::SoakConfig`).
 
 use uxm_bench::figures::{run_experiment, ReproConfig, EXPERIMENTS};
 
@@ -26,10 +31,49 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--m needs a positive integer"));
             }
+            "--duration" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--duration needs seconds"));
+                cfg.soak.duration = std::time::Duration::from_secs(secs);
+            }
+            "--docs" => {
+                cfg.soak.documents = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--docs needs a positive integer"));
+            }
+            "--nodes" => {
+                cfg.soak.total_nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--nodes needs a positive integer"));
+            }
+            "--budget" => {
+                cfg.soak.budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--budget needs bytes (0 = auto)"));
+            }
+            "--clients" => {
+                cfg.soak.clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--clients needs a positive integer"));
+            }
+            "--seed" => {
+                cfg.soak.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
             "all" => requested.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--runs N] [--m N] [all | {}]",
+                    "usage: repro [--runs N] [--m N] \
+                     [--duration S] [--docs N] [--nodes N] [--budget BYTES] \
+                     [--clients N] [--seed N] [all | {}]",
                     EXPERIMENTS.join(" | ")
                 );
                 return;

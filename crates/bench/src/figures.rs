@@ -36,6 +36,8 @@ pub struct ReproConfig {
     pub runs: usize,
     /// `|M|` for query experiments.
     pub m: usize,
+    /// Knobs for the `soak` experiment.
+    pub soak: crate::soak::SoakConfig,
 }
 
 impl Default for ReproConfig {
@@ -43,6 +45,7 @@ impl Default for ReproConfig {
         ReproConfig {
             runs: 5,
             m: DEFAULT_M,
+            soak: crate::soak::SoakConfig::default(),
         }
     }
 }
@@ -1089,7 +1092,7 @@ pub fn bench_exec(cfg: &ReproConfig) -> String {
 }
 
 /// All experiment ids accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 19] = [
+pub const EXPERIMENTS: [&str; 20] = [
     "table2",
     "fig9a",
     "fig9b",
@@ -1109,6 +1112,7 @@ pub const EXPERIMENTS: [&str; 19] = [
     "bench_layout",
     "bench_exec",
     "ablation",
+    "soak",
 ];
 
 /// Runs one experiment by id.
@@ -1133,6 +1137,7 @@ pub fn run_experiment(id: &str, cfg: &ReproConfig) -> Option<String> {
         "bench_layout" => bench_layout(cfg),
         "bench_exec" => bench_exec(cfg),
         "ablation" => ablation(cfg),
+        "soak" => crate::soak::soak(&cfg.soak),
         _ => return None,
     })
 }

@@ -50,6 +50,29 @@ pub enum UxmError {
         /// How many requests failed.
         failed: usize,
     },
+    /// The service shed this request: a shared resource (connection
+    /// queue, hydration budget) is saturated and admitting more work
+    /// would degrade everyone. Served as HTTP 503 with a `Retry-After`
+    /// header; the request was not evaluated and is safe to retry.
+    Overloaded {
+        /// Which resource was saturated (e.g. `"connection queue"`).
+        reason: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// This client exceeded its fair share of a per-client limit, so the
+    /// request was shed to keep one hot client from starving the rest.
+    /// Served as HTTP 429 with a `Retry-After` header; safe to retry.
+    RateLimited {
+        /// Which limit was hit (e.g. `"connections per client"`).
+        reason: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A request handler failed unexpectedly (e.g. panicked); the
+    /// failure was contained to the one request and the service keeps
+    /// running. Served as HTTP 500.
+    Internal(String),
     /// A wire-format document failed to parse or had the wrong shape.
     Json(String),
     /// A structurally valid [`crate::api::Query`] with unusable options
@@ -71,6 +94,15 @@ impl fmt::Display for UxmError {
             UxmError::Io(e) => write!(f, "i/o: {e}"),
             UxmError::Input(e) => write!(f, "input: {e}"),
             UxmError::Batch { failed } => write!(f, "batch: {failed} request(s) failed"),
+            UxmError::Overloaded {
+                reason,
+                retry_after_ms,
+            } => write!(f, "overloaded: {reason} (retry in {retry_after_ms}ms)"),
+            UxmError::RateLimited {
+                reason,
+                retry_after_ms,
+            } => write!(f, "rate limited: {reason} (retry in {retry_after_ms}ms)"),
+            UxmError::Internal(e) => write!(f, "internal: {e}"),
             UxmError::Json(e) => write!(f, "wire format: {e}"),
             UxmError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
             UxmError::Usage(e) => write!(f, "usage: {e}"),
@@ -125,6 +157,9 @@ impl UxmError {
             UxmError::Io(_) => "io",
             UxmError::Input(_) => "input",
             UxmError::Batch { .. } => "batch",
+            UxmError::Overloaded { .. } => "overloaded",
+            UxmError::RateLimited { .. } => "rate-limited",
+            UxmError::Internal(_) => "internal",
             UxmError::Json(_) => "json",
             UxmError::InvalidQuery(_) => "invalid-query",
             UxmError::Usage(_) => "usage",
@@ -150,6 +185,26 @@ mod tests {
         }
         .into();
         assert!(matches!(j, UxmError::Json(_)));
+    }
+
+    #[test]
+    fn shed_kinds_are_stable() {
+        let o = UxmError::Overloaded {
+            reason: "connection queue full".into(),
+            retry_after_ms: 250,
+        };
+        assert_eq!(o.kind(), "overloaded");
+        assert!(o.to_string().contains("250ms"));
+        let r = UxmError::RateLimited {
+            reason: "connections per client".into(),
+            retry_after_ms: 100,
+        };
+        assert_eq!(r.kind(), "rate-limited");
+        assert!(r.to_string().starts_with("rate limited:"));
+        assert_eq!(
+            UxmError::Internal("handler panicked".into()).kind(),
+            "internal"
+        );
     }
 
     #[test]

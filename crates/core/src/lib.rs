@@ -115,6 +115,7 @@ pub mod semantics;
 pub mod server;
 pub mod stats;
 pub mod storage;
+pub(crate) mod sync;
 pub mod topk;
 
 pub use api::{Answer, EvaluatorHint, Granularity, Query, QueryOptions, QueryResponse};
@@ -126,7 +127,7 @@ pub use keyword::{KeywordAnswer, KeywordError};
 pub use mapping::{Mapping, MappingId, PossibleMappings};
 pub use planner::{Evaluator, Plan, PlanReason};
 pub use ptq::{PtqAnswer, PtqResult};
-pub use registry::{BatchQuery, EngineRegistry, RegistryConfig, Request, Response};
+pub use registry::{BatchQuery, EngineRegistry, RegistryConfig, RegistryStats, Request, Response};
 pub use server::{Server, ServerConfig, ServerHandle};
 
 // Legacy one-shot entry points, kept as deprecated shims over the

@@ -77,15 +77,16 @@ use crate::engine::{par_run, QueryEngine};
 use crate::error::UxmError;
 use crate::json::Json;
 use crate::storage::{decode_engine_snapshot, encode_engine_snapshot};
-use std::collections::HashMap;
+use crate::sync;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use uxm_twig::TwigPattern;
 
 /// Registry tuning knobs.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RegistryConfig {
     /// Upper bound, in approximate bytes (see
     /// [`QueryEngine::approx_bytes`]), on the resident engine set; `0`
@@ -94,6 +95,56 @@ pub struct RegistryConfig {
     /// evicted until the total fits (the newest engine is always kept, so
     /// one engine larger than the whole budget still serves).
     pub memory_budget: usize,
+    /// Hydration admission gate: when at least this many evictions
+    /// happened within the last [`RegistryConfig::thrash_window`] LRU
+    /// clock ticks, cold [`EngineRegistry::fetch`]es are refused with
+    /// [`UxmError::Overloaded`] instead of decoding yet another snapshot
+    /// that the budget would immediately evict something for. `0`
+    /// disables the gate. Already-resident engines always serve.
+    pub thrash_evictions: usize,
+    /// Width of the thrash-detection window, in LRU clock ticks (every
+    /// touch, insert, or hydration advances the clock by one).
+    pub thrash_window: u64,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> RegistryConfig {
+        RegistryConfig {
+            memory_budget: 0,
+            thrash_evictions: 0,
+            thrash_window: 256,
+        }
+    }
+}
+
+/// A point-in-time accounting summary of a registry — the numbers
+/// behind the server's `GET /stats` `"registry"` section and the soak
+/// harness's drift tracking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Number of resident engines.
+    pub resident_engines: usize,
+    /// Sum of [`QueryEngine::approx_bytes`] over resident engines.
+    pub resident_bytes: usize,
+    /// Bytes belonging to engines the budget evicted that are still
+    /// alive because callers hold `Arc` handles — memory the budget
+    /// thinks it freed but the process still pays for. See
+    /// [`EngineRegistry::unreclaimed_bytes`].
+    pub unreclaimed_bytes: usize,
+    /// Total engines evicted by the memory budget so far.
+    pub evictions: u64,
+    /// Cold hydrations refused by the thrash gate so far.
+    pub shed_hydrations: u64,
+}
+
+impl RegistryStats {
+    /// [`RegistryStats::resident_bytes`] plus
+    /// [`RegistryStats::unreclaimed_bytes`]: what the engine set
+    /// actually costs the process right now, evicted-but-referenced
+    /// engines included.
+    pub fn footprint_bytes(&self) -> usize {
+        self.resident_bytes + self.unreclaimed_bytes
+    }
 }
 
 /// The registry's old error type, absorbed into the crate-wide
@@ -215,6 +266,14 @@ struct Entry {
     last_used: AtomicU64,
 }
 
+/// An engine the budget evicted while callers still held `Arc` handles:
+/// its bytes left the budget's ledger but not the process. The `Weak`
+/// lets accounting notice when the last handle finally drops.
+struct Zombie {
+    bytes: usize,
+    engine: Weak<QueryEngine>,
+}
+
 /// A concurrent collection of named [`QueryEngine`]s with LRU eviction
 /// under a memory budget and lazy hydration from snapshot files.
 ///
@@ -228,6 +287,12 @@ pub struct EngineRegistry {
     /// Logical LRU clock: bumped on every touch, never wraps in practice.
     clock: AtomicU64,
     evictions: AtomicU64,
+    /// Clock stamps of recent evictions, oldest first — the thrash
+    /// gate's evidence. Bounded by pruning against `thrash_window`.
+    recent_evictions: Mutex<VecDeque<u64>>,
+    /// Evicted-but-still-referenced engines (see [`Zombie`]).
+    zombies: Mutex<Vec<Zombie>>,
+    shed_hydrations: AtomicU64,
 }
 
 impl Default for EngineRegistry {
@@ -250,6 +315,9 @@ impl EngineRegistry {
             engines: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            recent_evictions: Mutex::new(VecDeque::new()),
+            zombies: Mutex::new(Vec::new()),
+            shed_hydrations: AtomicU64::new(0),
         }
     }
 
@@ -278,7 +346,7 @@ impl EngineRegistry {
             bytes: engine.approx_bytes(),
             last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed) + 1),
         };
-        let mut map = self.engines.write().expect("registry lock");
+        let mut map = sync::write(&self.engines);
         map.insert(name.clone(), entry);
         self.evict_over_budget(&mut map, &name);
         engine
@@ -287,7 +355,7 @@ impl EngineRegistry {
     /// The resident engine under `name`, if any; touches its LRU stamp.
     /// Does **not** read from disk — see [`EngineRegistry::fetch`].
     pub fn get(&self, name: &str) -> Option<Arc<QueryEngine>> {
-        let map = self.engines.read().expect("registry lock");
+        let map = sync::read(&self.engines);
         map.get(name).map(|entry| {
             self.touch(entry);
             Arc::clone(&entry.engine)
@@ -298,10 +366,17 @@ impl EngineRegistry {
     /// not resident. Two threads racing on the same cold name may both
     /// decode the snapshot; the engines are identical and one wins the
     /// map slot — harmless beyond the duplicated work.
+    /// Cold fetches additionally pass the hydration admission gate:
+    /// when [`RegistryConfig::thrash_evictions`] is set and the budget
+    /// has evicted that many engines within the last
+    /// [`RegistryConfig::thrash_window`] clock ticks, the working set
+    /// no longer fits and decoding another snapshot would only thrash —
+    /// the fetch is refused with [`UxmError::Overloaded`] instead.
     pub fn fetch(&self, name: &str) -> Result<Arc<QueryEngine>, UxmError> {
         if let Some(engine) = self.get(name) {
             return Ok(engine);
         }
+        self.admit_hydration()?;
         let path = match self.snapshot_path(name) {
             // Nowhere to hydrate from: the name is simply unknown.
             Err(UxmError::NoSnapshotDir) => return Err(UxmError::UnknownEngine(name.to_string())),
@@ -353,16 +428,12 @@ impl EngineRegistry {
     /// stays on disk). Returns whether it was resident. Outstanding
     /// `Arc` handles keep serving until dropped.
     pub fn remove(&self, name: &str) -> bool {
-        self.engines
-            .write()
-            .expect("registry lock")
-            .remove(name)
-            .is_some()
+        sync::write(&self.engines).remove(name).is_some()
     }
 
     /// Resident engine names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let map = self.engines.read().expect("registry lock");
+        let map = sync::read(&self.engines);
         let mut names: Vec<String> = map.keys().cloned().collect();
         names.sort();
         names
@@ -370,7 +441,7 @@ impl EngineRegistry {
 
     /// Number of resident engines.
     pub fn len(&self) -> usize {
-        self.engines.read().expect("registry lock").len()
+        sync::read(&self.engines).len()
     }
 
     /// True when no engine is resident.
@@ -380,7 +451,7 @@ impl EngineRegistry {
 
     /// Sum of [`QueryEngine::approx_bytes`] over resident engines.
     pub fn resident_bytes(&self) -> usize {
-        let map = self.engines.read().expect("registry lock");
+        let map = sync::read(&self.engines);
         map.values().map(|e| e.bytes).sum()
     }
 
@@ -388,7 +459,7 @@ impl EngineRegistry {
     /// ([`QueryEngine::approx_bytes`]), name-sorted — the listing
     /// behind the server's `GET /engines`.
     pub fn resident(&self) -> Vec<(String, usize)> {
-        let map = self.engines.read().expect("registry lock");
+        let map = sync::read(&self.engines);
         let mut entries: Vec<(String, usize)> = map
             .iter()
             .map(|(name, entry)| (name.clone(), entry.bytes))
@@ -421,6 +492,65 @@ impl EngineRegistry {
     /// How many engines the memory budget has evicted so far.
     pub fn eviction_count(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// How many cold hydrations the thrash gate has refused so far.
+    pub fn shed_hydration_count(&self) -> u64 {
+        self.shed_hydrations.load(Ordering::Relaxed)
+    }
+
+    /// Bytes held by engines the budget evicted whose `Arc` handles are
+    /// still alive somewhere — memory [`EngineRegistry::resident_bytes`]
+    /// no longer counts but the process has not actually reclaimed.
+    /// Engines whose last handle has since dropped are pruned here.
+    pub fn unreclaimed_bytes(&self) -> usize {
+        let mut zombies = sync::lock(&self.zombies);
+        zombies.retain(|z| z.engine.strong_count() > 0);
+        zombies.iter().map(|z| z.bytes).sum()
+    }
+
+    /// A point-in-time accounting summary (see [`RegistryStats`]).
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            resident_engines: self.len(),
+            resident_bytes: self.resident_bytes(),
+            unreclaimed_bytes: self.unreclaimed_bytes(),
+            evictions: self.eviction_count(),
+            shed_hydrations: self.shed_hydration_count(),
+        }
+    }
+
+    /// The configured memory budget in bytes (`0` = unlimited).
+    pub fn memory_budget(&self) -> usize {
+        self.config.memory_budget
+    }
+
+    /// The hydration admission gate (see [`EngineRegistry::fetch`]).
+    fn admit_hydration(&self) -> Result<(), UxmError> {
+        let threshold = self.config.thrash_evictions;
+        if threshold == 0 || self.config.memory_budget == 0 {
+            return Ok(());
+        }
+        let now = self.clock.load(Ordering::Relaxed);
+        let horizon = now.saturating_sub(self.config.thrash_window);
+        let mut recent = sync::lock(&self.recent_evictions);
+        while recent.front().is_some_and(|&stamp| stamp < horizon) {
+            recent.pop_front();
+        }
+        if recent.len() >= threshold {
+            let seen = recent.len();
+            drop(recent);
+            self.shed_hydrations.fetch_add(1, Ordering::Relaxed);
+            return Err(UxmError::Overloaded {
+                reason: format!(
+                    "hydration gate: {seen} evictions in the last {} operations \
+                     (working set exceeds the memory budget)",
+                    self.config.thrash_window
+                ),
+                retry_after_ms: 500,
+            });
+        }
+        Ok(())
     }
 
     /// Answers a whole batch through
@@ -521,8 +651,20 @@ impl EngineRegistry {
                 Some(name) => {
                     if let Some(entry) = map.remove(&name) {
                         total -= entry.bytes;
+                        // Removal drops the map's Arc below; any count
+                        // beyond it is an outstanding caller handle, so
+                        // the bytes just subtracted are not actually
+                        // free yet — record the drift.
+                        if Arc::strong_count(&entry.engine) > 1 {
+                            sync::lock(&self.zombies).push(Zombie {
+                                bytes: entry.bytes,
+                                engine: Arc::downgrade(&entry.engine),
+                            });
+                        }
                     }
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    sync::lock(&self.recent_evictions)
+                        .push_back(self.clock.load(Ordering::Relaxed));
                 }
                 None => return,
             }
@@ -647,6 +789,7 @@ mod tests {
         // Room for two engines, not three.
         let registry = EngineRegistry::with_config(RegistryConfig {
             memory_budget: one * 2 + one / 2,
+            ..RegistryConfig::default()
         });
         registry.insert("a", engine(5));
         registry.insert("b", engine(6));
@@ -659,8 +802,67 @@ mod tests {
     }
 
     #[test]
+    fn eviction_with_live_handle_counts_as_unreclaimed() {
+        let one = engine(5).approx_bytes();
+        let registry = EngineRegistry::with_config(RegistryConfig {
+            memory_budget: one + one / 2,
+            ..RegistryConfig::default()
+        });
+        // Hold a handle to "a" across its eviction.
+        let held = registry.insert("a", engine(5));
+        registry.insert("b", engine(6));
+        assert_eq!(registry.names(), vec!["b".to_string()]);
+        assert_eq!(registry.eviction_count(), 1);
+        // The budget's ledger dropped "a", but the process still pays
+        // for it as long as `held` lives.
+        assert_eq!(registry.unreclaimed_bytes(), one);
+        let stats = registry.stats();
+        assert_eq!(stats.footprint_bytes(), stats.resident_bytes + one);
+        drop(held);
+        assert_eq!(registry.unreclaimed_bytes(), 0, "last handle dropped");
+        assert_eq!(
+            registry.stats().footprint_bytes(),
+            registry.resident_bytes()
+        );
+    }
+
+    #[test]
+    fn thrash_gate_refuses_cold_hydrations() {
+        let dir = scratch_dir("thrash");
+        // Build snapshots for three engines the budget can hold one of.
+        let builder = EngineRegistry::new().snapshot_dir(&dir);
+        let one = engine(20).approx_bytes();
+        for (name, seed) in [("a", 20), ("b", 21), ("c", 22)] {
+            builder.insert(name, engine(seed));
+            builder.save(name).unwrap();
+        }
+        drop(builder);
+
+        let registry = EngineRegistry::with_config(RegistryConfig {
+            memory_budget: one + one / 2,
+            thrash_evictions: 2,
+            thrash_window: 1_000,
+        })
+        .snapshot_dir(&dir);
+        // Cycling cold names evicts on every hydration; after two
+        // evictions land in the window, the gate closes.
+        registry.fetch("a").unwrap();
+        registry.fetch("b").unwrap();
+        registry.fetch("c").unwrap();
+        let err = registry.fetch("a").unwrap_err();
+        assert_eq!(err.kind(), "overloaded");
+        assert!(registry.shed_hydration_count() >= 1);
+        // Resident engines still serve through the gate.
+        assert!(registry.fetch("c").is_ok(), "warm fetch is never gated");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn oversized_engine_survives_alone() {
-        let registry = EngineRegistry::with_config(RegistryConfig { memory_budget: 1 });
+        let registry = EngineRegistry::with_config(RegistryConfig {
+            memory_budget: 1,
+            ..RegistryConfig::default()
+        });
         registry.insert("big", engine(8));
         assert_eq!(registry.len(), 1, "the newest engine is never evicted");
         registry.insert("bigger", engine(9));

@@ -26,7 +26,30 @@
 //! [`UxmError`] rendered as `{"error":{"kind":…,"message":…}}` with the
 //! status mapped from the error's kind (unknown engine → 404, malformed
 //! request → 400, storage/I-O trouble → 500, oversized body → 413).
-//! The full wire grammar lives in `docs/wire-format.md`.
+//! Even a request handler that *does* panic is contained: the one
+//! request is answered with a typed 500 and the worker (and every
+//! shared lock) keeps serving. The full wire grammar lives in
+//! `docs/wire-format.md`.
+//!
+//! # Admission control
+//!
+//! Overload degrades into fast typed refusals, never an unbounded
+//! backlog or a wedged accept loop:
+//!
+//! * a full connection queue ([`ServerConfig::queue_depth`]) sheds new
+//!   connections with **503** (`"kind":"overloaded"`, `Retry-After`
+//!   set) straight from the accept loop;
+//! * one client IP holding more than
+//!   [`ServerConfig::max_conns_per_client`] connections is shed with
+//!   **429** (`"kind":"rate-limited"`, `Retry-After` set);
+//! * a registry whose working set exceeds its memory budget refuses
+//!   cold hydrations with **503** while evictions are thrashing (see
+//!   [`crate::registry::RegistryConfig::thrash_evictions`]).
+//!
+//! Shed counts and contained panics are reported in the `"server"`
+//! section of `GET /stats`; registry memory accounting (including
+//! `unreclaimed_bytes`, the footprint of evicted-but-still-referenced
+//! engines) in its `"registry"` section.
 //!
 //! # Examples
 //!
@@ -87,9 +110,10 @@ use crate::error::UxmError;
 use crate::json::Json;
 use crate::planner::Evaluator;
 use crate::registry::{BatchQuery, EngineRegistry};
+use crate::sync;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
@@ -106,8 +130,11 @@ pub struct ServerConfig {
     /// Largest accepted request body, in bytes; beyond it the request is
     /// rejected with HTTP 413 and the connection closes. Default 1 MiB.
     pub max_body_bytes: usize,
-    /// Connections the accept loop may queue ahead of the workers before
-    /// it blocks. Default 1024.
+    /// Connections the accept loop may queue ahead of the workers.
+    /// Arrivals beyond this depth are **shed**: answered inline with a
+    /// typed 503 (`kind":"overloaded"`, `Retry-After` set) and closed,
+    /// instead of blocking the accept loop — under overload the server
+    /// stays responsive and tells clients to back off. Default 1024.
     pub queue_depth: usize,
     /// How long a worker waits on a persistent connection — for the next
     /// request to *start*, and for a started request to finish arriving —
@@ -115,6 +142,22 @@ pub struct ServerConfig {
     /// clients (and slow-loris senders) release their worker after this
     /// long instead of pinning it forever. Default 5 s.
     pub keep_alive_timeout: Duration,
+    /// Per-client fairness: the most connections one peer IP may hold
+    /// (queued plus being served) before its next connection is shed
+    /// with a typed 429 (`"kind":"rate-limited"`, `Retry-After` set).
+    /// Keeps one hot client from occupying the whole queue and starving
+    /// everyone else. `0` disables the cap. Default 256.
+    pub max_conns_per_client: usize,
+    /// The back-off hint carried in `Retry-After` headers (rounded up
+    /// to whole seconds on the wire) and in shed error bodies.
+    /// Default 250 ms.
+    pub retry_after_ms: u64,
+    /// Test instrumentation: when set, `POST /debug/panic` panics inside
+    /// the request handler. The panic is contained (answered with a
+    /// typed 500, worker and locks keep serving) — this route exists so
+    /// tests and the soak harness can prove that. Off by default and
+    /// never enabled by `uxm serve`.
+    pub debug_panic_route: bool,
 }
 
 impl Default for ServerConfig {
@@ -124,6 +167,9 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             queue_depth: 1024,
             keep_alive_timeout: Duration::from_secs(5),
+            max_conns_per_client: 256,
+            retry_after_ms: 250,
+            debug_panic_route: false,
         }
     }
 }
@@ -333,6 +379,12 @@ struct ServerStats {
     connections: AtomicU64,
     requests: AtomicU64,
     http_errors: AtomicU64,
+    /// Connections shed with 503 because the queue was full.
+    shed_queue_full: AtomicU64,
+    /// Connections shed with 429 because one client held too many.
+    shed_per_client: AtomicU64,
+    /// Request-handler panics contained (answered 500, worker kept).
+    panics_contained: AtomicU64,
     engines: RwLock<HashMap<String, Arc<EngineCounters>>>,
 }
 
@@ -342,15 +394,18 @@ impl ServerStats {
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_per_client: AtomicU64::new(0),
+            panics_contained: AtomicU64::new(0),
             engines: RwLock::new(HashMap::new()),
         }
     }
 
     fn engine(&self, name: &str) -> Arc<EngineCounters> {
-        if let Some(c) = self.engines.read().expect("stats lock").get(name) {
+        if let Some(c) = sync::read(&self.engines).get(name) {
             return Arc::clone(c);
         }
-        let mut map = self.engines.write().expect("stats lock");
+        let mut map = sync::write(&self.engines);
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(EngineCounters::new())),
@@ -390,7 +445,7 @@ impl ServerStats {
     }
 
     fn to_json(&self) -> Json {
-        let map = self.engines.read().expect("stats lock");
+        let map = sync::read(&self.engines);
         let mut names: Vec<&String> = map.keys().collect();
         names.sort();
         let engines = names
@@ -411,8 +466,20 @@ impl ServerStats {
                         Json::uint(self.http_errors.load(Ordering::Relaxed)),
                     ),
                     (
+                        "panics_contained".into(),
+                        Json::uint(self.panics_contained.load(Ordering::Relaxed)),
+                    ),
+                    (
                         "requests".into(),
                         Json::uint(self.requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "shed_per_client".into(),
+                        Json::uint(self.shed_per_client.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "shed_queue_full".into(),
+                        Json::uint(self.shed_queue_full.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),
@@ -423,9 +490,11 @@ impl ServerStats {
 // ---------------------------------------------------------------------
 // the server
 
-/// The connection queue between the accept loop and the workers.
+/// The connection queue between the accept loop and the workers. Each
+/// entry remembers the peer IP so the per-client connection count can
+/// be released when the worker finishes with it.
 struct Queue {
-    conns: VecDeque<TcpStream>,
+    conns: VecDeque<(TcpStream, Option<IpAddr>)>,
     /// Set once the accept loop exits; workers drain what is queued,
     /// then stop.
     closed: bool,
@@ -438,8 +507,9 @@ struct Shared {
     queue: Mutex<Queue>,
     /// Signals workers that a connection (or closure) is available.
     available: Condvar,
-    /// Signals the accept loop that queue space freed up.
-    space: Condvar,
+    /// Live (queued + serving) connection count per peer IP, for the
+    /// per-client fairness cap.
+    clients: Mutex<HashMap<IpAddr, u64>>,
     shutdown: AtomicBool,
 }
 
@@ -482,7 +552,7 @@ impl Server {
                     closed: false,
                 }),
                 available: Condvar::new(),
-                space: Condvar::new(),
+                clients: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
             }),
         })
@@ -552,13 +622,31 @@ impl ServerHandle {
     }
 }
 
+/// Writes a typed shed response (429/503 with `Retry-After`) straight
+/// from the accept loop and closes the connection. A short write
+/// timeout keeps a non-reading peer from stalling accepts.
+fn shed(shared: &Shared, mut stream: TcpStream, status: u16, error: &UxmError) {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_write_timeout(Some(Duration::from_millis(250)))
+        .ok();
+    shared.stats.http_errors.fetch_add(1, Ordering::Relaxed);
+    let _ = write_response_with(
+        &mut stream,
+        status,
+        &error_body(error),
+        false,
+        Some(shared.config.retry_after_ms),
+    );
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     loop {
         let conn = listener.accept();
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok((stream, _)) = conn else {
+        let Ok((stream, peer)) = conn else {
             // Persistent accept failures (e.g. EMFILE under fd
             // exhaustion) must not hot-loop the accept thread; back off
             // a tick so the workers can drain and release descriptors.
@@ -566,41 +654,110 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             continue;
         };
         shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-        let mut queue = shared.queue.lock().expect("queue lock");
-        while queue.conns.len() >= shared.config.queue_depth {
-            queue = shared.space.wait(queue).expect("queue lock");
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
+        let ip = Some(peer.ip());
+
+        // Per-client fairness: one peer holding its cap's worth of
+        // connections gets 429s, not more of the queue.
+        let cap = shared.config.max_conns_per_client;
+        if cap > 0 {
+            let mut clients = sync::lock(&shared.clients);
+            let held = clients.entry(peer.ip()).or_insert(0);
+            if *held >= cap as u64 {
+                drop(clients);
+                shared.stats.shed_per_client.fetch_add(1, Ordering::Relaxed);
+                shed(
+                    shared,
+                    stream,
+                    429,
+                    &UxmError::RateLimited {
+                        reason: format!("client holds {cap} connections (the per-client cap)"),
+                        retry_after_ms: shared.config.retry_after_ms,
+                    },
+                );
+                continue;
             }
+            *held += 1;
         }
-        queue.conns.push_back(stream);
+
+        // Load shedding: a full queue answers 503 immediately instead of
+        // blocking the accept loop until a worker frees space — overload
+        // degrades into fast typed refusals, never an unbounded backlog.
+        let mut queue = sync::lock(&shared.queue);
+        if queue.conns.len() >= shared.config.queue_depth {
+            drop(queue);
+            release_client(shared, ip);
+            shared.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            shed(
+                shared,
+                stream,
+                503,
+                &UxmError::Overloaded {
+                    reason: format!(
+                        "connection queue full ({} waiting)",
+                        shared.config.queue_depth
+                    ),
+                    retry_after_ms: shared.config.retry_after_ms,
+                },
+            );
+            continue;
+        }
+        queue.conns.push_back((stream, ip));
         drop(queue);
         shared.available.notify_one();
     }
-    let mut queue = shared.queue.lock().expect("queue lock");
+    let mut queue = sync::lock(&shared.queue);
     queue.closed = true;
     drop(queue);
     shared.available.notify_all();
 }
 
+/// Releases one unit of `ip`'s per-client connection count.
+fn release_client(shared: &Shared, ip: Option<IpAddr>) {
+    let Some(ip) = ip else { return };
+    if shared.config.max_conns_per_client == 0 {
+        return;
+    }
+    let mut clients = sync::lock(&shared.clients);
+    if let Some(held) = clients.get_mut(&ip) {
+        *held = held.saturating_sub(1);
+        if *held == 0 {
+            clients.remove(&ip);
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
-        let stream = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+        let next = {
+            let mut queue = sync::lock(&shared.queue);
             loop {
-                if let Some(stream) = queue.conns.pop_front() {
-                    shared.space.notify_one();
-                    break Some(stream);
+                if let Some(entry) = queue.conns.pop_front() {
+                    break Some(entry);
                 }
                 if queue.closed {
                     break None;
                 }
-                queue = shared.available.wait(queue).expect("queue lock");
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        match stream {
-            Some(stream) => {
-                let _ = serve_connection(shared, stream);
+        match next {
+            Some((stream, ip)) => {
+                // A panic anywhere in connection handling is contained
+                // to this one connection: the worker survives, and the
+                // per-client count is released either way.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = serve_connection(shared, stream);
+                }));
+                release_client(shared, ip);
+                if result.is_err() {
+                    shared
+                        .stats
+                        .panics_contained
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
             None => return,
         }
@@ -649,15 +806,44 @@ fn serve_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
             }
         };
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
-        let (status, body) = route(shared, &request);
+        let mut keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        // A handler panic is contained to this one request: the worker
+        // answers a typed 500 and keeps serving (the shared locks are
+        // poison-tolerant, so other workers never notice).
+        let (status, body) = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            route(shared, &request)
+        })) {
+            Ok(answer) => answer,
+            Err(panic) => {
+                shared
+                    .stats
+                    .panics_contained
+                    .fetch_add(1, Ordering::Relaxed);
+                keep_alive = false;
+                let msg = panic_message(&panic);
+                let e = UxmError::Internal(format!("request handler panicked: {msg}"));
+                (500, error_body(&e))
+            }
+        };
         if status >= 400 {
             shared.stats.http_errors.fetch_add(1, Ordering::Relaxed);
         }
-        write_response(&mut writer, status, &body, keep_alive)?;
+        let retry_after = matches!(status, 429 | 503).then_some(shared.config.retry_after_ms);
+        write_response_with(&mut writer, status, &body, keep_alive, retry_after)?;
         if !keep_alive {
             return Ok(());
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -814,7 +1000,9 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "",
     }
 }
@@ -825,8 +1013,24 @@ fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with(writer, status, body, keep_alive, None)
+}
+
+/// [`write_response`] plus an optional `Retry-After` header (the HTTP
+/// header is whole seconds, so the hint rounds up — never to zero).
+fn write_response_with(
+    writer: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after_ms: Option<u64>,
+) -> std::io::Result<()> {
+    let retry_after = match retry_after_ms {
+        Some(ms) => format!("retry-after: {}\r\n", ms.div_ceil(1000).max(1)),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-length: {}\r\ncontent-type: application/json\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-length: {}\r\ncontent-type: application/json\r\n{retry_after}connection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -857,7 +1061,13 @@ fn error_body(e: &UxmError) -> String {
 fn status_for(e: &UxmError) -> u16 {
     match e {
         UxmError::UnknownEngine(_) => 404,
-        UxmError::Decode(_) | UxmError::Io(_) | UxmError::Input(_) | UxmError::NoSnapshotDir => 500,
+        UxmError::RateLimited { .. } => 429,
+        UxmError::Decode(_)
+        | UxmError::Io(_)
+        | UxmError::Input(_)
+        | UxmError::Internal(_)
+        | UxmError::NoSnapshotDir => 500,
+        UxmError::Overloaded { .. } => 503,
         _ => 400,
     }
 }
@@ -866,7 +1076,10 @@ fn route(shared: &Shared, request: &Request) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".into()),
         ("GET", "/engines") => (200, engines_body(shared)),
-        ("GET", "/stats") => (200, shared.stats.to_json().to_string()),
+        ("GET", "/stats") => (200, stats_body(shared)),
+        ("POST", "/debug/panic") if shared.config.debug_panic_route => {
+            panic!("debug panic route")
+        }
         ("POST", "/batch") => match handle_batch(shared, &request.body) {
             Ok(body) => (200, body),
             Err(e) => (status_for(&e), error_body(&e)),
@@ -1011,8 +1224,44 @@ fn engines_body(shared: &Shared) -> String {
             "resident_bytes".into(),
             Json::uint(shared.registry.resident_bytes() as u64),
         ),
+        (
+            "unreclaimed_bytes".into(),
+            Json::uint(shared.registry.unreclaimed_bytes() as u64),
+        ),
     ])
     .to_string()
+}
+
+/// `GET /stats`: the per-engine and server-wide counters of
+/// [`ServerStats`] plus a `"registry"` section with the memory
+/// accounting of [`crate::registry::RegistryStats`] — including
+/// `unreclaimed_bytes`, the drift between what the LRU budget thinks it
+/// freed and what evicted-but-still-referenced engines actually hold.
+fn stats_body(shared: &Shared) -> String {
+    let r = shared.registry.stats();
+    let registry = Json::Obj(vec![
+        ("evictions".into(), Json::uint(r.evictions)),
+        (
+            "memory_budget".into(),
+            Json::uint(shared.registry.memory_budget() as u64),
+        ),
+        ("resident_bytes".into(), Json::uint(r.resident_bytes as u64)),
+        (
+            "resident_engines".into(),
+            Json::uint(r.resident_engines as u64),
+        ),
+        ("shed_hydrations".into(), Json::uint(r.shed_hydrations)),
+        (
+            "unreclaimed_bytes".into(),
+            Json::uint(r.unreclaimed_bytes as u64),
+        ),
+    ]);
+    let Json::Obj(mut members) = shared.stats.to_json() else {
+        unreachable!("ServerStats::to_json is an object");
+    };
+    // Keys stay alphabetical: engines < registry < server.
+    members.insert(1, ("registry".into(), registry));
+    Json::Obj(members).to_string()
 }
 
 // ---------------------------------------------------------------------
@@ -1027,15 +1276,34 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running [`Server`].
+    /// Connects to a running [`Server`] with the default 30 s read
+    /// deadline (see [`Client::read_timeout`]).
     pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> Result<Client, UxmError> {
         let stream = TcpStream::connect(&addr).map_err(|e| UxmError::io(&addr, e))?;
         stream.set_nodelay(true).ok();
+        // Every read is deadline-bounded: a peer that stops sending
+        // mid-response (headers or body bytes alike) fails the request
+        // with a typed error instead of blocking this thread forever.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| UxmError::io(&addr, e))?;
         let reader = BufReader::new(stream.try_clone().map_err(|e| UxmError::io(&addr, e))?);
         Ok(Client {
             reader,
             writer: stream,
         })
+    }
+
+    /// Replaces the per-read deadline (default 30 s from
+    /// [`Client::connect`]). A read stalled past it — including body
+    /// bytes trickled by a slow peer — fails with [`UxmError::Io`]
+    /// rather than pinning the calling thread indefinitely.
+    pub fn read_timeout(self, timeout: Duration) -> Result<Client, UxmError> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| UxmError::io("set_read_timeout", e))?;
+        Ok(self)
     }
 
     /// Sends `GET path`; returns `(status, body)`.
@@ -1088,7 +1356,7 @@ impl Client {
                     status_line.trim_end()
                 ))
             })?;
-        let mut content_length = 0usize;
+        let mut content_length: Option<usize> = None;
         loop {
             let mut header = String::new();
             if self.reader.read_line(&mut header).map_err(io)? == 0 {
@@ -1102,12 +1370,18 @@ impl Client {
             }
             if let Some((name, value)) = header.split_once(':') {
                 if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().map_err(|_| {
+                    content_length = Some(value.trim().parse().map_err(|_| {
                         UxmError::Io(format!("{method} {path}: bad content-length {value:?}"))
-                    })?;
+                    })?);
                 }
             }
         }
+        // A response without Content-Length must be an error, not an
+        // empty body: this client frames bodies by length alone, so a
+        // missing header means the response cannot be parsed.
+        let content_length = content_length.ok_or_else(|| {
+            UxmError::Io(format!("{method} {path}: response missing content-length"))
+        })?;
         let mut buf = vec![0u8; content_length];
         self.reader.read_exact(&mut buf).map_err(io)?;
         String::from_utf8(buf)

@@ -1,0 +1,52 @@
+//! Poison-tolerant lock acquisition.
+//!
+//! `std`'s `Mutex`/`RwLock` poison when a holder panics, and every
+//! *later* `lock()` then errors — one contained panic would otherwise
+//! wedge every serving thread that shares the lock. All state guarded
+//! by these locks in this crate is valid at every instruction boundary
+//! (counters, queues of owned values, plain maps), so the right
+//! recovery is to take the lock anyway and keep serving.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks `l`, recovering the guard if a writer panicked.
+pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `l`, recovering the guard if a holder panicked.
+pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn poisoned_locks_still_serve() {
+        let m = Arc::new(Mutex::new(7u32));
+        let l = Arc::new(RwLock::new(11u32));
+        let (m2, l2) = (Arc::clone(&m), Arc::clone(&l));
+        // Poison both locks by panicking while holding them.
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            let _w = l2.write().unwrap();
+            panic!("poison");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex is poisoned");
+        assert_eq!(*lock(&m), 7);
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 8);
+        assert_eq!(*read(&l), 11);
+        *write(&l) += 1;
+        assert_eq!(*read(&l), 12);
+    }
+}

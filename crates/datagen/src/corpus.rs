@@ -1,0 +1,384 @@
+//! Corpus-scale document generation: thousands of documents, millions
+//! of nodes, power-law sized and power-law labeled — the working sets
+//! the soak harness (`repro soak`) puts behind a budget-constrained
+//! registry.
+//!
+//! [`uxm_xml::DocGenConfig`]-based generation is fine at `Order.xml`
+//! scale (~3.5 k nodes) but its grow phase re-scans candidate parents
+//! for saturation on every step, which is quadratic-ish and painful at
+//! millions of nodes. [`corpus_document`] keeps the same two-phase shape
+//! (cover every schema element, then grow repeatable subtrees) with two
+//! changes:
+//!
+//! * **O(total nodes)** growth — parents are drawn uniformly from a
+//!   per-element instance list, no saturation scans; amortized O(1)
+//!   bookkeeping per emitted node.
+//! * **Zipf-weighted repeatables** — growth steps pick which repeatable
+//!   element to clone from a Zipf(`alpha`) distribution over the
+//!   schema's repeatable elements, so label frequencies in the corpus
+//!   follow the power law real document collections show (a handful of
+//!   hot elements dominate, a long tail stays rare).
+//!
+//! Document sizes across the corpus follow the same power law
+//! ([`CorpusConfig::doc_sizes`]): a few giant documents and a long tail
+//! of small ones, so a memory budget sized for the median is genuinely
+//! exceeded by the head — exactly the regime LRU thrash protection is
+//! for. Everything is deterministic per seed.
+
+use crate::schema_gen::{generate_schema, Standard};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uxm_xml::ids::SchemaNodeId;
+use uxm_xml::{Document, Schema};
+
+/// Shape of a generated corpus: how many documents, how many nodes in
+/// total, how skewed, and from which seed.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Number of documents in the corpus.
+    pub documents: usize,
+    /// Total nodes across all documents; individual document sizes are
+    /// the power-law split of [`CorpusConfig::doc_sizes`].
+    pub total_nodes: usize,
+    /// Power-law exponent for both document sizes and label skew.
+    /// `1.0` is classic Zipf; higher is more skewed; `0.0` is uniform.
+    pub alpha: f64,
+    /// Master seed; document `i` derives its own seed from it, so any
+    /// single document can be regenerated without the rest.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> CorpusConfig {
+        CorpusConfig {
+            documents: 1000,
+            total_nodes: 2_000_000,
+            alpha: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// No document shrinks below this, whatever the power law says —
+/// every document must at least cover a small schema once.
+const MIN_DOC_NODES: usize = 48;
+
+impl CorpusConfig {
+    /// The per-document node counts: document `i` (0-based) gets a share
+    /// proportional to `(i+1)^-alpha`, floored at a small minimum, and
+    /// the counts sum to within rounding of
+    /// [`CorpusConfig::total_nodes`]. Index 0 is the giant head
+    /// document; the tail is small and long.
+    pub fn doc_sizes(&self) -> Vec<usize> {
+        if self.documents == 0 {
+            return Vec::new();
+        }
+        let weights: Vec<f64> = (0..self.documents)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.alpha))
+            .collect();
+        let total_weight: f64 = weights.iter().sum();
+        let mut sizes: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total_weight) * self.total_nodes as f64).round() as usize)
+            .map(|n| n.max(MIN_DOC_NODES))
+            .collect();
+        // Flooring the tail inflates the sum; take the excess back from
+        // the head (largest first) so totals stay honest.
+        let mut excess: usize = sizes.iter().sum::<usize>().saturating_sub(self.total_nodes);
+        for s in sizes.iter_mut() {
+            if excess == 0 {
+                break;
+            }
+            let give = excess.min(s.saturating_sub(MIN_DOC_NODES));
+            *s -= give;
+            excess -= give;
+        }
+        sizes
+    }
+
+    /// The derived seed for document `i`.
+    pub fn doc_seed(&self, i: usize) -> u64 {
+        // SplitMix-style mix so neighboring documents get unrelated
+        // streams from neighboring indices.
+        let mut z = self
+            .seed
+            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Probability a leaf instance carries text content (corpus documents
+/// are memory-weight realistic, not maximal).
+const TEXT_PROB: f64 = 0.6;
+
+/// Generates one corpus document of ~`target_nodes` nodes conforming to
+/// `schema`, deterministically from `seed`. Growth work is linear in
+/// the emitted node count; repeatable elements are cloned under
+/// Zipf(`alpha`)-distributed selection (see the [module docs](self)).
+/// The result may overshoot `target_nodes` by at most one repeated
+/// subtree.
+pub fn corpus_document(schema: &Schema, target_nodes: usize, alpha: f64, seed: u64) -> Document {
+    let mut gen = CorpusGen {
+        schema,
+        rng: StdRng::seed_from_u64(seed),
+        nodes: Vec::with_capacity(target_nodes + 16),
+        instances: vec![Vec::new(); schema.len()],
+        target_nodes,
+    };
+    gen.cover(schema.root(), None);
+    gen.grow(alpha);
+    gen.emit()
+}
+
+/// One node of the intermediate instance tree (emitted pre-order at the
+/// end, preserving the `Document` invariant that ids are pre-order
+/// ranks).
+struct CorpusNode {
+    schema: SchemaNodeId,
+    children: Vec<usize>,
+    text: bool,
+}
+
+struct CorpusGen<'a> {
+    schema: &'a Schema,
+    rng: StdRng,
+    nodes: Vec<CorpusNode>,
+    /// For each schema element, the instance indices created for it —
+    /// the O(1) parent pool the grow phase draws from.
+    instances: Vec<Vec<usize>>,
+    target_nodes: usize,
+}
+
+impl<'a> CorpusGen<'a> {
+    /// Phase 1: one instance per schema element, depth-first, within
+    /// budget.
+    fn cover(&mut self, snode: SchemaNodeId, parent: Option<usize>) -> usize {
+        let idx = self.new_instance(snode, parent);
+        for &child in self.schema.children(snode) {
+            if self.nodes.len() >= self.target_nodes {
+                break;
+            }
+            self.cover(child, Some(idx));
+        }
+        idx
+    }
+
+    /// Phase 2: Zipf-weighted subtree cloning until the target size.
+    fn grow(&mut self, alpha: f64) {
+        // Repeatable elements in schema order; rank i gets Zipf weight
+        // (i+1)^-alpha. Cumulative weights make each draw a binary
+        // search — no per-step scans of any kind.
+        let repeatables: Vec<SchemaNodeId> = self
+            .schema
+            .ids()
+            .filter(|&id| self.schema.node(id).repeatable && self.schema.parent(id).is_some())
+            .collect();
+        if repeatables.is_empty() {
+            return;
+        }
+        let mut cum = Vec::with_capacity(repeatables.len());
+        let mut running = 0.0f64;
+        for i in 0..repeatables.len() {
+            running += 1.0 / ((i + 1) as f64).powf(alpha);
+            cum.push(running);
+        }
+        let total_weight = running;
+        while self.nodes.len() < self.target_nodes {
+            let x = self.rng.gen_range(0.0..total_weight);
+            let k = cum.partition_point(|&c| c <= x).min(repeatables.len() - 1);
+            let r = repeatables[k];
+            let parent_schema = self.schema.parent(r).expect("repeatable root filtered out");
+            let pool = &self.instances[parent_schema.idx()];
+            if pool.is_empty() {
+                // Parent element was cut off by the cover budget — with
+                // target >= cover size this cannot happen, but a tiny
+                // target must not loop forever.
+                return;
+            }
+            let parent = pool[self.rng.gen_range(0..pool.len())];
+            self.instantiate_subtree(r, parent);
+        }
+    }
+
+    /// Clones the full subtree of `snode` under instance `parent`,
+    /// iteratively (corpus subtrees are small, but growth runs millions
+    /// of times — no recursion, no re-walks).
+    fn instantiate_subtree(&mut self, snode: SchemaNodeId, parent: usize) {
+        let mut stack = vec![(snode, parent)];
+        while let Some((s, p)) = stack.pop() {
+            let idx = self.new_instance(s, Some(p));
+            for &child in self.schema.children(s).iter().rev() {
+                stack.push((child, idx));
+            }
+        }
+    }
+
+    fn new_instance(&mut self, snode: SchemaNodeId, parent: Option<usize>) -> usize {
+        let idx = self.nodes.len();
+        let text = self.schema.is_leaf(snode) && self.rng.gen_bool(TEXT_PROB);
+        self.nodes.push(CorpusNode {
+            schema: snode,
+            children: Vec::new(),
+            text,
+        });
+        if let Some(p) = parent {
+            self.nodes[p].children.push(idx);
+        }
+        self.instances[snode.idx()].push(idx);
+        idx
+    }
+
+    /// Emits the instance tree into a [`Document`] in pre-order. Leaf
+    /// text is a short deterministic token — enough bytes to make
+    /// engine footprints realistic without drowning the node arenas.
+    fn emit(mut self) -> Document {
+        let mut builder = Document::builder(self.schema.label(self.nodes[0].schema));
+        let root = builder.root();
+        if self.nodes[0].text {
+            let value = self.leaf_value(0);
+            builder.set_text(root, value);
+        }
+        let mut stack: Vec<(usize, uxm_xml::ids::DocNodeId)> = self.nodes[0]
+            .children
+            .iter()
+            .rev()
+            .map(|&c| (c, root))
+            .collect();
+        while let Some((gen_idx, parent_doc)) = stack.pop() {
+            let doc_id =
+                builder.add_child(parent_doc, self.schema.label(self.nodes[gen_idx].schema));
+            if self.nodes[gen_idx].text {
+                let value = self.leaf_value(gen_idx);
+                builder.set_text(doc_id, value);
+            }
+            for &c in self.nodes[gen_idx].children.iter().rev() {
+                stack.push((c, doc_id));
+            }
+        }
+        builder.finish()
+    }
+
+    fn leaf_value(&mut self, idx: usize) -> String {
+        format!("v{}-{}", idx % 9973, self.rng.gen_range(0u32..100_000))
+    }
+}
+
+/// A ready-made corpus schema: the purchase-order backbone of
+/// `standard` grown to `n_elements` elements (see
+/// [`crate::schema_gen::generate_schema`]), which is what the soak
+/// harness pairs and matches.
+pub fn corpus_schema(standard: Standard, n_elements: usize, seed: u64) -> Schema {
+    generate_schema(standard, n_elements, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::parse_outline(
+            "Order(Buyer(Name Contact(EMail)) POLine*(LineNo Quantity UnitPrice) \
+             Note*(Text) Attachment*(Uri))",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = schema();
+        let a = corpus_document(&s, 5_000, 1.0, 7);
+        let b = corpus_document(&s, 5_000, 1.0, 7);
+        assert_eq!(uxm_xml::writer::to_xml(&a), uxm_xml::writer::to_xml(&b));
+        let c = corpus_document(&s, 5_000, 1.0, 8);
+        assert_ne!(uxm_xml::writer::to_xml(&a), uxm_xml::writer::to_xml(&c));
+    }
+
+    #[test]
+    fn reaches_target_with_bounded_overshoot() {
+        let s = schema();
+        let d = corpus_document(&s, 10_000, 1.0, 3);
+        assert!(d.len() >= 10_000, "doc too small: {}", d.len());
+        // Overshoot bounded by one repeated subtree (POLine = 4 nodes).
+        assert!(d.len() <= 10_004, "doc too large: {}", d.len());
+    }
+
+    #[test]
+    fn grows_large_documents_fast() {
+        // 200k nodes should be near-instant with O(n) growth; the seed
+        // matters only for determinism. (The pre-refactor generator's
+        // saturation scans made this size take minutes.)
+        let s = schema();
+        let start = std::time::Instant::now();
+        let d = corpus_document(&s, 200_000, 1.0, 11);
+        assert!(d.len() >= 200_000);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "200k-node generation took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn labels_follow_power_law() {
+        let s = schema();
+        let d = corpus_document(&s, 50_000, 1.2, 5);
+        // Repeatables in schema order: POLine, Note, Attachment. Rank 0
+        // gets Zipf weight 1, rank 2 weight 3^-1.2 ≈ 0.27 — the head
+        // must clearly dominate the tail.
+        let head = d.nodes_with_label("POLine").len();
+        let tail = d.nodes_with_label("Attachment").len();
+        assert!(head > 2 * tail, "no skew: head {head} vs tail {tail}");
+        assert!(tail > 0, "tail still present");
+    }
+
+    #[test]
+    fn doc_sizes_power_law_and_sum() {
+        let config = CorpusConfig {
+            documents: 100,
+            total_nodes: 1_000_000,
+            alpha: 1.0,
+            seed: 1,
+        };
+        let sizes = config.doc_sizes();
+        assert_eq!(sizes.len(), 100);
+        let sum: usize = sizes.iter().sum();
+        let drift = (sum as i64 - 1_000_000i64).unsigned_abs() as usize;
+        assert!(drift <= 100 * MIN_DOC_NODES, "sum drifted: {sum}");
+        assert!(sizes[0] > 10 * sizes[99], "head not dominant: {sizes:?}");
+        assert!(sizes.iter().all(|&s| s >= MIN_DOC_NODES));
+        // Deterministic: same config, same split.
+        assert_eq!(sizes, config.doc_sizes());
+    }
+
+    #[test]
+    fn doc_seeds_are_spread() {
+        let config = CorpusConfig::default();
+        let a = config.doc_seed(0);
+        let b = config.doc_seed(1);
+        assert_ne!(a, b);
+        assert_eq!(a, config.doc_seed(0));
+    }
+
+    #[test]
+    fn million_node_corpus_splits() {
+        let config = CorpusConfig {
+            documents: 2_000,
+            total_nodes: 4_000_000,
+            alpha: 1.1,
+            seed: 9,
+        };
+        let sizes = config.doc_sizes();
+        assert_eq!(sizes.len(), 2_000);
+        assert!(sizes.iter().sum::<usize>() >= 3_900_000);
+    }
+
+    #[test]
+    fn corpus_schema_is_deterministic() {
+        let a = corpus_schema(Standard::Xcbl, 120, 3);
+        let b = corpus_schema(Standard::Xcbl, 120, 3);
+        assert_eq!(a.to_outline(), b.to_outline());
+        assert!(a.len() >= 100);
+    }
+}

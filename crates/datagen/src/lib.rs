@@ -14,12 +14,17 @@
 //!   (which the paper's queries Q1–Q10 address) plus filler subtrees up to
 //!   the published element counts,
 //! * [`datasets`] — the D1–D10 dataset family,
-//! * [`queries`] — the Q1–Q10 query workload (Table III).
+//! * [`queries`] — the Q1–Q10 query workload (Table III),
+//! * [`corpus`] — corpus-scale generation: thousands of documents,
+//!   millions of nodes, power-law sizes and labels, for soak testing
+//!   a budget-constrained serving stack.
 
+pub mod corpus;
 pub mod datasets;
 pub mod queries;
 pub mod schema_gen;
 pub mod vocab;
 
+pub use corpus::{corpus_document, CorpusConfig};
 pub use datasets::{Dataset, DatasetId};
 pub use queries::paper_queries;

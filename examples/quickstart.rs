@@ -54,6 +54,7 @@ fn main() {
     //    answered in batches, concurrently under `--features parallel`.
     let registry = EngineRegistry::with_config(RegistryConfig {
         memory_budget: 64 << 20, // 64 MiB of resident engines
+        ..RegistryConfig::default()
     })
     .snapshot_dir(std::env::temp_dir().join("uxm-quickstart"));
     registry.insert("purchase-orders", engine);

@@ -16,7 +16,8 @@
 //! uxm registry  list --dir D
 //! uxm stats     <engine> --dir D
 //! uxm batch     <requests.txt> --dir D [--budget BYTES] [--json]
-//! uxm serve     --dir D [--addr IP:PORT] [--workers N] [--budget BYTES]
+//! uxm serve     --dir D [--addr IP:PORT] [--workers N] [--budget BYTES] [--queue N]
+//!               [--per-client N] [--retry-after-ms MS] [--keep-alive-ms MS] [--thrash N]
 //! uxm gen-doc   <schema.outline> [--nodes N] [--seed N]
 //! uxm dataset   <D1..D10>
 //! ```
@@ -100,7 +101,8 @@ fn usage() {
          uxm registry list --dir D\n  \
          uxm stats    <engine> --dir D\n  \
          uxm batch    <requests.txt> --dir D [--budget BYTES] [--json]\n  \
-         uxm serve    --dir D [--addr IP:PORT] [--workers N] [--budget BYTES]\n  \
+         uxm serve    --dir D [--addr IP:PORT] [--workers N] [--budget BYTES] [--queue N]\n               \
+         [--per-client N] [--retry-after-ms MS] [--keep-alive-ms MS] [--thrash N]\n  \
          uxm gen-doc  <schema.outline> [--nodes N] [--seed N]\n  \
          uxm dataset  <D1..D10>"
     );
@@ -601,6 +603,7 @@ fn cmd_batch(args: &[String]) -> Result<(), UxmError> {
 
     let registry = EngineRegistry::with_config(RegistryConfig {
         memory_budget: budget,
+        ..RegistryConfig::default()
     })
     .snapshot_dir(dir);
     let start = std::time::Instant::now();
@@ -665,16 +668,32 @@ fn cmd_serve(args: &[String]) -> Result<(), UxmError> {
     let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:8080");
     let workers: usize = parse_flag(&flags, "workers", 0)?;
     let budget: usize = parse_flag(&flags, "budget", 0)?;
+    let defaults = ServerConfig::default();
+    let queue: usize = parse_flag(&flags, "queue", defaults.queue_depth)?;
+    let per_client: usize = parse_flag(&flags, "per-client", defaults.max_conns_per_client)?;
+    let retry_after_ms: u64 = parse_flag(&flags, "retry-after-ms", defaults.retry_after_ms)?;
+    let keep_alive_ms: u64 = parse_flag(
+        &flags,
+        "keep-alive-ms",
+        defaults.keep_alive_timeout.as_millis() as u64,
+    )?;
+    let thrash: usize = parse_flag(&flags, "thrash", 0)?;
 
     let registry = std::sync::Arc::new(
         EngineRegistry::with_config(RegistryConfig {
             memory_budget: budget,
+            thrash_evictions: thrash,
+            ..RegistryConfig::default()
         })
         .snapshot_dir(dir),
     );
     let snapshots = registry.snapshot_names();
     let config = ServerConfig {
         workers,
+        queue_depth: queue,
+        max_conns_per_client: per_client,
+        retry_after_ms,
+        keep_alive_timeout: std::time::Duration::from_millis(keep_alive_ms),
         ..ServerConfig::default()
     };
     let server = Server::bind(std::sync::Arc::clone(&registry), addr, config.clone())?;
@@ -692,6 +711,14 @@ fn cmd_serve(args: &[String]) -> Result<(), UxmError> {
     for name in &snapshots {
         println!("  {name}");
     }
+    println!(
+        "admission: queue {queue}, per-client cap {per_client}, retry-after {retry_after_ms}ms{}",
+        if thrash > 0 {
+            format!(", thrash gate at {thrash} evictions")
+        } else {
+            String::new()
+        }
+    );
     println!("routes: POST /query/<engine>  POST /batch  GET /engines  GET /stats  GET /healthz");
     server.start().wait();
     Ok(())

@@ -1,0 +1,406 @@
+//! Regression coverage for the serving-stack bug class this repo's
+//! admission-control work hardened: wedged worker pools, slow-loris
+//! bodies, silent empty responses, load shedding, and eviction drift.
+//!
+//! Everything here runs against a real `Server` over real TCP. Each
+//! test pins one failure mode:
+//!
+//! * a panicking request handler used to poison the shared queue
+//!   mutexes and wedge every worker — now the panic is contained to
+//!   its request, answered as a typed 500, and the pool keeps serving;
+//! * a client trickling body bytes forever used to pin a worker — now
+//!   the keep-alive deadline covers body bytes too and the connection
+//!   is closed;
+//! * a response with no `content-length` used to parse as an empty
+//!   body — now `server::Client` reports a typed error;
+//! * arrivals beyond the connection queue (or one client's fair share)
+//!   are shed inline with typed 503/429 bodies and a `Retry-After`
+//!   header instead of blocking the accept loop;
+//! * an engine evicted while a caller still holds its `Arc` is real
+//!   memory the budget no longer sees — `GET /stats` surfaces it as
+//!   `unreclaimed_bytes`, and the thrash gate sheds cold hydrations
+//!   when eviction churn says the working set exceeds the budget.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use uxm::core::block_tree::BlockTreeConfig;
+use uxm::core::engine::QueryEngine;
+use uxm::core::json::Json;
+use uxm::core::mapping::PossibleMappings;
+use uxm::core::registry::{EngineRegistry, RegistryConfig};
+use uxm::core::server::{Client, Server, ServerConfig, ServerHandle};
+use uxm::matching::Matcher;
+use uxm::xml::{DocGenConfig, Document, Schema};
+
+/// The `server_http.rs` fixture engine: a small purchase-order pair.
+fn small_engine(seed: u64) -> QueryEngine {
+    let source = Schema::parse_outline(
+        "Order(Buyer(Name Contact(EMail)) POLine*(LineNo Quantity UnitPrice))",
+    )
+    .unwrap();
+    let target =
+        Schema::parse_outline("PO(Purchaser(PName PContact(PEMail)) Line(No Qty Amount))").unwrap();
+    let matching = Matcher::context().match_schemas(&source, &target);
+    let pm = PossibleMappings::top_h(&matching, 12);
+    let doc = Document::generate(&source, &DocGenConfig::small(), seed);
+    QueryEngine::build(pm, doc, &BlockTreeConfig::default())
+}
+
+fn start_with(config: ServerConfig) -> (Arc<EngineRegistry>, ServerHandle) {
+    let registry = Arc::new(EngineRegistry::new());
+    registry.insert("po", small_engine(7));
+    let handle = Server::bind(Arc::clone(&registry), "127.0.0.1:0", config)
+        .expect("bind ephemeral port")
+        .start();
+    (registry, handle)
+}
+
+const QUERY: &str = r#"{"type":"ptq","pattern":"//Qty"}"#;
+
+/// Reads one full raw HTTP response (status line, headers, body).
+fn read_raw_response(stream: &mut TcpStream) -> (u16, Vec<String>, String) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end().to_string();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+        headers.push(line.to_ascii_lowercase());
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, headers, String::from_utf8(body).unwrap())
+}
+
+fn error_kind(body: &str) -> String {
+    Json::parse(body)
+        .expect("typed JSON error body")
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(|k| k.as_str())
+        .expect("error.kind present")
+        .to_string()
+}
+
+/// A handler panic answers a typed 500 on that request and nothing
+/// else: the same pool — every worker — keeps serving afterwards.
+/// Before panics were contained, the first one poisoned the shared
+/// queue mutex and wedged the whole pool.
+#[test]
+fn handler_panic_answers_500_and_pool_keeps_serving() {
+    let workers = 3;
+    let (_registry, handle) = start_with(ServerConfig {
+        workers,
+        debug_panic_route: true,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Panic more times than there are workers: if containment leaked,
+    // the pool could not survive this.
+    for _ in 0..2 * workers {
+        let mut c = Client::connect(addr).unwrap();
+        let (status, body) = c.post("/debug/panic", "{}").unwrap();
+        assert_eq!(status, 500);
+        assert_eq!(error_kind(&body), "internal");
+        assert!(body.contains("panicked"), "body: {body}");
+    }
+
+    // All workers must still answer — concurrently, so a single
+    // surviving worker can't fake it.
+    let mut probes: Vec<Client> = (0..workers)
+        .map(|_| Client::connect(addr).unwrap())
+        .collect();
+    for probe in &mut probes {
+        let (status, _) = probe.post("/query/po", QUERY).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    // The server kept count.
+    let mut c = Client::connect(addr).unwrap();
+    let (_, stats) = c.get("/stats").unwrap();
+    let stats = Json::parse(&stats).unwrap();
+    let contained = stats
+        .get("server")
+        .and_then(|s| s.get("panics_contained"))
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert_eq!(contained, 2 * workers);
+    handle.shutdown();
+}
+
+/// A client that sends headers and then trickles (or stalls) the body
+/// used to pin its worker forever. The keep-alive deadline now covers
+/// body bytes: the connection is dropped and the worker serves others.
+#[test]
+fn trickled_body_frees_the_worker() {
+    let (_registry, handle) = start_with(ServerConfig {
+        workers: 1, // the one worker must survive the loris to serve anyone
+        keep_alive_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris
+        .write_all(b"POST /query/po HTTP/1.1\r\ncontent-length: 1000\r\n\r\n")
+        .unwrap();
+    // Trickle a few bytes, then stall without ever completing the body.
+    for _ in 0..3 {
+        loris.write_all(b"{").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Within the deadline (plus slack), the single worker must be free
+    // again and answer a well-behaved client.
+    let started = Instant::now();
+    let mut c = Client::connect(addr)
+        .and_then(|c| c.read_timeout(Duration::from_secs(5)))
+        .unwrap();
+    let (status, _) = c.post("/query/po", QUERY).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "worker stayed pinned by the trickled body for {:?}",
+        started.elapsed()
+    );
+
+    // And the loris connection was closed on the server's terms.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let n = loris.read_to_end(&mut buf).unwrap_or(0);
+    let _ = n; // EOF (possibly after 0 bytes): the server hung up
+    handle.shutdown();
+}
+
+/// A response with no `content-length` header used to silently parse
+/// as an empty body (`content_length` defaulted to 0). It is now a
+/// typed error naming the missing header.
+#[test]
+fn missing_content_length_is_a_typed_client_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        // Drain the request head so the client's write succeeds.
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim_end().is_empty() {
+                break;
+            }
+        }
+        stream
+            .write_all(b"HTTP/1.1 200 OK\r\nconnection: close\r\n\r\n{\"cut\":1}")
+            .unwrap();
+    });
+
+    let mut c = Client::connect(addr).unwrap();
+    let err = c
+        .get("/healthz")
+        .expect_err("headerless response must not parse as empty");
+    assert!(
+        err.to_string().contains("missing content-length"),
+        "unexpected error: {err}"
+    );
+    fake.join().unwrap();
+}
+
+/// Arrivals beyond the connection queue are shed inline: a typed 503
+/// (`kind: "overloaded"`) with a `Retry-After` header, and the accept
+/// loop never blocks.
+#[test]
+fn queue_overflow_sheds_typed_503_with_retry_after() {
+    let (_registry, handle) = start_with(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        keep_alive_timeout: Duration::from_secs(3),
+        retry_after_ms: 1800, // rounds up to retry-after: 2
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Occupy the worker and the single queue slot with half-written
+    // requests (they hold until the keep-alive deadline).
+    let mut held = Vec::new();
+    for _ in 0..2 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /query/po HTTP/1.1\r\n").unwrap();
+        held.push(s);
+    }
+    std::thread::sleep(Duration::from_millis(200)); // let accept/workers settle
+
+    // The next arrival must be shed — quickly, with the full typed
+    // shape on the wire.
+    let mut shed = TcpStream::connect(addr).unwrap();
+    shed.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    let started = Instant::now();
+    let (status, headers, body) = read_raw_response(&mut shed);
+    assert_eq!(status, 503);
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "shedding must be inline, took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(error_kind(&body), "overloaded");
+    assert!(
+        headers.iter().any(|h| h == "retry-after: 2"),
+        "headers: {headers:?}"
+    );
+    drop(held);
+    handle.shutdown();
+}
+
+/// One peer holding more than its share of connections gets a typed
+/// 429 (`kind: "rate-limited"`) while the connections it already holds
+/// keep working.
+#[test]
+fn per_client_cap_sheds_typed_429() {
+    let (_registry, handle) = start_with(ServerConfig {
+        workers: 2,
+        max_conns_per_client: 2,
+        keep_alive_timeout: Duration::from_secs(3),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut held = Vec::new();
+    for _ in 0..2 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /query/po HTTP/1.1\r\n").unwrap();
+        held.push(s);
+    }
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut shed = TcpStream::connect(addr).unwrap();
+    shed.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    let (status, headers, body) = read_raw_response(&mut shed);
+    assert_eq!(status, 429);
+    assert_eq!(error_kind(&body), "rate-limited");
+    assert!(
+        headers.iter().any(|h| h.starts_with("retry-after:")),
+        "headers: {headers:?}"
+    );
+
+    // Releasing one held connection frees quota for a fresh one.
+    held.pop();
+    std::thread::sleep(Duration::from_millis(200));
+    let mut c = Client::connect(addr).unwrap();
+    let (status, _) = c.post("/query/po", QUERY).unwrap();
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+/// Eviction drift over HTTP: an engine evicted while a caller still
+/// holds its `Arc` shows up in `GET /stats` as `unreclaimed_bytes`,
+/// and drops back to zero once the handle is released.
+#[test]
+fn stats_surfaces_eviction_drift_and_thrash_sheds() {
+    let dir = std::env::temp_dir().join(format!("uxm-admission-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A budget that fits roughly one engine, with the thrash gate
+    // armed: two evictions inside the window shed further cold loads.
+    let one = small_engine(1).approx_bytes();
+    let registry = Arc::new(
+        EngineRegistry::with_config(RegistryConfig {
+            memory_budget: one + one / 2,
+            thrash_evictions: 2,
+            thrash_window: 1_000,
+        })
+        .snapshot_dir(&dir),
+    );
+    for (name, seed) in [("a", 1u64), ("b", 2), ("c", 3)] {
+        registry.insert(name, small_engine(seed));
+        registry.save(name).unwrap();
+        registry.remove(name);
+    }
+    let handle = Server::bind(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind ephemeral port")
+    .start();
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).unwrap();
+
+    // Hold a live handle to "a", then make the budget evict it by
+    // querying "b" over HTTP.
+    let held = registry.fetch("a").unwrap();
+    let (status, _) = c.post("/query/b", QUERY).unwrap();
+    assert_eq!(status, 200);
+
+    let (_, stats) = c.get("/stats").unwrap();
+    let stats = Json::parse(&stats).unwrap();
+    let registry_stats = stats.get("registry").expect("registry section");
+    let unreclaimed = registry_stats
+        .get("unreclaimed_bytes")
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert_eq!(
+        unreclaimed,
+        held.approx_bytes(),
+        "the held engine's bytes must be reported as drift"
+    );
+
+    // Release the handle: the drift is reclaimed.
+    drop(held);
+    let (_, stats) = c.get("/stats").unwrap();
+    let stats = Json::parse(&stats).unwrap();
+    let unreclaimed = stats
+        .get("registry")
+        .and_then(|r| r.get("unreclaimed_bytes"))
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert_eq!(unreclaimed, 0);
+
+    // Churn cold engines until the gate arms, then expect a typed 503
+    // on the next cold hydration.
+    let mut shed_seen = false;
+    for name in ["c", "a", "b", "c", "a", "b"] {
+        let (status, body) = c.post(&format!("/query/{name}"), QUERY).unwrap();
+        if status == 503 {
+            assert_eq!(error_kind(&body), "overloaded");
+            shed_seen = true;
+            break;
+        }
+        assert_eq!(status, 200, "body: {body}");
+    }
+    assert!(shed_seen, "thrash gate never shed a cold hydration");
+    let (_, stats) = c.get("/stats").unwrap();
+    let stats = Json::parse(&stats).unwrap();
+    let shed = stats
+        .get("registry")
+        .and_then(|r| r.get("shed_hydrations"))
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert!(shed >= 1, "stats must count shed hydrations, got {shed}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
