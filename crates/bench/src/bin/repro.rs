@@ -8,8 +8,12 @@
 //! ```
 //!
 //! The `soak` experiment also honours `--docs`, `--nodes`, `--budget`,
-//! `--clients`, and `--seed` (corpus/load shape; see
-//! `uxm_bench::soak::SoakConfig`).
+//! `--clients`, `--seed`, and `--shards` (corpus/load shape; see
+//! `uxm_bench::soak::SoakConfig`). `--shards N` puts the soak corpus
+//! behind the consistent-hash router with `N` shard registries. The
+//! `shard` experiment (scatter-gather work split + tail isolation,
+//! writing `BENCH_shard.json`) shares the same corpus knobs and
+//! compares 1 vs 4 shards itself.
 
 use uxm_bench::figures::{run_experiment, ReproConfig, EXPERIMENTS};
 
@@ -68,12 +72,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--shards" => {
+                cfg.soak.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--shards needs a count (0 = unsharded)"));
+            }
             "all" => requested.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--runs N] [--m N] \
                      [--duration S] [--docs N] [--nodes N] [--budget BYTES] \
-                     [--clients N] [--seed N] [all | {}]",
+                     [--clients N] [--seed N] [--shards N] [all | {}]",
                     EXPERIMENTS.join(" | ")
                 );
                 return;

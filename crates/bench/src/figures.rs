@@ -1092,7 +1092,7 @@ pub fn bench_exec(cfg: &ReproConfig) -> String {
 }
 
 /// All experiment ids accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 20] = [
+pub const EXPERIMENTS: [&str; 21] = [
     "table2",
     "fig9a",
     "fig9b",
@@ -1113,6 +1113,7 @@ pub const EXPERIMENTS: [&str; 20] = [
     "bench_exec",
     "ablation",
     "soak",
+    "shard",
 ];
 
 /// Runs one experiment by id.
@@ -1138,6 +1139,7 @@ pub fn run_experiment(id: &str, cfg: &ReproConfig) -> Option<String> {
         "bench_exec" => bench_exec(cfg),
         "ablation" => ablation(cfg),
         "soak" => crate::soak::soak(&cfg.soak),
+        "shard" => crate::shard::shard_bench(&cfg.soak),
         _ => return None,
     })
 }

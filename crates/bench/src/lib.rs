@@ -9,6 +9,7 @@
 //! sweep, or pass an experiment id (`table2`, `fig9a` … `fig10f`).
 
 pub mod figures;
+pub mod shard;
 pub mod soak;
 pub mod workload;
 

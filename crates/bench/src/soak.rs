@@ -39,7 +39,8 @@ use uxm_core::block_tree::BlockTreeConfig;
 use uxm_core::engine::QueryEngine;
 use uxm_core::json::Json;
 use uxm_core::mapping::PossibleMappings;
-use uxm_core::registry::{BatchQuery, EngineRegistry, RegistryConfig};
+use uxm_core::registry::{BatchQuery, EngineRegistry, RegistryConfig, RegistryStats};
+use uxm_core::router::{Router, RouterConfig};
 use uxm_core::server::{Client, Server, ServerConfig};
 use uxm_datagen::corpus::{corpus_document, CorpusConfig};
 use uxm_matching::Matcher;
@@ -63,6 +64,11 @@ pub struct SoakConfig {
     /// Master seed — corpus, per-document, and per-client streams all
     /// derive from it, so a run is reproducible end to end.
     pub seed: u64,
+    /// Shard count: `0` soaks a single registry behind [`Server`]; `N`
+    /// puts `N` shard registries behind the consistent-hash
+    /// [`Router`], splitting the budget evenly, and the report gains
+    /// per-shard eviction/shed/thrash counters.
+    pub shards: usize,
 }
 
 impl Default for SoakConfig {
@@ -74,6 +80,7 @@ impl Default for SoakConfig {
             budget: 0,
             clients: 6,
             seed: 42,
+            shards: 0,
         }
     }
 }
@@ -158,9 +165,50 @@ fn percentile(sorted: &[u64], pct: f64) -> u64 {
     sorted[((pct / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1]
 }
 
+/// The serving stack under soak: one registry behind a [`Server`], or
+/// `N` shard registries behind the [`Router`].
+enum Backend {
+    Single(Arc<EngineRegistry>),
+    Sharded(Arc<Router>),
+}
+
+impl Backend {
+    /// Registry counters, summed across shards when sharded.
+    fn stats(&self) -> RegistryStats {
+        match self {
+            Backend::Single(registry) => registry.stats(),
+            Backend::Sharded(router) => router.shard_stats().into_iter().fold(
+                RegistryStats {
+                    resident_engines: 0,
+                    resident_bytes: 0,
+                    unreclaimed_bytes: 0,
+                    evictions: 0,
+                    shed_hydrations: 0,
+                },
+                |mut sum, (_, s)| {
+                    sum.resident_engines += s.resident_engines;
+                    sum.resident_bytes += s.resident_bytes;
+                    sum.unreclaimed_bytes += s.unreclaimed_bytes;
+                    sum.evictions += s.evictions;
+                    sum.shed_hydrations += s.shed_hydrations;
+                    sum
+                },
+            ),
+        }
+    }
+
+    /// Per-shard counters (empty for the single-registry backend).
+    fn per_shard(&self) -> Vec<(u64, RegistryStats)> {
+        match self {
+            Backend::Single(_) => Vec::new(),
+            Backend::Sharded(router) => router.shard_stats(),
+        }
+    }
+}
+
 /// Builds the corpus engines, snapshots them into `dir`, and returns
 /// `(names, total engine bytes)`.
-fn build_corpus(cfg: &SoakConfig, dir: &std::path::Path) -> (Vec<String>, usize) {
+pub(crate) fn build_corpus(cfg: &SoakConfig, dir: &std::path::Path) -> (Vec<String>, usize) {
     let source = Schema::parse_outline(SOURCE_OUTLINE).expect("source outline");
     let target = Schema::parse_outline(TARGET_OUTLINE).expect("target outline");
     let matching = Matcher::context().match_schemas(&source, &target);
@@ -375,11 +423,16 @@ pub fn soak(cfg: &SoakConfig) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "BENCH_soak — {}s mixed-traffic soak: {} engines, {} corpus nodes, seed {}",
+        "BENCH_soak — {}s mixed-traffic soak: {} engines, {} corpus nodes, seed {}{}",
         cfg.duration.as_secs(),
         cfg.documents,
         cfg.total_nodes,
-        cfg.seed
+        cfg.seed,
+        if cfg.shards > 0 {
+            format!(", {} shard(s)", cfg.shards)
+        } else {
+            String::new()
+        }
     );
 
     let build_start = Instant::now();
@@ -398,14 +451,6 @@ pub fn soak(cfg: &SoakConfig) -> String {
         budget * 100 / corpus_bytes.max(1)
     );
 
-    let registry = Arc::new(
-        EngineRegistry::with_config(RegistryConfig {
-            memory_budget: budget,
-            thrash_evictions: 6,
-            thrash_window: 512,
-        })
-        .snapshot_dir(&scratch),
-    );
     let server_config = ServerConfig {
         workers: WORKERS,
         queue_depth: QUEUE_DEPTH,
@@ -415,10 +460,42 @@ pub fn soak(cfg: &SoakConfig) -> String {
         debug_panic_route: true,
         ..ServerConfig::default()
     };
-    let server =
-        Server::bind(Arc::clone(&registry), "127.0.0.1:0", server_config).expect("bind loopback");
-    let addr = server.local_addr();
-    let handle = server.start();
+    let registry_config = RegistryConfig {
+        // A cluster budget of B over N shards is B/N per shard.
+        memory_budget: budget / cfg.shards.max(1),
+        thrash_evictions: 6,
+        thrash_window: 512,
+    };
+    let (backend, addr, handle) = if cfg.shards > 0 {
+        let router = Router::start(
+            &scratch,
+            RouterConfig {
+                shards: cfg.shards,
+                registry: registry_config,
+                shard_server: ServerConfig {
+                    workers: 2,
+                    queue_depth: QUEUE_DEPTH,
+                    max_conns_per_client: cfg.clients + 40,
+                    retry_after_ms: 100,
+                    ..ServerConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+        )
+        .expect("router start");
+        let front = router
+            .bind("127.0.0.1:0", server_config)
+            .expect("bind loopback");
+        let addr = front.local_addr();
+        (Backend::Sharded(router), addr, front.start())
+    } else {
+        let registry =
+            Arc::new(EngineRegistry::with_config(registry_config).snapshot_dir(&scratch));
+        let server = Server::bind(Arc::clone(&registry), "127.0.0.1:0", server_config)
+            .expect("bind loopback");
+        let addr = server.local_addr();
+        (Backend::Single(registry), addr, server.start())
+    };
 
     let queries = query_bodies();
     let cum = zipf_cum(names.len());
@@ -445,11 +522,11 @@ pub fn soak(cfg: &SoakConfig) -> String {
             .collect();
         let storm_thread = scope.spawn(move || storm(addr, deadline));
 
-        // Main thread meanwhile samples RSS vs the registry's own
-        // accounting.
+        // Main thread meanwhile samples RSS vs the registries' own
+        // accounting (summed across shards when sharded).
         let mut samples: Vec<(u64, u64)> = Vec::new();
         while Instant::now() < deadline {
-            let stats = registry.stats();
+            let stats = backend.stats();
             samples.push((rss_bytes(), stats.footprint_bytes() as u64));
             std::thread::sleep(Duration::from_millis(250));
         }
@@ -494,7 +571,8 @@ pub fn soak(cfg: &SoakConfig) -> String {
         assert!(known.contains(status), "unexpected status {status}");
     }
 
-    let reg_stats = registry.stats();
+    let reg_stats = backend.stats();
+    let shard_rows = backend.per_shard();
     let shed_queue = stat_u64(&server_stats, "server", "shed_queue_full");
     let shed_client = stat_u64(&server_stats, "server", "shed_per_client");
     let panics_contained = stat_u64(&server_stats, "server", "panics_contained");
@@ -512,6 +590,9 @@ pub fn soak(cfg: &SoakConfig) -> String {
     );
 
     handle.shutdown();
+    if let Backend::Sharded(router) = &backend {
+        router.shutdown();
+    }
     let _ = std::fs::remove_dir_all(&scratch);
 
     // ----- report -----
@@ -578,6 +659,18 @@ pub fn soak(cfg: &SoakConfig) -> String {
         reg_stats.resident_bytes,
         reg_stats.unreclaimed_bytes
     );
+    for (id, s) in &shard_rows {
+        let _ = writeln!(
+            out,
+            "    shard {id}: {} evictions, {} thrash-shed hydrations, \
+             {} resident engine(s), resident {} B, unreclaimed {} B",
+            s.evictions,
+            s.shed_hydrations,
+            s.resident_engines,
+            s.resident_bytes,
+            s.unreclaimed_bytes
+        );
+    }
     let max_rss = rss_samples.iter().map(|&(r, _)| r).max().unwrap_or(0);
     let max_drift = rss_samples
         .iter()
@@ -607,6 +700,7 @@ pub fn soak(cfg: &SoakConfig) -> String {
                 ("documents".into(), Json::uint(cfg.documents as u64)),
                 ("duration_s".into(), Json::uint(cfg.duration.as_secs())),
                 ("seed".into(), Json::uint(cfg.seed)),
+                ("shards".into(), Json::uint(cfg.shards as u64)),
                 ("total_nodes".into(), Json::uint(cfg.total_nodes as u64)),
                 ("workers".into(), Json::uint(WORKERS as u64)),
             ]),
@@ -648,6 +742,30 @@ pub fn soak(cfg: &SoakConfig) -> String {
                 ("max_rss_bytes".into(), Json::uint(max_rss)),
                 ("samples".into(), Json::uint(rss_samples.len() as u64)),
             ]),
+        ),
+        (
+            "shards".into(),
+            Json::Arr(
+                shard_rows
+                    .iter()
+                    .map(|(id, s)| {
+                        Json::Obj(vec![
+                            ("evictions".into(), Json::uint(s.evictions)),
+                            ("id".into(), Json::uint(*id)),
+                            ("resident_bytes".into(), Json::uint(s.resident_bytes as u64)),
+                            (
+                                "resident_engines".into(),
+                                Json::uint(s.resident_engines as u64),
+                            ),
+                            ("shed_hydrations".into(), Json::uint(s.shed_hydrations)),
+                            (
+                                "unreclaimed_bytes".into(),
+                                Json::uint(s.unreclaimed_bytes as u64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
         (
             "sheds".into(),
@@ -721,11 +839,16 @@ mod tests {
         }
     }
 
+    /// Both mini soaks write `BENCH_soak.json` in the working
+    /// directory — serialize them so neither reads the other's file.
+    static REPORT_FILE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     /// A miniature end-to-end soak — seconds, not minutes — exercising
     /// the whole harness: corpus build, overload, panic injection,
     /// invariant checks, and the JSON report.
     #[test]
     fn mini_soak_completes_with_typed_responses() {
+        let _guard = REPORT_FILE.lock().unwrap_or_else(|p| p.into_inner());
         let cfg = SoakConfig {
             duration: Duration::from_secs(3),
             documents: 6,
@@ -733,6 +856,7 @@ mod tests {
             budget: 0,
             clients: 3,
             seed: 7,
+            shards: 0,
         };
         let report = soak(&cfg);
         assert!(report.contains("wrote BENCH_soak.json"));
@@ -741,5 +865,42 @@ mod tests {
         let parsed = Json::parse(written.trim()).expect("canonical JSON");
         assert!(parsed.get("endpoints").is_some());
         assert!(parsed.get("sheds").is_some());
+        assert_eq!(
+            parsed.get("shards").and_then(Json::as_arr).map(|a| a.len()),
+            Some(0)
+        );
+    }
+
+    /// The same harness against the sharded router: the report must
+    /// carry one eviction/shed/thrash row per shard.
+    #[test]
+    fn mini_sharded_soak_reports_per_shard_counters() {
+        let _guard = REPORT_FILE.lock().unwrap_or_else(|p| p.into_inner());
+        let cfg = SoakConfig {
+            duration: Duration::from_secs(3),
+            documents: 6,
+            total_nodes: 12_000,
+            budget: 0,
+            clients: 3,
+            seed: 7,
+            shards: 2,
+        };
+        let report = soak(&cfg);
+        assert!(report.contains("wrote BENCH_soak.json"));
+        assert!(report.contains("2 shard(s)"));
+        assert!(report.contains("shard 0:"));
+        assert!(report.contains("shard 1:"));
+        let written = std::fs::read_to_string("BENCH_soak.json").expect("report file");
+        let parsed = Json::parse(written.trim()).expect("canonical JSON");
+        let rows = parsed
+            .get("shards")
+            .and_then(Json::as_arr)
+            .expect("shards array");
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            for key in ["evictions", "id", "resident_bytes", "shed_hydrations"] {
+                assert!(row.get(key).is_some(), "shard row missing {key}");
+            }
+        }
     }
 }

@@ -41,6 +41,10 @@
 //!   registry: a dependency-free threaded HTTP/1.1 server (plus the
 //!   [`server::Client`] test helper) speaking the canonical wire
 //!   format over real sockets — what `uxm serve` runs,
+//! * [`router`] — horizontal scale-out: a [`router::Router`]
+//!   scatter-gathering over N shard registries (each with its own
+//!   budget and thrash gate) behind a consistent-hash ring, with an
+//!   exact cross-shard top-k merge — what `uxm serve --shards N` runs,
 //! * [`storage`] — binary codecs for mapping sets and whole engine
 //!   snapshots (see the snapshot format/version notes there).
 //!
@@ -54,6 +58,8 @@
 //!             └─ api+planner  typed Query/QueryResponse, plan choice
 //!                  └─ registry   many named engines, snapshots, LRU
 //!                       └─ server   HTTP/1.1 JSON over the registry
+//!                            └─ router   N shard registries behind a
+//!                                        consistent-hash ring
 //! ```
 //!
 //! # Quickstart
@@ -111,6 +117,7 @@ pub mod ptq;
 pub mod ptq_tree;
 pub mod registry;
 pub mod rewrite;
+pub mod router;
 pub mod semantics;
 pub mod server;
 pub mod stats;
@@ -128,6 +135,7 @@ pub use mapping::{Mapping, MappingId, PossibleMappings};
 pub use planner::{Evaluator, Plan, PlanReason};
 pub use ptq::{PtqAnswer, PtqResult};
 pub use registry::{BatchQuery, EngineRegistry, RegistryConfig, RegistryStats, Request, Response};
+pub use router::{Ring, Router, RouterConfig, TopKAnswer};
 pub use server::{Server, ServerConfig, ServerHandle};
 
 // Legacy one-shot entry points, kept as deprecated shims over the

@@ -1,0 +1,1328 @@
+//! Horizontal scale-out: a [`Router`] scatter-gathering over sharded
+//! [`EngineRegistry`] instances behind a consistent-hash ring.
+//!
+//! The single-registry deployment of [`crate::server`] scales
+//! vertically: one registry owns every engine, one LRU budget, one
+//! thrash gate. This module partitions the collection instead. A
+//! [`Router`] spawns N **shards** — each a full [`Server`] on a
+//! loopback ephemeral port over its *own* registry, with its own
+//! [`RegistryConfig`] memory budget and thrash gate — and fronts them
+//! with the same serving shell, routing by a [`Ring`]:
+//!
+//! ```text
+//!                      clients
+//!                         │
+//!                 ┌───────▼────────┐
+//!                 │  front Server  │   POST /query/<e>  POST /batch
+//!                 │  (RouterHandler)│  POST /topk  GET /stats /shards
+//!                 └───────┬────────┘
+//!            consistent-hash ring on engine name
+//!           ┌─────────────┼─────────────┐
+//!     ┌─────▼─────┐ ┌─────▼─────┐ ┌─────▼─────┐
+//!     │  shard 0  │ │  shard 1  │ │  shard 2  │   each: Server over
+//!     │ registry  │ │ registry  │ │ registry  │   its own registry
+//!     └─────┬─────┘ └─────┬─────┘ └─────┬─────┘   (budget, thrash gate)
+//!           └─────────────┴─────────────┘
+//!              one shared snapshot directory
+//! ```
+//!
+//! * `POST /query/<engine>` forwards to the owning shard and relays its
+//!   response verbatim.
+//! * `POST /batch` is split by owner, fanned out concurrently, and the
+//!   per-shard results are spliced back **in request order** — the
+//!   merged body is byte-identical to a single big registry's.
+//! * `POST /topk` (served by single-registry servers too) evaluates a
+//!   top-k query across many engines; each shard returns its local
+//!   top-k and the router merges by the **pinned total order** of
+//!   [`merge_topk`] — probability descending, then engine name, then
+//!   [`MappingId`] list — so the cross-shard merge is exact and
+//!   byte-identical to the unsharded answer.
+//! * `GET /shards` reports the ring layout plus per-shard footprint,
+//!   evictions, and shed hydrations; `GET /stats` nests each shard's
+//!   full stats body under the front server's own counters.
+//!
+//! # Rebalancing
+//!
+//! [`Router::add_shard`] / [`Router::remove_shard`] rebuild the ring
+//! for the new shard set (rebuild-per-epoch), drop residents from
+//! shards that no longer own them, and let the new owner re-hydrate
+//! from the **shared snapshot directory** on first touch. Because every
+//! shard can hydrate every engine, there is no window where a routed
+//! name 404s mid-rebalance: a request racing the ring swap either
+//! reaches the old owner (which still serves it correctly) or the new
+//! owner (which hydrates it); a request that reaches a *removed* shard
+//! fails the internal hop and is retried once against the fresh ring.
+//!
+//! # Fairness across the hop
+//!
+//! The TCP peer of every shard-bound connection is the router itself,
+//! so shard servers run with
+//! [`ServerConfig::trust_forwarded_client`] and the router forwards the
+//! original client identity as `x-uxm-client` — shard-side per-client
+//! 429s keep binding to the real client. See [`crate::server`].
+
+#![deny(missing_docs)]
+
+use crate::api::Query;
+use crate::error::UxmError;
+use crate::json::Json;
+use crate::mapping::MappingId;
+use crate::registry::{BatchQuery, EngineRegistry, RegistryConfig, RegistryStats};
+use crate::server::{
+    error_body, status_for, Client, Handler, RegistryHandler, Request, Server, ServerConfig,
+    ServerHandle, ServerStats,
+};
+use crate::sync;
+use std::net::{IpAddr, SocketAddr};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use uxm_twig::TwigMatch;
+use uxm_xml::DocNodeId;
+
+// ---------------------------------------------------------------------
+// the ring
+
+/// FNV-1a (64-bit) with a murmur-style avalanche finalizer: a tiny,
+/// dependency-free, stable hash. Both ring point placement and
+/// engine-name lookup use it, so ownership is a pure function of
+/// (shard ids, vnodes, name) — identical across processes and
+/// releases. The finalizer matters: raw FNV-1a of short keys differing
+/// only in the last characters (engine names like `e0001`, vnode keys
+/// like `shard-0/63`) spans a sliver of the 64-bit space, which skews
+/// ring arcs badly; full-width mixing restores a uniform spread.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// A consistent-hash ring: each shard contributes `vnodes` points
+/// (hashes of `"shard-<id>/<v>"`), and an engine name is owned by the
+/// first point at or clockwise-after the name's hash.
+///
+/// Virtual nodes smooth the partition (64 per shard keeps the largest
+/// shard within a few tens of percent of fair share), and consistent
+/// hashing keeps rebalancing minimal: adding a shard moves only the
+/// names whose arc the new points claim.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    vnodes: usize,
+    /// Sorted `(hash, shard_id)` points.
+    points: Vec<(u64, u64)>,
+}
+
+impl Ring {
+    /// Builds the ring for `shard_ids` with `vnodes` points per shard.
+    pub fn build(shard_ids: &[u64], vnodes: usize) -> Ring {
+        let mut points: Vec<(u64, u64)> = shard_ids
+            .iter()
+            .flat_map(|&id| {
+                (0..vnodes).map(move |v| (fnv1a(format!("shard-{id}/{v}").as_bytes()), id))
+            })
+            .collect();
+        // Ties (identical hashes) sort by shard id — deterministic.
+        points.sort_unstable();
+        Ring { vnodes, points }
+    }
+
+    /// The shard owning `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ring; the router never drops below one shard.
+    pub fn owner(&self, name: &str) -> u64 {
+        assert!(!self.points.is_empty(), "ring has no shards");
+        let h = fnv1a(name.as_bytes());
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        self.points[if i == self.points.len() { 0 } else { i }].1
+    }
+
+    /// Points per shard.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Total points on the ring (`shards × vnodes`).
+    pub fn points(&self) -> usize {
+        self.points.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// cross-shard top-k
+
+/// One answer of a cross-engine top-k: an [`crate::api::Answer`]
+/// tagged with the engine that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKAnswer {
+    /// The engine this answer came from.
+    pub engine: String,
+    /// The answer's probability.
+    pub probability: f64,
+    /// The contributing mappings, ascending.
+    pub mappings: Vec<MappingId>,
+    /// The matches of the rewritten query on the document.
+    pub matches: Vec<TwigMatch>,
+}
+
+impl TopKAnswer {
+    /// The canonical JSON form (keys alphabetical:
+    /// `engine < mappings < matches < probability`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("engine".into(), Json::str(&self.engine)),
+            (
+                "mappings".into(),
+                Json::Arr(
+                    self.mappings
+                        .iter()
+                        .map(|m| Json::uint(m.0 as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "matches".into(),
+                Json::Arr(
+                    self.matches
+                        .iter()
+                        .map(|m| {
+                            Json::Arr(m.nodes.iter().map(|n| Json::uint(n.0 as u64)).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+            ("probability".into(), Json::Num(self.probability)),
+        ])
+    }
+
+    /// Parses the canonical form back (the router re-parses shard
+    /// responses to merge them).
+    pub fn from_json(value: &Json) -> Result<TopKAnswer, UxmError> {
+        let Json::Obj(members) = value else {
+            return Err(UxmError::Json("top-k answer must be an object".into()));
+        };
+        let mut engine = None;
+        let mut probability = None;
+        let mut mappings = None;
+        let mut matches = None;
+        for (key, val) in members {
+            match key.as_str() {
+                "engine" => {
+                    engine = Some(
+                        val.as_str()
+                            .ok_or_else(|| UxmError::Json("engine must be a string".into()))?
+                            .to_string(),
+                    )
+                }
+                "probability" => {
+                    probability = Some(
+                        val.as_f64()
+                            .ok_or_else(|| UxmError::Json("probability must be a number".into()))?,
+                    )
+                }
+                "mappings" => {
+                    let arr = val
+                        .as_arr()
+                        .ok_or_else(|| UxmError::Json("mappings must be an array".into()))?;
+                    mappings = Some(
+                        arr.iter()
+                            .map(|v| {
+                                v.as_f64().map(|n| MappingId(n as u32)).ok_or_else(|| {
+                                    UxmError::Json("mapping ids must be numbers".into())
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
+                }
+                "matches" => {
+                    let arr = val
+                        .as_arr()
+                        .ok_or_else(|| UxmError::Json("matches must be an array".into()))?;
+                    matches = Some(
+                        arr.iter()
+                            .map(|m| {
+                                let nodes = m
+                                    .as_arr()
+                                    .ok_or_else(|| {
+                                        UxmError::Json("a match must be an array".into())
+                                    })?
+                                    .iter()
+                                    .map(|n| {
+                                        n.as_f64().map(|n| DocNodeId(n as u32)).ok_or_else(|| {
+                                            UxmError::Json("match nodes must be numbers".into())
+                                        })
+                                    })
+                                    .collect::<Result<Vec<_>, _>>()?;
+                                Ok(TwigMatch { nodes })
+                            })
+                            .collect::<Result<Vec<_>, UxmError>>()?,
+                    );
+                }
+                other => return Err(UxmError::Json(format!("unknown answer member {other:?}"))),
+            }
+        }
+        match (engine, probability, mappings, matches) {
+            (Some(engine), Some(probability), Some(mappings), Some(matches)) => Ok(TopKAnswer {
+                engine,
+                probability,
+                mappings,
+                matches,
+            }),
+            _ => Err(UxmError::Json(
+                "top-k answer needs engine, mappings, matches, probability".into(),
+            )),
+        }
+    }
+}
+
+/// Sorts `answers` by the **pinned cross-engine total order** and keeps
+/// the best `k`:
+///
+/// 1. probability **descending** (IEEE `total_cmp`, so ties are exact);
+/// 2. engine name **ascending**;
+/// 3. contributing [`MappingId`] list **ascending** (lexicographic).
+///
+/// The order is total and the selection associative: the top-k of a
+/// union equals the top-k of the per-shard top-k's, which is what makes
+/// the router's cross-shard merge byte-identical to an unsharded
+/// evaluation. Documented in `docs/wire-format.md`; changing it is a
+/// wire-format break.
+pub fn merge_topk(mut answers: Vec<TopKAnswer>, k: usize) -> Vec<TopKAnswer> {
+    answers.sort_by(|a, b| {
+        b.probability
+            .total_cmp(&a.probability)
+            .then_with(|| a.engine.cmp(&b.engine))
+            .then_with(|| a.mappings.cmp(&b.mappings))
+    });
+    answers.truncate(k);
+    answers
+}
+
+/// The parsed body of `POST /topk`:
+/// `{"engines":[…],"query":{…}}` with `engines` optional (default: all
+/// known engines) and `query` required to be a top-k query.
+pub struct TopKRequest {
+    /// Explicit engine names, when given.
+    pub engines: Option<Vec<String>>,
+    /// The top-k query to run on each engine.
+    pub query: Query,
+    /// The query's `k`.
+    pub k: usize,
+}
+
+impl TopKRequest {
+    /// Strict parse (unknown members rejected, like the rest of the
+    /// wire format).
+    pub fn from_json_str(body: &str) -> Result<TopKRequest, UxmError> {
+        let parsed = Json::parse(body)?;
+        let Json::Obj(members) = &parsed else {
+            return Err(UxmError::Json("topk body must be an object".into()));
+        };
+        let mut engines = None;
+        let mut query = None;
+        for (key, value) in members {
+            match key.as_str() {
+                "engines" => {
+                    let arr = value.as_arr().ok_or_else(|| {
+                        UxmError::Json("engines must be an array of names".into())
+                    })?;
+                    engines = Some(
+                        arr.iter()
+                            .map(|v| {
+                                v.as_str().map(str::to_string).ok_or_else(|| {
+                                    UxmError::Json("engine names must be strings".into())
+                                })
+                            })
+                            .collect::<Result<Vec<String>, _>>()?,
+                    );
+                }
+                "query" => query = Some(Query::from_json(value)?),
+                other => return Err(UxmError::Json(format!("unknown topk member {other:?}"))),
+            }
+        }
+        let query = query.ok_or_else(|| UxmError::Json("topk body needs a \"query\"".into()))?;
+        let Query::TopK { k, .. } = &query else {
+            return Err(UxmError::InvalidQuery(
+                "the /topk endpoint needs a top-k query (kind \"topk\")".into(),
+            ));
+        };
+        let k = *k;
+        Ok(TopKRequest { engines, query, k })
+    }
+
+    /// The canonical sub-request body the router sends each shard:
+    /// the same query with an explicit (sorted) engine subset.
+    fn sub_body(&self, names: &[String]) -> String {
+        Json::Obj(vec![
+            (
+                "engines".into(),
+                Json::Arr(names.iter().map(|n| Json::str(n.as_str())).collect()),
+            ),
+            ("query".into(), self.query.to_json()),
+        ])
+        .to_string()
+    }
+}
+
+/// Renders the canonical `/topk` response body
+/// (`{"answers":[…],"k":…}`).
+fn topk_body(answers: &[TopKAnswer], k: usize) -> String {
+    Json::Obj(vec![
+        (
+            "answers".into(),
+            Json::Arr(answers.iter().map(TopKAnswer::to_json).collect()),
+        ),
+        ("k".into(), Json::uint(k as u64)),
+    ])
+    .to_string()
+}
+
+/// Evaluates a `/topk` request against one registry — the
+/// single-registry server's handler, and what each shard runs for the
+/// router's fan-out. Engines are resolved in sorted, deduplicated name
+/// order (so failures are deterministic), evaluated one by one, and
+/// merged with [`merge_topk`].
+pub(crate) fn topk_over_registry(
+    registry: &EngineRegistry,
+    body: &str,
+) -> Result<String, UxmError> {
+    let request = TopKRequest::from_json_str(body)?;
+    let names = match &request.engines {
+        Some(explicit) => {
+            let mut names = explicit.clone();
+            names.sort();
+            names.dedup();
+            names
+        }
+        None => known_names(registry),
+    };
+    let mut all = Vec::new();
+    for name in &names {
+        let engine = registry.fetch(name)?;
+        let response = engine.run(&request.query)?;
+        all.extend(response.answers.iter().map(|a| TopKAnswer {
+            engine: name.clone(),
+            probability: a.probability,
+            mappings: a.mappings.clone(),
+            matches: a.matches.clone(),
+        }));
+    }
+    Ok(topk_body(&merge_topk(all, request.k), request.k))
+}
+
+/// Every name `registry` can serve: resident engines plus hydratable
+/// snapshots, sorted and deduplicated.
+fn known_names(registry: &EngineRegistry) -> Vec<String> {
+    let mut names = registry.names();
+    names.extend(registry.snapshot_names());
+    names.sort();
+    names.dedup();
+    names
+}
+
+// ---------------------------------------------------------------------
+// the router
+
+/// Router tuning knobs.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// How many shards to spawn at start. Must be at least 1.
+    pub shards: usize,
+    /// Virtual nodes per shard on the [`Ring`]. Default 64.
+    pub vnodes: usize,
+    /// The per-shard registry configuration — note
+    /// [`RegistryConfig::memory_budget`] is **per shard**, so a cluster
+    /// budget of B over N shards wants `B / N` here.
+    pub registry: RegistryConfig,
+    /// The per-shard server configuration (workers, queue depth,
+    /// per-client cap enforced on the forwarded identity, …).
+    /// `trust_forwarded_client` is forced on and `debug_panic_route`
+    /// off, whatever this says.
+    pub shard_server: ServerConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            shards: 2,
+            vnodes: 64,
+            registry: RegistryConfig::default(),
+            shard_server: ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        }
+    }
+}
+
+/// Pooled internal connections kept per shard.
+const POOL_MAX: usize = 8;
+
+/// One shard: a loopback [`Server`] over its own registry.
+struct Shard {
+    /// Monotonic, never reused — removed ids stay dead.
+    id: u64,
+    registry: Arc<EngineRegistry>,
+    addr: SocketAddr,
+    handle: Mutex<Option<ServerHandle>>,
+    /// Idle internal connections, reused across requests.
+    pool: Mutex<Vec<Client>>,
+}
+
+/// The shard set and its ring, swapped atomically per epoch.
+struct State {
+    shards: Vec<Arc<Shard>>,
+    ring: Ring,
+}
+
+/// The scatter-gather front over N shard registries. See the module
+/// docs for the architecture; construct with [`Router::start`], serve
+/// with [`Router::bind`], reshape with [`Router::add_shard`] /
+/// [`Router::remove_shard`].
+pub struct Router {
+    snapshot_dir: PathBuf,
+    config: RouterConfig,
+    state: RwLock<State>,
+    next_id: AtomicU64,
+}
+
+impl Router {
+    /// Spawns `config.shards` shard servers over `snapshot_dir` (every
+    /// shard hydrates from the same directory) and builds the ring.
+    pub fn start(
+        snapshot_dir: impl Into<PathBuf>,
+        config: RouterConfig,
+    ) -> Result<Arc<Router>, UxmError> {
+        if config.shards == 0 {
+            return Err(UxmError::Usage("a router needs at least 1 shard".into()));
+        }
+        let vnodes = config.vnodes.max(1);
+        let router = Arc::new(Router {
+            snapshot_dir: snapshot_dir.into(),
+            config,
+            state: RwLock::new(State {
+                shards: Vec::new(),
+                ring: Ring::build(&[], vnodes),
+            }),
+            next_id: AtomicU64::new(0),
+        });
+        let mut shards = Vec::new();
+        for _ in 0..router.config.shards {
+            shards.push(router.spawn_shard()?);
+        }
+        let ids: Vec<u64> = shards.iter().map(|s| s.id).collect();
+        *sync::write(&router.state) = State {
+            ring: Ring::build(&ids, vnodes),
+            shards,
+        };
+        Ok(router)
+    }
+
+    /// Binds the front server on `addr`. The front faces real clients,
+    /// so `trust_forwarded_client` is forced **off** regardless of
+    /// `config`; the router itself forwards each client's identity on
+    /// the internal hop.
+    pub fn bind(
+        self: &Arc<Self>,
+        addr: impl std::net::ToSocketAddrs + std::fmt::Display,
+        mut config: ServerConfig,
+    ) -> Result<Server, UxmError> {
+        config.trust_forwarded_client = false;
+        Server::bind_handler(
+            Arc::new(RouterHandler {
+                router: Arc::clone(self),
+            }),
+            addr,
+            config,
+        )
+    }
+
+    fn spawn_shard(&self) -> Result<Arc<Shard>, UxmError> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let registry = Arc::new(
+            EngineRegistry::with_config(self.config.registry.clone())
+                .snapshot_dir(&self.snapshot_dir),
+        );
+        let mut server_config = self.config.shard_server.clone();
+        server_config.trust_forwarded_client = true;
+        server_config.debug_panic_route = false;
+        let server = Server::bind_handler(
+            Arc::new(RegistryHandler {
+                registry: Arc::clone(&registry),
+            }),
+            "127.0.0.1:0",
+            server_config,
+        )?;
+        let addr = server.local_addr();
+        let handle = server.start();
+        Ok(Arc::new(Shard {
+            id,
+            registry,
+            addr,
+            handle: Mutex::new(Some(handle)),
+            pool: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// Current shard ids, ascending.
+    pub fn shard_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = sync::read(&self.state)
+            .shards
+            .iter()
+            .map(|s| s.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Current shard count.
+    pub fn shard_count(&self) -> usize {
+        sync::read(&self.state).shards.len()
+    }
+
+    /// `(id, loopback address)` per shard — how tests reach a shard
+    /// server directly.
+    pub fn shard_addrs(&self) -> Vec<(u64, SocketAddr)> {
+        let mut addrs: Vec<(u64, SocketAddr)> = sync::read(&self.state)
+            .shards
+            .iter()
+            .map(|s| (s.id, s.addr))
+            .collect();
+        addrs.sort_unstable_by_key(|&(id, _)| id);
+        addrs
+    }
+
+    /// Per-shard registry accounting, ascending by shard id — what the
+    /// soak harness samples for per-shard footprint and shed counters.
+    pub fn shard_stats(&self) -> Vec<(u64, RegistryStats)> {
+        let mut stats: Vec<(u64, RegistryStats)> = sync::read(&self.state)
+            .shards
+            .iter()
+            .map(|s| (s.id, s.registry.stats()))
+            .collect();
+        stats.sort_unstable_by_key(|&(id, _)| id);
+        stats
+    }
+
+    /// The shard currently owning `name`.
+    pub fn owner(&self, name: &str) -> u64 {
+        sync::read(&self.state).ring.owner(name)
+    }
+
+    /// Every name the cluster can serve (resident anywhere or
+    /// snapshotted), sorted.
+    pub fn known_names(&self) -> Vec<String> {
+        let st = sync::read(&self.state);
+        let mut names: Vec<String> = st.shards.iter().flat_map(|s| s.registry.names()).collect();
+        if let Some(first) = st.shards.first() {
+            names.extend(first.registry.snapshot_names());
+        }
+        drop(st);
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Adds one shard: spawns it, rebuilds the ring, and drops
+    /// now-misplaced residents so the new owners re-hydrate from the
+    /// shared snapshot directory on first touch. Returns the new
+    /// shard's id.
+    pub fn add_shard(&self) -> Result<u64, UxmError> {
+        let shard = self.spawn_shard()?;
+        let id = shard.id;
+        let mut st = sync::write(&self.state);
+        st.shards.push(shard);
+        let ids: Vec<u64> = st.shards.iter().map(|s| s.id).collect();
+        st.ring = Ring::build(&ids, self.config.vnodes.max(1));
+        Self::drop_misplaced(&st);
+        Ok(id)
+    }
+
+    /// Removes shard `id`: rebuilds the ring without it, drops
+    /// misplaced residents, then shuts the shard's server down
+    /// (gracefully, outside the state lock). In-flight requests routed
+    /// to the removed shard fail the internal hop and are retried once
+    /// against the fresh ring. The last shard cannot be removed.
+    pub fn remove_shard(&self, id: u64) -> Result<(), UxmError> {
+        let removed = {
+            let mut st = sync::write(&self.state);
+            if st.shards.len() <= 1 {
+                return Err(UxmError::Usage("cannot remove the last shard".into()));
+            }
+            let Some(pos) = st.shards.iter().position(|s| s.id == id) else {
+                return Err(UxmError::ShardUnavailable {
+                    shard: id,
+                    reason: "no such shard".into(),
+                });
+            };
+            let removed = st.shards.remove(pos);
+            let ids: Vec<u64> = st.shards.iter().map(|s| s.id).collect();
+            st.ring = Ring::build(&ids, self.config.vnodes.max(1));
+            Self::drop_misplaced(&st);
+            removed
+        };
+        // Drop pooled connections first so the server's workers see the
+        // closes and exit promptly.
+        sync::lock(&removed.pool).clear();
+        if let Some(handle) = sync::lock(&removed.handle).take() {
+            handle.shutdown();
+        }
+        Ok(())
+    }
+
+    /// Shuts every shard server down (graceful). The front server's
+    /// handle is owned by the caller of [`Router::bind`].
+    pub fn shutdown(&self) {
+        let shards: Vec<Arc<Shard>> = sync::read(&self.state).shards.clone();
+        for shard in shards {
+            sync::lock(&shard.pool).clear();
+            if let Some(handle) = sync::lock(&shard.handle).take() {
+                handle.shutdown();
+            }
+        }
+    }
+
+    /// Evicts residents from shards that no longer own them under the
+    /// current ring (the re-hydration half of a rebalance is lazy).
+    fn drop_misplaced(st: &State) {
+        for shard in &st.shards {
+            for name in shard.registry.names() {
+                if st.ring.owner(&name) != shard.id {
+                    shard.registry.remove(&name);
+                }
+            }
+        }
+    }
+
+    // -- the internal hop ---------------------------------------------
+
+    /// One request over the internal hop to `shard`, forwarding the
+    /// original client identity. Pools idle connections; a transport
+    /// failure on a (possibly stale) pooled connection is retried once
+    /// on a fresh one before reporting the shard unavailable.
+    fn call_shard(
+        &self,
+        shard: &Shard,
+        path: &str,
+        body: Option<&str>,
+        forward: Option<IpAddr>,
+    ) -> Result<(u16, String), UxmError> {
+        let unavailable = |e: &UxmError| UxmError::ShardUnavailable {
+            shard: shard.id,
+            reason: e.to_string(),
+        };
+        for fresh in [false, true] {
+            let pooled = if fresh {
+                None
+            } else {
+                sync::lock(&shard.pool).pop()
+            };
+            let mut client = match pooled {
+                Some(client) => client,
+                None => match Client::connect(shard.addr) {
+                    Ok(client) => client,
+                    Err(e) if fresh => return Err(unavailable(&e)),
+                    Err(_) => continue,
+                },
+            };
+            client.set_forward_client(forward);
+            let result = match body {
+                Some(body) => client.post(path, body),
+                None => client.get(path),
+            };
+            match result {
+                Ok((status, response)) => {
+                    // Only pool connections the shard will keep open:
+                    // error paths (shed, rebind refusal, panic) close.
+                    if status < 400 {
+                        let mut pool = sync::lock(&shard.pool);
+                        if pool.len() < POOL_MAX {
+                            client.set_forward_client(None);
+                            pool.push(client);
+                        }
+                    }
+                    return Ok((status, response));
+                }
+                Err(e) if fresh => return Err(unavailable(&e)),
+                Err(_) => {}
+            }
+        }
+        unreachable!("second attempt returns")
+    }
+
+    /// `POST /query/<engine>`: forward to the owner, relay verbatim.
+    /// A hop failure re-resolves the ring once (the owner may have
+    /// just been removed) before reporting 503.
+    fn proxy_query(&self, name: &str, body: &str, forward: Option<IpAddr>) -> (u16, String) {
+        let path = format!("/query/{name}");
+        let mut last = None;
+        for _ in 0..2 {
+            let shard = {
+                let st = sync::read(&self.state);
+                let id = st.ring.owner(name);
+                st.shards
+                    .iter()
+                    .find(|s| s.id == id)
+                    .cloned()
+                    .expect("ring ids are current shards")
+            };
+            match self.call_shard(&shard, &path, Some(body), forward) {
+                Ok(response) => return response,
+                Err(e) => last = Some(e),
+            }
+        }
+        let e = last.expect("loop ran");
+        (status_for(&e), error_body(&e))
+    }
+
+    /// `POST /batch`: split by owner, fan out concurrently, splice the
+    /// per-shard results back in request order. A shard-level refusal
+    /// (non-200) fails the whole batch with that shard's typed body; a
+    /// hop failure retries the whole batch once against the fresh ring.
+    fn proxy_batch(&self, body: &str, forward: Option<IpAddr>) -> (u16, String) {
+        let inner = || -> Result<(u16, String), UxmError> {
+            let parsed = Json::parse(body)?;
+            let items = parsed
+                .as_arr()
+                .ok_or_else(|| UxmError::Json("batch body must be a JSON array".into()))?;
+            let queries = items
+                .iter()
+                .map(BatchQuery::from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut last = None;
+            'attempt: for _ in 0..2 {
+                // Group request indices by owning shard, preserving
+                // request order within each group.
+                let mut groups: Vec<(Arc<Shard>, Vec<usize>)> = Vec::new();
+                {
+                    let st = sync::read(&self.state);
+                    for (i, q) in queries.iter().enumerate() {
+                        let id = st.ring.owner(&q.engine);
+                        match groups.iter_mut().find(|(s, _)| s.id == id) {
+                            Some((_, idxs)) => idxs.push(i),
+                            None => {
+                                let shard = st
+                                    .shards
+                                    .iter()
+                                    .find(|s| s.id == id)
+                                    .cloned()
+                                    .expect("ring ids are current shards");
+                                groups.push((shard, vec![i]));
+                            }
+                        }
+                    }
+                }
+                let bodies: Vec<String> = groups
+                    .iter()
+                    .map(|(_, idxs)| {
+                        Json::Arr(idxs.iter().map(|&i| queries[i].to_json()).collect()).to_string()
+                    })
+                    .collect();
+                let results: Vec<Result<(u16, String), UxmError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = groups
+                        .iter()
+                        .zip(&bodies)
+                        .map(|((shard, _), sub)| {
+                            scope
+                                .spawn(move || self.call_shard(shard, "/batch", Some(sub), forward))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|_| {
+                                Err(UxmError::Internal("batch fan-out thread panicked".into()))
+                            })
+                        })
+                        .collect()
+                });
+                let mut out: Vec<Option<Json>> = (0..queries.len()).map(|_| None).collect();
+                for ((shard, idxs), result) in groups.iter().zip(results) {
+                    match result {
+                        Err(e @ UxmError::ShardUnavailable { .. }) => {
+                            last = Some(e);
+                            continue 'attempt;
+                        }
+                        Err(e) => return Err(e),
+                        Ok((200, sub_body)) => {
+                            let sub = Json::parse(&sub_body)?;
+                            let list =
+                                sub.get("results").and_then(Json::as_arr).ok_or_else(|| {
+                                    UxmError::Internal(format!(
+                                        "shard {} returned a malformed batch body",
+                                        shard.id
+                                    ))
+                                })?;
+                            if list.len() != idxs.len() {
+                                return Err(UxmError::Internal(format!(
+                                    "shard {} returned {} results for {} requests",
+                                    shard.id,
+                                    list.len(),
+                                    idxs.len()
+                                )));
+                            }
+                            for (&i, item) in idxs.iter().zip(list) {
+                                out[i] = Some(item.clone());
+                            }
+                        }
+                        // A shard-level refusal fails the whole batch
+                        // with the shard's own typed body.
+                        Ok(other) => return Ok(other),
+                    }
+                }
+                let results: Vec<Json> = out.into_iter().map(|r| r.expect("spliced")).collect();
+                return Ok((
+                    200,
+                    Json::Obj(vec![("results".into(), Json::Arr(results))]).to_string(),
+                ));
+            }
+            Err(last.expect("attempts exhausted"))
+        };
+        match inner() {
+            Ok(response) => response,
+            Err(e) => (status_for(&e), error_body(&e)),
+        }
+    }
+
+    /// `POST /topk`: validate names against the cluster's known set,
+    /// fan explicit per-shard subsets out, and [`merge_topk`] the
+    /// shard-local top-k's — exact, because the pinned order is total
+    /// and selection under it is associative.
+    fn proxy_topk(&self, body: &str, forward: Option<IpAddr>) -> (u16, String) {
+        let inner = || -> Result<(u16, String), UxmError> {
+            let request = TopKRequest::from_json_str(body)?;
+            let known = self.known_names();
+            let names = match &request.engines {
+                Some(explicit) => {
+                    let mut names = explicit.clone();
+                    names.sort();
+                    names.dedup();
+                    // Deterministic parity with the single registry,
+                    // which fetches in sorted order and fails on the
+                    // first missing name.
+                    if let Some(missing) = names.iter().find(|n| !known.contains(n)) {
+                        return Err(UxmError::UnknownEngine(missing.clone()));
+                    }
+                    names
+                }
+                None => known,
+            };
+            let mut last = None;
+            'attempt: for _ in 0..2 {
+                let mut groups: Vec<(Arc<Shard>, Vec<String>)> = Vec::new();
+                {
+                    let st = sync::read(&self.state);
+                    for name in &names {
+                        let id = st.ring.owner(name);
+                        match groups.iter_mut().find(|(s, _)| s.id == id) {
+                            Some((_, group)) => group.push(name.clone()),
+                            None => {
+                                let shard = st
+                                    .shards
+                                    .iter()
+                                    .find(|s| s.id == id)
+                                    .cloned()
+                                    .expect("ring ids are current shards");
+                                groups.push((shard, vec![name.clone()]));
+                            }
+                        }
+                    }
+                }
+                let bodies: Vec<String> = groups.iter().map(|(_, g)| request.sub_body(g)).collect();
+                let results: Vec<Result<(u16, String), UxmError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = groups
+                        .iter()
+                        .zip(&bodies)
+                        .map(|((shard, _), sub)| {
+                            scope.spawn(move || self.call_shard(shard, "/topk", Some(sub), forward))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|_| {
+                                Err(UxmError::Internal("topk fan-out thread panicked".into()))
+                            })
+                        })
+                        .collect()
+                });
+                let mut all = Vec::new();
+                for ((shard, _), result) in groups.iter().zip(results) {
+                    match result {
+                        Err(e @ UxmError::ShardUnavailable { .. }) => {
+                            last = Some(e);
+                            continue 'attempt;
+                        }
+                        Err(e) => return Err(e),
+                        Ok((200, sub_body)) => {
+                            let sub = Json::parse(&sub_body)?;
+                            let answers =
+                                sub.get("answers").and_then(Json::as_arr).ok_or_else(|| {
+                                    UxmError::Internal(format!(
+                                        "shard {} returned a malformed topk body",
+                                        shard.id
+                                    ))
+                                })?;
+                            for a in answers {
+                                all.push(TopKAnswer::from_json(a)?);
+                            }
+                        }
+                        Ok(other) => return Ok(other),
+                    }
+                }
+                let merged = merge_topk(all, request.k);
+                return Ok((200, topk_body(&merged, request.k)));
+            }
+            Err(last.expect("attempts exhausted"))
+        };
+        match inner() {
+            Ok(response) => response,
+            Err(e) => (status_for(&e), error_body(&e)),
+        }
+    }
+
+    // -- observability ------------------------------------------------
+
+    /// `GET /shards`: the ring layout plus per-shard ownership and
+    /// registry accounting (footprint, evictions, shed hydrations).
+    fn shards_body(&self) -> String {
+        let (shards, ring) = {
+            let st = sync::read(&self.state);
+            (st.shards.clone(), st.ring.clone())
+        };
+        let known = self.known_names();
+        let mut entries: Vec<(u64, Json)> = shards
+            .iter()
+            .map(|shard| {
+                let stats = shard.registry.stats();
+                let owned: Vec<Json> = known
+                    .iter()
+                    .filter(|n| ring.owner(n) == shard.id)
+                    .map(|n| Json::str(n.as_str()))
+                    .collect();
+                let entry = Json::Obj(vec![
+                    ("addr".into(), Json::str(shard.addr.to_string())),
+                    ("engines".into(), Json::Arr(owned)),
+                    ("evictions".into(), Json::uint(stats.evictions)),
+                    (
+                        "footprint_bytes".into(),
+                        Json::uint(stats.footprint_bytes() as u64),
+                    ),
+                    ("id".into(), Json::uint(shard.id)),
+                    (
+                        "resident_bytes".into(),
+                        Json::uint(stats.resident_bytes as u64),
+                    ),
+                    (
+                        "resident_engines".into(),
+                        Json::uint(stats.resident_engines as u64),
+                    ),
+                    ("shed_hydrations".into(), Json::uint(stats.shed_hydrations)),
+                    (
+                        "unreclaimed_bytes".into(),
+                        Json::uint(stats.unreclaimed_bytes as u64),
+                    ),
+                ]);
+                (shard.id, entry)
+            })
+            .collect();
+        entries.sort_by_key(|&(id, _)| id);
+        Json::Obj(vec![
+            (
+                "ring".into(),
+                Json::Obj(vec![
+                    ("points".into(), Json::uint(ring.points() as u64)),
+                    ("vnodes".into(), Json::uint(ring.vnodes() as u64)),
+                ]),
+            ),
+            (
+                "shards".into(),
+                Json::Arr(entries.into_iter().map(|(_, e)| e).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// The router's `GET /stats`: the front server's own counters plus
+    /// each shard's full stats body (fetched over the internal hop) as
+    /// a per-shard breakdown. An unreachable shard reports `null`.
+    fn stats_body(&self, stats: &ServerStats) -> String {
+        let front = stats.to_json();
+        let server = front.get("server").cloned().unwrap_or(Json::Null);
+        let shards: Vec<Arc<Shard>> = sync::read(&self.state).shards.clone();
+        let mut entries: Vec<(u64, Json)> = shards
+            .iter()
+            .map(|shard| {
+                let body = match self.call_shard(shard, "/stats", None, None) {
+                    Ok((200, body)) => Json::parse(&body).unwrap_or(Json::Null),
+                    _ => Json::Null,
+                };
+                (
+                    shard.id,
+                    Json::Obj(vec![
+                        ("id".into(), Json::uint(shard.id)),
+                        ("stats".into(), body),
+                    ]),
+                )
+            })
+            .collect();
+        entries.sort_by_key(|&(id, _)| id);
+        Json::Obj(vec![
+            ("server".into(), server),
+            (
+                "shards".into(),
+                Json::Arr(entries.into_iter().map(|(_, e)| e).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// The router's `GET /engines`: every known name with its owning
+    /// shard and whether the owner has it resident, plus cluster-wide
+    /// totals.
+    fn engines_body(&self) -> String {
+        let (shards, ring) = {
+            let st = sync::read(&self.state);
+            (st.shards.clone(), st.ring.clone())
+        };
+        let known = self.known_names();
+        let entries: Vec<Json> = known
+            .iter()
+            .map(|name| {
+                let owner = ring.owner(name);
+                let resident = shards
+                    .iter()
+                    .find(|s| s.id == owner)
+                    .is_some_and(|s| s.registry.get(name).is_some());
+                Json::Obj(vec![
+                    ("name".into(), Json::str(name.as_str())),
+                    ("resident".into(), Json::Bool(resident)),
+                    ("shard".into(), Json::uint(owner)),
+                ])
+            })
+            .collect();
+        let mut evictions = 0u64;
+        let mut resident_bytes = 0u64;
+        let mut unreclaimed = 0u64;
+        for shard in &shards {
+            let stats = shard.registry.stats();
+            evictions += stats.evictions;
+            resident_bytes += stats.resident_bytes as u64;
+            unreclaimed += stats.unreclaimed_bytes as u64;
+        }
+        Json::Obj(vec![
+            ("engines".into(), Json::Arr(entries)),
+            ("evictions".into(), Json::uint(evictions)),
+            ("resident_bytes".into(), Json::uint(resident_bytes)),
+            ("unreclaimed_bytes".into(), Json::uint(unreclaimed)),
+        ])
+        .to_string()
+    }
+}
+
+/// The front server's routing: scatter-gather over the shard set.
+struct RouterHandler {
+    router: Arc<Router>,
+}
+
+impl Handler for RouterHandler {
+    fn handle(
+        &self,
+        stats: &ServerStats,
+        _config: &ServerConfig,
+        client: Option<IpAddr>,
+        request: &Request,
+    ) -> (u16, String) {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/shards") => (200, self.router.shards_body()),
+            ("GET", "/stats") => (200, self.router.stats_body(stats)),
+            ("GET", "/engines") => (200, self.router.engines_body()),
+            ("POST", "/topk") => self.router.proxy_topk(&request.body, client),
+            ("POST", "/batch") => self.router.proxy_batch(&request.body, client),
+            ("POST", path) if path.starts_with("/query/") => {
+                let name = &path["/query/".len()..];
+                if name.is_empty() {
+                    let e = UxmError::UnknownEngine(String::new());
+                    return (status_for(&e), error_body(&e));
+                }
+                self.router.proxy_query(name, &request.body, client)
+            }
+            ("GET" | "POST", _) => {
+                let e = UxmError::Usage(format!(
+                    "no route {} {} (POST /query/<engine>, POST /batch, POST /topk, \
+                     GET /engines|/stats|/shards|/healthz)",
+                    request.method, request.path
+                ));
+                (404, error_body(&e))
+            }
+            (method, _) => {
+                let e = UxmError::Usage(format!("method {method} not allowed"));
+                (405, error_body(&e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_ownership_is_deterministic() {
+        let a = Ring::build(&[0, 1, 2], 64);
+        let b = Ring::build(&[0, 1, 2], 64);
+        for name in ["orders", "po", "e0001", "catalog", ""] {
+            assert_eq!(a.owner(name), b.owner(name));
+        }
+        assert_eq!(a.points(), 3 * 64);
+        assert_eq!(a.vnodes(), 64);
+    }
+
+    #[test]
+    fn ring_spreads_names_across_shards() {
+        let ring = Ring::build(&[0, 1, 2, 3], 64);
+        let mut per_shard = [0usize; 4];
+        for i in 0..1000 {
+            per_shard[ring.owner(&format!("e{i:04}")) as usize] += 1;
+        }
+        for (id, &count) in per_shard.iter().enumerate() {
+            assert!(
+                count > 50,
+                "shard {id} owns only {count}/1000 names: {per_shard:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_growth_moves_only_some_names() {
+        let before = Ring::build(&[0, 1], 64);
+        let after = Ring::build(&[0, 1, 2], 64);
+        let names: Vec<String> = (0..1000).map(|i| format!("e{i:04}")).collect();
+        let moved = names
+            .iter()
+            .filter(|n| before.owner(n) != after.owner(n))
+            .count();
+        // Consistent hashing: only the arcs claimed by the new shard
+        // move — roughly 1/3 of names, never anywhere near all of them.
+        assert!(moved > 0, "a new shard must claim something");
+        assert!(
+            moved < 600,
+            "{moved}/1000 names moved — ring is not consistent"
+        );
+        // Names that moved all moved *to* the new shard.
+        for name in &names {
+            if before.owner(name) != after.owner(name) {
+                assert_eq!(after.owner(name), 2, "{name} moved to an old shard");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_topk_pins_the_total_order() {
+        let answer = |engine: &str, p: f64, mapping: u32| TopKAnswer {
+            engine: engine.into(),
+            probability: p,
+            mappings: vec![MappingId(mapping)],
+            matches: vec![],
+        };
+        let merged = merge_topk(
+            vec![
+                answer("b", 0.5, 0),
+                answer("a", 0.5, 1),
+                answer("a", 0.5, 0),
+                answer("c", 0.9, 7),
+                answer("b", 0.1, 2),
+            ],
+            4,
+        );
+        let order: Vec<(String, f64, u32)> = merged
+            .iter()
+            .map(|a| (a.engine.clone(), a.probability, a.mappings[0].0))
+            .collect();
+        // Probability desc, then engine asc, then mappings asc; k=4
+        // cuts the 0.1 tail.
+        assert_eq!(
+            order,
+            vec![
+                ("c".into(), 0.9, 7),
+                ("a".into(), 0.5, 0),
+                ("a".into(), 0.5, 1),
+                ("b".into(), 0.5, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_topk_is_associative() {
+        // top-k(union) == top-k(top-k(left) ∪ top-k(right)) — the
+        // property the cross-shard merge relies on.
+        let mk = |engine: &str, p: f64, m: u32| TopKAnswer {
+            engine: engine.into(),
+            probability: p,
+            mappings: vec![MappingId(m)],
+            matches: vec![],
+        };
+        let left = vec![mk("a", 0.9, 0), mk("a", 0.4, 1), mk("a", 0.2, 2)];
+        let right = vec![mk("b", 0.8, 0), mk("b", 0.4, 1), mk("b", 0.1, 2)];
+        let k = 3;
+        let mut union = left.clone();
+        union.extend(right.clone());
+        let direct = merge_topk(union, k);
+        let mut pre = merge_topk(left, k);
+        pre.extend(merge_topk(right, k));
+        let nested = merge_topk(pre, k);
+        assert_eq!(direct, nested);
+    }
+
+    #[test]
+    fn topk_answer_round_trips_canonically() {
+        let a = TopKAnswer {
+            engine: "orders".into(),
+            probability: 0.125,
+            mappings: vec![MappingId(0), MappingId(3)],
+            matches: vec![TwigMatch {
+                nodes: vec![DocNodeId(1), DocNodeId(5)],
+            }],
+        };
+        let body = a.to_json().to_string();
+        assert_eq!(
+            body,
+            "{\"engine\":\"orders\",\"mappings\":[0,3],\"matches\":[[1,5]],\"probability\":0.125}"
+        );
+        let back = TopKAnswer::from_json(&Json::parse(&body).unwrap()).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.to_json().to_string(), body);
+    }
+
+    #[test]
+    fn topk_request_is_strict() {
+        assert!(TopKRequest::from_json_str("[]").is_err());
+        assert!(TopKRequest::from_json_str("{}").is_err());
+        assert!(TopKRequest::from_json_str("{\"bogus\":1}").is_err());
+        // A non-topk query is rejected with invalid-query.
+        let q = Query::ptq(uxm_twig::TwigPattern::parse("A//B").unwrap());
+        let body = Json::Obj(vec![("query".into(), q.to_json())]).to_string();
+        assert!(matches!(
+            TopKRequest::from_json_str(&body),
+            Err(UxmError::InvalidQuery(_))
+        ));
+        let q = Query::topk(uxm_twig::TwigPattern::parse("A//B").unwrap(), 5);
+        let body = Json::Obj(vec![
+            ("engines".into(), Json::Arr(vec![Json::str("x")])),
+            ("query".into(), q.to_json()),
+        ])
+        .to_string();
+        let parsed = TopKRequest::from_json_str(&body).unwrap();
+        assert_eq!(parsed.k, 5);
+        assert_eq!(parsed.engines.as_deref(), Some(&["x".to_string()][..]));
+    }
+}

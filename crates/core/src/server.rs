@@ -18,9 +18,16 @@
 //! |------------------------|------------------------------|----------|
 //! | `POST /query/<engine>` | one [`Query`] | one [`QueryResponse`](crate::api::QueryResponse): `run()`'s response, its `answers` byte-identical to a direct run |
 //! | `POST /batch`          | JSON array of `{"engine":…,"query":…}` | `{"results":[…]}`, one response or error object per request |
+//! | `POST /topk`           | `{"engines":[…],"query":…}` (top-k query; `engines` optional) | `{"answers":[…],"k":…}` — the best *k* answers across the named (default: all known) engines in the pinned cross-engine order (see [`crate::router`]) |
 //! | `GET /engines`         | —                            | registry listing with `approx_bytes`, eviction count, on-disk snapshots |
 //! | `GET /stats`           | —                            | per-engine request/plan/cache aggregates + latency percentiles |
 //! | `GET /healthz`         | —                            | `{"status":"ok"}` |
+//!
+//! The same serving shell (accept loop, worker pool, admission control,
+//! panic containment) also fronts the sharded deployment: a
+//! [`crate::router::Router`] binds it over a scatter-gather handler
+//! instead of a registry, adding `GET /shards` and routing everything
+//! else to per-shard servers over loopback.
 //!
 //! Failures never panic a worker: every error is a typed
 //! [`UxmError`] rendered as `{"error":{"kind":…,"message":…}}` with the
@@ -45,6 +52,12 @@
 //! * a registry whose working set exceeds its memory budget refuses
 //!   cold hydrations with **503** while evictions are thrashing (see
 //!   [`crate::registry::RegistryConfig::thrash_evictions`]).
+//!
+//! Behind a router, the TCP peer of every shard-bound connection is the
+//! router itself (loopback), so shard servers run with
+//! [`ServerConfig::trust_forwarded_client`] set and bind the per-client
+//! cap to the `x-uxm-client` identity the router forwards with each
+//! request — 429s keep naming the real client, not the hop.
 //!
 //! Shed counts and contained panics are reported in the `"server"`
 //! section of `GET /stats`; registry memory accounting (including
@@ -158,6 +171,18 @@ pub struct ServerConfig {
     /// tests and the soak harness can prove that. Off by default and
     /// never enabled by `uxm serve`.
     pub debug_panic_route: bool,
+    /// Trust the `x-uxm-client` request header as the client identity
+    /// for the per-client cap. Meant **only** for servers reached
+    /// exclusively through a trusted hop — the router's internal shard
+    /// servers, whose TCP peer is always the router on loopback. When
+    /// set, connections are not capped at accept time (the identity
+    /// arrives with the first request); instead each request re-binds
+    /// the connection's per-client slot to the forwarded identity, and
+    /// an identity already holding [`ServerConfig::max_conns_per_client`]
+    /// slots is answered with a typed 429. Never enable it on a server
+    /// that untrusted clients can reach directly: the header is
+    /// client-controlled there. Default `false`.
+    pub trust_forwarded_client: bool,
 }
 
 impl Default for ServerConfig {
@@ -170,6 +195,7 @@ impl Default for ServerConfig {
             max_conns_per_client: 256,
             retry_after_ms: 250,
             debug_panic_route: false,
+            trust_forwarded_client: false,
         }
     }
 }
@@ -375,7 +401,7 @@ impl EngineCounters {
 /// on their first *successfully resolved* request — requests naming
 /// unknown engines only count server-wide, so garbage names cannot grow
 /// the map without bound.
-struct ServerStats {
+pub(crate) struct ServerStats {
     connections: AtomicU64,
     requests: AtomicU64,
     http_errors: AtomicU64,
@@ -444,7 +470,7 @@ impl ServerStats {
         }
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         let map = sync::read(&self.engines);
         let mut names: Vec<&String> = map.keys().collect();
         names.sort();
@@ -500,8 +526,27 @@ struct Queue {
     closed: bool,
 }
 
+/// The routing half of a server: maps one parsed request to a status
+/// and a canonical-JSON body. The registry server
+/// ([`RegistryHandler`]) and the shard router
+/// ([`crate::router::Router`]) plug into the same serving shell
+/// (accept loop, worker pool, admission control, panic containment)
+/// through this trait. `client` is the connection's accounting
+/// identity — the TCP peer, or the forwarded identity after a re-bind —
+/// which the router forwards on its internal hop.
+pub(crate) trait Handler: Send + Sync + 'static {
+    /// Routes one request.
+    fn handle(
+        &self,
+        stats: &ServerStats,
+        config: &ServerConfig,
+        client: Option<IpAddr>,
+        request: &Request,
+    ) -> (u16, String);
+}
+
 struct Shared {
-    registry: Arc<EngineRegistry>,
+    handler: Arc<dyn Handler>,
     config: ServerConfig,
     stats: ServerStats,
     queue: Mutex<Queue>,
@@ -540,11 +585,21 @@ impl Server {
         addr: impl ToSocketAddrs + std::fmt::Display,
         config: ServerConfig,
     ) -> Result<Server, UxmError> {
+        Server::bind_handler(Arc::new(RegistryHandler { registry }), addr, config)
+    }
+
+    /// [`Server::bind`] over any [`Handler`] — how the router reuses
+    /// the serving shell with its own routing.
+    pub(crate) fn bind_handler(
+        handler: Arc<dyn Handler>,
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        config: ServerConfig,
+    ) -> Result<Server, UxmError> {
         let listener = TcpListener::bind(&addr).map_err(|e| UxmError::io(&addr, e))?;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                registry,
+                handler,
                 config,
                 stats: ServerStats::new(),
                 queue: Mutex::new(Queue {
@@ -654,29 +709,31 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             continue;
         };
         shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-        let ip = Some(peer.ip());
+        // Behind a trusted hop the TCP peer is always the router on
+        // loopback; the real identity arrives per request in
+        // `x-uxm-client`, so the cap is enforced at request time
+        // (see `serve_connection`) instead of here.
+        let ip = if shared.config.trust_forwarded_client {
+            None
+        } else {
+            Some(peer.ip())
+        };
 
         // Per-client fairness: one peer holding its cap's worth of
         // connections gets 429s, not more of the queue.
         let cap = shared.config.max_conns_per_client;
-        if cap > 0 {
-            let mut clients = sync::lock(&shared.clients);
-            let held = clients.entry(peer.ip()).or_insert(0);
-            if *held >= cap as u64 {
-                drop(clients);
-                shared.stats.shed_per_client.fetch_add(1, Ordering::Relaxed);
-                shed(
-                    shared,
-                    stream,
-                    429,
-                    &UxmError::RateLimited {
-                        reason: format!("client holds {cap} connections (the per-client cap)"),
-                        retry_after_ms: shared.config.retry_after_ms,
-                    },
-                );
-                continue;
-            }
-            *held += 1;
+        if cap > 0 && ip.is_some() && !try_acquire_client(shared, peer.ip()) {
+            shared.stats.shed_per_client.fetch_add(1, Ordering::Relaxed);
+            shed(
+                shared,
+                stream,
+                429,
+                &UxmError::RateLimited {
+                    reason: format!("client holds {cap} connections (the per-client cap)"),
+                    retry_after_ms: shared.config.retry_after_ms,
+                },
+            );
+            continue;
         }
 
         // Load shedding: a full queue answers 503 immediately instead of
@@ -709,6 +766,22 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     queue.closed = true;
     drop(queue);
     shared.available.notify_all();
+}
+
+/// Takes one unit of `ip`'s per-client connection count; `false` means
+/// the client is at its cap and the connection must be shed.
+fn try_acquire_client(shared: &Shared, ip: IpAddr) -> bool {
+    let cap = shared.config.max_conns_per_client;
+    if cap == 0 {
+        return true;
+    }
+    let mut clients = sync::lock(&shared.clients);
+    let held = clients.entry(ip).or_insert(0);
+    if *held >= cap as u64 {
+        return false;
+    }
+    *held += 1;
+    true
 }
 
 /// Releases one unit of `ip`'s per-client connection count.
@@ -747,9 +820,13 @@ fn worker_loop(shared: &Shared) {
             Some((stream, ip)) => {
                 // A panic anywhere in connection handling is contained
                 // to this one connection: the worker survives, and the
-                // per-client count is released either way.
+                // per-client count is released either way. The slot may
+                // have been re-bound to a forwarded identity mid-
+                // connection, so the release uses the identity the
+                // connection last held.
+                let mut ip = ip;
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let _ = serve_connection(shared, stream);
+                    let _ = serve_connection(shared, stream, &mut ip);
                 }));
                 release_client(shared, ip);
                 if result.is_err() {
@@ -770,11 +847,15 @@ fn worker_loop(shared: &Shared) {
 /// How long a blocked read sleeps before re-checking the shutdown flag.
 const READ_TICK: Duration = Duration::from_millis(25);
 
-struct Request {
-    method: String,
-    path: String,
-    body: String,
+/// One parsed HTTP request, as the [`Handler`] sees it.
+pub(crate) struct Request {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) body: String,
     keep_alive: bool,
+    /// The `x-uxm-client` header, when present and a valid IP. Only
+    /// honored when [`ServerConfig::trust_forwarded_client`] is set.
+    forwarded_client: Option<IpAddr>,
 }
 
 enum ReadOutcome {
@@ -786,7 +867,15 @@ enum ReadOutcome {
     Reject(u16, UxmError),
 }
 
-fn serve_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+/// Serves one connection. `account` is the identity currently holding
+/// this connection's per-client slot: the TCP peer on a normal server,
+/// or (behind a trusted hop) the forwarded identity of the most recent
+/// request — the worker releases whatever it holds on exit.
+fn serve_connection(
+    shared: &Shared,
+    stream: TcpStream,
+    account: &mut Option<IpAddr>,
+) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(READ_TICK)).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -806,12 +895,44 @@ fn serve_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
             }
         };
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        // Behind a trusted hop, re-bind this connection's per-client
+        // slot to the forwarded identity so the cap (and its 429s)
+        // keeps naming the real client, not the loopback hop.
+        if shared.config.trust_forwarded_client && shared.config.max_conns_per_client > 0 {
+            if let Some(fwd) = request.forwarded_client {
+                if *account != Some(fwd) {
+                    if try_acquire_client(shared, fwd) {
+                        release_client(shared, *account);
+                        *account = Some(fwd);
+                    } else {
+                        let cap = shared.config.max_conns_per_client;
+                        shared.stats.shed_per_client.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.http_errors.fetch_add(1, Ordering::Relaxed);
+                        let e = UxmError::RateLimited {
+                            reason: format!(
+                                "client {fwd} holds {cap} connections (the per-client cap)"
+                            ),
+                            retry_after_ms: shared.config.retry_after_ms,
+                        };
+                        write_response_with(
+                            &mut writer,
+                            429,
+                            &error_body(&e),
+                            false,
+                            Some(shared.config.retry_after_ms),
+                        )?;
+                        return Ok(());
+                    }
+                }
+            }
+        }
         let mut keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
         // A handler panic is contained to this one request: the worker
         // answers a typed 500 and keeps serving (the shared locks are
         // poison-tolerant, so other workers never notice).
+        let client = *account;
         let (status, body) = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            route(shared, &request)
+            route(shared, client, &request)
         })) {
             Ok(answer) => answer,
             Err(panic) => {
@@ -919,6 +1040,7 @@ fn read_request(
     let mut keep_alive = version != "HTTP/1.0";
 
     let mut content_length: Option<usize> = None;
+    let mut forwarded_client: Option<IpAddr> = None;
     for _ in 0..100 {
         let mut header = String::new();
         if read_line_patient(shared, reader, &mut header, deadline)? == 0 {
@@ -971,6 +1093,7 @@ fn read_request(
                 path,
                 body,
                 keep_alive,
+                forwarded_client,
             }));
         }
         let Some((name, value)) = header.split_once(':') else {
@@ -988,6 +1111,10 @@ fn read_request(
             } else if value.eq_ignore_ascii_case("keep-alive") {
                 keep_alive = true;
             }
+        } else if name.eq_ignore_ascii_case("x-uxm-client") {
+            // Unparsable values are ignored, not rejected: the header
+            // only means anything on trusted internal servers.
+            forwarded_client = value.parse().ok();
         }
     }
     reject(400, "too many headers".into())
@@ -1044,7 +1171,7 @@ fn write_response_with(
 // routing
 
 /// The canonical error body: `{"error":{"kind":…,"message":…}}`.
-fn error_body(e: &UxmError) -> String {
+pub(crate) fn error_body(e: &UxmError) -> String {
     Json::Obj(vec![(
         "error".into(),
         Json::Obj(vec![
@@ -1058,7 +1185,7 @@ fn error_body(e: &UxmError) -> String {
 /// The HTTP status carrying `e`: bad inputs are the client's fault
 /// (400), unknown names are absences (404), storage/I-O trouble is the
 /// server's (500).
-fn status_for(e: &UxmError) -> u16 {
+pub(crate) fn status_for(e: &UxmError) -> u16 {
     match e {
         UxmError::UnknownEngine(_) => 404,
         UxmError::RateLimited { .. } => 429,
@@ -1067,40 +1194,67 @@ fn status_for(e: &UxmError) -> u16 {
         | UxmError::Input(_)
         | UxmError::Internal(_)
         | UxmError::NoSnapshotDir => 500,
-        UxmError::Overloaded { .. } => 503,
+        UxmError::Overloaded { .. } | UxmError::ShardUnavailable { .. } => 503,
         _ => 400,
     }
 }
 
-fn route(shared: &Shared, request: &Request) -> (u16, String) {
+/// Generic dispatch: the routes every server kind answers itself
+/// (`/healthz`, the debug panic hook), then the bound [`Handler`].
+fn route(shared: &Shared, client: Option<IpAddr>, request: &Request) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".into()),
-        ("GET", "/engines") => (200, engines_body(shared)),
-        ("GET", "/stats") => (200, stats_body(shared)),
         ("POST", "/debug/panic") if shared.config.debug_panic_route => {
             panic!("debug panic route")
         }
-        ("POST", "/batch") => match handle_batch(shared, &request.body) {
+        _ => shared
+            .handler
+            .handle(&shared.stats, &shared.config, client, request),
+    }
+}
+
+/// The single-registry routing behind [`Server::bind`]: every route of
+/// the module-level table over one [`EngineRegistry`].
+pub(crate) struct RegistryHandler {
+    pub(crate) registry: Arc<EngineRegistry>,
+}
+
+impl Handler for RegistryHandler {
+    fn handle(
+        &self,
+        stats: &ServerStats,
+        _config: &ServerConfig,
+        _client: Option<IpAddr>,
+        request: &Request,
+    ) -> (u16, String) {
+        let done = |r: Result<String, UxmError>| match r {
             Ok(body) => (200, body),
             Err(e) => (status_for(&e), error_body(&e)),
-        },
-        ("POST", path) if path.starts_with("/query/") => {
-            let name = &path["/query/".len()..];
-            match handle_query(shared, name, &request.body) {
-                Ok(body) => (200, body),
-                Err(e) => (status_for(&e), error_body(&e)),
+        };
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/engines") => (200, engines_body(&self.registry)),
+            ("GET", "/stats") => (200, stats_body(&self.registry, stats)),
+            ("POST", "/batch") => done(handle_batch(&self.registry, stats, &request.body)),
+            ("POST", "/topk") => done(crate::router::topk_over_registry(
+                &self.registry,
+                &request.body,
+            )),
+            ("POST", path) if path.starts_with("/query/") => {
+                let name = &path["/query/".len()..];
+                done(handle_query(&self.registry, stats, name, &request.body))
             }
-        }
-        ("GET" | "POST", _) => {
-            let e = UxmError::Usage(format!(
-                "no route {} {} (POST /query/<engine>, POST /batch, GET /engines|/stats|/healthz)",
-                request.method, request.path
-            ));
-            (404, error_body(&e))
-        }
-        (method, _) => {
-            let e = UxmError::Usage(format!("method {method} not allowed"));
-            (405, error_body(&e))
+            ("GET" | "POST", _) => {
+                let e = UxmError::Usage(format!(
+                    "no route {} {} (POST /query/<engine>, POST /batch, POST /topk, \
+                     GET /engines|/stats|/healthz)",
+                    request.method, request.path
+                ));
+                (404, error_body(&e))
+            }
+            (method, _) => {
+                let e = UxmError::Usage(format!("method {method} not allowed"));
+                (405, error_body(&e))
+            }
         }
     }
 }
@@ -1116,7 +1270,12 @@ fn route(shared: &Shared, request: &Request) -> (u16, String) {
 /// envelope option, not part of the query wire format — which adds an
 /// `"explain"` object (plan, planner inputs, compiled program listing;
 /// see [`crate::exec::Explain`]) to the response.
-fn handle_query(shared: &Shared, name: &str, body: &str) -> Result<String, UxmError> {
+fn handle_query(
+    registry: &EngineRegistry,
+    stats: &ServerStats,
+    name: &str,
+    body: &str,
+) -> Result<String, UxmError> {
     if name.is_empty() {
         return Err(UxmError::UnknownEngine(String::new()));
     }
@@ -1138,9 +1297,9 @@ fn handle_query(shared: &Shared, name: &str, body: &str) -> Result<String, UxmEr
         _ => false,
     };
     let query = Query::from_json(&parsed)?;
-    let engine = shared.registry.fetch(name)?;
+    let engine = registry.fetch(name)?;
     let outcome = engine.run(&query);
-    shared.stats.record(name, &outcome);
+    stats.record(name, &outcome);
     let response = outcome?;
     if !explain {
         return Ok(response.to_json_string());
@@ -1158,7 +1317,11 @@ fn handle_query(shared: &Shared, name: &str, body: &str) -> Result<String, UxmEr
 /// `{"results":[…]}` out — per entry either a response object or an
 /// `{"error":…}` object, in request order (exactly what
 /// [`EngineRegistry::batch`] returns).
-fn handle_batch(shared: &Shared, body: &str) -> Result<String, UxmError> {
+fn handle_batch(
+    registry: &EngineRegistry,
+    stats: &ServerStats,
+    body: &str,
+) -> Result<String, UxmError> {
     let parsed = Json::parse(body)?;
     let items = parsed
         .as_arr()
@@ -1167,14 +1330,14 @@ fn handle_batch(shared: &Shared, body: &str) -> Result<String, UxmError> {
         .iter()
         .map(BatchQuery::from_json)
         .collect::<Result<Vec<_>, _>>()?;
-    let answers = shared.registry.batch(&queries);
+    let answers = registry.batch(&queries);
     let results = queries
         .iter()
         .zip(&answers)
         .map(|(q, outcome)| {
             // Unknown-engine failures stay server-level (see ServerStats).
             if !matches!(outcome, Err(UxmError::UnknownEngine(_))) {
-                shared.stats.record(&q.engine, outcome);
+                stats.record(&q.engine, outcome);
             }
             match outcome {
                 Ok(response) => response.to_json(),
@@ -1193,8 +1356,8 @@ fn handle_batch(shared: &Shared, body: &str) -> Result<String, UxmError> {
 
 /// `GET /engines`: resident engines with sizes, plus what could be
 /// hydrated from the snapshot directory.
-fn engines_body(shared: &Shared) -> String {
-    let resident = shared.registry.resident();
+fn engines_body(registry: &EngineRegistry) -> String {
+    let resident = registry.resident();
     let resident_names: Vec<&str> = resident.iter().map(|(n, _)| n.as_str()).collect();
     let mut entries: Vec<Json> = resident
         .iter()
@@ -1206,7 +1369,7 @@ fn engines_body(shared: &Shared) -> String {
             ])
         })
         .collect();
-    for name in shared.registry.snapshot_names() {
+    for name in registry.snapshot_names() {
         if !resident_names.contains(&name.as_str()) {
             entries.push(Json::Obj(vec![
                 ("name".into(), Json::str(name)),
@@ -1216,17 +1379,14 @@ fn engines_body(shared: &Shared) -> String {
     }
     Json::Obj(vec![
         ("engines".into(), Json::Arr(entries)),
-        (
-            "evictions".into(),
-            Json::uint(shared.registry.eviction_count()),
-        ),
+        ("evictions".into(), Json::uint(registry.eviction_count())),
         (
             "resident_bytes".into(),
-            Json::uint(shared.registry.resident_bytes() as u64),
+            Json::uint(registry.resident_bytes() as u64),
         ),
         (
             "unreclaimed_bytes".into(),
-            Json::uint(shared.registry.unreclaimed_bytes() as u64),
+            Json::uint(registry.unreclaimed_bytes() as u64),
         ),
     ])
     .to_string()
@@ -1237,13 +1397,13 @@ fn engines_body(shared: &Shared) -> String {
 /// accounting of [`crate::registry::RegistryStats`] — including
 /// `unreclaimed_bytes`, the drift between what the LRU budget thinks it
 /// freed and what evicted-but-still-referenced engines actually hold.
-fn stats_body(shared: &Shared) -> String {
-    let r = shared.registry.stats();
-    let registry = Json::Obj(vec![
+fn stats_body(registry: &EngineRegistry, stats: &ServerStats) -> String {
+    let r = registry.stats();
+    let registry_section = Json::Obj(vec![
         ("evictions".into(), Json::uint(r.evictions)),
         (
             "memory_budget".into(),
-            Json::uint(shared.registry.memory_budget() as u64),
+            Json::uint(registry.memory_budget() as u64),
         ),
         ("resident_bytes".into(), Json::uint(r.resident_bytes as u64)),
         (
@@ -1256,11 +1416,11 @@ fn stats_body(shared: &Shared) -> String {
             Json::uint(r.unreclaimed_bytes as u64),
         ),
     ]);
-    let Json::Obj(mut members) = shared.stats.to_json() else {
+    let Json::Obj(mut members) = stats.to_json() else {
         unreachable!("ServerStats::to_json is an object");
     };
     // Keys stay alphabetical: engines < registry < server.
-    members.insert(1, ("registry".into(), registry));
+    members.insert(1, ("registry".into(), registry_section));
     Json::Obj(members).to_string()
 }
 
@@ -1273,6 +1433,7 @@ fn stats_body(shared: &Shared) -> String {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    forward: Option<IpAddr>,
 }
 
 impl Client {
@@ -1291,7 +1452,18 @@ impl Client {
         Ok(Client {
             reader,
             writer: stream,
+            forward: None,
         })
+    }
+
+    /// Sets (or clears) the client identity to forward as an
+    /// `x-uxm-client` header on every subsequent request. Servers
+    /// ignore the header unless they run with
+    /// [`ServerConfig::trust_forwarded_client`]; the router sets it on
+    /// its internal hop so shard-side per-client 429s bind to the real
+    /// client rather than the loopback hop.
+    pub fn set_forward_client(&mut self, ip: Option<IpAddr>) {
+        self.forward = ip;
     }
 
     /// Replaces the per-read deadline (default 30 s from
@@ -1336,8 +1508,12 @@ impl Client {
     ) -> Result<(u16, String), UxmError> {
         let io = |e: std::io::Error| UxmError::io(format!("{method} {path}"), e);
         let body = body.unwrap_or("");
+        let forward = match self.forward {
+            Some(ip) => format!("x-uxm-client: {ip}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: uxm\r\ncontent-length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: uxm\r\n{forward}content-length: {}\r\n\r\n",
             body.len()
         );
         self.writer.write_all(head.as_bytes()).map_err(io)?;

@@ -18,6 +18,7 @@
 //! uxm batch     <requests.txt> --dir D [--budget BYTES] [--json]
 //! uxm serve     --dir D [--addr IP:PORT] [--workers N] [--budget BYTES] [--queue N]
 //!               [--per-client N] [--retry-after-ms MS] [--keep-alive-ms MS] [--thrash N]
+//!               [--shards N]
 //! uxm gen-doc   <schema.outline> [--nodes N] [--seed N]
 //! uxm dataset   <D1..D10>
 //! ```
@@ -43,6 +44,7 @@ use uxm::core::engine::QueryEngine;
 use uxm::core::error::UxmError;
 use uxm::core::mapping::PossibleMappings;
 use uxm::core::registry::{BatchQuery, EngineRegistry, RegistryConfig};
+use uxm::core::router::{Router, RouterConfig};
 use uxm::core::server::{Server, ServerConfig};
 use uxm::core::stats::o_ratio;
 use uxm::core::storage::{decode_engine_snapshot, decode_engine_snapshot_parts, snapshot_version};
@@ -102,7 +104,7 @@ fn usage() {
          uxm stats    <engine> --dir D\n  \
          uxm batch    <requests.txt> --dir D [--budget BYTES] [--json]\n  \
          uxm serve    --dir D [--addr IP:PORT] [--workers N] [--budget BYTES] [--queue N]\n               \
-         [--per-client N] [--retry-after-ms MS] [--keep-alive-ms MS] [--thrash N]\n  \
+         [--per-client N] [--retry-after-ms MS] [--keep-alive-ms MS] [--thrash N] [--shards N]\n  \
          uxm gen-doc  <schema.outline> [--nodes N] [--seed N]\n  \
          uxm dataset  <D1..D10>"
     );
@@ -656,6 +658,9 @@ fn cmd_batch(args: &[String]) -> Result<(), UxmError> {
 /// `uxm serve` — the threaded HTTP/JSON query server over a snapshot
 /// directory (see `uxm::core::server` and `docs/serving.md`). Engines
 /// hydrate lazily on first request; the process serves until killed.
+/// With `--shards N` the same directory is served by N shard
+/// registries behind a consistent-hash router (see `docs/sharding.md`);
+/// `--budget` is then the cluster total, split evenly per shard.
 fn cmd_serve(args: &[String]) -> Result<(), UxmError> {
     let (pos, flags) = parse_args(args)?;
     if let Some(extra) = pos.first() {
@@ -678,16 +683,8 @@ fn cmd_serve(args: &[String]) -> Result<(), UxmError> {
         defaults.keep_alive_timeout.as_millis() as u64,
     )?;
     let thrash: usize = parse_flag(&flags, "thrash", 0)?;
+    let shards: usize = parse_flag(&flags, "shards", 0)?;
 
-    let registry = std::sync::Arc::new(
-        EngineRegistry::with_config(RegistryConfig {
-            memory_budget: budget,
-            thrash_evictions: thrash,
-            ..RegistryConfig::default()
-        })
-        .snapshot_dir(dir),
-    );
-    let snapshots = registry.snapshot_names();
     let config = ServerConfig {
         workers,
         queue_depth: queue,
@@ -696,30 +693,76 @@ fn cmd_serve(args: &[String]) -> Result<(), UxmError> {
         keep_alive_timeout: std::time::Duration::from_millis(keep_alive_ms),
         ..ServerConfig::default()
     };
+    let registry_config = |memory_budget| RegistryConfig {
+        memory_budget,
+        thrash_evictions: thrash,
+        ..RegistryConfig::default()
+    };
+    let banner = |local: std::net::SocketAddr, snapshots: &[String], shard_note: &str| {
+        println!(
+            "uxm serve on http://{local} — {} worker(s), {} snapshot(s) in {dir}{}{shard_note}",
+            config.effective_workers(),
+            snapshots.len(),
+            if budget > 0 {
+                format!(", budget {budget} bytes")
+            } else {
+                String::new()
+            }
+        );
+        for name in snapshots {
+            println!("  {name}");
+        }
+        println!(
+            "admission: queue {queue}, per-client cap {per_client}, retry-after {retry_after_ms}ms{}",
+            if thrash > 0 {
+                format!(", thrash gate at {thrash} evictions")
+            } else {
+                String::new()
+            }
+        );
+    };
+
+    if shards > 0 {
+        // Sharded: N registries behind the consistent-hash router. The
+        // budget is the cluster total — each shard gets an even split.
+        let router = Router::start(
+            dir,
+            RouterConfig {
+                shards,
+                registry: registry_config(budget / shards),
+                shard_server: ServerConfig {
+                    workers: 2,
+                    queue_depth: queue,
+                    max_conns_per_client: per_client,
+                    retry_after_ms,
+                    ..ServerConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+        )?;
+        let front = router.bind(addr, config.clone())?;
+        let local = front.local_addr();
+        let snapshots = router.known_names();
+        banner(local, &snapshots, &format!(", {shards} shard(s)"));
+        for (id, shard_addr) in router.shard_addrs() {
+            println!("  shard {id} on {shard_addr}");
+        }
+        println!(
+            "routes: POST /query/<engine>  POST /batch  POST /topk  GET /engines  GET /stats  GET /shards  GET /healthz"
+        );
+        front.start().wait();
+        return Ok(());
+    }
+
+    let registry =
+        std::sync::Arc::new(EngineRegistry::with_config(registry_config(budget)).snapshot_dir(dir));
+    let snapshots = registry.snapshot_names();
     let server = Server::bind(std::sync::Arc::clone(&registry), addr, config.clone())?;
     let local = server.local_addr();
+    banner(local, &snapshots, "");
     println!(
-        "uxm serve on http://{local} — {} worker(s), {} snapshot(s) in {dir}{}",
-        config.effective_workers(),
-        snapshots.len(),
-        if budget > 0 {
-            format!(", budget {budget} bytes")
-        } else {
-            String::new()
-        }
+        "routes: POST /query/<engine>  POST /batch  POST /topk  GET /engines  GET /stats  GET /healthz"
     );
-    for name in &snapshots {
-        println!("  {name}");
-    }
-    println!(
-        "admission: queue {queue}, per-client cap {per_client}, retry-after {retry_after_ms}ms{}",
-        if thrash > 0 {
-            format!(", thrash gate at {thrash} evictions")
-        } else {
-            String::new()
-        }
-    );
-    println!("routes: POST /query/<engine>  POST /batch  GET /engines  GET /stats  GET /healthz");
     server.start().wait();
     Ok(())
 }

@@ -243,15 +243,24 @@ fn queue_overflow_sheds_typed_503_with_retry_after() {
     });
     let addr = handle.addr();
 
-    // Occupy the worker and the single queue slot with half-written
-    // requests (they hold until the keep-alive deadline).
-    let mut held = Vec::new();
-    for _ in 0..2 {
-        let mut s = TcpStream::connect(addr).unwrap();
-        s.write_all(b"POST /query/po HTTP/1.1\r\n").unwrap();
-        held.push(s);
-    }
-    std::thread::sleep(Duration::from_millis(200)); // let accept/workers settle
+    // Pin the one worker deterministically: a complete keep-alive
+    // request whose response we READ back proves the worker is now
+    // blocked reading this connection's next request (until the
+    // keep-alive deadline) — no settle sleep can prove that.
+    let mut pin = TcpStream::connect(addr).unwrap();
+    pin.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    let (status, headers, _) = read_raw_response(&mut pin);
+    assert_eq!(status, 200);
+    assert!(
+        !headers.iter().any(|h| h == "connection: close"),
+        "worker must hold the pinned connection open: {headers:?}"
+    );
+
+    // Fill the single queue slot with a half-written request. The
+    // accept thread handles arrivals in order and needs no worker, so
+    // once the probe below connects, this one is already queued.
+    let mut held = TcpStream::connect(addr).unwrap();
+    held.write_all(b"POST /query/po HTTP/1.1\r\n").unwrap();
 
     // The next arrival must be shed — quickly, with the full typed
     // shape on the wire.
@@ -270,6 +279,7 @@ fn queue_overflow_sheds_typed_503_with_retry_after() {
         headers.iter().any(|h| h == "retry-after: 2"),
         "headers: {headers:?}"
     );
+    drop(pin);
     drop(held);
     handle.shutdown();
 }

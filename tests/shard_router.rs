@@ -1,0 +1,371 @@
+//! Router-layer behavior the differential harness can't see: per-client
+//! fairness across the internal hop, and rebalancing under live
+//! traffic.
+//!
+//! * **Forwarded identity** — behind the router every shard-bound TCP
+//!   connection's peer is the router itself on loopback, so shard-side
+//!   per-client caps would bind to the hop, not the client. Shard
+//!   servers therefore run with `trust_forwarded_client` and key
+//!   admission on the `x-uxm-client` header the router forwards; these
+//!   tests pin that at socket level (trusted rebinding, untrusted
+//!   indifference, and 429 propagation through the front).
+//! * **Rebalancing** — shard add/remove mid-traffic must keep every
+//!   engine reachable (the shared snapshot directory means any shard
+//!   can hydrate any engine, so there is no 404 window), and the
+//!   router must still match a single registry at the new ring size.
+
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use uxm::core::api::Query;
+use uxm::core::block_tree::BlockTreeConfig;
+use uxm::core::engine::QueryEngine;
+use uxm::core::json::Json;
+use uxm::core::mapping::PossibleMappings;
+use uxm::core::registry::EngineRegistry;
+use uxm::core::router::{Router, RouterConfig};
+use uxm::core::server::{Client, Server, ServerConfig};
+use uxm::matching::Matcher;
+use uxm::twig::TwigPattern;
+use uxm::xml::{DocGenConfig, Document, Schema};
+
+/// The small purchase-order fixture engine shared with the serving
+/// tests.
+fn small_engine(seed: u64) -> QueryEngine {
+    let source = Schema::parse_outline(
+        "Order(Buyer(Name Contact(EMail)) POLine*(LineNo Quantity UnitPrice))",
+    )
+    .unwrap();
+    let target =
+        Schema::parse_outline("PO(Purchaser(PName PContact(PEMail)) Line(No Qty Amount))").unwrap();
+    let matching = Matcher::context().match_schemas(&source, &target);
+    let pm = PossibleMappings::top_h(&matching, 12);
+    let doc = Document::generate(&source, &DocGenConfig::small(), seed);
+    QueryEngine::build(pm, doc, &BlockTreeConfig::default())
+}
+
+fn ip(s: &str) -> Option<IpAddr> {
+    Some(s.parse().unwrap())
+}
+
+const QUERY_PATTERN: &str = "PO//Qty";
+
+fn ptq() -> Query {
+    Query::ptq(TwigPattern::parse(QUERY_PATTERN).unwrap())
+}
+
+/// A trusted server keys its per-client cap on the forwarded identity,
+/// re-bound per request: the same connection can switch identities
+/// (releasing the old slot), a second connection claiming a full
+/// identity is refused with a 429 naming the real client, and a
+/// different identity passes.
+#[test]
+fn trusted_server_caps_on_forwarded_identity() {
+    let registry = Arc::new(EngineRegistry::new());
+    registry.insert("po", small_engine(7));
+    let handle = Server::bind(
+        registry,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            max_conns_per_client: 1,
+            trust_forwarded_client: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .start();
+    let addr = handle.addr();
+
+    // First connection binds identity 10.0.0.1.
+    let mut a = Client::connect(addr).unwrap();
+    a.set_forward_client(ip("10.0.0.1"));
+    let (status, _) = a.query("po", &ptq()).unwrap();
+    assert_eq!(status, 200);
+
+    // A second connection claiming the same identity is refused — and
+    // the refusal names the forwarded client, not the loopback peer.
+    let mut b = Client::connect(addr).unwrap();
+    b.set_forward_client(ip("10.0.0.1"));
+    let (status, body) = b.query("po", &ptq()).unwrap();
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("\"kind\":\"rate-limited\""), "{body}");
+    assert!(
+        body.contains("10.0.0.1"),
+        "refusal must name the client: {body}"
+    );
+
+    // A different identity has its own slot.
+    let mut c = Client::connect(addr).unwrap();
+    c.set_forward_client(ip("10.0.0.2"));
+    let (status, _) = c.query("po", &ptq()).unwrap();
+    assert_eq!(status, 200);
+
+    // The first connection keeps serving, and re-binding it to a new
+    // identity releases the old slot for others.
+    a.set_forward_client(ip("10.0.0.3"));
+    let (status, _) = a.query("po", &ptq()).unwrap();
+    assert_eq!(status, 200);
+    let mut d = Client::connect(addr).unwrap();
+    d.set_forward_client(ip("10.0.0.1"));
+    let (status, body) = d.query("po", &ptq()).unwrap();
+    assert_eq!(status, 200, "released identity must be claimable: {body}");
+
+    handle.shutdown();
+}
+
+/// An untrusted (default) server ignores the header entirely: the cap
+/// keys on the TCP peer, so spoofed identities neither escape nor
+/// consume per-identity slots.
+#[test]
+fn untrusted_server_ignores_forwarded_identity() {
+    let registry = Arc::new(EngineRegistry::new());
+    registry.insert("po", small_engine(7));
+    let handle = Server::bind(
+        registry,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            max_conns_per_client: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .start();
+    let addr = handle.addr();
+
+    // Two loopback connections claiming distinct forwarded identities
+    // still count against the one real peer…
+    let mut a = Client::connect(addr).unwrap();
+    a.set_forward_client(ip("10.0.0.1"));
+    assert_eq!(a.query("po", &ptq()).unwrap().0, 200);
+    let mut b = Client::connect(addr).unwrap();
+    b.set_forward_client(ip("10.0.0.2"));
+    assert_eq!(b.query("po", &ptq()).unwrap().0, 200);
+
+    // …so the third loopback connection is shed at accept time no
+    // matter what identity it claims.
+    let mut c = Client::connect(addr).unwrap();
+    c.set_forward_client(ip("10.0.0.3"));
+    let outcome = c.query("po", &ptq());
+    match outcome {
+        Ok((status, body)) => {
+            assert_eq!(status, 429, "{body}");
+            assert!(body.contains("\"kind\":\"rate-limited\""), "{body}");
+        }
+        // The accept-time shed closes the connection; depending on
+        // timing the client may see the reset before the 429 body.
+        Err(e) => assert!(e.to_string().contains("i/o") || !e.to_string().is_empty()),
+    }
+    handle.shutdown();
+}
+
+/// The router forwards each front client's identity on the internal
+/// hop: when that identity's slot on the owning shard is already held
+/// (here, by a direct connection claiming loopback), the shard's typed
+/// 429 — naming the real client — propagates through the front.
+#[test]
+fn router_forwards_client_identity_to_shards() {
+    let dir = std::env::temp_dir().join(format!("uxm-shard-fwd-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let registry = EngineRegistry::new().snapshot_dir(&dir);
+        for i in 0..4 {
+            registry.insert(format!("e{i}"), small_engine(i));
+        }
+        registry.save_all().unwrap();
+    }
+    let router = Router::start(
+        &dir,
+        RouterConfig {
+            shards: 2,
+            shard_server: ServerConfig {
+                workers: 2,
+                max_conns_per_client: 1,
+                ..ServerConfig::default()
+            },
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    let front = router
+        .bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+        .start();
+
+    // Pick any engine and find its owning shard's direct address.
+    let engine = "e0";
+    let owner = router.owner(engine);
+    let shard_addr = router
+        .shard_addrs()
+        .into_iter()
+        .find(|(id, _)| *id == owner)
+        .map(|(_, addr)| addr)
+        .unwrap();
+
+    // Hold the front clients' identity (loopback) directly on the
+    // owning shard. Shard servers trust the header, so this binds
+    // 127.0.0.1's one slot. The connection must stay open.
+    let mut holder = Client::connect(shard_addr).unwrap();
+    holder.set_forward_client(ip("127.0.0.1"));
+    let (status, _) = holder.query(engine, &ptq()).unwrap();
+    assert_eq!(status, 200);
+
+    // Through the front, the same identity is now over its cap on that
+    // shard — the shard's 429 comes back verbatim, naming the client.
+    let mut fc = Client::connect(front.addr()).unwrap();
+    let (status, body) = fc.query(engine, &ptq()).unwrap();
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("\"kind\":\"rate-limited\""), "{body}");
+    assert!(body.contains("127.0.0.1"), "{body}");
+
+    // A different identity was never the problem: release the slot and
+    // the same front client passes.
+    drop(holder);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let (status, body) = fc.query(engine, &ptq()).unwrap();
+        if status == 200 {
+            break;
+        }
+        assert_eq!(status, 429, "{body}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never released: {body}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    front.shutdown();
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shard add/remove under live traffic: every engine stays reachable
+/// throughout (no 404/503 window — any shard can hydrate any engine
+/// from the shared snapshot directory, and requests racing a removal
+/// are retried against the fresh ring), and afterwards the router
+/// still matches a single registry at the new ring size.
+#[test]
+fn rebalance_mid_traffic_keeps_every_engine_reachable() {
+    let dir = std::env::temp_dir().join(format!("uxm-shard-rebal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let names: Vec<String> = (0..8).map(|i| format!("e{i}")).collect();
+    {
+        let registry = EngineRegistry::new().snapshot_dir(&dir);
+        for (i, name) in names.iter().enumerate() {
+            registry.insert(name.clone(), small_engine(i as u64));
+        }
+        registry.save_all().unwrap();
+    }
+    let router = Router::start(
+        &dir,
+        RouterConfig {
+            shards: 2,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    let front = router
+        .bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+        .start();
+    let addr = front.addr();
+    let first_id = router.shard_ids()[0];
+
+    // Hammer every engine round-robin from three clients while the
+    // ring is reshaped underneath them; any non-200 is a reachability
+    // hole.
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic: Vec<_> = (0..3)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let names = names.clone();
+            std::thread::spawn(move || -> Result<u64, String> {
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let query = ptq();
+                let mut served = 0u64;
+                let mut i = t; // offset the threads
+                while !stop.load(Ordering::Relaxed) {
+                    let name = &names[i % names.len()];
+                    i += 1;
+                    let (status, body) = client.query(name, &query).map_err(|e| e.to_string())?;
+                    if status != 200 {
+                        return Err(format!("{name} answered {status}: {body}"));
+                    }
+                    served += 1;
+                }
+                Ok(served)
+            })
+        })
+        .collect();
+
+    // Grow to 3 shards, shrink back to 2 (dropping an original shard),
+    // with traffic in flight around both reshapes.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let added = router.add_shard().expect("add shard");
+    assert_eq!(router.shard_count(), 3);
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    router.remove_shard(first_id).expect("remove shard");
+    assert_eq!(router.shard_count(), 2);
+    assert!(router.shard_ids().contains(&added));
+    std::thread::sleep(std::time::Duration::from_millis(400));
+
+    stop.store(true, Ordering::Relaxed);
+    let mut total = 0;
+    for t in traffic {
+        total += t.join().unwrap().expect("traffic thread saw a failure");
+    }
+    assert!(total > 0, "traffic threads never ran");
+
+    // At the new ring size the router still matches a single registry
+    // byte-exactly on the answers subtree.
+    let single_registry = Arc::new(EngineRegistry::new().snapshot_dir(&dir));
+    let single = Server::bind(
+        single_registry,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .start();
+    let mut sc = Client::connect(single.addr()).unwrap();
+    let mut rc = Client::connect(addr).unwrap();
+    let answers = |body: &str| {
+        Json::parse(body)
+            .unwrap()
+            .get("answers")
+            .map(|a| a.to_string())
+            .unwrap_or_default()
+    };
+    for name in &names {
+        let (s_status, s_body) = sc.query(name, &ptq()).unwrap();
+        let (r_status, r_body) = rc.query(name, &ptq()).unwrap();
+        assert_eq!((s_status, r_status), (200, 200), "{name}");
+        assert_eq!(
+            answers(&s_body),
+            answers(&r_body),
+            "{name} diverges post-rebalance"
+        );
+    }
+
+    single.shutdown();
+    front.shutdown();
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
