@@ -9,6 +9,7 @@ use crate::workload::{d7_workload, default_config, workload_for, DEFAULT_M};
 use std::fmt::Write as _;
 use uxm_assignment::murty::RankVariant;
 use uxm_assignment::partition::{murty_top_h_mappings, partition, partition_top_h_with};
+use uxm_core::aggregate::AggFunc;
 use uxm_core::api::{EvaluatorHint, Query};
 use uxm_core::block_tree::{BlockTree, BlockTreeConfig};
 use uxm_core::compress::compression_ratio;
@@ -18,6 +19,7 @@ use uxm_core::planner::Evaluator;
 use uxm_core::stats::{avg_block_size, block_size_histogram, max_block_coverage, o_ratio};
 use uxm_datagen::datasets::{Dataset, DatasetId};
 use uxm_datagen::queries::paper_queries;
+use uxm_twig::TwigPattern;
 // The one-shot timing experiments measure the paper's *legacy* per-call
 // paths (throwaway session per query) on purpose — that is exactly what
 // Fig 9(f)/10 plot. They are the only remaining consumers of the
@@ -1091,8 +1093,156 @@ pub fn bench_exec(cfg: &ReproConfig) -> String {
     out
 }
 
+/// The predicate benchmark behind `BENCH_predicate.json`: a
+/// **selectivity sweep** on D7 — numeric thresholds placed at the
+/// quantiles of the document's numeric text values drive the match
+/// fraction of `//*[.>=T]` from everything to nothing, and each point
+/// is timed under the compiled bytecode backend and the naive
+/// recursive evaluator on one warm engine. Also times the four
+/// aggregate functions over the median-selectivity predicate. Writes
+/// `BENCH_predicate.json` (canonical JSON) and returns a printable
+/// summary.
+pub fn bench_predicates(cfg: &ReproConfig) -> String {
+    let w = workload_for(DatasetId::D7, cfg.m, &default_config());
+    let engine = w.engine();
+    let doc = engine.document();
+
+    // Thresholds at the quantiles of the numeric text values, so the
+    // sweep tracks the generated distribution instead of guessing it.
+    let mut values: Vec<f64> = doc
+        .ids()
+        .filter_map(|n| doc.text(n))
+        .filter_map(|t| t.trim().parse::<f64>().ok())
+        .filter(|v| v.is_finite())
+        .collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let quantile = |q: f64| -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        values[((values.len() - 1) as f64 * q) as usize]
+    };
+    let points: Vec<(String, String)> = [0.0, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&q| {
+            (
+                format!("q{:02}", (q * 100.0) as u32),
+                format!("//*[.>={}]", quantile(q)),
+            )
+        })
+        .chain(std::iter::once((
+            "none".to_string(),
+            format!("//*[.>{}]", quantile(1.0)),
+        )))
+        .collect();
+
+    // Baseline match volume (no predicate) for observed selectivity.
+    let total: usize = engine
+        .run(&Query::ptq(TwigPattern::parse("//*").expect("wildcard")))
+        .expect("valid query")
+        .answers
+        .iter()
+        .map(|a| a.matches.len())
+        .sum();
+
+    let mut out = format!(
+        "BENCH_predicate — selectivity sweep on D7, |M| = {}, warm engine\n  \
+         point   selectivity  compiled(s)  naive(s)\n",
+        cfg.m
+    );
+    let mut rows = Vec::new();
+    const INNER: usize = 8;
+    for (name, form) in &points {
+        let pattern = TwigPattern::parse(form).expect("sweep pattern");
+        let matched: usize = engine
+            .run(&Query::ptq(pattern.clone()))
+            .expect("valid query")
+            .answers
+            .iter()
+            .map(|a| a.matches.len())
+            .sum();
+        let selectivity = matched as f64 / (total.max(1)) as f64;
+        let mut cells = [
+            ("compiled", EvaluatorHint::Compiled, f64::MAX),
+            ("naive", EvaluatorHint::Naive, f64::MAX),
+        ];
+        // Warm both backends, then interleave timed repetitions and keep
+        // the minimum (same discipline as `bench_exec`).
+        for (_, hint, _) in &cells {
+            let q = Query::ptq(pattern.clone()).with_evaluator(*hint);
+            std::hint::black_box(engine.run(&q).expect("valid query").len());
+        }
+        for _ in 0..3 {
+            for (_, hint, best) in &mut cells {
+                let q = Query::ptq(pattern.clone()).with_evaluator(*hint);
+                let t = time_avg(cfg.runs, || {
+                    for _ in 0..INNER {
+                        std::hint::black_box(engine.run(&q).expect("valid query").len());
+                    }
+                });
+                *best = best.min(t / INNER as f64);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {:<7} {:>10.3}   {:>9.5} {:>9.5}",
+            name, selectivity, cells[0].2, cells[1].2,
+        );
+        rows.push(Json::Obj(vec![
+            (
+                "latency_s".into(),
+                Json::Obj(vec![
+                    ("compiled".into(), Json::Num(cells[0].2)),
+                    ("naive".into(), Json::Num(cells[1].2)),
+                ]),
+            ),
+            ("pattern".into(), Json::str(form)),
+            ("point".into(), Json::str(name)),
+            ("selectivity".into(), Json::Num(selectivity)),
+        ]));
+    }
+
+    // Aggregates over the median-selectivity predicate: the fold rides
+    // the same match stream, so the delta vs the plain PTQ is the
+    // aggregation overhead.
+    let median = TwigPattern::parse(&points[2].1).expect("median pattern");
+    let mut agg_rows = Vec::new();
+    let mut agg_text = String::new();
+    for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+        let q = Query::aggregate(median.clone(), func);
+        std::hint::black_box(engine.run(&q).expect("valid query").len());
+        let t = time_avg(cfg.runs, || {
+            for _ in 0..INNER {
+                std::hint::black_box(engine.run(&q).expect("valid query").len());
+            }
+        }) / INNER as f64;
+        let _ = write!(agg_text, " {func}={t:.5}s");
+        agg_rows.push((func.wire_name().to_string(), Json::Num(t)));
+    }
+    let _ = writeln!(out, "  aggregates over {}:{agg_text}", points[2].1);
+
+    let report = Json::Obj(vec![
+        ("aggregate_latency_s".into(), Json::Obj(agg_rows)),
+        ("dataset".into(), Json::str(DatasetId::D7.name())),
+        ("m".into(), Json::uint(cfg.m as u64)),
+        ("points".into(), Json::Arr(rows)),
+        ("runs".into(), Json::uint(cfg.runs as u64)),
+        ("total_matches".into(), Json::uint(total as u64)),
+    ]);
+    let path = "BENCH_predicate.json";
+    match std::fs::write(path, format!("{report}\n")) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote {path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "could not write {path}: {e}");
+        }
+    }
+    out
+}
+
 /// All experiment ids accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 21] = [
+pub const EXPERIMENTS: [&str; 22] = [
     "table2",
     "fig9a",
     "fig9b",
@@ -1111,6 +1261,7 @@ pub const EXPERIMENTS: [&str; 21] = [
     "bench_query",
     "bench_layout",
     "bench_exec",
+    "bench_predicates",
     "ablation",
     "soak",
     "shard",
@@ -1137,6 +1288,7 @@ pub fn run_experiment(id: &str, cfg: &ReproConfig) -> Option<String> {
         "bench_query" => bench_query(cfg),
         "bench_layout" => bench_layout(cfg),
         "bench_exec" => bench_exec(cfg),
+        "bench_predicates" => bench_predicates(cfg),
         "ablation" => ablation(cfg),
         "soak" => crate::soak::soak(&cfg.soak),
         "shard" => crate::shard::shard_bench(&cfg.soak),

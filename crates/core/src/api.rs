@@ -9,10 +9,13 @@
 //! own error type. This module replaces all of them with:
 //!
 //! * a typed [`Query`] AST ([`Query::Ptq`], [`Query::PtqNodes`],
-//!   [`Query::TopK`], [`Query::Keyword`]), each carrying a
-//!   [`TwigPattern`] (or keyword terms) plus shared [`QueryOptions`]
-//!   — probability threshold, answer granularity, and an
-//!   [`EvaluatorHint`] for the [`crate::planner`];
+//!   [`Query::TopK`], [`Query::Keyword`], [`Query::Aggregate`]), each
+//!   carrying a [`TwigPattern`] (or keyword terms) plus shared
+//!   [`QueryOptions`] — probability threshold, answer granularity, and
+//!   an [`EvaluatorHint`] for the [`crate::planner`]. Patterns may use
+//!   descendant axes (`//`), wildcards (`*`), and value predicates
+//!   (`[.='v']`, `[contains(.,'v')]`, `[.>=10]`, `[@attr='v']` — see
+//!   `docs/query-language.md`);
 //! * a uniform [`QueryResponse`]: [`Answer`]s with per-answer
 //!   provenance (contributing [`MappingId`]s and the summed
 //!   probability) plus an [`ExecStats`] block (plan chosen, cache hits,
@@ -61,6 +64,7 @@
 //! # let _ = auto_plan;
 //! ```
 
+use crate::aggregate::{AggFunc, AggregateResult};
 use crate::error::UxmError;
 use crate::json::Json;
 use crate::keyword::{KeywordAnswer, KeywordError};
@@ -262,6 +266,18 @@ pub enum Query {
         /// evaluation has a single strategy).
         options: QueryOptions,
     },
+    /// An aggregate over a PTQ's matches: COUNT / SUM / MIN / MAX of
+    /// the pattern's spine-leaf values, reported per mapping and as a
+    /// probability-weighted marginal (see [`crate::aggregate`]).
+    Aggregate {
+        /// The twig pattern, evaluated exactly like [`Query::Ptq`].
+        pattern: TwigPattern,
+        /// The function folded over each mapping's matches.
+        func: AggFunc,
+        /// Shared options (the granularity must stay
+        /// [`Granularity::Mapping`] — rows are inherently per mapping).
+        options: QueryOptions,
+    },
 }
 
 impl Query {
@@ -298,13 +314,23 @@ impl Query {
         }
     }
 
+    /// An aggregate query with default options.
+    pub fn aggregate(pattern: TwigPattern, func: AggFunc) -> Query {
+        Query::Aggregate {
+            pattern,
+            func,
+            options: QueryOptions::default(),
+        }
+    }
+
     /// The query's shared options.
     pub fn options(&self) -> &QueryOptions {
         match self {
             Query::Ptq { options, .. }
             | Query::PtqNodes { options, .. }
             | Query::TopK { options, .. }
-            | Query::Keyword { options, .. } => options,
+            | Query::Keyword { options, .. }
+            | Query::Aggregate { options, .. } => options,
         }
     }
 
@@ -314,7 +340,8 @@ impl Query {
             Query::Ptq { options, .. }
             | Query::PtqNodes { options, .. }
             | Query::TopK { options, .. }
-            | Query::Keyword { options, .. } => options,
+            | Query::Keyword { options, .. }
+            | Query::Aggregate { options, .. } => options,
         }
     }
 
@@ -323,7 +350,8 @@ impl Query {
         match self {
             Query::Ptq { pattern, .. }
             | Query::PtqNodes { pattern, .. }
-            | Query::TopK { pattern, .. } => Some(pattern),
+            | Query::TopK { pattern, .. }
+            | Query::Aggregate { pattern, .. } => Some(pattern),
             Query::Keyword { .. } => None,
         }
     }
@@ -353,6 +381,15 @@ impl Query {
         if let Query::Keyword { terms, .. } = self {
             let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
             KeywordError::check(&refs)?;
+        }
+        if let Query::Aggregate { options, .. } = self {
+            if options.granularity == Granularity::Distinct {
+                return Err(UxmError::InvalidQuery(
+                    "aggregate queries report per-mapping rows; \
+                     granularity \"distinct\" does not apply"
+                        .into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -388,6 +425,16 @@ impl Query {
                 ),
                 ("type".into(), Json::str("keyword")),
             ]),
+            Query::Aggregate {
+                pattern,
+                func,
+                options,
+            } => Json::Obj(vec![
+                ("func".into(), Json::str(func.wire_name())),
+                ("options".into(), options.to_json()),
+                ("pattern".into(), Json::str(pattern.to_string())),
+                ("type".into(), Json::str("aggregate")),
+            ]),
         }
     }
 
@@ -411,10 +458,16 @@ impl Query {
         let mut pattern: Option<TwigPattern> = None;
         let mut k: Option<usize> = None;
         let mut terms: Option<Vec<String>> = None;
+        let mut func: Option<AggFunc> = None;
         for (key, val) in members {
             match key.as_str() {
                 "type" => {}
                 "options" => options = QueryOptions::from_json(val)?,
+                "func" => {
+                    func = Some(val.as_str().and_then(AggFunc::from_wire).ok_or_else(|| {
+                        UxmError::Json(format!("func must be count | sum | min | max, got {val}"))
+                    })?)
+                }
                 "pattern" => {
                     let text = val
                         .as_str()
@@ -461,6 +514,7 @@ impl Query {
             "ptq" => {
                 reject(k.is_some(), "k")?;
                 reject(terms.is_some(), "terms")?;
+                reject(func.is_some(), "func")?;
                 Query::Ptq {
                     pattern: need_pattern(pattern)?,
                     options,
@@ -469,6 +523,7 @@ impl Query {
             "ptq-nodes" => {
                 reject(k.is_some(), "k")?;
                 reject(terms.is_some(), "terms")?;
+                reject(func.is_some(), "func")?;
                 Query::PtqNodes {
                     pattern: need_pattern(pattern)?,
                     options,
@@ -476,6 +531,7 @@ impl Query {
             }
             "topk" => {
                 reject(terms.is_some(), "terms")?;
+                reject(func.is_some(), "func")?;
                 Query::TopK {
                     pattern: need_pattern(pattern)?,
                     k: k.ok_or_else(|| UxmError::Json("topk query needs \"k\"".into()))?,
@@ -485,15 +541,27 @@ impl Query {
             "keyword" => {
                 reject(k.is_some(), "k")?;
                 reject(pattern.is_some(), "pattern")?;
+                reject(func.is_some(), "func")?;
                 Query::Keyword {
                     terms: terms
                         .ok_or_else(|| UxmError::Json("keyword query needs \"terms\"".into()))?,
                     options,
                 }
             }
+            "aggregate" => {
+                reject(k.is_some(), "k")?;
+                reject(terms.is_some(), "terms")?;
+                Query::Aggregate {
+                    pattern: need_pattern(pattern)?,
+                    func: func
+                        .ok_or_else(|| UxmError::Json("aggregate query needs \"func\"".into()))?,
+                    options,
+                }
+            }
             other => {
                 return Err(UxmError::Json(format!(
-                    "unknown query type {other:?} (ptq | ptq-nodes | topk | keyword)"
+                    "unknown query type {other:?} \
+                     (ptq | ptq-nodes | topk | keyword | aggregate)"
                 )))
             }
         };
@@ -513,6 +581,9 @@ impl fmt::Display for Query {
             Query::PtqNodes { pattern, .. } => write!(f, "ptq-nodes {pattern}"),
             Query::TopK { pattern, k, .. } => write!(f, "topk {k} {pattern}"),
             Query::Keyword { terms, .. } => write!(f, "keyword {}", terms.join(" ")),
+            Query::Aggregate { pattern, func, .. } => {
+                write!(f, "aggregate {func} {pattern}")
+            }
         }
     }
 }
@@ -575,8 +646,12 @@ pub struct ExecStats {
 /// The uniform response every query kind returns.
 #[derive(Clone, Debug)]
 pub struct QueryResponse {
-    /// The answers, grouped per the query's [`Granularity`].
+    /// The answers, grouped per the query's [`Granularity`]. Empty for
+    /// aggregate queries, whose result lives in `aggregate`.
     pub answers: Vec<Answer>,
+    /// The aggregate block; `Some` exactly for [`Query::Aggregate`]
+    /// (and only then present on the wire).
+    pub aggregate: Option<AggregateResult>,
     /// Execution statistics.
     pub stats: ExecStats,
 }
@@ -684,10 +759,13 @@ impl QueryResponse {
                 Json::uint(self.stats.rewrite_misses),
             ),
         ]);
-        Json::Obj(vec![
-            ("answers".into(), Json::Arr(answers)),
-            ("stats".into(), stats),
-        ])
+        let mut members = Vec::with_capacity(3);
+        if let Some(aggregate) = &self.aggregate {
+            members.push(("aggregate".into(), aggregate.to_json()));
+        }
+        members.push(("answers".into(), Json::Arr(answers)));
+        members.push(("stats".into(), stats));
+        Json::Obj(members)
     }
 
     /// [`QueryResponse::to_json`] rendered canonically.
@@ -782,6 +860,11 @@ mod tests {
                 .with_evaluator(EvaluatorHint::Naive)
                 .with_granularity(Granularity::Distinct)
                 .with_min_probability(0.25),
+            Query::ptq(q("A[contains(.,'v')]/*[.>=1.5]//B[@id='x']")),
+            Query::aggregate(q("PO/Line/UnitPrice"), AggFunc::Sum),
+            Query::aggregate(q("//Line[.<10]"), AggFunc::Count)
+                .with_evaluator(EvaluatorHint::Compiled)
+                .with_min_probability(0.1),
         ];
         for query in queries {
             let once = query.to_json_string();
@@ -815,6 +898,9 @@ mod tests {
             "{\"pattern\":\"A[\",\"type\":\"ptq\"}",          // bad twig
             "{\"options\":{\"evaluator\":\"fast\"},\"pattern\":\"//A\",\"type\":\"ptq\"}",
             "[]",
+            "{\"pattern\":\"//A\",\"type\":\"aggregate\"}", // aggregate w/o func
+            "{\"func\":\"avg\",\"pattern\":\"//A\",\"type\":\"aggregate\"}",
+            "{\"func\":\"sum\",\"pattern\":\"//A\",\"type\":\"ptq\"}", // stray func
         ] {
             assert!(Query::from_json_str(bad).is_err(), "{bad}");
         }
@@ -841,6 +927,13 @@ mod tests {
             Query::keyword(vec!["t".into(); 65]).validate(),
             Err(UxmError::Keyword(KeywordError::TooMany { count: 65 }))
         );
+        assert!(Query::aggregate(q("//A"), AggFunc::Sum).validate().is_ok());
+        assert!(matches!(
+            Query::aggregate(q("//A"), AggFunc::Sum)
+                .with_granularity(Granularity::Distinct)
+                .validate(),
+            Err(UxmError::InvalidQuery(_))
+        ));
     }
 
     fn raw(entries: &[(u32, f64, &[u32])]) -> Vec<PtqAnswer> {
@@ -916,6 +1009,7 @@ mod tests {
                     nodes: vec![DocNodeId(1), DocNodeId(4)],
                 }],
             }],
+            aggregate: None,
             stats: ExecStats {
                 plan: Plan {
                     evaluator: Evaluator::BlockTree,
@@ -941,6 +1035,29 @@ mod tests {
         );
         // Emitted JSON is canonical: re-parsing and re-writing is stable.
         assert_eq!(Json::parse(&text).unwrap().to_string(), text);
+        // An aggregate block, when present, leads the response object.
+        let mut with_agg = response.clone();
+        with_agg.answers = Vec::new();
+        with_agg.aggregate = Some(AggregateResult::new(
+            AggFunc::Count,
+            vec![crate::aggregate::AggRow {
+                mapping: MappingId(1),
+                probability: 0.5,
+                value: Some(2.0),
+            }],
+        ));
+        let text = with_agg.to_json_string();
+        assert_eq!(
+            text,
+            "{\"aggregate\":{\"func\":\"count\",\"marginal\":2,\
+             \"rows\":[{\"mapping\":1,\"probability\":0.5,\"value\":2}]},\
+             \"answers\":[],\
+             \"stats\":{\"backend\":\"block-tree\",\"elapsed_us\":123,\
+             \"evaluator\":\"block-tree\",\"plan_reason\":\"shared-blocks\",\
+             \"program_cache_hits\":0,\"program_cache_misses\":0,\"relevant\":7,\
+             \"rewrite_hits\":2,\"rewrite_misses\":5}}"
+        );
+        assert_eq!(Json::parse(&text).unwrap().to_string(), text);
     }
 
     #[test]
@@ -950,6 +1067,10 @@ mod tests {
         assert_eq!(
             Query::keyword(vec!["a".into(), "b".into()]).to_string(),
             "keyword a b"
+        );
+        assert_eq!(
+            Query::aggregate(q("//A"), AggFunc::Max).to_string(),
+            "aggregate max //A"
         );
     }
 }

@@ -26,6 +26,7 @@
 //! per-rewrite-group evaluations run on scoped threads (see the
 //! crate-internal `par_run`).
 
+use crate::aggregate::{self, AggFunc, AggRow, AggregateResult};
 use crate::api::{ExecStats, Query, QueryResponse};
 use crate::block_tree::{BlockTree, BlockTreeConfig};
 use crate::error::UxmError;
@@ -252,6 +253,32 @@ pub struct CacheStats {
     pub relevant_misses: u64,
 }
 
+/// One query node as the session sees it: its interned label symbol
+/// (`None` when the label occurs in neither schema nor the document),
+/// and whether it is the wildcard `*` — which constrains nothing: it
+/// never filters mappings, and its rewrite set is empty-but-fine (every
+/// document node is a candidate at match time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct QuerySym {
+    /// The interned label, for labelled nodes known to the session.
+    pub(crate) sym: Option<Symbol>,
+    /// True for `*` nodes.
+    pub(crate) wild: bool,
+}
+
+impl QuerySym {
+    /// A wildcard query node.
+    pub(crate) const WILD: QuerySym = QuerySym {
+        sym: None,
+        wild: true,
+    };
+
+    /// A labelled query node.
+    pub(crate) fn label(sym: Option<Symbol>) -> QuerySym {
+        QuerySym { sym, wild: false }
+    }
+}
+
 /// Rewrite sets per query node — interned labels, sorted and deduplicated.
 type SymbolSets = Arc<Vec<Vec<Symbol>>>;
 /// Node-granularity rewrite sets per query node.
@@ -361,12 +388,6 @@ impl SessionState {
         }
     }
 
-    /// The session's symbol table (crate tests peek at it).
-    #[cfg(test)]
-    pub(crate) fn symbols_for_tests(&self) -> &SymbolTable {
-        &self.symbols
-    }
-
     /// Whether the relevant-mapping cache already holds `qstr` — the
     /// planner's cache-warmth signal. A pure probe: hit counters are
     /// untouched.
@@ -404,11 +425,21 @@ impl SessionState {
                 .sum::<usize>()
     }
 
-    /// Per pattern node: the session symbol of its label (`None` when the
-    /// label occurs in neither schema nor the document).
-    pub(crate) fn query_syms(&self, q: &TwigPattern) -> Vec<Option<Symbol>> {
+    /// Per pattern node: the session's view of it (label symbol, or
+    /// wildcard).
+    pub(crate) fn query_syms(&self, q: &TwigPattern) -> Vec<QuerySym> {
         q.ids()
-            .map(|id| self.symbols.resolve(&q.node(id).label))
+            .map(|id| {
+                let node = q.node(id);
+                if node.is_wildcard() {
+                    QuerySym::WILD
+                } else {
+                    QuerySym {
+                        sym: self.symbols.resolve(&node.label),
+                        wild: false,
+                    }
+                }
+            })
             .collect()
     }
 
@@ -459,8 +490,12 @@ impl SessionState {
         }
         self.relevant_misses.fetch_add(1, Ordering::Relaxed);
         let mut bits = MappingBits::full(self.n_mappings);
-        for sym in self.query_syms(q) {
-            match sym {
+        for qs in self.query_syms(q) {
+            // A wildcard matches under every mapping: it filters nothing.
+            if qs.wild {
+                continue;
+            }
+            match qs.sym {
                 Some(s) => bits.and_assign(self.relevance.of(s)),
                 None => bits.clear(),
             }
@@ -486,17 +521,23 @@ impl SessionState {
         }
     }
 
-    /// One query node's rewrite: the target nodes carrying `sym`, mapped
-    /// through `source_for` and projected by `project`; sorted, deduped,
-    /// `None` when empty (the node — hence the mapping — is irrelevant).
+    /// One query node's rewrite: the target nodes carrying its label,
+    /// mapped through `source_for` and projected by `project`; sorted,
+    /// deduped, `None` when empty (the node — hence the mapping — is
+    /// irrelevant). A wildcard node rewrites to the *empty* set without
+    /// killing the mapping: it has no label to rewrite, and the matchers
+    /// treat its empty set as "any document node".
     fn rewrite_one<T: Ord>(
         &self,
-        sym: Option<Symbol>,
+        qs: QuerySym,
         source_for: impl Fn(SchemaNodeId) -> Option<SchemaNodeId>,
         project: impl Fn(SchemaNodeId) -> T,
     ) -> Option<Vec<T>> {
+        if qs.wild {
+            return Some(Vec::new());
+        }
         let mut out: Vec<T> = self
-            .target_nodes(sym)
+            .target_nodes(qs.sym)
             .iter()
             .filter_map(|&t| source_for(t).map(&project))
             .collect();
@@ -509,16 +550,16 @@ impl SessionState {
     }
 
     /// [`Self::rewrite_one`] across all query nodes; `None` as soon as any
-    /// node comes up empty.
+    /// (non-wildcard) node comes up empty.
     fn rewrite_all<T: Ord>(
         &self,
-        qsyms: &[Option<Symbol>],
+        qsyms: &[QuerySym],
         source_for: impl Fn(SchemaNodeId) -> Option<SchemaNodeId> + Copy,
         project: impl Fn(SchemaNodeId) -> T + Copy,
     ) -> Option<Arc<Vec<Vec<T>>>> {
         qsyms
             .iter()
-            .map(|&sym| self.rewrite_one(sym, source_for, project))
+            .map(|&qs| self.rewrite_one(qs, source_for, project))
             .collect::<Option<Vec<_>>>()
             .map(Arc::new)
     }
@@ -553,7 +594,7 @@ impl SessionState {
     fn rewrite(
         &self,
         qstr: &str,
-        qsyms: &[Option<Symbol>],
+        qsyms: &[QuerySym],
         m: MappingRef<'_>,
         id: MappingId,
     ) -> Option<SymbolSets> {
@@ -570,7 +611,7 @@ impl SessionState {
     /// mini-mapping); pairs are sorted by target.
     fn rewrite_pairs(
         &self,
-        qsyms: &[Option<Symbol>],
+        qsyms: &[QuerySym],
         pairs: &[(SchemaNodeId, SchemaNodeId)],
     ) -> Option<SymbolSets> {
         self.rewrite_all(qsyms, Self::pairs_lookup(pairs), |s| {
@@ -583,7 +624,7 @@ impl SessionState {
     fn rewrite_nodes(
         &self,
         qstr: &str,
-        qsyms: &[Option<Symbol>],
+        qsyms: &[QuerySym],
         m: MappingRef<'_>,
         id: MappingId,
     ) -> Option<NodeSets> {
@@ -595,7 +636,7 @@ impl SessionState {
     /// Node-granularity rewrite through raw pairs.
     fn rewrite_nodes_pairs(
         &self,
-        qsyms: &[Option<Symbol>],
+        qsyms: &[QuerySym],
         pairs: &[(SchemaNodeId, SchemaNodeId)],
     ) -> Option<NodeSets> {
         self.rewrite_all(qsyms, Self::pairs_lookup(pairs), |s| s)
@@ -729,12 +770,12 @@ fn eval_tree_rec(
 /// occurrence outside the block's coverage).
 pub(crate) fn anchor_for(
     q: &TwigPattern,
-    qsyms: &[Option<Symbol>],
+    qsyms: &[QuerySym],
     pm: &PossibleMappings,
     state: &SessionState,
     tree: &BlockTree,
 ) -> Option<SchemaNodeId> {
-    let [t] = state.target_nodes(qsyms[q.root().idx()]) else {
+    let [t] = state.target_nodes(qsyms[q.root().idx()].sym) else {
         return None;
     };
     let t = *t;
@@ -743,11 +784,13 @@ pub(crate) fn anchor_for(
     }
     let mut subtree = pm.target.subtree(t);
     subtree.sort_unstable();
-    let mut distinct: Vec<Option<Symbol>> = qsyms.to_vec();
+    // Wildcards never rewrite, so they cannot reach outside the block's
+    // coverage; their `sym` is `None` and contributes no target nodes.
+    let mut distinct: Vec<QuerySym> = qsyms.to_vec();
     distinct.sort_unstable();
     distinct.dedup();
-    for sym in distinct {
-        for &n in state.target_nodes(sym) {
+    for qs in distinct {
+        for &n in state.target_nodes(qs.sym) {
             if subtree.binary_search(&n).is_err() {
                 return None;
             }
@@ -776,7 +819,7 @@ fn any_subquery_anchors(
 #[allow(clippy::too_many_arguments)]
 fn query_subtree(
     q: &TwigPattern,
-    qsyms: &[Option<Symbol>],
+    qsyms: &[QuerySym],
     t: SchemaNodeId,
     pm: &PossibleMappings,
     doc: &Document,
@@ -966,7 +1009,14 @@ pub(crate) fn node_sets_to_matches(
     doc: &Document,
     index: &PathIndex,
 ) -> Vec<TwigMatch> {
-    let candidates = crate::path_ptq::schema_nodes_to_doc(sets, &pm.source, index);
+    let mut candidates = crate::path_ptq::schema_nodes_to_doc(sets, &pm.source, index);
+    // A wildcard node has no schema nodes to pin: every document node is
+    // a candidate (its rewrite set is empty by construction).
+    for (list, id) in candidates.iter_mut().zip(q.ids()) {
+        if q.node(id).is_wildcard() {
+            *list = doc.ids().collect();
+        }
+    }
     match ResolvedPattern::with_node_candidates(q, candidates) {
         Some(resolved) => match_twig(doc, &resolved),
         None => Vec::new(),
@@ -1099,7 +1149,7 @@ pub(crate) fn eval_keyword(
         for (&sym, &vocab) in term_syms.iter().zip(&is_vocab) {
             if vocab {
                 let rewrite = state.rewrite_one(
-                    sym,
+                    QuerySym::label(sym),
                     |t| m.source_for_target(t),
                     |s| state.source_syms[s.idx()],
                 );
@@ -1413,6 +1463,9 @@ impl QueryEngine {
             avg_block_fanout: self.avg_block_fanout,
             min_rewrite_postings: postings.0,
             total_rewrite_postings: postings.1,
+            value_predicates: q.ids().map(|id| q.node(id).preds.len()).sum(),
+            wildcard_nodes: q.ids().filter(|&id| q.node(id).is_wildcard()).count(),
+            pred_selectivity: planner::estimate_selectivity(q),
             cache_warm,
         }
     }
@@ -1420,14 +1473,19 @@ impl QueryEngine {
     /// The `(min, total)` rewritten-label posting-list lengths over `q`'s
     /// nodes, read off the session's per-symbol posting table (O(|q|)).
     /// A label occurring in neither schema nor the document contributes
-    /// 0 — its candidate stream is empty.
+    /// 0 — its candidate stream is empty. A wildcard's candidate stream
+    /// is the whole document.
     fn rewrite_postings(&self, q: &TwigPattern) -> (usize, usize) {
         let mut min = usize::MAX;
         let mut total = 0usize;
-        for &sym in &self.state.query_syms(q) {
-            let p = match sym {
-                Some(s) => self.state.rewrite_postings[s.idx()],
-                None => 0,
+        for &qs in &self.state.query_syms(q) {
+            let p = if qs.wild {
+                self.doc.len()
+            } else {
+                match qs.sym {
+                    Some(s) => self.state.rewrite_postings[s.idx()],
+                    None => 0,
+                }
             };
             min = min.min(p);
             total += p;
@@ -1467,26 +1525,29 @@ impl QueryEngine {
 
     /// Runs `q` through the compiled backend: fetch (or compile) the
     /// program for the canonical query shape, then replay it over the
-    /// session arenas. Returns the raw result and whether the program
-    /// came from the cache.
+    /// session arenas. Returns the raw result, the per-mapping aggregate
+    /// rows when `agg` was requested (the program ends in an `agg-fold`
+    /// op), and whether the program came from the cache.
     fn eval_compiled(
         &self,
         q: &TwigPattern,
         qstr: &str,
         mode: SetMode,
         k: Option<usize>,
-    ) -> (PtqResult, bool) {
-        let key = ProgramCache::key(mode, k, qstr);
+        agg: Option<AggFunc>,
+    ) -> (PtqResult, Option<Vec<AggRow>>, bool) {
+        let key = ProgramCache::key(mode, k, agg, qstr);
         let (program, hit) = self
             .exec_cache
-            .get_or_compile(&key, || exec::compile(q, mode, k, &self.state));
+            .get_or_compile(&key, || exec::compile(q, mode, k, agg, &self.state));
         let ctx = exec::EngineCtx {
             pm: &self.pm,
             doc: &self.doc,
             state: &self.state,
             index: matches!(mode, SetMode::SchemaNodes).then(|| self.path_index()),
         };
-        (program.run(&ctx), hit)
+        let (res, rows) = program.run(&ctx);
+        (res, rows, hit)
     }
 
     /// The observability hook behind `uxm explain` and the `/query`
@@ -1502,13 +1563,16 @@ impl QueryEngine {
         let hint = query.options().evaluator;
         Ok(match query {
             Query::Ptq { pattern, .. } => {
-                self.explain_shaped(pattern, SetMode::Symbols, None, hint)
+                self.explain_shaped(pattern, SetMode::Symbols, None, None, hint)
             }
             Query::PtqNodes { pattern, .. } => {
-                self.explain_shaped(pattern, SetMode::SchemaNodes, None, hint)
+                self.explain_shaped(pattern, SetMode::SchemaNodes, None, None, hint)
             }
             Query::TopK { pattern, k, .. } => {
-                self.explain_shaped(pattern, SetMode::Symbols, Some(*k), hint)
+                self.explain_shaped(pattern, SetMode::Symbols, Some(*k), None, hint)
+            }
+            Query::Aggregate { pattern, func, .. } => {
+                self.explain_shaped(pattern, SetMode::Symbols, None, Some(*func), hint)
             }
             Query::Keyword { .. } => Explain {
                 plan: Plan::only(Evaluator::Naive),
@@ -1518,12 +1582,13 @@ impl QueryEngine {
         })
     }
 
-    /// [`Self::explain`] for the three PTQ-shaped query kinds.
+    /// [`Self::explain`] for the PTQ-shaped query kinds.
     fn explain_shaped(
         &self,
         q: &TwigPattern,
         mode: SetMode,
         k: Option<usize>,
+        agg: Option<AggFunc>,
         hint: crate::api::EvaluatorHint,
     ) -> Explain {
         let qstr = q.to_string();
@@ -1535,7 +1600,7 @@ impl QueryEngine {
         Explain {
             plan,
             planner: Some(stats),
-            program: Some(Arc::new(exec::compile(q, mode, k, &self.state))),
+            program: Some(Arc::new(exec::compile(q, mode, k, agg, &self.state))),
         }
     }
 
@@ -1554,6 +1619,7 @@ impl QueryEngine {
         let start = std::time::Instant::now();
         let before = self.state.stats();
         let options = *query.options();
+        let mut aggregate = None;
         // `program` is `Some(cache_hit)` when the compiled backend ran.
         let (answers, plan, relevant, backend, program) = match query {
             Query::Ptq { pattern, .. } => {
@@ -1569,7 +1635,8 @@ impl QueryEngine {
                 );
                 let (res, program) = match plan.evaluator {
                     Evaluator::Compiled => {
-                        let (res, hit) = self.eval_compiled(pattern, &qstr, SetMode::Symbols, None);
+                        let (res, _, hit) =
+                            self.eval_compiled(pattern, &qstr, SetMode::Symbols, None, None);
                         (res, Some(hit))
                     }
                     ev => (self.eval_label(pattern, &ids, ev), None),
@@ -1616,8 +1683,8 @@ impl QueryEngine {
                         None,
                     ),
                     Evaluator::Compiled => {
-                        let (res, hit) =
-                            self.eval_compiled(pattern, &qstr, SetMode::SchemaNodes, None);
+                        let (res, _, hit) =
+                            self.eval_compiled(pattern, &qstr, SetMode::SchemaNodes, None, None);
                         (res, Some(hit))
                     }
                 };
@@ -1642,8 +1709,8 @@ impl QueryEngine {
                 );
                 let (mut res, program) = match plan.evaluator {
                     Evaluator::Compiled => {
-                        let (res, hit) =
-                            self.eval_compiled(pattern, &qstr, SetMode::Symbols, Some(*k));
+                        let (res, _, hit) =
+                            self.eval_compiled(pattern, &qstr, SetMode::Symbols, Some(*k), None);
                         (res, Some(hit))
                     }
                     ev => (self.eval_label(pattern, &ids, ev), None),
@@ -1661,6 +1728,42 @@ impl QueryEngine {
                     program,
                 )
             }
+            Query::Aggregate { pattern, func, .. } => {
+                let qstr = pattern.to_string();
+                let warm = self.state.relevant_cached(&qstr);
+                let ids = self.state.relevant(pattern, &qstr);
+                let plan = exec::apply_env(
+                    options.evaluator,
+                    planner::choose(
+                        options.evaluator,
+                        &self.planner_stats(pattern, ids.len(), warm),
+                    ),
+                );
+                // Per-mapping rows are folded from the *unfiltered* match
+                // sets (each row's value is independent of which other
+                // rows survive), so the min-probability option can prune
+                // rows after the fold without changing any surviving one.
+                let (mut rows, program) = match plan.evaluator {
+                    Evaluator::Compiled => {
+                        let (_, rows, hit) =
+                            self.eval_compiled(pattern, &qstr, SetMode::Symbols, None, Some(*func));
+                        (rows.unwrap_or_default(), Some(hit))
+                    }
+                    ev => {
+                        let res = self.eval_label(pattern, &ids, ev);
+                        let shaped = crate::api::shape_ptq_answers(
+                            res.answers,
+                            &crate::api::QueryOptions::default(),
+                        );
+                        (aggregate::rows_of(*func, &shaped, pattern, &self.doc), None)
+                    }
+                };
+                if options.min_probability > 0.0 {
+                    rows.retain(|r| r.probability >= options.min_probability);
+                }
+                aggregate = Some(AggregateResult::new(*func, rows));
+                (Vec::new(), plan, ids.len(), plan.evaluator, program)
+            }
             Query::Keyword { terms, .. } => {
                 let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
                 let raw = eval_keyword(&refs, &self.pm, &self.doc, &self.state)?;
@@ -1677,6 +1780,7 @@ impl QueryEngine {
         let after = self.state.stats();
         Ok(QueryResponse {
             answers,
+            aggregate,
             stats: ExecStats {
                 plan,
                 backend,

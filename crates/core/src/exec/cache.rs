@@ -9,6 +9,7 @@
 //! arenas it was compiled over.
 
 use super::program::{Program, SetMode};
+use crate::aggregate::AggFunc;
 use crate::engine::Sharded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -49,18 +50,20 @@ impl ProgramCache {
         }
     }
 
-    /// The canonical cache key: granularity tag + top-k bound + the
-    /// pattern's canonical rendering (so textual variants of one twig
-    /// share a program).
-    pub(crate) fn key(mode: SetMode, k: Option<usize>, qstr: &str) -> String {
+    /// The canonical cache key: granularity tag + top-k bound +
+    /// aggregate function + the pattern's canonical rendering (so
+    /// textual variants of one twig share a program, while an aggregate
+    /// program — which ends in `agg-fold` — never aliases a plain PTQ
+    /// over the same pattern). Predicates and wildcards need no extra
+    /// key component: the canonical rendering spells them out.
+    pub(crate) fn key(mode: SetMode, k: Option<usize>, agg: Option<AggFunc>, qstr: &str) -> String {
         let tag = match mode {
             SetMode::Symbols => "L",
             SetMode::SchemaNodes => "N",
         };
-        match k {
-            Some(k) => format!("{tag}:{k}:{qstr}"),
-            None => format!("{tag}:-:{qstr}"),
-        }
+        let k = k.map_or("-".to_string(), |k| k.to_string());
+        let agg = agg.map_or("-", AggFunc::wire_name);
+        format!("{tag}:{k}:{agg}:{qstr}")
     }
 
     /// Returns the cached program for `key`, or compiles, caches, and

@@ -9,6 +9,7 @@
 //! answer-identical to the recursive evaluators by construction.
 
 use super::program::{FoldMode, Op, Program, SetMode};
+use crate::aggregate::AggFunc;
 use crate::engine::SessionState;
 use uxm_twig::TwigPattern;
 
@@ -18,15 +19,22 @@ use uxm_twig::TwigPattern;
 ///
 /// ```text
 /// init-bits
-/// and-relevance / clear-bits     (one per distinct query label)
+/// and-relevance / clear-bits     (one per distinct non-wildcard label)
 /// materialize-ids
 /// topk-heap k                    (top-k queries only)
-/// intersect-csr                  (one per query node)
+/// intersect-csr / wildcard-set   (one per query node)
 /// group-shapes
 /// match-shapes
 /// fold-prob
+/// agg-fold                       (aggregate queries only)
 /// emit-answers
 /// ```
+///
+/// A wildcard query node contributes nothing to phase 1 (it constrains
+/// no mapping) and lowers to `wildcard-set` in phase 2. Value predicates
+/// need no ops of their own: the pattern travels with the program and
+/// the shared matcher interprets them at `match-shapes`, exactly as the
+/// recursive evaluators do.
 ///
 /// Programs embed session symbols and schema node ids, so they are only
 /// valid against the engine whose [`SessionState`] compiled them — the
@@ -35,6 +43,7 @@ pub(crate) fn compile(
     pattern: &TwigPattern,
     mode: SetMode,
     k: Option<usize>,
+    agg: Option<AggFunc>,
     state: &SessionState,
 ) -> Program {
     let qsyms = state.query_syms(pattern);
@@ -43,18 +52,22 @@ pub(crate) fn compile(
 
     // Phase 1 — the paper's filter_mappings as bitset ANDs, one op per
     // distinct query label (ANDing a column twice is a no-op; compile it
-    // out).
+    // out). Wildcards match under every mapping and compile to nothing
+    // here.
     ops.push(Op::InitBits);
     let mut seen_labels: Vec<&str> = Vec::with_capacity(n_nodes);
-    for (id, sym) in pattern.ids().zip(&qsyms) {
+    for (id, qs) in pattern.ids().zip(&qsyms) {
+        if pattern.node(id).is_wildcard() {
+            continue;
+        }
         let label = pattern.node(id).label.as_str();
         if seen_labels.contains(&label) {
             continue;
         }
         seen_labels.push(label);
-        match sym {
+        match qs.sym {
             Some(s) => ops.push(Op::AndRelevance {
-                sym: *s,
+                sym: s,
                 label: label.to_string(),
             }),
             None => ops.push(Op::ClearBits {
@@ -69,11 +82,16 @@ pub(crate) fn compile(
 
     // Phase 2 — per-node rewrites: inline each node's target-candidate
     // list into one flat arena, sorted so the VM can merge-intersect it
-    // against the mappings' target-sorted CSR rows.
+    // against the mappings' target-sorted CSR rows. Wildcards have no
+    // candidates to intersect: they push empty-but-satisfiable rows.
     let mut targets = Vec::new();
-    for (node, sym) in qsyms.iter().enumerate() {
+    for (node, qs) in qsyms.iter().enumerate() {
+        if qs.wild {
+            ops.push(Op::WildcardSet { node: node as u32 });
+            continue;
+        }
         let start = targets.len() as u32;
-        targets.extend_from_slice(state.target_nodes(*sym));
+        targets.extend_from_slice(state.target_nodes(qs.sym));
         targets[start as usize..].sort_unstable();
         ops.push(Op::IntersectCsr {
             node: node as u32,
@@ -82,7 +100,8 @@ pub(crate) fn compile(
     }
 
     // Phase 3 — share the matcher across identical shapes, then fold the
-    // probability column into per-mapping answers.
+    // probability column into per-mapping answers (and, for aggregate
+    // queries, each answer's match set into one scalar row).
     ops.push(Op::GroupShapes);
     ops.push(Op::MatchShapes { mode });
     ops.push(Op::FoldProb {
@@ -92,6 +111,9 @@ pub(crate) fn compile(
             FoldMode::PerMapping
         },
     });
+    if let Some(func) = agg {
+        ops.push(Op::AggFold { func });
+    }
     ops.push(Op::EmitAnswers);
 
     Program {

@@ -16,9 +16,11 @@
 //!
 //! * **compiler** (`compile`, crate-internal) — lowers a twig pattern
 //!   into the fixed pipeline `init-bits → and-relevance* →
-//!   materialize-ids → [topk-heap] → intersect-csr* → group-shapes →
-//!   match-shapes → fold-prob → emit-answers`, mirroring Algorithm 3's
-//!   phases exactly;
+//!   materialize-ids → [topk-heap] → (intersect-csr|wildcard-set)* →
+//!   group-shapes → match-shapes → fold-prob → [agg-fold] →
+//!   emit-answers`, mirroring Algorithm 3's phases exactly (value
+//!   predicates travel with the pattern and are interpreted by the
+//!   shared matcher at `match-shapes`);
 //! * **VM** (`Program::run`, crate-internal) — one match-on-opcode loop
 //!   over a mapping bitset, an id register, and a flat node-major shape
 //!   arena; no per-op allocation on the warm path;
@@ -167,6 +169,7 @@ impl Explain {
                     "min_rewrite_postings".into(),
                     Json::uint(p.min_rewrite_postings as u64),
                 ),
+                ("pred_selectivity".into(), Json::Num(p.pred_selectivity)),
                 (
                     "relevant_mappings".into(),
                     Json::uint(p.relevant_mappings as u64),
@@ -175,6 +178,11 @@ impl Explain {
                     "total_rewrite_postings".into(),
                     Json::uint(p.total_rewrite_postings as u64),
                 ),
+                (
+                    "value_predicates".into(),
+                    Json::uint(p.value_predicates as u64),
+                ),
+                ("wildcard_nodes".into(), Json::uint(p.wildcard_nodes as u64)),
             ]),
         };
         let program = match &self.program {
@@ -202,13 +210,17 @@ impl fmt::Display for Explain {
         if let Some(p) = &self.planner {
             writeln!(
                 f,
-                "planner: relevant={} blocks={} fanout={:.2} postings(min/total)={}/{} warm={}",
+                "planner: relevant={} blocks={} fanout={:.2} postings(min/total)={}/{} \
+                 warm={} preds={} sel={:.2} wild={}",
                 p.relevant_mappings,
                 p.block_count,
                 p.avg_block_fanout,
                 p.min_rewrite_postings,
                 p.total_rewrite_postings,
-                p.cache_warm
+                p.cache_warm,
+                p.value_predicates,
+                p.pred_selectivity,
+                p.wildcard_nodes
             )?;
         }
         match &self.program {

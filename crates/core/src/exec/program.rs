@@ -1,6 +1,7 @@
 //! The compiled program representation: a flat instruction stream over
 //! register slots, plus the constants the compiler inlined.
 
+use crate::aggregate::AggFunc;
 use std::fmt;
 use std::ops::Range;
 use uxm_twig::TwigPattern;
@@ -96,6 +97,14 @@ pub enum Op {
         /// The target-candidate slice of the program's target arena.
         targets: Range<u32>,
     },
+    /// For wildcard query node `node`: push one **empty** shape-arena
+    /// row per live mapping. A wildcard imposes no label constraint, so
+    /// its rewrite set is empty-but-satisfiable — the matcher treats the
+    /// empty set as "any document node" — and no mapping is killed.
+    WildcardSet {
+        /// The query-node index this op covers.
+        node: u32,
+    },
     /// Group live mappings whose shape-arena rows are identical: each
     /// distinct row is matched once and shared.
     GroupShapes,
@@ -110,6 +119,13 @@ pub enum Op {
     FoldProb {
         /// The emission order this program commits to.
         mode: FoldMode,
+    },
+    /// Fold each answer's match set into one aggregate row (the shared
+    /// `crate::aggregate::row_value` semantics over the pattern's
+    /// spine leaf), in answer order.
+    AggFold {
+        /// The aggregate function folded per mapping.
+        func: AggFunc,
     },
     /// Finish: package the folded answers as the program result.
     EmitAnswers,
@@ -130,9 +146,13 @@ impl fmt::Display for Op {
                 "intersect-csr node={node} targets[{}..{}]",
                 targets.start, targets.end
             ),
+            Op::WildcardSet { node } => {
+                write!(f, "wildcard-set node={node} (unconstrained)")
+            }
             Op::GroupShapes => write!(f, "group-shapes"),
             Op::MatchShapes { mode } => write!(f, "match-shapes {}", mode.name()),
             Op::FoldProb { mode } => write!(f, "fold-prob {}", mode.name()),
+            Op::AggFold { func } => write!(f, "agg-fold {func}"),
             Op::EmitAnswers => write!(f, "emit-answers"),
         }
     }

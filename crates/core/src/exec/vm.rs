@@ -18,6 +18,7 @@
 //! (match vectors and answers); everything else is reused flat storage.
 
 use super::program::{FoldMode, Op, Program, SetMode};
+use crate::aggregate::{self, AggRow};
 use crate::engine::{node_sets_to_matches, par_run, SessionState};
 use crate::mapping::{MappingId, PossibleMappings};
 use crate::ptq::{PtqAnswer, PtqResult};
@@ -42,8 +43,10 @@ pub(crate) struct EngineCtx<'a> {
 impl Program {
     /// Executes the program against one engine session and returns the
     /// raw per-mapping result (the same shape the recursive evaluators
-    /// produce; the engine applies granularity shaping on top).
-    pub(crate) fn run(&self, ctx: &EngineCtx<'_>) -> PtqResult {
+    /// produce; the engine applies granularity shaping on top), plus
+    /// the per-mapping aggregate rows when the program ends in an
+    /// `agg-fold` op.
+    pub(crate) fn run(&self, ctx: &EngineCtx<'_>) -> (PtqResult, Option<Vec<AggRow>>) {
         let n_words = self.n_mappings.div_ceil(64);
         let n_nodes = self.n_nodes;
 
@@ -60,6 +63,7 @@ impl Program {
         let mut group_of: Vec<u32> = Vec::new();
         let mut group_matches: Vec<Vec<TwigMatch>> = Vec::new();
         let mut answers: Vec<PtqAnswer> = Vec::new();
+        let mut agg_rows: Option<Vec<AggRow>> = None;
 
         let alive = |bits: &[u64], id: MappingId| bits[id.0 as usize / 64] >> (id.0 % 64) & 1 == 1;
         let kill =
@@ -163,6 +167,21 @@ impl Program {
                         offsets.push(arena.len() as u32);
                     }
                 }
+                Op::WildcardSet { node } => {
+                    // A wildcard has no rewrite set: push one empty row
+                    // per slot (the matcher reads the empty set as "any
+                    // document node") and kill nothing.
+                    let n_slots = ids.len();
+                    if *node == 0 {
+                        arena.clear();
+                        offsets.clear();
+                        offsets.reserve(n_nodes * n_slots + 1);
+                        offsets.push(0);
+                    }
+                    for _ in 0..n_slots {
+                        offsets.push(arena.len() as u32);
+                    }
+                }
                 Op::GroupShapes => {
                     let n_slots = ids.len();
                     reps.clear();
@@ -250,9 +269,22 @@ impl Program {
                         "fold-prob emission order violated"
                     );
                 }
+                Op::AggFold { func } => {
+                    let subject = self.pattern.spine_leaf();
+                    agg_rows = Some(
+                        answers
+                            .iter()
+                            .map(|a| AggRow {
+                                mapping: a.mapping,
+                                probability: a.probability,
+                                value: aggregate::row_value(*func, &a.matches, subject, ctx.doc),
+                            })
+                            .collect(),
+                    );
+                }
                 Op::EmitAnswers => {}
             }
         }
-        PtqResult { answers }
+        (PtqResult { answers }, agg_rows)
     }
 }

@@ -20,9 +20,14 @@
 //!   entry point evaluates through: interned labels, precomputed
 //!   relevance bitsets, and sharded, thread-safe `(query, mapping)`
 //!   rewrite caches (the engine is `Send + Sync`),
-//! * [`api`] — the unified query surface: the typed [`api::Query`] AST,
-//!   the uniform [`api::QueryResponse`] with provenance and execution
-//!   stats, and its canonical JSON wire format,
+//! * [`api`] — the unified query surface: the typed [`api::Query`] AST
+//!   (PTQ, top-k, keyword, and aggregate forms; twig patterns carry
+//!   value predicates, wildcards, and descendant axes), the uniform
+//!   [`api::QueryResponse`] with provenance and execution stats, and
+//!   its canonical JSON wire format,
+//! * [`aggregate`] — COUNT/SUM/MIN/MAX aggregate answers over PTQ
+//!   matches: per-mapping rows, the probability-weighted marginal, and
+//!   the associative cross-shard merge,
 //! * [`planner`] — the cost-aware choice between naive, block-tree,
 //!   and compiled evaluation, driven by engine statistics unless a
 //!   query pins it,
@@ -101,6 +106,7 @@
 //! snapshot persistence and a memory budget — put engines behind an
 //! [`registry::EngineRegistry`]; its module docs hold a worked example.
 
+pub mod aggregate;
 pub mod api;
 pub mod block;
 pub mod block_tree;
@@ -125,6 +131,7 @@ pub mod storage;
 pub(crate) mod sync;
 pub mod topk;
 
+pub use aggregate::{AggFunc, AggRow, AggregateResult};
 pub use api::{Answer, EvaluatorHint, Granularity, Query, QueryOptions, QueryResponse};
 pub use block::{Block, BlockId};
 pub use block_tree::{BlockTree, BlockTreeConfig};

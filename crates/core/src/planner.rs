@@ -34,6 +34,9 @@
 //!     avg_block_fanout: 3.5, // block answers replicate across mappings
 //!     min_rewrite_postings: 40,   // cheapest per-label candidate stream
 //!     total_rewrite_postings: 120, // summed over the query's nodes
+//!     value_predicates: 0,
+//!     wildcard_nodes: 0,
+//!     pred_selectivity: 1.0, // no predicates: nothing filters
 //!     cache_warm: false,
 //! };
 //! assert_eq!(
@@ -64,6 +67,7 @@
 
 use crate::api::EvaluatorHint;
 use std::fmt;
+use uxm_twig::{PredOp, TwigPattern};
 
 /// How many relevant mappings the per-mapping evaluators handle so
 /// cheaply that the block tree's bookkeeping cannot pay for itself.
@@ -80,6 +84,42 @@ pub const SHARED_FANOUT_CUTOFF: f64 = 2.0;
 /// machinery. Above it, match work dominates and block sharing still
 /// pays even when warm.
 pub const WARM_POSTINGS_CUTOFF: usize = 1024;
+
+/// Estimated predicate selectivity at or below which the compiled
+/// backend wins outright: the predicates prune the candidate stream so
+/// hard that block-tree sharing has almost nothing left to share, while
+/// the flat program skips the tree's split/join machinery entirely.
+pub const SELECTIVE_PRED_CUTOFF: f64 = 0.25;
+
+/// The static selectivity estimate of one value predicate — the classic
+/// System R constants, since the engine keeps no value histograms:
+/// equality keeps 1 in 10 candidates, substring containment 1 in 4, a
+/// one-sided numeric range 1 in 3.
+pub fn pred_factor(op: &PredOp) -> f64 {
+    match op {
+        PredOp::Eq(_) => 0.1,
+        PredOp::Contains(_) => 0.25,
+        PredOp::Lt(_) | PredOp::Le(_) | PredOp::Gt(_) | PredOp::Ge(_) => 1.0 / 3.0,
+    }
+}
+
+/// Estimated fraction of label-eligible candidates surviving **all** of
+/// the query's value predicates: the product of each predicate's
+/// [`pred_factor`], floored at `0.01` (stacked predicates stop paying
+/// below a percent), and exactly `1.0` for a predicate-free query.
+pub fn estimate_selectivity(q: &TwigPattern) -> f64 {
+    let mut sel = 1.0;
+    for id in q.ids() {
+        for pred in &q.node(id).preds {
+            sel *= pred_factor(&pred.op);
+        }
+    }
+    if sel < 1.0 {
+        sel.max(0.01)
+    } else {
+        sel
+    }
+}
 
 /// A PTQ evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,6 +166,11 @@ pub enum PlanReason {
     /// node can ever match it, every answer is provably empty, and the
     /// tree's split/join machinery would be pure overhead.
     TinyPostings,
+    /// The query carries value predicates whose estimated selectivity is
+    /// at most [`SELECTIVE_PRED_CUTOFF`]: most candidates are filtered
+    /// before structural matching, so per-mapping work is small and the
+    /// flat compiled program wins.
+    SelectivePredicate,
     /// Average c-block fan-out ≥ [`SHARED_FANOUT_CUTOFF`]: block answers
     /// replicate across many mappings.
     SharedBlocks,
@@ -148,6 +193,7 @@ impl PlanReason {
             PlanReason::NoBlocks => "no-blocks",
             PlanReason::FewMappings => "few-mappings",
             PlanReason::TinyPostings => "tiny-postings",
+            PlanReason::SelectivePredicate => "selective-predicate",
             PlanReason::SharedBlocks => "shared-blocks",
             PlanReason::WarmCache => "warm-cache",
             PlanReason::ManyMappings => "many-mappings",
@@ -203,6 +249,15 @@ pub struct PlannerStats {
     /// nodes — an upper bound on the candidate stream a single twig
     /// evaluation scans.
     pub total_rewrite_postings: usize,
+    /// Number of value predicates across the query's nodes.
+    pub value_predicates: usize,
+    /// Number of wildcard (`*`) query nodes — each one's candidate
+    /// stream is the whole document.
+    pub wildcard_nodes: usize,
+    /// Estimated fraction of candidates surviving the query's value
+    /// predicates (see [`estimate_selectivity`]); exactly `1.0` for a
+    /// predicate-free query.
+    pub pred_selectivity: f64,
     /// Whether the session caches already hold this query (its relevant
     /// set, and with it the memoized rewrites or compiled program of a
     /// previous evaluation).
@@ -223,13 +278,17 @@ pub struct PlannerStats {
 /// 3. `min_rewrite_postings == 0` → `Compiled` (some query node's
 ///    measured candidate stream is empty, so every answer is provably
 ///    empty and there is nothing to share);
-/// 4. `avg_block_fanout ≥ `[`SHARED_FANOUT_CUTOFF`] → `BlockTree`
+/// 4. value predicates with estimated selectivity ≤
+///    [`SELECTIVE_PRED_CUTOFF`] → `Compiled` (the predicates prune the
+///    candidate stream before structural matching; block sharing has
+///    little left to amortize);
+/// 5. `avg_block_fanout ≥ `[`SHARED_FANOUT_CUTOFF`] → `BlockTree`
 ///    (block answers replicate across ≥2 mappings on average);
-/// 5. warm caches and `total_rewrite_postings ≤
+/// 6. warm caches and `total_rewrite_postings ≤
 ///    `[`WARM_POSTINGS_CUTOFF`] → `Compiled` (the program is cached and
 ///    the measured match work is small — most of what the tree would
 ///    have shared is already free);
-/// 6. otherwise → `BlockTree` (large `|M_q|`, let rewrite-group sharing
+/// 7. otherwise → `BlockTree` (large `|M_q|`, let rewrite-group sharing
 ///    work).
 pub fn choose(hint: EvaluatorHint, stats: &PlannerStats) -> Plan {
     let pin = |evaluator| Plan {
@@ -248,6 +307,9 @@ pub fn choose(hint: EvaluatorHint, stats: &PlannerStats) -> Plan {
                 auto(Evaluator::Compiled, PlanReason::FewMappings)
             } else if stats.min_rewrite_postings == 0 {
                 auto(Evaluator::Compiled, PlanReason::TinyPostings)
+            } else if stats.value_predicates > 0 && stats.pred_selectivity <= SELECTIVE_PRED_CUTOFF
+            {
+                auto(Evaluator::Compiled, PlanReason::SelectivePredicate)
             } else if stats.avg_block_fanout >= SHARED_FANOUT_CUTOFF {
                 auto(Evaluator::BlockTree, PlanReason::SharedBlocks)
             } else if stats.cache_warm && stats.total_rewrite_postings <= WARM_POSTINGS_CUTOFF {
@@ -270,6 +332,9 @@ mod tests {
             avg_block_fanout: fanout,
             min_rewrite_postings: 100,
             total_rewrite_postings: 1000,
+            value_predicates: 0,
+            wildcard_nodes: 0,
+            pred_selectivity: 1.0,
             cache_warm: warm,
         }
     }
@@ -325,6 +390,28 @@ mod tests {
             "huge streams keep the tree even when warm"
         );
         assert_eq!(
+            c(&PlannerStats {
+                value_predicates: 1,
+                pred_selectivity: 0.1,
+                ..stats(100, 40, 10.0, false)
+            }),
+            Plan {
+                evaluator: Evaluator::Compiled,
+                reason: PlanReason::SelectivePredicate
+            },
+            "selective predicates beat block sharing"
+        );
+        assert_eq!(
+            c(&PlannerStats {
+                value_predicates: 1,
+                pred_selectivity: 1.0 / 3.0,
+                ..stats(100, 40, 10.0, false)
+            })
+            .reason,
+            PlanReason::SharedBlocks,
+            "a lone range predicate is not selective enough"
+        );
+        assert_eq!(
             c(&stats(100, 40, 5.0, true)).reason,
             PlanReason::SharedBlocks
         );
@@ -333,6 +420,18 @@ mod tests {
             c(&stats(100, 40, 1.2, false)).reason,
             PlanReason::ManyMappings
         );
+    }
+
+    #[test]
+    fn selectivity_estimate_multiplies_static_factors() {
+        let sel = |q: &str| estimate_selectivity(&TwigPattern::parse(q).unwrap());
+        assert_eq!(sel("A/B"), 1.0);
+        assert_eq!(sel("A//*"), 1.0, "wildcards filter nothing");
+        assert!((sel("A[.='v']/B") - 0.1).abs() < 1e-12);
+        assert!((sel("A[contains(@k,'v')]") - 0.25).abs() < 1e-12);
+        assert!((sel("A[.<3]") - 1.0 / 3.0).abs() < 1e-12);
+        // Stacked predicates multiply, floored at 0.01.
+        assert!((sel("A[.='v'][@k='w']/B[.='x']") - 0.01).abs() < 1e-12);
     }
 
     #[test]

@@ -159,10 +159,7 @@ mod tests {
         tree: &BlockTree,
     ) -> Option<SchemaNodeId> {
         let state = SessionState::build(pm, doc);
-        let qsyms: Vec<_> = q
-            .ids()
-            .map(|id| state.symbols_for_tests().resolve(&q.node(id).label))
-            .collect();
+        let qsyms = state.query_syms(q);
         anchor_for(q, &qsyms, pm, &state, tree)
     }
 

@@ -37,6 +37,13 @@
 //!   [`merge_topk`] — probability descending, then engine name, then
 //!   [`MappingId`] list — so the cross-shard merge is exact and
 //!   byte-identical to the unsharded answer.
+//! * `POST /aggregate` (served by single-registry servers too)
+//!   evaluates an aggregate query across many engines; the router
+//!   concatenates the per-engine entries in **name-ascending order**
+//!   and recomputes the fleet value with [`merge_marginals`] over that
+//!   order (count/sum add, min/max take the extremum) — an associative
+//!   fold, never a merge of per-shard partials, so the sharded body is
+//!   byte-identical to the unsharded one.
 //! * `GET /shards` reports the ring layout plus per-shard footprint,
 //!   evictions, and shed hydrations; `GET /stats` nests each shard's
 //!   full stats body under the front server's own counters.
@@ -63,6 +70,7 @@
 
 #![deny(missing_docs)]
 
+use crate::aggregate::{merge_marginals, opt_num, AggFunc};
 use crate::api::Query;
 use crate::error::UxmError;
 use crate::json::Json;
@@ -417,6 +425,177 @@ pub(crate) fn topk_over_registry(
         }));
     }
     Ok(topk_body(&merge_topk(all, request.k), request.k))
+}
+
+// ---------------------------------------------------------------------
+// cross-shard aggregates
+
+/// The parsed body of `POST /aggregate`:
+/// `{"engines":[…],"query":{…}}` with `engines` optional (default: all
+/// known engines) and `query` required to be an aggregate query.
+pub struct AggregateRequest {
+    /// Explicit engine names, when given.
+    pub engines: Option<Vec<String>>,
+    /// The aggregate query to run on each engine.
+    pub query: Query,
+    /// The query's aggregate function.
+    pub func: AggFunc,
+}
+
+impl AggregateRequest {
+    /// Strict parse (unknown members rejected, like the rest of the
+    /// wire format).
+    pub fn from_json_str(body: &str) -> Result<AggregateRequest, UxmError> {
+        let parsed = Json::parse(body)?;
+        let Json::Obj(members) = &parsed else {
+            return Err(UxmError::Json("aggregate body must be an object".into()));
+        };
+        let mut engines = None;
+        let mut query = None;
+        for (key, value) in members {
+            match key.as_str() {
+                "engines" => {
+                    let arr = value.as_arr().ok_or_else(|| {
+                        UxmError::Json("engines must be an array of names".into())
+                    })?;
+                    engines = Some(
+                        arr.iter()
+                            .map(|v| {
+                                v.as_str().map(str::to_string).ok_or_else(|| {
+                                    UxmError::Json("engine names must be strings".into())
+                                })
+                            })
+                            .collect::<Result<Vec<String>, _>>()?,
+                    );
+                }
+                "query" => query = Some(Query::from_json(value)?),
+                other => {
+                    return Err(UxmError::Json(format!(
+                        "unknown aggregate member {other:?}"
+                    )))
+                }
+            }
+        }
+        let query =
+            query.ok_or_else(|| UxmError::Json("aggregate body needs a \"query\"".into()))?;
+        let Query::Aggregate { func, .. } = &query else {
+            return Err(UxmError::InvalidQuery(
+                "the /aggregate endpoint needs an aggregate query (kind \"aggregate\")".into(),
+            ));
+        };
+        let func = *func;
+        Ok(AggregateRequest {
+            engines,
+            query,
+            func,
+        })
+    }
+
+    /// The canonical sub-request body the router sends each shard:
+    /// the same query with an explicit (sorted) engine subset.
+    fn sub_body(&self, names: &[String]) -> String {
+        Json::Obj(vec![
+            (
+                "engines".into(),
+                Json::Arr(names.iter().map(|n| Json::str(n.as_str())).collect()),
+            ),
+            ("query".into(), self.query.to_json()),
+        ])
+        .to_string()
+    }
+}
+
+/// One engine's contribution to a `/aggregate` response, as parsed
+/// back by the router's cross-shard merge.
+struct AggregateEntry {
+    /// The engine name (the merge's fold order is name ascending).
+    name: String,
+    /// That engine's marginal, `null` on the wire when undefined.
+    marginal: Option<f64>,
+    /// The entry's canonical JSON, re-emitted verbatim in the merged
+    /// body.
+    json: Json,
+}
+
+impl AggregateEntry {
+    fn from_json(value: &Json) -> Result<AggregateEntry, UxmError> {
+        let name = value
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or_else(|| UxmError::Json("aggregate entry needs an \"engine\" name".into()))?
+            .to_string();
+        let marginal = match value.get("marginal") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| UxmError::Json("marginal must be a number or null".into()))?,
+            ),
+        };
+        Ok(AggregateEntry {
+            name,
+            marginal,
+            json: value.clone(),
+        })
+    }
+}
+
+/// Renders the canonical `/aggregate` response body
+/// (`{"engines":[…],"func":…,"value":…}`). `entries` must already be
+/// in engine-name-ascending order; `value` is the fleet-wide merge of
+/// their marginals, folded in that same order by [`merge_marginals`] —
+/// recomputed from the entries at every hop, **never** from per-shard
+/// partial values, so a sharded response is byte-identical to an
+/// unsharded one. Documented in `docs/wire-format.md`.
+fn aggregate_body(entries: Vec<AggregateEntry>, func: AggFunc) -> String {
+    let value = merge_marginals(func, entries.iter().map(|e| e.marginal));
+    Json::Obj(vec![
+        (
+            "engines".into(),
+            Json::Arr(entries.into_iter().map(|e| e.json).collect()),
+        ),
+        ("func".into(), Json::str(func.wire_name())),
+        ("value".into(), opt_num(value)),
+    ])
+    .to_string()
+}
+
+/// Evaluates a `/aggregate` request against one registry — the
+/// single-registry server's handler, and what each shard runs for the
+/// router's fan-out. Engines are resolved in sorted, deduplicated name
+/// order, evaluated one by one, and their marginals folded with
+/// [`merge_marginals`] in that order.
+pub(crate) fn aggregate_over_registry(
+    registry: &EngineRegistry,
+    body: &str,
+) -> Result<String, UxmError> {
+    let request = AggregateRequest::from_json_str(body)?;
+    let names = match &request.engines {
+        Some(explicit) => {
+            let mut names = explicit.clone();
+            names.sort();
+            names.dedup();
+            names
+        }
+        None => known_names(registry),
+    };
+    let mut entries = Vec::new();
+    for name in &names {
+        let engine = registry.fetch(name)?;
+        let response = engine.run(&request.query)?;
+        let agg = response.aggregate.ok_or_else(|| {
+            UxmError::Internal("aggregate query returned no aggregate block".into())
+        })?;
+        entries.push(AggregateEntry {
+            name: name.clone(),
+            marginal: agg.marginal,
+            json: Json::Obj(vec![
+                ("engine".into(), Json::str(name.as_str())),
+                ("marginal".into(), opt_num(agg.marginal)),
+                ("rows".into(), agg.rows_json()),
+            ]),
+        });
+    }
+    Ok(aggregate_body(entries, request.func))
 }
 
 /// Every name `registry` can serve: resident engines plus hydratable
@@ -990,6 +1169,106 @@ impl Router {
         }
     }
 
+    /// `POST /aggregate`: validate names against the cluster's known
+    /// set, fan explicit per-shard subsets out, concatenate the
+    /// per-engine entries in name-ascending order, and recompute the
+    /// fleet value with [`merge_marginals`] over that order — never
+    /// from per-shard partial values — so the merged body is
+    /// byte-identical to a single registry's.
+    fn proxy_aggregate(&self, body: &str, forward: Option<IpAddr>) -> (u16, String) {
+        let inner = || -> Result<(u16, String), UxmError> {
+            let request = AggregateRequest::from_json_str(body)?;
+            let known = self.known_names();
+            let names = match &request.engines {
+                Some(explicit) => {
+                    let mut names = explicit.clone();
+                    names.sort();
+                    names.dedup();
+                    if let Some(missing) = names.iter().find(|n| !known.contains(n)) {
+                        return Err(UxmError::UnknownEngine(missing.clone()));
+                    }
+                    names
+                }
+                None => known,
+            };
+            let mut last = None;
+            'attempt: for _ in 0..2 {
+                let mut groups: Vec<(Arc<Shard>, Vec<String>)> = Vec::new();
+                {
+                    let st = sync::read(&self.state);
+                    for name in &names {
+                        let id = st.ring.owner(name);
+                        match groups.iter_mut().find(|(s, _)| s.id == id) {
+                            Some((_, group)) => group.push(name.clone()),
+                            None => {
+                                let shard = st
+                                    .shards
+                                    .iter()
+                                    .find(|s| s.id == id)
+                                    .cloned()
+                                    .expect("ring ids are current shards");
+                                groups.push((shard, vec![name.clone()]));
+                            }
+                        }
+                    }
+                }
+                let bodies: Vec<String> = groups.iter().map(|(_, g)| request.sub_body(g)).collect();
+                let results: Vec<Result<(u16, String), UxmError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = groups
+                        .iter()
+                        .zip(&bodies)
+                        .map(|((shard, _), sub)| {
+                            scope.spawn(move || {
+                                self.call_shard(shard, "/aggregate", Some(sub), forward)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|_| {
+                                Err(UxmError::Internal(
+                                    "aggregate fan-out thread panicked".into(),
+                                ))
+                            })
+                        })
+                        .collect()
+                });
+                let mut all: Vec<AggregateEntry> = Vec::new();
+                for ((shard, _), result) in groups.iter().zip(results) {
+                    match result {
+                        Err(e @ UxmError::ShardUnavailable { .. }) => {
+                            last = Some(e);
+                            continue 'attempt;
+                        }
+                        Err(e) => return Err(e),
+                        Ok((200, sub_body)) => {
+                            let sub = Json::parse(&sub_body)?;
+                            let engines =
+                                sub.get("engines").and_then(Json::as_arr).ok_or_else(|| {
+                                    UxmError::Internal(format!(
+                                        "shard {} returned a malformed aggregate body",
+                                        shard.id
+                                    ))
+                                })?;
+                            for e in engines {
+                                all.push(AggregateEntry::from_json(e)?);
+                            }
+                        }
+                        Ok(other) => return Ok(other),
+                    }
+                }
+                all.sort_by(|a, b| a.name.cmp(&b.name));
+                return Ok((200, aggregate_body(all, request.func)));
+            }
+            Err(last.expect("attempts exhausted"))
+        };
+        match inner() {
+            Ok(response) => response,
+            Err(e) => (status_for(&e), error_body(&e)),
+        }
+    }
+
     // -- observability ------------------------------------------------
 
     /// `GET /shards`: the ring layout plus per-shard ownership and
@@ -1147,6 +1426,7 @@ impl Handler for RouterHandler {
             ("GET", "/stats") => (200, self.router.stats_body(stats)),
             ("GET", "/engines") => (200, self.router.engines_body()),
             ("POST", "/topk") => self.router.proxy_topk(&request.body, client),
+            ("POST", "/aggregate") => self.router.proxy_aggregate(&request.body, client),
             ("POST", "/batch") => self.router.proxy_batch(&request.body, client),
             ("POST", path) if path.starts_with("/query/") => {
                 let name = &path["/query/".len()..];
@@ -1159,7 +1439,7 @@ impl Handler for RouterHandler {
             ("GET" | "POST", _) => {
                 let e = UxmError::Usage(format!(
                     "no route {} {} (POST /query/<engine>, POST /batch, POST /topk, \
-                     GET /engines|/stats|/shards|/healthz)",
+                     POST /aggregate, GET /engines|/stats|/shards|/healthz)",
                     request.method, request.path
                 ));
                 (404, error_body(&e))

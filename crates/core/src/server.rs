@@ -19,6 +19,7 @@
 //! | `POST /query/<engine>` | one [`Query`] | one [`QueryResponse`](crate::api::QueryResponse): `run()`'s response, its `answers` byte-identical to a direct run |
 //! | `POST /batch`          | JSON array of `{"engine":…,"query":…}` | `{"results":[…]}`, one response or error object per request |
 //! | `POST /topk`           | `{"engines":[…],"query":…}` (top-k query; `engines` optional) | `{"answers":[…],"k":…}` — the best *k* answers across the named (default: all known) engines in the pinned cross-engine order (see [`crate::router`]) |
+//! | `POST /aggregate`      | `{"engines":[…],"query":…}` (aggregate query; `engines` optional) | `{"engines":[…],"func":…,"value":…}` — per-engine rows + marginals in name-ascending order, and the fleet value folded by [`crate::aggregate::merge_marginals`] |
 //! | `GET /engines`         | —                            | registry listing with `approx_bytes`, eviction count, on-disk snapshots |
 //! | `GET /stats`           | —                            | per-engine request/plan/cache aggregates + latency percentiles |
 //! | `GET /healthz`         | —                            | `{"status":"ok"}` |
@@ -1239,6 +1240,10 @@ impl Handler for RegistryHandler {
                 &self.registry,
                 &request.body,
             )),
+            ("POST", "/aggregate") => done(crate::router::aggregate_over_registry(
+                &self.registry,
+                &request.body,
+            )),
             ("POST", path) if path.starts_with("/query/") => {
                 let name = &path["/query/".len()..];
                 done(handle_query(&self.registry, stats, name, &request.body))
@@ -1246,7 +1251,7 @@ impl Handler for RegistryHandler {
             ("GET" | "POST", _) => {
                 let e = UxmError::Usage(format!(
                     "no route {} {} (POST /query/<engine>, POST /batch, POST /topk, \
-                     GET /engines|/stats|/healthz)",
+                     POST /aggregate, GET /engines|/stats|/healthz)",
                     request.method, request.path
                 ));
                 (404, error_body(&e))

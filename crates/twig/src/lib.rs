@@ -26,5 +26,7 @@ pub mod structural_join;
 
 pub use matcher::match_twig;
 pub use naive::match_twig_naive;
-pub use pattern::{Axis, PatternNodeId, TwigParseError, TwigPattern};
+pub use pattern::{
+    Axis, PatternNodeId, PredOp, PredTarget, TwigParseError, TwigPattern, ValuePred,
+};
 pub use resolve::{ResolvedPattern, TwigMatch};

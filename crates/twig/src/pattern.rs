@@ -1,17 +1,32 @@
 //! Twig pattern AST and parser.
 //!
-//! The grammar covers the queries in the paper's Table III:
+//! The grammar covers the queries in the paper's Table III plus value
+//! predicates and the wildcard label (see `docs/query-language.md`):
 //!
 //! ```text
 //! query     := ('/' | '//')? step ( ('/' | '//') step )*
 //! step      := label predicate*
-//! predicate := '[' relpath ']' | '[' textpred ']'
+//! label     := name | '*'
+//! predicate := '[' relpath ']' | '[' valuepred ']'
 //! relpath   := ('./' | './/') step ( ('/' | '//') step )*
-//! textpred  := ('.' | 'text()') '=' '\'' value '\''
+//! valuepred := target '=' quoted
+//!            | target cmp number
+//!            | 'contains(' target ',' quoted ')'
+//! target    := '.' | 'text()' | '@' name
+//! cmp       := '<' | '<=' | '>' | '>='
+//! quoted    := '\'' value '\''
 //! ```
 //!
 //! Examples: `Order/DeliverTo/Address[./City][./Country]/Street`,
-//! `Order[./Buyer/Contact][./DeliverTo//City]//BPID`, `//IP//ICN`.
+//! `Order[./Buyer/Contact][./DeliverTo//City]//BPID`, `//IP//ICN`,
+//! `Order//UP[.>=10]`, `//*[@id='b7']/Quantity`,
+//! `Order//City[contains(.,'Ber')]`.
+//!
+//! `text()` is a synonym for `.`; the canonical rendering (what
+//! [`TwigPattern`]'s `Display` emits) always uses `.`. Numeric literals
+//! render via Rust's shortest-round-trip `f64` formatting, so one
+//! parse→display trip is a fixpoint (`[.<3.50]` canonicalizes to
+//! `[.<3.5]` and stays there).
 
 use std::fmt;
 
@@ -37,10 +52,52 @@ pub enum Axis {
     Descendant,
 }
 
+/// What a value predicate reads off the matched document node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PredTarget {
+    /// The element's text content (`.` / `text()` in the grammar).
+    Text,
+    /// The named attribute's value (`@name` in the grammar).
+    Attr(String),
+}
+
+/// The comparison a value predicate applies to the read value.
+///
+/// String comparisons ([`PredOp::Eq`], [`PredOp::Contains`]) are exact
+/// byte comparisons. Numeric comparisons parse the document value as an
+/// `f64` first; a value that is absent, non-numeric, or `NaN` never
+/// satisfies a numeric comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PredOp {
+    /// `= 'v'` — the value equals the literal exactly.
+    Eq(String),
+    /// `contains(_, 'v')` — the value contains the literal as a substring.
+    Contains(String),
+    /// `< n` — the value parses as a number strictly below `n`.
+    Lt(f64),
+    /// `<= n`.
+    Le(f64),
+    /// `> n`.
+    Gt(f64),
+    /// `>= n`.
+    Ge(f64),
+}
+
+/// A value predicate attached to one pattern node: a read target plus a
+/// comparison. A node may carry several; all must hold (conjunction).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValuePred {
+    /// What to read from the matched document node.
+    pub target: PredTarget,
+    /// The comparison to apply.
+    pub op: PredOp,
+}
+
 /// One node of a twig pattern.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PatternNode {
-    /// Element label this node requires (before any query rewriting).
+    /// Element label this node requires (before any query rewriting), or
+    /// `"*"` for the wildcard, which matches any label.
     pub label: String,
     /// Relation to the parent pattern node (or to the document, for root).
     pub axis: Axis,
@@ -48,8 +105,25 @@ pub struct PatternNode {
     pub parent: Option<PatternNodeId>,
     /// Child pattern nodes (spine continuation and predicate branches).
     pub children: Vec<PatternNodeId>,
-    /// Optional text predicate: the matched element's text must equal this.
-    pub text_eq: Option<String>,
+    /// Value predicates on the matched node (conjunction; empty = none).
+    pub preds: Vec<ValuePred>,
+}
+
+impl PatternNode {
+    /// True for the wildcard label `*`, which matches any element label.
+    #[inline]
+    pub fn is_wildcard(&self) -> bool {
+        self.label == "*"
+    }
+
+    /// The node's text-equality literal, when its predicates are exactly
+    /// the classic `[.='v']` form (compatibility accessor).
+    pub fn text_eq(&self) -> Option<&str> {
+        self.preds.iter().find_map(|p| match (&p.target, &p.op) {
+            (PredTarget::Text, PredOp::Eq(v)) => Some(v.as_str()),
+            _ => None,
+        })
+    }
 }
 
 /// A parsed twig pattern.
@@ -122,7 +196,7 @@ impl TwigPattern {
                 axis,
                 parent: None,
                 children: Vec::new(),
-                text_eq: None,
+                preds: Vec::new(),
             }],
         }
     }
@@ -140,15 +214,39 @@ impl TwigPattern {
             axis,
             parent: Some(parent),
             children: Vec::new(),
-            text_eq: None,
+            preds: Vec::new(),
         });
         self.nodes[parent.idx()].children.push(id);
         id
     }
 
-    /// Sets a text-equality predicate on a node.
+    /// Attaches a value predicate to a node (conjunction with any
+    /// predicates already present).
+    pub fn add_pred(&mut self, id: PatternNodeId, pred: ValuePred) {
+        self.nodes[id.idx()].preds.push(pred);
+    }
+
+    /// Sets a text-equality predicate on a node — shorthand for
+    /// [`TwigPattern::add_pred`] with the classic `[.='v']` form.
     pub fn set_text_eq(&mut self, id: PatternNodeId, value: impl Into<String>) {
-        self.nodes[id.idx()].text_eq = Some(value.into());
+        self.add_pred(
+            id,
+            ValuePred {
+                target: PredTarget::Text,
+                op: PredOp::Eq(value.into()),
+            },
+        );
+    }
+
+    /// The spine leaf: from the root, repeatedly the last child — the
+    /// node the canonical rendering ends on. Aggregate queries read
+    /// their value (text content) off this node's match.
+    pub fn spine_leaf(&self) -> PatternNodeId {
+        let mut at = self.root();
+        while let Some(&last) = self.node(at).children.last() {
+            at = last;
+        }
+        at
     }
 
     /// Overrides a node's axis. Query decomposition uses this to relax an
@@ -170,9 +268,7 @@ impl TwigPattern {
     /// stitched back into whole-pattern matches.
     pub fn subpattern_with_map(&self, id: PatternNodeId) -> (TwigPattern, Vec<PatternNodeId>) {
         let mut out = TwigPattern::single(self.node(id).label.clone(), self.node(id).axis);
-        if let Some(t) = &self.node(id).text_eq {
-            out.set_text_eq(out.root(), t.clone());
-        }
+        out.nodes[0].preds = self.node(id).preds.clone();
         let mut map = vec![id];
         self.copy_children_mapped(id, &mut out, PatternNodeId(0), &mut map);
         (out, map)
@@ -188,21 +284,17 @@ impl TwigPattern {
         for &c in &self.node(from).children {
             let n = self.node(c);
             let new_id = out.add_child(to, n.label.clone(), n.axis);
-            if let Some(t) = &n.text_eq {
-                out.set_text_eq(new_id, t.clone());
-            }
+            out.nodes[new_id.idx()].preds = n.preds.clone();
             map.push(c);
             self.copy_children_mapped(c, out, new_id, map);
         }
     }
 
-    /// A pattern containing only `id`'s label/axis/predicate (used for the
-    /// `q0` root-only subquery in Algorithm 4).
+    /// A pattern containing only `id`'s label/axis/predicates (used for
+    /// the `q0` root-only subquery in Algorithm 4).
     pub fn node_only(&self, id: PatternNodeId) -> TwigPattern {
         let mut out = TwigPattern::single(self.node(id).label.clone(), self.node(id).axis);
-        if let Some(t) = &self.node(id).text_eq {
-            out.set_text_eq(out.root(), t.clone());
-        }
+        out.nodes[0].preds = self.node(id).preds.clone();
         out
     }
 
@@ -244,8 +336,8 @@ fn write_node(
         }
     }
     write!(f, "{}", n.label)?;
-    if let Some(t) = &n.text_eq {
-        write!(f, "[.='{t}']")?;
+    for p in &n.preds {
+        write!(f, "[{p}]")?;
     }
     // All children but the last render as predicates; the last continues
     // the spine. (A canonical, re-parseable rendering.)
@@ -259,6 +351,29 @@ fn write_node(
         write!(f, "]")?;
     }
     write_node(q, kids[kids.len() - 1], f, false)
+}
+
+impl fmt::Display for PredTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredTarget::Text => write!(f, "."),
+            PredTarget::Attr(name) => write!(f, "@{name}"),
+        }
+    }
+}
+
+impl fmt::Display for ValuePred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = &self.target;
+        match &self.op {
+            PredOp::Eq(v) => write!(f, "{t}='{v}'"),
+            PredOp::Contains(v) => write!(f, "contains({t},'{v}')"),
+            PredOp::Lt(n) => write!(f, "{t}<{n}"),
+            PredOp::Le(n) => write!(f, "{t}<={n}"),
+            PredOp::Gt(n) => write!(f, "{t}>{n}"),
+            PredOp::Ge(n) => write!(f, "{t}>={n}"),
+        }
+    }
 }
 
 /// Errors from [`TwigPattern::parse`].
@@ -341,10 +456,31 @@ impl<'a> PatternParser<'a> {
         q: &mut TwigPattern,
         at: PatternNodeId,
     ) -> Result<(), TwigParseError> {
-        // text predicate: .='v'  or  text()='v'
-        if self.try_consume("text()=") || self.try_consume(".=") {
+        // contains(target,'v')
+        if self.try_consume("contains(") {
+            let target = self
+                .try_read_pred_target()?
+                .ok_or(TwigParseError::BadPredicate(self.pos))?;
+            if !self.try_consume(",") {
+                return Err(TwigParseError::BadPredicate(self.pos));
+            }
             let v = self.read_quoted()?;
-            q.set_text_eq(at, v);
+            if !self.try_consume(")") {
+                return Err(TwigParseError::BadPredicate(self.pos));
+            }
+            q.add_pred(
+                at,
+                ValuePred {
+                    target,
+                    op: PredOp::Contains(v),
+                },
+            );
+            return Ok(());
+        }
+        // value predicate: target ('=' quoted | cmp number)
+        if let Some(target) = self.try_read_pred_target()? {
+            let op = self.read_pred_op()?;
+            q.add_pred(at, ValuePred { target, op });
             return Ok(());
         }
         // relative path: ./step...  or  .//step...  or  //step  or  step
@@ -353,6 +489,7 @@ impl<'a> PatternParser<'a> {
         } else if self.try_consume("./")
             || self.try_consume("/")
             || self.peek().is_some_and(is_label_byte)
+            || self.peek() == Some(b'*')
         {
             Axis::Child
         } else {
@@ -363,6 +500,72 @@ impl<'a> PatternParser<'a> {
         self.parse_step_suffix(q, child)?;
         self.parse_spine(q, child)?;
         Ok(())
+    }
+
+    /// Consumes a value-predicate read target (`@name` always; `.` or
+    /// `text()` only when a comparison operator follows, so `./step`
+    /// relative paths stay untouched). Returns `Ok(None)` when the input
+    /// is not a value target.
+    fn try_read_pred_target(&mut self) -> Result<Option<PredTarget>, TwigParseError> {
+        if self.peek() == Some(b'@') {
+            self.pos += 1;
+            let name = self
+                .read_label()
+                .map_err(|_| TwigParseError::BadPredicate(self.pos))?;
+            return Ok(Some(PredTarget::Attr(name)));
+        }
+        let at = |n: usize| self.input.get(self.pos + n).copied();
+        let op_or_comma = |c: Option<u8>| matches!(c, Some(b'=' | b'<' | b'>' | b','));
+        if self.input[self.pos..].starts_with(b"text()") && op_or_comma(at(6)) {
+            self.pos += 6;
+            return Ok(Some(PredTarget::Text));
+        }
+        if self.peek() == Some(b'.') && op_or_comma(at(1)) {
+            self.pos += 1;
+            return Ok(Some(PredTarget::Text));
+        }
+        Ok(None)
+    }
+
+    /// Consumes a value-predicate comparison: `=` with a quoted string,
+    /// or `<` / `<=` / `>` / `>=` with a number literal.
+    fn read_pred_op(&mut self) -> Result<PredOp, TwigParseError> {
+        if self.try_consume("=") {
+            return Ok(PredOp::Eq(self.read_quoted()?));
+        }
+        for (token, make) in [
+            ("<=", PredOp::Le as fn(f64) -> PredOp),
+            ("<", PredOp::Lt),
+            (">=", PredOp::Ge),
+            (">", PredOp::Gt),
+        ] {
+            if self.try_consume(token) {
+                return Ok(make(self.read_number()?));
+            }
+        }
+        Err(TwigParseError::BadPredicate(self.pos))
+    }
+
+    /// Reads a number literal: optional `-`, digits, optional `.` digits.
+    fn read_number(&mut self) -> Result<f64, TwigParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .ok_or(TwigParseError::BadPredicate(start))
     }
 
     fn peek(&self) -> Option<u8> {
@@ -389,6 +592,10 @@ impl<'a> PatternParser<'a> {
     }
 
     fn read_label(&mut self) -> Result<String, TwigParseError> {
+        if self.peek() == Some(b'*') {
+            self.pos += 1;
+            return Ok("*".to_string());
+        }
         let start = self.pos;
         while self.peek().is_some_and(is_label_byte) {
             self.pos += 1;
@@ -492,9 +699,83 @@ mod tests {
     fn parses_text_predicate() {
         let q = TwigPattern::parse("Order//City[.='Berlin']").unwrap();
         let city = q.ids().find(|&id| q.node(id).label == "City").unwrap();
-        assert_eq!(q.node(city).text_eq.as_deref(), Some("Berlin"));
+        assert_eq!(q.node(city).text_eq(), Some("Berlin"));
         let q2 = TwigPattern::parse("Order//City[text()='Berlin']").unwrap();
         assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn parses_value_predicates() {
+        let q = TwigPattern::parse("Order//UP[.>=10.5]").unwrap();
+        let up = q.ids().find(|&id| q.node(id).label == "UP").unwrap();
+        assert_eq!(
+            q.node(up).preds,
+            vec![ValuePred {
+                target: PredTarget::Text,
+                op: PredOp::Ge(10.5),
+            }]
+        );
+        let q = TwigPattern::parse("A[@id='b7']").unwrap();
+        assert_eq!(
+            q.node(q.root()).preds,
+            vec![ValuePred {
+                target: PredTarget::Attr("id".into()),
+                op: PredOp::Eq("b7".into()),
+            }]
+        );
+        let q = TwigPattern::parse("A[contains(.,'Ber')][@n<-2]").unwrap();
+        assert_eq!(
+            q.node(q.root()).preds,
+            vec![
+                ValuePred {
+                    target: PredTarget::Text,
+                    op: PredOp::Contains("Ber".into()),
+                },
+                ValuePred {
+                    target: PredTarget::Attr("n".into()),
+                    op: PredOp::Lt(-2.0),
+                },
+            ]
+        );
+        // text() is a synonym for `.` in every value-predicate form.
+        assert_eq!(
+            TwigPattern::parse("A[text()<3]").unwrap(),
+            TwigPattern::parse("A[.<3]").unwrap()
+        );
+        assert_eq!(
+            TwigPattern::parse("A[contains(text(),'x')]").unwrap(),
+            TwigPattern::parse("A[contains(.,'x')]").unwrap()
+        );
+    }
+
+    #[test]
+    fn parses_wildcard_steps() {
+        let q = TwigPattern::parse("Order/*/UP").unwrap();
+        assert_eq!(q.len(), 3);
+        assert!(q.node(PatternNodeId(1)).is_wildcard());
+        let q = TwigPattern::parse("//*[@id='x']").unwrap();
+        assert!(q.node(q.root()).is_wildcard());
+        let q = TwigPattern::parse("A[./*]/B").unwrap();
+        assert_eq!(q.len(), 3);
+        assert!(q.node(PatternNodeId(1)).is_wildcard());
+    }
+
+    #[test]
+    fn numeric_literals_canonicalize_to_a_fixpoint() {
+        for (s, want) in [
+            ("A[.<3.50]", "A[.<3.5]"),
+            ("A[.>=010]", "A[.>=10]"),
+            ("A[@n<=-0.25]", "A[@n<=-0.25]"),
+            ("A[.>2.0]", "A[.>2]"),
+        ] {
+            let rendered = TwigPattern::parse(s).unwrap().to_string();
+            assert_eq!(rendered, want, "{s}");
+            assert_eq!(
+                TwigPattern::parse(&rendered).unwrap().to_string(),
+                rendered,
+                "fixpoint for {s}"
+            );
+        }
     }
 
     #[test]
@@ -504,6 +785,10 @@ mod tests {
             "//IP//ICN",
             "Order//City[.='Berlin']",
             "A[./B/C]//D",
+            "Order//UP[.>=10.5]",
+            "A[@id='b7']/B[contains(.,'x')]",
+            "//*[@n<3]/B",
+            "A[contains(@k,'v')][.<=2.5]//*",
         ] {
             let q = TwigPattern::parse(s).unwrap();
             let rendered = q.to_string();
@@ -528,7 +813,27 @@ mod tests {
         q.set_text_eq(q.root(), "v");
         let only = q.node_only(q.root());
         assert_eq!(only.len(), 1);
-        assert_eq!(only.node(only.root()).text_eq.as_deref(), Some("v"));
+        assert_eq!(only.node(only.root()).text_eq(), Some("v"));
+    }
+
+    #[test]
+    fn subpattern_keeps_value_predicates() {
+        let q = TwigPattern::parse("A/B[@id='7'][.>=2]/C[contains(.,'x')]").unwrap();
+        let b = q.ids().find(|&id| q.node(id).label == "B").unwrap();
+        let sub = q.subpattern(b);
+        assert_eq!(sub.to_string(), "B[@id='7'][.>=2]/C[contains(.,'x')]");
+        let only = q.node_only(b);
+        assert_eq!(only.to_string(), "B[@id='7'][.>=2]");
+    }
+
+    #[test]
+    fn spine_leaf_follows_last_children() {
+        let q = TwigPattern::parse("Order/POLine[./LineNo]//UP").unwrap();
+        assert_eq!(q.node(q.spine_leaf()).label, "UP");
+        let q = TwigPattern::parse("A[./B/C]").unwrap();
+        assert_eq!(q.node(q.spine_leaf()).label, "C");
+        let q = TwigPattern::parse("A").unwrap();
+        assert_eq!(q.spine_leaf(), q.root());
     }
 
     #[test]
@@ -554,6 +859,27 @@ mod tests {
             TwigPattern::parse("A[.='x]"),
             Err(TwigParseError::BadPredicate(_))
         ));
+        // Malformed value predicates.
+        for bad in [
+            "A[.<]",             // comparison without a number
+            "A[.<'x']",          // quoted value where a number is due
+            "A[@]",              // attribute without a name
+            "A[@a]",             // attribute without a comparison
+            "A[contains(.)]",    // contains without a literal
+            "A[contains(.,'x']", // unclosed contains
+            "A[.<NaN]",          // only finite literals
+            "A[.=x]",            // equality needs quotes
+        ] {
+            assert!(
+                matches!(
+                    TwigPattern::parse(bad),
+                    Err(TwigParseError::BadPredicate(_) | TwigParseError::ExpectedClose(_))
+                ),
+                "{bad}"
+            );
+        }
+        // `**` is not a label.
+        assert!(TwigPattern::parse("A/**").is_err());
     }
 
     #[test]

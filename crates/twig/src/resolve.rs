@@ -6,8 +6,42 @@
 //! a [`ResolvedPattern`]: the original pattern structure with, per query
 //! node, the set of interned document labels it may match.
 
-use crate::pattern::{Axis, PatternNodeId, TwigPattern};
+use crate::pattern::{Axis, PatternNodeId, PredOp, PredTarget, TwigPattern, ValuePred};
 use uxm_xml::{DocNodeId, Document, LabelId};
+
+impl ValuePred {
+    /// True iff document node `n` satisfies this predicate.
+    ///
+    /// The read value is the node's text content ([`PredTarget::Text`])
+    /// or the named attribute ([`PredTarget::Attr`]); a node without
+    /// that value satisfies nothing. Numeric comparisons parse the value
+    /// as an `f64` (surrounding whitespace trimmed); a value that does
+    /// not parse, or parses to `NaN`, satisfies no numeric comparison.
+    pub fn accepts(&self, n: DocNodeId, doc: &Document) -> bool {
+        let value = match &self.target {
+            PredTarget::Text => doc.text(n),
+            PredTarget::Attr(name) => doc.attr(n, name),
+        };
+        let Some(value) = value else {
+            return false;
+        };
+        match &self.op {
+            PredOp::Eq(want) => value == want,
+            PredOp::Contains(want) => value.contains(want.as_str()),
+            PredOp::Lt(x) => numeric(value).is_some_and(|v| v < *x),
+            PredOp::Le(x) => numeric(value).is_some_and(|v| v <= *x),
+            PredOp::Gt(x) => numeric(value).is_some_and(|v| v > *x),
+            PredOp::Ge(x) => numeric(value).is_some_and(|v| v >= *x),
+        }
+    }
+}
+
+/// Parses a document value as a finite number for range predicates and
+/// aggregates (shared so both agree byte-for-byte on what is numeric).
+pub fn numeric(value: &str) -> Option<f64> {
+    let v: f64 = value.trim().parse().ok()?;
+    v.is_finite().then_some(v)
+}
 
 /// A pattern resolved against one document.
 ///
@@ -49,10 +83,15 @@ impl TwigMatch {
 impl ResolvedPattern {
     /// Resolves a pattern against `doc` with its own labels (the
     /// single-schema case). Returns `None` when some label does not occur
-    /// in the document at all — then no match can exist.
+    /// in the document at all — then no match can exist. Wildcard nodes
+    /// accept every label; their `allowed` entry is empty and unused.
     pub fn new(pattern: &TwigPattern, doc: &Document) -> Option<ResolvedPattern> {
         let mut allowed = Vec::with_capacity(pattern.len());
         for id in pattern.ids() {
+            if pattern.node(id).is_wildcard() {
+                allowed.push(Vec::new());
+                continue;
+            }
             let label = doc.resolve_label(&pattern.node(id).label)?;
             allowed.push(vec![label]);
         }
@@ -116,8 +155,9 @@ impl ResolvedPattern {
     }
 
     /// Resolves a pattern from per-node sets of *document-interned* label
-    /// ids. Returns `None` when some node's set is empty — then no match
-    /// can exist. Sets are sorted and deduplicated.
+    /// ids. Returns `None` when some non-wildcard node's set is empty —
+    /// then no match can exist (a wildcard node ignores its set and
+    /// accepts every label). Sets are sorted and deduplicated.
     ///
     /// This is the entry point for rewritten (target → source) queries.
     pub fn with_label_ids(
@@ -130,8 +170,9 @@ impl ResolvedPattern {
             "one label set per query node"
         );
         let mut allowed = Vec::with_capacity(label_sets.len());
-        for mut ids in label_sets {
-            if ids.is_empty() {
+        for (ids, id) in label_sets.into_iter().zip(pattern.ids()) {
+            let mut ids = ids;
+            if ids.is_empty() && !pattern.node(id).is_wildcard() {
                 return None;
             }
             ids.sort_unstable();
@@ -146,10 +187,12 @@ impl ResolvedPattern {
     }
 
     /// Document nodes that pattern node `id` may match on label/candidate
-    /// + text grounds alone (no structure), in document order.
+    /// and value-predicate grounds alone (no structure), in document
+    /// order. A wildcard node's label candidates are every document node.
     pub fn candidates(&self, id: PatternNodeId, doc: &Document) -> Vec<DocNodeId> {
         let mut out = match &self.node_candidates {
             Some(lists) => lists[id.idx()].clone(),
+            None if self.pattern.node(id).is_wildcard() => doc.ids().collect(),
             None => {
                 let mut v = Vec::new();
                 for &label in &self.allowed[id.idx()] {
@@ -159,27 +202,31 @@ impl ResolvedPattern {
                 v
             }
         };
-        if let Some(want) = &self.pattern.node(id).text_eq {
-            out.retain(|&n| doc.text(n) == Some(want.as_str()));
+        let preds = &self.pattern.node(id).preds;
+        if !preds.is_empty() {
+            out.retain(|&n| preds.iter().all(|p| p.accepts(n, doc)));
         }
         out
     }
 
     /// True iff document node `n` satisfies pattern node `id`'s
-    /// label/candidate and text predicate.
+    /// label/candidate requirement and every value predicate.
     #[inline]
     pub fn node_accepts(&self, id: PatternNodeId, n: DocNodeId, doc: &Document) -> bool {
         let node_ok = match &self.node_candidates {
             Some(lists) => lists[id.idx()].binary_search(&n).is_ok(),
-            None => self.allowed[id.idx()].contains(&doc.label(n)),
+            None => {
+                self.pattern.node(id).is_wildcard()
+                    || self.allowed[id.idx()].contains(&doc.label(n))
+            }
         };
-        if !node_ok {
-            return false;
-        }
-        match &self.pattern.node(id).text_eq {
-            Some(want) => doc.text(n) == Some(want.as_str()),
-            None => true,
-        }
+        node_ok
+            && self
+                .pattern
+                .node(id)
+                .preds
+                .iter()
+                .all(|p| p.accepts(n, doc))
     }
 
     /// True iff `child_doc` stands in pattern node `child`'s axis relation
@@ -280,6 +327,53 @@ mod tests {
         let via_ids = ResolvedPattern::with_label_ids(&q, ids).unwrap();
         assert_eq!(via_str.allowed, via_ids.allowed);
         assert!(ResolvedPattern::with_label_ids(&q, vec![vec![], vec![]]).is_none());
+    }
+
+    #[test]
+    fn wildcard_accepts_every_label() {
+        let d = doc();
+        let q = TwigPattern::parse("a/*/c").unwrap();
+        let r = ResolvedPattern::new(&q, &d).unwrap();
+        // The wildcard's candidates are all 7 nodes; node_accepts agrees.
+        assert_eq!(r.candidates(PatternNodeId(1), &d).len(), d.len());
+        assert!(d.ids().all(|n| r.node_accepts(PatternNodeId(1), n, &d)));
+        // Empty rewrite sets are fine for wildcards, fatal otherwise.
+        let sets = vec![vec!["a".into()], vec![], vec!["c".to_string()]];
+        assert!(ResolvedPattern::with_label_sets(&q, &d, &sets).is_some());
+    }
+
+    #[test]
+    fn value_predicates_filter_candidates() {
+        let d =
+            parse_document("<a><p n=\"1\">10</p><p n=\"2\">7.5</p><p>x</p><q n=\"1\">3</q></a>")
+                .unwrap();
+        let cands = |q: &str| {
+            let q = TwigPattern::parse(q).unwrap();
+            let r = ResolvedPattern::new(&q, &d).unwrap();
+            r.candidates(PatternNodeId(1), &d).len()
+        };
+        assert_eq!(cands("a/p[.>=7.5]"), 2);
+        assert_eq!(cands("a/p[.>7.5]"), 1);
+        assert_eq!(cands("a/p[.<8]"), 1);
+        assert_eq!(cands("a/p[.<=10]"), 2); // "x" is not numeric
+        assert_eq!(cands("a/p[@n='1']"), 1);
+        assert_eq!(cands("a/p[contains(.,'.')]"), 1);
+        assert_eq!(cands("a/p[@n<2]"), 1);
+        assert_eq!(cands("a/p[@n>=1]"), 2);
+        assert_eq!(cands("a/p[.>=7.5][@n='2']"), 1); // conjunction
+        let q = TwigPattern::parse("a/*[@n='1']").unwrap();
+        let r = ResolvedPattern::new(&q, &d).unwrap();
+        assert_eq!(r.candidates(PatternNodeId(1), &d).len(), 2); // p and q
+    }
+
+    #[test]
+    fn numeric_parses_trimmed_finite_values() {
+        assert_eq!(numeric(" 3.5 "), Some(3.5));
+        assert_eq!(numeric("-2"), Some(-2.0));
+        assert_eq!(numeric("x"), None);
+        assert_eq!(numeric("NaN"), None);
+        assert_eq!(numeric("inf"), None);
+        assert_eq!(numeric(""), None);
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! uxm match     <source.outline> <target.outline> [--strategy c|f] [--threshold X]
 //! uxm mappings  <source.outline> <target.outline> [--h N]
 //! uxm query     <source.outline> <target.outline> <doc.xml> <twig>
-//!               [--h N] [--k N] [--tau X] [--mode label|node]
-//!               [--hint auto|naive|block-tree|compiled] [--min-p X]
-//!               [--granularity mapping|distinct] [--json]
+//!               [--h N] [--k N] [--agg count|sum|min|max] [--tau X]
+//!               [--mode label|node] [--hint auto|naive|block-tree|compiled]
+//!               [--min-p X] [--granularity mapping|distinct] [--json]
 //! uxm explain   <source.outline> <target.outline> <doc.xml> <twig>
 //!               [--h N] [--k N] [--tau X] [--mode label|node]
 //!               [--hint auto|naive|block-tree|compiled] [--json]
@@ -48,6 +48,7 @@ use uxm::core::router::{Router, RouterConfig};
 use uxm::core::server::{Server, ServerConfig};
 use uxm::core::stats::o_ratio;
 use uxm::core::storage::{decode_engine_snapshot, decode_engine_snapshot_parts, snapshot_version};
+use uxm::core::AggFunc;
 use uxm::datagen::datasets::{Dataset, DatasetId};
 use uxm::matching::Matcher;
 use uxm::twig::TwigPattern;
@@ -94,8 +95,8 @@ fn usage() {
         "usage:\n  uxm match    <source.outline> <target.outline> [--strategy c|f] [--threshold X]\n  \
          uxm mappings <source.outline> <target.outline> [--h N]\n  \
          uxm query    <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X]\n               \
-         [--mode label|node] [--hint auto|naive|block-tree|compiled] [--min-p X]\n               \
-         [--granularity mapping|distinct] [--json]\n  \
+         [--agg count|sum|min|max] [--mode label|node] [--hint auto|naive|block-tree|compiled]\n               \
+         [--min-p X] [--granularity mapping|distinct] [--json]\n  \
          uxm explain  <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X]\n               \
          [--mode label|node] [--hint auto|naive|block-tree|compiled] [--json]\n  \
          uxm keyword  <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X] [--json]\n  \
@@ -298,8 +299,21 @@ fn apply_options(mut query: Query, flags: &[(&str, &str)]) -> Result<Query, UxmE
 }
 
 /// Builds the twig-shaped query `query` and `explain` share from the
-/// `--mode` / `--k` flags.
+/// `--mode` / `--k` / `--agg` flags.
 fn twig_query_from(pattern: TwigPattern, flags: &[(&str, &str)]) -> Result<Query, UxmError> {
+    if let Some(name) = flag(flags, "agg") {
+        let func = AggFunc::from_wire(name).ok_or_else(|| {
+            UxmError::Usage(format!(
+                "bad --agg value {name:?} (count | sum | min | max)"
+            ))
+        })?;
+        if flag(flags, "k").is_some() || flag(flags, "mode").is_some() {
+            return Err(UxmError::Usage(
+                "--agg cannot be combined with --k or --mode".into(),
+            ));
+        }
+        return Ok(Query::aggregate(pattern, func));
+    }
     match (flag(flags, "mode"), flag(flags, "k")) {
         (Some("node"), Some(_)) => Err(UxmError::Usage(
             "--k with --mode node is not supported; drop one".into(),
@@ -335,6 +349,26 @@ fn cmd_query(args: &[String]) -> Result<(), UxmError> {
         return Ok(());
     }
     let doc = engine.document();
+    if let Some(agg) = &response.aggregate {
+        let show = |v: Option<f64>| v.map_or_else(|| "null".to_string(), |v| format!("{v}"));
+        println!(
+            "{query} over {} mappings: marginal {} ({} row(s), plan {} ({}))",
+            engine.mappings().len(),
+            show(agg.marginal),
+            agg.rows.len(),
+            response.stats.plan.evaluator,
+            response.stats.plan.reason,
+        );
+        for r in &agg.rows {
+            println!(
+                "  mapping {:<4} p = {:.3}  {}",
+                r.mapping.0,
+                r.probability,
+                show(r.value)
+            );
+        }
+        return Ok(());
+    }
     println!(
         "{query} over {} mappings: {} answer(s) ({} relevant), plan {} ({}), \
          expected match count {:.2}",
@@ -748,7 +782,7 @@ fn cmd_serve(args: &[String]) -> Result<(), UxmError> {
             println!("  shard {id} on {shard_addr}");
         }
         println!(
-            "routes: POST /query/<engine>  POST /batch  POST /topk  GET /engines  GET /stats  GET /shards  GET /healthz"
+            "routes: POST /query/<engine>  POST /batch  POST /topk  POST /aggregate  GET /engines  GET /stats  GET /shards  GET /healthz"
         );
         front.start().wait();
         return Ok(());
@@ -761,7 +795,7 @@ fn cmd_serve(args: &[String]) -> Result<(), UxmError> {
     let local = server.local_addr();
     banner(local, &snapshots, "");
     println!(
-        "routes: POST /query/<engine>  POST /batch  POST /topk  GET /engines  GET /stats  GET /healthz"
+        "routes: POST /query/<engine>  POST /batch  POST /topk  POST /aggregate  GET /engines  GET /stats  GET /healthz"
     );
     server.start().wait();
     Ok(())

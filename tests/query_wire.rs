@@ -7,10 +7,12 @@
 //! re-writing reproduces the same bytes).
 
 use proptest::prelude::*;
+use uxm::core::aggregate::{AggFunc, AggRow, AggregateResult};
 use uxm::core::api::{EvaluatorHint, Granularity, Query};
 use uxm::core::json::Json;
+use uxm::core::mapping::MappingId;
 use uxm::core::registry::BatchQuery;
-use uxm::twig::{Axis, TwigPattern};
+use uxm::twig::{Axis, PredOp, PredTarget, TwigPattern, ValuePred};
 
 /// Builds an arbitrary twig pattern from a generated spec: node `i + 1`
 /// attaches under node `parent % (i + 1)` with the given axis, label
@@ -69,6 +71,20 @@ fn every_query_kind_roundtrips_byte_stably() {
             .with_min_probability(0.125),
         Query::topk(TwigPattern::parse("//A[.='quote\"and\\slash']").unwrap(), 1)
             .with_evaluator(EvaluatorHint::Naive),
+        // The grown query language: value predicates (string, numeric,
+        // attribute), wildcards, and aggregates.
+        Query::ptq(TwigPattern::parse("//A[contains(.,'x y')][.>=1.5]/*").unwrap()),
+        Query::ptq(TwigPattern::parse("//A[@id='7']/B[@n<-2][.<=0.5]").unwrap()),
+        Query::topk(TwigPattern::parse("Order//*[.>10]").unwrap(), 4),
+        Query::aggregate(TwigPattern::parse("//Line//Qty").unwrap(), AggFunc::Count),
+        Query::aggregate(
+            TwigPattern::parse("//Line/Qty[@unit='kg']").unwrap(),
+            AggFunc::Sum,
+        )
+        .with_evaluator(EvaluatorHint::Compiled)
+        .with_min_probability(0.25),
+        Query::aggregate(TwigPattern::parse("//Qty[.>0]").unwrap(), AggFunc::Min),
+        Query::aggregate(TwigPattern::parse("//Qty").unwrap(), AggFunc::Max),
     ];
     for query in &variants {
         assert_byte_stable(query);
@@ -111,6 +127,15 @@ fn wire_format_is_strict() {
         "{\"pattern\":\"//A\",\"terms\":[\"x\"],\"type\":\"ptq\"}",
         "{\"k\":1,\"terms\":[\"x\"],\"type\":\"keyword\"}",
         "{\"options\":{\"min_probability\":\"high\"},\"pattern\":\"//A\",\"type\":\"ptq\"}",
+        // Aggregate strictness: the func is mandatory, valid, and only
+        // legal on aggregate queries.
+        "{\"pattern\":\"//A\",\"type\":\"aggregate\"}",
+        "{\"func\":\"avg\",\"pattern\":\"//A\",\"type\":\"aggregate\"}",
+        "{\"func\":\"count\",\"pattern\":\"//A\",\"type\":\"ptq\"}",
+        "{\"func\":\"count\",\"k\":1,\"pattern\":\"//A\",\"type\":\"topk\"}",
+        // Malformed predicates fail at pattern parse, not silently.
+        "{\"pattern\":\"//A[.>>2]\",\"type\":\"ptq\"}",
+        "{\"pattern\":\"//A[@='x']\",\"type\":\"ptq\"}",
     ] {
         assert!(Query::from_json_str(bad).is_err(), "{bad}");
     }
@@ -125,7 +150,9 @@ proptest! {
     fn random_queries_roundtrip_byte_stably(
         spec in proptest::collection::vec((0u8..16, 0u8..16, proptest::prop::bool::ANY), 1..6),
         pred in proptest::prop::bool::ANY,
-        kind in 0u8..3,
+        value_pred in (proptest::prop::bool::ANY, 0u8..6, proptest::prop::bool::ANY, 0i32..100),
+        kind in 0u8..4,
+        func in 0u8..4,
         k in 0usize..50,
         hint in 0u8..3,
         distinct in proptest::prop::bool::ANY,
@@ -140,13 +167,41 @@ proptest! {
         // numbers nodes in render order. The rendered *bytes* are
         // identical either way — structural equality needs the normal
         // form.
-        let generated = twig_from_spec(&spec, pred.then_some("some value 42"));
+        let mut generated = twig_from_spec(&spec, pred.then_some("some value 42"));
+        if let (true, op, on_attr, n) = value_pred {
+            let x = n as f64 / 4.0;
+            let root = generated.root();
+            generated.add_pred(
+                root,
+                ValuePred {
+                    target: if on_attr {
+                        PredTarget::Attr("id".into())
+                    } else {
+                        PredTarget::Text
+                    },
+                    op: match op {
+                        0 => PredOp::Eq("v 1".into()),
+                        1 => PredOp::Contains("x/y \"z\"".into()),
+                        2 => PredOp::Lt(x),
+                        3 => PredOp::Le(x),
+                        4 => PredOp::Gt(x),
+                        _ => PredOp::Ge(x),
+                    },
+                },
+            );
+        }
         let pattern = TwigPattern::parse(&generated.to_string())
             .map_err(|e| TestCaseError::fail(format!("{generated}: {e}")))?;
         let mut query = match kind {
             0 => Query::ptq(pattern),
             1 => Query::ptq_nodes(pattern),
-            _ => Query::topk(pattern, k),
+            2 => Query::topk(pattern, k),
+            _ => Query::aggregate(pattern, match func {
+                0 => AggFunc::Count,
+                1 => AggFunc::Sum,
+                2 => AggFunc::Min,
+                _ => AggFunc::Max,
+            }),
         };
         query = query.with_evaluator(match hint {
             0 => EvaluatorHint::Auto,
@@ -222,5 +277,116 @@ fn docs_wire_format_examples_are_byte_exact() {
         "{\"engine\":\"orders\",\"query\":{\"options\":{\"evaluator\":\"auto\",\
          \"granularity\":\"mapping\",\"min_probability\":0},\"pattern\":\"//Line//Qty\",\
          \"type\":\"ptq\"}}"
+    );
+}
+
+/// Golden wire fixtures for the grown query language: every new syntax
+/// form — value predicates (string / numeric / attribute), wildcards,
+/// and the aggregate query kind — pinned byte-exact, pattern string
+/// included. These are the `docs/query-language.md` examples.
+#[test]
+fn query_language_wire_fixtures_are_byte_exact() {
+    // Predicates render canonically: `text()` normalizes to `.`, floats
+    // to shortest round trip, and the predicate order is preserved.
+    let cases = [
+        ("//Line/Qty[.>=1.5]", "//Line/Qty[.>=1.5]"),
+        ("//Line/Qty[text()='42']", "//Line/Qty[.='42']"),
+        ("//A[contains(.,'x y')]", "//A[contains(.,'x y')]"),
+        ("//A[@id='7'][@n<-2]", "//A[@id='7'][@n<-2]"),
+        ("//A[.<=2.50]/*", "//A[.<=2.5]/*"),
+        ("Order//*[.>10]", "Order//*[.>10]"),
+    ];
+    for (input, canonical) in cases {
+        let pattern = TwigPattern::parse(input).unwrap();
+        assert_eq!(pattern.to_string(), canonical, "{input}");
+        let query = Query::ptq(pattern);
+        assert_eq!(
+            query.to_json_string(),
+            format!(
+                "{{\"options\":{{\"evaluator\":\"auto\",\"granularity\":\"mapping\",\
+                 \"min_probability\":0}},\"pattern\":\"{}\",\"type\":\"ptq\"}}",
+                canonical.replace('"', "\\\"")
+            ),
+            "{input}"
+        );
+        assert_byte_stable(&query);
+    }
+
+    // The aggregate query kind, all four functions.
+    let qty = TwigPattern::parse("//Line//Qty").unwrap();
+    assert_eq!(
+        Query::aggregate(qty.clone(), AggFunc::Count).to_json_string(),
+        "{\"func\":\"count\",\"options\":{\"evaluator\":\"auto\",\"granularity\":\"mapping\",\
+         \"min_probability\":0},\"pattern\":\"//Line//Qty\",\"type\":\"aggregate\"}"
+    );
+    assert_eq!(
+        Query::aggregate(qty.clone(), AggFunc::Sum)
+            .with_evaluator(EvaluatorHint::Compiled)
+            .with_min_probability(0.25)
+            .to_json_string(),
+        "{\"func\":\"sum\",\"options\":{\"evaluator\":\"compiled\",\"granularity\":\"mapping\",\
+         \"min_probability\":0.25},\"pattern\":\"//Line//Qty\",\"type\":\"aggregate\"}"
+    );
+    for (func, name) in [(AggFunc::Min, "min"), (AggFunc::Max, "max")] {
+        assert_eq!(
+            Query::aggregate(qty.clone(), func).to_json_string(),
+            format!(
+                "{{\"func\":\"{name}\",\"options\":{{\"evaluator\":\"auto\",\
+                 \"granularity\":\"mapping\",\"min_probability\":0}},\
+                 \"pattern\":\"//Line//Qty\",\"type\":\"aggregate\"}}"
+            )
+        );
+    }
+}
+
+/// The aggregate *response* block, pinned byte-exact: whole numbers
+/// render as integers, undefined folds and marginals as `null`, and the
+/// row order is ascending mapping id — the shape `/aggregate` embeds in
+/// its per-engine entries and `docs/wire-format.md` documents.
+#[test]
+fn aggregate_response_wire_fixtures_are_byte_exact() {
+    let result = AggregateResult {
+        func: AggFunc::Sum,
+        rows: vec![
+            AggRow {
+                mapping: MappingId(0),
+                probability: 0.5,
+                value: Some(17.5),
+            },
+            AggRow {
+                mapping: MappingId(1),
+                probability: 0.25,
+                value: Some(3.0),
+            },
+            AggRow {
+                mapping: MappingId(2),
+                probability: 0.25,
+                value: None,
+            },
+        ],
+        marginal: Some((0.5 * 17.5 + 0.25 * 3.0) / 0.75),
+    };
+    assert_eq!(
+        result.to_json().to_string(),
+        "{\"func\":\"sum\",\"marginal\":12.666666666666666,\"rows\":[\
+         {\"mapping\":0,\"probability\":0.5,\"value\":17.5},\
+         {\"mapping\":1,\"probability\":0.25,\"value\":3},\
+         {\"mapping\":2,\"probability\":0.25,\"value\":null}]}"
+    );
+
+    // A fully undefined column: null marginal, count rows still render.
+    let empty = AggregateResult {
+        func: AggFunc::Min,
+        rows: vec![AggRow {
+            mapping: MappingId(4),
+            probability: 1.0,
+            value: None,
+        }],
+        marginal: None,
+    };
+    assert_eq!(
+        empty.to_json().to_string(),
+        "{\"func\":\"min\",\"marginal\":null,\"rows\":[\
+         {\"mapping\":4,\"probability\":1,\"value\":null}]}"
     );
 }

@@ -11,6 +11,7 @@
 //!   exit, and refuses connections afterwards.
 
 use std::sync::Arc;
+use uxm::core::aggregate::AggFunc;
 use uxm::core::api::{EvaluatorHint, Granularity, Query};
 use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
 use uxm::core::engine::QueryEngine;
@@ -22,7 +23,7 @@ use uxm::datagen::datasets::{Dataset, DatasetId};
 use uxm::datagen::queries::paper_queries;
 use uxm::matching::Matcher;
 use uxm::twig::TwigPattern;
-use uxm::xml::{DocGenConfig, Document, Schema};
+use uxm::xml::{parse_document, DocGenConfig, Document, Schema};
 
 /// A small synthetic engine (the registry test fixture's shape).
 fn small_engine(seed: u64) -> QueryEngine {
@@ -618,5 +619,96 @@ fn idle_keep_alive_connection_cannot_starve_other_clients() {
     // The idle connection was closed server-side; a request on it now
     // fails (and that is the contract — reconnect and carry on).
     assert!(idle.get("/healthz").is_err(), "idle connection was reaped");
+    handle.shutdown();
+}
+
+/// A deterministic single-mapping engine whose aggregate values are
+/// known exactly: three numeric `V` nodes (1, 2, 3) under one certain
+/// mapping `V ↔ QTY`.
+fn tiny_counted_engine() -> QueryEngine {
+    let source = Schema::parse_outline("S(P(V))").unwrap();
+    let target = Schema::parse_outline("T(QTY)").unwrap();
+    let v = source.nodes_with_label("V")[0];
+    let qty = target.nodes_with_label("QTY")[0];
+    let pm = PossibleMappings::from_pairs(source, target, vec![(vec![(v, qty)], 1.0)]);
+    let doc = parse_document("<S><P><V>1</V><V>2</V><V>3</V></P></S>").unwrap();
+    QueryEngine::build(pm, doc, &BlockTreeConfig::default())
+}
+
+/// Golden `/aggregate` bodies: the endpoint's whole response is pinned
+/// byte-exact — including the docs/wire-format.md example — and the
+/// two-engine form pins the name-ascending entry order plus the merged
+/// fleet value. `/aggregate` carries no stats block, so whole bodies
+/// are stable.
+#[test]
+fn aggregate_endpoint_bodies_are_byte_exact() {
+    let registry = Arc::new(EngineRegistry::new());
+    // Insertion order is deliberately descending: the response must
+    // sort entries by name regardless.
+    registry.insert("d5", tiny_counted_engine());
+    registry.insert("aa", tiny_counted_engine());
+    let handle = start(Arc::clone(&registry), 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let query = |func: AggFunc| {
+        Query::aggregate(TwigPattern::parse("//QTY").unwrap(), func).to_json_string()
+    };
+
+    // The docs/wire-format.md example, byte for byte.
+    let body = format!(
+        "{{\"engines\":[\"d5\"],\"query\":{}}}",
+        query(AggFunc::Count)
+    );
+    let (status, got) = client.post("/aggregate", &body).unwrap();
+    assert_eq!(status, 200, "{got}");
+    assert_eq!(
+        got,
+        "{\"engines\":[{\"engine\":\"d5\",\"marginal\":3,\"rows\":[\
+         {\"mapping\":0,\"probability\":1,\"value\":3}]}],\"func\":\"count\",\"value\":3}"
+    );
+
+    // Default engine set: entries name-ascending, value merged over
+    // them in that order (sum adds: 6 + 6).
+    let body = format!("{{\"query\":{}}}", query(AggFunc::Sum));
+    let (status, got) = client.post("/aggregate", &body).unwrap();
+    assert_eq!(status, 200, "{got}");
+    assert_eq!(
+        got,
+        "{\"engines\":[\
+         {\"engine\":\"aa\",\"marginal\":6,\"rows\":[{\"mapping\":0,\"probability\":1,\"value\":6}]},\
+         {\"engine\":\"d5\",\"marginal\":6,\"rows\":[{\"mapping\":0,\"probability\":1,\"value\":6}]}],\
+         \"func\":\"sum\",\"value\":12}"
+    );
+
+    // min / max take the extremum across engines.
+    for (func, value) in [(AggFunc::Min, 1), (AggFunc::Max, 3)] {
+        let body = format!("{{\"query\":{}}}", query(func));
+        let (status, got) = client.post("/aggregate", &body).unwrap();
+        assert_eq!(status, 200, "{got}");
+        let parsed = Json::parse(&got).unwrap();
+        assert_eq!(
+            parsed.get("value").unwrap().as_f64(),
+            Some(value as f64),
+            "{func}: {got}"
+        );
+    }
+
+    // A non-aggregate query on this endpoint is a typed error.
+    let bad = format!(
+        "{{\"query\":{}}}",
+        Query::ptq(TwigPattern::parse("//QTY").unwrap()).to_json_string()
+    );
+    let (status, got) = client.post("/aggregate", &bad).unwrap();
+    assert_eq!(status, 400, "{got}");
+    assert_eq!(
+        Json::parse(&got)
+            .unwrap()
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("invalid-query")
+    );
     handle.shutdown();
 }

@@ -15,6 +15,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use uxm::core::aggregate::AggFunc;
 use uxm::core::api::Query;
 use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
 use uxm::core::engine::QueryEngine;
@@ -154,6 +155,20 @@ fn router_matches_single_registry_across_datasets_and_ring_sizes() {
                 answers_subtree(&r_body),
                 "{shards} shards, {name}: keyword answers diverge"
             );
+
+            // -- the grown grammar: predicates and wildcards route the
+            //    same (single-node forms keep the sweep affordable) ----
+            for form in ["//*[contains(.,'a')]", "//*[.>=0]", "//*[@id='1']"] {
+                let query = Query::ptq(TwigPattern::parse(form).unwrap());
+                let (s_status, s_body) = sc.query(name, &query).unwrap();
+                let (r_status, r_body) = rc.query(name, &query).unwrap();
+                assert_eq!((s_status, 200), (r_status, s_status), "{name} {form}");
+                assert_eq!(
+                    answers_subtree(&s_body),
+                    answers_subtree(&r_body),
+                    "{shards} shards, {name} {form}: answers diverge"
+                );
+            }
         }
 
         // -- unknown engine: same typed 404 through either front -----
@@ -228,6 +243,51 @@ fn router_matches_single_registry_across_datasets_and_ring_sizes() {
                 s_body, r_body,
                 "{shards} shards, k={k}, engines={engines:?}: topk body diverges"
             );
+        }
+
+        // -- /aggregate: whole-body byte-exact, default set and subset.
+        //    The router recomputes the merged value from the
+        //    concatenated name-ascending entries, so the fan-out must
+        //    be invisible — including the fold order of the marginal.
+        for (engines, func) in [
+            (None, AggFunc::Count),
+            (None, AggFunc::Sum),
+            (Some(vec!["d2", "d5", "d9"]), AggFunc::Min),
+            (Some(vec!["d1", "d10"]), AggFunc::Max),
+        ] {
+            let mut members = Vec::new();
+            if let Some(list) = &engines {
+                members.push((
+                    "engines".to_string(),
+                    Json::Arr(list.iter().map(|n| Json::str(*n)).collect()),
+                ));
+            }
+            members.push((
+                "query".to_string(),
+                Query::aggregate(TwigPattern::parse("//*[.>=0]").unwrap(), func).to_json(),
+            ));
+            let body = Json::Obj(members).to_string();
+            let (s_status, s_body) = sc.post("/aggregate", &body).unwrap();
+            let (r_status, r_body) = rc.post("/aggregate", &body).unwrap();
+            assert_eq!(
+                (s_status, r_status),
+                (200, 200),
+                "{shards} shards: {s_body}"
+            );
+            assert_eq!(
+                s_body, r_body,
+                "{shards} shards, {func}, engines={engines:?}: aggregate body diverges"
+            );
+            // Entries come back name-ascending regardless of fan-out.
+            let parsed = Json::parse(&r_body).unwrap();
+            let entries = parsed.get("engines").unwrap().as_arr().unwrap();
+            let names: Vec<&str> = entries
+                .iter()
+                .map(|e| e.get("engine").unwrap().as_str().unwrap())
+                .collect();
+            let mut ordered = names.clone();
+            ordered.sort_unstable();
+            assert_eq!(names, ordered, "{shards} shards, {func}: entry order");
         }
 
         front.shutdown();
@@ -352,6 +412,38 @@ fn cross_shard_topk_ties_resolve_by_pinned_order() {
                     "tied answers must come from multiple engines: {keys:?}"
                 );
             }
+        }
+
+        // -- /aggregate over byte-identical engines: every per-engine
+        //    marginal ties exactly, so the merged value exposes any
+        //    fold-order difference between deployments. Whole-body
+        //    byte-exact for all four functions.
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+            let body = Json::Obj(vec![(
+                "query".to_string(),
+                Query::aggregate(pattern.clone(), func).to_json(),
+            )])
+            .to_string();
+            let (s_status, s_body) = sc.post("/aggregate", &body).unwrap();
+            let (r_status, r_body) = rc.post("/aggregate", &body).unwrap();
+            assert_eq!((s_status, r_status), (200, 200), "{func}: {s_body}");
+            assert_eq!(
+                s_body, r_body,
+                "{shards} shards, {func}: tied aggregate merge diverges"
+            );
+            // All six entries are byte-identical engines: identical
+            // marginals, and entries in name order.
+            let parsed = Json::parse(&r_body).unwrap();
+            let entries = parsed.get("engines").unwrap().as_arr().unwrap();
+            assert_eq!(entries.len(), names.len(), "{func}");
+            let marginals: Vec<String> = entries
+                .iter()
+                .map(|e| e.get("marginal").unwrap().to_string())
+                .collect();
+            assert!(
+                marginals.windows(2).all(|w| w[0] == w[1]),
+                "{func}: identical engines must tie: {marginals:?}"
+            );
         }
         front.shutdown();
         router.shutdown();
