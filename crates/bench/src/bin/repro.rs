@@ -10,7 +10,9 @@
 //! The `soak` experiment also honours `--docs`, `--nodes`, `--budget`,
 //! `--clients`, `--seed`, and `--shards` (corpus/load shape; see
 //! `uxm_bench::soak::SoakConfig`). `--shards N` puts the soak corpus
-//! behind the consistent-hash router with `N` shard registries. The
+//! behind the consistent-hash router with `N` shard registries.
+//! `--assert-hydration` makes `bench_layout` exit nonzero unless v3
+//! cold hydration beats v2 on the 200k-node corpus document. The
 //! `shard` experiment (scatter-gather work split + tail isolation,
 //! writing `BENCH_shard.json`) shares the same corpus knobs and
 //! compares 1 vs 4 shards itself.
@@ -78,12 +80,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--shards needs a count (0 = unsharded)"));
             }
+            "--assert-hydration" => cfg.assert_hydration = true,
             "all" => requested.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--runs N] [--m N] \
                      [--duration S] [--docs N] [--nodes N] [--budget BYTES] \
-                     [--clients N] [--seed N] [--shards N] [all | {}]",
+                     [--clients N] [--seed N] [--shards N] [--assert-hydration] [all | {}]",
                     EXPERIMENTS.join(" | ")
                 );
                 return;

@@ -40,6 +40,9 @@ pub struct ReproConfig {
     pub m: usize,
     /// Knobs for the `soak` experiment.
     pub soak: crate::soak::SoakConfig,
+    /// When set, `bench_layout` exits nonzero unless v3 cold hydration
+    /// beats v2 on the large `corpus` document (the CI latency gate).
+    pub assert_hydration: bool,
 }
 
 impl Default for ReproConfig {
@@ -48,6 +51,7 @@ impl Default for ReproConfig {
             runs: 5,
             m: DEFAULT_M,
             soak: crate::soak::SoakConfig::default(),
+            assert_hydration: false,
         }
     }
 }
@@ -802,41 +806,59 @@ pub fn bench_query(cfg: &ReproConfig) -> String {
 }
 
 /// The columnar-layout benchmark behind `BENCH_layout.json`: for every
-/// Table II dataset, the engine's resident per-component footprint, the
-/// v1 vs v2 snapshot sizes, hydration (decode) latency for both
-/// versions, and the warm 10-query latency through the unified
-/// `QueryEngine::run` path. Writes `BENCH_layout.json` (canonical JSON)
-/// into the current directory and returns a printable summary.
+/// Table II dataset plus one 200k-node `corpus` document (the soak
+/// schema family, bigger than any paper dataset), the engine's resident
+/// per-component footprint, the v1/v2/v3 snapshot sizes, hydration
+/// (decode) latency for all three versions, and the warm 10-query
+/// latency through the unified `QueryEngine::run` path. Writes
+/// `BENCH_layout.json` (canonical JSON) into the current directory and
+/// returns a printable summary. With [`ReproConfig::assert_hydration`]
+/// the run exits nonzero unless v3 cold hydration beats v2 on the
+/// `corpus` row — the `soak-smoke` CI latency gate.
 pub fn bench_layout(cfg: &ReproConfig) -> String {
     use uxm_core::storage::{
         decode_engine_snapshot, encode_engine_snapshot, encode_engine_snapshot_v1,
+        encode_engine_snapshot_v2,
     };
+    /// Nodes in the `corpus` row's single large document.
+    const CORPUS_NODES: usize = 200_000;
     let queries = paper_queries();
     let mut out = format!(
-        "BENCH_layout — columnar arena + snapshot v2, |M| = {}\n  \
-         ID     resident     v1 bytes   v2 bytes   v2/v1   hydr v1   hydr v2   speedup   warm 10q\n",
+        "BENCH_layout — columnar arena + page-aligned snapshot v3, |M| = {}\n  \
+         ID      resident     v2 bytes   v3 bytes   v3/v2   hydr v1   hydr v2   hydr v3   v2/v3   warm 10q\n",
         cfg.m
     );
     let mut rows = Vec::new();
-    for id in DatasetId::all() {
-        let w = workload_for(id, cfg.m, &default_config());
-        let engine = w.engine();
+    let mut corpus_hydrate = None;
+    let engines = DatasetId::all()
+        .into_iter()
+        .map(|id| {
+            let w = workload_for(id, cfg.m, &default_config());
+            (id.name().to_string(), w.engine())
+        })
+        .chain(std::iter::once((
+            "corpus".to_string(),
+            crate::soak::corpus_engine(CORPUS_NODES),
+        )));
+    for (name, engine) in engines {
         let v1 = encode_engine_snapshot_v1(&engine);
-        let v2 = encode_engine_snapshot(&engine);
-        let hydrate_v1 = time_avg(cfg.runs, || {
-            std::hint::black_box(
-                decode_engine_snapshot(&v1)
-                    .expect("v1 decodes")
-                    .approx_bytes(),
-            );
-        });
-        let hydrate_v2 = time_avg(cfg.runs, || {
-            std::hint::black_box(
-                decode_engine_snapshot(&v2)
-                    .expect("v2 decodes")
-                    .approx_bytes(),
-            );
-        });
+        let v2 = encode_engine_snapshot_v2(&engine);
+        let v3 = encode_engine_snapshot(&engine);
+        let hydrate = |bytes: &[u8]| {
+            time_avg(cfg.runs, || {
+                std::hint::black_box(
+                    decode_engine_snapshot(bytes)
+                        .expect("snapshot decodes")
+                        .approx_bytes(),
+                );
+            })
+        };
+        let hydrate_v1 = hydrate(&v1);
+        let hydrate_v2 = hydrate(&v2);
+        let hydrate_v3 = hydrate(&v3);
+        if name == "corpus" {
+            corpus_hydrate = Some((hydrate_v2, hydrate_v3));
+        }
         let fp = engine.footprint();
         let typed: Vec<Query> = queries.iter().map(|q| Query::ptq(q.clone())).collect();
         for q in &typed {
@@ -849,15 +871,16 @@ pub fn bench_layout(cfg: &ReproConfig) -> String {
         });
         let _ = writeln!(
             out,
-            "  {:<5} {:>9} B {:>10} {:>10} {:>7.2} {:>8.4}s {:>8.4}s {:>8.2}x {:>9.4}s",
-            id.name(),
+            "  {:<6} {:>9} B {:>10} {:>10} {:>7.2} {:>8.4}s {:>8.4}s {:>8.4}s {:>7.2}x {:>9.4}s",
+            name,
             fp.total(),
-            v1.len(),
             v2.len(),
-            v2.len() as f64 / v1.len() as f64,
+            v3.len(),
+            v3.len() as f64 / v2.len() as f64,
             hydrate_v1,
             hydrate_v2,
-            hydrate_v1 / hydrate_v2.max(1e-12),
+            hydrate_v3,
+            hydrate_v2 / hydrate_v3.max(1e-12),
             warm,
         );
         rows.push(Json::Obj(vec![
@@ -866,9 +889,10 @@ pub fn bench_layout(cfg: &ReproConfig) -> String {
                 Json::Obj(vec![
                     ("v1".into(), Json::Num(hydrate_v1)),
                     ("v2".into(), Json::Num(hydrate_v2)),
+                    ("v3".into(), Json::Num(hydrate_v3)),
                 ]),
             ),
-            ("id".into(), Json::str(id.name())),
+            ("id".into(), Json::str(&name)),
             (
                 "resident_bytes".into(),
                 Json::Obj(vec![
@@ -886,6 +910,7 @@ pub fn bench_layout(cfg: &ReproConfig) -> String {
                 Json::Obj(vec![
                     ("v1".into(), Json::uint(v1.len() as u64)),
                     ("v2".into(), Json::uint(v2.len() as u64)),
+                    ("v3".into(), Json::uint(v3.len() as u64)),
                 ]),
             ),
             ("warm_query_s".into(), Json::Num(warm)),
@@ -904,6 +929,22 @@ pub fn bench_layout(cfg: &ReproConfig) -> String {
         }
         Err(e) => {
             let _ = writeln!(out, "could not write {path}: {e}");
+        }
+    }
+    if cfg.assert_hydration {
+        let (v2_s, v3_s) = corpus_hydrate.expect("corpus row ran");
+        if v3_s < v2_s {
+            let _ = writeln!(
+                out,
+                "hydration gate PASS: corpus v3 {:.4}s < v2 {:.4}s ({:.2}x)",
+                v3_s,
+                v2_s,
+                v2_s / v3_s.max(1e-12),
+            );
+        } else {
+            println!("{out}");
+            eprintln!("hydration gate FAIL: corpus v3 {v3_s:.4}s >= v2 {v2_s:.4}s");
+            std::process::exit(1);
         }
     }
     out

@@ -184,6 +184,9 @@ impl Backend {
                     unreclaimed_bytes: 0,
                     evictions: 0,
                     shed_hydrations: 0,
+                    hydrations: 0,
+                    hydrate_p50_us: 0,
+                    hydrate_max_us: 0,
                 },
                 |mut sum, (_, s)| {
                     sum.resident_engines += s.resident_engines;
@@ -191,6 +194,11 @@ impl Backend {
                     sum.unreclaimed_bytes += s.unreclaimed_bytes;
                     sum.evictions += s.evictions;
                     sum.shed_hydrations += s.shed_hydrations;
+                    sum.hydrations += s.hydrations;
+                    // Latency percentiles do not sum: keep the worst
+                    // shard's view, which is what an operator alerts on.
+                    sum.hydrate_p50_us = sum.hydrate_p50_us.max(s.hydrate_p50_us);
+                    sum.hydrate_max_us = sum.hydrate_max_us.max(s.hydrate_max_us);
                     sum
                 },
             ),
@@ -208,6 +216,18 @@ impl Backend {
 
 /// Builds the corpus engines, snapshots them into `dir`, and returns
 /// `(names, total engine bytes)`.
+/// One large corpus engine: the soak schema family over a single
+/// `nodes`-node Zipf document. Shared with `figures::bench_layout`,
+/// which uses it as the "bigger than any Table II dataset" row.
+pub(crate) fn corpus_engine(nodes: usize) -> QueryEngine {
+    let source = Schema::parse_outline(SOURCE_OUTLINE).expect("source outline");
+    let target = Schema::parse_outline(TARGET_OUTLINE).expect("target outline");
+    let matching = Matcher::context().match_schemas(&source, &target);
+    let mappings = PossibleMappings::top_h(&matching, 16);
+    let doc = corpus_document(&source, nodes, ALPHA, 1);
+    QueryEngine::build(mappings, doc, &BlockTreeConfig::default())
+}
+
 pub(crate) fn build_corpus(cfg: &SoakConfig, dir: &std::path::Path) -> (Vec<String>, usize) {
     let source = Schema::parse_outline(SOURCE_OUTLINE).expect("source outline");
     let target = Schema::parse_outline(TARGET_OUTLINE).expect("target outline");
@@ -721,6 +741,15 @@ pub fn soak(cfg: &SoakConfig) -> String {
             Json::Obj(vec![
                 ("corpus_bytes".into(), Json::uint(corpus_bytes as u64)),
                 ("evictions".into(), Json::uint(reg_stats.evictions)),
+                (
+                    "hydrate_max_us".into(),
+                    Json::uint(reg_stats.hydrate_max_us),
+                ),
+                (
+                    "hydrate_p50_us".into(),
+                    Json::uint(reg_stats.hydrate_p50_us),
+                ),
+                ("hydrations".into(), Json::uint(reg_stats.hydrations)),
                 (
                     "resident_bytes".into(),
                     Json::uint(reg_stats.resident_bytes as u64),

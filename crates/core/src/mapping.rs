@@ -269,6 +269,43 @@ impl PossibleMappings {
         })
     }
 
+    /// Assembles the columnar set from **verbatim** arena columns — the
+    /// snapshot v3 decoder's zero-copy path. On top of the shape checks
+    /// of [`PossibleMappings::from_columns`], every pair is
+    /// bounds-checked against the schemas in one linear scan and every
+    /// per-mapping run must be sorted by target id (the order
+    /// [`MappingRef::source_for_target`]'s binary search relies on);
+    /// there is no per-pair decode, sort, or dedup.
+    pub fn from_raw_columns(
+        source: Schema,
+        target: Schema,
+        scores: Vec<f64>,
+        probs: Vec<f64>,
+        pair_offsets: Vec<u32>,
+        pairs: Vec<(SchemaNodeId, SchemaNodeId)>,
+    ) -> Option<PossibleMappings> {
+        // CSR shape first — the run slicing below depends on it.
+        if pair_offsets.len() != scores.len() + 1
+            || pair_offsets.first() != Some(&0)
+            || pair_offsets.windows(2).any(|w| w[0] > w[1])
+            || *pair_offsets.last()? as usize != pairs.len()
+        {
+            return None;
+        }
+        let (ns, nt) = (source.len() as u32, target.len() as u32);
+        if pairs.iter().any(|&(s, t)| s.0 >= ns || t.0 >= nt) {
+            return None;
+        }
+        let sorted_by_target = pair_offsets.windows(2).all(|w| {
+            let run = &pairs[w[0] as usize..w[1] as usize];
+            run.windows(2).all(|p| (p[0].1, p[0].0) <= (p[1].1, p[1].0))
+        });
+        if !sorted_by_target {
+            return None;
+        }
+        PossibleMappings::from_columns(source, target, scores, probs, pair_offsets, pairs)
+    }
+
     fn empty_columns(source: Schema, target: Schema, capacity: usize) -> PossibleMappings {
         let (labels, source_syms, target_syms) = intern_labels(&source, &target);
         PossibleMappings {
@@ -337,6 +374,26 @@ impl PossibleMappings {
     #[inline]
     pub fn total_pairs(&self) -> usize {
         self.pairs.len()
+    }
+
+    /// The score column — one contiguous `f64` per mapping (the snapshot
+    /// v3 encoder writes it verbatim).
+    #[inline]
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The CSR pair offsets: mapping `i`'s pairs are
+    /// `pairs_flat()[pair_offsets()[i]..pair_offsets()[i+1]]`.
+    #[inline]
+    pub fn pair_offsets(&self) -> &[u32] {
+        &self.pair_offsets
+    }
+
+    /// The flat pair arena behind every mapping, in CSR order.
+    #[inline]
+    pub fn pairs_flat(&self) -> &[(SchemaNodeId, SchemaNodeId)] {
+        &self.pairs
     }
 
     /// Iterate over `(id, mapping view)`.

@@ -76,7 +76,9 @@ use crate::api::{Query, QueryResponse};
 use crate::engine::{par_run, QueryEngine};
 use crate::error::UxmError;
 use crate::json::Json;
-use crate::storage::{decode_engine_snapshot, encode_engine_snapshot};
+use crate::storage::{
+    decode_engine_snapshot, encode_engine_snapshot, encode_engine_snapshot_as, snapshot_version,
+};
 use crate::sync;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -135,6 +137,14 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Cold hydrations refused by the thrash gate so far.
     pub shed_hydrations: u64,
+    /// Total snapshot hydrations performed so far.
+    pub hydrations: u64,
+    /// Median measured hydration wall time over the most recent
+    /// hydrations (a bounded window), in microseconds; `0` before the
+    /// first hydration.
+    pub hydrate_p50_us: u64,
+    /// Maximum measured hydration wall time so far, in microseconds.
+    pub hydrate_max_us: u64,
 }
 
 impl RegistryStats {
@@ -266,6 +276,73 @@ struct Entry {
     last_used: AtomicU64,
 }
 
+/// Per-engine hydration record (see
+/// [`EngineRegistry::hydration_stats`]): what `GET /stats` and
+/// `uxm stats` surface per engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineHydration {
+    /// Wall time of this engine's most recent hydration, in
+    /// microseconds.
+    pub last_us: u64,
+    /// How many times this engine has been hydrated from disk.
+    pub count: u64,
+    /// Snapshot format version of the most recently hydrated file.
+    pub snapshot_version: u64,
+}
+
+/// How many of the most recent hydration timings feed the p50 (a ring
+/// buffer — old samples are overwritten deterministically).
+const HYDRATION_WINDOW: usize = 4096;
+
+/// Measured hydration telemetry: a bounded ring of recent wall times
+/// plus per-engine last-hydration records.
+#[derive(Default)]
+struct HydrationLog {
+    /// Ring of the most recent hydration wall times, µs; the slot for
+    /// hydration `i` is `i % HYDRATION_WINDOW`.
+    samples: Vec<u64>,
+    /// Total hydrations recorded (may exceed the ring length).
+    total: u64,
+    /// Maximum wall time ever recorded, µs.
+    max_us: u64,
+    /// Last hydration per engine name.
+    engines: HashMap<String, EngineHydration>,
+}
+
+impl HydrationLog {
+    fn record(&mut self, name: &str, us: u64, version: u64) {
+        let slot = (self.total % HYDRATION_WINDOW as u64) as usize;
+        if slot < self.samples.len() {
+            self.samples[slot] = us;
+        } else {
+            self.samples.push(us);
+        }
+        self.total += 1;
+        self.max_us = self.max_us.max(us);
+        let entry = self
+            .engines
+            .entry(name.to_string())
+            .or_insert(EngineHydration {
+                last_us: 0,
+                count: 0,
+                snapshot_version: 0,
+            });
+        entry.last_us = us;
+        entry.count += 1;
+        entry.snapshot_version = version;
+    }
+
+    /// Median of the retained window; `0` with no samples.
+    fn p50_us(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut window = self.samples.clone();
+        window.sort_unstable();
+        window[window.len() / 2]
+    }
+}
+
 /// An engine the budget evicted while callers still held `Arc` handles:
 /// its bytes left the budget's ledger but not the process. The `Weak`
 /// lets accounting notice when the last handle finally drops.
@@ -293,6 +370,8 @@ pub struct EngineRegistry {
     /// Evicted-but-still-referenced engines (see [`Zombie`]).
     zombies: Mutex<Vec<Zombie>>,
     shed_hydrations: AtomicU64,
+    /// Measured hydration wall times (see [`HydrationLog`]).
+    hydration_log: Mutex<HydrationLog>,
 }
 
 impl Default for EngineRegistry {
@@ -318,6 +397,7 @@ impl EngineRegistry {
             recent_evictions: Mutex::new(VecDeque::new()),
             zombies: Mutex::new(Vec::new()),
             shed_hydrations: AtomicU64::new(0),
+            hydration_log: Mutex::new(HydrationLog::default()),
         }
     }
 
@@ -382,28 +462,51 @@ impl EngineRegistry {
             Err(UxmError::NoSnapshotDir) => return Err(UxmError::UnknownEngine(name.to_string())),
             other => other?,
         };
-        let bytes = std::fs::read(&path).map_err(|e| {
+        let start = std::time::Instant::now();
+        let bytes = read_snapshot(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
                 UxmError::UnknownEngine(name.to_string())
             } else {
                 UxmError::io(path.display(), e)
             }
         })?;
+        let version = snapshot_version(&bytes).unwrap_or(0);
         let engine = decode_engine_snapshot(&bytes)?;
+        drop(bytes);
+        let us = start.elapsed().as_micros() as u64;
+        sync::lock(&self.hydration_log).record(name, us, version);
         Ok(self.insert(name, engine))
     }
 
-    /// Writes `name`'s snapshot to `<dir>/<name>.uxm`, creating the
-    /// directory if needed. Returns the file path.
+    /// Writes `name`'s snapshot to `<dir>/<name>.uxm` in the current
+    /// format version, creating the directory if needed. Returns the
+    /// file path.
     pub fn save(&self, name: &str) -> Result<PathBuf, UxmError> {
         let engine = self
             .get(name)
             .ok_or_else(|| UxmError::UnknownEngine(name.to_string()))?;
+        self.write_snapshot(name, &encode_engine_snapshot(&engine))
+    }
+
+    /// Writes `name`'s snapshot in an explicitly chosen format version
+    /// (1, 2, or 3) — the CLI's `registry save --snapshot-version` path.
+    pub fn save_as(&self, name: &str, version: u64) -> Result<PathBuf, UxmError> {
+        let engine = self
+            .get(name)
+            .ok_or_else(|| UxmError::UnknownEngine(name.to_string()))?;
+        let bytes = encode_engine_snapshot_as(&engine, version).ok_or_else(|| {
+            UxmError::Input(format!(
+                "unsupported snapshot version {version} (use 1, 2, or 3)"
+            ))
+        })?;
+        self.write_snapshot(name, &bytes)
+    }
+
+    fn write_snapshot(&self, name: &str, bytes: &[u8]) -> Result<PathBuf, UxmError> {
         let path = self.snapshot_path(name)?;
         let dir = path.parent().expect("snapshot path has a directory");
         std::fs::create_dir_all(dir).map_err(|e| UxmError::io(dir.display(), e))?;
-        std::fs::write(&path, encode_engine_snapshot(&engine))
-            .map_err(|e| UxmError::io(path.display(), e))?;
+        std::fs::write(&path, bytes).map_err(|e| UxmError::io(path.display(), e))?;
         Ok(path)
     }
 
@@ -511,13 +614,35 @@ impl EngineRegistry {
 
     /// A point-in-time accounting summary (see [`RegistryStats`]).
     pub fn stats(&self) -> RegistryStats {
+        let (hydrations, hydrate_p50_us, hydrate_max_us) = {
+            let log = sync::lock(&self.hydration_log);
+            (log.total, log.p50_us(), log.max_us)
+        };
         RegistryStats {
             resident_engines: self.len(),
             resident_bytes: self.resident_bytes(),
             unreclaimed_bytes: self.unreclaimed_bytes(),
             evictions: self.eviction_count(),
             shed_hydrations: self.shed_hydration_count(),
+            hydrations,
+            hydrate_p50_us,
+            hydrate_max_us,
         }
+    }
+
+    /// Per-engine hydration records, name-sorted: the most recent
+    /// measured hydration wall time, lifetime hydration count, and the
+    /// snapshot format version last read for each engine that has ever
+    /// hydrated from disk.
+    pub fn hydration_stats(&self) -> Vec<(String, EngineHydration)> {
+        let log = sync::lock(&self.hydration_log);
+        let mut out: Vec<(String, EngineHydration)> = log
+            .engines
+            .iter()
+            .map(|(name, h)| (name.clone(), h.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// The configured memory budget in bytes (`0` = unlimited).
@@ -681,6 +806,30 @@ impl fmt::Debug for EngineRegistry {
             .field("snapshot_dir", &self.snapshot_dir)
             .finish()
     }
+}
+
+/// Reads a snapshot file for hydration. With the `mmap` feature on
+/// Linux the file is memory-mapped — v3 sections are page-aligned, so
+/// the decoder's bulk copies run straight out of the page cache instead
+/// of a freshly filled heap buffer.
+#[cfg(all(
+    feature = "mmap",
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+fn read_snapshot(path: &Path) -> std::io::Result<crate::storage::mmap::Mmap> {
+    let file = std::fs::File::open(path)?;
+    crate::storage::mmap::Mmap::map(&file)
+}
+
+/// Fallback snapshot read: one buffered `fs::read`.
+#[cfg(not(all(
+    feature = "mmap",
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn read_snapshot(path: &Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
 }
 
 #[cfg(test)]

@@ -1272,7 +1272,8 @@ impl Router {
     // -- observability ------------------------------------------------
 
     /// `GET /shards`: the ring layout plus per-shard ownership and
-    /// registry accounting (footprint, evictions, shed hydrations).
+    /// registry accounting (footprint, evictions, hydrations, shed
+    /// hydrations).
     fn shards_body(&self) -> String {
         let (shards, ring) = {
             let st = sync::read(&self.state);
@@ -1296,6 +1297,7 @@ impl Router {
                         "footprint_bytes".into(),
                         Json::uint(stats.footprint_bytes() as u64),
                     ),
+                    ("hydrations".into(), Json::uint(stats.hydrations)),
                     ("id".into(), Json::uint(shard.id)),
                     (
                         "resident_bytes".into(),

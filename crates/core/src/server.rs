@@ -1401,11 +1401,32 @@ fn engines_body(registry: &EngineRegistry) -> String {
 /// [`ServerStats`] plus a `"registry"` section with the memory
 /// accounting of [`crate::registry::RegistryStats`] — including
 /// `unreclaimed_bytes`, the drift between what the LRU budget thinks it
-/// freed and what evicted-but-still-referenced engines actually hold.
+/// freed and what evicted-but-still-referenced engines actually hold —
+/// and measured hydration telemetry: total `hydrations`,
+/// `hydrate_p50_us` / `hydrate_max_us` wall times, and a per-engine
+/// `engines` object (`last_us`, `count`, on-disk `snapshot_version`).
 fn stats_body(registry: &EngineRegistry, stats: &ServerStats) -> String {
     let r = registry.stats();
+    let hydrated: Vec<(String, Json)> = registry
+        .hydration_stats()
+        .into_iter()
+        .map(|(name, h)| {
+            (
+                name,
+                Json::Obj(vec![
+                    ("count".into(), Json::uint(h.count)),
+                    ("last_us".into(), Json::uint(h.last_us)),
+                    ("snapshot_version".into(), Json::uint(h.snapshot_version)),
+                ]),
+            )
+        })
+        .collect();
     let registry_section = Json::Obj(vec![
+        ("engines".into(), Json::Obj(hydrated)),
         ("evictions".into(), Json::uint(r.evictions)),
+        ("hydrate_max_us".into(), Json::uint(r.hydrate_max_us)),
+        ("hydrate_p50_us".into(), Json::uint(r.hydrate_p50_us)),
+        ("hydrations".into(), Json::uint(r.hydrations)),
         (
             "memory_budget".into(),
             Json::uint(registry.memory_budget() as u64),

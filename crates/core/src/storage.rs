@@ -15,28 +15,34 @@
 //! document — so a [`crate::registry::EngineRegistry`] can hydrate a
 //! serving engine from a single file with no out-of-band state.
 //!
-//! # Snapshot format (version 2, current)
+//! # Snapshot format (version 3, current)
 //!
-//! Version 2 serializes the **columnar layout directly** — the same
-//! structure-of-arrays form the engine holds resident — so hydration
-//! builds no per-node `String`s and no intermediate tree (see
-//! `docs/wire-format.md` for the byte-level grammar):
+//! Version 3 is a **sectioned container whose sections are the resident
+//! arena columns, verbatim**: a fixed-width checksummed header and
+//! section table up front, then every column of the engine — document
+//! label/parent/post/level columns, both CSR indexes, text/attr span
+//! tables and buffers, mapping score/prob columns and the flat CSR pair
+//! arena, block-tree CSR ranges — as a 4 KiB-aligned, little-endian,
+//! fixed-width section with its own length and xxhash-style checksum
+//! (see `docs/wire-format.md` for the byte-level grammar):
 //!
 //! ```text
-//! magic  "UXMS"
-//! varint  version            — 2
-//! schema  source             — name, then nodes in pre-order:
-//!                              label, parent id (omitted for the root),
-//!                              repeatable flag
-//! schema  target
-//! varint  min_support; blocks — anchor, corrs, mapping ids (as "UXM1")
-//! varint  |M|; scores ×|M| (f64), probs ×|M| (f64)
-//! per mapping: block pointers, then residual pairs
-//! doc     label table; node count; label column; parent column;
-//!         sparse text spans (node, byte len) + one contiguous text
-//!         buffer; flat attribute spans (node, name len, value len) +
-//!         one contiguous attribute buffer
+//! magic   "UXMS"; version byte 3; three zero pad bytes
+//! header  file_len (u64), section_count (u64), table xxh64 (u64)
+//! table   one 48-byte entry per section:
+//!         kind, offset, len, count, elem_size, xxh64 (all u64 LE)
+//! ...     each section zero-padded to the next 4096-byte boundary
 //! ```
+//!
+//! The encoder is one `extend_from_slice` per column; the decoder
+//! verifies the header, validates every section's bounds / alignment /
+//! count / checksum, then bulk-copies each column straight into
+//! [`Document::from_raw_columns`] /
+//! [`PossibleMappings::from_raw_columns`] /
+//! [`crate::block_tree::BlockTree::from_raw_columns`] — no per-element
+//! decoding, no derived-index recomputation. Behind the `mmap` feature
+//! the registry reads snapshot files through a no-libc `mmap(2)` shim
+//! (`mmap::Mmap`) instead of `read(2)`-ing them into a heap buffer.
 //!
 //! **Version history** (`SNAPSHOT_VERSION`):
 //!
@@ -45,15 +51,22 @@
 //!   text/attribute records. Still decoded (see
 //!   [`decode_engine_snapshot`]); [`encode_engine_snapshot_v1`] keeps
 //!   the writer alive for compatibility fixtures.
-//! * **2** — columnar document and mapping sections as above: smaller
-//!   files (no per-node flag bytes or length-prefixed strings) and
-//!   faster hydration (the decoder feeds `Document::from_columns` /
-//!   `PossibleMappings::from_columns` directly). Decoders reject any
-//!   other version with [`DecodeError::UnsupportedVersion`], so stale
-//!   snapshot files fail loudly instead of misparsing.
+//! * **2** — columnar document and mapping sections, varint-packed:
+//!   smaller files (no per-node flag bytes or length-prefixed strings)
+//!   and faster hydration than v1 (the decoder feeds
+//!   `Document::from_columns` / `PossibleMappings::from_columns`
+//!   directly). [`encode_engine_snapshot_v2`] keeps the writer alive.
+//! * **3** — page-aligned fixed-width arena sections as above: larger
+//!   files (pairs stored flat, derived columns stored rather than
+//!   recomputed, page padding) bought back as near-memcpy hydration.
+//!   Decoders reject any other version with
+//!   [`DecodeError::UnsupportedVersion`], so stale snapshot files fail
+//!   loudly instead of misparsing.
 //!
-//! All formats use LEB128 varints for ids and counts, so the on-disk
-//! sizes reflect genuine entropy, not padding.
+//! Versions 1–2 use LEB128 varints throughout; version 3 reserves
+//! varints for the small `META` section (schemas, label table,
+//! `min_support`) and stores every column fixed-width so hydration
+//! never branches per element.
 //!
 //! # Examples
 //!
@@ -102,8 +115,8 @@ const MAGIC_SNAPSHOT: &[u8; 4] = b"UXMS";
 
 /// Current engine-snapshot format version (see the module docs for the
 /// version history). Encoders write this version; decoders accept it
-/// **and** still read version-1 files.
-pub const SNAPSHOT_VERSION: u64 = 2;
+/// **and** still read version-1 and version-2 files.
+pub const SNAPSHOT_VERSION: u64 = 3;
 
 /// Decode failures.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -122,6 +135,12 @@ pub enum DecodeError {
     /// Structurally impossible data: an empty node table, or a node whose
     /// parent does not precede it in pre-order.
     Malformed,
+    /// A v3 section (or the section table itself) whose stored xxh64
+    /// checksum does not match its bytes.
+    BadChecksum,
+    /// A v3 section offset that is not page-aligned (every section must
+    /// start on a [`SECTION_ALIGN`]-byte boundary past the header).
+    Misaligned,
 }
 
 impl fmt::Display for DecodeError {
@@ -138,6 +157,8 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BadString => write!(f, "stored string is not valid UTF-8"),
             DecodeError::Malformed => write!(f, "structurally malformed input"),
+            DecodeError::BadChecksum => write!(f, "section checksum mismatch"),
+            DecodeError::Misaligned => write!(f, "section offset is not page-aligned"),
         }
     }
 }
@@ -272,15 +293,35 @@ pub fn measured_compression_ratio(pm: &PossibleMappings, tree: &BlockTree) -> f6
 
 /// Serializes a whole engine session — schemas, block-compressed mapping
 /// set, and document — into one versioned container in the current
-/// (columnar, version-2) layout. See the module docs for the layout and
-/// [`encode_engine_snapshot_v1`] for the legacy writer.
+/// (page-aligned sectioned, version-3) layout. See the module docs for
+/// the layout and [`encode_engine_snapshot_v1`] /
+/// [`encode_engine_snapshot_v2`] for the legacy writers.
 pub fn encode_engine_snapshot(engine: &QueryEngine) -> Vec<u8> {
+    encode_engine_snapshot_v3(engine)
+}
+
+/// Serializes an engine session in an explicitly chosen snapshot format
+/// version (1, 2, or 3); `None` for any other version. The CLI's
+/// `registry save --snapshot-version` flag routes through this.
+pub fn encode_engine_snapshot_as(engine: &QueryEngine, version: u64) -> Option<Vec<u8>> {
+    match version {
+        1 => Some(encode_engine_snapshot_v1(engine)),
+        2 => Some(encode_engine_snapshot_v2(engine)),
+        3 => Some(encode_engine_snapshot_v3(engine)),
+        _ => None,
+    }
+}
+
+/// The version-2 (varint columnar) snapshot writer, kept so
+/// compatibility tests and fixtures can still produce v2 bytes. New
+/// snapshots should use [`encode_engine_snapshot`].
+pub fn encode_engine_snapshot_v2(engine: &QueryEngine) -> Vec<u8> {
     let pm = engine.mappings();
     let tree = engine.tree();
     let cm = compress(pm, tree);
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC_SNAPSHOT);
-    put_varint(&mut out, SNAPSHOT_VERSION);
+    put_varint(&mut out, 2);
     put_schema(&mut out, engine.source());
     put_schema(&mut out, engine.target());
 
@@ -383,6 +424,7 @@ pub fn decode_engine_snapshot_parts(bytes: &[u8]) -> Result<EngineSnapshot, Deco
                 document,
             })
         }
+        3 => decode_engine_snapshot_v3(bytes),
         other => Err(DecodeError::UnsupportedVersion(other)),
     }
 }
@@ -393,6 +435,792 @@ pub fn decode_engine_snapshot_parts(bytes: &[u8]) -> Result<EngineSnapshot, Deco
 pub fn decode_engine_snapshot(bytes: &[u8]) -> Result<QueryEngine, DecodeError> {
     let parts = decode_engine_snapshot_parts(bytes)?;
     Ok(QueryEngine::new(parts.mappings, parts.document, parts.tree))
+}
+
+// ---------------------------------------------------------------------
+// snapshot v3: page-aligned fixed-width arena sections
+
+/// Every v3 section starts on a boundary of this many bytes (one page on
+/// common platforms), so an `mmap`ed snapshot exposes naturally-aligned
+/// columns.
+pub const SECTION_ALIGN: usize = 4096;
+
+/// Byte length of the fixed v3 prelude + header: magic (4), version
+/// byte (1), pad (3), `file_len` / `section_count` / table xxh64
+/// (3 × u64).
+const V3_HEADER_LEN: usize = 32;
+/// Byte length of one section-table entry: kind, offset, len, count,
+/// elem_size, xxh64 (6 × u64).
+const V3_ENTRY_LEN: usize = 48;
+
+/// v3 section kinds, in canonical on-disk order.
+const SEC_META: u64 = 1;
+const SEC_MAP_SCORES: u64 = 2;
+const SEC_MAP_PROBS: u64 = 3;
+const SEC_MAP_PAIR_OFFSETS: u64 = 4;
+const SEC_MAP_PAIRS: u64 = 5;
+const SEC_BLK_ANCHORS: u64 = 6;
+const SEC_BLK_CORR_OFFSETS: u64 = 7;
+const SEC_BLK_CORRS: u64 = 8;
+const SEC_BLK_MAP_OFFSETS: u64 = 9;
+const SEC_BLK_MAP_IDS: u64 = 10;
+const SEC_DOC_LABELS: u64 = 11;
+const SEC_DOC_PARENTS: u64 = 12;
+const SEC_DOC_POSTS: u64 = 13;
+const SEC_DOC_LEVELS: u64 = 14;
+const SEC_DOC_CHILD_OFFSETS: u64 = 15;
+const SEC_DOC_CHILD_LIST: u64 = 16;
+const SEC_DOC_BY_LABEL_OFFSETS: u64 = 17;
+const SEC_DOC_BY_LABEL_LIST: u64 = 18;
+const SEC_DOC_TEXT_SPANS: u64 = 19;
+const SEC_DOC_TEXT_BUF: u64 = 20;
+const SEC_DOC_ATTR_OFFSETS: u64 = 21;
+const SEC_DOC_ATTR_SPANS: u64 = 22;
+const SEC_DOC_ATTR_BUF: u64 = 23;
+
+/// The canonical v3 layout: `(kind, element size in bytes)` for every
+/// section, in the exact order the encoder emits and the decoder
+/// requires.
+const V3_LAYOUT: [(u64, u64); 23] = [
+    (SEC_META, 1),
+    (SEC_MAP_SCORES, 8),
+    (SEC_MAP_PROBS, 8),
+    (SEC_MAP_PAIR_OFFSETS, 4),
+    (SEC_MAP_PAIRS, 8),
+    (SEC_BLK_ANCHORS, 4),
+    (SEC_BLK_CORR_OFFSETS, 4),
+    (SEC_BLK_CORRS, 8),
+    (SEC_BLK_MAP_OFFSETS, 4),
+    (SEC_BLK_MAP_IDS, 4),
+    (SEC_DOC_LABELS, 4),
+    (SEC_DOC_PARENTS, 4),
+    (SEC_DOC_POSTS, 4),
+    (SEC_DOC_LEVELS, 4),
+    (SEC_DOC_CHILD_OFFSETS, 4),
+    (SEC_DOC_CHILD_LIST, 4),
+    (SEC_DOC_BY_LABEL_OFFSETS, 4),
+    (SEC_DOC_BY_LABEL_LIST, 4),
+    (SEC_DOC_TEXT_SPANS, 8),
+    (SEC_DOC_TEXT_BUF, 1),
+    (SEC_DOC_ATTR_OFFSETS, 4),
+    (SEC_DOC_ATTR_SPANS, 16),
+    (SEC_DOC_ATTR_BUF, 1),
+];
+
+const V3_SECTION_COUNT: usize = V3_LAYOUT.len();
+const V3_TABLE_END: usize = V3_HEADER_LEN + V3_ENTRY_LEN * V3_SECTION_COUNT;
+
+const XXH_P1: u64 = 0x9E37_79B1_85EB_CA87;
+const XXH_P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const XXH_P3: u64 = 0x1656_67B1_9E37_79F9;
+const XXH_P4: u64 = 0x85EB_CA77_C2B2_AE63;
+const XXH_P5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn xxh_round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(XXH_P2))
+        .rotate_left(31)
+        .wrapping_mul(XXH_P1)
+}
+
+#[inline]
+fn xxh_merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ xxh_round(0, val))
+        .wrapping_mul(XXH_P1)
+        .wrapping_add(XXH_P4)
+}
+
+/// Incremental XXH64 state, so the v3 decoder can fold a section into
+/// the checksum in cache-sized chunks *while copying it* — one pass over
+/// memory instead of a hash pass followed by a copy pass.
+struct Xxh64 {
+    v: [u64; 4],
+    seed: u64,
+    /// Bytes consumed by `update` (always a multiple of 32).
+    len: u64,
+}
+
+impl Xxh64 {
+    fn new(seed: u64) -> Xxh64 {
+        Xxh64 {
+            v: [
+                seed.wrapping_add(XXH_P1).wrapping_add(XXH_P2),
+                seed.wrapping_add(XXH_P2),
+                seed,
+                seed.wrapping_sub(XXH_P1),
+            ],
+            seed,
+            len: 0,
+        }
+    }
+
+    /// Folds `block` (length a multiple of 32) into the accumulators.
+    fn update(&mut self, block: &[u8]) {
+        debug_assert_eq!(block.len() % 32, 0);
+        let [mut v1, mut v2, mut v3, mut v4] = self.v;
+        let u64_at = |b: &[u8]| u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+        for stripe in block.chunks_exact(32) {
+            v1 = xxh_round(v1, u64_at(&stripe[0..]));
+            v2 = xxh_round(v2, u64_at(&stripe[8..]));
+            v3 = xxh_round(v3, u64_at(&stripe[16..]));
+            v4 = xxh_round(v4, u64_at(&stripe[24..]));
+        }
+        self.v = [v1, v2, v3, v4];
+        self.len += block.len() as u64;
+    }
+
+    /// Consumes the final partial stripe (`tail.len() < 32`) and
+    /// finalizes. Matches the one-shot reference digest bit-for-bit.
+    fn finish(self, tail: &[u8]) -> u64 {
+        debug_assert!(tail.len() < 32);
+        let [v1, v2, v3, v4] = self.v;
+        let mut h = if self.len > 0 {
+            let mut h = v1
+                .rotate_left(1)
+                .wrapping_add(v2.rotate_left(7))
+                .wrapping_add(v3.rotate_left(12))
+                .wrapping_add(v4.rotate_left(18));
+            h = xxh_merge_round(h, v1);
+            h = xxh_merge_round(h, v2);
+            h = xxh_merge_round(h, v3);
+            xxh_merge_round(h, v4)
+        } else {
+            self.seed.wrapping_add(XXH_P5)
+        };
+        h = h.wrapping_add(self.len + tail.len() as u64);
+        let mut rest = tail;
+        let u64_at = |b: &[u8]| u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+        while rest.len() >= 8 {
+            h = (h ^ xxh_round(0, u64_at(rest)))
+                .rotate_left(27)
+                .wrapping_mul(XXH_P1)
+                .wrapping_add(XXH_P4);
+            rest = &rest[8..];
+        }
+        if rest.len() >= 4 {
+            let v = u64::from(u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")));
+            h = (h ^ v.wrapping_mul(XXH_P1))
+                .rotate_left(23)
+                .wrapping_mul(XXH_P2)
+                .wrapping_add(XXH_P3);
+            rest = &rest[4..];
+        }
+        for &b in rest {
+            h = (h ^ u64::from(b).wrapping_mul(XXH_P5))
+                .rotate_left(11)
+                .wrapping_mul(XXH_P1);
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(XXH_P2);
+        h ^= h >> 29;
+        h = h.wrapping_mul(XXH_P3);
+        h ^ (h >> 32)
+    }
+}
+
+/// XXH64 (seed-parameterized xxHash, 64-bit variant) over `bytes`.
+///
+/// Self-contained so the workspace stays dependency-free; exposed `pub`
+/// so corruption tests can forge section tables whose checksums verify
+/// (the only way to reach the deeper typed errors).
+pub fn xxh64(bytes: &[u8], seed: u64) -> u64 {
+    let body = bytes.len() & !31;
+    let mut state = Xxh64::new(seed);
+    state.update(&bytes[..body]);
+    state.finish(&bytes[body..])
+}
+
+/// Streams `sec` once: every cache-sized chunk is folded into the
+/// running XXH64 *and* handed to `emit` while still hot in L1/L2, then
+/// the digest is compared against the section-table checksum. `emit`
+/// always receives slices whose length is a multiple of 32 except for
+/// the final sub-stripe tail, so any element width that divides 32
+/// never sees a torn element. Output built from a section that turns
+/// out corrupt is simply dropped by the caller via `?`.
+fn verify_while_copying(
+    sec: &[u8],
+    expected: u64,
+    mut emit: impl FnMut(&[u8]),
+) -> Result<(), DecodeError> {
+    const CHUNK: usize = 32 * 1024;
+    let body = sec.len() & !31;
+    let mut state = Xxh64::new(0);
+    for chunk in sec[..body].chunks(CHUNK) {
+        state.update(chunk);
+        emit(chunk);
+    }
+    let tail = &sec[body..];
+    if state.finish(tail) != expected {
+        return Err(DecodeError::BadChecksum);
+    }
+    emit(tail);
+    Ok(())
+}
+
+#[inline]
+fn align_up(n: usize) -> usize {
+    n.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+/// Appends a `u32` column as its little-endian wire bytes in one shot.
+fn put_u32s(out: &mut Vec<u8>, vals: &[u32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `u32` has no padding bytes and byte alignment suffices
+        // for `u8`; on little-endian the in-memory bytes of an
+        // initialized &[u32] are exactly the wire encoding.
+        let raw = unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), vals.len() * 4) };
+        out.extend_from_slice(raw);
+    }
+    #[cfg(target_endian = "big")]
+    for &v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends an `f64` column as its little-endian IEEE-754 bit patterns.
+fn put_f64s(out: &mut Vec<u8>, vals: &[f64]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: as in `put_u32s` — `f64` has no padding and its LE
+        // in-memory bytes equal `to_bits().to_le_bytes()`.
+        let raw = unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), vals.len() * 8) };
+        out.extend_from_slice(raw);
+    }
+    #[cfg(target_endian = "big")]
+    for &v in vals {
+        out.extend_from_slice(&v.to_le_bits_bytes());
+    }
+}
+
+/// Appends schema-id pairs as `(s, t)` little-endian `u32`s. Written
+/// per element: Rust does not guarantee tuple memory layout, and the
+/// wire field order must be deterministic.
+fn put_id_pairs(out: &mut Vec<u8>, pairs: &[(SchemaNodeId, SchemaNodeId)]) {
+    for &(s, t) in pairs {
+        out.extend_from_slice(&s.0.to_le_bytes());
+        out.extend_from_slice(&t.0.to_le_bytes());
+    }
+}
+
+/// Appends `(u32, u32)` spans per element (see [`put_id_pairs`]).
+fn put_u32_pairs(out: &mut Vec<u8>, spans: &[(u32, u32)]) {
+    for &(a, b) in spans {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+}
+
+/// Appends attribute `(name span, value span)` records as four `u32`s.
+#[allow(clippy::type_complexity)]
+fn put_spans2(out: &mut Vec<u8>, spans: &[((u32, u32), (u32, u32))]) {
+    for &((a, b), (c, d)) in spans {
+        for v in [a, b, c, d] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Incremental v3 container writer: reserves the header + section table
+/// up front, pads each section to [`SECTION_ALIGN`], and backpatches the
+/// table (with per-section and whole-table checksums) on `finish`.
+struct V3Writer {
+    out: Vec<u8>,
+    table: Vec<[u64; 6]>,
+}
+
+impl V3Writer {
+    fn new() -> V3Writer {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC_SNAPSHOT);
+        out.push(SNAPSHOT_VERSION as u8); // single-byte varint
+        out.extend_from_slice(&[0, 0, 0]); // pad to 8
+        out.resize(V3_TABLE_END, 0); // header + table, backpatched later
+        V3Writer {
+            out,
+            table: Vec::with_capacity(V3_SECTION_COUNT),
+        }
+    }
+
+    /// Writes one section: aligns, runs `fill` to append the content,
+    /// and records the table entry (including the content checksum).
+    fn section(&mut self, kind: u64, elem_size: u64, count: u64, fill: impl FnOnce(&mut Vec<u8>)) {
+        self.out.resize(align_up(self.out.len()), 0);
+        let offset = self.out.len();
+        fill(&mut self.out);
+        let len = (self.out.len() - offset) as u64;
+        debug_assert_eq!(len, count * elem_size, "section {kind} length drifted");
+        let checksum = xxh64(&self.out[offset..], 0);
+        self.table
+            .push([kind, offset as u64, len, count, elem_size, checksum]);
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        debug_assert_eq!(self.table.len(), V3_SECTION_COUNT);
+        let mut table_bytes = Vec::with_capacity(V3_ENTRY_LEN * self.table.len());
+        for entry in &self.table {
+            for v in entry {
+                table_bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let file_len = self.out.len() as u64;
+        self.out[8..16].copy_from_slice(&file_len.to_le_bytes());
+        self.out[16..24].copy_from_slice(&(self.table.len() as u64).to_le_bytes());
+        self.out[24..32].copy_from_slice(&xxh64(&table_bytes, 0).to_le_bytes());
+        self.out[V3_HEADER_LEN..V3_TABLE_END].copy_from_slice(&table_bytes);
+        self.out
+    }
+}
+
+/// The version-3 snapshot writer: every resident arena column becomes
+/// one page-aligned fixed-width section (see the module docs). Encoding
+/// is `extend_from_slice` per column — no varints, no per-element work
+/// outside the small `META` section.
+fn encode_engine_snapshot_v3(engine: &QueryEngine) -> Vec<u8> {
+    let pm = engine.mappings();
+    let tree = engine.tree();
+    let cols = engine.document().raw_columns();
+
+    // META: schemas, min_support, and the document label table — the
+    // only varint-encoded bytes in a v3 file.
+    let mut meta = Vec::new();
+    put_schema(&mut meta, engine.source());
+    put_schema(&mut meta, engine.target());
+    put_varint(&mut meta, tree.min_support as u64);
+    put_varint(&mut meta, cols.label_names.len() as u64);
+    for name in cols.label_names {
+        put_str(&mut meta, name);
+    }
+
+    // Block-tree CSR columns, flattened from the resident block list.
+    let blocks = tree.blocks();
+    let mut anchors = Vec::with_capacity(blocks.len());
+    let mut corr_offsets = Vec::with_capacity(blocks.len() + 1);
+    let mut corrs: Vec<(SchemaNodeId, SchemaNodeId)> = Vec::new();
+    let mut map_offsets = Vec::with_capacity(blocks.len() + 1);
+    let mut map_ids: Vec<u32> = Vec::new();
+    corr_offsets.push(0u32);
+    map_offsets.push(0u32);
+    for b in blocks {
+        anchors.push(b.anchor.0);
+        corrs.extend_from_slice(&b.corrs);
+        corr_offsets.push(corrs.len() as u32);
+        map_ids.extend(b.mappings.iter().map(|m| m.0));
+        map_offsets.push(map_ids.len() as u32);
+    }
+
+    let mut w = V3Writer::new();
+    let n_m = pm.len() as u64;
+    w.section(SEC_META, 1, meta.len() as u64, |o| {
+        o.extend_from_slice(&meta)
+    });
+    w.section(SEC_MAP_SCORES, 8, n_m, |o| put_f64s(o, pm.scores()));
+    w.section(SEC_MAP_PROBS, 8, n_m, |o| put_f64s(o, pm.probabilities()));
+    w.section(SEC_MAP_PAIR_OFFSETS, 4, n_m + 1, |o| {
+        put_u32s(o, pm.pair_offsets())
+    });
+    w.section(SEC_MAP_PAIRS, 8, pm.total_pairs() as u64, |o| {
+        put_id_pairs(o, pm.pairs_flat())
+    });
+    w.section(SEC_BLK_ANCHORS, 4, anchors.len() as u64, |o| {
+        put_u32s(o, &anchors)
+    });
+    w.section(SEC_BLK_CORR_OFFSETS, 4, corr_offsets.len() as u64, |o| {
+        put_u32s(o, &corr_offsets)
+    });
+    w.section(SEC_BLK_CORRS, 8, corrs.len() as u64, |o| {
+        put_id_pairs(o, &corrs)
+    });
+    w.section(SEC_BLK_MAP_OFFSETS, 4, map_offsets.len() as u64, |o| {
+        put_u32s(o, &map_offsets)
+    });
+    w.section(SEC_BLK_MAP_IDS, 4, map_ids.len() as u64, |o| {
+        put_u32s(o, &map_ids)
+    });
+    let n = cols.labels.len() as u64;
+    w.section(SEC_DOC_LABELS, 4, n, |o| put_u32s(o, cols.labels));
+    w.section(SEC_DOC_PARENTS, 4, n, |o| put_u32s(o, cols.parents));
+    w.section(SEC_DOC_POSTS, 4, n, |o| put_u32s(o, cols.posts));
+    w.section(SEC_DOC_LEVELS, 4, n, |o| put_u32s(o, cols.levels));
+    w.section(SEC_DOC_CHILD_OFFSETS, 4, n + 1, |o| {
+        put_u32s(o, cols.child_offsets)
+    });
+    w.section(SEC_DOC_CHILD_LIST, 4, n - 1, |o| {
+        put_u32s(o, cols.child_list)
+    });
+    w.section(
+        SEC_DOC_BY_LABEL_OFFSETS,
+        4,
+        cols.by_label_offsets.len() as u64,
+        |o| put_u32s(o, cols.by_label_offsets),
+    );
+    w.section(SEC_DOC_BY_LABEL_LIST, 4, n, |o| {
+        put_u32s(o, cols.by_label_list)
+    });
+    w.section(SEC_DOC_TEXT_SPANS, 8, n, |o| {
+        put_u32_pairs(o, cols.text_spans)
+    });
+    w.section(SEC_DOC_TEXT_BUF, 1, cols.text_buf.len() as u64, |o| {
+        o.extend_from_slice(cols.text_buf.as_bytes())
+    });
+    w.section(SEC_DOC_ATTR_OFFSETS, 4, n + 1, |o| {
+        put_u32s(o, cols.attr_offsets)
+    });
+    w.section(SEC_DOC_ATTR_SPANS, 16, cols.attr_spans.len() as u64, |o| {
+        put_spans2(o, cols.attr_spans)
+    });
+    w.section(SEC_DOC_ATTR_BUF, 1, cols.attr_buf.len() as u64, |o| {
+        o.extend_from_slice(cols.attr_buf.as_bytes())
+    });
+    w.finish()
+}
+
+/// Appends a little-endian `u32` run to `out` (any multiple-of-4
+/// length). On little-endian targets this is one memcpy: the wire bytes
+/// are already the in-memory representation.
+fn extend_u32s(out: &mut Vec<u32>, chunk: &[u8]) {
+    #[cfg(target_endian = "little")]
+    {
+        let n = chunk.len() / 4;
+        let old = out.len();
+        out.reserve(n);
+        // SAFETY: the spare capacity holds exactly `chunk.len()` bytes,
+        // the ranges cannot overlap (Vec spare capacity vs. a borrowed
+        // section), and any bit pattern is a valid `u32`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                chunk.as_ptr(),
+                out.as_mut_ptr().add(old).cast::<u8>(),
+                chunk.len(),
+            );
+            out.set_len(old + n);
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    out.extend(
+        chunk
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))),
+    );
+}
+
+/// Appends a little-endian `f64` run to `out` (any multiple-of-8 length).
+fn extend_f64s(out: &mut Vec<f64>, chunk: &[u8]) {
+    #[cfg(target_endian = "little")]
+    {
+        let n = chunk.len() / 8;
+        let old = out.len();
+        out.reserve(n);
+        // SAFETY: as in `extend_u32s`; any bit pattern is a valid `f64`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                chunk.as_ptr(),
+                out.as_mut_ptr().add(old).cast::<u8>(),
+                chunk.len(),
+            );
+            out.set_len(old + n);
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    out.extend(
+        chunk
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes")))),
+    );
+}
+
+/// Reads a `u32` column, verifying the section checksum in the same
+/// pass as the copy.
+fn read_u32s(sec: &[u8], sum: u64) -> Result<Vec<u32>, DecodeError> {
+    let mut out = Vec::with_capacity(sec.len() / 4);
+    verify_while_copying(sec, sum, |c| extend_u32s(&mut out, c))?;
+    Ok(out)
+}
+
+/// Reads an `f64` column, verifying the section checksum in the same
+/// pass as the copy.
+fn read_f64s(sec: &[u8], sum: u64) -> Result<Vec<f64>, DecodeError> {
+    let mut out = Vec::with_capacity(sec.len() / 8);
+    verify_while_copying(sec, sum, |c| extend_f64s(&mut out, c))?;
+    Ok(out)
+}
+
+/// Reads a schema-id pair column, checksummed in the same pass. Tuple
+/// layout is not guaranteed, so each element is rebuilt from one `u64`
+/// load — a shift-split LLVM vectorizes — instead of a bulk copy; the
+/// chunk is L1-hot from the checksum fold so the split is compute-only.
+fn read_id_pairs(sec: &[u8], sum: u64) -> Result<Vec<(SchemaNodeId, SchemaNodeId)>, DecodeError> {
+    let mut out = Vec::with_capacity(sec.len() / 8);
+    verify_while_copying(sec, sum, |chunk| {
+        out.extend(chunk.chunks_exact(8).map(|c| {
+            let v = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+            (SchemaNodeId(v as u32), SchemaNodeId((v >> 32) as u32))
+        }))
+    })?;
+    Ok(out)
+}
+
+/// Reads a `(u32, u32)` span column, checksummed in the same pass.
+fn read_u32_pairs(sec: &[u8], sum: u64) -> Result<Vec<(u32, u32)>, DecodeError> {
+    let mut out = Vec::with_capacity(sec.len() / 8);
+    verify_while_copying(sec, sum, |chunk| {
+        out.extend(chunk.chunks_exact(8).map(|c| {
+            let v = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+            (v as u32, (v >> 32) as u32)
+        }))
+    })?;
+    Ok(out)
+}
+
+/// Reads an attribute span column, checksummed in the same pass.
+#[allow(clippy::type_complexity)]
+fn read_spans2(sec: &[u8], sum: u64) -> Result<Vec<((u32, u32), (u32, u32))>, DecodeError> {
+    let mut out = Vec::with_capacity(sec.len() / 16);
+    verify_while_copying(sec, sum, |chunk| {
+        out.extend(chunk.chunks_exact(16).map(|c| {
+            let lo = u64::from_le_bytes(c[..8].try_into().expect("8 bytes"));
+            let hi = u64::from_le_bytes(c[8..].try_into().expect("8 bytes"));
+            (
+                (lo as u32, (lo >> 32) as u32),
+                (hi as u32, (hi >> 32) as u32),
+            )
+        }))
+    })?;
+    Ok(out)
+}
+
+/// Reads a string-buffer section, checksummed in the same pass as the
+/// copy (so the bytes are only traversed once before UTF-8 validation).
+fn read_string(sec: &[u8], sum: u64) -> Result<String, DecodeError> {
+    let mut out = Vec::with_capacity(sec.len());
+    verify_while_copying(sec, sum, |c| out.extend_from_slice(c))?;
+    String::from_utf8(out).map_err(|_| DecodeError::BadString)
+}
+
+/// The version-3 decoder: O(sections) header work, then one bulk copy
+/// per column into the zero-recompute constructors.
+fn decode_engine_snapshot_v3(bytes: &[u8]) -> Result<EngineSnapshot, DecodeError> {
+    // Prelude: the caller verified magic + version; canonical files zero
+    // the three pad bytes.
+    if bytes.len() < V3_TABLE_END {
+        return Err(DecodeError::Truncated);
+    }
+    if bytes[5..8] != [0, 0, 0] {
+        return Err(DecodeError::Malformed);
+    }
+    let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+    // `file_len` pins the exact size up front, so truncation and trailing
+    // garbage are caught before any section is trusted.
+    if u64_at(8) != bytes.len() as u64 {
+        return Err(DecodeError::Truncated);
+    }
+    if u64_at(16) != V3_SECTION_COUNT as u64 {
+        return Err(DecodeError::Malformed);
+    }
+    let table_bytes = &bytes[V3_HEADER_LEN..V3_TABLE_END];
+    if xxh64(table_bytes, 0) != u64_at(24) {
+        return Err(DecodeError::BadChecksum);
+    }
+
+    // Validate every table entry: canonical kind order, page alignment,
+    // in-bounds extent, count × elem_size == len (so a hostile count can
+    // never drive an allocation past the actual file size). Section
+    // *content* checksums are deferred to the reads below: each section
+    // is checksummed in the same cache-sized chunks as its bulk copy
+    // (`verify_while_copying`), so its bytes are traversed once, not
+    // hashed in an upfront sweep and then read all over again. Every
+    // section is consumed exactly once, so no checksum goes unverified.
+    let mut sections: Vec<(&[u8], u64)> = Vec::with_capacity(V3_SECTION_COUNT);
+    for (i, &(kind, elem_size)) in V3_LAYOUT.iter().enumerate() {
+        let e = V3_HEADER_LEN + i * V3_ENTRY_LEN;
+        let entry_u64 = |j: usize| u64_at(e + 8 * j);
+        if entry_u64(0) != kind || entry_u64(4) != elem_size {
+            return Err(DecodeError::Malformed);
+        }
+        let offset = entry_u64(1) as usize;
+        let len = entry_u64(2) as usize;
+        let count = entry_u64(3);
+        if !offset.is_multiple_of(SECTION_ALIGN) || offset < SECTION_ALIGN {
+            return Err(DecodeError::Misaligned);
+        }
+        let end = offset.checked_add(len).ok_or(DecodeError::Truncated)?;
+        if end > bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        if count.checked_mul(elem_size) != Some(len as u64) {
+            return Err(DecodeError::Malformed);
+        }
+        sections.push((&bytes[offset..end], entry_u64(5)));
+    }
+    let sec = |kind: u64| sections[kind as usize - 1];
+    // META is the one section read through `Reader` (varint-packed), so
+    // it is verified whole before parsing.
+    let meta = {
+        let (meta, sum) = sec(SEC_META);
+        if xxh64(meta, 0) != sum {
+            return Err(DecodeError::BadChecksum);
+        }
+        meta
+    };
+
+    // META: schemas, min_support, label table (varint-packed).
+    let mut r = Reader::new(meta);
+    let source = r.schema()?;
+    let target = r.schema()?;
+    let min_support = r.varint()? as usize;
+    let n_labels = r.varint()? as usize;
+    let mut label_names = Vec::with_capacity(n_labels.min(4096));
+    for _ in 0..n_labels {
+        label_names.push(r.str()?.to_string());
+    }
+    r.finish()?;
+
+    // Mapping columns, bulk-copied; deep validation (CSR shape, id
+    // bounds, per-run sort order) lives in `from_raw_columns`.
+    let scores = {
+        let (sec, sum) = sec(SEC_MAP_SCORES);
+        read_f64s(sec, sum)?
+    };
+    let probs = {
+        let (sec, sum) = sec(SEC_MAP_PROBS);
+        read_f64s(sec, sum)?
+    };
+    if probs.len() != scores.len() {
+        return Err(DecodeError::Malformed);
+    }
+    let pair_offsets = {
+        let (sec, sum) = sec(SEC_MAP_PAIR_OFFSETS);
+        read_u32s(sec, sum)?
+    };
+    let pairs = {
+        let (sec, sum) = sec(SEC_MAP_PAIRS);
+        read_id_pairs(sec, sum)?
+    };
+
+    // Block-tree CSR columns.
+    let anchors = {
+        let (sec, sum) = sec(SEC_BLK_ANCHORS);
+        read_u32s(sec, sum)?
+    };
+    let corr_offsets = {
+        let (sec, sum) = sec(SEC_BLK_CORR_OFFSETS);
+        read_u32s(sec, sum)?
+    };
+    let corrs = {
+        let (sec, sum) = sec(SEC_BLK_CORRS);
+        read_id_pairs(sec, sum)?
+    };
+    let map_offsets = {
+        let (sec, sum) = sec(SEC_BLK_MAP_OFFSETS);
+        read_u32s(sec, sum)?
+    };
+    let map_ids = {
+        let (sec, sum) = sec(SEC_BLK_MAP_IDS);
+        read_u32s(sec, sum)?
+    };
+    let tree = BlockTree::from_raw_columns(
+        &target,
+        &anchors,
+        &corr_offsets,
+        &corrs,
+        &map_offsets,
+        &map_ids,
+        source.len(),
+        scores.len(),
+        min_support,
+    )
+    .ok_or(DecodeError::Malformed)?;
+    let mappings =
+        PossibleMappings::from_raw_columns(source, target, scores, probs, pair_offsets, pairs)
+            .ok_or(DecodeError::Malformed)?;
+
+    // Document columns, straight into the zero-recompute constructor.
+    let text_buf = {
+        let (sec, sum) = sec(SEC_DOC_TEXT_BUF);
+        read_string(sec, sum)?
+    };
+    let attr_buf = {
+        let (sec, sum) = sec(SEC_DOC_ATTR_BUF);
+        read_string(sec, sum)?
+    };
+    let labels = {
+        let (sec, sum) = sec(SEC_DOC_LABELS);
+        read_u32s(sec, sum)?
+    };
+    let parents = {
+        let (sec, sum) = sec(SEC_DOC_PARENTS);
+        read_u32s(sec, sum)?
+    };
+    let posts = {
+        let (sec, sum) = sec(SEC_DOC_POSTS);
+        read_u32s(sec, sum)?
+    };
+    let levels = {
+        let (sec, sum) = sec(SEC_DOC_LEVELS);
+        read_u32s(sec, sum)?
+    };
+    let child_offsets = {
+        let (sec, sum) = sec(SEC_DOC_CHILD_OFFSETS);
+        read_u32s(sec, sum)?
+    };
+    let child_list = {
+        let (sec, sum) = sec(SEC_DOC_CHILD_LIST);
+        read_u32s(sec, sum)?
+    };
+    let text_spans = {
+        let (sec, sum) = sec(SEC_DOC_TEXT_SPANS);
+        read_u32_pairs(sec, sum)?
+    };
+    let attr_offsets = {
+        let (sec, sum) = sec(SEC_DOC_ATTR_OFFSETS);
+        read_u32s(sec, sum)?
+    };
+    let attr_spans = {
+        let (sec, sum) = sec(SEC_DOC_ATTR_SPANS);
+        read_spans2(sec, sum)?
+    };
+    let by_label_offsets = {
+        let (sec, sum) = sec(SEC_DOC_BY_LABEL_OFFSETS);
+        read_u32s(sec, sum)?
+    };
+    let by_label_list = {
+        let (sec, sum) = sec(SEC_DOC_BY_LABEL_LIST);
+        read_u32s(sec, sum)?
+    };
+    let cols = uxm_xml::document::DocumentColumns {
+        label_names,
+        labels,
+        parents,
+        posts,
+        levels,
+        child_offsets,
+        child_list,
+        text_buf,
+        text_spans,
+        attr_buf,
+        attr_offsets,
+        attr_spans,
+        by_label_offsets,
+        by_label_list,
+    };
+    let document = Document::from_raw_columns(cols).map_err(column_error)?;
+
+    Ok(EngineSnapshot {
+        mappings,
+        tree,
+        document,
+    })
+}
+
+/// Shared `ColumnError` → `DecodeError` mapping for the columnar
+/// document constructors.
+fn column_error(e: ColumnError) -> DecodeError {
+    match e {
+        ColumnError::BadParent => DecodeError::Malformed,
+        ColumnError::BadLabel => DecodeError::IdOutOfRange,
+        ColumnError::BadSpan => DecodeError::BadString,
+        ColumnError::BadIndex => DecodeError::Malformed,
+    }
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -843,11 +1671,7 @@ impl<'a> Reader<'a> {
             attr_counts,
             attr_spans,
         )
-        .map_err(|e| match e {
-            ColumnError::BadParent => DecodeError::Malformed,
-            ColumnError::BadLabel => DecodeError::IdOutOfRange,
-            ColumnError::BadSpan => DecodeError::BadString,
-        })
+        .map_err(column_error)
     }
 
     fn finish(&self) -> Result<(), DecodeError> {
@@ -855,6 +1679,232 @@ impl<'a> Reader<'a> {
             Ok(())
         } else {
             Err(DecodeError::Truncated)
+        }
+    }
+}
+
+/// A minimal, libc-free `mmap(2)` wrapper for reading snapshot files
+/// without copying them through a heap buffer first.
+///
+/// v3 snapshots are page-aligned precisely so a mapping exposes every
+/// column at its natural alignment; the registry's hydration path uses
+/// this module (instead of `std::fs::read`) when the `mmap` feature is
+/// enabled. Raw `syscall`/`svc` instructions keep the workspace free of
+/// a libc binding dependency.
+#[cfg(all(
+    feature = "mmap",
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod mmap {
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// A read-only, private memory mapping of an entire file, unmapped
+    /// on drop. Derefs to `&[u8]`.
+    pub struct Mmap {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only (PROT_READ, MAP_PRIVATE), owned
+    // exclusively by this value, and unmapped only in Drop — shared
+    // references to its bytes are sound from any thread.
+    unsafe impl Send for Mmap {}
+    // SAFETY: as above — no interior mutability, reads only.
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `file` read-only in its entirety. A zero-length file
+        /// yields an empty mapping without a syscall (the kernel rejects
+        /// `mmap` with length 0).
+        pub fn map(file: &File) -> io::Result<Mmap> {
+            let len = file.metadata()?.len();
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::OutOfMemory, "file exceeds usize"))?;
+            if len == 0 {
+                return Ok(Mmap {
+                    ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                    len: 0,
+                });
+            }
+            let fd = file.as_raw_fd();
+            // SAFETY: all arguments are well-formed (len > 0, live fd);
+            // a PROT_READ | MAP_PRIVATE mapping of a file we own a
+            // handle to cannot alias any Rust-managed memory.
+            let ret = unsafe { sys_mmap(0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
+            // Raw syscalls report errors as -errno in [-4095, -1].
+            if ret > usize::MAX - 4095 {
+                return Err(io::Error::from_raw_os_error(ret.wrapping_neg() as i32));
+            }
+            Ok(Mmap {
+                ptr: ret as *const u8,
+                len,
+            })
+        }
+
+        /// Length of the mapping in bytes.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// True for a zero-length mapping.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+
+    impl std::ops::Deref for Mmap {
+        type Target = [u8];
+
+        fn deref(&self) -> &[u8] {
+            // SAFETY: `ptr`/`len` denote a live PROT_READ mapping made
+            // in `map` (or a dangling-but-valid empty slice), unmapped
+            // only when `self` drops.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                // SAFETY: unmaps exactly the region `map` created; the
+                // pointer is never used again.
+                unsafe {
+                    sys_munmap(self.ptr as usize, self.len);
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn sys_mmap(
+        addr: usize,
+        len: usize,
+        prot: usize,
+        flags: usize,
+        fd: usize,
+        off: usize,
+    ) -> usize {
+        let ret: usize;
+        // SAFETY: caller upholds the mmap(2) contract; rcx/r11 are
+        // clobbered by `syscall` and declared as such.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 9usize => ret, // __NR_mmap
+                in("rdi") addr,
+                in("rsi") len,
+                in("rdx") prot,
+                in("r10") flags,
+                in("r8") fd,
+                in("r9") off,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn sys_munmap(addr: usize, len: usize) -> usize {
+        let ret: usize;
+        // SAFETY: caller passes a region previously returned by mmap.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 11usize => ret, // __NR_munmap
+                in("rdi") addr,
+                in("rsi") len,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn sys_mmap(
+        addr: usize,
+        len: usize,
+        prot: usize,
+        flags: usize,
+        fd: usize,
+        off: usize,
+    ) -> usize {
+        let ret: usize;
+        // SAFETY: caller upholds the mmap(2) contract.
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                inlateout("x0") addr => ret,
+                in("x1") len,
+                in("x2") prot,
+                in("x3") flags,
+                in("x4") fd,
+                in("x5") off,
+                in("x8") 222usize, // __NR_mmap
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn sys_munmap(addr: usize, len: usize) -> usize {
+        let ret: usize;
+        // SAFETY: caller passes a region previously returned by mmap.
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                inlateout("x0") addr => ret,
+                in("x1") len,
+                in("x8") 215usize, // __NR_munmap
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::io::Write;
+
+        #[test]
+        fn maps_whole_file() {
+            let dir = std::env::temp_dir().join("uxm-mmap-test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!("probe-{}.bin", std::process::id()));
+            let payload: Vec<u8> = (0..10_000u32).flat_map(|v| v.to_le_bytes()).collect();
+            std::fs::File::create(&path)
+                .unwrap()
+                .write_all(&payload)
+                .unwrap();
+            let file = std::fs::File::open(&path).unwrap();
+            let map = Mmap::map(&file).unwrap();
+            assert_eq!(&*map, &payload[..]);
+            assert_eq!(map.len(), payload.len());
+            drop(map);
+            std::fs::remove_file(&path).unwrap();
+        }
+
+        #[test]
+        fn empty_file_maps_empty() {
+            let dir = std::env::temp_dir().join("uxm-mmap-test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!("empty-{}.bin", std::process::id()));
+            std::fs::File::create(&path).unwrap();
+            let file = std::fs::File::open(&path).unwrap();
+            let map = Mmap::map(&file).unwrap();
+            assert!(map.is_empty());
+            std::fs::remove_file(&path).unwrap();
         }
     }
 }
@@ -1058,10 +2108,12 @@ mod tests {
 
     #[test]
     fn snapshot_rejects_bad_strings_and_malformed_trees() {
-        // Hand-craft a snapshot whose source schema name is invalid UTF-8.
+        // Hand-craft a (v2-body) snapshot whose source schema name is
+        // invalid UTF-8 — v2 is the newest version whose body starts
+        // with an inline schema, so these stay pinned to version 2.
         let mut bad_string = Vec::new();
         bad_string.extend_from_slice(MAGIC_SNAPSHOT);
-        put_varint(&mut bad_string, SNAPSHOT_VERSION);
+        put_varint(&mut bad_string, 2);
         put_varint(&mut bad_string, 2); // name length...
         bad_string.extend_from_slice(&[0xFF, 0xFE]); // ...invalid bytes
         assert_eq!(
@@ -1072,7 +2124,7 @@ mod tests {
         // A schema node whose parent does not precede it.
         let mut bad_parent = Vec::new();
         bad_parent.extend_from_slice(MAGIC_SNAPSHOT);
-        put_varint(&mut bad_parent, SNAPSHOT_VERSION);
+        put_varint(&mut bad_parent, 2);
         put_str(&mut bad_parent, "s");
         put_varint(&mut bad_parent, 2); // two nodes
         put_str(&mut bad_parent, "Root");
@@ -1088,7 +2140,7 @@ mod tests {
         // An empty node table.
         let mut empty = Vec::new();
         empty.extend_from_slice(MAGIC_SNAPSHOT);
-        put_varint(&mut empty, SNAPSHOT_VERSION);
+        put_varint(&mut empty, 2);
         put_str(&mut empty, "s");
         put_varint(&mut empty, 0); // zero schema nodes
         assert_eq!(
@@ -1115,6 +2167,80 @@ mod tests {
         assert_eq!(
             decode_engine_snapshot(&trailing).unwrap_err(),
             DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn xxh64_reference_vectors() {
+        // Published XXH64 test vectors (seed 0).
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+        assert_eq!(
+            xxh64(b"The quick brown fox jumps over the lazy dog", 0),
+            0x0B24_2D36_1FDA_71BC
+        );
+        // Seed participates.
+        assert_ne!(xxh64(b"abc", 0), xxh64(b"abc", 1));
+    }
+
+    #[test]
+    fn v3_container_framing() {
+        let (pm, tree) = workload();
+        let doc = {
+            let mut b = Document::builder("Order");
+            let root = b.root();
+            let n = b.add_child(root, "POLine");
+            b.set_text(n, "x");
+            b.finish()
+        };
+        let bytes = encode_engine_snapshot(&QueryEngine::new(pm, doc, tree));
+        assert_eq!(&bytes[..4], MAGIC_SNAPSHOT);
+        assert_eq!(bytes[4], 3);
+        assert_eq!(&bytes[5..8], &[0, 0, 0]);
+        assert_eq!(snapshot_version(&bytes).unwrap(), SNAPSHOT_VERSION);
+        let u64_at =
+            |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+        assert_eq!(u64_at(8), bytes.len() as u64, "file_len");
+        assert_eq!(u64_at(16), V3_SECTION_COUNT as u64, "section_count");
+        for (i, &(kind, _)) in V3_LAYOUT.iter().enumerate() {
+            let e = V3_HEADER_LEN + i * V3_ENTRY_LEN;
+            assert_eq!(u64_at(e), kind, "kind order");
+            let offset = u64_at(e + 8) as usize;
+            assert_eq!(offset % SECTION_ALIGN, 0, "section {i} aligned");
+            assert!(offset >= SECTION_ALIGN);
+        }
+        // Canonical re-encode is byte-identical: every column is stored
+        // verbatim, so decode → encode must be a fixed point.
+        let parts = decode_engine_snapshot_parts(&bytes).unwrap();
+        let engine = QueryEngine::new(parts.mappings, parts.document, parts.tree);
+        assert_eq!(encode_engine_snapshot(&engine), bytes);
+    }
+
+    #[test]
+    fn v3_corruption_is_typed() {
+        let (pm, tree) = workload();
+        let doc = Document::builder("Order").finish();
+        let bytes = encode_engine_snapshot(&QueryEngine::new(pm, doc, tree));
+        // Flip one byte inside the section table: table checksum.
+        let mut t = bytes.clone();
+        t[V3_HEADER_LEN + 8] ^= 1;
+        assert_eq!(
+            decode_engine_snapshot(&t).unwrap_err(),
+            DecodeError::BadChecksum
+        );
+        // Flip one content byte in the first section: section checksum.
+        let mut c = bytes.clone();
+        c[SECTION_ALIGN] ^= 1;
+        assert_eq!(
+            decode_engine_snapshot(&c).unwrap_err(),
+            DecodeError::BadChecksum
+        );
+        // Non-zero prelude padding is rejected as malformed.
+        let mut p = bytes.clone();
+        p[6] = 1;
+        assert_eq!(
+            decode_engine_snapshot(&p).unwrap_err(),
+            DecodeError::Malformed
         );
     }
 

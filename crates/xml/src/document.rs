@@ -25,7 +25,12 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Interned element label within one [`Document`].
+///
+/// `repr(transparent)`: guaranteed layout-identical to `u32`, so the
+/// label column can be viewed as a plain integer column (the snapshot
+/// codec relies on this).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[repr(transparent)]
 pub struct LabelId(pub u32);
 
 impl LabelId {
@@ -43,8 +48,8 @@ const NONE: u32 = u32::MAX;
 /// `(NONE, 0)` marks an absent text.
 type Span = (u32, u32);
 
-/// Structural errors reported by [`Document::from_columns`] (the snapshot
-/// decoder's fast path).
+/// Structural errors reported by [`Document::from_columns`] and
+/// [`Document::from_raw_columns`] (the snapshot decoders' fast paths).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ColumnError {
     /// A non-root node whose parent does not precede it, a root with a
@@ -55,6 +60,86 @@ pub enum ColumnError {
     /// A text or attribute span outside its buffer or splitting a UTF-8
     /// character.
     BadSpan,
+    /// A derived column (CSR offsets, child/label lists, post-order
+    /// ranks) whose length, monotonicity, or entries are inconsistent
+    /// with the node table.
+    BadIndex,
+}
+
+/// Borrowed views of every arena column of a [`Document`], in the
+/// document's own memory layout (ids lowered to plain `u32` via their
+/// `repr(transparent)` guarantee). This is the snapshot v3 encoder's
+/// input: each slice is written to disk verbatim as one fixed-width
+/// little-endian section.
+pub struct DocumentColumnsRef<'a> {
+    /// Label table, in interning order.
+    pub label_names: &'a [String],
+    /// Per node: interned label id.
+    pub labels: &'a [u32],
+    /// Per node: parent id, [`Document::NO_PARENT`] for the root.
+    pub parents: &'a [u32],
+    /// Per node: post-order rank.
+    pub posts: &'a [u32],
+    /// Per node: depth, root at 0.
+    pub levels: &'a [u32],
+    /// CSR child offsets (`len + 1` entries).
+    pub child_offsets: &'a [u32],
+    /// CSR child list (`len - 1` entries, every non-root node once).
+    pub child_list: &'a [u32],
+    /// All text content, concatenated.
+    pub text_buf: &'a str,
+    /// Per node: `(offset, len)` into `text_buf`, `(NO_PARENT, 0)` when
+    /// absent.
+    pub text_spans: &'a [(u32, u32)],
+    /// All attribute names and values, concatenated.
+    pub attr_buf: &'a str,
+    /// CSR attribute offsets (`len + 1` entries) into `attr_spans`.
+    pub attr_offsets: &'a [u32],
+    /// Flat `(name span, value span)` pairs into `attr_buf`.
+    #[allow(clippy::type_complexity)]
+    pub attr_spans: &'a [((u32, u32), (u32, u32))],
+    /// CSR label-index offsets (`label_names.len() + 1` entries).
+    pub by_label_offsets: &'a [u32],
+    /// CSR label-index list (`len` entries, every node once).
+    pub by_label_list: &'a [u32],
+}
+
+/// Owned raw columns for [`Document::from_raw_columns`] — the same
+/// layout [`Document::raw_columns`] exposes, with the derived columns
+/// (posts, levels, both CSR indexes) already present so construction is
+/// validation plus moves, never recomputation.
+#[derive(Clone, Debug, Default)]
+pub struct DocumentColumns {
+    /// Label table, in interning order.
+    pub label_names: Vec<String>,
+    /// Per node: interned label id.
+    pub labels: Vec<u32>,
+    /// Per node: parent id, [`Document::NO_PARENT`] for the root.
+    pub parents: Vec<u32>,
+    /// Per node: post-order rank.
+    pub posts: Vec<u32>,
+    /// Per node: depth, root at 0.
+    pub levels: Vec<u32>,
+    /// CSR child offsets (`len + 1` entries).
+    pub child_offsets: Vec<u32>,
+    /// CSR child list (`len - 1` entries).
+    pub child_list: Vec<u32>,
+    /// All text content, concatenated.
+    pub text_buf: String,
+    /// Per node: `(offset, len)` into `text_buf`, `(NO_PARENT, 0)` when
+    /// absent.
+    pub text_spans: Vec<(u32, u32)>,
+    /// All attribute names and values, concatenated.
+    pub attr_buf: String,
+    /// CSR attribute offsets (`len + 1` entries) into `attr_spans`.
+    pub attr_offsets: Vec<u32>,
+    /// Flat `(name span, value span)` pairs into `attr_buf`.
+    #[allow(clippy::type_complexity)]
+    pub attr_spans: Vec<((u32, u32), (u32, u32))>,
+    /// CSR label-index offsets (`label_names.len() + 1` entries).
+    pub by_label_offsets: Vec<u32>,
+    /// CSR label-index list (`len` entries).
+    pub by_label_list: Vec<u32>,
 }
 
 /// An XML document as a columnar arena of element nodes.
@@ -282,6 +367,189 @@ impl Document {
         }
         self.by_label_offsets = loff;
         self.by_label_list = llist;
+    }
+
+    /// Borrows every arena column in the document's own layout (the
+    /// snapshot v3 encoder's input). Id columns are exposed as `u32`
+    /// slices via the ids' `repr(transparent)` layout guarantee.
+    pub fn raw_columns(&self) -> DocumentColumnsRef<'_> {
+        // SAFETY: LabelId and DocNodeId are #[repr(transparent)] over
+        // u32, so a slice of either has the exact layout of &[u32].
+        let labels: &[u32] = unsafe {
+            std::slice::from_raw_parts(self.labels.as_ptr().cast::<u32>(), self.labels.len())
+        };
+        let child_list: &[u32] = unsafe {
+            std::slice::from_raw_parts(
+                self.child_list.as_ptr().cast::<u32>(),
+                self.child_list.len(),
+            )
+        };
+        let by_label_list: &[u32] = unsafe {
+            std::slice::from_raw_parts(
+                self.by_label_list.as_ptr().cast::<u32>(),
+                self.by_label_list.len(),
+            )
+        };
+        DocumentColumnsRef {
+            label_names: &self.label_names,
+            labels,
+            parents: &self.parents,
+            posts: &self.posts,
+            levels: &self.levels,
+            child_offsets: &self.child_offsets,
+            child_list,
+            text_buf: &self.text_buf,
+            text_spans: &self.text_spans,
+            attr_buf: &self.attr_buf,
+            attr_offsets: &self.attr_offsets,
+            attr_spans: &self.attr_spans,
+            by_label_offsets: &self.by_label_offsets,
+            by_label_list,
+        }
+    }
+
+    /// Assembles a document from **complete** raw columns, derived
+    /// indexes included — the snapshot v3 decoder's bulk path. No column
+    /// is recomputed, and release-mode validation is O(sections): column
+    /// lengths, CSR endpoints, and the root sentinel. The per-element
+    /// invariants (label/post bounds, pre-order parents, CSR
+    /// monotonicity and entry ranges, span boundaries) are trusted from
+    /// the writer — the v3 decoder only reaches this constructor after
+    /// every section passed its XXH64 checksum, so any file the encoder
+    /// wrote satisfies them. Debug builds re-verify every per-element
+    /// invariant and additionally re-derive the derived columns and
+    /// compare.
+    ///
+    /// Feeding columns that violate the per-element invariants is safe
+    /// in the Rust sense but incorrect: later queries may panic (out of
+    /// bounds, non-boundary span) or walk a parent cycle. Callers other
+    /// than the checksummed decoder should construct via
+    /// [`Document::from_columns`], which always validates in full.
+    ///
+    /// Errors mirror [`Document::from_columns`], with
+    /// [`ColumnError::BadIndex`] covering inconsistencies in the derived
+    /// CSR/post-order columns.
+    pub fn from_raw_columns(cols: DocumentColumns) -> Result<Document, ColumnError> {
+        let DocumentColumns {
+            label_names,
+            labels,
+            parents,
+            posts,
+            levels,
+            child_offsets,
+            child_list,
+            text_buf,
+            text_spans,
+            attr_buf,
+            attr_offsets,
+            attr_spans,
+            by_label_offsets,
+            by_label_list,
+        } = cols;
+        let n = labels.len();
+        let l = label_names.len();
+        if n == 0 || parents.len() != n || parents[0] != NONE {
+            return Err(ColumnError::BadParent);
+        }
+        // O(sections) shape checks: every length and CSR endpoint, no
+        // per-element scans.
+        if posts.len() != n
+            || levels.len() != n
+            || child_offsets.len() != n + 1
+            || child_offsets[0] != 0
+            || *child_offsets.last().expect("n + 1 entries") as usize != child_list.len()
+            || child_list.len() != n - 1
+            || by_label_offsets.len() != l + 1
+            || by_label_offsets[0] != 0
+            || *by_label_offsets.last().expect("l + 1 entries") as usize != by_label_list.len()
+            || by_label_list.len() != n
+        {
+            return Err(ColumnError::BadIndex);
+        }
+        if text_spans.len() != n {
+            return Err(ColumnError::BadSpan);
+        }
+        if attr_offsets.len() != n + 1
+            || attr_offsets[0] != 0
+            || *attr_offsets.last().expect("n + 1 entries") as usize != attr_spans.len()
+        {
+            return Err(ColumnError::BadIndex);
+        }
+        // Debug builds distrust the writer and re-verify every
+        // per-element invariant the release path waives.
+        #[cfg(debug_assertions)]
+        {
+            if labels.iter().any(|&lab| lab as usize >= l) {
+                return Err(ColumnError::BadLabel);
+            }
+            for (i, &p) in parents.iter().enumerate().skip(1) {
+                if p as usize >= i {
+                    return Err(ColumnError::BadParent);
+                }
+            }
+            let csr_ok = |offsets: &[u32], list: &[u32]| {
+                offsets.windows(2).all(|w| w[0] <= w[1]) && list.iter().all(|&id| (id as usize) < n)
+            };
+            if posts.iter().any(|&p| p as usize >= n)
+                || !csr_ok(&child_offsets, &child_list)
+                || !csr_ok(&by_label_offsets, &by_label_list)
+                || attr_offsets.windows(2).any(|w| w[0] > w[1])
+            {
+                return Err(ColumnError::BadIndex);
+            }
+            let check_span = |buf: &str, (off, len): Span| -> Result<(), ColumnError> {
+                let (start, end) = (off as usize, off as usize + len as usize);
+                if end > buf.len() || !buf.is_char_boundary(start) || !buf.is_char_boundary(end) {
+                    return Err(ColumnError::BadSpan);
+                }
+                Ok(())
+            };
+            for &span in &text_spans {
+                if span != (NONE, 0) {
+                    check_span(&text_buf, span)?;
+                }
+            }
+            for &(name, value) in &attr_spans {
+                check_span(&attr_buf, name)?;
+                check_span(&attr_buf, value)?;
+            }
+        }
+
+        let mut label_lookup = HashMap::with_capacity(l);
+        for (i, name) in label_names.iter().enumerate() {
+            label_lookup.insert(name.clone(), LabelId(i as u32));
+        }
+        // The id wraps reuse each Vec's allocation (same size and
+        // alignment); no column is copied.
+        let doc = Document {
+            labels: labels.into_iter().map(LabelId).collect(),
+            parents,
+            posts,
+            levels,
+            child_offsets,
+            child_list: child_list.into_iter().map(DocNodeId).collect(),
+            text_buf,
+            text_spans,
+            attr_buf,
+            attr_offsets,
+            attr_spans,
+            label_names,
+            label_lookup,
+            by_label_offsets,
+            by_label_list: by_label_list.into_iter().map(DocNodeId).collect(),
+        };
+        #[cfg(debug_assertions)]
+        {
+            let mut rederived = doc.clone();
+            rederived.finish_derived();
+            debug_assert_eq!(doc.posts, rederived.posts, "posts column drifted");
+            debug_assert_eq!(doc.levels, rederived.levels, "levels column drifted");
+            debug_assert_eq!(doc.child_offsets, rederived.child_offsets);
+            debug_assert_eq!(doc.child_list, rederived.child_list);
+            debug_assert_eq!(doc.by_label_offsets, rederived.by_label_offsets);
+            debug_assert_eq!(doc.by_label_list, rederived.by_label_list);
+        }
+        Ok(doc)
     }
 
     /// The root node id (always `DocNodeId(0)`).

@@ -9,14 +9,23 @@ use std::fmt;
 /// Index of an element declaration inside a [`crate::Schema`].
 ///
 /// The root is always `SchemaNodeId(0)`.
+///
+/// `repr(transparent)`: guaranteed layout-identical to `u32`, so columns
+/// of ids can be viewed as plain integer columns (the snapshot codec
+/// relies on this).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct SchemaNodeId(pub u32);
 
 /// Index of a node inside a [`crate::Document`].
 ///
 /// The root is always `DocNodeId(0)`; ids are assigned in document order
 /// (pre-order), so `a.0 < b.0` whenever `a` precedes `b`.
+///
+/// `repr(transparent)`: guaranteed layout-identical to `u32` (see
+/// [`SchemaNodeId`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct DocNodeId(pub u32);
 
 impl SchemaNodeId {

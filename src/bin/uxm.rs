@@ -13,6 +13,7 @@
 //!               [--hint auto|naive|block-tree|compiled] [--json]
 //! uxm keyword   <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X] [--json]
 //! uxm registry  save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]
+//!               [--snapshot-version 1|2|3]
 //! uxm registry  list --dir D
 //! uxm stats     <engine> --dir D
 //! uxm batch     <requests.txt> --dir D [--budget BYTES] [--json]
@@ -100,7 +101,8 @@ fn usage() {
          uxm explain  <source.outline> <target.outline> <doc.xml> <twig> [--h N] [--k N] [--tau X]\n               \
          [--mode label|node] [--hint auto|naive|block-tree|compiled] [--json]\n  \
          uxm keyword  <source.outline> <target.outline> <doc.xml> <term...> [--h N] [--tau X] [--json]\n  \
-         uxm registry save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]\n  \
+         uxm registry save <name> <source.outline> <target.outline> <doc.xml> --dir D [--h N] [--tau X]\n               \
+         [--snapshot-version 1|2|3]\n  \
          uxm registry list --dir D\n  \
          uxm stats    <engine> --dir D\n  \
          uxm batch    <requests.txt> --dir D [--budget BYTES] [--json]\n  \
@@ -453,11 +455,17 @@ fn cmd_registry(args: &[String]) -> Result<(), UxmError> {
         .ok_or_else(|| UxmError::Usage("registry needs --dir <snapshot-dir>".into()))?;
     match pos.as_slice() {
         ["save", name, src, tgt, doc_path] => {
+            let version = match flag(&flags, "snapshot-version") {
+                Some(v) => v.parse::<u64>().map_err(|_| {
+                    UxmError::Usage(format!("--snapshot-version must be 1, 2, or 3, got {v:?}"))
+                })?,
+                None => uxm::core::storage::SNAPSHOT_VERSION,
+            };
             let registry = EngineRegistry::new().snapshot_dir(dir);
             let engine = registry.insert(*name, engine_from(&flags, src, tgt, doc_path)?);
-            let path = registry.save(name)?;
+            let path = registry.save_as(name, version)?;
             println!(
-                "saved {name:?} to {} ({} bytes on disk, ~{} KiB resident): \
+                "saved {name:?} to {} (snapshot v{version}, {} bytes on disk, ~{} KiB resident): \
                  |M|={}, {} doc nodes, {} c-blocks",
                 path.display(),
                 std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
@@ -498,7 +506,8 @@ fn cmd_registry(args: &[String]) -> Result<(), UxmError> {
             Ok(())
         }
         _ => Err(UxmError::Usage(
-            "registry needs: save <name> <source> <target> <doc.xml> --dir D, or list --dir D"
+            "registry needs: save <name> <source> <target> <doc.xml> --dir D \
+             [--snapshot-version 1|2|3], or list --dir D"
                 .into(),
         )),
     }
@@ -516,14 +525,18 @@ fn cmd_stats(args: &[String]) -> Result<(), UxmError> {
     let path = std::path::Path::new(dir).join(format!("{name}.uxm"));
     let bytes = std::fs::read(&path).map_err(|e| UxmError::io(path.display(), e))?;
     let version = snapshot_version(&bytes)?;
+    let start = std::time::Instant::now();
     let engine = decode_engine_snapshot(&bytes)?;
+    let hydrate_us = start.elapsed().as_micros();
     let fp = engine.footprint();
     let total = fp.total().max(1);
     println!(
-        "{name}: snapshot v{version}, {} bytes on disk -> {} bytes resident ({:.2}x)",
+        "{name}: snapshot v{version}, {} bytes on disk -> {} bytes resident ({:.2}x), \
+         cold hydration {:.2} ms",
         bytes.len(),
         fp.total(),
         fp.total() as f64 / bytes.len().max(1) as f64,
+        hydrate_us as f64 / 1000.0,
     );
     println!(
         "  |M| = {} ({} pairs), {} doc nodes ({} labels, {} text bytes, {} attr bytes), {} c-blocks",

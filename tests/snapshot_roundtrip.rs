@@ -11,9 +11,7 @@ use proptest::prelude::*;
 use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
 use uxm::core::engine::QueryEngine;
 use uxm::core::mapping::PossibleMappings;
-use uxm::core::storage::{
-    decode_engine_snapshot, encode_engine_snapshot, DecodeError, SNAPSHOT_VERSION,
-};
+use uxm::core::storage::{decode_engine_snapshot, encode_engine_snapshot, DecodeError};
 use uxm::datagen::datasets::{Dataset, DatasetId};
 use uxm::datagen::queries::paper_queries;
 use uxm::xml::{DocGenConfig, Document};
@@ -149,8 +147,11 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
 }
 
 fn header() -> Vec<u8> {
+    // The handcrafted payloads below are v2 bodies (varint sections), so
+    // the version is pinned to 2 — under the v3 default they would hit
+    // the fixed-width sectioned decoder instead.
     let mut out = Vec::from(*b"UXMS");
-    varint(&mut out, SNAPSHOT_VERSION);
+    varint(&mut out, 2);
     out
 }
 

@@ -9,8 +9,8 @@ use uxm::core::block_tree::{BlockTree, BlockTreeConfig};
 use uxm::core::engine::QueryEngine;
 use uxm::core::mapping::PossibleMappings;
 use uxm::core::storage::{
-    decode_engine_snapshot, encode_engine_snapshot, encode_engine_snapshot_v1, snapshot_version,
-    DecodeError, SNAPSHOT_VERSION,
+    decode_engine_snapshot, encode_engine_snapshot, encode_engine_snapshot_v1,
+    encode_engine_snapshot_v2, snapshot_version, DecodeError,
 };
 use uxm::datagen::datasets::{Dataset, DatasetId};
 use uxm::datagen::queries::paper_queries;
@@ -118,19 +118,21 @@ fn fixture_queries() -> Vec<Query> {
         .collect()
 }
 
-/// The tentpole acceptance criterion: a v2 snapshot round trip preserves
-/// `QueryResponse` answers byte-for-byte on every Table II dataset, under
-/// every evaluator hint, and the re-encode is byte-stable.
+/// A v2 snapshot round trip preserves `QueryResponse` answers
+/// byte-for-byte on every Table II dataset, under every evaluator hint,
+/// and the re-encode is byte-stable. (Snapshots now default to v3 — see
+/// `tests/snapshot_v3.rs` — but the v2 encoder stays pinned here so the
+/// committed v2 fixture remains regenerable.)
 #[test]
 fn v2_roundtrip_all_datasets() {
     let queries = paper_queries();
     for id in DatasetId::all() {
         let original = engine(id, 12, 250);
-        let bytes = encode_engine_snapshot(&original);
+        let bytes = encode_engine_snapshot_v2(&original);
         assert_eq!(
             snapshot_version(&bytes).unwrap(),
-            SNAPSHOT_VERSION,
-            "{}: snapshots default to v2",
+            2,
+            "{}: explicit v2 encode pins version 2",
             id.name()
         );
         let back = decode_engine_snapshot(&bytes).expect("v2 decodes");
@@ -157,7 +159,7 @@ fn v2_roundtrip_all_datasets() {
             }
         }
         assert_eq!(
-            encode_engine_snapshot(&back),
+            encode_engine_snapshot_v2(&back),
             bytes,
             "{}: byte-stable re-encode",
             id.name()
@@ -172,7 +174,7 @@ fn v2_not_larger_than_v1() {
     for id in [DatasetId::D1, DatasetId::D7] {
         let e = engine(id, 12, 250);
         let v1 = encode_engine_snapshot_v1(&e);
-        let v2 = encode_engine_snapshot(&e);
+        let v2 = encode_engine_snapshot_v2(&e);
         assert!(
             v2.len() <= v1.len(),
             "{}: v2 {} bytes > v1 {} bytes",
@@ -224,7 +226,7 @@ fn v1_golden_fixture_decodes() {
 fn v1_and_v2_decoders_agree() {
     let e = engine(DatasetId::D7, 12, 250);
     let from_v1 = decode_engine_snapshot(&encode_engine_snapshot_v1(&e)).unwrap();
-    let from_v2 = decode_engine_snapshot(&encode_engine_snapshot(&e)).unwrap();
+    let from_v2 = decode_engine_snapshot(&encode_engine_snapshot_v2(&e)).unwrap();
     let queries = paper_queries();
     for qi in [1usize, 4, 7, 10] {
         let q = Query::ptq(queries[qi - 1].clone());
@@ -249,7 +251,7 @@ fn regenerate_v1_fixture() {
 /// One valid v2 snapshot, built once and shared by all property cases.
 fn valid_v2_snapshot() -> &'static [u8] {
     static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
-    BYTES.get_or_init(|| encode_engine_snapshot(&engine(DatasetId::D2, 6, 120)))
+    BYTES.get_or_init(|| encode_engine_snapshot_v2(&engine(DatasetId::D2, 6, 120)))
 }
 
 proptest! {
